@@ -1,0 +1,78 @@
+// Ablation: how the cost-function shape changes the value of asymmetric
+// batching. Same arrival schedule and budget regime, four shapes for the
+// "expensive" table (the cheap table stays linear-through-origin):
+//   linear   -- a*k + b (the paper's Section 3.3 workhorse)
+//   capped   -- linear then flat (Figure 4's PARTSUPP shape)
+//   step     -- ceil(k/B)*c (subadditive, non-concave)
+//   concave  -- a*sqrt(k) + b
+// Reports NAIVE / OPT_LGM / ONLINE and, where tractable, the true OPT over
+// all lazy plans (step costs are where LGM can lose up to 2x).
+
+#include <iostream>
+#include <memory>
+
+#include "core/astar.h"
+#include "core/exhaustive.h"
+#include "core/naive.h"
+#include "core/online.h"
+#include "sim/report.h"
+#include "sim/simulator.h"
+
+namespace abivm {
+namespace {
+
+void Run() {
+  std::cout << "=== Cost-shape ablation (table0 = shape below, table1 = "
+               "linear 1.0*k; 1+1 arrivals/step) ===\n\n";
+  struct Shape {
+    const char* label;
+    CostFunctionPtr fn;
+  };
+  const Shape shapes[] = {
+      {"linear", std::make_shared<LinearCost>(0.05, 8.0)},
+      {"capped", std::make_shared<AffineCappedCost>(0.5, 4.0, 12)},
+      {"step", std::make_shared<StepCost>(6, 4.0)},
+      {"concave", std::make_shared<ConcaveCost>(2.5, 2.0)},
+  };
+  const double budget = 12.0;
+  const TimeStep horizon = 59;  // short enough for the full-space oracle
+
+  ReportTable table({"shape", "NAIVE", "ONLINE", "OPT_LGM", "OPT(lazy)",
+                     "LGM/OPT"});
+  for (const Shape& shape : shapes) {
+    std::vector<CostFunctionPtr> fns = {
+        shape.fn, std::make_shared<LinearCost>(1.0, 0.0)};
+    const ProblemInstance instance{
+        CostModel(std::move(fns)),
+        ArrivalSequence::Uniform({1, 1}, horizon), budget};
+
+    NaivePolicy naive;
+    const double naive_cost =
+        Simulate(instance, naive, {.record_steps = false}).total_cost;
+    OnlinePolicy online;
+    const double online_cost =
+        Simulate(instance, online, {.record_steps = false}).total_cost;
+    const PlanSearchResult lgm = FindOptimalLgmPlan(instance);
+    const MaintenancePlan opt = ExhaustiveOptimalPlan(instance);
+    const double opt_cost = opt.TotalCost(instance.cost_model);
+
+    table.AddRow({shape.label, ReportTable::Num(naive_cost, 2),
+                  ReportTable::Num(online_cost, 2),
+                  ReportTable::Num(lgm.cost, 2),
+                  ReportTable::Num(opt_cost, 2),
+                  ReportTable::Num(lgm.cost / opt_cost, 4)});
+  }
+  table.PrintAligned(std::cout);
+  std::cout << "\nExpected: OPT_LGM = OPT for linear costs (Theorem 2); "
+               "LGM/OPT in [1, 2] for all shapes (Theorem 1); asymmetric "
+               "plans beat NAIVE most when the expensive table's cost is "
+               "flattest (capped/step).\n";
+}
+
+}  // namespace
+}  // namespace abivm
+
+int main() {
+  abivm::Run();
+  return 0;
+}

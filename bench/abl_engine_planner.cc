@@ -1,0 +1,82 @@
+// Ablation: the engine-side planner choices that shape the measured cost
+// functions. Measures the supplier-delta cost curve of the paper's 4-way
+// MIN view in four planner configurations:
+//   full        -- join reorder + projection pushdown (default);
+//   no_reorder  -- definition-order joins (big partsupp scan first, before
+//                  the region filter can shrink the delta stream);
+//   no_pushdown -- joins materialize full rows (comment strings included);
+//   neither     -- both off.
+// The differences explain why DESIGN.md calls these out: without them the
+// scanned side's cost becomes output-dominated (steeper slope), weakening
+// the asymmetry the scheduler exploits.
+
+#include <iostream>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "sim/report.h"
+
+namespace abivm {
+namespace {
+
+void Run(int argc, char** argv) {
+  const double sf = bench::FlagOr(argc, argv, "sf", 0.01);
+  const auto seed =
+      static_cast<uint64_t>(bench::FlagOr(argc, argv, "seed", 42));
+
+  std::cout << "=== Engine planner ablation: supplier-delta cost of the "
+               "4-way MIN view (sf=" << sf << ") ===\n\n";
+
+  struct Config {
+    const char* label;
+    BindingOptions options;
+  };
+  const Config configs[] = {
+      {"full", {true, true}},
+      {"no_reorder", {false, true}},
+      {"no_pushdown", {true, false}},
+      {"neither", {false, false}},
+  };
+  const std::vector<uint64_t> sizes = {1, 50, 200, 500, 1000};
+
+  std::vector<std::string> header = {"config"};
+  for (uint64_t k : sizes) header.push_back("k=" + std::to_string(k));
+  header.push_back("fit a (ms/mod)");
+  header.push_back("fit b (ms)");
+  ReportTable table(header);
+
+  for (const Config& config : configs) {
+    Database db;
+    TpcGenOptions gen;
+    gen.scale_factor = sf;
+    gen.seed = seed;
+    GenerateTpcDatabase(&db, gen);
+    CreatePaperIndexes(&db);
+    ViewMaintainer maintainer(&db, MakePaperMinView(), config.options);
+    TpcUpdater updater(&db, seed + 1);
+    for (uint64_t i = 0; i < sizes.back(); ++i) {
+      updater.UpdateSupplierNationkey();
+    }
+    const CalibrationResult result = CalibrateTableCost(
+        maintainer, /*table_index=*/1, sizes, CalibratorOptions{3});
+    std::vector<std::string> row = {config.label};
+    for (const CostSample& sample : result.samples) {
+      row.push_back(ReportTable::Num(sample.median_ms, 3));
+    }
+    row.push_back(ReportTable::Num(result.fit.slope, 5));
+    row.push_back(ReportTable::Num(result.fit.intercept, 3));
+    table.AddRow(std::move(row));
+  }
+  table.PrintAligned(std::cout);
+  std::cout << "\nExpected: 'full' has the smallest slope (the batching-"
+               "friendly shape); dropping either optimization steepens "
+               "the curve.\n";
+}
+
+}  // namespace
+}  // namespace abivm
+
+int main(int argc, char** argv) {
+  abivm::Run(argc, argv);
+  return 0;
+}

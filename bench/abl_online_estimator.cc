@@ -1,0 +1,74 @@
+// Ablation: ONLINE's arrival-rate estimator.
+//
+// The paper attributes ONLINE's losses on unstable streams to TimeToFull
+// prediction error. We sweep the EWMA weight of the estimator on stable
+// and unstable streams (Section 5's arrival model) and report cost
+// relative to OPT_LGM.
+
+#include <iostream>
+#include <memory>
+
+#include "core/astar.h"
+#include "core/online.h"
+#include "sim/report.h"
+#include "sim/simulator.h"
+#include "tpc/arrivals_gen.h"
+
+namespace abivm {
+namespace {
+
+void Run() {
+  std::cout << "=== ONLINE estimator ablation: EWMA alpha sweep "
+               "(cost / OPT_LGM) ===\n\n";
+  std::vector<CostFunctionPtr> fns = {
+      std::make_shared<LinearCost>(0.3, 0.5),
+      std::make_shared<LinearCost>(0.2, 6.0)};
+  const CostModel model(std::move(fns));
+  const double budget = 20.0;
+  const TimeStep horizon = 1000;
+
+  struct Stream {
+    const char* label;
+    double p;
+    double sigma;
+  };
+  const Stream streams[] = {
+      {"FS (p=0.9,s=1)", 0.9, 1.0}, {"FU (p=0.9,s=5)", 0.9, 5.0}};
+  const double alphas[] = {0.05, 0.1, 0.2, 0.5, 1.0};
+
+  std::vector<std::string> header = {"stream"};
+  for (double a : alphas) header.push_back("a=" + ReportTable::Num(a, 2));
+  ReportTable table(header);
+
+  for (const Stream& stream : streams) {
+    Rng rng(77);
+    const ArrivalSequence arrivals = MakePaperNonUniformArrivals(
+        2, horizon, stream.p, 1.0, stream.sigma, rng);
+    const ProblemInstance instance{model, arrivals, budget};
+    const PlanSearchResult optimal = FindOptimalLgmPlan(instance);
+
+    std::vector<std::string> row = {stream.label};
+    for (double alpha : alphas) {
+      OnlineOptions options;
+      options.rate_ewma_alpha = alpha;
+      OnlinePolicy online(options);
+      const double cost =
+          Simulate(instance, online, {.record_steps = false}).total_cost;
+      row.push_back(ReportTable::Num(cost / optimal.cost, 4));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.PrintAligned(std::cout);
+  std::cout << "\nExpected: ratios near 1 on the stable stream for all "
+               "alphas; the unstable stream is more sensitive to the "
+               "estimator (the paper's explanation for Figure 7's FU "
+               "gap).\n";
+}
+
+}  // namespace
+}  // namespace abivm
+
+int main() {
+  abivm::Run();
+  return 0;
+}

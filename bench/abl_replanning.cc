@@ -1,0 +1,88 @@
+// Ablation: the receding-horizon REPLAN policy (our extension; the paper
+// lists stronger online algorithms as future work) against ONLINE, NAIVE
+// and the clairvoyant OPT_LGM on streams whose rates drift over time --
+// the regime where a one-step amortized heuristic has the least foresight.
+
+#include <iostream>
+#include <memory>
+
+#include "core/astar.h"
+#include "core/naive.h"
+#include "core/online.h"
+#include "core/replan.h"
+#include "sim/report.h"
+#include "sim/simulator.h"
+#include "tpc/arrivals_gen.h"
+
+namespace abivm {
+namespace {
+
+// Rate-drifting stream: alternating 100-step phases of light (1, 0) and
+// heavy (2, 3) arrivals.
+ArrivalSequence DriftingArrivals(TimeStep horizon) {
+  std::vector<StateVec> steps;
+  for (TimeStep t = 0; t <= horizon; ++t) {
+    const bool heavy = (t / 100) % 2 == 1;
+    steps.push_back(heavy ? StateVec{2, 3} : StateVec{1, 0});
+  }
+  return ArrivalSequence(std::move(steps));
+}
+
+void Run() {
+  std::cout << "=== REPLAN ablation: drifting arrival rates, T = 999 "
+               "===\n\n";
+  std::vector<CostFunctionPtr> fns = {
+      std::make_shared<LinearCost>(0.3, 0.5),
+      std::make_shared<LinearCost>(0.2, 6.0)};
+  const CostModel model(std::move(fns));
+
+  ReportTable table({"stream", "NAIVE", "ONLINE", "REPLAN", "OPT_LGM",
+                     "ONLINE/OPT", "REPLAN/OPT", "replans"});
+  struct Row {
+    const char* label;
+    ArrivalSequence arrivals;
+  };
+  Rng rng(11);
+  std::vector<Row> rows;
+  rows.push_back({"drifting", DriftingArrivals(999)});
+  rows.push_back(
+      {"bursty", MakeBurstyArrivals(2, 999, /*on=*/10, /*off=*/40, 4)});
+  rows.push_back(
+      {"poisson", MakePoissonArrivals({1.0, 0.7}, 999, rng)});
+
+  for (const Row& row : rows) {
+    const ProblemInstance instance{model, row.arrivals, 20.0};
+    NaivePolicy naive;
+    const double naive_cost =
+        Simulate(instance, naive, {.record_steps = false}).total_cost;
+    OnlinePolicy online;
+    const double online_cost =
+        Simulate(instance, online, {.record_steps = false}).total_cost;
+    ReplanningPolicy replan;
+    const double replan_cost =
+        Simulate(instance, replan, {.record_steps = false}).total_cost;
+    const PlanSearchResult optimal = FindOptimalLgmPlan(instance);
+
+    table.AddRow({row.label, ReportTable::Num(naive_cost, 1),
+                  ReportTable::Num(online_cost, 1),
+                  ReportTable::Num(replan_cost, 1),
+                  ReportTable::Num(optimal.cost, 1),
+                  ReportTable::Num(online_cost / optimal.cost, 3),
+                  ReportTable::Num(replan_cost / optimal.cost, 3),
+                  std::to_string(replan.plans_computed())});
+  }
+  table.PrintAligned(std::cout);
+  std::cout << "\nExpected: both heuristics beat NAIVE on every stream; "
+               "REPLAN's lookahead wins on smoothly drifting rates, while "
+               "ONLINE's reactive rule handles on/off bursts better (rate "
+               "projections mislead the planner there) -- lookahead is "
+               "only as good as the forecast.\n";
+}
+
+}  // namespace
+}  // namespace abivm
+
+int main() {
+  abivm::Run();
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Shared fixture code for the figure-reproduction benches: builds the TPC
+// database + paper view, drives modification streams, and calibrates cost
+// functions from the live engine (measure -> fit -> simulate, exactly the
+// paper's methodology).
+
+#ifndef ABIVM_BENCH_BENCH_UTIL_H_
+#define ABIVM_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ivm/calibrator.h"
+#include "ivm/maintainer.h"
+#include "sim/engine_runner.h"
+#include "tpc/tpc_gen.h"
+#include "tpc/update_stream.h"
+#include "tpc/views.h"
+
+namespace abivm::bench {
+
+/// TPC database + the paper's MIN view (or the Figure-1 two-way join view)
+/// + the paper's update mix, ready to run.
+struct PaperFixture {
+  std::unique_ptr<Database> db;
+  std::unique_ptr<ViewMaintainer> maintainer;
+  std::unique_ptr<TpcUpdater> updater;
+  ModificationDriver driver;
+
+  /// view table order: 0 = partsupp, 1 = supplier (+ nation/region for the
+  /// 4-way view).
+  static PaperFixture Make(double scale_factor, uint64_t seed,
+                           bool four_way) {
+    PaperFixture fx;
+    fx.db = std::make_unique<Database>();
+    TpcGenOptions options;
+    options.scale_factor = scale_factor;
+    options.seed = seed;
+    GenerateTpcDatabase(fx.db.get(), options);
+    CreatePaperIndexes(fx.db.get());
+    fx.maintainer = std::make_unique<ViewMaintainer>(
+        fx.db.get(), four_way ? MakePaperMinView() : MakeTwoWayJoinView());
+    fx.updater = std::make_unique<TpcUpdater>(fx.db.get(), seed + 1);
+    TpcUpdater* updater = fx.updater.get();
+    ViewMaintainer* maintainer = fx.maintainer.get();
+    fx.driver = [updater, maintainer](size_t table_index) {
+      updater->ApplyPaperModification(
+          maintainer->binding().def().tables[table_index]);
+    };
+    return fx;
+  }
+
+  size_t n() const { return maintainer->num_tables(); }
+};
+
+/// Calibrated cost functions for the view's first two base tables (the
+/// modified ones in the paper's workloads).
+struct CalibratedCosts {
+  CalibrationResult table0;
+  CalibrationResult table1;
+};
+
+/// Drives `count` pending modifications into each of the view's first two
+/// base tables (without processing them) and calibrates both cost curves.
+inline CalibratedCosts CalibratePaperCosts(
+    PaperFixture& fx, size_t count, const std::vector<uint64_t>& batch_sizes,
+    int repetitions = 3) {
+  for (size_t i = 0; i < count; ++i) {
+    fx.driver(0);
+    fx.driver(1);
+  }
+  CalibratedCosts costs;
+  costs.table0 = CalibrateTableCost(*fx.maintainer, 0, batch_sizes,
+                                    CalibratorOptions{repetitions});
+  costs.table1 = CalibrateTableCost(*fx.maintainer, 1, batch_sizes,
+                                    CalibratorOptions{repetitions});
+  // Leave the fixture refreshed so follow-up experiments start clean.
+  fx.maintainer->RefreshAll();
+  return costs;
+}
+
+/// Cost model over the view's tables: fitted linear costs for partsupp and
+/// supplier; negligible placeholders for never-modified dimensions.
+inline CostModel ModelFromCalibration(const CalibratedCosts& costs,
+                                      size_t n) {
+  std::vector<CostFunctionPtr> fns;
+  fns.push_back(costs.table0.AsLinearCost());
+  fns.push_back(costs.table1.AsLinearCost());
+  for (size_t i = 2; i < n; ++i) {
+    fns.push_back(std::make_shared<LinearCost>(1e-6, 0.0));
+  }
+  return CostModel(std::move(fns));
+}
+
+/// Parses "--flag=value" style numeric flags (tiny helper; benches accept
+/// --sf, --seed, ... without a dependency on a flags library).
+inline double FlagOr(int argc, char** argv, const std::string& name,
+                     double fallback) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      return std::stod(arg.substr(prefix.size()));
+    }
+  }
+  return fallback;
+}
+
+}  // namespace abivm::bench
+
+#endif  // ABIVM_BENCH_BENCH_UTIL_H_

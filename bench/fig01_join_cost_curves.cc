@@ -1,0 +1,124 @@
+// Figure 1 + the introduction example.
+//
+// Part 1 reproduces Figure 1: the batch-maintenance cost functions of the
+// two delta tables of a two-way join R |x| S where one side's join column
+// is indexed and the other's is not. In our engine R = part (indexed
+// p_partkey) and S = partsupp (no index on ps_partkey):
+//   * partsupp deltas probe the part index     -> linear in batch size
+//     (the paper's c_dS, "indexed nested-loop join");
+//   * part deltas hash-scan partsupp           -> high fixed cost, almost
+//     flat in batch size (the paper's c_dR, "scanning S once").
+//
+// Part 2 reproduces the introduction's comparison: under a response-time
+// constraint set where the flat curve crosses it (the paper's 0.35 s at
+// ~600 modifications), the symmetric NAIVE strategy pays much more per
+// modification than an asymmetric plan that flushes the linear table
+// eagerly and batches the other.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "core/astar.h"
+#include "core/naive.h"
+#include "core/online.h"
+#include "sim/report.h"
+#include "sim/simulator.h"
+
+namespace abivm {
+namespace {
+
+void Run(int argc, char** argv) {
+  const double sf = bench::FlagOr(argc, argv, "sf", 0.05);
+  const auto seed = static_cast<uint64_t>(
+      bench::FlagOr(argc, argv, "seed", 42));
+
+  std::cout << "=== Figure 1: cost functions c_dR / c_dS over "
+            << "part |x| partsupp (sf=" << sf << ") ===\n";
+  std::cout << "(c_dS: partsupp deltas via part index, linear;\n"
+            << " c_dR: part deltas via partsupp scan, near-flat)\n\n";
+
+  bench::PaperFixture fx =
+      bench::PaperFixture::Make(sf, seed, /*four_way=*/false);
+  const std::vector<uint64_t> sizes = {1,   50,  100, 200, 300, 400,
+                                       500, 600, 700, 800, 900, 1000};
+  const bench::CalibratedCosts costs =
+      bench::CalibratePaperCosts(fx, 1000, sizes);
+
+  ReportTable table({"batch_size", "c_dS_partsupp_ms", "c_dR_part_ms"});
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    table.AddRow({std::to_string(sizes[i]),
+                  ReportTable::Num(costs.table0.samples[i].median_ms, 4),
+                  ReportTable::Num(costs.table1.samples[i].median_ms, 4)});
+  }
+  table.PrintAligned(std::cout);
+  std::cout << "\nlinear fits: c_dS ~ " << costs.table0.fit.slope
+            << "*k + " << costs.table0.fit.intercept
+            << "  (r2=" << costs.table0.fit.r_squared << ")\n"
+            << "             c_dR ~ " << costs.table1.fit.slope << "*k + "
+            << costs.table1.fit.intercept
+            << "  (r2=" << costs.table1.fit.r_squared << ")\n\n";
+
+  // ---- Part 2: the introduction example ----
+  // Two cost configurations (see EXPERIMENTS.md):
+  //   * "paper-digitized": the cost functions the paper publishes for its
+  //     Figure 1 (c_dS = 0.25k, c_dR rising to ~350 ms at 600 mods), with
+  //     the paper's constraint C = 0.35 s. The paper evaluates plans by
+  //     simulating against measured cost functions, so this reproduces
+  //     the introduction's 0.97 vs 0.42 ms/modification numbers exactly.
+  //   * "engine-calibrated": the functions fitted above from OUR engine.
+  auto run_intro = [&](const std::string& title, const CostModel& model,
+                       double budget) {
+    const TimeStep horizon = 3599;  // 1 modification per table per step
+    const ProblemInstance instance{
+        model, ArrivalSequence::Uniform({1, 1}, horizon), budget};
+    const Count total_mods = 2 * static_cast<Count>(horizon + 1);
+
+    NaivePolicy naive;
+    const Trace naive_trace =
+        Simulate(instance, naive, {.record_steps = false});
+    OnlinePolicy online;
+    const Trace online_trace =
+        Simulate(instance, online, {.record_steps = false});
+    const PlanSearchResult optimal = FindOptimalLgmPlan(instance);
+
+    std::cout << "=== Intro example [" << title
+              << "], C = " << ReportTable::Num(budget, 3) << " ms ===\n";
+    ReportTable intro({"strategy", "total_cost_ms", "ms_per_modification"});
+    auto add = [&](const std::string& name, double cost) {
+      intro.AddRow({name, ReportTable::Num(cost, 2),
+                    ReportTable::Num(
+                        cost / static_cast<double>(total_mods), 4)});
+    };
+    add("NAIVE (symmetric)", naive_trace.total_cost);
+    add("ONLINE (asymmetric)", online_trace.total_cost);
+    add("OPT_LGM (asymmetric)", optimal.cost);
+    intro.PrintAligned(std::cout);
+    std::cout << "\n";
+  };
+
+  {
+    std::vector<CostFunctionPtr> paper_fns = {
+        MakePaperFig1LinearSideCost(), MakePaperFig1ScanSideCost()};
+    run_intro("paper-digitized cost functions",
+              CostModel(std::move(paper_fns)), kPaperFig1BudgetMs);
+    std::cout << "Paper's numbers: NAIVE 0.97 ms/mod, asymmetric "
+                 "0.42 ms/mod -- the rows above must match closely.\n\n";
+  }
+  {
+    const CostModel model = bench::ModelFromCalibration(costs, 2);
+    run_intro("engine-calibrated cost functions", model,
+              model.Cost(1, 600));
+    std::cout << "Engine-calibrated note: our in-memory scan side is "
+                 "less flat than the paper's disk-based system, so the "
+                 "asymmetric gain is smaller but same-signed.\n";
+  }
+}
+
+}  // namespace
+}  // namespace abivm
+
+int main(int argc, char** argv) {
+  abivm::Run(argc, argv);
+  return 0;
+}

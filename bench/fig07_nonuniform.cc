@@ -1,0 +1,120 @@
+// Figure 7: non-uniform modification arrivals.
+//
+// Four stream types from Section 5 -- slow/stable (SS), slow/unstable
+// (SU), fast/stable (FS), fast/unstable (FU) -- generated per table with
+// P{any arrival} = p and counts ~ ceil(N(mu, sigma^2)) | > 0:
+//   slow p = 0.5, fast p = 0.9; stable sigma = 1, unstable sigma = 5;
+//   mu = 1. Refresh at T = 1000.
+// Like Figure 6, two cost configurations are reported: the paper's
+// digitized Figure-1 functions and our engine-calibrated functions. Paper's shape to reproduce: NAIVE worst on all four streams;
+// ONLINE close to OPT_LGM on stable streams, with a visible gap on
+// unstable streams due to TimeToFull prediction error.
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "core/astar.h"
+#include "core/naive.h"
+#include "core/online.h"
+#include "core/plan_policies.h"
+#include "sim/report.h"
+#include "sim/simulator.h"
+#include "tpc/arrivals_gen.h"
+
+namespace abivm {
+namespace {
+
+struct Stream {
+  const char* label;
+  double p;
+  double sigma;
+};
+
+constexpr Stream kStreams[] = {{"SS", 0.5, 1.0},
+                               {"SU", 0.5, 5.0},
+                               {"FS", 0.9, 1.0},
+                               {"FU", 0.9, 5.0}};
+
+void RunConfig(const std::string& title, const CostModel& model,
+               double budget, TimeStep horizon, uint64_t seed) {
+  std::cout << "--- " << title << " (C = " << ReportTable::Num(budget, 2)
+            << " ms, T = " << horizon << ") ---\n";
+  ReportTable table({"stream", "NAIVE", "OPT_LGM", "ADAPT(T0=500)",
+                     "ONLINE", "NAIVE/OPT", "ONLINE/OPT"});
+  for (const Stream& stream : kStreams) {
+    Rng rng(seed + static_cast<uint64_t>(stream.p * 10) +
+            static_cast<uint64_t>(stream.sigma));
+    const ArrivalSequence arrivals = MakePaperNonUniformArrivals(
+        2, horizon, stream.p, /*mu=*/1.0, stream.sigma, rng);
+    const ProblemInstance instance{model, arrivals, budget};
+
+    NaivePolicy naive;
+    const double naive_cost =
+        Simulate(instance, naive, {.record_steps = false}).total_cost;
+    const PlanSearchResult optimal = FindOptimalLgmPlan(instance);
+    // ADAPT: plan optimized on the same stream truncated at T0 = 500,
+    // then executed against the full stream.
+    const TimeStep t0 = std::min<TimeStep>(500, horizon);
+    const ProblemInstance base{model, arrivals.Truncate(t0), budget};
+    AdaptPolicy adapt(FindOptimalLgmPlan(base).plan);
+    const double adapt_cost =
+        Simulate(instance, adapt, {.record_steps = false}).total_cost;
+    OnlinePolicy online;
+    const double online_cost =
+        Simulate(instance, online, {.record_steps = false}).total_cost;
+
+    table.AddRow({stream.label, ReportTable::Num(naive_cost, 2),
+                  ReportTable::Num(optimal.cost, 2),
+                  ReportTable::Num(adapt_cost, 2),
+                  ReportTable::Num(online_cost, 2),
+                  ReportTable::Num(naive_cost / optimal.cost, 3),
+                  ReportTable::Num(online_cost / optimal.cost, 3)});
+  }
+  table.PrintAligned(std::cout);
+  std::cout << "\n";
+}
+
+void Run(int argc, char** argv) {
+  const double sf = bench::FlagOr(argc, argv, "sf", 0.02);
+  const auto seed =
+      static_cast<uint64_t>(bench::FlagOr(argc, argv, "seed", 42));
+  const auto horizon =
+      static_cast<TimeStep>(bench::FlagOr(argc, argv, "t", 1000));
+
+  std::cout << "=== Figure 7: non-uniform arrivals ===\n\n";
+
+  {
+    std::vector<CostFunctionPtr> fns = {MakePaperFig1LinearSideCost(),
+                                        MakePaperFig1ScanSideCost()};
+    // The paper raises C from 12 s to 20 s between its two experiments
+    // because the non-uniform streams are heavier; our digitized Figure-1
+    // functions already interact non-trivially with C = 350 ms (the scan
+    // side's plateau sits just above it), so we keep that constraint.
+    RunConfig("paper-digitized cost functions",
+              CostModel(std::move(fns)), kPaperFig1BudgetMs, horizon,
+              seed);
+  }
+  {
+    bench::PaperFixture fx =
+        bench::PaperFixture::Make(sf, seed, /*four_way=*/true);
+    const bench::CalibratedCosts costs = bench::CalibratePaperCosts(
+        fx, 600, {1, 25, 50, 100, 200, 400, 600});
+    const CostModel model = bench::ModelFromCalibration(costs, 2);
+    RunConfig("engine-calibrated cost functions (4-way MIN view, sf=" +
+                  ReportTable::Num(sf, 3) + ")",
+              model, model.TotalCost({42, 42}), horizon, seed);
+  }
+  std::cout << "Paper's shape: NAIVE outperformed on all four streams; "
+               "ONLINE near-optimal on stable streams (SS, FS), larger "
+               "gap on unstable ones (SU, FU) from TimeToFull prediction "
+               "error.\n";
+}
+
+}  // namespace
+}  // namespace abivm
+
+int main(int argc, char** argv) {
+  abivm::Run(argc, argv);
+  return 0;
+}

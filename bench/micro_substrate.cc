@@ -1,0 +1,120 @@
+// google-benchmark micro-benchmarks of the substrate: join operators,
+// batch maintenance, and the A* planner.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "core/astar.h"
+#include "exec/operators.h"
+
+namespace abivm {
+namespace {
+
+bench::PaperFixture& SharedFixture() {
+  static bench::PaperFixture* fx = [] {
+    auto* fixture = new bench::PaperFixture(
+        bench::PaperFixture::Make(0.005, 42, /*four_way=*/true));
+    return fixture;
+  }();
+  return *fx;
+}
+
+void BM_IndexNestedLoopJoin(benchmark::State& state) {
+  bench::PaperFixture& fx = SharedFixture();
+  const Table& partsupp = fx.db->table(kPartSupp);
+  const Table& supplier = fx.db->table(kSupplier);
+  // A batch of partsupp rows joined against the supplier index.
+  ExecStats stats;
+  DeltaBatch batch = ScanToBatch(partsupp, 0, &stats);
+  batch.resize(static_cast<size_t>(state.range(0)));
+  const size_t key = partsupp.schema().ColumnIndex("ps_suppkey");
+  for (auto _ : state) {
+    ExecStats s;
+    benchmark::DoNotOptimize(
+        JoinBatchWithTable(batch, key, supplier, 0, {3}, 0, &s));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(batch.size()));
+}
+BENCHMARK(BM_IndexNestedLoopJoin)->Arg(16)->Arg(256)->Arg(1024);
+
+void BM_HashJoinScan(benchmark::State& state) {
+  bench::PaperFixture& fx = SharedFixture();
+  const Table& partsupp = fx.db->table(kPartSupp);
+  const Table& supplier = fx.db->table(kSupplier);
+  // A batch of supplier rows joined against partsupp (no index: scan).
+  ExecStats stats;
+  DeltaBatch batch = ScanToBatch(supplier, 0, &stats);
+  batch.resize(std::min<size_t>(batch.size(),
+                                static_cast<size_t>(state.range(0))));
+  const size_t ps_key = partsupp.schema().ColumnIndex("ps_suppkey");
+  for (auto _ : state) {
+    ExecStats s;
+    benchmark::DoNotOptimize(
+        JoinBatchWithTable(batch, 0, partsupp, ps_key, {3}, 0, &s));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(batch.size()));
+}
+BENCHMARK(BM_HashJoinScan)->Arg(1)->Arg(16)->Arg(50);
+
+void BM_ProcessBatchPartsupp(benchmark::State& state) {
+  bench::PaperFixture& fx = SharedFixture();
+  const auto k = static_cast<size_t>(state.range(0));
+  while (fx.maintainer->PendingCount(0) < k) {
+    fx.updater->UpdatePartSuppSupplycost();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fx.maintainer->ProcessBatch(0, k, /*dry_run=*/true));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(k));
+}
+BENCHMARK(BM_ProcessBatchPartsupp)->Arg(1)->Arg(64)->Arg(512);
+
+void BM_ProcessBatchSupplier(benchmark::State& state) {
+  bench::PaperFixture& fx = SharedFixture();
+  const auto k = static_cast<size_t>(state.range(0));
+  while (fx.maintainer->PendingCount(1) < k) {
+    fx.updater->UpdateSupplierNationkey();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fx.maintainer->ProcessBatch(1, k, /*dry_run=*/true));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(k));
+}
+BENCHMARK(BM_ProcessBatchSupplier)->Arg(1)->Arg(16)->Arg(64);
+
+void BM_AStarPlanner(benchmark::State& state) {
+  std::vector<CostFunctionPtr> fns = {
+      std::make_shared<LinearCost>(0.3, 0.5),
+      std::make_shared<LinearCost>(0.2, 6.0)};
+  const ProblemInstance instance{
+      CostModel(std::move(fns)),
+      ArrivalSequence::Uniform({1, 1}, state.range(0)), 15.0};
+  uint64_t nodes = 0;
+  for (auto _ : state) {
+    const PlanSearchResult result = FindOptimalLgmPlan(instance);
+    nodes += result.nodes_expanded;
+    benchmark::DoNotOptimize(result.cost);
+  }
+  state.counters["nodes/run"] =
+      static_cast<double>(nodes) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_AStarPlanner)->Arg(100)->Arg(400)->Arg(1600);
+
+void BM_RecomputeFromScratch(benchmark::State& state) {
+  bench::PaperFixture& fx = SharedFixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.maintainer->RecomputeAtWatermarks());
+  }
+}
+BENCHMARK(BM_RecomputeFromScratch);
+
+}  // namespace
+}  // namespace abivm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,121 @@
+// Data-warehouse scenario: a sales summary view (SUM of order totals per
+// market segment) maintained under deferred/batch maintenance while order
+// streams arrive in bursts (business hours) separated by quiet periods.
+// Compares the symmetric NAIVE strategy against ONLINE and a precomputed
+// optimal LGM plan on the same workload.
+//
+// Build & run:  ./build/examples/warehouse_refresh
+
+#include <iostream>
+#include <memory>
+
+#include "core/astar.h"
+#include "core/naive.h"
+#include "core/online.h"
+#include "core/plan_policies.h"
+#include "sim/engine_runner.h"
+#include "sim/report.h"
+#include "tpc/arrivals_gen.h"
+#include "tpc/tpc_gen.h"
+#include "tpc/update_stream.h"
+#include "tpc/views.h"
+
+using namespace abivm;  // examples only
+
+namespace {
+
+struct Warehouse {
+  std::unique_ptr<Database> db = std::make_unique<Database>();
+  std::unique_ptr<ViewMaintainer> view;
+  std::unique_ptr<TpcUpdater> updater;
+
+  Warehouse() {
+    TpcGenOptions gen;
+    gen.scale_factor = 0.002;
+    gen.include_sales_pipeline = true;
+    GenerateTpcDatabase(db.get(), gen);
+    db->table(kCustomer).CreateHashIndex("c_custkey");
+    view = std::make_unique<ViewMaintainer>(db.get(),
+                                            MakeSalesBySegmentView());
+    updater = std::make_unique<TpcUpdater>(db.get(), 7);
+  }
+
+  ModificationDriver Driver() {
+    return [this](size_t table_index) {
+      if (table_index == 0) {
+        updater->InsertOrder();  // orders is the view's table 0
+      } else {
+        updater->UpdateCustomerSegment();
+      }
+    };
+  }
+};
+
+}  // namespace
+
+int main() {
+  // Bursty arrivals: 8 steps of load (5 orders + 1 customer change per
+  // step), then 16 quiet steps; one business week of 480 steps.
+  const TimeStep horizon = 479;
+  ArrivalSequence orders_bursts =
+      MakeBurstyArrivals(1, horizon, /*on=*/8, /*off=*/16, /*rate_on=*/5);
+  std::vector<StateVec> steps;
+  for (TimeStep t = 0; t <= horizon; ++t) {
+    const Count orders = orders_bursts.At(t)[0];
+    steps.push_back({orders, orders > 0 ? Count{1} : Count{0}});
+  }
+  const ArrivalSequence arrivals{std::move(steps)};
+
+  // Cost model: order deltas probe the customer index (per-item);
+  // customer deltas scan orders (setup-heavy, batchable).
+  std::vector<CostFunctionPtr> fns = {
+      std::make_shared<LinearCost>(0.05, 0.05),
+      std::make_shared<LinearCost>(0.02, 3.0)};
+  const CostModel model(std::move(fns));
+  const double budget_c = 6.0;
+  const ProblemInstance instance{model, arrivals, budget_c};
+
+  ReportTable table({"strategy", "modelled_cost", "engine_ms", "actions",
+                     "violations"});
+  auto run = [&](Policy& policy, const std::string& name) {
+    Warehouse warehouse;
+    const ModificationDriver driver = warehouse.Driver();
+    const EngineTrace trace = RunOnEngine(*warehouse.view, arrivals, model,
+                                          budget_c, policy, driver);
+    table.AddRow({name, ReportTable::Num(trace.total_model_cost, 2),
+                  ReportTable::Num(trace.total_actual_ms, 2),
+                  std::to_string(trace.action_count),
+                  std::to_string(trace.violations)});
+    // Show the final content once (identical across strategies).
+    if (name == "NAIVE") {
+      std::cout << "final view content (SUM(o_totalprice) by segment):\n";
+      for (const auto& [key, group] : warehouse.view->state().Snapshot()) {
+        std::cout << "  " << key[0].AsString() << ": "
+                  << ReportTable::Num(group.sum, 0) << " (" << group.count
+                  << " orders)\n";
+      }
+      std::cout << "\n";
+    }
+  };
+
+  {
+    NaivePolicy naive;
+    run(naive, "NAIVE");
+  }
+  {
+    OnlinePolicy online;
+    run(online, "ONLINE");
+  }
+  {
+    const PlanSearchResult optimal = FindOptimalLgmPlan(instance);
+    PrecomputedPlanPolicy policy(optimal.plan, "OPT_LGM");
+    run(policy, "OPT_LGM");
+  }
+  table.PrintAligned(std::cout);
+  std::cout << "\nAll strategies refresh the same view and respect the "
+               "response-time budget C = "
+            << budget_c
+            << "; the asymmetric ones batch the scan-heavy customer "
+               "deltas across bursts and pay less.\n";
+  return 0;
+}

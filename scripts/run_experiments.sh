@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Regenerates every paper figure and ablation into bench_output.txt and
+# the full test log into test_output.txt (repository root).
+set -u
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja && cmake --build build || exit 1
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] && { echo "##### $(basename "$b")"; "$b"; }
+done 2>&1 | tee bench_output.txt

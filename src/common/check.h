@@ -1,0 +1,70 @@
+// Lightweight invariant-checking macros used throughout ABIVM.
+//
+// ABIVM_CHECK* macros are always on (they guard data-structure invariants
+// whose violation would silently corrupt results); ABIVM_DCHECK* compiles
+// out in NDEBUG builds and is used on hot paths.
+
+#ifndef ABIVM_COMMON_CHECK_H_
+#define ABIVM_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace abivm::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& message) {
+  std::fprintf(stderr, "ABIVM_CHECK failed at %s:%d: %s %s\n", file, line,
+               expr, message.c_str());
+  std::abort();
+}
+
+}  // namespace abivm::internal
+
+#define ABIVM_CHECK(expr)                                             \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::abivm::internal::CheckFailed(__FILE__, __LINE__, #expr, "");  \
+    }                                                                 \
+  } while (0)
+
+#define ABIVM_CHECK_MSG(expr, msg)                                    \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      std::ostringstream abivm_oss_;                                  \
+      abivm_oss_ << "(" << msg << ")";                                \
+      ::abivm::internal::CheckFailed(__FILE__, __LINE__, #expr,       \
+                                     abivm_oss_.str());               \
+    }                                                                 \
+  } while (0)
+
+#define ABIVM_CHECK_OP(op, a, b)                                      \
+  do {                                                                \
+    if (!((a)op(b))) {                                                \
+      std::ostringstream abivm_oss_;                                  \
+      abivm_oss_ << "(" << (a) << " vs " << (b) << ")";               \
+      ::abivm::internal::CheckFailed(__FILE__, __LINE__,              \
+                                     #a " " #op " " #b,               \
+                                     abivm_oss_.str());               \
+    }                                                                 \
+  } while (0)
+
+#define ABIVM_CHECK_EQ(a, b) ABIVM_CHECK_OP(==, a, b)
+#define ABIVM_CHECK_NE(a, b) ABIVM_CHECK_OP(!=, a, b)
+#define ABIVM_CHECK_LT(a, b) ABIVM_CHECK_OP(<, a, b)
+#define ABIVM_CHECK_LE(a, b) ABIVM_CHECK_OP(<=, a, b)
+#define ABIVM_CHECK_GT(a, b) ABIVM_CHECK_OP(>, a, b)
+#define ABIVM_CHECK_GE(a, b) ABIVM_CHECK_OP(>=, a, b)
+
+#ifdef NDEBUG
+#define ABIVM_DCHECK(expr) \
+  do {                     \
+  } while (0)
+#else
+#define ABIVM_DCHECK(expr) ABIVM_CHECK(expr)
+#endif
+
+#endif  // ABIVM_COMMON_CHECK_H_

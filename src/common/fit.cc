@@ -1,0 +1,53 @@
+#include "common/fit.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace abivm {
+
+LinearFit FitLinear(const std::vector<double>& xs,
+                    const std::vector<double>& ys) {
+  ABIVM_CHECK_EQ(xs.size(), ys.size());
+  ABIVM_CHECK_GE(xs.size(), 2u);
+  const double n = static_cast<double>(xs.size());
+  double sum_x = 0.0, sum_y = 0.0, sum_xx = 0.0, sum_xy = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    sum_x += xs[i];
+    sum_y += ys[i];
+    sum_xx += xs[i] * xs[i];
+    sum_xy += xs[i] * ys[i];
+  }
+  const double denom = n * sum_xx - sum_x * sum_x;
+  ABIVM_CHECK_MSG(denom != 0.0, "FitLinear needs >= 2 distinct x values");
+
+  LinearFit fit;
+  fit.slope = (n * sum_xy - sum_x * sum_y) / denom;
+  fit.intercept = (sum_y - fit.slope * sum_x) / n;
+
+  const double mean_y = sum_y / n;
+  double ss_tot = 0.0, ss_res = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double pred = fit.slope * xs[i] + fit.intercept;
+    ss_res += (ys[i] - pred) * (ys[i] - pred);
+    ss_tot += (ys[i] - mean_y) * (ys[i] - mean_y);
+  }
+  fit.r_squared = ss_tot == 0.0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return fit;
+}
+
+double Median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  const size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  double result = values[mid];
+  if (values.size() % 2 == 0) {
+    const double below =
+        *std::max_element(values.begin(), values.begin() + mid);
+    result = (result + below) / 2.0;
+  }
+  return result;
+}
+
+}  // namespace abivm

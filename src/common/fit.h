@@ -1,0 +1,29 @@
+// Small numeric fitting helpers used by cost-model calibration.
+
+#ifndef ABIVM_COMMON_FIT_H_
+#define ABIVM_COMMON_FIT_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace abivm {
+
+/// Result of an ordinary-least-squares fit y ~ slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination in [0, 1] (1 = perfect fit).
+  double r_squared = 0.0;
+};
+
+/// Ordinary least squares over paired samples. Requires xs.size() ==
+/// ys.size() and at least two distinct x values.
+LinearFit FitLinear(const std::vector<double>& xs,
+                    const std::vector<double>& ys);
+
+/// Median of a sample (sorting a copy); empty input returns 0.
+double Median(std::vector<double> values);
+
+}  // namespace abivm
+
+#endif  // ABIVM_COMMON_FIT_H_

@@ -1,0 +1,42 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace abivm {
+
+double Rng::Normal(double mean, double stddev) {
+  // Box-Muller; guard against log(0).
+  double u1 = UniformDouble();
+  while (u1 <= 0.0) u1 = UniformDouble();
+  const double u2 = UniformDouble();
+  const double z =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  return mean + stddev * z;
+}
+
+uint64_t Rng::Poisson(double mean) {
+  ABIVM_CHECK_GE(mean, 0.0);
+  if (mean == 0.0) return 0;
+  if (mean < 60.0) {
+    const double limit = std::exp(-mean);
+    double product = UniformDouble();
+    uint64_t count = 0;
+    while (product > limit) {
+      ++count;
+      product *= UniformDouble();
+    }
+    return count;
+  }
+  const double value = Normal(mean, std::sqrt(mean));
+  return value <= 0.0 ? 0 : static_cast<uint64_t>(std::llround(value));
+}
+
+std::string Rng::AlphaString(size_t length) {
+  std::string out(length, 'a');
+  for (char& c : out) {
+    c = static_cast<char>('a' + UniformInt(0, 25));
+  }
+  return out;
+}
+
+}  // namespace abivm

@@ -1,0 +1,92 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in ABIVM (data generation, update streams, test instance
+// generation) flows through Rng so experiments are reproducible from a
+// seed. The core generator is xoshiro256**, seeded via SplitMix64.
+
+#ifndef ABIVM_COMMON_RANDOM_H_
+#define ABIVM_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/check.h"
+
+namespace abivm {
+
+/// SplitMix64 step; used for seeding and as a cheap stateless hash.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Deterministic xoshiro256** PRNG.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : s_) word = SplitMix64(sm);
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    ABIVM_DCHECK(lo <= hi);
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    // Rejection sampling to avoid modulo bias (matters for small spans
+    // repeated billions of times less than correctness tests care, but it
+    // is cheap).
+    const uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+    uint64_t v = Next();
+    while (v >= limit) v = Next();
+    return lo + static_cast<int64_t>(v % span);
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return lo + (hi - lo) * UniformDouble();
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Standard normal via Box-Muller (one value per call; simple over fast).
+  double Normal(double mean, double stddev);
+
+  /// Poisson-distributed count with the given mean (Knuth for small means,
+  /// normal approximation above 60).
+  uint64_t Poisson(double mean);
+
+  /// Random lowercase alphabetic string of the given length.
+  std::string AlphaString(size_t length);
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+};
+
+}  // namespace abivm
+
+#endif  // ABIVM_COMMON_RANDOM_H_

@@ -1,0 +1,130 @@
+// Minimal Status / Result<T> error-handling vocabulary (no exceptions),
+// in the spirit of absl::Status / arrow::Result.
+
+#ifndef ABIVM_COMMON_STATUS_H_
+#define ABIVM_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace abivm {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kUnimplemented,
+};
+
+/// A success-or-error value. Cheap to copy on the success path.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status OutOfRange(std::string m) {
+    return Status(StatusCode::kOutOfRange, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status Unimplemented(std::string m) {
+    return Status(StatusCode::kUnimplemented, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return CodeName(code_) + ": " + message_;
+  }
+
+ private:
+  static std::string CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk:
+        return "OK";
+      case StatusCode::kInvalidArgument:
+        return "InvalidArgument";
+      case StatusCode::kNotFound:
+        return "NotFound";
+      case StatusCode::kOutOfRange:
+        return "OutOfRange";
+      case StatusCode::kFailedPrecondition:
+        return "FailedPrecondition";
+      case StatusCode::kInternal:
+        return "Internal";
+      case StatusCode::kUnimplemented:
+        return "Unimplemented";
+    }
+    return "Unknown";
+  }
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Holds either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): by-design implicit, like
+  // arrow::Result, so `return value;` works in functions returning Result.
+  Result(T value) : value_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {
+    ABIVM_CHECK_MSG(!status_.ok(), "Result constructed from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    ABIVM_CHECK_MSG(ok(), status_.ToString());
+    return *value_;
+  }
+  T& value() & {
+    ABIVM_CHECK_MSG(ok(), status_.ToString());
+    return *value_;
+  }
+  T&& value() && {
+    ABIVM_CHECK_MSG(ok(), status_.ToString());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+#define ABIVM_RETURN_NOT_OK(expr)          \
+  do {                                     \
+    ::abivm::Status abivm_status_ = (expr); \
+    if (!abivm_status_.ok()) return abivm_status_; \
+  } while (0)
+
+}  // namespace abivm
+
+#endif  // ABIVM_COMMON_STATUS_H_

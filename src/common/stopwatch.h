@@ -1,0 +1,30 @@
+// Wall-clock stopwatch for cost calibration and benchmarks.
+
+#ifndef ABIVM_COMMON_STOPWATCH_H_
+#define ABIVM_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace abivm {
+
+/// Measures elapsed wall-clock time in milliseconds (double precision).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Milliseconds elapsed since construction or last Reset().
+  double ElapsedMs() const {
+    const auto delta = Clock::now() - start_;
+    return std::chrono::duration<double, std::milli>(delta).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace abivm
+
+#endif  // ABIVM_COMMON_STOPWATCH_H_

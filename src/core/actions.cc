@@ -1,0 +1,120 @@
+#include "core/actions.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace abivm {
+
+namespace {
+
+// Indices of delta tables with pending modifications.
+std::vector<size_t> NonEmptyComponents(const StateVec& state) {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < state.size(); ++i) {
+    if (state[i] > 0) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<StateVec> EnumerateMinimalGreedyActions(
+    const CostModel& model, double budget, const StateVec& pre_state) {
+  ABIVM_CHECK_MSG(model.IsFull(pre_state, budget),
+                  "EnumerateMinimalGreedyActions requires a full state");
+  const std::vector<size_t> candidates = NonEmptyComponents(pre_state);
+  const size_t m = candidates.size();
+  ABIVM_CHECK_LE(m, kMaxEnumerationTables);
+
+  // Per-candidate flush cost f_i(s_i) and their sum. For a subset S of
+  // flushed tables the residual refresh cost is total - sum_{i in S} cost_i
+  // (tables outside `candidates` are empty and contribute 0).
+  std::vector<double> costs(m);
+  double total = 0.0;
+  for (size_t j = 0; j < m; ++j) {
+    costs[j] = model.Cost(candidates[j], pre_state[candidates[j]]);
+    total += costs[j];
+  }
+
+  std::vector<StateVec> result;
+  const uint64_t subset_count = uint64_t{1} << m;
+  for (uint64_t mask = 1; mask < subset_count; ++mask) {
+    double flushed = 0.0;
+    for (size_t j = 0; j < m; ++j) {
+      if (mask & (uint64_t{1} << j)) flushed += costs[j];
+    }
+    const double residue = total - flushed;
+    if (residue > budget) continue;  // not valid
+    // Minimal: removing any single flushed table must break the budget.
+    bool minimal = true;
+    for (size_t j = 0; j < m && minimal; ++j) {
+      if ((mask & (uint64_t{1} << j)) && residue + costs[j] <= budget) {
+        minimal = false;
+      }
+    }
+    if (!minimal) continue;
+    StateVec action = ZeroVec(pre_state.size());
+    for (size_t j = 0; j < m; ++j) {
+      if (mask & (uint64_t{1} << j)) {
+        action[candidates[j]] = pre_state[candidates[j]];
+      }
+    }
+    result.push_back(std::move(action));
+  }
+  ABIVM_CHECK_MSG(!result.empty(),
+                  "full state must admit at least one minimal action");
+  return result;
+}
+
+StateVec MinimizeAction(const CostModel& model, double budget,
+                        const StateVec& pre_state, const StateVec& action) {
+  ABIVM_CHECK_EQ(pre_state.size(), action.size());
+  StateVec current = action;
+  for (size_t i = 0; i < action.size(); ++i) {
+    ABIVM_CHECK_MSG(action[i] == 0 || action[i] == pre_state[i],
+                    "MinimizeAction requires a greedy action");
+  }
+  ABIVM_CHECK_MSG(
+      model.TotalCost(SubVec(pre_state, current)) <= budget,
+      "MinimizeAction requires a valid input action");
+
+  // Try dropping the most expensive flushes first.
+  std::vector<size_t> order;
+  for (size_t i = 0; i < current.size(); ++i) {
+    if (current[i] != 0) order.push_back(i);
+  }
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    const double ca = model.Cost(a, current[a]);
+    const double cb = model.Cost(b, current[b]);
+    if (ca != cb) return ca > cb;
+    return a < b;
+  });
+  for (size_t i : order) {
+    StateVec trial = current;
+    trial[i] = 0;
+    if (model.TotalCost(SubVec(pre_state, trial)) <= budget) {
+      current = std::move(trial);
+    }
+  }
+  return current;
+}
+
+StateVec CheapestMinimalGreedyAction(const CostModel& model, double budget,
+                                     const StateVec& pre_state) {
+  const std::vector<StateVec> options =
+      EnumerateMinimalGreedyActions(model, budget, pre_state);
+  const StateVec* best = &options[0];
+  double best_cost = model.TotalCost(options[0]);
+  for (const StateVec& option : options) {
+    const double cost = model.TotalCost(option);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = &option;
+    }
+  }
+  return *best;
+}
+
+}  // namespace abivm

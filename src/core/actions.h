@@ -1,0 +1,45 @@
+// Greedy/minimal action machinery (Section 3.2): enumerating the candidate
+// actions an LGM plan may take at a full pre-action state, and the
+// MinimizeAction helper used by the MakeLgmPlan construction.
+
+#ifndef ABIVM_CORE_ACTIONS_H_
+#define ABIVM_CORE_ACTIONS_H_
+
+#include <vector>
+
+#include "core/cost_model.h"
+#include "core/types.h"
+
+namespace abivm {
+
+/// Maximum number of delta tables supported by subset enumeration. The
+/// paper's own implementation enumerates up to 2^n - 1 subsets and notes
+/// "n is typically a very small constant, e.g., n <= 5".
+inline constexpr size_t kMaxEnumerationTables = 20;
+
+/// All *minimal* valid greedy actions at a full pre-action state: each
+/// returned action empties some subset S of the non-empty delta tables,
+/// satisfies f(pre_state - action) <= budget, and no proper subset of S
+/// would. Results are deterministic (subsets in increasing bitmask order).
+/// Requires f(pre_state) > budget (state actually full).
+std::vector<StateVec> EnumerateMinimalGreedyActions(const CostModel& model,
+                                                    double budget,
+                                                    const StateVec& pre_state);
+
+/// Shrinks a greedy action (components equal to pre_state[i] or 0) to a
+/// minimal one emptying a subset of the tables it empties, while keeping
+/// f(pre_state - action) <= budget (the paper's MINIMIZEACTION). Components
+/// are dropped greedily in decreasing order of their processing cost
+/// f_i(pre_state[i]) (ties by lower index), which deterministically avoids
+/// paying large costs that the budget does not force us to pay.
+StateVec MinimizeAction(const CostModel& model, double budget,
+                        const StateVec& pre_state, const StateVec& action);
+
+/// The cheapest (by f(q)) minimal valid greedy action at a full state;
+/// convenience for defensive fallbacks. Ties broken by enumeration order.
+StateVec CheapestMinimalGreedyAction(const CostModel& model, double budget,
+                                     const StateVec& pre_state);
+
+}  // namespace abivm
+
+#endif  // ABIVM_CORE_ACTIONS_H_

@@ -1,0 +1,84 @@
+#include "core/arrivals.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace abivm {
+
+ArrivalSequence::ArrivalSequence(std::vector<StateVec> per_step)
+    : per_step_(std::move(per_step)) {
+  ABIVM_CHECK_MSG(!per_step_.empty(), "arrival sequence must be non-empty");
+  n_ = per_step_[0].size();
+  ABIVM_CHECK_GE(n_, size_t{1});
+  horizon_ = static_cast<TimeStep>(per_step_.size()) - 1;
+
+  cumulative_.reserve(per_step_.size() + 1);
+  cumulative_.push_back(ZeroVec(n_));
+  max_step_ = ZeroVec(n_);
+  for (const StateVec& d : per_step_) {
+    ABIVM_CHECK_EQ(d.size(), n_);
+    cumulative_.push_back(AddVec(cumulative_.back(), d));
+    for (size_t i = 0; i < n_; ++i) {
+      max_step_[i] = std::max(max_step_[i], d[i]);
+    }
+  }
+}
+
+ArrivalSequence ArrivalSequence::Uniform(const StateVec& rates,
+                                         TimeStep horizon_t) {
+  ABIVM_CHECK_GE(horizon_t, 0);
+  return ArrivalSequence(std::vector<StateVec>(
+      static_cast<size_t>(horizon_t) + 1, rates));
+}
+
+const StateVec& ArrivalSequence::At(TimeStep t) const {
+  ABIVM_CHECK_GE(t, 0);
+  ABIVM_CHECK_LE(t, horizon_);
+  return per_step_[static_cast<size_t>(t)];
+}
+
+Count ArrivalSequence::RangeSum(TimeStep t1, TimeStep t2, size_t i) const {
+  if (t1 > t2) return 0;
+  t1 = std::max<TimeStep>(t1, 0);
+  ABIVM_CHECK_LE(t2, horizon_);
+  ABIVM_CHECK_LT(i, n_);
+  return cumulative_[static_cast<size_t>(t2) + 1][i] -
+         cumulative_[static_cast<size_t>(t1)][i];
+}
+
+StateVec ArrivalSequence::RangeSumVec(TimeStep t1, TimeStep t2) const {
+  StateVec out(n_, 0);
+  if (t1 > t2) return out;
+  for (size_t i = 0; i < n_; ++i) out[i] = RangeSum(t1, t2, i);
+  return out;
+}
+
+Count ArrivalSequence::MaxStepArrival(size_t i) const {
+  ABIVM_CHECK_LT(i, n_);
+  return max_step_[i];
+}
+
+Count ArrivalSequence::Total(size_t i) const {
+  return RangeSum(0, horizon_, i);
+}
+
+ArrivalSequence ArrivalSequence::RepeatTo(TimeStep new_horizon) const {
+  ABIVM_CHECK_GE(new_horizon, 0);
+  std::vector<StateVec> steps;
+  steps.reserve(static_cast<size_t>(new_horizon) + 1);
+  const size_t period = per_step_.size();
+  for (TimeStep t = 0; t <= new_horizon; ++t) {
+    steps.push_back(per_step_[static_cast<size_t>(t) % period]);
+  }
+  return ArrivalSequence(std::move(steps));
+}
+
+ArrivalSequence ArrivalSequence::Truncate(TimeStep new_horizon) const {
+  ABIVM_CHECK_GE(new_horizon, 0);
+  ABIVM_CHECK_LE(new_horizon, horizon_);
+  return ArrivalSequence(std::vector<StateVec>(
+      per_step_.begin(),
+      per_step_.begin() + static_cast<size_t>(new_horizon) + 1));
+}
+
+}  // namespace abivm

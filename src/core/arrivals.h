@@ -1,0 +1,64 @@
+// The modification arrival sequence d_0 .. d_T (Section 2), with prefix
+// sums so planners can query range totals in O(n).
+
+#ifndef ABIVM_CORE_ARRIVALS_H_
+#define ABIVM_CORE_ARRIVALS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.h"
+
+namespace abivm {
+
+/// Immutable arrival sequence over the horizon [0, T] for n delta tables.
+class ArrivalSequence {
+ public:
+  /// `per_step[t][i]` = number of modifications to table i arriving at t.
+  /// Requires a non-empty outer vector with uniform inner dimension >= 1.
+  explicit ArrivalSequence(std::vector<StateVec> per_step);
+
+  /// Uniform arrivals: `rates[i]` modifications to table i at every step of
+  /// a horizon with T+1 steps (t = 0..T). Used by the Figure 6 experiment
+  /// ("one PartSupp update and one Supplier update arrive at every step").
+  static ArrivalSequence Uniform(const StateVec& rates, TimeStep horizon_t);
+
+  size_t n() const { return n_; }
+  /// The refresh time T; steps are t = 0..T inclusive.
+  TimeStep horizon() const { return horizon_; }
+
+  /// d_t.
+  const StateVec& At(TimeStep t) const;
+
+  /// Sum of d_t[i] over t in [t1, t2], inclusive; empty if t1 > t2.
+  Count RangeSum(TimeStep t1, TimeStep t2, size_t i) const;
+
+  /// Component-wise RangeSum as a vector.
+  StateVec RangeSumVec(TimeStep t1, TimeStep t2) const;
+
+  /// Largest single-step arrival count for table i over the whole horizon
+  /// (the m_i of the A* heuristic).
+  Count MaxStepArrival(size_t i) const;
+
+  /// Total modifications to table i over the whole horizon (K_i).
+  Count Total(size_t i) const;
+
+  /// A new sequence that repeats this one's steps cyclically to cover
+  /// t = 0..new_horizon (used to build ADAPT experiment inputs).
+  ArrivalSequence RepeatTo(TimeStep new_horizon) const;
+
+  /// A truncated copy covering t = 0..new_horizon (<= horizon()).
+  ArrivalSequence Truncate(TimeStep new_horizon) const;
+
+ private:
+  size_t n_;
+  TimeStep horizon_;
+  std::vector<StateVec> per_step_;
+  // cumulative_[t+1][i] = sum of per_step_[0..t][i]; cumulative_[0] = 0.
+  std::vector<StateVec> cumulative_;
+  StateVec max_step_;
+};
+
+}  // namespace abivm
+
+#endif  // ABIVM_CORE_ARRIVALS_H_

@@ -1,0 +1,289 @@
+#include "core/astar.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "core/actions.h"
+
+namespace abivm {
+
+namespace {
+
+// A node in the LGM plan graph: the post-action state at a given time
+// (t = -1 encodes the source; the destination is handled separately).
+struct NodeKey {
+  TimeStep t;
+  StateVec state;
+
+  bool operator==(const NodeKey& other) const {
+    return t == other.t && state == other.state;
+  }
+};
+
+struct NodeKeyHash {
+  size_t operator()(const NodeKey& key) const {
+    uint64_t h = static_cast<uint64_t>(key.t) * 0x9e3779b97f4a7c15ULL + 1;
+    for (Count c : key.state) {
+      uint64_t x = h ^ c;
+      h = SplitMix64(x);
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+struct NodeInfo {
+  double g = 0.0;
+  // Back-pointer for plan reconstruction: the predecessor node and the
+  // action (with its time) taken on the incoming optimal edge.
+  int32_t parent = -1;
+  TimeStep action_time = -1;
+  StateVec action;
+};
+
+struct FrontierEntry {
+  double f;       // g + h
+  double g;       // tie-break: prefer larger g (deeper, more informed)
+  int32_t node;
+
+  bool operator>(const FrontierEntry& other) const {
+    if (f != other.f) return f > other.f;
+    if (g != other.g) return g < other.g;
+    return node > other.node;
+  }
+};
+
+class Search {
+ public:
+  Search(const ProblemInstance& instance, const AStarOptions& options)
+      : instance_(instance), options_(options) {
+    PrecomputeHeuristicTerms();
+  }
+
+  PlanSearchResult Run();
+
+ private:
+  // b_i = m_i + max{b : f_i(b) <= C} and f_i(b_i), the paper's per-table
+  // batch bound. The floor(R/b_i) * f_i(b_i) term is only a valid lower
+  // bound when the per-item cost is non-increasing (see Heuristic below).
+  void PrecomputeHeuristicTerms() {
+    const size_t n = instance_.n();
+    batch_bound_.resize(n);
+    batch_bound_cost_.resize(n);
+    star_shaped_.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      const CostFunction& f = instance_.cost_model.function(i);
+      star_shaped_[i] = f.CostPerItemNonIncreasing();
+      const uint64_t max_batch = f.MaxBatchWithin(instance_.budget);
+      if (max_batch == kUnboundedBatch) {
+        batch_bound_[i] = kUnboundedBatch;
+        batch_bound_cost_[i] = 0.0;
+        continue;
+      }
+      const Count m_i = instance_.arrivals.MaxStepArrival(i);
+      batch_bound_[i] = max_batch + m_i;
+      batch_bound_cost_[i] =
+          batch_bound_[i] == 0
+              ? 0.0
+              : instance_.cost_model.Cost(i, batch_bound_[i]);
+    }
+  }
+
+  // h(t, s): admissible per-table lower bound on the remaining cost for
+  // the R_i = s[i] + K_i modifications still to be processed.
+  //
+  // Deviation from the paper (documented in DESIGN.md): the paper's
+  // Section 4.1 heuristic is floor(R/b_i) * f_i(b_i) alone. That term is
+  // (a) only a lower bound when f_i(k)/k is non-increasing (each batch of
+  // size k <= b_i then costs >= (k/b_i) f_i(b_i)) -- for subadditive but
+  // non-concave functions like StepCost it can overestimate, making A*
+  // return suboptimal plans -- and (b) inconsistent even for linear
+  // costs (crossing a multiple of b_i drops it by f_i(b_i) while paying
+  // only f_i(1)). We therefore use
+  //     max(f_i(R),  [per-item non-increasing] (R/b_i) * f_i(b_i)),
+  // where f_i(R) is admissible by subadditivity (any partition of R costs
+  // at least f_i(R)) and consistent for the same reason, and the
+  // continuous term both dominates the paper's floor term (R/b >=
+  // floor(R/b)) and is consistent when f_i(k)/k is non-increasing:
+  // processing a <= b_i modifications costs f_i(a) >= (a/b_i) f_i(b_i),
+  // exactly the amount the term decreases. A consistent heuristic means
+  // nodes never need re-expansion.
+  double Heuristic(TimeStep t, const StateVec& state) const {
+    if (!options_.use_heuristic) return 0.0;
+    const TimeStep horizon = instance_.horizon();
+    double h = 0.0;
+    for (size_t i = 0; i < state.size(); ++i) {
+      const Count remaining =
+          state[i] + instance_.arrivals.RangeSum(t + 1, horizon, i);
+      if (remaining == 0) continue;
+      double term = options_.paper_exact_heuristic
+                        ? 0.0
+                        : instance_.cost_model.Cost(i, remaining);
+      if ((star_shaped_[i] || options_.paper_exact_heuristic) &&
+          batch_bound_[i] != kUnboundedBatch && batch_bound_[i] > 0) {
+        const double batches =
+            options_.paper_exact_heuristic
+                ? static_cast<double>(remaining / batch_bound_[i])
+                : static_cast<double>(remaining) /
+                      static_cast<double>(batch_bound_[i]);
+        term = std::max(term, batches * batch_bound_cost_[i]);
+      }
+      h += term;
+    }
+    return h;
+  }
+
+  // First time t' in (t, horizon] at which the pre-action state
+  // state + arrivals(t+1 .. t') becomes full, or horizon + 1 if never.
+  TimeStep FirstFullTime(TimeStep t, const StateVec& state) const {
+    const TimeStep horizon = instance_.horizon();
+    auto full_at = [&](TimeStep tp) {
+      return instance_.cost_model.IsFull(
+          AddVec(state, instance_.arrivals.RangeSumVec(t + 1, tp)),
+          instance_.budget);
+    };
+    if (!full_at(horizon)) return horizon + 1;
+    TimeStep lo = t + 1, hi = horizon;
+    // Invariant: full_at(hi); find smallest full time.
+    while (lo < hi) {
+      const TimeStep mid = lo + (hi - lo) / 2;
+      if (full_at(mid)) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    return lo;
+  }
+
+  int32_t InternNode(NodeKey key) {
+    auto [it, inserted] =
+        index_.try_emplace(std::move(key), static_cast<int32_t>(nodes_.size()));
+    if (inserted) {
+      nodes_.emplace_back();
+      nodes_.back().g = kInfinity;
+    }
+    return it->second;
+  }
+
+  void Relax(int32_t from, int32_t to, TimeStep action_time,
+             StateVec action, double weight, double h_to) {
+    NodeInfo& info = nodes_[static_cast<size_t>(to)];
+    const double candidate = nodes_[static_cast<size_t>(from)].g + weight;
+    ++result_.nodes_generated;
+    if (candidate < info.g) {
+      info.g = candidate;
+      info.parent = from;
+      info.action_time = action_time;
+      info.action = std::move(action);
+      frontier_.push({candidate + h_to, candidate, to});
+    }
+  }
+
+  static constexpr double kInfinity = 1e300;
+
+  const ProblemInstance& instance_;
+  AStarOptions options_;
+  std::vector<Count> batch_bound_;
+  std::vector<double> batch_bound_cost_;
+  std::vector<bool> star_shaped_;
+
+  std::unordered_map<NodeKey, int32_t, NodeKeyHash> index_;
+  std::vector<NodeInfo> nodes_;
+  std::vector<NodeKey> keys_;  // parallel to nodes_ for expansion
+  std::priority_queue<FrontierEntry, std::vector<FrontierEntry>,
+                      std::greater<FrontierEntry>>
+      frontier_;
+  PlanSearchResult result_{MaintenancePlan(1, 0)};
+};
+
+PlanSearchResult Search::Run() {
+  const TimeStep horizon = instance_.horizon();
+  const size_t n = instance_.n();
+  ABIVM_CHECK_LE(n, kMaxEnumerationTables);
+
+  result_ = PlanSearchResult{MaintenancePlan(n, horizon)};
+
+  // Node interning keeps keys alongside infos.
+  auto intern = [&](NodeKey key) {
+    const int32_t id = InternNode(key);
+    if (static_cast<size_t>(id) == keys_.size()) {
+      keys_.push_back(std::move(key));
+    }
+    return id;
+  };
+
+  const int32_t source = intern(NodeKey{-1, ZeroVec(n)});
+  // Destination: refresh done at T with empty state.
+  const int32_t destination = intern(NodeKey{horizon, ZeroVec(n)});
+
+  nodes_[static_cast<size_t>(source)].g = 0.0;
+  frontier_.push(
+      {Heuristic(-1, ZeroVec(n)), 0.0, source});
+
+  while (!frontier_.empty()) {
+    const FrontierEntry top = frontier_.top();
+    frontier_.pop();
+    NodeInfo& info = nodes_[static_cast<size_t>(top.node)];
+    if (top.g > info.g) continue;  // stale entry
+    // No closed set: the heuristic is admissible but not necessarily
+    // consistent, so a node may be re-expanded after its g improves.
+    ++result_.nodes_expanded;
+
+    if (top.node == destination) {
+      // Reconstruct the plan by walking back-pointers.
+      result_.cost = info.g;
+      int32_t cursor = destination;
+      while (cursor != source) {
+        const NodeInfo& step = nodes_[static_cast<size_t>(cursor)];
+        if (!IsZeroVec(step.action)) {
+          result_.plan.SetAction(step.action_time, step.action);
+        }
+        cursor = step.parent;
+      }
+      return result_;
+    }
+
+    const NodeKey key = keys_[static_cast<size_t>(top.node)];  // copy:
+    // expansion below may grow keys_ and invalidate references.
+    const TimeStep t2 = FirstFullTime(key.t, key.state);
+    if (t2 >= horizon) {
+      // Either the state never becomes full before T, or it first fills
+      // exactly at T: in both cases the only remaining LGM action is the
+      // full refresh at T.
+      StateVec pre_at_horizon =
+          AddVec(key.state, instance_.arrivals.RangeSumVec(key.t + 1, horizon));
+      const double weight = instance_.cost_model.TotalCost(pre_at_horizon);
+      Relax(top.node, destination, horizon, std::move(pre_at_horizon), weight,
+            /*h_to=*/0.0);
+      continue;
+    }
+
+    const StateVec pre_state =
+        AddVec(key.state, instance_.arrivals.RangeSumVec(key.t + 1, t2));
+    for (StateVec& action : EnumerateMinimalGreedyActions(
+             instance_.cost_model, instance_.budget, pre_state)) {
+      StateVec post = SubVec(pre_state, action);
+      const double weight = instance_.cost_model.TotalCost(action);
+      const double h_to = Heuristic(t2, post);
+      const int32_t successor = intern(NodeKey{t2, std::move(post)});
+      Relax(top.node, successor, t2, std::move(action), weight, h_to);
+    }
+  }
+  ABIVM_CHECK_MSG(false, "A* frontier exhausted without reaching refresh; "
+                         "the LGM graph always contains a path");
+  return result_;
+}
+
+}  // namespace
+
+PlanSearchResult FindOptimalLgmPlan(const ProblemInstance& instance,
+                                    AStarOptions options) {
+  Search search(instance, options);
+  return search.Run();
+}
+
+}  // namespace abivm

@@ -1,0 +1,55 @@
+// A* search for the optimal LGM plan (Section 4.1).
+//
+// The space of LGM plans is a DAG: a node is a (time, post-action state)
+// pair; from each node, arrivals accumulate until the first time t2 the
+// pre-action state becomes full, and each minimal greedy valid action at t2
+// spawns a successor. Paths from the source (t = -1, empty state) to the
+// destination (refresh at T) are exactly the LGM plans; edge weights are
+// action costs. The heuristic h(x) lower-bounds the remaining cost by
+// considering each delta table in isolation. NOTE: unlike the paper's
+// Lemma 7 claim, the literal floor(R/b_i)*f_i(b_i) term is neither
+// admissible for general subadditive costs nor consistent even for linear
+// ones, so this implementation (a) repairs/strengthens the bound (see
+// astar.cc) and (b) re-opens nodes instead of keeping a closed set, which
+// preserves optimality under any admissible heuristic.
+
+#ifndef ABIVM_CORE_ASTAR_H_
+#define ABIVM_CORE_ASTAR_H_
+
+#include <cstdint>
+
+#include "core/plan.h"
+
+namespace abivm {
+
+/// Search statistics and the optimal plan.
+struct PlanSearchResult {
+  MaintenancePlan plan;
+  /// Total plan cost (== OPT_LGM when the heuristic is admissible).
+  double cost = 0.0;
+  /// Nodes popped from the frontier and expanded.
+  uint64_t nodes_expanded = 0;
+  /// Edges relaxed (successors generated).
+  uint64_t nodes_generated = 0;
+};
+
+struct AStarOptions {
+  /// If false, runs with h = 0 (Dijkstra); used by the heuristic ablation.
+  bool use_heuristic = true;
+  /// If true, uses the paper's literal Section-4.1 heuristic
+  /// floor(R/b_i) * f_i(b_i) for every table. That term is admissible only
+  /// when per-item costs are non-increasing (linear/concave/capped
+  /// functions); with e.g. StepCost it can overestimate and the search may
+  /// return a suboptimal LGM plan. The default (false) uses the safe
+  /// heuristic max(f_i(R), [star-shaped] floor(R/b_i) * f_i(b_i)).
+  bool paper_exact_heuristic = false;
+};
+
+/// Finds a minimum-cost LGM plan for the instance. Requires n <=
+/// kMaxEnumerationTables. Deterministic.
+PlanSearchResult FindOptimalLgmPlan(const ProblemInstance& instance,
+                                    AStarOptions options = {});
+
+}  // namespace abivm
+
+#endif  // ABIVM_CORE_ASTAR_H_

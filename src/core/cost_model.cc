@@ -1,0 +1,32 @@
+#include "core/cost_model.h"
+
+namespace abivm {
+
+CostModel::CostModel(std::vector<CostFunctionPtr> functions)
+    : functions_(std::move(functions)) {
+  ABIVM_CHECK_MSG(!functions_.empty(), "CostModel needs >= 1 function");
+  for (const auto& f : functions_) ABIVM_CHECK(f != nullptr);
+}
+
+double CostModel::Cost(size_t i, Count k) const {
+  ABIVM_DCHECK(i < functions_.size());
+  return functions_[i]->Cost(k);
+}
+
+double CostModel::TotalCost(const StateVec& v) const {
+  ABIVM_CHECK_EQ(v.size(), functions_.size());
+  double total = 0.0;
+  for (size_t i = 0; i < v.size(); ++i) total += functions_[i]->Cost(v[i]);
+  return total;
+}
+
+bool CostModel::IsFull(const StateVec& state, double budget) const {
+  return TotalCost(state) > budget;
+}
+
+const CostFunction& CostModel::function(size_t i) const {
+  ABIVM_CHECK_LT(i, functions_.size());
+  return *functions_[i];
+}
+
+}  // namespace abivm

@@ -1,0 +1,39 @@
+// CostModel bundles the per-table cost functions f_1..f_n and evaluates
+// the shorthand f(v) = sum_i f_i(v[i]) from Section 2.
+
+#ifndef ABIVM_CORE_COST_MODEL_H_
+#define ABIVM_CORE_COST_MODEL_H_
+
+#include <vector>
+
+#include "cost/cost_function.h"
+#include "core/types.h"
+
+namespace abivm {
+
+/// The vector of per-delta-table cost functions. Copyable (functions are
+/// shared immutable objects).
+class CostModel {
+ public:
+  explicit CostModel(std::vector<CostFunctionPtr> functions);
+
+  size_t n() const { return functions_.size(); }
+
+  /// f_i(k).
+  double Cost(size_t i, Count k) const;
+
+  /// f(v) = sum_i f_i(v[i]).
+  double TotalCost(const StateVec& v) const;
+
+  /// True iff f(state) > budget (the state is "full", forcing an action).
+  bool IsFull(const StateVec& state, double budget) const;
+
+  const CostFunction& function(size_t i) const;
+
+ private:
+  std::vector<CostFunctionPtr> functions_;
+};
+
+}  // namespace abivm
+
+#endif  // ABIVM_CORE_COST_MODEL_H_

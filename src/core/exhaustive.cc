@@ -1,0 +1,158 @@
+#include "core/exhaustive.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "core/actions.h"
+
+namespace abivm {
+
+namespace {
+
+struct Key {
+  TimeStep t;
+  StateVec state;
+  bool operator==(const Key& other) const {
+    return t == other.t && state == other.state;
+  }
+};
+
+struct KeyHash {
+  size_t operator()(const Key& key) const {
+    uint64_t h = static_cast<uint64_t>(key.t) * 0x9e3779b97f4a7c15ULL + 1;
+    for (Count c : key.state) {
+      uint64_t x = h ^ c;
+      h = SplitMix64(x);
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+struct Choice {
+  double cost = 0.0;
+  // Action taken at `action_time` leading to the successor state; for
+  // terminal entries action_time == horizon and the action is the final
+  // refresh.
+  TimeStep action_time = -1;
+  StateVec action;
+  bool terminal = false;
+};
+
+// Shared skeleton for both exhaustive searches; the action enumeration at a
+// full pre-action state is the only difference.
+class ExhaustiveSearch {
+ public:
+  ExhaustiveSearch(const ProblemInstance& instance, bool all_valid_actions)
+      : instance_(instance), all_valid_actions_(all_valid_actions) {}
+
+  MaintenancePlan Solve() {
+    const size_t n = instance_.n();
+    MaintenancePlan plan(n, instance_.horizon());
+    Best(-1, ZeroVec(n));
+    // Reconstruct by replaying memoized choices.
+    Key cursor{-1, ZeroVec(n)};
+    while (true) {
+      const Choice& choice = memo_.at(cursor);
+      plan.SetAction(choice.action_time, choice.action);
+      if (choice.terminal) break;
+      const StateVec pre =
+          AddVec(cursor.state, instance_.arrivals.RangeSumVec(
+                                   cursor.t + 1, choice.action_time));
+      cursor = Key{choice.action_time, SubVec(pre, choice.action)};
+    }
+    return plan;
+  }
+
+ private:
+  TimeStep FirstFullTime(TimeStep t, const StateVec& state) const {
+    const TimeStep horizon = instance_.horizon();
+    for (TimeStep tp = t + 1; tp <= horizon; ++tp) {
+      if (instance_.cost_model.IsFull(
+              AddVec(state, instance_.arrivals.RangeSumVec(t + 1, tp)),
+              instance_.budget)) {
+        return tp;
+      }
+    }
+    return horizon + 1;
+  }
+
+  // All valid actions at a full pre-action state: every sub-vector q with
+  // f(pre - q) <= C (which rules out q = 0 since pre is full).
+  std::vector<StateVec> AllValidActions(const StateVec& pre) const {
+    std::vector<StateVec> result;
+    StateVec q = ZeroVec(pre.size());
+    while (true) {
+      if (instance_.cost_model.TotalCost(SubVec(pre, q)) <=
+          instance_.budget) {
+        result.push_back(q);
+      }
+      // Odometer increment over 0..pre[i] per component.
+      size_t i = 0;
+      while (i < q.size() && q[i] == pre[i]) {
+        q[i] = 0;
+        ++i;
+      }
+      if (i == q.size()) break;
+      ++q[i];
+    }
+    ABIVM_CHECK(!result.empty());
+    return result;
+  }
+
+  double Best(TimeStep t, const StateVec& state) {
+    const Key key{t, state};
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second.cost;
+
+    const TimeStep horizon = instance_.horizon();
+    Choice choice;
+    const TimeStep t2 = FirstFullTime(t, state);
+    if (t2 >= horizon) {
+      // Final refresh at T is the only remaining action.
+      StateVec pre =
+          AddVec(state, instance_.arrivals.RangeSumVec(t + 1, horizon));
+      choice.cost = instance_.cost_model.TotalCost(pre);
+      choice.action_time = horizon;
+      choice.action = std::move(pre);
+      choice.terminal = true;
+    } else {
+      const StateVec pre =
+          AddVec(state, instance_.arrivals.RangeSumVec(t + 1, t2));
+      const std::vector<StateVec> actions =
+          all_valid_actions_
+              ? AllValidActions(pre)
+              : EnumerateMinimalGreedyActions(instance_.cost_model,
+                                              instance_.budget, pre);
+      bool first = true;
+      for (const StateVec& action : actions) {
+        const double cost = instance_.cost_model.TotalCost(action) +
+                            Best(t2, SubVec(pre, action));
+        if (first || cost < choice.cost) {
+          choice.cost = cost;
+          choice.action_time = t2;
+          choice.action = action;
+          choice.terminal = false;
+          first = false;
+        }
+      }
+    }
+    return memo_.emplace(key, std::move(choice)).first->second.cost;
+  }
+
+  const ProblemInstance& instance_;
+  bool all_valid_actions_;
+  std::unordered_map<Key, Choice, KeyHash> memo_;
+};
+
+}  // namespace
+
+MaintenancePlan ExhaustiveLgmPlan(const ProblemInstance& instance) {
+  return ExhaustiveSearch(instance, /*all_valid_actions=*/false).Solve();
+}
+
+MaintenancePlan ExhaustiveOptimalPlan(const ProblemInstance& instance) {
+  return ExhaustiveSearch(instance, /*all_valid_actions=*/true).Solve();
+}
+
+}  // namespace abivm

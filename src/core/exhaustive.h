@@ -1,0 +1,26 @@
+// Exhaustive reference planners used as test oracles for the search
+// algorithms and for the approximation-bound experiments. Exponential in
+// the worst case -- small instances only.
+
+#ifndef ABIVM_CORE_EXHAUSTIVE_H_
+#define ABIVM_CORE_EXHAUSTIVE_H_
+
+#include "core/plan.h"
+
+namespace abivm {
+
+/// Memoized depth-first search over the full LGM plan graph (same graph as
+/// the A* planner, independent implementation). Returns a minimum-cost LGM
+/// plan; its cost must equal FindOptimalLgmPlan's.
+MaintenancePlan ExhaustiveLgmPlan(const ProblemInstance& instance);
+
+/// Memoized search over *all lazy* plans with arbitrary (not necessarily
+/// greedy or minimal) valid actions. By Lemma 1 the best lazy plan is
+/// globally optimal, so this computes OPT. The action space at a full state
+/// s is every sub-vector q <= s with f(s - q) <= C, so this explodes very
+/// quickly; use only with tiny counts.
+MaintenancePlan ExhaustiveOptimalPlan(const ProblemInstance& instance);
+
+}  // namespace abivm
+
+#endif  // ABIVM_CORE_EXHAUSTIVE_H_

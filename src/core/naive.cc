@@ -1,0 +1,45 @@
+#include "core/naive.h"
+
+#include <sstream>
+
+namespace abivm {
+
+void NaivePolicy::Reset(const CostModel& model, double budget) {
+  model_ = model;
+  budget_ = budget;
+}
+
+StateVec NaivePolicy::Act(TimeStep /*t*/, const StateVec& pre_state,
+                          const StateVec& /*arrivals_now*/) {
+  ABIVM_CHECK_MSG(model_.has_value(), "policy not Reset()");
+  if (model_->IsFull(pre_state, budget_)) {
+    return pre_state;  // flush everything
+  }
+  return ZeroVec(pre_state.size());
+}
+
+PeriodicPolicy::PeriodicPolicy(TimeStep period) : period_(period) {
+  ABIVM_CHECK_GE(period, 1);
+}
+
+void PeriodicPolicy::Reset(const CostModel& model, double budget) {
+  model_ = model;
+  budget_ = budget;
+}
+
+StateVec PeriodicPolicy::Act(TimeStep t, const StateVec& pre_state,
+                             const StateVec& /*arrivals_now*/) {
+  ABIVM_CHECK_MSG(model_.has_value(), "policy not Reset()");
+  if (t % period_ == period_ - 1 || model_->IsFull(pre_state, budget_)) {
+    return pre_state;
+  }
+  return ZeroVec(pre_state.size());
+}
+
+std::string PeriodicPolicy::name() const {
+  std::ostringstream oss;
+  oss << "PERIODIC(" << period_ << ")";
+  return oss.str();
+}
+
+}  // namespace abivm

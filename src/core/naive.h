@@ -1,0 +1,49 @@
+// Baseline policies: the paper's NAIVE symmetric strategy and a periodic
+// flusher used as an extra ablation baseline.
+
+#ifndef ABIVM_CORE_NAIVE_H_
+#define ABIVM_CORE_NAIVE_H_
+
+#include <optional>
+#include <string>
+
+#include "core/policy.h"
+
+namespace abivm {
+
+/// NAIVE (Section 5): whenever the pre-action state is full, process ALL
+/// batched modifications from every delta table. This is the traditional
+/// symmetric deferred-maintenance strategy.
+class NaivePolicy final : public Policy {
+ public:
+  void Reset(const CostModel& model, double budget) override;
+  StateVec Act(TimeStep t, const StateVec& pre_state,
+               const StateVec& arrivals_now) override;
+  std::string name() const override { return "NAIVE"; }
+
+ private:
+  std::optional<CostModel> model_;
+  double budget_ = 0.0;
+};
+
+/// Flushes everything every `period` steps regardless of state; violates
+/// laziness on purpose (ablation baseline). If the state becomes full
+/// between scheduled flushes it flushes early to stay valid.
+class PeriodicPolicy final : public Policy {
+ public:
+  explicit PeriodicPolicy(TimeStep period);
+
+  void Reset(const CostModel& model, double budget) override;
+  StateVec Act(TimeStep t, const StateVec& pre_state,
+               const StateVec& arrivals_now) override;
+  std::string name() const override;
+
+ private:
+  TimeStep period_;
+  std::optional<CostModel> model_;
+  double budget_ = 0.0;
+};
+
+}  // namespace abivm
+
+#endif  // ABIVM_CORE_NAIVE_H_

@@ -1,0 +1,94 @@
+#include "core/online.h"
+
+#include <cmath>
+
+#include "core/actions.h"
+
+namespace abivm {
+
+OnlinePolicy::OnlinePolicy(OnlineOptions options) : options_(options) {
+  ABIVM_CHECK_GT(options_.rate_ewma_alpha, 0.0);
+  ABIVM_CHECK_LE(options_.rate_ewma_alpha, 1.0);
+  ABIVM_CHECK_GE(options_.max_time_to_full, 1);
+}
+
+void OnlinePolicy::Reset(const CostModel& model, double budget) {
+  model_ = model;
+  budget_ = budget;
+  rates_.assign(model.n(), 0.0);
+  rates_initialized_ = false;
+  cost_so_far_ = 0.0;
+}
+
+TimeStep OnlinePolicy::TimeToFull(const StateVec& state) const {
+  ABIVM_CHECK_MSG(model_.has_value(), "policy not Reset()");
+  bool any_rate = false;
+  for (double r : rates_) any_rate = any_rate || r > 0.0;
+  if (!any_rate) return options_.max_time_to_full;
+
+  auto state_after = [&](TimeStep tau) {
+    StateVec projected = state;
+    for (size_t i = 0; i < projected.size(); ++i) {
+      projected[i] += static_cast<Count>(
+          std::floor(static_cast<double>(tau) * rates_[i]));
+    }
+    return projected;
+  };
+  if (!model_->IsFull(state_after(options_.max_time_to_full), budget_)) {
+    return options_.max_time_to_full;
+  }
+  // Binary search the smallest tau >= 1 whose projection is full; the
+  // projection grows with tau and the cost functions are monotone.
+  TimeStep lo = 1, hi = options_.max_time_to_full;
+  while (lo < hi) {
+    const TimeStep mid = lo + (hi - lo) / 2;
+    if (model_->IsFull(state_after(mid), budget_)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+StateVec OnlinePolicy::Act(TimeStep t, const StateVec& pre_state,
+                           const StateVec& arrivals_now) {
+  ABIVM_CHECK_MSG(model_.has_value(), "policy not Reset()");
+  // Update the rate estimate with this step's arrivals.
+  if (!rates_initialized_) {
+    for (size_t i = 0; i < rates_.size(); ++i) {
+      rates_[i] = static_cast<double>(arrivals_now[i]);
+    }
+    rates_initialized_ = true;
+  } else {
+    const double alpha = options_.rate_ewma_alpha;
+    for (size_t i = 0; i < rates_.size(); ++i) {
+      rates_[i] = (1.0 - alpha) * rates_[i] +
+                  alpha * static_cast<double>(arrivals_now[i]);
+    }
+  }
+
+  if (!model_->IsFull(pre_state, budget_)) {
+    return ZeroVec(pre_state.size());
+  }
+
+  const std::vector<StateVec> options =
+      EnumerateMinimalGreedyActions(*model_, budget_, pre_state);
+  const StateVec* best = nullptr;
+  double best_h = 0.0;
+  for (const StateVec& q : options) {
+    const double action_cost = model_->TotalCost(q);
+    const TimeStep refill = TimeToFull(SubVec(pre_state, q));
+    const double h = (cost_so_far_ + action_cost) /
+                     static_cast<double>(t + refill);
+    if (best == nullptr || h < best_h - 1e-12) {
+      best = &q;
+      best_h = h;
+    }
+  }
+  ABIVM_CHECK(best != nullptr);
+  cost_so_far_ += model_->TotalCost(*best);
+  return *best;
+}
+
+}  // namespace abivm

@@ -1,0 +1,59 @@
+// The online heuristic of Section 4.3: no knowledge of the arrival
+// sequence or the refresh time. On every constraint violation it picks the
+// greedy, minimal, valid action q minimizing the amortized-cost measure
+//   H(q) = (F_t + f(q)) / (t + TimeToFull(s_t - q)),
+// where F_t is the cost paid so far and TimeToFull predicts how long the
+// post-action state can keep batching given the recent arrival rates.
+
+#ifndef ABIVM_CORE_ONLINE_H_
+#define ABIVM_CORE_ONLINE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/policy.h"
+
+namespace abivm {
+
+/// Tuning knobs for OnlinePolicy.
+struct OnlineOptions {
+  /// EWMA weight of the newest observation when estimating per-table
+  /// arrival rates (v_t in the paper). 1.0 = only the last step matters.
+  double rate_ewma_alpha = 0.2;
+  /// Cap on the TimeToFull prediction (steps); also returned when the
+  /// estimated rates are all zero.
+  TimeStep max_time_to_full = 1'000'000'000;
+};
+
+class OnlinePolicy final : public Policy {
+ public:
+  explicit OnlinePolicy(OnlineOptions options = {});
+
+  void Reset(const CostModel& model, double budget) override;
+  StateVec Act(TimeStep t, const StateVec& pre_state,
+               const StateVec& arrivals_now) override;
+  std::string name() const override { return "ONLINE"; }
+
+  /// Predicted number of steps until arrivals at the estimated rates make
+  /// `state` full again (>= 1; capped). Exposed for tests and ablations.
+  TimeStep TimeToFull(const StateVec& state) const;
+
+  /// Current per-table arrival-rate estimates (EWMA of d_t).
+  const std::vector<double>& estimated_rates() const { return rates_; }
+
+  /// Total maintenance cost charged to this policy's own actions (F_t).
+  double cost_so_far() const { return cost_so_far_; }
+
+ private:
+  OnlineOptions options_;
+  std::optional<CostModel> model_;
+  double budget_ = 0.0;
+  std::vector<double> rates_;
+  bool rates_initialized_ = false;
+  double cost_so_far_ = 0.0;
+};
+
+}  // namespace abivm
+
+#endif  // ABIVM_CORE_ONLINE_H_

@@ -1,0 +1,171 @@
+#include "core/plan.h"
+
+#include <sstream>
+
+namespace abivm {
+
+MaintenancePlan::MaintenancePlan(size_t n, TimeStep horizon)
+    : n_(n), horizon_(horizon) {
+  ABIVM_CHECK_GE(n, size_t{1});
+  ABIVM_CHECK_GE(horizon, 0);
+}
+
+void MaintenancePlan::SetAction(TimeStep t, StateVec amounts) {
+  ABIVM_CHECK_GE(t, 0);
+  ABIVM_CHECK_LE(t, horizon_);
+  ABIVM_CHECK_EQ(amounts.size(), n_);
+  if (IsZeroVec(amounts)) {
+    actions_.erase(t);
+  } else {
+    actions_[t] = std::move(amounts);
+  }
+}
+
+StateVec MaintenancePlan::ActionAt(TimeStep t) const {
+  auto it = actions_.find(t);
+  if (it == actions_.end()) return ZeroVec(n_);
+  return it->second;
+}
+
+size_t MaintenancePlan::ActionCountForTable(size_t i) const {
+  ABIVM_CHECK_LT(i, n_);
+  size_t count = 0;
+  for (const auto& [t, amounts] : actions_) {
+    if (amounts[i] != 0) ++count;
+  }
+  return count;
+}
+
+double MaintenancePlan::TotalCost(const CostModel& model) const {
+  double total = 0.0;
+  for (const auto& [t, amounts] : actions_) {
+    total += model.TotalCost(amounts);
+  }
+  return total;
+}
+
+std::string MaintenancePlan::ToString() const {
+  std::ostringstream oss;
+  oss << "plan[T=" << horizon_ << "]{";
+  bool first = true;
+  for (const auto& [t, amounts] : actions_) {
+    if (!first) oss << ", ";
+    oss << t << ":" << VecToString(amounts);
+    first = false;
+  }
+  oss << "}";
+  return oss.str();
+}
+
+PlanTrajectory ComputeTrajectory(const ArrivalSequence& arrivals,
+                                 const MaintenancePlan& plan) {
+  ABIVM_CHECK_EQ(arrivals.n(), plan.n());
+  ABIVM_CHECK_EQ(arrivals.horizon(), plan.horizon());
+  const TimeStep horizon = arrivals.horizon();
+
+  PlanTrajectory traj;
+  traj.pre.reserve(static_cast<size_t>(horizon) + 1);
+  traj.post.reserve(static_cast<size_t>(horizon) + 1);
+
+  StateVec state = ZeroVec(plan.n());
+  for (TimeStep t = 0; t <= horizon; ++t) {
+    state = AddVec(state, arrivals.At(t));
+    traj.pre.push_back(state);
+    const StateVec action = plan.ActionAt(t);
+    ABIVM_CHECK_MSG(FitsWithin(action, state),
+                    "action at t=" << t << " removes more than accumulated: "
+                                   << VecToString(action) << " from "
+                                   << VecToString(state));
+    state = SubVec(state, action);
+    traj.post.push_back(state);
+  }
+  return traj;
+}
+
+Status ValidatePlan(const ProblemInstance& instance,
+                    const MaintenancePlan& plan) {
+  if (plan.n() != instance.n()) {
+    return Status::InvalidArgument("plan dimension mismatch");
+  }
+  if (plan.horizon() != instance.horizon()) {
+    return Status::InvalidArgument("plan horizon mismatch");
+  }
+  const TimeStep horizon = instance.horizon();
+
+  StateVec state = ZeroVec(plan.n());
+  for (TimeStep t = 0; t <= horizon; ++t) {
+    state = AddVec(state, instance.arrivals.At(t));
+    const StateVec action = plan.ActionAt(t);
+    if (!FitsWithin(action, state)) {
+      std::ostringstream oss;
+      oss << "action at t=" << t << " removes more than accumulated ("
+          << VecToString(action) << " from " << VecToString(state) << ")";
+      return Status::InvalidArgument(oss.str());
+    }
+    state = SubVec(state, action);
+    if (t < horizon &&
+        instance.cost_model.IsFull(state, instance.budget)) {
+      std::ostringstream oss;
+      oss << "post-action state at t=" << t << " is full: f("
+          << VecToString(state) << ") = "
+          << instance.cost_model.TotalCost(state) << " > C="
+          << instance.budget;
+      return Status::FailedPrecondition(oss.str());
+    }
+  }
+  if (!IsZeroVec(state)) {
+    return Status::FailedPrecondition(
+        "plan does not empty all delta tables at T (p_T != s_T): residue " +
+        VecToString(state));
+  }
+  return Status::Ok();
+}
+
+bool IsLazy(const ProblemInstance& instance, const MaintenancePlan& plan) {
+  const PlanTrajectory traj = ComputeTrajectory(instance.arrivals, plan);
+  for (const auto& [t, amounts] : plan.actions()) {
+    if (t == instance.horizon()) continue;  // final refresh is exempt
+    if (!instance.cost_model.IsFull(traj.pre[static_cast<size_t>(t)],
+                                    instance.budget)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool IsGreedy(const ProblemInstance& instance, const MaintenancePlan& plan) {
+  const PlanTrajectory traj = ComputeTrajectory(instance.arrivals, plan);
+  for (const auto& [t, amounts] : plan.actions()) {
+    const StateVec& pre = traj.pre[static_cast<size_t>(t)];
+    for (size_t i = 0; i < amounts.size(); ++i) {
+      if (amounts[i] != 0 && amounts[i] != pre[i]) return false;
+    }
+  }
+  return true;
+}
+
+bool IsMinimal(const ProblemInstance& instance,
+               const MaintenancePlan& plan) {
+  const PlanTrajectory traj = ComputeTrajectory(instance.arrivals, plan);
+  for (const auto& [t, amounts] : plan.actions()) {
+    if (t == instance.horizon()) continue;  // p_T must flush everything
+    const StateVec& pre = traj.pre[static_cast<size_t>(t)];
+    for (size_t i = 0; i < amounts.size(); ++i) {
+      if (amounts[i] == 0) continue;
+      StateVec reduced = amounts;
+      reduced[i] = 0;
+      if (!instance.cost_model.IsFull(SubVec(pre, reduced),
+                                      instance.budget)) {
+        return false;  // dropping component i still met the budget
+      }
+    }
+  }
+  return true;
+}
+
+bool IsLgm(const ProblemInstance& instance, const MaintenancePlan& plan) {
+  return IsLazy(instance, plan) && IsGreedy(instance, plan) &&
+         IsMinimal(instance, plan);
+}
+
+}  // namespace abivm

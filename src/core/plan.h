@@ -1,0 +1,99 @@
+// Maintenance plans (Definition 1) and the problem instance they are
+// evaluated against: validity checking, cost, state trajectories, and the
+// Lazy / Greedy / Minimal structural predicates of Section 3.
+
+#ifndef ABIVM_CORE_PLAN_H_
+#define ABIVM_CORE_PLAN_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/arrivals.h"
+#include "core/cost_model.h"
+#include "core/types.h"
+
+namespace abivm {
+
+/// One complete input to the scheduling problem (Section 2): a view over n
+/// base tables with per-table cost functions, an arrival sequence over
+/// [0, T] with refresh at T, and the response-time budget C.
+struct ProblemInstance {
+  CostModel cost_model;
+  ArrivalSequence arrivals;
+  double budget;  // C
+
+  size_t n() const { return cost_model.n(); }
+  TimeStep horizon() const { return arrivals.horizon(); }
+};
+
+/// A maintenance plan P = p_0 .. p_T, stored sparsely (only non-zero
+/// actions). Zero vectors at unlisted steps are implicit.
+class MaintenancePlan {
+ public:
+  MaintenancePlan(size_t n, TimeStep horizon);
+
+  size_t n() const { return n_; }
+  TimeStep horizon() const { return horizon_; }
+
+  /// Sets p_t = amounts (replacing any previous action at t). A zero
+  /// vector removes the entry.
+  void SetAction(TimeStep t, StateVec amounts);
+
+  /// p_t (zero vector if no action recorded at t).
+  StateVec ActionAt(TimeStep t) const;
+
+  /// All non-zero actions in increasing time order.
+  const std::map<TimeStep, StateVec>& actions() const { return actions_; }
+
+  /// Number of non-zero actions that touch table i (|P(i)| in the paper).
+  size_t ActionCountForTable(size_t i) const;
+
+  /// Total plan cost f(P) = sum_t f(p_t) under the given model.
+  double TotalCost(const CostModel& model) const;
+
+  std::string ToString() const;
+
+ private:
+  size_t n_;
+  TimeStep horizon_;
+  std::map<TimeStep, StateVec> actions_;
+};
+
+/// Per-step states induced by running a plan against an arrival sequence.
+struct PlanTrajectory {
+  /// pre[t] = s_t (after arrivals at t, before the action).
+  std::vector<StateVec> pre;
+  /// post[t] = s_{t+} (after the action at t).
+  std::vector<StateVec> post;
+};
+
+/// Computes the trajectory; CHECK-fails if any action removes more than
+/// accumulated (use ValidatePlan first for untrusted plans).
+PlanTrajectory ComputeTrajectory(const ArrivalSequence& arrivals,
+                                 const MaintenancePlan& plan);
+
+/// Full Definition-1 validity: every action feasible (0 <= p_t <= s_t),
+/// every post-action state within budget for t < T, and p_T = s_T.
+Status ValidatePlan(const ProblemInstance& instance,
+                    const MaintenancePlan& plan);
+
+/// True iff every non-zero action happens at a full pre-action state
+/// (Definition 2; the final refresh action at T is exempt).
+bool IsLazy(const ProblemInstance& instance, const MaintenancePlan& plan);
+
+/// True iff every action empties each delta table it touches
+/// (Definition 3, greediness).
+bool IsGreedy(const ProblemInstance& instance, const MaintenancePlan& plan);
+
+/// True iff no action before T could drop one of its non-zero components
+/// and still satisfy the budget (Definition 3, minimality).
+bool IsMinimal(const ProblemInstance& instance, const MaintenancePlan& plan);
+
+/// Lazy && Greedy && Minimal.
+bool IsLgm(const ProblemInstance& instance, const MaintenancePlan& plan);
+
+}  // namespace abivm
+
+#endif  // ABIVM_CORE_PLAN_H_

@@ -1,0 +1,53 @@
+#include "core/plan_policies.h"
+
+#include <algorithm>
+
+#include "core/actions.h"
+
+namespace abivm {
+
+PrecomputedPlanPolicy::PrecomputedPlanPolicy(MaintenancePlan plan,
+                                             std::string display_name)
+    : plan_(std::move(plan)), display_name_(std::move(display_name)) {}
+
+void PrecomputedPlanPolicy::Reset(const CostModel& model, double budget) {
+  model_ = model;
+  budget_ = budget;
+  deviations_ = 0;
+}
+
+StateVec PrecomputedPlanPolicy::ScheduledAction(TimeStep t) const {
+  if (t > plan_.horizon()) return ZeroVec(plan_.n());
+  return plan_.ActionAt(t);
+}
+
+StateVec PrecomputedPlanPolicy::Act(TimeStep t, const StateVec& pre_state,
+                                    const StateVec& /*arrivals_now*/) {
+  ABIVM_CHECK_MSG(model_.has_value(), "policy not Reset()");
+  StateVec action = ScheduledAction(t);
+  bool clamped = false;
+  for (size_t i = 0; i < action.size(); ++i) {
+    if (action[i] > pre_state[i]) {
+      action[i] = pre_state[i];
+      clamped = true;
+    }
+  }
+  if (model_->IsFull(SubVec(pre_state, action), budget_)) {
+    // The projection the plan was computed from no longer matches reality;
+    // stay valid with the cheapest minimal greedy flush.
+    ++deviations_;
+    return CheapestMinimalGreedyAction(*model_, budget_, pre_state);
+  }
+  if (clamped) ++deviations_;
+  return action;
+}
+
+AdaptPolicy::AdaptPolicy(MaintenancePlan plan_for_t0)
+    : PrecomputedPlanPolicy(std::move(plan_for_t0), "ADAPT"),
+      period_(plan().horizon() + 1) {}
+
+StateVec AdaptPolicy::ScheduledAction(TimeStep t) const {
+  return plan().ActionAt(t % period_);
+}
+
+}  // namespace abivm

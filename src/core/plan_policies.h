@@ -1,0 +1,68 @@
+// Policies that execute precomputed plans:
+//   * PrecomputedPlanPolicy replays an optimal LGM plan (OPT_LGM runs).
+//   * AdaptPolicy implements Section 4.2: reuse a plan optimized for
+//     horizon T0 at any actual refresh time T, cycling it when T > T0.
+
+#ifndef ABIVM_CORE_PLAN_POLICIES_H_
+#define ABIVM_CORE_PLAN_POLICIES_H_
+
+#include <optional>
+#include <string>
+
+#include "core/plan.h"
+#include "core/policy.h"
+
+namespace abivm {
+
+/// Replays the actions of a fixed plan, clamping each action to what has
+/// actually accumulated. If the realized pre-action state would stay full
+/// after the scheduled action (arrivals deviated from the projection used
+/// to compute the plan), the policy falls back to the cheapest minimal
+/// greedy flush and counts a deviation.
+class PrecomputedPlanPolicy : public Policy {
+ public:
+  explicit PrecomputedPlanPolicy(MaintenancePlan plan,
+                                 std::string display_name = "PLAN");
+
+  void Reset(const CostModel& model, double budget) override;
+  StateVec Act(TimeStep t, const StateVec& pre_state,
+               const StateVec& arrivals_now) override;
+  std::string name() const override { return display_name_; }
+
+  /// Steps where the realized arrivals forced a divergence from the plan.
+  uint64_t deviations() const { return deviations_; }
+
+ protected:
+  /// The scheduled action for (global) time t; subclasses remap time.
+  virtual StateVec ScheduledAction(TimeStep t) const;
+
+  const MaintenancePlan& plan() const { return plan_; }
+
+ private:
+  MaintenancePlan plan_;
+  std::string display_name_;
+  std::optional<CostModel> model_;
+  double budget_ = 0.0;
+  uint64_t deviations_ = 0;
+};
+
+/// ADAPT (Section 4.2): executes a plan optimized for refresh time T0
+/// cyclically with period T0 + 1 (the plan's step count, so its final
+/// flush at T0 re-establishes the empty state each cycle). If the actual
+/// refresh T < T0, the run simply stops early and the runner's forced
+/// refresh processes the remainder; if T > T0, the plan repeats, matching
+/// the paper's assumption of arrivals periodic with the plan length.
+class AdaptPolicy final : public PrecomputedPlanPolicy {
+ public:
+  explicit AdaptPolicy(MaintenancePlan plan_for_t0);
+
+ protected:
+  StateVec ScheduledAction(TimeStep t) const override;
+
+ private:
+  TimeStep period_;
+};
+
+}  // namespace abivm
+
+#endif  // ABIVM_CORE_PLAN_POLICIES_H_

@@ -1,0 +1,38 @@
+// Policy: the runtime decision interface consumed by the simulator and by
+// the real-engine runner. A policy sees time advance one step at a time
+// (arrivals, then the current delta-table sizes) and decides how much to
+// process. The final refresh at T is forced by the runner, not the policy.
+
+#ifndef ABIVM_CORE_POLICY_H_
+#define ABIVM_CORE_POLICY_H_
+
+#include <string>
+
+#include "core/cost_model.h"
+#include "core/types.h"
+
+namespace abivm {
+
+/// Interface for maintenance policies (NAIVE, ONLINE, precomputed plans,
+/// ADAPT). Policies are stateful; call Reset before reuse.
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  /// Prepares the policy for a fresh run against `n` delta tables with the
+  /// given cost model and response-time budget C.
+  virtual void Reset(const CostModel& model, double budget) = 0;
+
+  /// Decides the action at time t. `arrivals_now` is d_t and `pre_state`
+  /// is s_t (arrivals already included). Must return a vector with
+  /// component-wise amounts <= pre_state; the zero vector means no action.
+  virtual StateVec Act(TimeStep t, const StateVec& pre_state,
+                       const StateVec& arrivals_now) = 0;
+
+  /// Display name for traces and experiment tables.
+  virtual std::string name() const = 0;
+};
+
+}  // namespace abivm
+
+#endif  // ABIVM_CORE_POLICY_H_

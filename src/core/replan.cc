@@ -1,0 +1,105 @@
+#include "core/replan.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/actions.h"
+#include "core/astar.h"
+
+namespace abivm {
+
+ReplanningPolicy::ReplanningPolicy(ReplanOptions options)
+    : options_(options) {
+  ABIVM_CHECK_GE(options_.replan_period, 1);
+  ABIVM_CHECK_GE(options_.plan_horizon, options_.replan_period);
+  ABIVM_CHECK_GT(options_.rate_ewma_alpha, 0.0);
+  ABIVM_CHECK_LE(options_.rate_ewma_alpha, 1.0);
+}
+
+void ReplanningPolicy::Reset(const CostModel& model, double budget) {
+  model_ = model;
+  budget_ = budget;
+  rates_.assign(model.n(), 0.0);
+  rates_initialized_ = false;
+  plan_.reset();
+  plan_epoch_ = 0;
+  plans_computed_ = 0;
+  deviations_ = 0;
+}
+
+ArrivalSequence ReplanningPolicy::ProjectArrivals(
+    const StateVec& backlog) const {
+  const size_t n = rates_.size();
+  std::vector<StateVec> steps;
+  steps.reserve(static_cast<size_t>(options_.plan_horizon) + 1);
+  steps.push_back(backlog);  // step 0: the already-accumulated state
+  std::vector<double> error(n, 0.0);
+  for (TimeStep t = 1; t <= options_.plan_horizon; ++t) {
+    StateVec d(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+      error[i] += rates_[i];
+      const double whole = std::floor(error[i]);
+      d[i] = static_cast<Count>(whole);
+      error[i] -= whole;
+    }
+    steps.push_back(std::move(d));
+  }
+  return ArrivalSequence(std::move(steps));
+}
+
+void ReplanningPolicy::Replan(TimeStep t, const StateVec& pre_state) {
+  const ProblemInstance projected{*model_, ProjectArrivals(pre_state),
+                                  budget_};
+  plan_ = FindOptimalLgmPlan(projected).plan;
+  plan_epoch_ = t;
+  ++plans_computed_;
+}
+
+StateVec ReplanningPolicy::Act(TimeStep t, const StateVec& pre_state,
+                               const StateVec& arrivals_now) {
+  ABIVM_CHECK_MSG(model_.has_value(), "policy not Reset()");
+  if (!rates_initialized_) {
+    for (size_t i = 0; i < rates_.size(); ++i) {
+      rates_[i] = static_cast<double>(arrivals_now[i]);
+    }
+    rates_initialized_ = true;
+  } else {
+    const double alpha = options_.rate_ewma_alpha;
+    for (size_t i = 0; i < rates_.size(); ++i) {
+      rates_[i] = (1.0 - alpha) * rates_[i] +
+                  alpha * static_cast<double>(arrivals_now[i]);
+    }
+  }
+
+  if (!plan_.has_value() || t - plan_epoch_ >= options_.replan_period ||
+      t - plan_epoch_ > plan_->horizon()) {
+    Replan(t, pre_state);
+  }
+
+  StateVec action = plan_->ActionAt(t - plan_epoch_);
+  bool clamped = false;
+  for (size_t i = 0; i < action.size(); ++i) {
+    if (action[i] > pre_state[i]) {
+      action[i] = pre_state[i];
+      clamped = true;
+    }
+  }
+  if (model_->IsFull(SubVec(pre_state, action), budget_)) {
+    // Reality outran the projection mid-window: replan right away from
+    // the true state, which by construction yields a valid action.
+    Replan(t, pre_state);
+    action = plan_->ActionAt(0);
+    for (size_t i = 0; i < action.size(); ++i) {
+      action[i] = std::min(action[i], pre_state[i]);
+    }
+    if (model_->IsFull(SubVec(pre_state, action), budget_)) {
+      action = CheapestMinimalGreedyAction(*model_, budget_, pre_state);
+    }
+    ++deviations_;
+  } else if (clamped) {
+    ++deviations_;
+  }
+  return action;
+}
+
+}  // namespace abivm

@@ -1,0 +1,71 @@
+// ReplanningPolicy: an extension beyond the paper (its Section 7 lists
+// stronger online algorithms as future work). Periodically recomputes an
+// optimal LGM plan with the A* planner over a *projected* horizon built
+// from estimated arrival rates, then follows it -- combining ONLINE's
+// zero-advance-knowledge setting with the planner's lookahead. Between
+// replans it degrades gracefully: scheduled actions are clamped to what
+// actually accumulated, and a cheapest-minimal-flush fallback keeps the
+// response-time constraint satisfied when reality diverges from the
+// projection.
+
+#ifndef ABIVM_CORE_REPLAN_H_
+#define ABIVM_CORE_REPLAN_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/plan.h"
+#include "core/policy.h"
+
+namespace abivm {
+
+struct ReplanOptions {
+  /// Recompute the plan every this many steps.
+  TimeStep replan_period = 50;
+  /// Length of the projected horizon each plan covers. Must be at least
+  /// replan_period (the tail beyond the period hedges against the next
+  /// replan arriving late).
+  TimeStep plan_horizon = 150;
+  /// EWMA weight for the per-table arrival-rate estimate.
+  double rate_ewma_alpha = 0.2;
+};
+
+class ReplanningPolicy final : public Policy {
+ public:
+  explicit ReplanningPolicy(ReplanOptions options = {});
+
+  void Reset(const CostModel& model, double budget) override;
+  StateVec Act(TimeStep t, const StateVec& pre_state,
+               const StateVec& arrivals_now) override;
+  std::string name() const override { return "REPLAN"; }
+
+  /// How many times the policy invoked the planner (for tests/benches).
+  uint64_t plans_computed() const { return plans_computed_; }
+  /// Steps where the projection diverged enough to need the fallback.
+  uint64_t deviations() const { return deviations_; }
+
+ private:
+  /// Builds the projected arrival sequence: step 0 carries the current
+  /// backlog (so the planner sees it as the initial pre-action state),
+  /// later steps carry rate-projected integer counts via error diffusion
+  /// (Bresenham-style, so a rate of 0.4/step yields 2 arrivals per 5
+  /// steps instead of always 0).
+  ArrivalSequence ProjectArrivals(const StateVec& backlog) const;
+
+  void Replan(TimeStep t, const StateVec& pre_state);
+
+  ReplanOptions options_;
+  std::optional<CostModel> model_;
+  double budget_ = 0.0;
+  std::vector<double> rates_;
+  bool rates_initialized_ = false;
+  std::optional<MaintenancePlan> plan_;
+  TimeStep plan_epoch_ = 0;  // absolute time of the plan's step 0
+  uint64_t plans_computed_ = 0;
+  uint64_t deviations_ = 0;
+};
+
+}  // namespace abivm
+
+#endif  // ABIVM_CORE_REPLAN_H_

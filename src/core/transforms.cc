@@ -1,0 +1,59 @@
+#include "core/transforms.h"
+
+#include "core/actions.h"
+
+namespace abivm {
+
+MaintenancePlan MakeLazyPlan(const ProblemInstance& instance,
+                             const MaintenancePlan& plan) {
+  ABIVM_CHECK(ValidatePlan(instance, plan).ok());
+  const TimeStep horizon = instance.horizon();
+  MaintenancePlan lazy(plan.n(), horizon);
+
+  StateVec accumulated = ZeroVec(plan.n());  // actions of P not yet applied
+  StateVec state = ZeroVec(plan.n());        // pre-action state under Q
+  for (TimeStep t = 0; t <= horizon; ++t) {
+    accumulated = AddVec(accumulated, plan.ActionAt(t));
+    state = AddVec(state, instance.arrivals.At(t));
+    if (instance.cost_model.IsFull(state, instance.budget) || t == horizon) {
+      lazy.SetAction(t, accumulated);
+      state = SubVec(state, accumulated);
+      accumulated = ZeroVec(plan.n());
+    }
+  }
+  return lazy;
+}
+
+MaintenancePlan MakeLgmPlan(const ProblemInstance& instance,
+                            const MaintenancePlan& plan) {
+  ABIVM_CHECK(ValidatePlan(instance, plan).ok());
+  const TimeStep horizon = instance.horizon();
+  const size_t n = plan.n();
+  const PlanTrajectory p_traj =
+      ComputeTrajectory(instance.arrivals, plan);
+
+  MaintenancePlan lgm(n, horizon);
+  StateVec state = ZeroVec(n);  // pre-action state under Q
+  for (TimeStep t = 0; t < horizon; ++t) {
+    state = AddVec(state, instance.arrivals.At(t));
+    if (instance.cost_model.IsFull(state, instance.budget)) {
+      // Flush table i iff Q has accumulated strictly more than P's
+      // post-action state retains (Lines 5-9 of MAKELGMPLAN).
+      const StateVec& p_post = p_traj.post[static_cast<size_t>(t)];
+      StateVec greedy = ZeroVec(n);
+      for (size_t i = 0; i < n; ++i) {
+        if (state[i] > p_post[i]) greedy[i] = state[i];
+      }
+      const StateVec minimal =
+          MinimizeAction(instance.cost_model, instance.budget, state, greedy);
+      lgm.SetAction(t, minimal);
+      state = SubVec(state, minimal);
+    }
+  }
+  // q_T = pre-action state at T (refresh).
+  state = AddVec(state, instance.arrivals.At(horizon));
+  lgm.SetAction(horizon, state);
+  return lgm;
+}
+
+}  // namespace abivm

@@ -1,0 +1,31 @@
+// The plan transformations behind the paper's structural results:
+//   * MakeLazyPlan  (Lemma 1) -- any valid plan becomes a lazy plan of no
+//     greater cost, so the best lazy plan is globally optimal.
+//   * MakeLgmPlan   (Lemma 2 / Theorem 1) -- any valid plan becomes an LGM
+//     plan; its cost is provably within 2x of the input plan's.
+
+#ifndef ABIVM_CORE_TRANSFORMS_H_
+#define ABIVM_CORE_TRANSFORMS_H_
+
+#include "core/plan.h"
+
+namespace abivm {
+
+/// MAKELAZYPLAN(P): defers every action of `plan` until the response-time
+/// constraint forces one (or until T), merging deferred actions. The result
+/// is valid, lazy, and costs no more than `plan` (by subadditivity).
+/// Requires `plan` to be valid for `instance`.
+MaintenancePlan MakeLazyPlan(const ProblemInstance& instance,
+                             const MaintenancePlan& plan);
+
+/// MAKELGMPLAN(P): builds a valid LGM plan from any valid plan, flushing
+/// delta table i at a forced step only when the LGM state exceeds P's
+/// post-action state, then minimizing. Cost is at most 2x f(P) (Theorem 1),
+/// and for linear cost functions the per-table action counts do not
+/// increase (Theorem 2).
+MaintenancePlan MakeLgmPlan(const ProblemInstance& instance,
+                            const MaintenancePlan& plan);
+
+}  // namespace abivm
+
+#endif  // ABIVM_CORE_TRANSFORMS_H_

@@ -1,0 +1,18 @@
+#include "core/types.h"
+
+#include <sstream>
+
+namespace abivm {
+
+std::string VecToString(const StateVec& v) {
+  std::ostringstream oss;
+  oss << "(";
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) oss << ", ";
+    oss << v[i];
+  }
+  oss << ")";
+  return oss.str();
+}
+
+}  // namespace abivm

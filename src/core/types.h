@@ -1,0 +1,67 @@
+// Core vocabulary types for the maintenance-scheduling problem
+// (Section 2 of the paper): time steps, state vectors, actions.
+
+#ifndef ABIVM_CORE_TYPES_H_
+#define ABIVM_CORE_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace abivm {
+
+/// Discrete time step in [0, T]. Signed so the A* source node can sit at -1.
+using TimeStep = int64_t;
+
+/// Number of batched modifications (per delta table).
+using Count = uint64_t;
+
+/// An n-vector over delta tables: arrivals d_t, states s_t, actions p_t.
+using StateVec = std::vector<Count>;
+
+/// Returns a zero vector of dimension n.
+inline StateVec ZeroVec(size_t n) { return StateVec(n, 0); }
+
+inline bool IsZeroVec(const StateVec& v) {
+  for (Count c : v) {
+    if (c != 0) return false;
+  }
+  return true;
+}
+
+/// a + b, component-wise.
+inline StateVec AddVec(const StateVec& a, const StateVec& b) {
+  ABIVM_DCHECK(a.size() == b.size());
+  StateVec out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+/// a - b, component-wise; checks b <= a.
+inline StateVec SubVec(const StateVec& a, const StateVec& b) {
+  ABIVM_DCHECK(a.size() == b.size());
+  StateVec out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ABIVM_CHECK_LE(b[i], a[i]);
+    out[i] = a[i] - b[i];
+  }
+  return out;
+}
+
+/// True iff b <= a component-wise (b is a feasible action in state a).
+inline bool FitsWithin(const StateVec& b, const StateVec& a) {
+  ABIVM_DCHECK(a.size() == b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (b[i] > a[i]) return false;
+  }
+  return true;
+}
+
+/// "(3, 0, 12)" -- for error messages and traces.
+std::string VecToString(const StateVec& v);
+
+}  // namespace abivm
+
+#endif  // ABIVM_CORE_TYPES_H_

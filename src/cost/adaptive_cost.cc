@@ -1,0 +1,79 @@
+#include "cost/adaptive_cost.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace abivm {
+
+AdaptiveLinearCost::AdaptiveLinearCost(AdaptiveCostOptions options)
+    : options_(options) {
+  ABIVM_CHECK_GT(options_.forgetting, 0.0);
+  ABIVM_CHECK_LE(options_.forgetting, 1.0);
+  ABIVM_CHECK_GT(options_.initial_a, 0.0);
+  ABIVM_CHECK_GE(options_.initial_b, 0.0);
+  ABIVM_CHECK_GT(options_.min_a, 0.0);
+}
+
+void AdaptiveLinearCost::Observe(uint64_t k, double cost_ms) {
+  if (k == 0) return;
+  const double lambda = options_.forgetting;
+  s0_ = lambda * s0_ + 1.0;
+  const double kd = static_cast<double>(k);
+  s1_ = lambda * s1_ + kd;
+  s2_ = lambda * s2_ + kd * kd;
+  t0_ = lambda * t0_ + cost_ms;
+  t1_ = lambda * t1_ + kd * cost_ms;
+  ++observations_;
+}
+
+double AdaptiveLinearCost::a() const {
+  // Solve the 2x2 normal equations; fall back to a proportional estimate
+  // (or the prior) when the batch sizes seen so far are degenerate.
+  const double det = s0_ * s2_ - s1_ * s1_;
+  if (observations_ >= 2 && std::abs(det) > 1e-12) {
+    const double slope = (s0_ * t1_ - s1_ * t0_) / det;
+    return std::max(slope, options_.min_a);
+  }
+  if (observations_ >= 1 && s1_ > 0.0) {
+    return std::max(t0_ / s1_, options_.min_a);  // through the origin
+  }
+  return options_.initial_a;
+}
+
+double AdaptiveLinearCost::b() const {
+  const double det = s0_ * s2_ - s1_ * s1_;
+  if (observations_ >= 2 && std::abs(det) > 1e-12) {
+    const double slope = (s0_ * t1_ - s1_ * t0_) / det;
+    const double clamped = std::max(slope, options_.min_a);
+    // Re-derive the intercept with the (possibly clamped) slope so the
+    // fitted line still passes through the weighted centroid.
+    const double intercept = (t0_ - clamped * s1_) / s0_;
+    return std::max(intercept, 0.0);
+  }
+  return options_.initial_b;
+}
+
+double AdaptiveLinearCost::Cost(uint64_t k) const {
+  if (k == 0) return 0.0;
+  return a() * static_cast<double>(k) + b();
+}
+
+uint64_t AdaptiveLinearCost::MaxBatchWithin(double budget) const {
+  return LinearCost(a(), b()).MaxBatchWithin(budget);
+}
+
+std::string AdaptiveLinearCost::ToString() const {
+  std::ostringstream oss;
+  oss << "adaptive_linear(a=" << a() << ",b=" << b()
+      << ",obs=" << observations_ << ")";
+  return oss.str();
+}
+
+CostFunctionPtr AdaptiveLinearCost::Freeze() const {
+  return std::make_shared<LinearCost>(a(), b());
+}
+
+}  // namespace abivm

@@ -1,0 +1,65 @@
+// AdaptiveLinearCost: an online-updating linear cost model.
+//
+// The paper obtains cost functions "by experiments or from past
+// experience" and treats them as fixed. In a deployed system the true
+// costs drift (base tables grow, caches warm up), so a scheduler should
+// keep its model current. This class observes (batch_size, measured_cost)
+// pairs -- e.g. every ProcessBatch result -- and maintains a recursive
+// least-squares fit of f(k) = a*k + b with exponential forgetting, while
+// always exposing a *valid* cost function (a > 0, b >= 0) no matter how
+// noisy or sparse the observations are.
+
+#ifndef ABIVM_COST_ADAPTIVE_COST_H_
+#define ABIVM_COST_ADAPTIVE_COST_H_
+
+#include <cstdint>
+
+#include "cost/cost_function.h"
+
+namespace abivm {
+
+struct AdaptiveCostOptions {
+  /// Exponential forgetting factor in (0, 1]: weight of past observations
+  /// decays by this per new observation. 1.0 = ordinary least squares.
+  double forgetting = 0.98;
+  /// Parameters used before enough observations arrive, and lower clamps
+  /// afterwards (a valid LinearCost needs a > 0, b >= 0).
+  double initial_a = 1.0;
+  double initial_b = 0.0;
+  double min_a = 1e-9;
+};
+
+/// Thread-compatible (external synchronization if shared). Copyable.
+class AdaptiveLinearCost final : public CostFunction {
+ public:
+  explicit AdaptiveLinearCost(AdaptiveCostOptions options = {});
+
+  /// Feeds one measurement: a batch of `k` modifications cost `cost_ms`.
+  /// Observations with k == 0 are ignored (f(0) is 0 by definition).
+  void Observe(uint64_t k, double cost_ms);
+
+  /// Current slope / intercept estimates (clamped valid).
+  double a() const;
+  double b() const;
+  uint64_t observations() const { return observations_; }
+
+  double Cost(uint64_t k) const override;
+  uint64_t MaxBatchWithin(double budget) const override;
+  bool CostPerItemNonIncreasing() const override { return true; }
+  std::string ToString() const override;
+
+  /// Immutable snapshot of the current fit.
+  CostFunctionPtr Freeze() const;
+
+ private:
+  AdaptiveCostOptions options_;
+  // Weighted sufficient statistics for y ~ a*k + b:
+  //   s0 = sum w, s1 = sum w*k, s2 = sum w*k^2,
+  //   t0 = sum w*y, t1 = sum w*k*y.
+  double s0_ = 0.0, s1_ = 0.0, s2_ = 0.0, t0_ = 0.0, t1_ = 0.0;
+  uint64_t observations_ = 0;
+};
+
+}  // namespace abivm
+
+#endif  // ABIVM_COST_ADAPTIVE_COST_H_

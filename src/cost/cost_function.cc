@@ -1,0 +1,263 @@
+#include "cost/cost_function.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace abivm {
+
+namespace {
+
+// Upper limit for the generic doubling search; batch sizes beyond this are
+// treated as unbounded. 2^48 modifications is far past any real workload.
+constexpr uint64_t kSearchCap = uint64_t{1} << 48;
+
+// Slack for floating-point comparisons of accumulated costs.
+constexpr double kEps = 1e-9;
+
+}  // namespace
+
+uint64_t CostFunction::MaxBatchWithin(double budget) const {
+  if (budget < 0.0) return 0;
+  if (Cost(1) > budget + kEps) return 0;
+  // Doubling phase: find hi with Cost(hi) > budget.
+  uint64_t lo = 1;
+  uint64_t hi = 2;
+  while (hi <= kSearchCap && Cost(hi) <= budget + kEps) {
+    lo = hi;
+    hi *= 2;
+  }
+  if (hi > kSearchCap) return kUnboundedBatch;
+  // Invariant: Cost(lo) <= budget < Cost(hi).
+  while (hi - lo > 1) {
+    const uint64_t mid = lo + (hi - lo) / 2;
+    if (Cost(mid) <= budget + kEps) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+LinearCost::LinearCost(double a, double b) : a_(a), b_(b) {
+  ABIVM_CHECK_GT(a, 0.0);
+  ABIVM_CHECK_GE(b, 0.0);
+}
+
+double LinearCost::Cost(uint64_t k) const {
+  if (k == 0) return 0.0;
+  return a_ * static_cast<double>(k) + b_;
+}
+
+uint64_t LinearCost::MaxBatchWithin(double budget) const {
+  if (budget + kEps < a_ + b_) return 0;
+  const double k = (budget - b_) / a_;
+  // Guard against floating-point overshoot at the boundary.
+  auto fits = [&](double v) { return a_ * v + b_ <= budget + kEps; };
+  double candidate = std::floor(k + kEps);
+  if (!fits(candidate)) candidate -= 1.0;
+  if (candidate < 1.0) return 0;
+  if (candidate >= static_cast<double>(kUnboundedBatch)) {
+    return kUnboundedBatch;
+  }
+  return static_cast<uint64_t>(candidate);
+}
+
+std::string LinearCost::ToString() const {
+  std::ostringstream oss;
+  oss << "linear(a=" << a_ << ",b=" << b_ << ")";
+  return oss.str();
+}
+
+AffineCappedCost::AffineCappedCost(double a, double b, uint64_t cap)
+    : a_(a), b_(b), cap_(cap) {
+  ABIVM_CHECK_GT(a, 0.0);
+  ABIVM_CHECK_GE(b, 0.0);
+  ABIVM_CHECK_GE(cap, uint64_t{1});
+}
+
+double AffineCappedCost::Cost(uint64_t k) const {
+  if (k == 0) return 0.0;
+  const uint64_t effective = k < cap_ ? k : cap_;
+  return a_ * static_cast<double>(effective) + b_;
+}
+
+uint64_t AffineCappedCost::MaxBatchWithin(double budget) const {
+  if (plateau() <= budget + kEps) return kUnboundedBatch;
+  return LinearCost(a_, b_).MaxBatchWithin(budget);
+}
+
+std::string AffineCappedCost::ToString() const {
+  std::ostringstream oss;
+  oss << "affine_capped(a=" << a_ << ",b=" << b_ << ",cap=" << cap_ << ")";
+  return oss.str();
+}
+
+StepCost::StepCost(uint64_t block, double cost_per_block)
+    : block_(block), cost_per_block_(cost_per_block) {
+  ABIVM_CHECK_GE(block, uint64_t{1});
+  ABIVM_CHECK_GT(cost_per_block, 0.0);
+}
+
+double StepCost::Cost(uint64_t k) const {
+  const uint64_t blocks = (k + block_ - 1) / block_;
+  return static_cast<double>(blocks) * cost_per_block_;
+}
+
+uint64_t StepCost::MaxBatchWithin(double budget) const {
+  if (budget + kEps < cost_per_block_) return 0;
+  const double max_blocks = std::floor(budget / cost_per_block_ + kEps);
+  if (max_blocks >= static_cast<double>(kUnboundedBatch / block_)) {
+    return kUnboundedBatch;
+  }
+  return static_cast<uint64_t>(max_blocks) * block_;
+}
+
+std::string StepCost::ToString() const {
+  std::ostringstream oss;
+  oss << "step(block=" << block_ << ",cost=" << cost_per_block_ << ")";
+  return oss.str();
+}
+
+ConcaveCost::ConcaveCost(double a, double b) : a_(a), b_(b) {
+  ABIVM_CHECK_GT(a, 0.0);
+  ABIVM_CHECK_GE(b, 0.0);
+}
+
+double ConcaveCost::Cost(uint64_t k) const {
+  if (k == 0) return 0.0;
+  return a_ * std::sqrt(static_cast<double>(k)) + b_;
+}
+
+std::string ConcaveCost::ToString() const {
+  std::ostringstream oss;
+  oss << "concave(a=" << a_ << ",b=" << b_ << ")";
+  return oss.str();
+}
+
+PiecewiseLinearCost::PiecewiseLinearCost(
+    std::vector<std::pair<uint64_t, double>> samples)
+    : samples_(std::move(samples)) {
+  ABIVM_CHECK_MSG(!samples_.empty(),
+                  "PiecewiseLinearCost needs at least one sample");
+  uint64_t prev_k = 0;
+  double prev_cost = 0.0;
+  bool first = true;
+  for (const auto& [k, cost] : samples_) {
+    ABIVM_CHECK_MSG(k >= 1, "sample batch sizes must be >= 1");
+    ABIVM_CHECK_MSG(first || k > prev_k,
+                    "sample batch sizes must be strictly increasing");
+    ABIVM_CHECK_MSG(cost >= prev_cost - kEps,
+                    "sample costs must be non-decreasing");
+    prev_k = k;
+    prev_cost = cost;
+    first = false;
+  }
+  // Star-shapedness (per-item cost non-increasing): the ratio f(k)/k is
+  // monotone within every linear segment, so checking breakpoint ratios
+  // plus the extrapolation slope suffices.
+  star_shaped_ = true;
+  double prev_ratio = std::numeric_limits<double>::infinity();
+  for (const auto& [k, cost] : samples_) {
+    const double ratio = cost / static_cast<double>(k);
+    if (ratio > prev_ratio + kEps) {
+      star_shaped_ = false;
+      break;
+    }
+    prev_ratio = ratio;
+  }
+  if (star_shaped_ && samples_.size() >= 2) {
+    const auto& [ka, ca] = samples_[samples_.size() - 2];
+    const auto& [kb, cb] = samples_.back();
+    const double slope = (cb - ca) / static_cast<double>(kb - ka);
+    if (slope > cb / static_cast<double>(kb) + kEps) star_shaped_ = false;
+  }
+}
+
+double PiecewiseLinearCost::Cost(uint64_t k) const {
+  if (k == 0) return 0.0;
+  // Implicit origin point (0, 0).
+  uint64_t k0 = 0;
+  double c0 = 0.0;
+  for (const auto& [ks, cs] : samples_) {
+    if (k <= ks) {
+      const double frac = static_cast<double>(k - k0) /
+                          static_cast<double>(ks - k0);
+      return c0 + frac * (cs - c0);
+    }
+    k0 = ks;
+    c0 = cs;
+  }
+  // Extrapolate beyond the last sample using the last segment's slope.
+  double slope = 0.0;
+  if (samples_.size() >= 2) {
+    const auto& [ka, ca] = samples_[samples_.size() - 2];
+    const auto& [kb, cb] = samples_.back();
+    slope = (cb - ca) / static_cast<double>(kb - ka);
+  } else {
+    slope = samples_[0].second / static_cast<double>(samples_[0].first);
+  }
+  if (slope < 0.0) slope = 0.0;
+  return c0 + slope * static_cast<double>(k - k0);
+}
+
+std::string PiecewiseLinearCost::ToString() const {
+  std::ostringstream oss;
+  oss << "piecewise(" << samples_.size() << " samples, last=("
+      << samples_.back().first << "," << samples_.back().second << "))";
+  return oss.str();
+}
+
+CostFunctionPtr MakePaperGapCost(double epsilon, double budget_c) {
+  ABIVM_CHECK_GT(epsilon, 0.0);
+  ABIVM_CHECK_LE(epsilon, 1.0);
+  ABIVM_CHECK_GT(budget_c, 0.0);
+  // f(x) = (eps*x/2)*C up to x = 2/eps (where f = C); one more modification
+  // reaches the plateau (1 + eps/2)*C, exactly the capped-affine form with
+  // slope eps*C/2, intercept 0, cap 2/eps + 1.
+  const double slope = epsilon * budget_c / 2.0;
+  const auto cap = static_cast<uint64_t>(std::llround(2.0 / epsilon)) + 1;
+  return std::make_shared<AffineCappedCost>(slope, /*b=*/0.0, cap);
+}
+
+CostFunctionPtr MakePaperFig1LinearSideCost() {
+  // "the server spends roughly 0.25 ms for each tuple of dS"; the tiny
+  // intercept keeps the function strictly valid (b >= 0 is required, and
+  // a pure a*k works too -- 0 is allowed).
+  return std::make_shared<LinearCost>(0.25, 0.0);
+}
+
+CostFunctionPtr MakePaperFig1ScanSideCost() {
+  // Slope from the two published points c(180) ~= 305 and c(600) ~= 350:
+  // (350 - 305) / 420 ~= 0.107; intercept 305 - 0.107*180 ~= 285.7; the
+  // plateau sits just above the 350 ms constraint so that batching 600
+  // modifications is possible but 610 force a flush.
+  return std::make_shared<AffineCappedCost>(0.107, 285.7, 610);
+}
+
+bool IsMonotone(const CostFunction& f, uint64_t max_k) {
+  double prev = f.Cost(0);
+  if (prev != 0.0) return false;
+  for (uint64_t k = 1; k <= max_k; ++k) {
+    const double cur = f.Cost(k);
+    if (cur + kEps < prev) return false;
+    prev = cur;
+  }
+  return true;
+}
+
+bool IsSubadditive(const CostFunction& f, uint64_t max_k) {
+  if (f.Cost(0) != 0.0) return false;
+  std::vector<double> costs(max_k + 1);
+  for (uint64_t k = 0; k <= max_k; ++k) costs[k] = f.Cost(k);
+  for (uint64_t x = 1; x <= max_k; ++x) {
+    for (uint64_t y = x; x + y <= max_k; ++y) {
+      if (costs[x + y] > costs[x] + costs[y] + kEps) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace abivm

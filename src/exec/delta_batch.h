@@ -1,0 +1,25 @@
+// DeltaRow batches: the unit of data flowing through maintenance
+// pipelines. Each row carries a signed multiplicity (+1 for rows entering
+// the view's join result, -1 for rows leaving it); bag semantics
+// throughout.
+
+#ifndef ABIVM_EXEC_DELTA_BATCH_H_
+#define ABIVM_EXEC_DELTA_BATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace abivm {
+
+struct DeltaRow {
+  Row row;
+  int64_t mult = 1;
+};
+
+using DeltaBatch = std::vector<DeltaRow>;
+
+}  // namespace abivm
+
+#endif  // ABIVM_EXEC_DELTA_BATCH_H_

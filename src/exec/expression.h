@@ -1,0 +1,36 @@
+// Scalar comparison predicates evaluated against flat (combined) rows.
+
+#ifndef ABIVM_EXEC_EXPRESSION_H_
+#define ABIVM_EXEC_EXPRESSION_H_
+
+#include <string>
+
+#include "storage/value.h"
+
+namespace abivm {
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CompareOpName(CompareOp op);
+
+inline bool EvalCompare(const Value& lhs, CompareOp op, const Value& rhs) {
+  switch (op) {
+    case CompareOp::kEq:
+      return lhs == rhs;
+    case CompareOp::kNe:
+      return lhs != rhs;
+    case CompareOp::kLt:
+      return lhs < rhs;
+    case CompareOp::kLe:
+      return lhs <= rhs;
+    case CompareOp::kGt:
+      return lhs > rhs;
+    case CompareOp::kGe:
+      return lhs >= rhs;
+  }
+  return false;
+}
+
+}  // namespace abivm
+
+#endif  // ABIVM_EXEC_EXPRESSION_H_

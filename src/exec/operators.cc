@@ -1,0 +1,138 @@
+#include "exec/operators.h"
+
+#include <unordered_map>
+
+namespace abivm {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+DeltaBatch ScanToBatch(const Table& table, Version version,
+                       ExecStats* stats) {
+  DeltaBatch out;
+  out.reserve(table.live_row_count());
+  table.ScanAt(version, [&](RowId, const Row& row) {
+    if (stats != nullptr) ++stats->rows_scanned;
+    out.push_back(DeltaRow{row, 1});
+  });
+  if (stats != nullptr) stats->output_rows += out.size();
+  return out;
+}
+
+namespace {
+
+Row ConcatProject(const Row& left, const Row& right,
+                  const std::vector<size_t>& right_keep) {
+  Row out;
+  out.reserve(left.size() + right_keep.size());
+  out.insert(out.end(), left.begin(), left.end());
+  for (size_t c : right_keep) {
+    ABIVM_DCHECK(c < right.size());
+    out.push_back(right[c]);
+  }
+  return out;
+}
+
+DeltaBatch IndexNestedLoopJoin(const DeltaBatch& input, size_t left_col,
+                               const Table& table, size_t right_col,
+                               const std::vector<size_t>& right_keep,
+                               Version version, ExecStats* stats) {
+  DeltaBatch out;
+  for (const DeltaRow& delta : input) {
+    if (stats != nullptr) ++stats->index_probes;
+    table.IndexLookup(
+        right_col, delta.row[left_col], version,
+        [&](RowId, const Row& matched) {
+          out.push_back(DeltaRow{
+              ConcatProject(delta.row, matched, right_keep), delta.mult});
+        });
+  }
+  if (stats != nullptr) stats->output_rows += out.size();
+  return out;
+}
+
+DeltaBatch HashJoinScan(const DeltaBatch& input, size_t left_col,
+                        const Table& table, size_t right_col,
+                        const std::vector<size_t>& right_keep,
+                        Version version, ExecStats* stats) {
+  // Build side: the (small) delta batch, keyed by the join value.
+  std::unordered_multimap<Value, size_t, ValueHash> build;
+  build.reserve(input.size());
+  for (size_t i = 0; i < input.size(); ++i) {
+    build.emplace(input[i].row[left_col], i);
+  }
+  if (stats != nullptr) stats->hash_build_rows += input.size();
+
+  DeltaBatch out;
+  table.ScanAt(version, [&](RowId, const Row& row) {
+    if (stats != nullptr) ++stats->rows_scanned;
+    auto [begin, end] = build.equal_range(row[right_col]);
+    for (auto it = begin; it != end; ++it) {
+      const DeltaRow& delta = input[it->second];
+      out.push_back(
+          DeltaRow{ConcatProject(delta.row, row, right_keep), delta.mult});
+    }
+  });
+  if (stats != nullptr) stats->output_rows += out.size();
+  return out;
+}
+
+}  // namespace
+
+DeltaBatch JoinBatchWithTable(const DeltaBatch& input, size_t left_col,
+                              const Table& table, size_t right_col,
+                              const std::vector<size_t>& right_keep,
+                              Version version, ExecStats* stats) {
+  if (input.empty()) return {};
+  if (table.HasIndexOn(right_col)) {
+    return IndexNestedLoopJoin(input, left_col, table, right_col,
+                               right_keep, version, stats);
+  }
+  return HashJoinScan(input, left_col, table, right_col, right_keep,
+                      version, stats);
+}
+
+DeltaBatch FilterBatch(const DeltaBatch& input, size_t column, CompareOp op,
+                       const Value& constant) {
+  DeltaBatch out;
+  out.reserve(input.size());
+  for (const DeltaRow& delta : input) {
+    if (EvalCompare(delta.row[column], op, constant)) {
+      out.push_back(delta);
+    }
+  }
+  return out;
+}
+
+DeltaBatch ProjectBatch(const DeltaBatch& input,
+                        const std::vector<size_t>& columns) {
+  DeltaBatch out;
+  out.reserve(input.size());
+  for (const DeltaRow& delta : input) {
+    Row projected;
+    projected.reserve(columns.size());
+    for (size_t c : columns) {
+      ABIVM_DCHECK(c < delta.row.size());
+      projected.push_back(delta.row[c]);
+    }
+    out.push_back(DeltaRow{std::move(projected), delta.mult});
+  }
+  return out;
+}
+
+}  // namespace abivm

@@ -1,0 +1,67 @@
+// Physical operators for maintenance pipelines. All of them evaluate
+// against an explicit table snapshot version, so a pipeline can join a
+// delta batch with each co-table "as of" that table's own watermark.
+//
+// Two join strategies produce the paper's cost asymmetry:
+//   * IndexNestedLoopJoin: one index probe per input delta row -- cost
+//     linear in the batch size (the "c_dS" shape of Figure 1);
+//   * HashJoinScan: build a hash table over the delta batch, then scan the
+//     co-table once -- cost dominated by the scan, nearly flat in the
+//     batch size (the "c_dR" shape).
+
+#ifndef ABIVM_EXEC_OPERATORS_H_
+#define ABIVM_EXEC_OPERATORS_H_
+
+#include <cstdint>
+
+#include "exec/delta_batch.h"
+#include "exec/expression.h"
+#include "storage/table.h"
+
+namespace abivm {
+
+/// Work counters; accumulated across a pipeline run. The unit tests use
+/// them to verify strategy selection, and the micro-benchmarks report
+/// them.
+struct ExecStats {
+  uint64_t rows_scanned = 0;
+  uint64_t index_probes = 0;
+  uint64_t hash_build_rows = 0;
+  uint64_t output_rows = 0;
+
+  ExecStats& operator+=(const ExecStats& other) {
+    rows_scanned += other.rows_scanned;
+    index_probes += other.index_probes;
+    hash_build_rows += other.hash_build_rows;
+    output_rows += other.output_rows;
+    return *this;
+  }
+};
+
+/// Materializes all rows of `table` visible at `version` as a +1 batch
+/// (used by full recompute).
+DeltaBatch ScanToBatch(const Table& table, Version version,
+                       ExecStats* stats);
+
+/// Equi-joins `input` with `table` on input[left_col] == row[right_col],
+/// seeing `table` as of `version`. Output rows are input ++ the
+/// `right_keep` columns of the matched table row (early projection: only
+/// the columns the rest of the pipeline needs are materialized).
+/// Multiplicities preserved. Uses the index on right_col when present,
+/// otherwise a hash build over `input` plus one table scan.
+DeltaBatch JoinBatchWithTable(const DeltaBatch& input, size_t left_col,
+                              const Table& table, size_t right_col,
+                              const std::vector<size_t>& right_keep,
+                              Version version, ExecStats* stats);
+
+/// Keeps rows whose `column` satisfies the comparison.
+DeltaBatch FilterBatch(const DeltaBatch& input, size_t column, CompareOp op,
+                       const Value& constant);
+
+/// Keeps only the named column positions (in the given order).
+DeltaBatch ProjectBatch(const DeltaBatch& input,
+                        const std::vector<size_t>& columns);
+
+}  // namespace abivm
+
+#endif  // ABIVM_EXEC_OPERATORS_H_

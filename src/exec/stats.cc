@@ -1,0 +1,91 @@
+#include "exec/stats.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace abivm {
+
+namespace {
+
+// Fallback fractions when interpolation is impossible (System R's
+// historical defaults).
+constexpr double kDefaultEqualitySelectivity = 0.1;
+constexpr double kDefaultRangeSelectivity = 1.0 / 3.0;
+
+std::optional<double> AsNumeric(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kInt64:
+      return static_cast<double>(v.AsInt64());
+    case ValueType::kDouble:
+      return v.AsDouble();
+    case ValueType::kString:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+ColumnStats ComputeColumnStats(const Table& table, size_t column,
+                               Version version) {
+  ABIVM_CHECK_LT(column, table.schema().num_columns());
+  ColumnStats stats;
+  std::unordered_set<Value, ValueHash> distinct;
+  table.ScanAt(version, [&](RowId, const Row& row) {
+    const Value& v = row[column];
+    ++stats.row_count;
+    distinct.insert(v);
+    if (!stats.min.has_value() || v < *stats.min) stats.min = v;
+    if (!stats.max.has_value() || *stats.max < v) stats.max = v;
+  });
+  stats.distinct_count = distinct.size();
+  return stats;
+}
+
+double EstimateSelectivity(const ColumnStats& stats, CompareOp op,
+                           const Value& constant) {
+  if (stats.row_count == 0) return 0.0;
+
+  const double equality =
+      stats.distinct_count > 0
+          ? 1.0 / static_cast<double>(stats.distinct_count)
+          : kDefaultEqualitySelectivity;
+
+  switch (op) {
+    case CompareOp::kEq: {
+      // Outside the observed range nothing matches.
+      if (stats.min.has_value() &&
+          (constant < *stats.min || *stats.max < constant)) {
+        return 0.0;
+      }
+      return equality;
+    }
+    case CompareOp::kNe:
+      return std::max(0.0, 1.0 - equality);
+    case CompareOp::kLt:
+    case CompareOp::kLe:
+    case CompareOp::kGt:
+    case CompareOp::kGe: {
+      if (!stats.min.has_value()) return kDefaultRangeSelectivity;
+      const std::optional<double> lo = AsNumeric(*stats.min);
+      const std::optional<double> hi = AsNumeric(*stats.max);
+      const std::optional<double> c = AsNumeric(constant);
+      if (!lo.has_value() || !hi.has_value() || !c.has_value()) {
+        return kDefaultRangeSelectivity;  // strings: no interpolation
+      }
+      if (*hi <= *lo) {
+        // Single-point column: the comparison either keeps all or none.
+        const bool keeps = EvalCompare(*stats.min, op, constant);
+        return keeps ? 1.0 : 0.0;
+      }
+      double below = (*c - *lo) / (*hi - *lo);  // fraction with value < c
+      below = std::clamp(below, 0.0, 1.0);
+      const bool less_side =
+          op == CompareOp::kLt || op == CompareOp::kLe;
+      return less_side ? below : 1.0 - below;
+    }
+  }
+  return kDefaultRangeSelectivity;
+}
+
+}  // namespace abivm

@@ -1,0 +1,39 @@
+// Column statistics and System-R-style selectivity estimation, feeding
+// the maintenance planner's join-order decisions.
+
+#ifndef ABIVM_EXEC_STATS_H_
+#define ABIVM_EXEC_STATS_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "exec/expression.h"
+#include "storage/table.h"
+
+namespace abivm {
+
+/// Statistics of one column at one snapshot.
+struct ColumnStats {
+  size_t row_count = 0;
+  /// Exact distinct-value count (tables here are memory-resident; no
+  /// sketching needed at these scales).
+  size_t distinct_count = 0;
+  /// Min/max present for non-empty columns.
+  std::optional<Value> min;
+  std::optional<Value> max;
+};
+
+/// Scans `table` at `version` and computes stats for `column`.
+ColumnStats ComputeColumnStats(const Table& table, size_t column,
+                               Version version);
+
+/// Estimated fraction of rows satisfying `column op constant`, in [0, 1].
+/// Uses the classic System-R heuristics: 1/distinct for equality,
+/// linear min-max interpolation for numeric ranges, and conservative
+/// defaults where the stats cannot say more (e.g. string ranges).
+double EstimateSelectivity(const ColumnStats& stats, CompareOp op,
+                           const Value& constant);
+
+}  // namespace abivm
+
+#endif  // ABIVM_EXEC_STATS_H_

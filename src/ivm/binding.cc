@@ -1,0 +1,350 @@
+#include "ivm/binding.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "exec/stats.h"
+
+namespace abivm {
+
+const char* AggKindName(AggKind kind) {
+  switch (kind) {
+    case AggKind::kCount:
+      return "COUNT";
+    case AggKind::kSum:
+      return "SUM";
+    case AggKind::kMin:
+      return "MIN";
+    case AggKind::kMax:
+      return "MAX";
+    case AggKind::kAvg:
+      return "AVG";
+  }
+  return "?";
+}
+
+namespace {
+
+// Intermediate pipeline representation in "full combined row" coordinates
+// (every joined table contributes all its columns), before projection
+// pushdown assigns physical positions.
+struct FullStep {
+  Table* table = nullptr;
+  size_t table_index = 0;
+  size_t offset = 0;      // start of this table's columns in full coords
+  size_t width = 0;       // number of columns
+  size_t left_full = 0;   // join key, full coords (earlier table)
+  size_t right_column = 0;
+  std::vector<BoundPredicate> predicates;  // full coords
+  std::vector<std::pair<size_t, size_t>> residual;  // full coords
+};
+
+}  // namespace
+
+ViewBinding::ViewBinding(Database* db, ViewDef def, BindingOptions options)
+    : db_(db), def_(std::move(def)), options_(options) {
+  ABIVM_CHECK(db_ != nullptr);
+  ABIVM_CHECK_MSG(!def_.tables.empty(), "view needs at least one table");
+  for (size_t i = 0; i < def_.tables.size(); ++i) {
+    for (size_t j = i + 1; j < def_.tables.size(); ++j) {
+      ABIVM_CHECK_MSG(def_.tables[i] != def_.tables[j],
+                      "duplicate table " << def_.tables[i]
+                                         << " (self-joins unsupported)");
+    }
+  }
+  tables_.reserve(def_.tables.size());
+  for (const std::string& name : def_.tables) {
+    tables_.push_back(&db_->table(name));
+  }
+  if (def_.is_aggregate()) {
+    ABIVM_CHECK_MSG(def_.output_columns.empty(),
+                    "aggregate views use group_by, not output_columns");
+  } else {
+    ABIVM_CHECK_MSG(!def_.output_columns.empty(),
+                    "SPJ views need output columns");
+    ABIVM_CHECK_MSG(def_.group_by.empty(),
+                    "group_by requires an aggregate");
+  }
+
+  delta_pipelines_.reserve(def_.tables.size());
+  for (size_t i = 0; i < def_.tables.size(); ++i) {
+    delta_pipelines_.push_back(BuildPipeline(i));
+  }
+  recompute_pipeline_ = BuildPipeline(0);
+}
+
+Table& ViewBinding::base_table(size_t i) const {
+  ABIVM_CHECK_LT(i, tables_.size());
+  return *tables_[i];
+}
+
+size_t ViewBinding::TableIndex(const std::string& name) const {
+  for (size_t i = 0; i < def_.tables.size(); ++i) {
+    if (def_.tables[i] == name) return i;
+  }
+  ABIVM_CHECK_MSG(false, "table " << name << " is not part of view "
+                                  << def_.name);
+  return 0;
+}
+
+const BoundPipeline& ViewBinding::delta_pipeline(size_t i) const {
+  ABIVM_CHECK_LT(i, delta_pipelines_.size());
+  return delta_pipelines_[i];
+}
+
+BoundPipeline ViewBinding::BuildPipeline(size_t leading_index) const {
+  // ---------------------------------------------------------------------
+  // Pass 1: choose the join order and resolve everything in full
+  // combined-row coordinates.
+  constexpr size_t kNotJoined = static_cast<size_t>(-1);
+  std::vector<size_t> offset(def_.tables.size(), kNotJoined);
+  offset[leading_index] = 0;
+  const size_t leading_width =
+      tables_[leading_index]->schema().num_columns();
+  size_t width = leading_width;
+
+  auto resolve = [&](const ColumnRef& ref) -> size_t {
+    const size_t t = TableIndex(ref.table);
+    ABIVM_CHECK_MSG(offset[t] != kNotJoined,
+                    "column " << ref.table << "." << ref.column
+                              << " referenced before its table joins");
+    return offset[t] + tables_[t]->schema().ColumnIndex(ref.column);
+  };
+
+  auto predicates_for = [&](size_t table_index) {
+    std::vector<BoundPredicate> out;
+    for (const PredicateDef& p : def_.predicates) {
+      if (TableIndex(p.column.table) != table_index) continue;
+      out.push_back(BoundPredicate{resolve(p.column), p.op, p.constant});
+    }
+    return out;
+  };
+
+  std::vector<BoundPredicate> leading_predicates =
+      predicates_for(leading_index);
+
+  // Join-order heuristic: among the tables connected to the joined set,
+  // attach the one with the smallest estimated post-filter cardinality
+  // first (dimension tables with selective predicates shrink the delta
+  // stream before it reaches the big tables). Cardinalities come from
+  // column statistics and System-R selectivity estimates. Ties break by
+  // definition order.
+  auto candidate_rank = [&](size_t t) {
+    double rows = static_cast<double>(tables_[t]->live_row_count());
+    for (const PredicateDef& p : def_.predicates) {
+      if (TableIndex(p.column.table) != t) continue;
+      const size_t col =
+          tables_[t]->schema().ColumnIndex(p.column.column);
+      const ColumnStats stats = ComputeColumnStats(
+          *tables_[t], col, db_->current_version());
+      rows *= EstimateSelectivity(stats, p.op, p.constant);
+    }
+    return rows;
+  };
+
+  std::vector<FullStep> full_steps;
+  std::vector<bool> used_join(def_.joins.size(), false);
+  size_t joined = 1;
+  while (joined < def_.tables.size()) {
+    bool progress = false;
+    // Collect joinable candidates and order them by rank.
+    std::vector<size_t> order;
+    for (size_t t = 0; t < def_.tables.size(); ++t) {
+      if (offset[t] == kNotJoined) order.push_back(t);
+    }
+    if (options_.reorder_joins) {
+      std::stable_sort(order.begin(), order.end(),
+                       [&](size_t a, size_t b) {
+                         return candidate_rank(a) < candidate_rank(b);
+                       });
+    }
+    for (size_t oi = 0; oi < order.size() && !progress; ++oi) {
+      const size_t t = order[oi];
+      for (size_t j = 0; j < def_.joins.size(); ++j) {
+        if (used_join[j]) continue;
+        const JoinConditionDef& cond = def_.joins[j];
+        const size_t lt = TableIndex(cond.left.table);
+        const size_t rt = TableIndex(cond.right.table);
+        const ColumnRef* set_side = nullptr;
+        const ColumnRef* new_side = nullptr;
+        if (lt == t && offset[rt] != kNotJoined) {
+          set_side = &cond.right;
+          new_side = &cond.left;
+        } else if (rt == t && offset[lt] != kNotJoined) {
+          set_side = &cond.left;
+          new_side = &cond.right;
+        } else {
+          continue;
+        }
+        used_join[j] = true;
+        FullStep step;
+        step.table = tables_[t];
+        step.table_index = t;
+        step.left_full = resolve(*set_side);
+        step.right_column =
+            tables_[t]->schema().ColumnIndex(new_side->column);
+        step.offset = width;
+        step.width = tables_[t]->schema().num_columns();
+        offset[t] = width;
+        width += step.width;
+        step.predicates = predicates_for(t);
+        // Any further unused conditions whose both sides are now joined
+        // become residual equalities of this step.
+        for (size_t j2 = 0; j2 < def_.joins.size(); ++j2) {
+          if (used_join[j2]) continue;
+          const JoinConditionDef& extra = def_.joins[j2];
+          if (offset[TableIndex(extra.left.table)] == kNotJoined ||
+              offset[TableIndex(extra.right.table)] == kNotJoined) {
+            continue;
+          }
+          used_join[j2] = true;
+          step.residual.emplace_back(resolve(extra.left),
+                                     resolve(extra.right));
+        }
+        full_steps.push_back(std::move(step));
+        ++joined;
+        progress = true;
+        break;
+      }
+    }
+    ABIVM_CHECK_MSG(progress, "join graph of view " << def_.name
+                                                    << " is not connected");
+  }
+
+  const std::vector<ColumnRef>& key_refs =
+      def_.is_aggregate() ? def_.group_by : def_.output_columns;
+  std::vector<size_t> keys_full;
+  for (const ColumnRef& ref : key_refs) keys_full.push_back(resolve(ref));
+  size_t agg_full = 0;
+  const bool has_agg =
+      def_.is_aggregate() && def_.aggregate->kind != AggKind::kCount;
+  if (has_agg) agg_full = resolve(def_.aggregate->column);
+
+  // ---------------------------------------------------------------------
+  // Pass 2 (backward): which full-coordinate columns must survive after
+  // each step (projection pushdown).
+  std::set<size_t> needed(keys_full.begin(), keys_full.end());
+  if (has_agg) needed.insert(agg_full);
+  std::vector<std::set<size_t>> needed_after(full_steps.size());
+  if (options_.projection_pushdown) {
+    for (size_t j = full_steps.size(); j-- > 0;) {
+      needed_after[j] = needed;
+      const FullStep& step = full_steps[j];
+      needed.insert(step.left_full);
+      for (const auto& [a, b] : step.residual) {
+        needed.insert(a);
+        needed.insert(b);
+      }
+      for (const BoundPredicate& p : step.predicates) {
+        needed.insert(p.column);
+      }
+      // Columns provided by this step's table do not exist before it.
+      needed.erase(needed.lower_bound(step.offset),
+                   needed.lower_bound(step.offset + step.width));
+    }
+    // `needed` now holds the leading-table columns the pipeline consumes.
+    for (size_t c : needed) ABIVM_CHECK_LT(c, leading_width);
+  } else {
+    // Ablation mode: everything available is "needed", so every join
+    // materializes full rows.
+    needed.clear();
+    for (size_t c = 0; c < leading_width; ++c) needed.insert(c);
+    size_t available = leading_width;
+    for (size_t j = 0; j < full_steps.size(); ++j) {
+      available += full_steps[j].width;
+      for (size_t c = 0; c < available; ++c) needed_after[j].insert(c);
+    }
+  }
+
+  // ---------------------------------------------------------------------
+  // Pass 3 (forward): emit physical coordinates.
+  BoundPipeline pipeline;
+  pipeline.leading = tables_[leading_index];
+  pipeline.leading_index = leading_index;
+  pipeline.leading_predicates = std::move(leading_predicates);
+
+  std::vector<size_t> layout(needed.begin(), needed.end());
+  if (layout.empty()) {
+    // Degenerate but legal (e.g. COUNT(*) over a single filtered table):
+    // keep one column so rows remain non-empty.
+    layout.push_back(0);
+  }
+  pipeline.initial_projection = layout;
+
+  auto physical = [](const std::vector<size_t>& lay, size_t full) {
+    auto it = std::find(lay.begin(), lay.end(), full);
+    ABIVM_CHECK_MSG(it != lay.end(),
+                    "internal: column " << full << " projected away");
+    return static_cast<size_t>(it - lay.begin());
+  };
+
+  for (size_t j = 0; j < full_steps.size(); ++j) {
+    const FullStep& full = full_steps[j];
+    BoundJoinStep step;
+    step.table = full.table;
+    step.table_index = full.table_index;
+    step.right_column = full.right_column;
+    step.left_column = physical(layout, full.left_full);
+
+    // Which of this table's columns must be appended: everything the
+    // future needs plus this step's own predicates/residuals.
+    std::set<size_t> required_here;
+    for (size_t c : needed_after[j]) required_here.insert(c);
+    for (const BoundPredicate& p : full.predicates) {
+      required_here.insert(p.column);
+    }
+    for (const auto& [a, b] : full.residual) {
+      required_here.insert(a);
+      required_here.insert(b);
+    }
+    for (size_t c : required_here) {
+      if (c >= full.offset && c < full.offset + full.width) {
+        step.right_keep.push_back(c - full.offset);
+      }
+    }
+
+    // Extended layout after the join.
+    std::vector<size_t> extended = layout;
+    for (size_t rk : step.right_keep) extended.push_back(full.offset + rk);
+
+    for (const BoundPredicate& p : full.predicates) {
+      step.predicates.push_back(
+          BoundPredicate{physical(extended, p.column), p.op, p.constant});
+    }
+    for (const auto& [a, b] : full.residual) {
+      step.residual_equalities.emplace_back(physical(extended, a),
+                                            physical(extended, b));
+    }
+
+    // Post-step projection down to needed_after[j].
+    std::vector<size_t> keep_positions;
+    std::vector<size_t> new_layout;
+    for (size_t pos = 0; pos < extended.size(); ++pos) {
+      if (needed_after[j].count(extended[pos]) > 0) {
+        keep_positions.push_back(pos);
+        new_layout.push_back(extended[pos]);
+      }
+    }
+    if (new_layout.empty()) {
+      keep_positions.push_back(0);
+      new_layout.push_back(extended[0]);
+    }
+    if (keep_positions.size() != extended.size()) {
+      step.post_projection = keep_positions;
+    }
+    layout = std::move(new_layout);
+    pipeline.steps.push_back(std::move(step));
+  }
+
+  for (size_t full : keys_full) {
+    pipeline.key_columns.push_back(physical(layout, full));
+  }
+  if (has_agg) {
+    pipeline.aggregate_column = physical(layout, agg_full);
+    pipeline.has_aggregate_column = true;
+  }
+  return pipeline;
+}
+
+}  // namespace abivm

@@ -1,0 +1,124 @@
+// Binding a ViewDef against a Database: resolves names to tables and
+// column offsets, and derives one maintenance pipeline per base table (the
+// join order used to propagate that table's deltas) plus the full
+// recompute pipeline.
+//
+// Pipelines are left-deep: the intermediate row starts as a projection of
+// the leading table's columns and grows by the *kept* columns of one table
+// per step. Early projection is pushed down aggressively -- each step only
+// materializes the columns that later joins, predicates, or the final
+// extraction still need -- so join output cost is proportional to useful
+// data, as in any real executor. The physical join strategy (index
+// nested-loop vs hash build + scan) is chosen at execution time from index
+// availability; this is the mechanism behind the paper's cost asymmetry.
+
+#ifndef ABIVM_IVM_BINDING_H_
+#define ABIVM_IVM_BINDING_H_
+
+#include <string>
+#include <vector>
+
+#include "ivm/view_def.h"
+#include "storage/database.h"
+
+namespace abivm {
+
+/// A predicate resolved to a physical column position. For
+/// `BoundPipeline::leading_predicates` the position is a column index of
+/// the leading table's raw rows (applied before the initial projection);
+/// for `BoundJoinStep::predicates` it is a position in the intermediate
+/// row right after the step's join.
+struct BoundPredicate {
+  size_t column = 0;
+  CompareOp op = CompareOp::kEq;
+  Value constant;
+};
+
+/// One join step of a pipeline. All positions are physical coordinates of
+/// the intermediate row at the point they are used.
+struct BoundJoinStep {
+  Table* table = nullptr;  // the table joining in
+  size_t table_index = 0;  // its position in ViewDef::tables
+  /// Join key position in the incoming intermediate row.
+  size_t left_column = 0;
+  /// Join key column within `table`.
+  size_t right_column = 0;
+  /// Columns of `table` appended to the intermediate row (early
+  /// projection: only what the rest of the pipeline needs).
+  std::vector<size_t> right_keep;
+  /// Predicates on `table`'s columns, applied right after the join.
+  std::vector<BoundPredicate> predicates;
+  /// Extra join conditions connecting `table` to the already-joined set
+  /// (beyond the physical join key), enforced as column equalities after
+  /// the join.
+  std::vector<std::pair<size_t, size_t>> residual_equalities;
+  /// Positions to keep after predicates (empty = keep everything).
+  std::vector<size_t> post_projection;
+};
+
+/// A full maintenance pipeline: start from raw rows of `leading` (a delta
+/// batch or a scan), apply `leading_predicates`, project to
+/// `initial_projection`, then run the join steps in order.
+struct BoundPipeline {
+  Table* leading = nullptr;
+  size_t leading_index = 0;
+  std::vector<BoundPredicate> leading_predicates;
+  /// Leading-table columns retained as the initial intermediate row.
+  std::vector<size_t> initial_projection;
+  std::vector<BoundJoinStep> steps;
+  /// Final-intermediate-row positions of the SPJ output columns or
+  /// group-by key.
+  std::vector<size_t> key_columns;
+  /// Final-intermediate-row position of the aggregated column (aggregate
+  /// views with SUM/MIN/MAX; unused for COUNT and SPJ views).
+  size_t aggregate_column = 0;
+  bool has_aggregate_column = false;
+};
+
+/// Planner toggles; the defaults are what a real engine does. The
+/// ablation bench (`bench/abl_engine_planner`) switches them off to show
+/// their effect on the measured cost shapes.
+struct BindingOptions {
+  /// Order joins smallest-table-first (filtered dimensions early).
+  bool reorder_joins = true;
+  /// Materialize only the columns later pipeline stages need.
+  bool projection_pushdown = true;
+};
+
+/// A ViewDef resolved against a concrete database.
+class ViewBinding {
+ public:
+  /// Validates the definition (tables exist, join graph connected, columns
+  /// resolve, every pipeline is constructible) and builds all pipelines.
+  ViewBinding(Database* db, ViewDef def, BindingOptions options = {});
+
+  const ViewDef& def() const { return def_; }
+  size_t num_tables() const { return def_.tables.size(); }
+
+  Table& base_table(size_t i) const;
+
+  /// Index of a base table within the view (CHECK-fails if not part of it).
+  size_t TableIndex(const std::string& name) const;
+
+  /// Pipeline propagating deltas of base table i.
+  const BoundPipeline& delta_pipeline(size_t i) const;
+
+  /// Pipeline recomputing the view from scratch (leads with tables[0]).
+  const BoundPipeline& recompute_pipeline() const {
+    return recompute_pipeline_;
+  }
+
+ private:
+  BoundPipeline BuildPipeline(size_t leading_index) const;
+
+  Database* db_;
+  ViewDef def_;
+  BindingOptions options_;
+  std::vector<Table*> tables_;
+  std::vector<BoundPipeline> delta_pipelines_;
+  BoundPipeline recompute_pipeline_;
+};
+
+}  // namespace abivm
+
+#endif  // ABIVM_IVM_BINDING_H_

@@ -1,0 +1,70 @@
+#include "ivm/calibrator.h"
+
+#include <algorithm>
+
+namespace abivm {
+
+CostFunctionPtr CalibrationResult::AsLinearCost() const {
+  // A valid LinearCost needs a > 0 and b >= 0; measurement noise on flat
+  // or tiny curves can produce slightly negative estimates.
+  const double a = std::max(fit.slope, 1e-9);
+  const double b = std::max(fit.intercept, 0.0);
+  return std::make_shared<LinearCost>(a, b);
+}
+
+CostFunctionPtr CalibrationResult::AsTableDrivenCost() const {
+  ABIVM_CHECK(!samples.empty());
+  std::vector<std::pair<uint64_t, double>> points;
+  points.reserve(samples.size());
+  double running_max = 0.0;
+  for (const CostSample& s : samples) {
+    // Monotonize: measured medians can dip with noise; cost functions
+    // must be non-decreasing.
+    running_max = std::max(running_max, s.median_ms);
+    points.emplace_back(s.batch_size, running_max);
+  }
+  return std::make_shared<PiecewiseLinearCost>(std::move(points));
+}
+
+CalibrationResult CalibrateTableCost(ViewMaintainer& maintainer,
+                                     size_t table_index,
+                                     const std::vector<uint64_t>& batch_sizes,
+                                     CalibratorOptions options) {
+  ABIVM_CHECK(!batch_sizes.empty());
+  ABIVM_CHECK_GE(options.repetitions, 1);
+  CalibrationResult result;
+
+  std::vector<double> xs, ys;
+  for (uint64_t k : batch_sizes) {
+    ABIVM_CHECK_MSG(k >= 1, "batch sizes must be >= 1");
+    ABIVM_CHECK_MSG(maintainer.PendingCount(table_index) >= k,
+                    "calibration needs >= " << k
+                                            << " pending modifications");
+    std::vector<double> times;
+    times.reserve(static_cast<size_t>(options.repetitions));
+    ExecStats representative;
+    for (int r = 0; r < options.repetitions; ++r) {
+      const BatchResult batch = maintainer.ProcessBatch(
+          table_index, static_cast<size_t>(k), /*dry_run=*/true);
+      times.push_back(batch.wall_ms);
+      representative = batch.stats;
+    }
+    CostSample sample;
+    sample.batch_size = k;
+    sample.median_ms = Median(times);
+    sample.stats = representative;
+    result.samples.push_back(sample);
+    xs.push_back(static_cast<double>(k));
+    ys.push_back(sample.median_ms);
+  }
+  if (xs.size() >= 2) {
+    result.fit = FitLinear(xs, ys);
+  } else {
+    result.fit.slope = ys[0] / std::max(xs[0], 1.0);
+    result.fit.intercept = 0.0;
+    result.fit.r_squared = 1.0;
+  }
+  return result;
+}
+
+}  // namespace abivm

@@ -1,0 +1,56 @@
+// CostCalibrator: measures the real engine's batch-maintenance cost as a
+// function of batch size (the paper's Figures 1 and 4) and fits the cost
+// models the scheduler consumes (Section 2: "the cost functions can be
+// provided by a database optimizer, or measured by experiments").
+
+#ifndef ABIVM_IVM_CALIBRATOR_H_
+#define ABIVM_IVM_CALIBRATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/fit.h"
+#include "cost/cost_function.h"
+#include "ivm/maintainer.h"
+
+namespace abivm {
+
+/// One measured point of the cost curve.
+struct CostSample {
+  uint64_t batch_size = 0;
+  double median_ms = 0.0;
+  /// Operator work counters from one representative run.
+  ExecStats stats;
+};
+
+struct CalibrationResult {
+  std::vector<CostSample> samples;
+  /// OLS fit of median_ms against batch_size.
+  LinearFit fit;
+
+  /// LinearCost from the fit, with slope/intercept clamped to tiny
+  /// positive values so the result is a valid cost function even when the
+  /// measured curve is nearly flat.
+  CostFunctionPtr AsLinearCost() const;
+
+  /// PiecewiseLinearCost interpolating the (monotonized) samples.
+  CostFunctionPtr AsTableDrivenCost() const;
+};
+
+struct CalibratorOptions {
+  /// Wall-clock repetitions per batch size; the median is kept.
+  int repetitions = 5;
+};
+
+/// Measures dry-run ProcessBatch(table_index, k) for every k in
+/// `batch_sizes` (ascending). Requires PendingCount(table_index) >= max k:
+/// drive enough modifications into the database first. The maintainer's
+/// watermarks are left untouched.
+CalibrationResult CalibrateTableCost(ViewMaintainer& maintainer,
+                                     size_t table_index,
+                                     const std::vector<uint64_t>& batch_sizes,
+                                     CalibratorOptions options = {});
+
+}  // namespace abivm
+
+#endif  // ABIVM_IVM_CALIBRATOR_H_

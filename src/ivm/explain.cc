@@ -1,0 +1,131 @@
+#include "ivm/explain.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace abivm {
+
+namespace {
+
+// Names the physical columns of the intermediate row as it evolves, so
+// the rendering can print real column names instead of offsets.
+std::vector<std::string> InitialColumns(const BoundPipeline& pipeline) {
+  std::vector<std::string> names;
+  for (size_t c : pipeline.initial_projection) {
+    names.push_back(pipeline.leading->schema().column(c).name);
+  }
+  return names;
+}
+
+std::string JoinNames(const std::vector<std::string>& names) {
+  std::string out;
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += names[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ExplainPipeline(const ViewBinding& binding,
+                            size_t table_index) {
+  const BoundPipeline& pipeline = binding.delta_pipeline(table_index);
+  const ViewDef& def = binding.def();
+  std::ostringstream oss;
+
+  oss << "delta(" << pipeline.leading->name() << ")";
+  for (const BoundPredicate& p : pipeline.leading_predicates) {
+    oss << " [filter " << pipeline.leading->schema().column(p.column).name
+        << " " << CompareOpName(p.op) << " " << p.constant.ToString()
+        << "]";
+  }
+  std::vector<std::string> columns = InitialColumns(pipeline);
+  oss << " [keep: " << JoinNames(columns) << "]\n";
+
+  for (const BoundJoinStep& step : pipeline.steps) {
+    const bool indexed = step.table->HasIndexOn(step.right_column);
+    oss << "  -> " << (indexed ? "INDEX JOIN " : "HASH+SCAN ")
+        << step.table->name() << " ON " << columns[step.left_column]
+        << " = " << step.table->schema().column(step.right_column).name;
+    std::vector<std::string> kept;
+    for (size_t c : step.right_keep) {
+      kept.push_back(step.table->schema().column(c).name);
+    }
+    if (!kept.empty()) oss << " [keep: " << JoinNames(kept) << "]";
+    // Extend the running column names, then filter/project like the
+    // executor does.
+    for (const std::string& name : kept) columns.push_back(name);
+    for (const BoundPredicate& p : step.predicates) {
+      oss << " [filter " << columns[p.column] << " " << CompareOpName(p.op)
+          << " " << p.constant.ToString() << "]";
+    }
+    for (const auto& [a, b] : step.residual_equalities) {
+      oss << " [and " << columns[a] << " = " << columns[b] << "]";
+    }
+    if (!step.post_projection.empty()) {
+      std::vector<std::string> projected;
+      for (size_t pos : step.post_projection) {
+        projected.push_back(columns[pos]);
+      }
+      columns = std::move(projected);
+    }
+    oss << "\n";
+  }
+
+  oss << "  => ";
+  if (def.is_aggregate()) {
+    oss << AggKindName(def.aggregate->kind) << "(";
+    if (pipeline.has_aggregate_column) {
+      oss << columns[pipeline.aggregate_column];
+    } else {
+      oss << "*";
+    }
+    oss << ")";
+    if (!pipeline.key_columns.empty()) {
+      std::vector<std::string> keys;
+      for (size_t c : pipeline.key_columns) keys.push_back(columns[c]);
+      oss << " GROUP BY " << JoinNames(keys);
+    }
+  } else {
+    std::vector<std::string> keys;
+    for (size_t c : pipeline.key_columns) keys.push_back(columns[c]);
+    oss << "PROJECT " << JoinNames(keys);
+  }
+  oss << "\n";
+  return oss.str();
+}
+
+std::string ExplainView(const ViewBinding& binding) {
+  std::ostringstream oss;
+  oss << "view " << binding.def().name << " over "
+      << binding.num_tables() << " tables\n";
+  for (size_t i = 0; i < binding.num_tables(); ++i) {
+    oss << "pipeline for delta(" << binding.def().tables[i] << "):\n"
+        << ExplainPipeline(binding, i);
+  }
+  return oss.str();
+}
+
+std::string ExplainPlan(const ProblemInstance& instance,
+                        const MaintenancePlan& plan) {
+  const PlanTrajectory traj = ComputeTrajectory(instance.arrivals, plan);
+  std::ostringstream oss;
+  oss << "plan over [0, " << plan.horizon() << "], C = " << instance.budget
+      << ", " << plan.actions().size() << " actions\n";
+  double running = 0.0;
+  for (const auto& [t, amounts] : plan.actions()) {
+    const double cost = instance.cost_model.TotalCost(amounts);
+    running += cost;
+    oss << "  t=" << std::setw(6) << t << "  pre="
+        << VecToString(traj.pre[static_cast<size_t>(t)]) << "  process="
+        << VecToString(amounts) << "  cost=" << std::fixed
+        << std::setprecision(3) << cost << "  cumulative=" << running
+        << "\n";
+    oss.unsetf(std::ios::fixed);
+  }
+  oss << "  total cost: " << running << "\n";
+  return oss.str();
+}
+
+}  // namespace abivm

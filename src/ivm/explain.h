@@ -1,0 +1,37 @@
+// EXPLAIN facilities: human-readable rendering of maintenance pipelines
+// (which join strategy each delta stream uses and why) and of maintenance
+// plans (when the scheduler acts, on what, at what cost).
+
+#ifndef ABIVM_IVM_EXPLAIN_H_
+#define ABIVM_IVM_EXPLAIN_H_
+
+#include <string>
+
+#include "core/plan.h"
+#include "ivm/binding.h"
+
+namespace abivm {
+
+/// Renders the delta-propagation pipeline of base table `table_index`,
+/// e.g.:
+///   delta(partsupp) [keep: ps_suppkey, ps_supplycost]
+///     -> INDEX JOIN supplier ON supplier.s_suppkey [keep: s_nationkey]
+///     -> INDEX JOIN nation ON nation.n_nationkey [keep: n_regionkey]
+///     -> INDEX JOIN region ON region.r_regionkey [filter r_name = ...]
+///     => MIN(ps_supplycost)
+/// The strategy shown (INDEX JOIN vs HASH+SCAN) reflects the indexes
+/// present at call time.
+std::string ExplainPipeline(const ViewBinding& binding, size_t table_index);
+
+/// All delta pipelines of the view plus the recompute pipeline.
+std::string ExplainView(const ViewBinding& binding);
+
+/// Renders a maintenance plan against its instance: one line per action
+/// with the pre-action state, the amounts processed, the action cost and
+/// the running total. CHECK-fails if the plan does not fit the instance.
+std::string ExplainPlan(const ProblemInstance& instance,
+                        const MaintenancePlan& plan);
+
+}  // namespace abivm
+
+#endif  // ABIVM_IVM_EXPLAIN_H_

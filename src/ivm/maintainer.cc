@@ -1,0 +1,201 @@
+#include "ivm/maintainer.h"
+
+#include "common/stopwatch.h"
+
+namespace abivm {
+
+namespace {
+
+DeltaBatch ApplyBoundPredicates(DeltaBatch batch,
+                                const std::vector<BoundPredicate>& preds) {
+  for (const BoundPredicate& p : preds) {
+    batch = FilterBatch(batch, p.column, p.op, p.constant);
+  }
+  return batch;
+}
+
+}  // namespace
+
+ViewMaintainer::ViewMaintainer(Database* db, ViewDef def,
+                               BindingOptions options)
+    : db_(db),
+      binding_(db, std::move(def), options),
+      state_(binding_.def().is_aggregate()
+                 ? ViewState(binding_.def().aggregate->kind)
+                 : ViewState()) {
+  positions_.resize(binding_.num_tables());
+  versions_.resize(binding_.num_tables());
+  for (size_t i = 0; i < binding_.num_tables(); ++i) {
+    positions_[i] = binding_.base_table(i).delta_log().size();
+    versions_[i] = db_->current_version();
+  }
+  state_ = RecomputeAtWatermarks();
+}
+
+size_t ViewMaintainer::PendingCount(size_t i) const {
+  ABIVM_CHECK_LT(i, positions_.size());
+  return binding_.base_table(i).delta_log().size() - positions_[i];
+}
+
+StateVec ViewMaintainer::PendingVec() const {
+  StateVec out(num_tables());
+  for (size_t i = 0; i < num_tables(); ++i) out[i] = PendingCount(i);
+  return out;
+}
+
+Version ViewMaintainer::watermark_version(size_t i) const {
+  ABIVM_CHECK_LT(i, versions_.size());
+  return versions_[i];
+}
+
+size_t ViewMaintainer::watermark_position(size_t i) const {
+  ABIVM_CHECK_LT(i, positions_.size());
+  return positions_[i];
+}
+
+size_t ViewMaintainer::VacuumConsumed() {
+  size_t reclaimed = 0;
+  for (size_t i = 0; i < num_tables(); ++i) {
+    Table& table = binding_.base_table(i);
+    reclaimed += table.VacuumBefore(versions_[i]);
+    table.delta_log().TrimBefore(positions_[i]);
+  }
+  return reclaimed;
+}
+
+BatchResult ViewMaintainer::ProcessBatch(size_t i, size_t k, bool dry_run) {
+  ABIVM_CHECK_LT(i, num_tables());
+  ABIVM_CHECK_LE(k, PendingCount(i));
+  BatchResult result;
+  result.processed = k;
+  if (k == 0) return result;
+
+  Stopwatch watch;
+  const DeltaLog& log = binding_.base_table(i).delta_log();
+
+  // Turn the next k modifications into signed delta rows.
+  DeltaBatch batch;
+  batch.reserve(k * 2);
+  Version last_version = versions_[i];
+  for (size_t m = 0; m < k; ++m) {
+    const Modification& mod = log.At(positions_[i] + m);
+    switch (mod.kind) {
+      case ModKind::kInsert:
+        batch.push_back(DeltaRow{mod.new_row, 1});
+        break;
+      case ModKind::kDelete:
+        batch.push_back(DeltaRow{mod.old_row, -1});
+        break;
+      case ModKind::kUpdate:
+        batch.push_back(DeltaRow{mod.old_row, -1});
+        batch.push_back(DeltaRow{mod.new_row, 1});
+        break;
+    }
+    last_version = mod.version;
+  }
+  result.delta_rows_in = batch.size();
+
+  // Dry runs apply the computed deltas to an empty scratch state (same
+  // asymptotic application work as the real run, no O(view) clone), with
+  // negative multiplicities permitted since the base content is absent.
+  ViewState scratch = binding_.def().is_aggregate()
+                          ? ViewState(binding_.def().aggregate->kind)
+                          : ViewState();
+  scratch.AllowNegativeMultiplicities();
+  ViewState* target = dry_run ? &scratch : &state_;
+  result.view_updates = RunPipeline(binding_.delta_pipeline(i),
+                                    std::move(batch), target, &result.stats);
+  if (!dry_run) {
+    positions_[i] += k;
+    versions_[i] = last_version;
+  }
+  result.wall_ms = watch.ElapsedMs();
+  return result;
+}
+
+void ViewMaintainer::RefreshAll() {
+  for (size_t i = 0; i < num_tables(); ++i) {
+    const size_t pending = PendingCount(i);
+    if (pending > 0) ProcessBatch(i, pending);
+  }
+}
+
+bool ViewMaintainer::IsConsistent() const {
+  for (size_t i = 0; i < num_tables(); ++i) {
+    if (PendingCount(i) != 0) return false;
+  }
+  return true;
+}
+
+ViewState ViewMaintainer::RecomputeAtWatermarks() const {
+  const BoundPipeline& pipeline = binding_.recompute_pipeline();
+  ExecStats stats;
+  DeltaBatch batch = ScanToBatch(binding_.base_table(pipeline.leading_index),
+                                 versions_[pipeline.leading_index], &stats);
+  ViewState fresh = binding_.def().is_aggregate()
+                        ? ViewState(binding_.def().aggregate->kind)
+                        : ViewState();
+  RunPipeline(pipeline, std::move(batch), &fresh, &stats);
+  return fresh;
+}
+
+size_t ViewMaintainer::RunPipeline(const BoundPipeline& pipeline,
+                                   DeltaBatch batch, ViewState* target,
+                                   ExecStats* stats) const {
+  // Leading predicates run against raw rows; then project down to the
+  // columns the pipeline actually consumes.
+  batch = ApplyBoundPredicates(std::move(batch),
+                               pipeline.leading_predicates);
+  batch = ProjectBatch(batch, pipeline.initial_projection);
+  for (const BoundJoinStep& step : pipeline.steps) {
+    if (batch.empty()) break;
+    batch = JoinBatchWithTable(batch, step.left_column, *step.table,
+                               step.right_column, step.right_keep,
+                               versions_[step.table_index], stats);
+    for (const auto& [a, b] : step.residual_equalities) {
+      DeltaBatch kept;
+      kept.reserve(batch.size());
+      for (DeltaRow& row : batch) {
+        if (row.row[a] == row.row[b]) kept.push_back(std::move(row));
+      }
+      batch = std::move(kept);
+    }
+    batch = ApplyBoundPredicates(std::move(batch), step.predicates);
+    if (!step.post_projection.empty()) {
+      batch = ProjectBatch(batch, step.post_projection);
+    }
+  }
+  return ApplyToState(pipeline, batch, target);
+}
+
+size_t ViewMaintainer::ApplyToState(const BoundPipeline& pipeline,
+                                    const DeltaBatch& batch,
+                                    ViewState* target) const {
+  static const Value kNoValue(int64_t{0});
+  // Net-aggregate the signed deltas per (group key, aggregate value)
+  // before touching the state: join operators emit output in scan order,
+  // so a batch can contain a removal textually before its matching
+  // insertion; netting first keeps application order-independent and lets
+  // ViewState enforce non-negative multiplicities strictly.
+  std::unordered_map<Row, int64_t, RowHash> net;
+  net.reserve(batch.size());
+  for (const DeltaRow& delta : batch) {
+    Row extracted;
+    extracted.reserve(pipeline.key_columns.size() + 1);
+    for (size_t c : pipeline.key_columns) extracted.push_back(delta.row[c]);
+    extracted.push_back(pipeline.has_aggregate_column
+                            ? delta.row[pipeline.aggregate_column]
+                            : kNoValue);
+    net[std::move(extracted)] += delta.mult;
+  }
+  size_t updates = 0;
+  for (const auto& [extracted, mult] : net) {
+    if (mult == 0) continue;
+    Row key(extracted.begin(), extracted.end() - 1);
+    target->Apply(key, extracted.back(), mult);
+    ++updates;
+  }
+  return updates;
+}
+
+}  // namespace abivm

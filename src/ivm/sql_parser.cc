@@ -1,0 +1,500 @@
+#include "ivm/sql_parser.h"
+
+#include <cctype>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+namespace abivm {
+
+namespace {
+
+// Propagates a Status error out of a Result-returning function.
+#define ABIVM_RETURN_NOT_OK_RESULT(expr)           \
+  do {                                             \
+    ::abivm::Status abivm_status_ = (expr);        \
+    if (!abivm_status_.ok()) return abivm_status_; \
+  } while (0)
+
+// ---------------------------------------------------------------------
+// Tokenizer
+
+enum class TokenKind {
+  kIdent,    // table/column names and keywords
+  kInteger,
+  kFloat,
+  kString,   // 'quoted'
+  kSymbol,   // ( ) , . = <> != < <= > >= *
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   // identifier (lower-cased), symbol, or literal body
+  size_t position = 0;
+};
+
+class Tokenizer {
+ public:
+  explicit Tokenizer(const std::string& input) : input_(input) {}
+
+  Status Run(std::vector<Token>* out) {
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= input_.size()) break;
+      const size_t start = pos_;
+      const char c = input_[pos_];
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        std::string word;
+        while (pos_ < input_.size() &&
+               (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+                input_[pos_] == '_')) {
+          word.push_back(static_cast<char>(
+              std::tolower(static_cast<unsigned char>(input_[pos_]))));
+          ++pos_;
+        }
+        out->push_back(Token{TokenKind::kIdent, std::move(word), start});
+      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                 (c == '-' &&
+                  pos_ + 1 < input_.size() &&
+                  std::isdigit(static_cast<unsigned char>(
+                      input_[pos_ + 1])))) {
+        std::string number;
+        bool has_dot = false;
+        if (c == '-') {
+          number.push_back('-');
+          ++pos_;
+        }
+        while (pos_ < input_.size() &&
+               (std::isdigit(static_cast<unsigned char>(input_[pos_])) ||
+                (!has_dot && input_[pos_] == '.'))) {
+          if (input_[pos_] == '.') {
+            // "1." followed by a non-digit is the dot operator misuse.
+            if (pos_ + 1 >= input_.size() ||
+                !std::isdigit(
+                    static_cast<unsigned char>(input_[pos_ + 1]))) {
+              break;
+            }
+            has_dot = true;
+          }
+          number.push_back(input_[pos_]);
+          ++pos_;
+        }
+        out->push_back(Token{has_dot ? TokenKind::kFloat
+                                     : TokenKind::kInteger,
+                             std::move(number), start});
+      } else if (c == '\'') {
+        ++pos_;
+        std::string body;
+        while (pos_ < input_.size() && input_[pos_] != '\'') {
+          body.push_back(input_[pos_]);
+          ++pos_;
+        }
+        if (pos_ >= input_.size()) {
+          return Error(start, "unterminated string literal");
+        }
+        ++pos_;  // closing quote
+        out->push_back(Token{TokenKind::kString, std::move(body), start});
+      } else {
+        // Multi-char operators first.
+        static constexpr const char* kTwoChar[] = {"<>", "!=", "<=", ">="};
+        std::string symbol(1, c);
+        for (const char* two : kTwoChar) {
+          if (input_.compare(pos_, 2, two) == 0) {
+            symbol = two;
+            break;
+          }
+        }
+        static constexpr char kOneChar[] = "(),.=<>*";
+        if (symbol.size() == 1 &&
+            std::string(kOneChar).find(c) == std::string::npos) {
+          return Error(start, std::string("unexpected character '") + c +
+                                  "'");
+        }
+        pos_ += symbol.size();
+        out->push_back(Token{TokenKind::kSymbol, std::move(symbol), start});
+      }
+    }
+    out->push_back(Token{TokenKind::kEnd, "", input_.size()});
+    return Status::Ok();
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  static Status Error(size_t position, const std::string& message) {
+    std::ostringstream oss;
+    oss << "SQL error at offset " << position << ": " << message;
+    return Status::InvalidArgument(oss.str());
+  }
+
+  const std::string& input_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Parser + resolver
+
+struct RawColumn {
+  std::string table;  // empty = unqualified
+  std::string column;
+  size_t position = 0;
+};
+
+struct RawItem {
+  std::optional<AggKind> aggregate;  // nullopt = plain column
+  bool count_star = false;
+  RawColumn column;
+};
+
+struct RawCondition {
+  RawColumn left;
+  CompareOp op = CompareOp::kEq;
+  // Exactly one of `right_column` / `literal` is set.
+  std::optional<RawColumn> right_column;
+  std::optional<Value> literal;
+};
+
+class Parser {
+ public:
+  Parser(const Database& db, std::string view_name, std::string sql)
+      : db_(db), view_name_(std::move(view_name)), sql_(std::move(sql)) {}
+
+  Result<ViewDef> Run() {
+    Tokenizer tokenizer(sql_);
+    ABIVM_RETURN_NOT_OK_RESULT(tokenizer.Run(&tokens_));
+    ABIVM_RETURN_NOT_OK_RESULT(ParseQuery());
+    return Resolve();
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[cursor_]; }
+  const Token& Advance() { return tokens_[cursor_++]; }
+
+  bool PeekIdent(const std::string& word) const {
+    return Peek().kind == TokenKind::kIdent && Peek().text == word;
+  }
+  bool PeekSymbol(const std::string& symbol) const {
+    return Peek().kind == TokenKind::kSymbol && Peek().text == symbol;
+  }
+  bool ConsumeIdent(const std::string& word) {
+    if (!PeekIdent(word)) return false;
+    ++cursor_;
+    return true;
+  }
+  bool ConsumeSymbol(const std::string& symbol) {
+    if (!PeekSymbol(symbol)) return false;
+    ++cursor_;
+    return true;
+  }
+
+  Status Error(const std::string& message) const {
+    std::ostringstream oss;
+    oss << "SQL error at offset " << Peek().position << ": " << message;
+    return Status::InvalidArgument(oss.str());
+  }
+
+  Status ExpectIdent(const std::string& word) {
+    if (!ConsumeIdent(word)) {
+      return Error("expected '" + word + "'");
+    }
+    return Status::Ok();
+  }
+  Status ExpectSymbol(const std::string& symbol) {
+    if (!ConsumeSymbol(symbol)) {
+      return Error("expected '" + symbol + "'");
+    }
+    return Status::Ok();
+  }
+
+  Status ParseColumnRef(RawColumn* out) {
+    if (Peek().kind != TokenKind::kIdent) {
+      return Error("expected a column reference");
+    }
+    out->position = Peek().position;
+    const std::string first = Advance().text;
+    if (ConsumeSymbol(".")) {
+      if (Peek().kind != TokenKind::kIdent) {
+        return Error("expected a column name after '.'");
+      }
+      out->table = first;
+      out->column = Advance().text;
+    } else {
+      out->column = first;
+    }
+    return Status::Ok();
+  }
+
+  static std::optional<AggKind> AggFromWord(const std::string& word) {
+    if (word == "count") return AggKind::kCount;
+    if (word == "sum") return AggKind::kSum;
+    if (word == "min") return AggKind::kMin;
+    if (word == "max") return AggKind::kMax;
+    if (word == "avg") return AggKind::kAvg;
+    return std::nullopt;
+  }
+
+  Status ParseSelectItem() {
+    RawItem item;
+    if (Peek().kind == TokenKind::kIdent) {
+      // Aggregate only when followed by '('.
+      const std::optional<AggKind> agg = AggFromWord(Peek().text);
+      if (agg.has_value() && tokens_[cursor_ + 1].kind == TokenKind::kSymbol &&
+          tokens_[cursor_ + 1].text == "(") {
+        Advance();  // the aggregate keyword
+        Advance();  // '('
+        item.aggregate = agg;
+        if (*agg == AggKind::kCount && ConsumeSymbol("*")) {
+          item.count_star = true;
+        } else {
+          ABIVM_RETURN_NOT_OK(ParseColumnRef(&item.column));
+        }
+        ABIVM_RETURN_NOT_OK(ExpectSymbol(")"));
+        items_.push_back(std::move(item));
+        return Status::Ok();
+      }
+    }
+    ABIVM_RETURN_NOT_OK(ParseColumnRef(&item.column));
+    items_.push_back(std::move(item));
+    return Status::Ok();
+  }
+
+  Status ParseCondition() {
+    RawCondition cond;
+    ABIVM_RETURN_NOT_OK(ParseColumnRef(&cond.left));
+    if (Peek().kind != TokenKind::kSymbol) {
+      return Error("expected a comparison operator");
+    }
+    const std::string op = Advance().text;
+    if (op == "=") {
+      cond.op = CompareOp::kEq;
+    } else if (op == "<>" || op == "!=") {
+      cond.op = CompareOp::kNe;
+    } else if (op == "<") {
+      cond.op = CompareOp::kLt;
+    } else if (op == "<=") {
+      cond.op = CompareOp::kLe;
+    } else if (op == ">") {
+      cond.op = CompareOp::kGt;
+    } else if (op == ">=") {
+      cond.op = CompareOp::kGe;
+    } else {
+      return Error("unknown operator '" + op + "'");
+    }
+    switch (Peek().kind) {
+      case TokenKind::kIdent: {
+        RawColumn right;
+        ABIVM_RETURN_NOT_OK(ParseColumnRef(&right));
+        cond.right_column = std::move(right);
+        break;
+      }
+      case TokenKind::kInteger:
+        cond.literal = Value(static_cast<int64_t>(
+            std::stoll(Advance().text)));
+        break;
+      case TokenKind::kFloat:
+        cond.literal = Value(std::stod(Advance().text));
+        break;
+      case TokenKind::kString:
+        cond.literal = Value(Advance().text);
+        break;
+      default:
+        return Error("expected a column or literal after the operator");
+    }
+    conditions_.push_back(std::move(cond));
+    return Status::Ok();
+  }
+
+  Status ParseQuery() {
+    ABIVM_RETURN_NOT_OK(ExpectIdent("select"));
+    do {
+      ABIVM_RETURN_NOT_OK(ParseSelectItem());
+    } while (ConsumeSymbol(","));
+
+    ABIVM_RETURN_NOT_OK(ExpectIdent("from"));
+    do {
+      if (Peek().kind != TokenKind::kIdent) {
+        return Error("expected a table name");
+      }
+      tables_.push_back(Advance().text);
+    } while (ConsumeSymbol(","));
+
+    if (ConsumeIdent("where")) {
+      do {
+        ABIVM_RETURN_NOT_OK(ParseCondition());
+      } while (ConsumeIdent("and"));
+    }
+    if (ConsumeIdent("group")) {
+      ABIVM_RETURN_NOT_OK(ExpectIdent("by"));
+      do {
+        RawColumn column;
+        ABIVM_RETURN_NOT_OK(ParseColumnRef(&column));
+        group_by_.push_back(std::move(column));
+      } while (ConsumeSymbol(","));
+    }
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("unexpected trailing input");
+    }
+    return Status::Ok();
+  }
+
+  // Resolves a possibly-unqualified column against the FROM tables.
+  Result<ColumnRef> ResolveColumn(const RawColumn& raw) const {
+    if (!raw.table.empty()) {
+      bool known = false;
+      for (const std::string& t : tables_) known = known || t == raw.table;
+      if (!known) {
+        return Status::InvalidArgument("table '" + raw.table +
+                                       "' is not in the FROM clause");
+      }
+      if (!db_.HasTable(raw.table)) {
+        return Status::InvalidArgument("unknown table '" + raw.table + "'");
+      }
+      const Schema& schema = db_.table(raw.table).schema();
+      for (size_t c = 0; c < schema.num_columns(); ++c) {
+        if (schema.column(c).name == raw.column) {
+          return ColumnRef{raw.table, raw.column};
+        }
+      }
+      return Status::InvalidArgument("table '" + raw.table +
+                                     "' has no column '" + raw.column +
+                                     "'");
+    }
+    std::string owner;
+    for (const std::string& t : tables_) {
+      if (!db_.HasTable(t)) {
+        return Status::InvalidArgument("unknown table '" + t + "'");
+      }
+      const Schema& schema = db_.table(t).schema();
+      for (size_t c = 0; c < schema.num_columns(); ++c) {
+        if (schema.column(c).name == raw.column) {
+          if (!owner.empty()) {
+            return Status::InvalidArgument("column '" + raw.column +
+                                           "' is ambiguous (in '" + owner +
+                                           "' and '" + t + "')");
+          }
+          owner = t;
+        }
+      }
+    }
+    if (owner.empty()) {
+      return Status::InvalidArgument("column '" + raw.column +
+                                     "' not found in any FROM table");
+    }
+    return ColumnRef{owner, raw.column};
+  }
+
+  Result<ViewDef> Resolve() const {
+    ViewDef def;
+    def.name = view_name_;
+    def.tables = tables_;
+
+    // Conditions: column=column -> join; column-op-literal -> predicate.
+    for (const RawCondition& cond : conditions_) {
+      Result<ColumnRef> left = ResolveColumn(cond.left);
+      if (!left.ok()) return left.status();
+      if (cond.right_column.has_value()) {
+        if (cond.op != CompareOp::kEq) {
+          return Status::InvalidArgument(
+              "only equality joins between columns are supported");
+        }
+        Result<ColumnRef> right = ResolveColumn(*cond.right_column);
+        if (!right.ok()) return right.status();
+        def.joins.push_back(JoinConditionDef{*left, *right});
+      } else {
+        def.predicates.push_back(
+            PredicateDef{*left, cond.op, *cond.literal});
+      }
+    }
+
+    // Select items: at most one aggregate; plain items become output
+    // columns (SPJ) or the implied group-by key (aggregate).
+    std::vector<ColumnRef> plain;
+    for (const RawItem& item : items_) {
+      if (item.aggregate.has_value()) {
+        if (def.aggregate.has_value()) {
+          return Status::InvalidArgument(
+              "at most one aggregate per view is supported");
+        }
+        AggregateDef agg;
+        agg.kind = *item.aggregate;
+        if (!item.count_star) {
+          Result<ColumnRef> column = ResolveColumn(item.column);
+          if (!column.ok()) return column.status();
+          agg.column = *column;
+        } else if (agg.kind != AggKind::kCount) {
+          return Status::InvalidArgument("'*' is only valid in COUNT(*)");
+        }
+        def.aggregate = agg;
+      } else {
+        Result<ColumnRef> column = ResolveColumn(item.column);
+        if (!column.ok()) return column.status();
+        plain.push_back(*column);
+      }
+    }
+
+    if (def.aggregate.has_value()) {
+      def.group_by = plain;
+      if (!group_by_.empty()) {
+        // An explicit GROUP BY must list exactly the plain select items.
+        std::vector<ColumnRef> explicit_keys;
+        for (const RawColumn& raw : group_by_) {
+          Result<ColumnRef> column = ResolveColumn(raw);
+          if (!column.ok()) return column.status();
+          explicit_keys.push_back(*column);
+        }
+        if (explicit_keys.size() != plain.size()) {
+          return Status::InvalidArgument(
+              "GROUP BY must list exactly the non-aggregate select "
+              "columns");
+        }
+        for (size_t i = 0; i < plain.size(); ++i) {
+          if (explicit_keys[i].table != plain[i].table ||
+              explicit_keys[i].column != plain[i].column) {
+            return Status::InvalidArgument(
+                "GROUP BY columns must match the non-aggregate select "
+                "columns in order");
+          }
+        }
+      }
+    } else {
+      if (!group_by_.empty()) {
+        return Status::InvalidArgument(
+            "GROUP BY requires an aggregate select item");
+      }
+      if (plain.empty()) {
+        return Status::InvalidArgument("empty select list");
+      }
+      def.output_columns = plain;
+    }
+    return def;
+  }
+
+  const Database& db_;
+  std::string view_name_;
+  std::string sql_;
+  std::vector<Token> tokens_;
+  size_t cursor_ = 0;
+
+  std::vector<RawItem> items_;
+  std::vector<std::string> tables_;
+  std::vector<RawCondition> conditions_;
+  std::vector<RawColumn> group_by_;
+};
+
+#undef ABIVM_RETURN_NOT_OK_RESULT
+
+}  // namespace
+
+Result<ViewDef> ParseViewSql(const Database& db,
+                             const std::string& view_name,
+                             const std::string& sql) {
+  return Parser(db, view_name, sql).Run();
+}
+
+}  // namespace abivm

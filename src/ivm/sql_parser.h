@@ -1,0 +1,48 @@
+// A small SQL front end for view definitions, covering exactly the shape
+// this library maintains (and the shape the paper's evaluation view is
+// written in):
+//
+//   SELECT MIN(ps_supplycost)
+//   FROM partsupp, supplier, nation, region
+//   WHERE s_suppkey = ps_suppkey AND s_nationkey = n_nationkey
+//     AND n_regionkey = r_regionkey AND r_name = 'MIDDLE EAST'
+//
+// Supported grammar (case-insensitive keywords):
+//   query      := SELECT items FROM tables [WHERE conds] [GROUP BY cols]
+//   items      := item (',' item)*
+//   item       := AGG '(' colref ')' | COUNT '(' '*' ')' | colref
+//   AGG        := COUNT | SUM | MIN | MAX | AVG
+//   tables     := ident (',' ident)*
+//   conds      := cond (AND cond)*
+//   cond       := colref op (colref | literal)
+//   op         := '=' | '<>' | '!=' | '<' | '<=' | '>' | '>='
+//   colref     := [table '.'] column
+//   literal    := integer | float | 'single-quoted string'
+//
+// Unqualified columns resolve against the FROM tables' schemas (ambiguity
+// is an error). Column-to-column equality becomes a join condition;
+// column-vs-literal becomes a predicate. At most one aggregate item is
+// allowed (the engine's view shape); with an aggregate, the remaining
+// plain items become the GROUP BY key (an explicit GROUP BY must match).
+
+#ifndef ABIVM_IVM_SQL_PARSER_H_
+#define ABIVM_IVM_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "ivm/view_def.h"
+#include "storage/database.h"
+
+namespace abivm {
+
+/// Parses `sql` into a ViewDef named `view_name`, resolving table and
+/// column names against `db`. Returns InvalidArgument with a position-
+/// annotated message on syntax or resolution errors.
+Result<ViewDef> ParseViewSql(const Database& db,
+                             const std::string& view_name,
+                             const std::string& sql);
+
+}  // namespace abivm
+
+#endif  // ABIVM_IVM_SQL_PARSER_H_

@@ -1,0 +1,68 @@
+// Logical view definitions: select-project-equijoin cores with optional
+// GROUP BY aggregation (COUNT / SUM / MIN / MAX). This covers the paper's
+// evaluation view -- a scalar MIN over a 4-way join with a constant
+// filter -- and the general shapes its framework targets.
+
+#ifndef ABIVM_IVM_VIEW_DEF_H_
+#define ABIVM_IVM_VIEW_DEF_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exec/expression.h"
+#include "storage/value.h"
+
+namespace abivm {
+
+/// A column of a named base table.
+struct ColumnRef {
+  std::string table;
+  std::string column;
+};
+
+/// Equi-join condition left.column = right.column between two base tables.
+struct JoinConditionDef {
+  ColumnRef left;
+  ColumnRef right;
+};
+
+/// Comparison of a base-table column against a constant.
+struct PredicateDef {
+  ColumnRef column;
+  CompareOp op;
+  Value constant;
+};
+
+enum class AggKind { kCount, kSum, kMin, kMax, kAvg };
+
+const char* AggKindName(AggKind kind);
+
+struct AggregateDef {
+  AggKind kind = AggKind::kCount;
+  /// Aggregated column; ignored for kCount.
+  ColumnRef column;
+};
+
+/// A materialized view definition. Two shapes:
+///   * SPJ view: no `aggregate`; the content is the bag of `output_columns`
+///     projections of the join result.
+///   * Aggregate view: `aggregate` set; the content is one aggregate value
+///     per `group_by` key (scalar when `group_by` is empty).
+struct ViewDef {
+  std::string name;
+  /// Distinct base tables; the join graph over them must be connected.
+  std::vector<std::string> tables;
+  std::vector<JoinConditionDef> joins;
+  std::vector<PredicateDef> predicates;
+
+  std::vector<ColumnRef> output_columns;  // SPJ views
+  std::vector<ColumnRef> group_by;        // aggregate views
+  std::optional<AggregateDef> aggregate;
+
+  bool is_aggregate() const { return aggregate.has_value(); }
+};
+
+}  // namespace abivm
+
+#endif  // ABIVM_IVM_VIEW_DEF_H_

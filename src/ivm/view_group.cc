@@ -1,0 +1,61 @@
+#include "ivm/view_group.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace abivm {
+
+ViewGroup::ViewGroup(Database* db) : db_(db) {
+  ABIVM_CHECK(db != nullptr);
+}
+
+ViewMaintainer& ViewGroup::AddView(ViewDef def, BindingOptions options) {
+  views_.push_back(
+      std::make_unique<ViewMaintainer>(db_, std::move(def), options));
+  return *views_.back();
+}
+
+ViewMaintainer& ViewGroup::view(size_t i) {
+  ABIVM_CHECK_LT(i, views_.size());
+  return *views_[i];
+}
+
+ViewMaintainer* ViewGroup::FindView(const std::string& name) {
+  for (auto& v : views_) {
+    if (v->binding().def().name == name) return v.get();
+  }
+  return nullptr;
+}
+
+void ViewGroup::RefreshAll() {
+  for (auto& v : views_) v->RefreshAll();
+}
+
+bool ViewGroup::AllConsistent() const {
+  for (const auto& v : views_) {
+    if (!v->IsConsistent()) return false;
+  }
+  return true;
+}
+
+size_t ViewGroup::VacuumConsumed() {
+  size_t reclaimed = 0;
+  for (const auto& table_ptr : db_->tables()) {
+    Table& table = *table_ptr;
+    Version min_version = db_->current_version();
+    size_t min_position = table.delta_log().size();
+    for (const auto& v : views_) {
+      const ViewBinding& binding = v->binding();
+      for (size_t i = 0; i < binding.num_tables(); ++i) {
+        if (&binding.base_table(i) != &table) continue;
+        min_version = std::min(min_version, v->watermark_version(i));
+        min_position = std::min(min_position, v->watermark_position(i));
+      }
+    }
+    reclaimed += table.VacuumBefore(min_version);
+    table.delta_log().TrimBefore(min_position);
+  }
+  return reclaimed;
+}
+
+}  // namespace abivm

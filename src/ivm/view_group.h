@@ -1,0 +1,55 @@
+// ViewGroup: several materialized views over one shared database -- the
+// paper's publish/subscribe setting, where every subscription's content
+// query is a view. Each view keeps independent per-table watermarks into
+// the shared delta logs (so different subscriptions can run different
+// batching policies, cf. Colby et al.'s multiple-policy work the paper
+// cites); the group coordinates the one thing that must be shared:
+// garbage collection, which may only reclaim history no view still needs.
+
+#ifndef ABIVM_IVM_VIEW_GROUP_H_
+#define ABIVM_IVM_VIEW_GROUP_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ivm/maintainer.h"
+
+namespace abivm {
+
+class ViewGroup {
+ public:
+  explicit ViewGroup(Database* db);
+
+  ViewGroup(const ViewGroup&) = delete;
+  ViewGroup& operator=(const ViewGroup&) = delete;
+
+  /// Creates and registers a maintainer for `def`. The new view starts
+  /// consistent with the database's current state.
+  ViewMaintainer& AddView(ViewDef def, BindingOptions options = {});
+
+  size_t size() const { return views_.size(); }
+  ViewMaintainer& view(size_t i);
+
+  /// Maintainer of the view with the given ViewDef::name, or nullptr.
+  ViewMaintainer* FindView(const std::string& name);
+
+  /// Brings every view fully up to date.
+  void RefreshAll();
+
+  bool AllConsistent() const;
+
+  /// Garbage-collects shared history: each table is vacuumed to the
+  /// MINIMUM watermark version across the views that read it, and its
+  /// delta log trimmed to the minimum consumed position. Tables no view
+  /// reads are vacuumed fully. Returns row versions reclaimed.
+  size_t VacuumConsumed();
+
+ private:
+  Database* db_;
+  std::vector<std::unique_ptr<ViewMaintainer>> views_;
+};
+
+}  // namespace abivm
+
+#endif  // ABIVM_IVM_VIEW_GROUP_H_

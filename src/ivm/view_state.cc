@@ -1,0 +1,113 @@
+#include "ivm/view_state.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace abivm {
+
+namespace {
+
+double NumericValue(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kInt64:
+      return static_cast<double>(v.AsInt64());
+    case ValueType::kDouble:
+      return v.AsDouble();
+    case ValueType::kString:
+      ABIVM_CHECK_MSG(false, "cannot SUM a string column");
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+void ViewState::Apply(const Row& key, const Value& value, int64_t mult) {
+  ABIVM_CHECK_NE(mult, 0);
+  GroupState& group = groups_[key];
+  group.count += mult;
+  ABIVM_CHECK_MSG(allow_negative_ || group.count >= 0,
+                  "negative multiplicity for key " << RowToString(key)
+                                                   << " -- delta stream "
+                                                      "inconsistent");
+  if (aggregate_.has_value()) {
+    switch (*aggregate_) {
+      case AggKind::kCount:
+        break;
+      case AggKind::kSum:
+      case AggKind::kAvg:
+        group.sum += static_cast<double>(mult) * NumericValue(value);
+        break;
+      case AggKind::kMin:
+      case AggKind::kMax: {
+        int64_t& count = group.values[value];
+        count += mult;
+        ABIVM_CHECK_MSG(allow_negative_ || count >= 0,
+                        "negative multiplicity for value "
+                            << value.ToString());
+        if (count == 0) group.values.erase(value);
+        break;
+      }
+    }
+  }
+  if (group.count == 0 && group.values.empty()) groups_.erase(key);
+}
+
+int64_t ViewState::RowMultiplicity(const Row& row) const {
+  auto it = groups_.find(row);
+  return it == groups_.end() ? 0 : it->second.count;
+}
+
+int64_t ViewState::GroupContributors(const Row& key) const {
+  auto it = groups_.find(key);
+  return it == groups_.end() ? 0 : it->second.count;
+}
+
+std::optional<double> ViewState::GroupSum(const Row& key) const {
+  auto it = groups_.find(key);
+  if (it == groups_.end()) return std::nullopt;
+  return it->second.sum;
+}
+
+std::optional<double> ViewState::GroupAvg(const Row& key) const {
+  auto it = groups_.find(key);
+  if (it == groups_.end() || it->second.count == 0) return std::nullopt;
+  return it->second.sum / static_cast<double>(it->second.count);
+}
+
+std::optional<Value> ViewState::GroupMin(const Row& key) const {
+  auto it = groups_.find(key);
+  if (it == groups_.end() || it->second.values.empty()) return std::nullopt;
+  return it->second.values.begin()->first;
+}
+
+std::optional<Value> ViewState::GroupMax(const Row& key) const {
+  auto it = groups_.find(key);
+  if (it == groups_.end() || it->second.values.empty()) return std::nullopt;
+  return it->second.values.rbegin()->first;
+}
+
+std::map<Row, GroupState> ViewState::Snapshot() const {
+  return std::map<Row, GroupState>(groups_.begin(), groups_.end());
+}
+
+bool ViewState::SameContents(const ViewState& other) const {
+  if (groups_.size() != other.groups_.size()) return false;
+  for (const auto& [key, group] : groups_) {
+    auto it = other.groups_.find(key);
+    if (it == other.groups_.end()) return false;
+    const GroupState& theirs = it->second;
+    if (group.count != theirs.count) return false;
+    if (std::abs(group.sum - theirs.sum) > 1e-6) return false;
+    if (group.values != theirs.values) return false;
+  }
+  return true;
+}
+
+std::string ViewState::ToString() const {
+  std::ostringstream oss;
+  oss << (is_aggregate() ? "agg-view" : "spj-view") << "{"
+      << groups_.size() << " keys}";
+  return oss.str();
+}
+
+}  // namespace abivm

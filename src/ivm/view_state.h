@@ -1,0 +1,91 @@
+// Materialized view contents, maintained under signed deltas.
+//
+// A single representation serves both view shapes:
+//   * SPJ views: a bag of output rows (key = projected row, count = bag
+//     multiplicity).
+//   * Aggregate views: one group state per GROUP BY key (empty key for
+//     scalar aggregates). MIN/MAX keep an ordered multiset of contributing
+//     values so deletions are exact without recomputation -- the standard
+//     fix for MIN/MAX not being incrementally maintainable from the
+//     aggregate value alone (the issue the paper's SQL scripts fight).
+
+#ifndef ABIVM_IVM_VIEW_STATE_H_
+#define ABIVM_IVM_VIEW_STATE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "ivm/view_def.h"
+#include "storage/value.h"
+
+namespace abivm {
+
+/// Per-group accumulator.
+struct GroupState {
+  int64_t count = 0;
+  double sum = 0.0;
+  /// Ordered multiset of contributing values (MIN/MAX kinds only).
+  std::map<Value, int64_t> values;
+};
+
+/// The maintained content of a materialized view. Copyable (dry-run
+/// maintenance clones it).
+class ViewState {
+ public:
+  /// SPJ view state (bag of rows).
+  ViewState() : aggregate_(std::nullopt) {}
+  /// Aggregate view state.
+  explicit ViewState(AggKind kind) : aggregate_(kind) {}
+
+  /// Permits negative multiplicities. Only scratch states used by dry-run
+  /// maintenance (which apply deltas without the base content) need this;
+  /// real view states keep the strict non-negativity invariant.
+  void AllowNegativeMultiplicities() { allow_negative_ = true; }
+
+  bool is_aggregate() const { return aggregate_.has_value(); }
+
+  /// Applies one signed delta. For SPJ views `value` is ignored; for
+  /// COUNT it is ignored too; for SUM/MIN/MAX it is the aggregated value.
+  void Apply(const Row& key, const Value& value, int64_t mult);
+
+  /// Number of distinct keys (groups / distinct output rows).
+  size_t NumKeys() const { return groups_.size(); }
+
+  /// Bag multiplicity of an SPJ output row (0 when absent).
+  int64_t RowMultiplicity(const Row& row) const;
+
+  /// Number of join rows contributing to a group (0 when absent).
+  int64_t GroupContributors(const Row& key) const;
+
+  std::optional<double> GroupSum(const Row& key) const;
+  /// sum / count; nullopt for empty groups.
+  std::optional<double> GroupAvg(const Row& key) const;
+  std::optional<Value> GroupMin(const Row& key) const;
+  std::optional<Value> GroupMax(const Row& key) const;
+
+  /// Scalar-aggregate conveniences (empty group key).
+  std::optional<Value> ScalarMin() const { return GroupMin(Row{}); }
+  std::optional<Value> ScalarMax() const { return GroupMax(Row{}); }
+  std::optional<double> ScalarSum() const { return GroupSum(Row{}); }
+  int64_t ScalarCount() const { return GroupContributors(Row{}); }
+
+  /// Deterministic ordered snapshot for equality checks in tests.
+  std::map<Row, GroupState> Snapshot() const;
+
+  /// Exact content equality (counts, sums within 1e-6, multisets).
+  bool SameContents(const ViewState& other) const;
+
+  std::string ToString() const;
+
+ private:
+  std::optional<AggKind> aggregate_;
+  bool allow_negative_ = false;
+  std::unordered_map<Row, GroupState, RowHash> groups_;
+};
+
+}  // namespace abivm
+
+#endif  // ABIVM_IVM_VIEW_STATE_H_

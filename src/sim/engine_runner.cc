@@ -1,0 +1,64 @@
+#include "sim/engine_runner.h"
+
+namespace abivm {
+
+EngineTrace RunOnEngine(ViewMaintainer& maintainer,
+                        const ArrivalSequence& arrivals,
+                        const CostModel& model, double budget,
+                        Policy& policy, const ModificationDriver& driver,
+                        EngineRunnerOptions options) {
+  const size_t n = maintainer.num_tables();
+  ABIVM_CHECK_EQ(arrivals.n(), n);
+  ABIVM_CHECK_EQ(model.n(), n);
+  ABIVM_CHECK_MSG(maintainer.IsConsistent(),
+                  "engine run must start from a refreshed view");
+  const TimeStep horizon = arrivals.horizon();
+  policy.Reset(model, budget);
+
+  EngineTrace trace;
+  if (options.record_steps) {
+    trace.steps.reserve(static_cast<size_t>(horizon) + 1);
+  }
+  for (TimeStep t = 0; t <= horizon; ++t) {
+    const StateVec& d = arrivals.At(t);
+    for (size_t i = 0; i < n; ++i) {
+      for (Count c = 0; c < d[i]; ++c) driver(i);
+    }
+    const StateVec pre_state = maintainer.PendingVec();
+
+    StateVec action;
+    if (t == horizon) {
+      action = pre_state;  // forced refresh
+    } else {
+      action = policy.Act(t, pre_state, d);
+      ABIVM_CHECK_EQ(action.size(), n);
+      ABIVM_CHECK_MSG(FitsWithin(action, pre_state),
+                      "policy " << policy.name()
+                                << " acted beyond the pending deltas");
+    }
+
+    double actual_ms = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (action[i] == 0) continue;
+      const BatchResult result =
+          maintainer.ProcessBatch(i, static_cast<size_t>(action[i]));
+      actual_ms += result.wall_ms;
+    }
+    const double model_cost = model.TotalCost(action);
+    trace.total_model_cost += model_cost;
+    trace.total_actual_ms += actual_ms;
+    if (!IsZeroVec(action)) ++trace.action_count;
+    if (t < horizon &&
+        model.IsFull(maintainer.PendingVec(), budget)) {
+      ++trace.violations;
+    }
+    if (options.record_steps) {
+      trace.steps.push_back(EngineStepRecord{t, d, pre_state, action,
+                                             model_cost, actual_ms});
+    }
+  }
+  ABIVM_CHECK(maintainer.IsConsistent());
+  return trace;
+}
+
+}  // namespace abivm

@@ -1,0 +1,60 @@
+// EngineRunner: executes a maintenance policy against the REAL storage +
+// IVM engine instead of the cost-model simulator. Decisions (fullness,
+// action choice) still use the modelled cost functions -- as a deployed
+// system would -- while every action's actual wall-clock cost is measured.
+// Comparing the two validates the simulation methodology (the paper's
+// Figure 5).
+
+#ifndef ABIVM_SIM_ENGINE_RUNNER_H_
+#define ABIVM_SIM_ENGINE_RUNNER_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/arrivals.h"
+#include "core/cost_model.h"
+#include "core/policy.h"
+#include "ivm/maintainer.h"
+
+namespace abivm {
+
+/// Applies one base-table modification to the database (e.g. one random
+/// supplycost update). The runner calls it d_t[i] times per step.
+using ModificationDriver = std::function<void(size_t table_index)>;
+
+struct EngineStepRecord {
+  TimeStep t = 0;
+  StateVec arrivals;
+  StateVec pre_state;
+  StateVec action;
+  double model_cost = 0.0;
+  double actual_ms = 0.0;
+};
+
+struct EngineTrace {
+  std::vector<EngineStepRecord> steps;
+  double total_model_cost = 0.0;
+  double total_actual_ms = 0.0;
+  uint64_t violations = 0;
+  uint64_t action_count = 0;
+};
+
+struct EngineRunnerOptions {
+  bool record_steps = true;
+};
+
+/// Drives `policy` over the arrival schedule: at each step, `driver`
+/// applies the scheduled modifications, the policy decides which delta
+/// tables to process (table order matches the maintainer's base tables),
+/// and ProcessBatch executes the decision for real. At the final step the
+/// view is refreshed completely; the run CHECKs that the maintainer ends
+/// consistent.
+EngineTrace RunOnEngine(ViewMaintainer& maintainer,
+                        const ArrivalSequence& arrivals,
+                        const CostModel& model, double budget,
+                        Policy& policy, const ModificationDriver& driver,
+                        EngineRunnerOptions options = {});
+
+}  // namespace abivm
+
+#endif  // ABIVM_SIM_ENGINE_RUNNER_H_

@@ -1,0 +1,34 @@
+// Aligned-table and CSV printers shared by the benchmark harnesses, so
+// each bench binary emits the same rows/series the paper's figures plot.
+
+#ifndef ABIVM_SIM_REPORT_H_
+#define ABIVM_SIM_REPORT_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace abivm {
+
+/// Collects rows of string cells and prints them with aligned columns
+/// (and optionally as CSV).
+class ReportTable {
+ public:
+  explicit ReportTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string Num(double value, int precision = 3);
+
+  void PrintAligned(std::ostream& os) const;
+  void PrintCsv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace abivm
+
+#endif  // ABIVM_SIM_REPORT_H_

@@ -1,0 +1,63 @@
+#include "sim/simulator.h"
+
+namespace abivm {
+
+MaintenancePlan Trace::AsPlan(size_t n, TimeStep horizon) const {
+  MaintenancePlan plan(n, horizon);
+  for (const StepRecord& step : steps) {
+    if (!IsZeroVec(step.action)) plan.SetAction(step.t, step.action);
+  }
+  return plan;
+}
+
+Trace Simulate(const ProblemInstance& instance, Policy& policy,
+               SimulatorOptions options) {
+  const TimeStep horizon = instance.horizon();
+  const size_t n = instance.n();
+  policy.Reset(instance.cost_model, instance.budget);
+
+  Trace trace;
+  if (options.record_steps) {
+    trace.steps.reserve(static_cast<size_t>(horizon) + 1);
+  }
+  StateVec state = ZeroVec(n);
+  for (TimeStep t = 0; t <= horizon; ++t) {
+    const StateVec& arrivals = instance.arrivals.At(t);
+    state = AddVec(state, arrivals);
+    const StateVec pre_state = state;
+
+    StateVec action;
+    if (t == horizon) {
+      // Forced refresh: the view must be brought fully up to date at T
+      // (p_T = s_T by Definition 1), so the policy is not consulted.
+      action = pre_state;
+    } else {
+      action = policy.Act(t, pre_state, arrivals);
+      ABIVM_CHECK_EQ(action.size(), n);
+      ABIVM_CHECK_MSG(FitsWithin(action, pre_state),
+                      "policy " << policy.name()
+                                << " acted beyond accumulated state at t="
+                                << t);
+    }
+    state = SubVec(state, action);
+    const double cost = instance.cost_model.TotalCost(action);
+    trace.total_cost += cost;
+    if (!IsZeroVec(action)) ++trace.action_count;
+
+    if (t < horizon && instance.cost_model.IsFull(state, instance.budget)) {
+      ABIVM_CHECK_MSG(!options.strict,
+                      "policy " << policy.name()
+                                << " violated the response-time constraint "
+                                   "at t=" << t);
+      ++trace.violations;
+    }
+    if (options.record_steps) {
+      trace.steps.push_back(
+          StepRecord{t, arrivals, pre_state, action, state, cost});
+    }
+  }
+  ABIVM_CHECK(IsZeroVec(state));
+  return trace;
+}
+
+}  // namespace abivm

@@ -1,0 +1,58 @@
+// Discrete-time simulator: drives a Policy over an arrival sequence under
+// a cost model, exactly as the paper's experiments do ("we simulate the
+// execution of maintenance plans ... and use the cost functions to
+// calculate costs of plans", Section 5).
+
+#ifndef ABIVM_SIM_SIMULATOR_H_
+#define ABIVM_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/plan.h"
+#include "core/policy.h"
+
+namespace abivm {
+
+/// One simulated time step.
+struct StepRecord {
+  TimeStep t = 0;
+  StateVec arrivals;
+  StateVec pre_state;   // s_t
+  StateVec action;      // p_t
+  StateVec post_state;  // s_{t+}
+  double action_cost = 0.0;
+};
+
+/// Full outcome of a simulated run.
+struct Trace {
+  std::vector<StepRecord> steps;
+  double total_cost = 0.0;
+  /// Post-action states (t < T) that exceeded the budget. A correct policy
+  /// keeps this at zero; the simulator records rather than crashes so
+  /// experiments can report constraint violations.
+  uint64_t violations = 0;
+  /// Number of non-zero actions taken (including the final refresh).
+  uint64_t action_count = 0;
+
+  /// The realized plan (for validity/LGM checks in tests).
+  MaintenancePlan AsPlan(size_t n, TimeStep horizon) const;
+};
+
+struct SimulatorOptions {
+  /// If true, CHECK-fail on a constraint violation instead of recording.
+  bool strict = false;
+  /// If false, the Trace keeps only aggregates (no per-step records);
+  /// useful for long horizons in benchmarks.
+  bool record_steps = true;
+};
+
+/// Runs `policy` over the instance: at each step t arrivals are appended,
+/// the policy acts, and at t = T the simulator forces the final refresh
+/// p_T = s_T (charging its cost). Resets the policy first.
+Trace Simulate(const ProblemInstance& instance, Policy& policy,
+               SimulatorOptions options = {});
+
+}  // namespace abivm
+
+#endif  // ABIVM_SIM_SIMULATOR_H_

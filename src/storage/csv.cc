@@ -1,0 +1,190 @@
+#include "storage/csv.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+namespace abivm {
+
+namespace {
+
+std::string FormatCell(const Value& value) {
+  switch (value.type()) {
+    case ValueType::kInt64:
+      return std::to_string(value.AsInt64());
+    case ValueType::kDouble: {
+      std::ostringstream oss;
+      oss.precision(17);  // round-trippable doubles
+      oss << value.AsDouble();
+      return oss.str();
+    }
+    case ValueType::kString:
+      return CsvEscape(value.AsString());
+  }
+  return "";
+}
+
+// Splits one logical CSV record (handles quoted fields; `is` is consumed
+// across physical lines when a quoted field contains newlines). Returns
+// false at end of stream with no data.
+bool ReadRecord(std::istream& is, std::vector<std::string>* fields,
+                bool* malformed) {
+  fields->clear();
+  *malformed = false;
+  std::string field;
+  bool in_quotes = false;
+  bool any = false;
+  int c;
+  while ((c = is.get()) != EOF) {
+    any = true;
+    const char ch = static_cast<char>(c);
+    if (in_quotes) {
+      if (ch == '"') {
+        if (is.peek() == '"') {
+          field.push_back('"');
+          is.get();
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(ch);
+      }
+    } else if (ch == '"') {
+      if (!field.empty()) {
+        *malformed = true;  // quote inside an unquoted field
+        return true;
+      }
+      in_quotes = true;
+    } else if (ch == ',') {
+      fields->push_back(std::move(field));
+      field.clear();
+    } else if (ch == '\n') {
+      break;
+    } else if (ch != '\r') {
+      field.push_back(ch);
+    }
+  }
+  if (!any) return false;
+  if (in_quotes) {
+    *malformed = true;
+    return true;
+  }
+  fields->push_back(std::move(field));
+  return true;
+}
+
+Result<Value> ParseCell(const std::string& text, ValueType type) {
+  switch (type) {
+    case ValueType::kInt64: {
+      if (text.empty()) {
+        return Status::InvalidArgument("empty int64 cell");
+      }
+      errno = 0;
+      char* end = nullptr;
+      const long long v = std::strtoll(text.c_str(), &end, 10);
+      if (errno != 0 || end != text.c_str() + text.size()) {
+        return Status::InvalidArgument("bad int64 cell: " + text);
+      }
+      return Value(static_cast<int64_t>(v));
+    }
+    case ValueType::kDouble: {
+      if (text.empty()) {
+        return Status::InvalidArgument("empty double cell");
+      }
+      errno = 0;
+      char* end = nullptr;
+      const double v = std::strtod(text.c_str(), &end);
+      if (errno != 0 || end != text.c_str() + text.size()) {
+        return Status::InvalidArgument("bad double cell: " + text);
+      }
+      return Value(v);
+    }
+    case ValueType::kString:
+      return Value(text);
+  }
+  return Status::InvalidArgument("unknown cell type");
+}
+
+}  // namespace
+
+std::string CsvEscape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void WriteTableCsv(const Table& table, Version version, std::ostream& os) {
+  const Schema& schema = table.schema();
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    if (c > 0) os << ',';
+    os << CsvEscape(schema.column(c).name);
+  }
+  os << '\n';
+  table.ScanAt(version, [&](RowId, const Row& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << ',';
+      os << FormatCell(row[c]);
+    }
+    os << '\n';
+  });
+}
+
+Result<size_t> LoadTableCsv(Database* db, Table* table, std::istream& is) {
+  ABIVM_CHECK(db != nullptr);
+  ABIVM_CHECK(table != nullptr);
+  const Schema& schema = table->schema();
+
+  std::vector<std::string> fields;
+  bool malformed = false;
+  if (!ReadRecord(is, &fields, &malformed) || malformed) {
+    return Status::InvalidArgument("missing or malformed CSV header");
+  }
+  if (fields.size() != schema.num_columns()) {
+    return Status::InvalidArgument("CSV header arity mismatch");
+  }
+  for (size_t c = 0; c < fields.size(); ++c) {
+    if (fields[c] != schema.column(c).name) {
+      return Status::InvalidArgument("CSV header column '" + fields[c] +
+                                     "' does not match schema column '" +
+                                     schema.column(c).name + "'");
+    }
+  }
+
+  size_t rows = 0;
+  size_t line = 1;
+  while (ReadRecord(is, &fields, &malformed)) {
+    ++line;
+    if (malformed) {
+      return Status::InvalidArgument("malformed CSV record at line " +
+                                     std::to_string(line));
+    }
+    if (fields.size() == 1 && fields[0].empty()) continue;  // blank line
+    if (fields.size() != schema.num_columns()) {
+      return Status::InvalidArgument("arity mismatch at line " +
+                                     std::to_string(line));
+    }
+    Row row;
+    row.reserve(fields.size());
+    for (size_t c = 0; c < fields.size(); ++c) {
+      Result<Value> cell = ParseCell(fields[c], schema.column(c).type);
+      if (!cell.ok()) {
+        return Status::InvalidArgument(cell.status().message() +
+                                       " at line " + std::to_string(line));
+      }
+      row.push_back(std::move(cell.value()));
+    }
+    db->BulkLoad(*table, std::move(row));
+    ++rows;
+  }
+  return rows;
+}
+
+}  // namespace abivm

@@ -1,0 +1,35 @@
+// CSV import/export for tables: bulk-load datasets from files and dump
+// table snapshots or query results for external analysis.
+//
+// Dialect: comma-separated, '\n' rows, RFC-4180-style quoting (fields
+// containing commas, quotes or newlines are wrapped in double quotes;
+// embedded quotes doubled). The first row is a header and must match the
+// schema's column names on load.
+
+#ifndef ABIVM_STORAGE_CSV_H_
+#define ABIVM_STORAGE_CSV_H_
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "common/status.h"
+#include "storage/database.h"
+
+namespace abivm {
+
+/// Writes the rows of `table` visible at `version` (header included).
+void WriteTableCsv(const Table& table, Version version, std::ostream& os);
+
+/// Bulk-loads CSV rows into `table` at version 0 (no delta-log entries;
+/// use before creating views, like GenerateTpcDatabase). Returns the
+/// number of rows loaded, or InvalidArgument on malformed input / header
+/// mismatch / cell type mismatch.
+Result<size_t> LoadTableCsv(Database* db, Table* table, std::istream& is);
+
+/// Escapes one CSV field (exposed for tests).
+std::string CsvEscape(const std::string& field);
+
+}  // namespace abivm
+
+#endif  // ABIVM_STORAGE_CSV_H_

@@ -1,0 +1,58 @@
+#include "storage/database.h"
+
+namespace abivm {
+
+Table& Database::CreateTable(const std::string& name, Schema schema) {
+  ABIVM_CHECK_MSG(!HasTable(name), "table " << name << " already exists");
+  tables_.push_back(std::make_unique<Table>(name, std::move(schema)));
+  return *tables_.back();
+}
+
+Table& Database::table(const std::string& name) {
+  for (auto& t : tables_) {
+    if (t->name() == name) return *t;
+  }
+  ABIVM_CHECK_MSG(false, "no table named " << name);
+  return *tables_.front();
+}
+
+const Table& Database::table(const std::string& name) const {
+  for (const auto& t : tables_) {
+    if (t->name() == name) return *t;
+  }
+  ABIVM_CHECK_MSG(false, "no table named " << name);
+  return *tables_.front();
+}
+
+bool Database::HasTable(const std::string& name) const {
+  for (const auto& t : tables_) {
+    if (t->name() == name) return true;
+  }
+  return false;
+}
+
+RowId Database::ApplyInsert(Table& t, Row row) {
+  const Version v = ++version_;
+  const RowId id = t.Insert(row, v);
+  t.delta_log().Append(Modification{v, ModKind::kInsert, {}, std::move(row)});
+  return id;
+}
+
+void Database::ApplyDelete(Table& t, RowId id) {
+  const Version v = ++version_;
+  Row old_row = t.RowAt(id).row;
+  t.Delete(id, v);
+  t.delta_log().Append(
+      Modification{v, ModKind::kDelete, std::move(old_row), {}});
+}
+
+RowId Database::ApplyUpdate(Table& t, RowId id, Row new_row) {
+  const Version v = ++version_;
+  Row old_row = t.RowAt(id).row;
+  const RowId new_id = t.Update(id, new_row, v);
+  t.delta_log().Append(Modification{v, ModKind::kUpdate, std::move(old_row),
+                                    std::move(new_row)});
+  return new_id;
+}
+
+}  // namespace abivm

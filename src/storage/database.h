@@ -1,0 +1,59 @@
+// Database: the catalog of tables plus the global modification clock.
+//
+// All base-table modifications flow through ApplyInsert / ApplyDelete /
+// ApplyUpdate, which (a) apply the change to the table immediately -- the
+// paper's model: "new modifications are applied immediately to the base
+// tables upon arrival" -- and (b) append a Modification record to the
+// table's delta log for deferred view maintenance.
+
+#ifndef ABIVM_STORAGE_DATABASE_H_
+#define ABIVM_STORAGE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace abivm {
+
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Creates an empty table; the name must be unused.
+  Table& CreateTable(const std::string& name, Schema schema);
+
+  /// Looks up a table by name; CHECK-fails if absent.
+  Table& table(const std::string& name);
+  const Table& table(const std::string& name) const;
+
+  bool HasTable(const std::string& name) const;
+
+  /// Version of the most recent modification (0 = only bulk-loaded data).
+  Version current_version() const { return version_; }
+
+  /// Bulk load during setup: inserts at version 0 and does NOT write the
+  /// delta log (the initial view materialization covers it).
+  RowId BulkLoad(Table& t, Row row) { return t.Insert(std::move(row), 0); }
+
+  /// Logged modifications (each advances the global clock by one).
+  RowId ApplyInsert(Table& t, Row row);
+  void ApplyDelete(Table& t, RowId id);
+  RowId ApplyUpdate(Table& t, RowId id, Row new_row);
+
+  /// All tables in creation order.
+  const std::vector<std::unique_ptr<Table>>& tables() const {
+    return tables_;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Table>> tables_;
+  Version version_ = 0;
+};
+
+}  // namespace abivm
+
+#endif  // ABIVM_STORAGE_DATABASE_H_

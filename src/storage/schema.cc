@@ -1,0 +1,49 @@
+#include "storage/schema.h"
+
+#include <sstream>
+
+namespace abivm {
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {
+  ABIVM_CHECK_MSG(!columns_.empty(), "schema needs at least one column");
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    for (size_t j = i + 1; j < columns_.size(); ++j) {
+      ABIVM_CHECK_MSG(columns_[i].name != columns_[j].name,
+                      "duplicate column name " << columns_[i].name);
+    }
+  }
+}
+
+const Column& Schema::column(size_t i) const {
+  ABIVM_CHECK_LT(i, columns_.size());
+  return columns_[i];
+}
+
+size_t Schema::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  ABIVM_CHECK_MSG(false, "no column named " << name);
+  return 0;
+}
+
+bool Schema::RowMatches(const Row& row) const {
+  if (row.size() != columns_.size()) return false;
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].type() != columns_[i].type) return false;
+  }
+  return true;
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream oss;
+  oss << "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) oss << ", ";
+    oss << columns_[i].name << ":" << ValueTypeName(columns_[i].type);
+  }
+  oss << ")";
+  return oss.str();
+}
+
+}  // namespace abivm

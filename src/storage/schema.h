@@ -1,0 +1,44 @@
+// Schema: ordered, typed, named columns of a table.
+
+#ifndef ABIVM_STORAGE_SCHEMA_H_
+#define ABIVM_STORAGE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/value.h"
+
+namespace abivm {
+
+struct Column {
+  std::string name;
+  ValueType type;
+};
+
+/// Immutable column layout. Column lookup by name is linear (tables here
+/// have at most ~16 columns).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const;
+
+  /// Index of the named column; CHECK-fails if absent (schemas are static
+  /// program data, a miss is a programming error).
+  size_t ColumnIndex(const std::string& name) const;
+
+  /// True iff the row has the right arity and cell types.
+  bool RowMatches(const Row& row) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace abivm
+
+#endif  // ABIVM_STORAGE_SCHEMA_H_

@@ -1,0 +1,102 @@
+#include "storage/table.h"
+
+namespace abivm {
+
+Table::Table(std::string name, Schema schema)
+    : name_(std::move(name)), schema_(std::move(schema)) {}
+
+RowId Table::Insert(Row row, Version version) {
+  ABIVM_CHECK_MSG(schema_.RowMatches(row),
+                  "row does not match schema of " << name_ << ": "
+                                                  << RowToString(row));
+  const RowId id = rows_.size();
+  rows_.push_back(VersionedRow{std::move(row), version, kNeverDeleted});
+  live_pos_[id] = live_ids_.size();
+  live_ids_.push_back(id);
+  IndexRow(id);
+  return id;
+}
+
+void Table::Delete(RowId id, Version version) {
+  ABIVM_CHECK_LT(id, rows_.size());
+  VersionedRow& r = rows_[id];
+  ABIVM_CHECK_MSG(r.delete_version == kNeverDeleted,
+                  "row " << id << " of " << name_ << " already deleted");
+  ABIVM_CHECK_GE(version, r.insert_version);
+  r.delete_version = version;
+  // Swap-remove from the live set.
+  auto it = live_pos_.find(id);
+  ABIVM_CHECK(it != live_pos_.end());
+  const size_t pos = it->second;
+  const RowId last = live_ids_.back();
+  live_ids_[pos] = last;
+  live_pos_[last] = pos;
+  live_ids_.pop_back();
+  live_pos_.erase(it);
+}
+
+RowId Table::Update(RowId id, Row new_row, Version version) {
+  Delete(id, version);
+  return Insert(std::move(new_row), version);
+}
+
+const VersionedRow& Table::RowAt(RowId id) const {
+  ABIVM_CHECK_LT(id, rows_.size());
+  return rows_[id];
+}
+
+RowId Table::SampleLiveRow(Rng& rng) const {
+  ABIVM_CHECK_MSG(!live_ids_.empty(), "table " << name_ << " is empty");
+  const size_t pos = static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(live_ids_.size()) - 1));
+  return live_ids_[pos];
+}
+
+void Table::CreateHashIndex(const std::string& column_name) {
+  const size_t column = schema_.ColumnIndex(column_name);
+  if (indexes_.count(column) > 0) return;
+  auto& index = indexes_[column];
+  for (RowId id = 0; id < rows_.size(); ++id) {
+    index.emplace(rows_[id].row[column], id);
+  }
+}
+
+void Table::IndexRow(RowId id) {
+  for (auto& [column, index] : indexes_) {
+    index.emplace(rows_[id].row[column], id);
+  }
+}
+
+void DeltaLog::TrimBefore(size_t position) {
+  if (position <= base_offset_) return;
+  ABIVM_CHECK_LE(position, size());
+  const size_t drop = position - base_offset_;
+  mods_.erase(mods_.begin(), mods_.begin() + static_cast<int64_t>(drop));
+  base_offset_ = position;
+}
+
+size_t Table::VacuumBefore(Version safe_version) {
+  if (safe_version <= vacuum_horizon_) return 0;
+  size_t reclaimed = 0;
+  for (RowId id = 0; id < rows_.size(); ++id) {
+    VersionedRow& r = rows_[id];
+    // Reclaimable: deleted at or before the safe snapshot and not yet
+    // cleared (an empty payload marks an already-vacuumed slot).
+    if (r.delete_version > safe_version || r.row.empty()) continue;
+    for (auto& [column, index] : indexes_) {
+      auto [begin, end] = index.equal_range(r.row[column]);
+      for (auto it = begin; it != end; ++it) {
+        if (it->second == id) {
+          index.erase(it);
+          break;
+        }
+      }
+    }
+    Row().swap(r.row);  // release the payload
+    ++reclaimed;
+  }
+  vacuum_horizon_ = safe_version;
+  return reclaimed;
+}
+
+}  // namespace abivm

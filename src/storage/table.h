@@ -1,0 +1,194 @@
+// Multiversion in-memory table.
+//
+// Every row carries [insert_version, delete_version); an update is a
+// delete + insert at a fresh version. Readers scan "as of" an explicit
+// version, so the IVM layer can join a delta batch against exactly the
+// base-table state its watermark entitles it to -- the paper's "state bug"
+// (maintenance queries accidentally seeing too-new base state) is
+// impossible by construction.
+
+#ifndef ABIVM_STORAGE_TABLE_H_
+#define ABIVM_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace abivm {
+
+/// Global modification version. Version 0 is the initial bulk load; every
+/// later modification gets a unique version from the Database counter.
+using Version = uint64_t;
+inline constexpr Version kNeverDeleted =
+    std::numeric_limits<Version>::max();
+
+using RowId = uint64_t;
+
+struct VersionedRow {
+  Row row;
+  Version insert_version = 0;
+  Version delete_version = kNeverDeleted;
+};
+
+/// The kind of a logical base-table modification.
+enum class ModKind { kInsert, kDelete, kUpdate };
+
+/// One logical modification, as recorded in a table's delta log. This is
+/// the unit the paper counts: an update is ONE modification (contributing
+/// one delta- row and one delta+ row when processed).
+struct Modification {
+  Version version = 0;
+  ModKind kind = ModKind::kInsert;
+  Row old_row;  // filled for kDelete / kUpdate
+  Row new_row;  // filled for kInsert / kUpdate
+};
+
+/// Append-only log of a table's modifications. Consumers (materialized
+/// views) keep their own watermarks (global positions) into it; positions
+/// survive garbage collection of the consumed prefix.
+class DeltaLog {
+ public:
+  void Append(Modification mod) { mods_.push_back(std::move(mod)); }
+
+  /// Total modifications ever appended (positions are in [0, size())).
+  size_t size() const { return base_offset_ + mods_.size(); }
+
+  /// First position still retained (everything before was trimmed).
+  size_t first_retained() const { return base_offset_; }
+
+  const Modification& At(size_t position) const {
+    ABIVM_CHECK_GE(position, base_offset_);
+    ABIVM_CHECK_LT(position, size());
+    return mods_[position - base_offset_];
+  }
+
+  /// Garbage-collects every modification before `position` (exclusive).
+  /// Callers must ensure no consumer watermark is below it. Positions of
+  /// retained modifications are unchanged.
+  void TrimBefore(size_t position);
+
+ private:
+  size_t base_offset_ = 0;
+  std::vector<Modification> mods_;
+};
+
+/// Multiversion table with optional hash indexes and O(1) live-row
+/// sampling (used by the update-stream generators).
+class Table {
+ public:
+  Table(std::string name, Schema schema);
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  /// Inserts a live row at `version`; returns its id.
+  RowId Insert(Row row, Version version);
+
+  /// Tombstones a live row at `version`.
+  void Delete(RowId id, Version version);
+
+  /// Delete + insert; returns the new row's id.
+  RowId Update(RowId id, Row new_row, Version version);
+
+  const VersionedRow& RowAt(RowId id) const;
+
+  /// True iff the row existed at snapshot `v` (insert <= v < delete).
+  bool VisibleAt(RowId id, Version v) const {
+    const VersionedRow& r = RowAt(id);
+    return r.insert_version <= v && v < r.delete_version;
+  }
+
+  size_t live_row_count() const { return live_ids_.size(); }
+
+  /// Uniformly random currently-live row (CHECKs the table is non-empty).
+  RowId SampleLiveRow(Rng& rng) const;
+
+  /// Total physical row slots ever allocated (live + tombstoned).
+  size_t physical_row_count() const { return rows_.size(); }
+
+  /// Calls fn(RowId, const Row&) for every row visible at `v`. Requires
+  /// v >= vacuum_horizon() (older snapshots were garbage-collected).
+  template <typename Fn>
+  void ScanAt(Version v, Fn&& fn) const {
+    ABIVM_CHECK_MSG(v >= vacuum_horizon_,
+                    "snapshot " << v << " of " << name_
+                                << " was vacuumed (horizon "
+                                << vacuum_horizon_ << ")");
+    for (RowId id = 0; id < rows_.size(); ++id) {
+      const VersionedRow& r = rows_[id];
+      if (r.insert_version <= v && v < r.delete_version) {
+        fn(id, r.row);
+      }
+    }
+  }
+
+  /// Reclaims the payloads and index entries of row versions that are
+  /// invisible at every snapshot >= safe_version (i.e. rows deleted at or
+  /// before it). RowIds stay stable; reads at snapshots older than
+  /// safe_version become invalid (CHECKed). Returns rows reclaimed.
+  size_t VacuumBefore(Version safe_version);
+
+  /// Oldest snapshot still readable.
+  Version vacuum_horizon() const { return vacuum_horizon_; }
+
+  /// Builds a hash index on the named column (indexing all current and
+  /// future rows; entries are never removed, visibility filters at probe
+  /// time). Idempotent.
+  void CreateHashIndex(const std::string& column_name);
+
+  bool HasIndexOn(size_t column) const {
+    return indexes_.count(column) > 0;
+  }
+
+  /// Calls fn(RowId, const Row&) for rows with row[column] == key visible
+  /// at `v`. Requires an index on `column`.
+  template <typename Fn>
+  void IndexLookup(size_t column, const Value& key, Version v,
+                   Fn&& fn) const {
+    ABIVM_CHECK_MSG(v >= vacuum_horizon_,
+                    "snapshot " << v << " of " << name_
+                                << " was vacuumed (horizon "
+                                << vacuum_horizon_ << ")");
+    auto idx = indexes_.find(column);
+    ABIVM_CHECK_MSG(idx != indexes_.end(),
+                    "no index on column " << column << " of " << name_);
+    auto [begin, end] = idx->second.equal_range(key);
+    for (auto it = begin; it != end; ++it) {
+      const VersionedRow& r = rows_[it->second];
+      if (r.insert_version <= v && v < r.delete_version) {
+        fn(it->second, r.row);
+      }
+    }
+  }
+
+  DeltaLog& delta_log() { return delta_log_; }
+  const DeltaLog& delta_log() const { return delta_log_; }
+
+ private:
+  void IndexRow(RowId id);
+
+  std::string name_;
+  Schema schema_;
+  std::vector<VersionedRow> rows_;
+  std::unordered_map<size_t,
+                     std::unordered_multimap<Value, RowId, ValueHash>>
+      indexes_;
+  // Live-row sampling support: ids of live rows + id -> slot position.
+  std::vector<RowId> live_ids_;
+  std::unordered_map<RowId, size_t> live_pos_;
+  DeltaLog delta_log_;
+  Version vacuum_horizon_ = 0;
+};
+
+}  // namespace abivm
+
+#endif  // ABIVM_STORAGE_TABLE_H_

@@ -1,0 +1,76 @@
+#include "storage/value.h"
+
+#include <cstring>
+#include <sstream>
+
+namespace abivm {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+uint64_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kInt64: {
+      uint64_t x = static_cast<uint64_t>(std::get<int64_t>(data_)) + 1;
+      return SplitMix64(x);
+    }
+    case ValueType::kDouble: {
+      const double d = std::get<double>(data_);
+      uint64_t bits = 0;
+      static_assert(sizeof(bits) == sizeof(d));
+      std::memcpy(&bits, &d, sizeof(bits));
+      // Normalize -0.0 to 0.0 so equal doubles hash equally.
+      if (d == 0.0) bits = 0;
+      uint64_t x = bits ^ 0x9ae16a3b2f90404fULL;
+      return SplitMix64(x);
+    }
+    case ValueType::kString: {
+      const std::string& s = std::get<std::string>(data_);
+      uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
+      for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+      }
+      return h;
+    }
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  std::ostringstream oss;
+  switch (type()) {
+    case ValueType::kInt64:
+      oss << std::get<int64_t>(data_);
+      break;
+    case ValueType::kDouble:
+      oss << std::get<double>(data_);
+      break;
+    case ValueType::kString:
+      oss << '"' << std::get<std::string>(data_) << '"';
+      break;
+  }
+  return oss.str();
+}
+
+std::string RowToString(const Row& row) {
+  std::ostringstream oss;
+  oss << "[";
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) oss << ", ";
+    oss << row[i].ToString();
+  }
+  oss << "]";
+  return oss.str();
+}
+
+}  // namespace abivm

@@ -1,0 +1,90 @@
+// Value: the dynamically-typed cell of the storage layer (int64, double,
+// or string), with ordering, hashing and printing. Rows are vectors of
+// Values.
+
+#ifndef ABIVM_STORAGE_VALUE_H_
+#define ABIVM_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace abivm {
+
+enum class ValueType { kInt64, kDouble, kString };
+
+const char* ValueTypeName(ValueType type);
+
+/// One table cell. Ordered and hashable so it can key indexes and
+/// aggregate states. Comparisons across different types are by type rank
+/// first (deterministic, never undefined), but schemas make cross-type
+/// comparisons a bug in practice.
+class Value {
+ public:
+  Value() : data_(int64_t{0}) {}
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  explicit Value(const char* v) : data_(std::string(v)) {}
+
+  ValueType type() const {
+    return static_cast<ValueType>(data_.index());
+  }
+
+  int64_t AsInt64() const {
+    ABIVM_CHECK_MSG(type() == ValueType::kInt64, "value is not int64");
+    return std::get<int64_t>(data_);
+  }
+  double AsDouble() const {
+    ABIVM_CHECK_MSG(type() == ValueType::kDouble, "value is not double");
+    return std::get<double>(data_);
+  }
+  const std::string& AsString() const {
+    ABIVM_CHECK_MSG(type() == ValueType::kString, "value is not string");
+    return std::get<std::string>(data_);
+  }
+
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  bool operator<(const Value& other) const { return data_ < other.data_; }
+  bool operator<=(const Value& other) const { return !(other < *this); }
+  bool operator>(const Value& other) const { return other < *this; }
+  bool operator>=(const Value& other) const { return !(*this < other); }
+
+  uint64_t Hash() const;
+
+  std::string ToString() const;
+
+ private:
+  std::variant<int64_t, double, std::string> data_;
+};
+
+/// One table row.
+using Row = std::vector<Value>;
+
+struct RowHash {
+  size_t operator()(const Row& row) const {
+    uint64_t h = 0x2545f4914f6cdd1dULL;
+    for (const Value& v : row) {
+      uint64_t x = h ^ v.Hash();
+      h = SplitMix64(x);
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const {
+    return static_cast<size_t>(v.Hash());
+  }
+};
+
+std::string RowToString(const Row& row);
+
+}  // namespace abivm
+
+#endif  // ABIVM_STORAGE_VALUE_H_

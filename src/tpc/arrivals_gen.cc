@@ -1,0 +1,64 @@
+#include "tpc/arrivals_gen.h"
+
+#include <cmath>
+
+namespace abivm {
+
+ArrivalSequence MakePaperNonUniformArrivals(size_t n, TimeStep horizon,
+                                            double p, double mu,
+                                            double sigma, Rng& rng) {
+  ABIVM_CHECK_GE(n, size_t{1});
+  ABIVM_CHECK_GE(horizon, 0);
+  ABIVM_CHECK_GE(p, 0.0);
+  ABIVM_CHECK_LE(p, 1.0);
+  ABIVM_CHECK_GT(sigma, 0.0);
+  std::vector<StateVec> steps;
+  steps.reserve(static_cast<size_t>(horizon) + 1);
+  for (TimeStep t = 0; t <= horizon; ++t) {
+    StateVec d(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+      if (!rng.Bernoulli(p)) continue;
+      // Sample ceil(X) conditioned on X > 0 by rejection.
+      double x = rng.Normal(mu, sigma);
+      while (x <= 0.0) x = rng.Normal(mu, sigma);
+      d[i] = static_cast<Count>(std::ceil(x));
+    }
+    steps.push_back(std::move(d));
+  }
+  return ArrivalSequence(std::move(steps));
+}
+
+ArrivalSequence MakePoissonArrivals(const std::vector<double>& rates,
+                                    TimeStep horizon, Rng& rng) {
+  ABIVM_CHECK(!rates.empty());
+  ABIVM_CHECK_GE(horizon, 0);
+  std::vector<StateVec> steps;
+  steps.reserve(static_cast<size_t>(horizon) + 1);
+  for (TimeStep t = 0; t <= horizon; ++t) {
+    StateVec d(rates.size(), 0);
+    for (size_t i = 0; i < rates.size(); ++i) {
+      d[i] = rng.Poisson(rates[i]);
+    }
+    steps.push_back(std::move(d));
+  }
+  return ArrivalSequence(std::move(steps));
+}
+
+ArrivalSequence MakeBurstyArrivals(size_t n, TimeStep horizon,
+                                   TimeStep on_steps, TimeStep off_steps,
+                                   Count rate_on) {
+  ABIVM_CHECK_GE(n, size_t{1});
+  ABIVM_CHECK_GE(horizon, 0);
+  ABIVM_CHECK_GE(on_steps, 1);
+  ABIVM_CHECK_GE(off_steps, 0);
+  const TimeStep period = on_steps + off_steps;
+  std::vector<StateVec> steps;
+  steps.reserve(static_cast<size_t>(horizon) + 1);
+  for (TimeStep t = 0; t <= horizon; ++t) {
+    const bool on = (t % period) < on_steps;
+    steps.push_back(StateVec(n, on ? rate_on : 0));
+  }
+  return ArrivalSequence(std::move(steps));
+}
+
+}  // namespace abivm

@@ -1,0 +1,34 @@
+// Arrival-process generators producing ArrivalSequence inputs for the
+// scheduler: the paper's Section 5 non-uniform model plus Poisson and
+// bursty processes for extra experiments.
+
+#ifndef ABIVM_TPC_ARRIVALS_GEN_H_
+#define ABIVM_TPC_ARRIVALS_GEN_H_
+
+#include "common/random.h"
+#include "core/arrivals.h"
+
+namespace abivm {
+
+/// The paper's non-uniform model: independently per table and per step,
+/// with probability p at least one modification arrives, and the count d
+/// follows Pr{ceil(X) = d | X > 0} for X ~ Normal(mu, sigma^2).
+/// Slow/fast streams use p = 0.5 / 0.9; stable/unstable use sigma = 1 / 5;
+/// mu stays at 1 (Section 5).
+ArrivalSequence MakePaperNonUniformArrivals(size_t n, TimeStep horizon,
+                                            double p, double mu,
+                                            double sigma, Rng& rng);
+
+/// Independent Poisson(rates[i]) arrivals per table per step.
+ArrivalSequence MakePoissonArrivals(const std::vector<double>& rates,
+                                    TimeStep horizon, Rng& rng);
+
+/// On/off bursts: `rate_on` arrivals per step for `on_steps`, then silence
+/// for `off_steps`, repeating (all tables share the phase).
+ArrivalSequence MakeBurstyArrivals(size_t n, TimeStep horizon,
+                                   TimeStep on_steps, TimeStep off_steps,
+                                   Count rate_on);
+
+}  // namespace abivm
+
+#endif  // ABIVM_TPC_ARRIVALS_GEN_H_

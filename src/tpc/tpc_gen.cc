@@ -1,0 +1,216 @@
+#include "tpc/tpc_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace abivm {
+
+namespace {
+
+struct NationSpec {
+  const char* name;
+  int64_t regionkey;
+};
+
+constexpr const char* kRegionNames[5] = {"AFRICA", "AMERICA", "ASIA",
+                                         "EUROPE", "MIDDLE EAST"};
+
+// The 25 TPC nations with their official region assignments; region 4 is
+// MIDDLE EAST (EGYPT, IRAN, IRAQ, JORDAN, SAUDI ARABIA).
+constexpr NationSpec kNations[25] = {
+    {"ALGERIA", 0},      {"ARGENTINA", 1}, {"BRAZIL", 1},
+    {"CANADA", 1},       {"EGYPT", 4},     {"ETHIOPIA", 0},
+    {"FRANCE", 3},       {"GERMANY", 3},   {"INDIA", 2},
+    {"INDONESIA", 2},    {"IRAN", 4},      {"IRAQ", 4},
+    {"JAPAN", 2},        {"JORDAN", 4},    {"KENYA", 0},
+    {"MOROCCO", 0},      {"MOZAMBIQUE", 0},{"PERU", 1},
+    {"CHINA", 2},        {"ROMANIA", 3},   {"RUSSIA", 3},
+    {"SAUDI ARABIA", 4}, {"UNITED KINGDOM", 3},
+    {"UNITED STATES", 1},{"VIETNAM", 2},
+};
+
+uint64_t ScaledCount(double base, double sf) {
+  const double scaled = base * sf;
+  return std::max<uint64_t>(1, static_cast<uint64_t>(std::llround(scaled)));
+}
+
+std::string Comment(Rng& rng) { return rng.AlphaString(12); }
+
+}  // namespace
+
+uint64_t TpcSupplierCount(double sf) { return ScaledCount(10'000, sf); }
+uint64_t TpcPartCount(double sf) { return ScaledCount(200'000, sf); }
+uint64_t TpcPartSuppCount(double sf) { return 4 * TpcPartCount(sf); }
+uint64_t TpcCustomerCount(double sf) { return ScaledCount(150'000, sf); }
+
+void GenerateTpcDatabase(Database* db, const TpcGenOptions& options) {
+  ABIVM_CHECK(db != nullptr);
+  ABIVM_CHECK_GT(options.scale_factor, 0.0);
+  Rng rng(options.seed);
+
+  // --- region ---
+  Table& region = db->CreateTable(
+      kRegion, Schema({{"r_regionkey", ValueType::kInt64},
+                       {"r_name", ValueType::kString},
+                       {"r_comment", ValueType::kString}}));
+  for (int64_t r = 0; r < 5; ++r) {
+    db->BulkLoad(region, {Value(r), Value(std::string(kRegionNames[r])),
+                          Value(Comment(rng))});
+  }
+
+  // --- nation ---
+  Table& nation = db->CreateTable(
+      kNation, Schema({{"n_nationkey", ValueType::kInt64},
+                       {"n_name", ValueType::kString},
+                       {"n_regionkey", ValueType::kInt64},
+                       {"n_comment", ValueType::kString}}));
+  for (int64_t n = 0; n < 25; ++n) {
+    db->BulkLoad(nation,
+                 {Value(n), Value(std::string(kNations[n].name)),
+                  Value(kNations[n].regionkey), Value(Comment(rng))});
+  }
+
+  // --- supplier ---
+  const int64_t suppliers =
+      static_cast<int64_t>(TpcSupplierCount(options.scale_factor));
+  Table& supplier = db->CreateTable(
+      kSupplier, Schema({{"s_suppkey", ValueType::kInt64},
+                         {"s_name", ValueType::kString},
+                         {"s_address", ValueType::kString},
+                         {"s_nationkey", ValueType::kInt64},
+                         {"s_phone", ValueType::kString},
+                         {"s_acctbal", ValueType::kDouble},
+                         {"s_comment", ValueType::kString}}));
+  for (int64_t s = 1; s <= suppliers; ++s) {
+    db->BulkLoad(supplier,
+                 {Value(s), Value("Supplier#" + std::to_string(s)),
+                  Value(rng.AlphaString(10)), Value(rng.UniformInt(0, 24)),
+                  Value(rng.AlphaString(10)),
+                  Value(rng.UniformDouble(-999.99, 9999.99)),
+                  Value(Comment(rng))});
+  }
+
+  // --- part ---
+  const int64_t parts =
+      static_cast<int64_t>(TpcPartCount(options.scale_factor));
+  Table& part = db->CreateTable(
+      kPart, Schema({{"p_partkey", ValueType::kInt64},
+                     {"p_name", ValueType::kString},
+                     {"p_mfgr", ValueType::kString},
+                     {"p_brand", ValueType::kString},
+                     {"p_type", ValueType::kString},
+                     {"p_size", ValueType::kInt64},
+                     {"p_container", ValueType::kString},
+                     {"p_retailprice", ValueType::kDouble},
+                     {"p_comment", ValueType::kString}}));
+  for (int64_t p = 1; p <= parts; ++p) {
+    const int64_t mfgr = rng.UniformInt(1, 5);
+    db->BulkLoad(
+        part,
+        {Value(p), Value("part-" + rng.AlphaString(8)),
+         Value("Manufacturer#" + std::to_string(mfgr)),
+         Value("Brand#" + std::to_string(mfgr * 10 + rng.UniformInt(1, 5))),
+         Value(rng.AlphaString(12)), Value(rng.UniformInt(1, 50)),
+         Value(rng.AlphaString(8)),
+         Value(900.0 + static_cast<double>(p % 1000)),
+         Value(Comment(rng))});
+  }
+
+  // --- partsupp: each part supplied by 4 distinct suppliers ---
+  Table& partsupp = db->CreateTable(
+      kPartSupp, Schema({{"ps_partkey", ValueType::kInt64},
+                         {"ps_suppkey", ValueType::kInt64},
+                         {"ps_availqty", ValueType::kInt64},
+                         {"ps_supplycost", ValueType::kDouble},
+                         {"ps_comment", ValueType::kString}}));
+  for (int64_t p = 1; p <= parts; ++p) {
+    for (int64_t i = 0; i < 4; ++i) {
+      // dbgen's exact spreading of suppliers over parts:
+      // (p + i*(S/4 + (p-1)/S)) mod S + 1.
+      const int64_t s =
+          (p + i * (suppliers / 4 + (p - 1) / suppliers)) % suppliers + 1;
+      db->BulkLoad(partsupp,
+                   {Value(p), Value(s), Value(rng.UniformInt(1, 9999)),
+                    Value(rng.UniformDouble(1.0, 1000.0)),
+                    Value(Comment(rng))});
+    }
+  }
+
+  if (!options.include_sales_pipeline) return;
+
+  // --- customer ---
+  const int64_t customers =
+      static_cast<int64_t>(TpcCustomerCount(options.scale_factor));
+  Table& customer = db->CreateTable(
+      kCustomer, Schema({{"c_custkey", ValueType::kInt64},
+                         {"c_name", ValueType::kString},
+                         {"c_address", ValueType::kString},
+                         {"c_nationkey", ValueType::kInt64},
+                         {"c_phone", ValueType::kString},
+                         {"c_acctbal", ValueType::kDouble},
+                         {"c_mktsegment", ValueType::kString},
+                         {"c_comment", ValueType::kString}}));
+  static constexpr const char* kSegments[5] = {
+      "AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"};
+  for (int64_t c = 1; c <= customers; ++c) {
+    db->BulkLoad(customer,
+                 {Value(c), Value("Customer#" + std::to_string(c)),
+                  Value(rng.AlphaString(10)), Value(rng.UniformInt(0, 24)),
+                  Value(rng.AlphaString(10)),
+                  Value(rng.UniformDouble(-999.99, 9999.99)),
+                  Value(std::string(kSegments[rng.UniformInt(0, 4)])),
+                  Value(Comment(rng))});
+  }
+
+  // --- orders + lineitem ---
+  Table& orders = db->CreateTable(
+      kOrders, Schema({{"o_orderkey", ValueType::kInt64},
+                       {"o_custkey", ValueType::kInt64},
+                       {"o_orderstatus", ValueType::kString},
+                       {"o_totalprice", ValueType::kDouble},
+                       {"o_orderdate", ValueType::kInt64},
+                       {"o_orderpriority", ValueType::kString},
+                       {"o_shippriority", ValueType::kInt64},
+                       {"o_comment", ValueType::kString}}));
+  Table& lineitem = db->CreateTable(
+      kLineItem, Schema({{"l_orderkey", ValueType::kInt64},
+                         {"l_partkey", ValueType::kInt64},
+                         {"l_suppkey", ValueType::kInt64},
+                         {"l_linenumber", ValueType::kInt64},
+                         {"l_quantity", ValueType::kDouble},
+                         {"l_extendedprice", ValueType::kDouble},
+                         {"l_discount", ValueType::kDouble},
+                         {"l_tax", ValueType::kDouble},
+                         {"l_shipdate", ValueType::kInt64},
+                         {"l_comment", ValueType::kString}}));
+  const int64_t order_count = customers * 10;
+  int64_t line_counter = 0;
+  for (int64_t o = 1; o <= order_count; ++o) {
+    const int64_t lines = rng.UniformInt(1, 7);
+    double total = 0.0;
+    for (int64_t l = 1; l <= lines; ++l) {
+      const double qty = static_cast<double>(rng.UniformInt(1, 50));
+      const double price = qty * rng.UniformDouble(900.0, 1900.0);
+      total += price;
+      db->BulkLoad(lineitem,
+                   {Value(o), Value(rng.UniformInt(1, parts)),
+                    Value(rng.UniformInt(1, suppliers)), Value(l),
+                    Value(qty), Value(price),
+                    Value(rng.UniformDouble(0.0, 0.1)),
+                    Value(rng.UniformDouble(0.0, 0.08)),
+                    Value(rng.UniformInt(0, 2556)), Value(Comment(rng))});
+      ++line_counter;
+    }
+    db->BulkLoad(orders,
+                 {Value(o), Value(rng.UniformInt(1, customers)),
+                  Value(std::string(rng.Bernoulli(0.5) ? "O" : "F")),
+                  Value(total), Value(rng.UniformInt(0, 2556)),
+                  Value(rng.AlphaString(8)), Value(int64_t{0}),
+                  Value(Comment(rng))});
+  }
+  (void)line_counter;
+}
+
+}  // namespace abivm

@@ -1,0 +1,51 @@
+// Deterministic TPC-R/TPC-H-schema data generator.
+//
+// Substitution note (see DESIGN.md): the official dbgen text grammar and
+// dists.dss distributions are not reproduced; strings are seeded synthetic
+// tokens. Everything the paper's experiments depend on is preserved:
+// the 8-table schema, key relationships, cardinality ratios (PARTSUPP =
+// 80x SUPPLIER), the real 25-nation / 5-region catalog (so the
+// r_name = 'MIDDLE EAST' filter keeps its selectivity of 5/25 nations),
+// and uniform key distributions.
+
+#ifndef ABIVM_TPC_TPC_GEN_H_
+#define ABIVM_TPC_TPC_GEN_H_
+
+#include <cstdint>
+
+#include "storage/database.h"
+
+namespace abivm {
+
+struct TpcGenOptions {
+  /// TPC scale factor; 1.0 = 10k suppliers / 200k parts / 800k partsupps.
+  double scale_factor = 0.01;
+  uint64_t seed = 42;
+  /// Also generate CUSTOMER / ORDERS / LINEITEM (not needed by the
+  /// paper's view; useful for the examples and extra workloads).
+  bool include_sales_pipeline = false;
+};
+
+/// Table names.
+inline constexpr const char* kRegion = "region";
+inline constexpr const char* kNation = "nation";
+inline constexpr const char* kSupplier = "supplier";
+inline constexpr const char* kPart = "part";
+inline constexpr const char* kPartSupp = "partsupp";
+inline constexpr const char* kCustomer = "customer";
+inline constexpr const char* kOrders = "orders";
+inline constexpr const char* kLineItem = "lineitem";
+
+/// Creates the TPC tables in `db` (which must not already contain them)
+/// and bulk-loads them at version 0.
+void GenerateTpcDatabase(Database* db, const TpcGenOptions& options);
+
+/// Row-count helpers for a given scale factor (minimums of 1 apply).
+uint64_t TpcSupplierCount(double scale_factor);
+uint64_t TpcPartCount(double scale_factor);
+uint64_t TpcPartSuppCount(double scale_factor);
+uint64_t TpcCustomerCount(double scale_factor);
+
+}  // namespace abivm
+
+#endif  // ABIVM_TPC_TPC_GEN_H_

@@ -1,0 +1,104 @@
+#include "tpc/update_stream.h"
+
+#include "tpc/tpc_gen.h"
+
+namespace abivm {
+
+namespace {
+
+constexpr const char* kSegments[5] = {"AUTOMOBILE", "BUILDING",
+                                      "FURNITURE", "MACHINERY",
+                                      "HOUSEHOLD"};
+
+}  // namespace
+
+TpcUpdater::TpcUpdater(Database* db, uint64_t seed)
+    : db_(db), rng_(seed) {
+  ABIVM_CHECK(db != nullptr);
+  if (db_->HasTable(kOrders)) {
+    next_order_key_ =
+        static_cast<int64_t>(db_->table(kOrders).live_row_count()) + 1;
+  }
+}
+
+void TpcUpdater::UpdatePartSuppSupplycost() {
+  Table& partsupp = db_->table(kPartSupp);
+  const RowId id = partsupp.SampleLiveRow(rng_);
+  Row row = partsupp.RowAt(id).row;
+  const size_t cost_col = partsupp.schema().ColumnIndex("ps_supplycost");
+  row[cost_col] = Value(rng_.UniformDouble(1.0, 1000.0));
+  db_->ApplyUpdate(partsupp, id, std::move(row));
+}
+
+void TpcUpdater::UpdateSupplierNationkey() {
+  Table& supplier = db_->table(kSupplier);
+  const RowId id = supplier.SampleLiveRow(rng_);
+  Row row = supplier.RowAt(id).row;
+  const size_t nation_col = supplier.schema().ColumnIndex("s_nationkey");
+  row[nation_col] = Value(rng_.UniformInt(0, 24));
+  db_->ApplyUpdate(supplier, id, std::move(row));
+}
+
+void TpcUpdater::UpdatePartRetailprice() {
+  Table& part = db_->table(kPart);
+  const RowId id = part.SampleLiveRow(rng_);
+  Row row = part.RowAt(id).row;
+  const size_t price_col = part.schema().ColumnIndex("p_retailprice");
+  row[price_col] = Value(rng_.UniformDouble(900.0, 2000.0));
+  db_->ApplyUpdate(part, id, std::move(row));
+}
+
+void TpcUpdater::ApplyPaperModification(const std::string& table_name) {
+  if (table_name == kPartSupp) {
+    UpdatePartSuppSupplycost();
+  } else if (table_name == kSupplier) {
+    UpdateSupplierNationkey();
+  } else if (table_name == kPart) {
+    UpdatePartRetailprice();
+  } else {
+    ABIVM_CHECK_MSG(false,
+                    "no paper modification defined for " << table_name);
+  }
+}
+
+void TpcUpdater::InsertPartSupp() {
+  Table& partsupp = db_->table(kPartSupp);
+  Table& part = db_->table(kPart);
+  Table& supplier = db_->table(kSupplier);
+  const Row& p = part.RowAt(part.SampleLiveRow(rng_)).row;
+  const Row& s = supplier.RowAt(supplier.SampleLiveRow(rng_)).row;
+  db_->ApplyInsert(partsupp,
+                   {Value(p[0].AsInt64()), Value(s[0].AsInt64()),
+                    Value(rng_.UniformInt(1, 9999)),
+                    Value(rng_.UniformDouble(1.0, 1000.0)),
+                    Value(rng_.AlphaString(12))});
+}
+
+void TpcUpdater::DeletePartSupp() {
+  Table& partsupp = db_->table(kPartSupp);
+  db_->ApplyDelete(partsupp, partsupp.SampleLiveRow(rng_));
+}
+
+void TpcUpdater::InsertOrder() {
+  Table& orders = db_->table(kOrders);
+  Table& customer = db_->table(kCustomer);
+  const Row& cust = customer.RowAt(customer.SampleLiveRow(rng_)).row;
+  db_->ApplyInsert(
+      orders,
+      {Value(next_order_key_++), Value(cust[0].AsInt64()),
+       Value(std::string(rng_.Bernoulli(0.5) ? "O" : "F")),
+       Value(rng_.UniformDouble(1000.0, 300000.0)),
+       Value(rng_.UniformInt(0, 2556)), Value(rng_.AlphaString(8)),
+       Value(int64_t{0}), Value(rng_.AlphaString(12))});
+}
+
+void TpcUpdater::UpdateCustomerSegment() {
+  Table& customer = db_->table(kCustomer);
+  const RowId id = customer.SampleLiveRow(rng_);
+  Row row = customer.RowAt(id).row;
+  const size_t seg = customer.schema().ColumnIndex("c_mktsegment");
+  row[seg] = Value(std::string(kSegments[rng_.UniformInt(0, 4)]));
+  db_->ApplyUpdate(customer, id, std::move(row));
+}
+
+}  // namespace abivm

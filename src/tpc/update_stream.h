@@ -1,0 +1,63 @@
+// The paper's modification workload (Section 5): "Each modification
+// randomly updates either a PartSupp row's supplycost, or a Supplier row's
+// nationkey." Plus generic per-table insert/delete/update drivers for the
+// broader examples.
+
+#ifndef ABIVM_TPC_UPDATE_STREAM_H_
+#define ABIVM_TPC_UPDATE_STREAM_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/random.h"
+#include "storage/database.h"
+
+namespace abivm {
+
+/// Applies randomized single-row modifications to a TPC database,
+/// mirroring the paper's update mix. Deterministic given the seed.
+class TpcUpdater {
+ public:
+  TpcUpdater(Database* db, uint64_t seed);
+
+  /// Updates a random live PARTSUPP row's ps_supplycost to a fresh
+  /// uniform value in [1, 1000].
+  void UpdatePartSuppSupplycost();
+
+  /// Updates a random live SUPPLIER row's s_nationkey to a fresh uniform
+  /// nation in [0, 24].
+  void UpdateSupplierNationkey();
+
+  /// Updates a random live PART row's p_retailprice (used by the
+  /// Figure 1 two-way join experiment).
+  void UpdatePartRetailprice();
+
+  /// Dispatches by base-table name ("partsupp" / "supplier" / "part").
+  void ApplyPaperModification(const std::string& table_name);
+
+  /// Inserts a new PARTSUPP row: a random existing part supplied by a
+  /// random existing supplier at a fresh cost.
+  void InsertPartSupp();
+
+  /// Deletes a random live PARTSUPP row.
+  void DeletePartSupp();
+
+  /// Inserts a new ORDER for a random customer (requires the sales
+  /// pipeline to have been generated). Order keys continue past the
+  /// bulk-loaded range.
+  void InsertOrder();
+
+  /// Updates a random live CUSTOMER's c_mktsegment.
+  void UpdateCustomerSegment();
+
+  Rng& rng() { return rng_; }
+
+ private:
+  Database* db_;
+  Rng rng_;
+  int64_t next_order_key_ = 1;
+};
+
+}  // namespace abivm
+
+#endif  // ABIVM_TPC_UPDATE_STREAM_H_

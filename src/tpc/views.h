@@ -1,0 +1,36 @@
+// Predefined view definitions used by the paper's experiments and the
+// examples, plus the index layouts that create the cost asymmetry.
+
+#ifndef ABIVM_TPC_VIEWS_H_
+#define ABIVM_TPC_VIEWS_H_
+
+#include "ivm/view_def.h"
+#include "storage/database.h"
+
+namespace abivm {
+
+/// The paper's Section 5 evaluation view:
+///   SELECT MIN(ps_supplycost)
+///   FROM partsupp, supplier, nation, region
+///   WHERE s_suppkey = ps_suppkey AND s_nationkey = n_nationkey
+///     AND n_regionkey = r_regionkey AND r_name = 'MIDDLE EAST';
+ViewDef MakePaperMinView();
+
+/// The Figure 1 two-table join R |x| S with R = supplier (indexed on the
+/// join attribute) and S = partsupp (not indexed): an SPJ view projecting
+/// the join keys and supplycost.
+ViewDef MakeTwoWayJoinView();
+
+/// Creates the index layout for the paper's experiments: indexes on the
+/// small dimension join columns (s_suppkey, n_nationkey, r_regionkey) and
+/// deliberately NO index on ps_suppkey, so supplier deltas must scan
+/// partsupp while partsupp deltas probe indexes.
+void CreatePaperIndexes(Database* db);
+
+/// A sales view over the optional CUSTOMER/ORDERS pipeline, used by the
+/// warehouse example: SUM(o_totalprice) grouped by c_mktsegment.
+ViewDef MakeSalesBySegmentView();
+
+}  // namespace abivm
+
+#endif  // ABIVM_TPC_VIEWS_H_

@@ -1,0 +1,56 @@
+#include "common/fit.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace abivm {
+namespace {
+
+TEST(FitLinearTest, ExactLineIsRecovered) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(2.5 * x + 7.0);
+  const LinearFit fit = FitLinear(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.5, 1e-12);
+  EXPECT_NEAR(fit.intercept, 7.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLinearTest, NoisyLine) {
+  Rng rng(3);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.UniformDouble(0, 100);
+    xs.push_back(x);
+    ys.push_back(0.5 * x + 10 + rng.Normal(0, 1));
+  }
+  const LinearFit fit = FitLinear(xs, ys);
+  EXPECT_NEAR(fit.slope, 0.5, 0.02);
+  EXPECT_NEAR(fit.intercept, 10.0, 1.0);
+  EXPECT_GT(fit.r_squared, 0.95);
+}
+
+TEST(FitLinearTest, ConstantYHasPerfectR2) {
+  const LinearFit fit = FitLinear({1, 2, 3}, {4, 4, 4});
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(fit.r_squared, 1.0);
+}
+
+TEST(FitLinearTest, DegenerateInputsDie) {
+  EXPECT_DEATH(FitLinear({1}, {2}), "");                 // too few points
+  EXPECT_DEATH(FitLinear({1, 1}, {2, 3}), "distinct");   // same x
+  EXPECT_DEATH(FitLinear({1, 2}, {1}), "");              // size mismatch
+}
+
+TEST(MedianTest, OddAndEvenCounts) {
+  EXPECT_DOUBLE_EQ(Median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4, 1, 3, 2}), 2.5);
+  EXPECT_DOUBLE_EQ(Median({5}), 5.0);
+  EXPECT_DOUBLE_EQ(Median({}), 0.0);
+  EXPECT_DOUBLE_EQ(Median({2, 2, 2, 2}), 2.0);
+}
+
+}  // namespace
+}  // namespace abivm

@@ -1,0 +1,106 @@
+#include "common/random.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace abivm {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123), c(124);
+  bool any_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+    any_diff = any_diff || va != c.Next();
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, UniformIntStaysInRangeAndCoversIt) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, UniformIntSingleton) {
+  Rng rng(8);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(5, 5), 5);
+}
+
+TEST(RngTest, UniformDoubleMoments) {
+  Rng rng(9);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(10);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / 20000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(11);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Normal(5.0, 2.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / n;
+  const double variance = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(std::sqrt(variance), 2.0, 0.1);
+}
+
+TEST(RngTest, PoissonMeanSmallAndLarge) {
+  Rng rng(12);
+  auto sample_mean = [&](double lambda) {
+    uint64_t total = 0;
+    for (int i = 0; i < 20000; ++i) total += rng.Poisson(lambda);
+    return static_cast<double>(total) / 20000.0;
+  };
+  EXPECT_NEAR(sample_mean(0.5), 0.5, 0.05);
+  EXPECT_NEAR(sample_mean(3.0), 3.0, 0.1);
+  EXPECT_NEAR(sample_mean(100.0), 100.0, 1.0);  // normal-approx branch
+  EXPECT_EQ(rng.Poisson(0.0), 0u);
+}
+
+TEST(RngTest, AlphaString) {
+  Rng rng(13);
+  const std::string s = rng.AlphaString(32);
+  EXPECT_EQ(s.size(), 32u);
+  for (char c : s) {
+    EXPECT_GE(c, 'a');
+    EXPECT_LE(c, 'z');
+  }
+  EXPECT_TRUE(rng.AlphaString(0).empty());
+}
+
+TEST(SplitMix64Test, AdvancesStateAndMixes) {
+  uint64_t state = 1;
+  const uint64_t first = SplitMix64(state);
+  const uint64_t second = SplitMix64(state);
+  EXPECT_NE(first, second);
+  EXPECT_NE(state, 1u);
+}
+
+}  // namespace
+}  // namespace abivm

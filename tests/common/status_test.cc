@@ -1,0 +1,64 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace abivm {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  const Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorFactories) {
+  const Status invalid = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(invalid.ok());
+  EXPECT_EQ(invalid.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(invalid.message(), "bad input");
+  EXPECT_EQ(invalid.ToString(), "InvalidArgument: bad input");
+
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+}
+
+TEST(ResultTest, HoldsValue) {
+  const Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  const Result<int> result(Status::NotFound("missing"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> result(std::string("payload"));
+  const std::string moved = std::move(result).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(ResultTest, ImplicitConversionFromValueAndStatus) {
+  auto make = [](bool ok) -> Result<std::string> {
+    if (ok) return std::string("fine");
+    return Status::Internal("boom");
+  };
+  EXPECT_TRUE(make(true).ok());
+  EXPECT_FALSE(make(false).ok());
+}
+
+TEST(ResultTest, AccessingErrorValueDies) {
+  const Result<int> result(Status::Internal("boom"));
+  EXPECT_DEATH((void)result.value(), "boom");
+}
+
+}  // namespace
+}  // namespace abivm

@@ -1,0 +1,175 @@
+#include "core/actions.h"
+
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/plan.h"
+#include "tests/core/test_instances.h"
+
+namespace abivm {
+namespace {
+
+CostModel TwoLinearTables(double a0, double b0, double a1, double b1) {
+  std::vector<CostFunctionPtr> fns = {std::make_shared<LinearCost>(a0, b0),
+                                      std::make_shared<LinearCost>(a1, b1)};
+  return CostModel(std::move(fns));
+}
+
+TEST(EnumerateMinimalGreedyActionsTest, SingleTableFlushesEverything) {
+  std::vector<CostFunctionPtr> fns = {std::make_shared<LinearCost>(1.0, 0.0)};
+  CostModel model(std::move(fns));
+  const StateVec pre = {7};  // f = 7 > 5
+  const auto actions = EnumerateMinimalGreedyActions(model, 5.0, pre);
+  ASSERT_EQ(actions.size(), 1u);
+  EXPECT_EQ(actions[0], (StateVec{7}));
+}
+
+TEST(EnumerateMinimalGreedyActionsTest, EitherTableSufficesGivesTwoOptions) {
+  CostModel model = TwoLinearTables(1.0, 0.0, 1.0, 0.0);
+  const StateVec pre = {4, 4};  // f = 8 > 5; flushing either leaves 4 <= 5
+  const auto actions = EnumerateMinimalGreedyActions(model, 5.0, pre);
+  ASSERT_EQ(actions.size(), 2u);
+  std::set<StateVec> got(actions.begin(), actions.end());
+  EXPECT_TRUE(got.count(StateVec{4, 0}));
+  EXPECT_TRUE(got.count(StateVec{0, 4}));
+}
+
+TEST(EnumerateMinimalGreedyActionsTest, OnlyBigTableSuffices) {
+  CostModel model = TwoLinearTables(1.0, 0.0, 1.0, 0.0);
+  const StateVec pre = {10, 2};  // f = 12; flushing table1 leaves 10 > 5
+  const auto actions = EnumerateMinimalGreedyActions(model, 5.0, pre);
+  ASSERT_EQ(actions.size(), 1u);
+  EXPECT_EQ(actions[0], (StateVec{10, 0}));
+}
+
+TEST(EnumerateMinimalGreedyActionsTest, BothTablesRequired) {
+  CostModel model = TwoLinearTables(1.0, 0.0, 1.0, 0.0);
+  const StateVec pre = {10, 8};  // any single flush leaves > 5
+  const auto actions = EnumerateMinimalGreedyActions(model, 5.0, pre);
+  ASSERT_EQ(actions.size(), 1u);
+  EXPECT_EQ(actions[0], (StateVec{10, 8}));
+}
+
+TEST(EnumerateMinimalGreedyActionsTest, EmptyTablesNeverTouched) {
+  CostModel model = TwoLinearTables(1.0, 0.0, 1.0, 0.0);
+  const StateVec pre = {10, 0};
+  const auto actions = EnumerateMinimalGreedyActions(model, 5.0, pre);
+  ASSERT_EQ(actions.size(), 1u);
+  EXPECT_EQ(actions[0], (StateVec{10, 0}));
+}
+
+// Every enumerated action must be greedy, valid, and minimal; and the
+// enumeration must find every subset that qualifies (cross-checked with a
+// direct subset filter).
+TEST(EnumerateMinimalGreedyActionsTest, RandomizedAgainstDirectFilter) {
+  Rng rng(20260705);
+  for (int trial = 0; trial < 200; ++trial) {
+    const ProblemInstance instance =
+        abivm::testing::RandomInstance(rng);
+    const size_t n = instance.n();
+    // Build a random full state.
+    StateVec pre(n);
+    for (size_t i = 0; i < n; ++i) {
+      pre[i] = static_cast<Count>(rng.UniformInt(0, 12));
+    }
+    if (!instance.cost_model.IsFull(pre, instance.budget)) continue;
+
+    const auto actions = EnumerateMinimalGreedyActions(
+        instance.cost_model, instance.budget, pre);
+
+    // Direct filter over all subsets.
+    std::set<StateVec> expected;
+    const size_t subsets = size_t{1} << n;
+    for (size_t mask = 1; mask < subsets; ++mask) {
+      StateVec action = ZeroVec(n);
+      bool touches_empty = false;
+      for (size_t i = 0; i < n; ++i) {
+        if (mask & (size_t{1} << i)) {
+          if (pre[i] == 0) touches_empty = true;
+          action[i] = pre[i];
+        }
+      }
+      if (touches_empty) continue;  // equivalent to a smaller mask
+      if (IsZeroVec(action)) continue;
+      if (instance.cost_model.TotalCost(SubVec(pre, action)) >
+          instance.budget) {
+        continue;
+      }
+      bool minimal = true;
+      for (size_t i = 0; i < n && minimal; ++i) {
+        if (action[i] == 0) continue;
+        StateVec reduced = action;
+        reduced[i] = 0;
+        if (instance.cost_model.TotalCost(SubVec(pre, reduced)) <=
+            instance.budget) {
+          minimal = false;
+        }
+      }
+      if (minimal) expected.insert(action);
+    }
+    const std::set<StateVec> got(actions.begin(), actions.end());
+    EXPECT_EQ(got, expected) << "trial " << trial;
+  }
+}
+
+TEST(MinimizeActionTest, DropsUnneededExpensiveComponents) {
+  CostModel model = TwoLinearTables(1.0, 0.0, 1.0, 0.0);
+  const StateVec pre = {4, 4};
+  // Flushing both is valid but not minimal; either single flush works and
+  // MinimizeAction drops the more expensive flush first (table costs are
+  // equal here, so it drops the lower index by tie-break).
+  const StateVec minimized =
+      MinimizeAction(model, 5.0, pre, /*action=*/{4, 4});
+  EXPECT_EQ(minimized, (StateVec{0, 4}));
+}
+
+TEST(MinimizeActionTest, KeepsForcedComponents) {
+  CostModel model = TwoLinearTables(1.0, 0.0, 1.0, 0.0);
+  const StateVec pre = {10, 8};
+  const StateVec minimized = MinimizeAction(model, 5.0, pre, {10, 8});
+  EXPECT_EQ(minimized, (StateVec{10, 8}));
+}
+
+TEST(MinimizeActionTest, ResultIsAlwaysMinimalAndValid) {
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    const ProblemInstance instance =
+        abivm::testing::RandomInstance(rng);
+    const size_t n = instance.n();
+    StateVec pre(n);
+    for (size_t i = 0; i < n; ++i) {
+      pre[i] = static_cast<Count>(rng.UniformInt(0, 12));
+    }
+    // Input: flush everything (always valid).
+    const StateVec minimized =
+        MinimizeAction(instance.cost_model, instance.budget, pre, pre);
+    // Valid.
+    EXPECT_LE(instance.cost_model.TotalCost(SubVec(pre, minimized)),
+              instance.budget);
+    // Minimal: no non-zero component can be dropped.
+    for (size_t i = 0; i < n; ++i) {
+      if (minimized[i] == 0) continue;
+      StateVec reduced = minimized;
+      reduced[i] = 0;
+      EXPECT_GT(instance.cost_model.TotalCost(SubVec(pre, reduced)),
+                instance.budget)
+          << "trial " << trial << " component " << i;
+    }
+  }
+}
+
+TEST(CheapestMinimalGreedyActionTest, PrefersCheapFlush) {
+  // Table 0 is expensive to flush, table 1 cheap; flushing either works.
+  CostModel model = TwoLinearTables(10.0, 0.0, 1.0, 0.0);
+  // pre = (1, 4): f = 10 + 4 = 14 > 10. Flushing table0 leaves 4 <= 10;
+  // flushing table1 leaves 10 <= 10. Cheapest action is flushing table1
+  // (cost 4) rather than table0 (cost 10).
+  const StateVec action = CheapestMinimalGreedyAction(model, 10.0, {1, 4});
+  EXPECT_EQ(action, (StateVec{0, 4}));
+}
+
+}  // namespace
+}  // namespace abivm

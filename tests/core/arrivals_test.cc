@@ -1,0 +1,82 @@
+#include "core/arrivals.h"
+
+#include <gtest/gtest.h>
+
+namespace abivm {
+namespace {
+
+ArrivalSequence MakeSequence() {
+  // t:      0  1  2  3
+  // table0: 1  0  2  3
+  // table1: 0  5  0  1
+  return ArrivalSequence({{1, 0}, {0, 5}, {2, 0}, {3, 1}});
+}
+
+TEST(ArrivalSequenceTest, BasicAccessors) {
+  const ArrivalSequence seq = MakeSequence();
+  EXPECT_EQ(seq.n(), 2u);
+  EXPECT_EQ(seq.horizon(), 3);
+  EXPECT_EQ(seq.At(0), (StateVec{1, 0}));
+  EXPECT_EQ(seq.At(3), (StateVec{3, 1}));
+}
+
+TEST(ArrivalSequenceTest, RangeSums) {
+  const ArrivalSequence seq = MakeSequence();
+  EXPECT_EQ(seq.RangeSum(0, 3, 0), 6u);
+  EXPECT_EQ(seq.RangeSum(0, 3, 1), 6u);
+  EXPECT_EQ(seq.RangeSum(1, 2, 0), 2u);
+  EXPECT_EQ(seq.RangeSum(1, 2, 1), 5u);
+  EXPECT_EQ(seq.RangeSum(2, 2, 0), 2u);
+  EXPECT_EQ(seq.RangeSum(3, 1, 0), 0u);  // empty range
+  EXPECT_EQ(seq.RangeSumVec(1, 3), (StateVec{5, 6}));
+}
+
+TEST(ArrivalSequenceTest, NegativeLowerBoundClampsToZero) {
+  const ArrivalSequence seq = MakeSequence();
+  // The A* source sits at t = -1 and asks for ranges starting at 0.
+  EXPECT_EQ(seq.RangeSum(-1, 3, 0), 6u);
+  EXPECT_EQ(seq.RangeSumVec(-5, 0), (StateVec{1, 0}));
+}
+
+TEST(ArrivalSequenceTest, MaxStepArrivalAndTotals) {
+  const ArrivalSequence seq = MakeSequence();
+  EXPECT_EQ(seq.MaxStepArrival(0), 3u);
+  EXPECT_EQ(seq.MaxStepArrival(1), 5u);
+  EXPECT_EQ(seq.Total(0), 6u);
+  EXPECT_EQ(seq.Total(1), 6u);
+}
+
+TEST(ArrivalSequenceTest, Uniform) {
+  const ArrivalSequence seq = ArrivalSequence::Uniform({2, 1}, 9);
+  EXPECT_EQ(seq.horizon(), 9);
+  EXPECT_EQ(seq.Total(0), 20u);
+  EXPECT_EQ(seq.Total(1), 10u);
+  EXPECT_EQ(seq.MaxStepArrival(0), 2u);
+}
+
+TEST(ArrivalSequenceTest, RepeatToCycles) {
+  const ArrivalSequence seq = MakeSequence();
+  const ArrivalSequence repeated = seq.RepeatTo(9);
+  EXPECT_EQ(repeated.horizon(), 9);
+  for (TimeStep t = 0; t <= 9; ++t) {
+    EXPECT_EQ(repeated.At(t), seq.At(t % 4)) << "t=" << t;
+  }
+}
+
+TEST(ArrivalSequenceTest, RepeatToShorterTruncates) {
+  const ArrivalSequence seq = MakeSequence();
+  const ArrivalSequence shorter = seq.RepeatTo(1);
+  EXPECT_EQ(shorter.horizon(), 1);
+  EXPECT_EQ(shorter.At(1), seq.At(1));
+}
+
+TEST(ArrivalSequenceTest, Truncate) {
+  const ArrivalSequence seq = MakeSequence();
+  const ArrivalSequence t2 = seq.Truncate(2);
+  EXPECT_EQ(t2.horizon(), 2);
+  EXPECT_EQ(t2.Total(0), 3u);
+  EXPECT_EQ(t2.Total(1), 5u);
+}
+
+}  // namespace
+}  // namespace abivm

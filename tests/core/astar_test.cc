@@ -1,0 +1,175 @@
+#include "core/astar.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/exhaustive.h"
+#include "core/transforms.h"
+#include "tests/core/test_instances.h"
+
+namespace abivm {
+namespace {
+
+using abivm::testing::InstanceShape;
+using abivm::testing::RandomInstance;
+using abivm::testing::RandomValidPlan;
+
+TEST(AStarTest, TrivialSingleTableInstance) {
+  // f(k) = k, C = 5, one arrival per step, T = 11. Forced flush every time
+  // the backlog reaches 6; the optimal LGM plan flushes at t = 5 and the
+  // refresh at 11 handles the rest: cost 6 + 6 = 12 (every modification is
+  // paid exactly once with a = 1, b = 0).
+  std::vector<CostFunctionPtr> fns = {std::make_shared<LinearCost>(1.0, 0.0)};
+  const ProblemInstance instance{CostModel(std::move(fns)),
+                                 ArrivalSequence::Uniform({1}, 11), 5.0};
+  const PlanSearchResult result = FindOptimalLgmPlan(instance);
+  EXPECT_TRUE(ValidatePlan(instance, result.plan).ok());
+  EXPECT_TRUE(IsLgm(instance, result.plan));
+  EXPECT_DOUBLE_EQ(result.cost, 12.0);
+  EXPECT_DOUBLE_EQ(result.plan.TotalCost(instance.cost_model), result.cost);
+}
+
+TEST(AStarTest, ExploitsAsymmetryLikeThePaperIntroExample) {
+  // Table 0 ("R"): high setup cost, tiny per-item cost -- batching pays.
+  // Table 1 ("S"): pure per-item cost -- batching pointless.
+  // With C chosen tight, the optimal plan flushes S eagerly and batches R.
+  std::vector<CostFunctionPtr> fns = {
+      std::make_shared<LinearCost>(0.01, 10.0),  // R: c(k) ~ 10 + 0.01k
+      std::make_shared<LinearCost>(1.0, 0.0)};   // S: c(k) = k
+  const ProblemInstance instance{CostModel(std::move(fns)),
+                                 ArrivalSequence::Uniform({1, 1}, 40), 14.0};
+  const PlanSearchResult result = FindOptimalLgmPlan(instance);
+  ASSERT_TRUE(ValidatePlan(instance, result.plan).ok());
+  EXPECT_TRUE(IsLgm(instance, result.plan));
+  // The plan must act on table 1 strictly more often than on table 0:
+  // that is the asymmetric behaviour the paper advocates.
+  EXPECT_GT(result.plan.ActionCountForTable(1),
+            result.plan.ActionCountForTable(0));
+}
+
+TEST(AStarTest, MatchesExhaustiveLgmSearchOnRandomInstances) {
+  Rng rng(1111);
+  for (int trial = 0; trial < 150; ++trial) {
+    const ProblemInstance instance = RandomInstance(rng);
+    const PlanSearchResult astar = FindOptimalLgmPlan(instance);
+    ASSERT_TRUE(ValidatePlan(instance, astar.plan).ok()) << "trial " << trial;
+    ASSERT_TRUE(IsLgm(instance, astar.plan)) << "trial " << trial;
+
+    const MaintenancePlan exhaustive = ExhaustiveLgmPlan(instance);
+    ASSERT_TRUE(ValidatePlan(instance, exhaustive).ok()) << "trial " << trial;
+    EXPECT_NEAR(astar.cost, exhaustive.TotalCost(instance.cost_model), 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(AStarTest, DijkstraAblationFindsSameCostWithMoreExpansions) {
+  Rng rng(2222);
+  uint64_t astar_total = 0;
+  uint64_t dijkstra_total = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    const ProblemInstance instance = RandomInstance(rng);
+    const PlanSearchResult with_h = FindOptimalLgmPlan(instance);
+    const PlanSearchResult without_h =
+        FindOptimalLgmPlan(instance, AStarOptions{.use_heuristic = false});
+    EXPECT_NEAR(with_h.cost, without_h.cost, 1e-9) << "trial " << trial;
+    astar_total += with_h.nodes_expanded;
+    dijkstra_total += without_h.nodes_expanded;
+  }
+  // The heuristic must never make the search larger in aggregate.
+  EXPECT_LE(astar_total, dijkstra_total);
+}
+
+TEST(AStarTest, OptimalForLinearCostsAgainstFullOracle) {
+  // Theorem 2: with linear cost functions the best LGM plan is globally
+  // optimal. Compare against the all-valid-lazy-plans oracle on tiny
+  // instances.
+  Rng rng(3333);
+  InstanceShape shape;
+  shape.linear_only = true;
+  shape.max_n = 2;
+  shape.min_t = 2;
+  shape.max_t = 6;
+  shape.max_step_arrival = 2;
+  shape.min_budget = 1.0;
+  shape.max_budget = 8.0;
+  for (int trial = 0; trial < 60; ++trial) {
+    const ProblemInstance instance = RandomInstance(rng, shape);
+    const PlanSearchResult astar = FindOptimalLgmPlan(instance);
+    const MaintenancePlan oracle = ExhaustiveOptimalPlan(instance);
+    ASSERT_TRUE(ValidatePlan(instance, oracle).ok());
+    EXPECT_NEAR(astar.cost, oracle.TotalCost(instance.cost_model), 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(AStarTest, WithinTwiceOptimalForGeneralCosts) {
+  // Theorem 1: OPT_LGM <= 2 OPT for any monotone subadditive costs.
+  Rng rng(4444);
+  InstanceShape shape;
+  shape.max_n = 2;
+  shape.min_t = 2;
+  shape.max_t = 5;
+  shape.max_step_arrival = 2;
+  shape.min_budget = 1.0;
+  shape.max_budget = 8.0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const ProblemInstance instance = RandomInstance(rng, shape);
+    const PlanSearchResult astar = FindOptimalLgmPlan(instance);
+    const MaintenancePlan oracle = ExhaustiveOptimalPlan(instance);
+    const double opt = oracle.TotalCost(instance.cost_model);
+    EXPECT_GE(astar.cost, opt - 1e-9) << "trial " << trial;
+    EXPECT_LE(astar.cost, 2.0 * opt + 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(AStarTest, PaperGapInstanceShowsNearlyTwiceOptimal) {
+  // Section 3.2 tightness example with eps = 0.5 and m = 3: OPT_LGM =
+  // (2 + eps) m C, OPT <= (1 + eps) m C. Our A* must land exactly on the
+  // LGM cost and the oracle must beat it by the predicted ratio.
+  const double eps = 0.5;
+  const double c = 10.0;
+  const TimeStep horizon = 5;  // T = 2m - 1, m = 3
+  std::vector<CostFunctionPtr> fns = {MakePaperGapCost(eps, c)};
+  const Count per_step = static_cast<Count>(2.0 / eps) + 1;  // 5
+  const ProblemInstance instance{
+      CostModel(std::move(fns)),
+      ArrivalSequence::Uniform({per_step}, horizon), c};
+
+  const PlanSearchResult astar = FindOptimalLgmPlan(instance);
+  // LGM is forced to pay f(5) = (1 + eps/2) C at every one of the 6 steps.
+  EXPECT_NEAR(astar.cost, 6.0 * (1.0 + eps / 2.0) * c, 1e-9);
+
+  const MaintenancePlan oracle = ExhaustiveOptimalPlan(instance);
+  const double opt = oracle.TotalCost(instance.cost_model);
+  // The clever plan costs (1 + eps) C per two steps: 3 (f(1) + f(9)) where
+  // f(9) = (1 + eps/2) C is capped -- compute the exact bound instead of
+  // trusting the paper's algebra blindly.
+  EXPECT_LE(opt, 3.0 * (instance.cost_model.Cost(0, 1) +
+                        instance.cost_model.Cost(0, 9)) +
+                     1e-9);
+  EXPECT_GT(astar.cost / opt, 1.3);  // strictly worse than optimal
+  EXPECT_LE(astar.cost / opt, 2.0 + 1e-9);
+}
+
+TEST(AStarTest, NeverFullInstanceHasSingleRefreshAction) {
+  std::vector<CostFunctionPtr> fns = {std::make_shared<LinearCost>(0.1, 0.0)};
+  const ProblemInstance instance{CostModel(std::move(fns)),
+                                 ArrivalSequence::Uniform({1}, 10), 100.0};
+  const PlanSearchResult result = FindOptimalLgmPlan(instance);
+  EXPECT_EQ(result.plan.actions().size(), 1u);
+  EXPECT_EQ(result.plan.ActionAt(10), (StateVec{11}));
+  EXPECT_NEAR(result.cost, 1.1, 1e-9);
+}
+
+TEST(AStarTest, ZeroArrivalsCostNothing) {
+  std::vector<CostFunctionPtr> fns = {std::make_shared<LinearCost>(1.0, 1.0)};
+  const ProblemInstance instance{CostModel(std::move(fns)),
+                                 ArrivalSequence::Uniform({0}, 10), 5.0};
+  const PlanSearchResult result = FindOptimalLgmPlan(instance);
+  EXPECT_DOUBLE_EQ(result.cost, 0.0);
+}
+
+}  // namespace
+}  // namespace abivm

@@ -1,0 +1,106 @@
+// Odds and ends: string renderings, vector helpers, determinism, and
+// defensive-execution corners not covered elsewhere.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/astar.h"
+#include "core/online.h"
+#include "core/plan_policies.h"
+#include "core/types.h"
+#include "sim/simulator.h"
+#include "tests/core/test_instances.h"
+#include "tpc/arrivals_gen.h"
+
+namespace abivm {
+namespace {
+
+TEST(TypesTest, VecToString) {
+  EXPECT_EQ(VecToString({3, 0, 12}), "(3, 0, 12)");
+  EXPECT_EQ(VecToString({}), "()");
+}
+
+TEST(TypesTest, VectorHelpers) {
+  EXPECT_EQ(AddVec({1, 2}, {3, 4}), (StateVec{4, 6}));
+  EXPECT_EQ(SubVec({5, 5}, {2, 0}), (StateVec{3, 5}));
+  EXPECT_TRUE(FitsWithin({1, 2}, {1, 3}));
+  EXPECT_FALSE(FitsWithin({2, 2}, {1, 3}));
+  EXPECT_TRUE(IsZeroVec({0, 0, 0}));
+  EXPECT_FALSE(IsZeroVec({0, 1}));
+  EXPECT_EQ(ZeroVec(3), (StateVec{0, 0, 0}));
+}
+
+TEST(MaintenancePlanTest, ToStringListsActions) {
+  MaintenancePlan plan(2, 10);
+  plan.SetAction(3, {2, 0});
+  plan.SetAction(7, {0, 4});
+  const std::string text = plan.ToString();
+  EXPECT_NE(text.find("3:(2, 0)"), std::string::npos);
+  EXPECT_NE(text.find("7:(0, 4)"), std::string::npos);
+  EXPECT_NE(text.find("T=10"), std::string::npos);
+}
+
+TEST(DeterminismTest, PlannersAndPoliciesAreReproducible) {
+  Rng rng(2718);
+  for (int trial = 0; trial < 20; ++trial) {
+    const ProblemInstance instance =
+        abivm::testing::RandomInstance(rng);
+    const PlanSearchResult a = FindOptimalLgmPlan(instance);
+    const PlanSearchResult b = FindOptimalLgmPlan(instance);
+    EXPECT_EQ(a.plan.ToString(), b.plan.ToString());
+    EXPECT_EQ(a.nodes_expanded, b.nodes_expanded);
+
+    OnlinePolicy p1, p2;
+    const Trace t1 = Simulate(instance, p1, {.record_steps = false});
+    const Trace t2 = Simulate(instance, p2, {.record_steps = false});
+    EXPECT_DOUBLE_EQ(t1.total_cost, t2.total_cost);
+  }
+}
+
+TEST(AdaptPolicyTest, CountsDeviationsOnMismatchedStream) {
+  // Plan computed for 1+1 uniform arrivals, executed against a heavier
+  // Poisson stream: the policy must stay valid and report deviations.
+  std::vector<CostFunctionPtr> fns = {
+      std::make_shared<LinearCost>(0.5, 1.0),
+      std::make_shared<LinearCost>(0.5, 1.0)};
+  CostModel model(fns);
+  const ProblemInstance planned{
+      model, ArrivalSequence::Uniform({1, 1}, 99), 8.0};
+  const PlanSearchResult plan = FindOptimalLgmPlan(planned);
+
+  Rng rng(5);
+  const ProblemInstance actual{
+      model, MakePoissonArrivals({3.0, 3.0}, 99, rng), 8.0};
+  AdaptPolicy adapt(plan.plan);
+  const Trace trace = Simulate(actual, adapt);
+  EXPECT_EQ(trace.violations, 0u);
+  EXPECT_GT(adapt.deviations(), 0u);
+  EXPECT_TRUE(
+      ValidatePlan(actual, trace.AsPlan(2, 99)).ok());
+}
+
+TEST(OnlinePolicyTest, ActBeforeResetDies) {
+  OnlinePolicy policy;
+  EXPECT_DEATH((void)policy.Act(0, {1}, {1}), "not Reset");
+}
+
+TEST(SimulatorTest, StrictModeDiesOnViolation) {
+  std::vector<CostFunctionPtr> fns = {std::make_shared<LinearCost>(1.0, 0.0)};
+  const ProblemInstance instance{CostModel(std::move(fns)),
+                                 ArrivalSequence::Uniform({2}, 5), 3.0};
+  class Lazy final : public Policy {
+   public:
+    void Reset(const CostModel&, double) override {}
+    StateVec Act(TimeStep, const StateVec& pre, const StateVec&) override {
+      return ZeroVec(pre.size());
+    }
+    std::string name() const override { return "LAZY"; }
+  } lazy;
+  EXPECT_DEATH((void)Simulate(instance, lazy, {.strict = true}),
+               "violated the response-time constraint");
+}
+
+}  // namespace
+}  // namespace abivm

@@ -1,0 +1,168 @@
+#include "core/plan.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/types.h"
+
+namespace abivm {
+namespace {
+
+// Two tables, both linear with cost k + 1 (a = 1, b = 1); budget 5.
+ProblemInstance MakeInstance() {
+  std::vector<CostFunctionPtr> fns = {std::make_shared<LinearCost>(1.0, 1.0),
+                                      std::make_shared<LinearCost>(1.0, 1.0)};
+  // One modification per table per step, T = 4.
+  return ProblemInstance{CostModel(std::move(fns)),
+                         ArrivalSequence::Uniform({1, 1}, 4), 5.0};
+}
+
+TEST(MaintenancePlanTest, SparseActionStorage) {
+  MaintenancePlan plan(2, 10);
+  EXPECT_EQ(plan.ActionAt(3), ZeroVec(2));
+  plan.SetAction(3, {2, 0});
+  plan.SetAction(7, {0, 4});
+  EXPECT_EQ(plan.ActionAt(3), (StateVec{2, 0}));
+  EXPECT_EQ(plan.actions().size(), 2u);
+  plan.SetAction(3, {0, 0});  // zero vector removes the entry
+  EXPECT_EQ(plan.actions().size(), 1u);
+  EXPECT_EQ(plan.ActionAt(3), ZeroVec(2));
+}
+
+TEST(MaintenancePlanTest, ActionCountForTable) {
+  MaintenancePlan plan(2, 10);
+  plan.SetAction(1, {2, 2});
+  plan.SetAction(4, {1, 0});
+  plan.SetAction(9, {0, 3});
+  EXPECT_EQ(plan.ActionCountForTable(0), 2u);
+  EXPECT_EQ(plan.ActionCountForTable(1), 2u);
+}
+
+TEST(MaintenancePlanTest, TotalCost) {
+  const ProblemInstance instance = MakeInstance();
+  MaintenancePlan plan(2, 4);
+  plan.SetAction(2, {3, 0});  // f = 3 + 1
+  plan.SetAction(4, {2, 5});  // f = (2+1) + (5+1)
+  EXPECT_DOUBLE_EQ(plan.TotalCost(instance.cost_model), 13.0);
+}
+
+TEST(ValidatePlanTest, AcceptsAValidPlan) {
+  const ProblemInstance instance = MakeInstance();
+  // Pre-states grow by (1,1) per step: f(s_t) = (t+2) + (t+2).
+  // Full when 2t + 4 > 5, i.e. from t = 1. Flush everything at t = 1 and 3,
+  // then the final refresh at 4.
+  MaintenancePlan plan(2, 4);
+  plan.SetAction(1, {2, 2});
+  plan.SetAction(3, {2, 2});
+  plan.SetAction(4, {1, 1});
+  EXPECT_TRUE(ValidatePlan(instance, plan).ok());
+}
+
+TEST(ValidatePlanTest, RejectsOverdraw) {
+  const ProblemInstance instance = MakeInstance();
+  MaintenancePlan plan(2, 4);
+  plan.SetAction(0, {2, 0});  // only 1 accumulated
+  const Status status = ValidatePlan(instance, plan);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ValidatePlanTest, RejectsFullPostActionState) {
+  const ProblemInstance instance = MakeInstance();
+  MaintenancePlan plan(2, 4);
+  // Never act before T: by t = 1 the state (2,2) costs 6 > 5.
+  plan.SetAction(4, {5, 5});
+  const Status status = ValidatePlan(instance, plan);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ValidatePlanTest, RejectsNonEmptyFinalState) {
+  const ProblemInstance instance = MakeInstance();
+  MaintenancePlan plan(2, 4);
+  plan.SetAction(1, {2, 2});
+  plan.SetAction(3, {2, 2});
+  // Missing the final refresh of (1,1).
+  const Status status = ValidatePlan(instance, plan);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ValidatePlanTest, RejectsDimensionMismatch) {
+  const ProblemInstance instance = MakeInstance();
+  MaintenancePlan plan(3, 4);
+  EXPECT_FALSE(ValidatePlan(instance, plan).ok());
+  MaintenancePlan wrong_horizon(2, 5);
+  EXPECT_FALSE(ValidatePlan(instance, wrong_horizon).ok());
+}
+
+TEST(TrajectoryTest, PreAndPostStates) {
+  const ProblemInstance instance = MakeInstance();
+  MaintenancePlan plan(2, 4);
+  plan.SetAction(1, {2, 2});
+  plan.SetAction(3, {2, 2});
+  plan.SetAction(4, {1, 1});
+  const PlanTrajectory traj = ComputeTrajectory(instance.arrivals, plan);
+  EXPECT_EQ(traj.pre[0], (StateVec{1, 1}));
+  EXPECT_EQ(traj.post[0], (StateVec{1, 1}));
+  EXPECT_EQ(traj.pre[1], (StateVec{2, 2}));
+  EXPECT_EQ(traj.post[1], (StateVec{0, 0}));
+  EXPECT_EQ(traj.pre[4], (StateVec{1, 1}));
+  EXPECT_EQ(traj.post[4], (StateVec{0, 0}));
+}
+
+TEST(PlanPredicatesTest, LazyGreedyMinimal) {
+  const ProblemInstance instance = MakeInstance();
+  MaintenancePlan plan(2, 4);
+  plan.SetAction(1, {2, 2});
+  plan.SetAction(3, {2, 2});
+  plan.SetAction(4, {1, 1});
+  EXPECT_TRUE(IsLazy(instance, plan));
+  EXPECT_TRUE(IsGreedy(instance, plan));
+  // Flushing both tables is NOT minimal here: flushing just one leaves
+  // residue cost 3 <= 5.
+  EXPECT_FALSE(IsMinimal(instance, plan));
+  EXPECT_FALSE(IsLgm(instance, plan));
+}
+
+TEST(PlanPredicatesTest, MinimalAsymmetricPlanIsLgm) {
+  const ProblemInstance instance = MakeInstance();
+  // Alternate which table gets flushed; each flush of one table leaves the
+  // other's residue under budget, and dropping the flush breaks it.
+  MaintenancePlan plan(2, 4);
+  plan.SetAction(1, {2, 0});  // pre (2,2) full; residue (0,2) costs 3
+  plan.SetAction(2, {0, 3});  // pre (1,3) full; residue (1,0) costs 2
+  // t = 3: pre (2,1) costs exactly 5 -- not full, lazily skip.
+  plan.SetAction(4, {3, 2});
+  ASSERT_TRUE(ValidatePlan(instance, plan).ok());
+  EXPECT_TRUE(IsLazy(instance, plan));
+  EXPECT_TRUE(IsGreedy(instance, plan));
+  EXPECT_TRUE(IsMinimal(instance, plan));
+  EXPECT_TRUE(IsLgm(instance, plan));
+}
+
+TEST(PlanPredicatesTest, NonLazyDetected) {
+  const ProblemInstance instance = MakeInstance();
+  MaintenancePlan plan(2, 4);
+  plan.SetAction(0, {1, 1});  // state (1,1) costs 4 <= 5: not forced
+  plan.SetAction(2, {2, 0});
+  plan.SetAction(3, {0, 3});
+  plan.SetAction(4, {2, 1});
+  ASSERT_TRUE(ValidatePlan(instance, plan).ok());
+  EXPECT_FALSE(IsLazy(instance, plan));
+}
+
+TEST(PlanPredicatesTest, NonGreedyDetected) {
+  const ProblemInstance instance = MakeInstance();
+  MaintenancePlan plan(2, 4);
+  plan.SetAction(1, {1, 1});  // partial: leaves 1 in each table
+  plan.SetAction(2, {2, 0});
+  plan.SetAction(3, {0, 3});
+  plan.SetAction(4, {2, 1});
+  ASSERT_TRUE(ValidatePlan(instance, plan).ok());
+  EXPECT_FALSE(IsGreedy(instance, plan));
+}
+
+}  // namespace
+}  // namespace abivm

@@ -1,0 +1,127 @@
+// Shared randomized-instance and random-valid-plan generators for the core
+// scheduler tests. Everything is seeded and deterministic.
+
+#ifndef ABIVM_TESTS_CORE_TEST_INSTANCES_H_
+#define ABIVM_TESTS_CORE_TEST_INSTANCES_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "core/plan.h"
+
+namespace abivm::testing {
+
+struct InstanceShape {
+  size_t min_n = 1, max_n = 4;
+  TimeStep min_t = 3, max_t = 12;
+  Count max_step_arrival = 3;
+  double min_budget = 2.0, max_budget = 25.0;
+  bool linear_only = false;
+};
+
+/// Random cost function: linear, capped, step, or concave (or linear-only
+/// when the shape demands it, for Theorem-2 style tests).
+inline CostFunctionPtr RandomCostFunction(Rng& rng, bool linear_only) {
+  const double a = rng.UniformDouble(0.1, 2.0);
+  const double b = rng.UniformDouble(0.0, 5.0);
+  const int kind = linear_only ? 0 : static_cast<int>(rng.UniformInt(0, 3));
+  switch (kind) {
+    case 0:
+      return std::make_shared<LinearCost>(a, b);
+    case 1:
+      return std::make_shared<AffineCappedCost>(
+          a, b, static_cast<uint64_t>(rng.UniformInt(2, 30)));
+    case 2:
+      return std::make_shared<StepCost>(
+          static_cast<uint64_t>(rng.UniformInt(1, 6)),
+          rng.UniformDouble(0.5, 4.0));
+    default:
+      return std::make_shared<ConcaveCost>(a, b);
+  }
+}
+
+/// Random problem instance within the given shape.
+inline ProblemInstance RandomInstance(Rng& rng,
+                                      const InstanceShape& shape = {}) {
+  const size_t n = static_cast<size_t>(
+      rng.UniformInt(static_cast<int64_t>(shape.min_n),
+                     static_cast<int64_t>(shape.max_n)));
+  const TimeStep horizon = rng.UniformInt(shape.min_t, shape.max_t);
+
+  std::vector<CostFunctionPtr> fns;
+  fns.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    fns.push_back(RandomCostFunction(rng, shape.linear_only));
+  }
+
+  std::vector<StateVec> steps;
+  steps.reserve(static_cast<size_t>(horizon) + 1);
+  for (TimeStep t = 0; t <= horizon; ++t) {
+    StateVec d(n);
+    for (size_t i = 0; i < n; ++i) {
+      d[i] = static_cast<Count>(rng.UniformInt(
+          0, static_cast<int64_t>(shape.max_step_arrival)));
+    }
+    steps.push_back(std::move(d));
+  }
+
+  return ProblemInstance{
+      CostModel(std::move(fns)),
+      ArrivalSequence(std::move(steps)),
+      rng.UniformDouble(shape.min_budget, shape.max_budget)};
+}
+
+/// A random *valid* plan: acts whenever forced (and sometimes when not),
+/// choosing arbitrary sub-vector amounts -- typically neither lazy nor
+/// greedy nor minimal, which is exactly what the transform tests need.
+inline MaintenancePlan RandomValidPlan(const ProblemInstance& instance,
+                                       Rng& rng) {
+  const size_t n = instance.n();
+  const TimeStep horizon = instance.horizon();
+  MaintenancePlan plan(n, horizon);
+
+  StateVec state = ZeroVec(n);
+  for (TimeStep t = 0; t <= horizon; ++t) {
+    state = AddVec(state, instance.arrivals.At(t));
+    StateVec action = ZeroVec(n);
+    if (t == horizon) {
+      action = state;
+    } else {
+      const bool forced =
+          instance.cost_model.IsFull(state, instance.budget);
+      const bool voluntary = rng.Bernoulli(0.3);
+      if (forced || voluntary) {
+        // Start from a random sub-vector...
+        for (size_t i = 0; i < n; ++i) {
+          action[i] = static_cast<Count>(
+              rng.UniformInt(0, static_cast<int64_t>(state[i])));
+        }
+        // ...and, if the leftover is still over budget, raise components
+        // to full flushes in random order until it fits.
+        std::vector<size_t> order(n);
+        for (size_t i = 0; i < n; ++i) order[i] = i;
+        for (size_t i = n; i > 1; --i) {
+          std::swap(order[i - 1], order[static_cast<size_t>(rng.UniformInt(
+                                      0, static_cast<int64_t>(i) - 1))]);
+        }
+        for (size_t i : order) {
+          if (!instance.cost_model.IsFull(SubVec(state, action),
+                                          instance.budget)) {
+            break;
+          }
+          action[i] = state[i];
+        }
+      }
+    }
+    if (!IsZeroVec(action)) {
+      plan.SetAction(t, action);
+      state = SubVec(state, action);
+    }
+  }
+  return plan;
+}
+
+}  // namespace abivm::testing
+
+#endif  // ABIVM_TESTS_CORE_TEST_INSTANCES_H_

@@ -1,0 +1,102 @@
+#include "core/transforms.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "tests/core/test_instances.h"
+
+namespace abivm {
+namespace {
+
+using abivm::testing::InstanceShape;
+using abivm::testing::RandomInstance;
+using abivm::testing::RandomValidPlan;
+
+TEST(MakeLazyPlanTest, DefersVoluntaryActions) {
+  // One table, f(k) = k, C = 5, one arrival per step, T = 6. A plan that
+  // flushes at every step is valid but eager; the lazy version waits until
+  // the state holds 6 modifications (f = 6 > 5).
+  std::vector<CostFunctionPtr> fns = {std::make_shared<LinearCost>(1.0, 0.0)};
+  const ProblemInstance instance{CostModel(std::move(fns)),
+                                 ArrivalSequence::Uniform({1}, 6), 5.0};
+  MaintenancePlan eager(1, 6);
+  for (TimeStep t = 0; t <= 6; ++t) eager.SetAction(t, {1});
+  ASSERT_TRUE(ValidatePlan(instance, eager).ok());
+
+  const MaintenancePlan lazy = MakeLazyPlan(instance, eager);
+  ASSERT_TRUE(ValidatePlan(instance, lazy).ok());
+  EXPECT_TRUE(IsLazy(instance, lazy));
+  // First forced action at t = 5 (pre-state 6 > 5), final refresh at 6.
+  EXPECT_EQ(lazy.actions().size(), 2u);
+  EXPECT_EQ(lazy.ActionAt(5), (StateVec{6}));
+  EXPECT_EQ(lazy.ActionAt(6), (StateVec{1}));
+}
+
+TEST(MakeLazyPlanTest, RandomizedPreservesValidityAndNeverCostsMore) {
+  Rng rng(123);
+  for (int trial = 0; trial < 300; ++trial) {
+    const ProblemInstance instance = RandomInstance(rng);
+    const MaintenancePlan plan = RandomValidPlan(instance, rng);
+    ASSERT_TRUE(ValidatePlan(instance, plan).ok()) << "trial " << trial;
+
+    const MaintenancePlan lazy = MakeLazyPlan(instance, plan);
+    EXPECT_TRUE(ValidatePlan(instance, lazy).ok()) << "trial " << trial;
+    EXPECT_TRUE(IsLazy(instance, lazy)) << "trial " << trial;
+    EXPECT_LE(lazy.TotalCost(instance.cost_model),
+              plan.TotalCost(instance.cost_model) + 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(MakeLgmPlanTest, RandomizedProducesValidLgmWithinTwiceTheCost) {
+  Rng rng(456);
+  for (int trial = 0; trial < 300; ++trial) {
+    const ProblemInstance instance = RandomInstance(rng);
+    const MaintenancePlan plan = RandomValidPlan(instance, rng);
+    ASSERT_TRUE(ValidatePlan(instance, plan).ok()) << "trial " << trial;
+
+    const MaintenancePlan lgm = MakeLgmPlan(instance, plan);
+    EXPECT_TRUE(ValidatePlan(instance, lgm).ok()) << "trial " << trial;
+    EXPECT_TRUE(IsLgm(instance, lgm)) << "trial " << trial;
+    // Theorem 1's construction bound: f(Q) <= 2 f(P).
+    EXPECT_LE(lgm.TotalCost(instance.cost_model),
+              2.0 * plan.TotalCost(instance.cost_model) + 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(MakeLgmPlanTest, LinearCostsDoNotIncreasePerTableActionCounts) {
+  // The key step of Theorem 2: |Q(i)| <= |P(i)| for every table i.
+  Rng rng(789);
+  InstanceShape shape;
+  shape.linear_only = true;
+  for (int trial = 0; trial < 300; ++trial) {
+    const ProblemInstance instance = RandomInstance(rng, shape);
+    const MaintenancePlan plan = RandomValidPlan(instance, rng);
+    const MaintenancePlan lgm = MakeLgmPlan(instance, plan);
+    ASSERT_TRUE(ValidatePlan(instance, lgm).ok());
+    for (size_t i = 0; i < instance.n(); ++i) {
+      EXPECT_LE(lgm.ActionCountForTable(i), plan.ActionCountForTable(i))
+          << "trial " << trial << " table " << i;
+    }
+  }
+}
+
+TEST(MakeLgmPlanTest, IdempotentOnLgmInput) {
+  // Applying MakeLgmPlan to an LGM plan keeps cost unchanged-or-better.
+  Rng rng(321);
+  for (int trial = 0; trial < 100; ++trial) {
+    const ProblemInstance instance = RandomInstance(rng);
+    const MaintenancePlan plan = RandomValidPlan(instance, rng);
+    const MaintenancePlan lgm = MakeLgmPlan(instance, plan);
+    const MaintenancePlan again = MakeLgmPlan(instance, lgm);
+    EXPECT_TRUE(IsLgm(instance, again));
+    EXPECT_LE(again.TotalCost(instance.cost_model),
+              2.0 * lgm.TotalCost(instance.cost_model) + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace abivm

@@ -1,0 +1,110 @@
+#include "cost/adaptive_cost.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace abivm {
+namespace {
+
+TEST(AdaptiveLinearCostTest, UsesPriorBeforeObservations) {
+  AdaptiveCostOptions options;
+  options.initial_a = 2.0;
+  options.initial_b = 3.0;
+  AdaptiveLinearCost cost(options);
+  EXPECT_DOUBLE_EQ(cost.Cost(0), 0.0);
+  EXPECT_DOUBLE_EQ(cost.Cost(10), 23.0);
+}
+
+TEST(AdaptiveLinearCostTest, SingleObservationFitsThroughOrigin) {
+  AdaptiveLinearCost cost;
+  cost.Observe(10, 50.0);
+  EXPECT_NEAR(cost.a(), 5.0, 1e-9);
+  EXPECT_NEAR(cost.Cost(20), 100.0, 1e-6);
+}
+
+TEST(AdaptiveLinearCostTest, ConvergesToTrueParametersFromNoisySamples) {
+  AdaptiveCostOptions options;
+  options.forgetting = 1.0;  // plain least squares
+  AdaptiveLinearCost cost(options);
+  Rng rng(5);
+  const double true_a = 0.4, true_b = 12.0;
+  for (int i = 0; i < 500; ++i) {
+    const uint64_t k = static_cast<uint64_t>(rng.UniformInt(1, 400));
+    const double noise = rng.Normal(0.0, 1.0);
+    cost.Observe(k, true_a * static_cast<double>(k) + true_b + noise);
+  }
+  EXPECT_NEAR(cost.a(), true_a, 0.02);
+  EXPECT_NEAR(cost.b(), true_b, 2.0);
+  EXPECT_EQ(cost.observations(), 500u);
+}
+
+TEST(AdaptiveLinearCostTest, ForgettingTracksDrift) {
+  AdaptiveLinearCost cost;  // forgetting = 0.98
+  Rng rng(6);
+  // Phase 1: cheap scans (b = 5).
+  for (int i = 0; i < 300; ++i) {
+    const uint64_t k = static_cast<uint64_t>(rng.UniformInt(1, 200));
+    cost.Observe(k, 0.1 * static_cast<double>(k) + 5.0);
+  }
+  EXPECT_NEAR(cost.b(), 5.0, 1.0);
+  // Phase 2: the table grew 4x (b = 20); the model must follow.
+  for (int i = 0; i < 300; ++i) {
+    const uint64_t k = static_cast<uint64_t>(rng.UniformInt(1, 200));
+    cost.Observe(k, 0.1 * static_cast<double>(k) + 20.0);
+  }
+  EXPECT_NEAR(cost.b(), 20.0, 2.0);
+  EXPECT_NEAR(cost.a(), 0.1, 0.05);
+}
+
+TEST(AdaptiveLinearCostTest, AlwaysAValidCostFunction) {
+  // Feed adversarially decreasing costs; the exposed function must stay
+  // monotone and subadditive (a > 0, b >= 0) throughout.
+  AdaptiveLinearCost cost;
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    cost.Observe(static_cast<uint64_t>(rng.UniformInt(1, 100)),
+                 rng.UniformDouble(0.0, 1.0));
+    EXPECT_GT(cost.a(), 0.0) << "after obs " << i;
+    EXPECT_GE(cost.b(), 0.0) << "after obs " << i;
+    EXPECT_TRUE(IsMonotone(cost, 50)) << "after obs " << i;
+    EXPECT_TRUE(IsSubadditive(cost, 50)) << "after obs " << i;
+  }
+}
+
+TEST(AdaptiveLinearCostTest, DegenerateIdenticalBatchSizes) {
+  // All observations at the same k: the 2x2 system is singular; the model
+  // must still produce a sensible proportional estimate.
+  AdaptiveLinearCost cost;
+  for (int i = 0; i < 10; ++i) cost.Observe(50, 100.0);
+  EXPECT_NEAR(cost.Cost(50), 100.0, 1e-6);
+}
+
+TEST(AdaptiveLinearCostTest, ZeroBatchObservationsIgnored) {
+  AdaptiveLinearCost cost;
+  cost.Observe(0, 999.0);
+  EXPECT_EQ(cost.observations(), 0u);
+}
+
+TEST(AdaptiveLinearCostTest, FreezeSnapshotsTheCurrentFit) {
+  AdaptiveLinearCost cost;
+  cost.Observe(10, 20.0);
+  cost.Observe(20, 30.0);
+  const CostFunctionPtr frozen = cost.Freeze();
+  const double before = frozen->Cost(100);
+  cost.Observe(10, 500.0);  // drift after the snapshot
+  EXPECT_DOUBLE_EQ(frozen->Cost(100), before);
+  EXPECT_NE(cost.Cost(100), before);
+}
+
+TEST(AdaptiveLinearCostTest, MaxBatchWithinMatchesLinearEquivalent) {
+  AdaptiveLinearCost cost;
+  cost.Observe(10, 20.0);
+  cost.Observe(20, 30.0);  // fit: a = 1, b = 10
+  EXPECT_NEAR(cost.a(), 1.0, 1e-6);
+  EXPECT_NEAR(cost.b(), 10.0, 1e-6);
+  EXPECT_EQ(cost.MaxBatchWithin(30.0), 20u);
+}
+
+}  // namespace
+}  // namespace abivm

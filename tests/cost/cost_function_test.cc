@@ -1,0 +1,193 @@
+#include "cost/cost_function.h"
+
+#include <cmath>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace abivm {
+namespace {
+
+TEST(LinearCostTest, BasicValues) {
+  LinearCost f(0.5, 3.0);
+  EXPECT_DOUBLE_EQ(f.Cost(0), 0.0);
+  EXPECT_DOUBLE_EQ(f.Cost(1), 3.5);
+  EXPECT_DOUBLE_EQ(f.Cost(100), 53.0);
+}
+
+TEST(LinearCostTest, MaxBatchWithinClosedForm) {
+  LinearCost f(0.5, 3.0);
+  EXPECT_EQ(f.MaxBatchWithin(3.4), 0u);   // f(1) = 3.5 > 3.4
+  EXPECT_EQ(f.MaxBatchWithin(3.5), 1u);   // exactly one fits
+  EXPECT_EQ(f.MaxBatchWithin(53.0), 100u);
+  EXPECT_EQ(f.MaxBatchWithin(53.2), 100u);
+  EXPECT_EQ(f.MaxBatchWithin(-1.0), 0u);
+}
+
+TEST(LinearCostTest, ZeroInterceptIsProportional) {
+  LinearCost f(2.0, 0.0);
+  EXPECT_DOUBLE_EQ(f.Cost(7), 14.0);
+  EXPECT_EQ(f.MaxBatchWithin(14.0), 7u);
+}
+
+TEST(AffineCappedCostTest, PlateauBehaviour) {
+  AffineCappedCost f(1.0, 2.0, /*cap=*/10);
+  EXPECT_DOUBLE_EQ(f.Cost(0), 0.0);
+  EXPECT_DOUBLE_EQ(f.Cost(5), 7.0);
+  EXPECT_DOUBLE_EQ(f.Cost(10), 12.0);
+  EXPECT_DOUBLE_EQ(f.Cost(11), 12.0);
+  EXPECT_DOUBLE_EQ(f.Cost(1'000'000), 12.0);
+  EXPECT_DOUBLE_EQ(f.plateau(), 12.0);
+}
+
+TEST(AffineCappedCostTest, MaxBatchUnboundedWhenPlateauFits) {
+  AffineCappedCost f(1.0, 2.0, 10);
+  EXPECT_EQ(f.MaxBatchWithin(12.0), kUnboundedBatch);
+  EXPECT_EQ(f.MaxBatchWithin(11.0), 9u);
+  EXPECT_EQ(f.MaxBatchWithin(2.5), 0u);  // f(1) = 3 > 2.5
+}
+
+TEST(StepCostTest, BlockJumps) {
+  StepCost f(/*block=*/10, /*cost_per_block=*/4.0);
+  EXPECT_DOUBLE_EQ(f.Cost(0), 0.0);
+  EXPECT_DOUBLE_EQ(f.Cost(1), 4.0);
+  EXPECT_DOUBLE_EQ(f.Cost(10), 4.0);
+  EXPECT_DOUBLE_EQ(f.Cost(11), 8.0);
+  EXPECT_DOUBLE_EQ(f.Cost(30), 12.0);
+}
+
+TEST(StepCostTest, MaxBatchRoundsToBlockBoundary) {
+  StepCost f(10, 4.0);
+  EXPECT_EQ(f.MaxBatchWithin(3.9), 0u);
+  EXPECT_EQ(f.MaxBatchWithin(4.0), 10u);
+  EXPECT_EQ(f.MaxBatchWithin(7.9), 10u);
+  EXPECT_EQ(f.MaxBatchWithin(8.0), 20u);
+}
+
+TEST(StepCostTest, IsNotConcaveButIsSubadditive) {
+  // The paper's point: ceil(x/B)*c is subadditive but not concave.
+  StepCost f(10, 4.0);
+  EXPECT_TRUE(IsSubadditive(f, 100));
+  // Concavity would require f(11) - f(10) <= f(1) - f(0) scaled; exhibit
+  // the non-concave jump directly.
+  const double jump_late = f.Cost(11) - f.Cost(10);
+  const double slope_early = (f.Cost(10) - f.Cost(1)) / 9.0;
+  EXPECT_GT(jump_late, slope_early);
+}
+
+TEST(ConcaveCostTest, SqrtShape) {
+  ConcaveCost f(2.0, 1.0);
+  EXPECT_DOUBLE_EQ(f.Cost(0), 0.0);
+  EXPECT_DOUBLE_EQ(f.Cost(1), 3.0);
+  EXPECT_DOUBLE_EQ(f.Cost(4), 5.0);
+  EXPECT_DOUBLE_EQ(f.Cost(100), 21.0);
+}
+
+TEST(ConcaveCostTest, GenericMaxBatchWithin) {
+  ConcaveCost f(2.0, 1.0);  // f(k) = 2*sqrt(k) + 1
+  // f(k) <= 9  <=>  sqrt(k) <= 4  <=>  k <= 16.
+  EXPECT_EQ(f.MaxBatchWithin(9.0), 16u);
+  EXPECT_EQ(f.MaxBatchWithin(2.9), 0u);
+  EXPECT_EQ(f.MaxBatchWithin(3.0), 1u);
+}
+
+TEST(PiecewiseLinearCostTest, InterpolatesAndExtrapolates) {
+  PiecewiseLinearCost f({{10, 5.0}, {20, 6.0}, {40, 10.0}});
+  EXPECT_DOUBLE_EQ(f.Cost(0), 0.0);
+  EXPECT_DOUBLE_EQ(f.Cost(5), 2.5);    // origin..(10,5)
+  EXPECT_DOUBLE_EQ(f.Cost(10), 5.0);
+  EXPECT_DOUBLE_EQ(f.Cost(15), 5.5);   // (10,5)..(20,6)
+  EXPECT_DOUBLE_EQ(f.Cost(40), 10.0);
+  EXPECT_DOUBLE_EQ(f.Cost(50), 12.0);  // extrapolate slope 0.2
+}
+
+TEST(PiecewiseLinearCostTest, SingleSampleExtrapolatesProportionally) {
+  PiecewiseLinearCost f({{10, 5.0}});
+  EXPECT_DOUBLE_EQ(f.Cost(5), 2.5);
+  EXPECT_DOUBLE_EQ(f.Cost(20), 10.0);
+}
+
+TEST(PaperGapCostTest, MatchesSection32Definition) {
+  const double eps = 0.25;
+  const double c = 100.0;
+  CostFunctionPtr f = MakePaperGapCost(eps, c);
+  // f(x) = (eps*x/2)*C for x <= 2/eps = 8.
+  for (uint64_t x = 0; x <= 8; ++x) {
+    EXPECT_NEAR(f->Cost(x), eps * static_cast<double>(x) / 2.0 * c, 1e-9)
+        << "x=" << x;
+  }
+  // f(x) = (1 + eps/2)*C above.
+  EXPECT_NEAR(f->Cost(9), (1.0 + eps / 2.0) * c, 1e-9);
+  EXPECT_NEAR(f->Cost(1000), (1.0 + eps / 2.0) * c, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Property suite: every cost function in the zoo is monotone, subadditive,
+// and has a MaxBatchWithin consistent with brute force.
+
+struct ZooEntry {
+  std::string label;
+  CostFunctionPtr fn;
+};
+
+class CostPropertyTest : public ::testing::TestWithParam<ZooEntry> {};
+
+TEST_P(CostPropertyTest, ZeroAtZero) {
+  EXPECT_DOUBLE_EQ(GetParam().fn->Cost(0), 0.0);
+}
+
+TEST_P(CostPropertyTest, Monotone) {
+  EXPECT_TRUE(IsMonotone(*GetParam().fn, 300));
+}
+
+TEST_P(CostPropertyTest, Subadditive) {
+  EXPECT_TRUE(IsSubadditive(*GetParam().fn, 300));
+}
+
+TEST_P(CostPropertyTest, MaxBatchWithinAgreesWithBruteForce) {
+  const CostFunction& f = *GetParam().fn;
+  for (double budget : {0.1, 1.0, 3.7, 10.0, 55.5, 240.0}) {
+    const uint64_t reported = f.MaxBatchWithin(budget);
+    // Brute force over a window around the reported answer.
+    uint64_t brute = 0;
+    for (uint64_t k = 1; k <= 2000; ++k) {
+      if (f.Cost(k) <= budget + 1e-9) brute = k;
+    }
+    if (reported == kUnboundedBatch) {
+      EXPECT_EQ(brute, 2000u) << "budget=" << budget;
+    } else if (reported > 2000) {
+      EXPECT_EQ(brute, 2000u) << "budget=" << budget;
+    } else {
+      EXPECT_EQ(reported, brute) << "budget=" << budget;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, CostPropertyTest,
+    ::testing::Values(
+        ZooEntry{"linear_small", std::make_shared<LinearCost>(0.25, 3.0)},
+        ZooEntry{"linear_no_intercept",
+                 std::make_shared<LinearCost>(1.5, 0.0)},
+        ZooEntry{"linear_steep", std::make_shared<LinearCost>(7.0, 40.0)},
+        ZooEntry{"capped", std::make_shared<AffineCappedCost>(0.1, 5.0, 60)},
+        ZooEntry{"capped_tight",
+                 std::make_shared<AffineCappedCost>(2.0, 0.5, 3)},
+        ZooEntry{"step_small", std::make_shared<StepCost>(7, 2.5)},
+        ZooEntry{"step_large", std::make_shared<StepCost>(64, 12.0)},
+        ZooEntry{"concave", std::make_shared<ConcaveCost>(3.0, 1.0)},
+        ZooEntry{"concave_flat", std::make_shared<ConcaveCost>(0.5, 0.0)},
+        ZooEntry{"piecewise",
+                 std::make_shared<PiecewiseLinearCost>(
+                     std::vector<std::pair<uint64_t, double>>{
+                         {5, 4.0}, {10, 6.0}, {50, 20.0}, {100, 30.0}})},
+        ZooEntry{"paper_gap", std::static_pointer_cast<const CostFunction>(
+                                  MakePaperGapCost(0.5, 10.0))}),
+    [](const ::testing::TestParamInfo<ZooEntry>& info) {
+      return info.param.label;
+    });
+
+}  // namespace
+}  // namespace abivm

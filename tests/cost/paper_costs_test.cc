@@ -1,0 +1,51 @@
+// The digitized Figure-1 cost functions must reproduce the numbers the
+// paper's text states.
+
+#include <gtest/gtest.h>
+
+#include "cost/cost_function.h"
+
+namespace abivm {
+namespace {
+
+TEST(PaperFig1CostsTest, LinearSideIsQuarterMillisecondPerTuple) {
+  const CostFunctionPtr f = MakePaperFig1LinearSideCost();
+  EXPECT_DOUBLE_EQ(f->Cost(0), 0.0);
+  EXPECT_DOUBLE_EQ(f->Cost(1), 0.25);
+  EXPECT_DOUBLE_EQ(f->Cost(180), 45.0);
+  EXPECT_DOUBLE_EQ(f->Cost(1000), 250.0);
+}
+
+TEST(PaperFig1CostsTest, ScanSideMatchesPublishedPoints) {
+  const CostFunctionPtr f = MakePaperFig1ScanSideCost();
+  // "0.35 seconds every 600 dR tuples, when c_dR exceeds 0.35 seconds":
+  // 600 fit within the constraint, 610 do not.
+  EXPECT_LE(f->Cost(600), kPaperFig1BudgetMs);
+  EXPECT_GT(f->Cost(610), kPaperFig1BudgetMs);
+  EXPECT_EQ(f->MaxBatchWithin(kPaperFig1BudgetMs), 600u);
+  // c(180) ~= 305 ms (NAIVE's flush point: 305 + 45 = 350).
+  EXPECT_NEAR(f->Cost(180), 305.0, 1.0);
+  // Flat beyond the plateau.
+  EXPECT_DOUBLE_EQ(f->Cost(610), f->Cost(100000));
+}
+
+TEST(PaperFig1CostsTest, BothAreValidCostFunctions) {
+  EXPECT_TRUE(IsMonotone(*MakePaperFig1LinearSideCost(), 1000));
+  EXPECT_TRUE(IsSubadditive(*MakePaperFig1LinearSideCost(), 700));
+  EXPECT_TRUE(IsMonotone(*MakePaperFig1ScanSideCost(), 1000));
+  EXPECT_TRUE(IsSubadditive(*MakePaperFig1ScanSideCost(), 700));
+}
+
+TEST(PaperFig1CostsTest, NaiveFlushCadenceMatchesTheIntro) {
+  // With 1 + 1 arrivals per step, the combined backlog exceeds C first at
+  // 181 modifications per table -- the paper's "roughly every 360
+  // modifications (180 in each batch)".
+  const CostFunctionPtr s = MakePaperFig1LinearSideCost();
+  const CostFunctionPtr r = MakePaperFig1ScanSideCost();
+  uint64_t k = 0;
+  while (s->Cost(k) + r->Cost(k) <= kPaperFig1BudgetMs) ++k;
+  EXPECT_NEAR(static_cast<double>(k), 180.0, 2.0);
+}
+
+}  // namespace
+}  // namespace abivm

@@ -1,0 +1,111 @@
+#include "exec/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/database.h"
+
+namespace abivm {
+namespace {
+
+struct Fixture {
+  Database db;
+  Table* t;
+
+  Fixture() {
+    t = &db.CreateTable("t", Schema({{"k", ValueType::kInt64},
+                                     {"s", ValueType::kString}}));
+    // k = 0..99 (uniform), s cycles over 4 labels.
+    static constexpr const char* kLabels[4] = {"a", "b", "c", "d"};
+    for (int64_t k = 0; k < 100; ++k) {
+      db.BulkLoad(*t, {Value(k), Value(std::string(kLabels[k % 4]))});
+    }
+  }
+};
+
+TEST(ColumnStatsTest, CountsAndBounds) {
+  Fixture fx;
+  const ColumnStats k_stats = ComputeColumnStats(*fx.t, 0, 0);
+  EXPECT_EQ(k_stats.row_count, 100u);
+  EXPECT_EQ(k_stats.distinct_count, 100u);
+  EXPECT_EQ(*k_stats.min, Value(int64_t{0}));
+  EXPECT_EQ(*k_stats.max, Value(int64_t{99}));
+
+  const ColumnStats s_stats = ComputeColumnStats(*fx.t, 1, 0);
+  EXPECT_EQ(s_stats.distinct_count, 4u);
+  EXPECT_EQ(*s_stats.min, Value("a"));
+  EXPECT_EQ(*s_stats.max, Value("d"));
+}
+
+TEST(ColumnStatsTest, RespectsSnapshotVersion) {
+  Fixture fx;
+  fx.db.ApplyInsert(*fx.t, {Value(int64_t{500}), Value("zzz")});
+  EXPECT_EQ(ComputeColumnStats(*fx.t, 0, 0).row_count, 100u);
+  const ColumnStats now =
+      ComputeColumnStats(*fx.t, 0, fx.db.current_version());
+  EXPECT_EQ(now.row_count, 101u);
+  EXPECT_EQ(*now.max, Value(int64_t{500}));
+}
+
+TEST(ColumnStatsTest, EmptyTable) {
+  Database db;
+  Table& t = db.CreateTable("e", Schema({{"k", ValueType::kInt64}}));
+  const ColumnStats stats = ComputeColumnStats(t, 0, 0);
+  EXPECT_EQ(stats.row_count, 0u);
+  EXPECT_FALSE(stats.min.has_value());
+  EXPECT_DOUBLE_EQ(
+      EstimateSelectivity(stats, CompareOp::kEq, Value(int64_t{1})), 0.0);
+}
+
+TEST(SelectivityTest, EqualityUsesDistinctCount) {
+  Fixture fx;
+  const ColumnStats s_stats = ComputeColumnStats(*fx.t, 1, 0);
+  EXPECT_DOUBLE_EQ(EstimateSelectivity(s_stats, CompareOp::kEq, Value("b")),
+                   0.25);
+  // Out-of-range constants match nothing.
+  EXPECT_DOUBLE_EQ(EstimateSelectivity(s_stats, CompareOp::kEq, Value("z")),
+                   0.0);
+  EXPECT_NEAR(EstimateSelectivity(s_stats, CompareOp::kNe, Value("b")),
+              0.75, 1e-12);
+}
+
+TEST(SelectivityTest, NumericRangeInterpolation) {
+  Fixture fx;
+  const ColumnStats k_stats = ComputeColumnStats(*fx.t, 0, 0);
+  // k < 25 over [0, 99] ~ 25%.
+  EXPECT_NEAR(EstimateSelectivity(k_stats, CompareOp::kLt,
+                                  Value(int64_t{25})),
+              0.2525, 0.01);
+  EXPECT_NEAR(EstimateSelectivity(k_stats, CompareOp::kGe,
+                                  Value(int64_t{25})),
+              0.7475, 0.01);
+  // Below the minimum / above the maximum clamp to 0 / 1.
+  EXPECT_DOUBLE_EQ(EstimateSelectivity(k_stats, CompareOp::kLt,
+                                       Value(int64_t{-5})),
+                   0.0);
+  EXPECT_DOUBLE_EQ(EstimateSelectivity(k_stats, CompareOp::kLt,
+                                       Value(int64_t{1000})),
+                   1.0);
+}
+
+TEST(SelectivityTest, StringRangeFallsBackToDefault) {
+  Fixture fx;
+  const ColumnStats s_stats = ComputeColumnStats(*fx.t, 1, 0);
+  EXPECT_NEAR(EstimateSelectivity(s_stats, CompareOp::kLt, Value("c")),
+              1.0 / 3.0, 1e-12);
+}
+
+TEST(SelectivityTest, SinglePointColumn) {
+  Database db;
+  Table& t = db.CreateTable("p", Schema({{"k", ValueType::kInt64}}));
+  for (int i = 0; i < 5; ++i) db.BulkLoad(t, {Value(int64_t{7})});
+  const ColumnStats stats = ComputeColumnStats(t, 0, 0);
+  EXPECT_DOUBLE_EQ(
+      EstimateSelectivity(stats, CompareOp::kLe, Value(int64_t{7})), 1.0);
+  EXPECT_DOUBLE_EQ(
+      EstimateSelectivity(stats, CompareOp::kLt, Value(int64_t{7})), 0.0);
+  EXPECT_DOUBLE_EQ(
+      EstimateSelectivity(stats, CompareOp::kEq, Value(int64_t{7})), 1.0);
+}
+
+}  // namespace
+}  // namespace abivm

@@ -1,0 +1,120 @@
+#include "ivm/binding.h"
+
+#include <gtest/gtest.h>
+
+#include "tpc/tpc_gen.h"
+#include "tpc/views.h"
+
+namespace abivm {
+namespace {
+
+struct Fixture {
+  Database db;
+  Fixture() {
+    TpcGenOptions options;
+    options.scale_factor = 0.001;
+    GenerateTpcDatabase(&db, options);
+  }
+};
+
+TEST(ViewBindingTest, PaperViewPipelinesAreConnected) {
+  Fixture fx;
+  ViewBinding binding(&fx.db, MakePaperMinView());
+  ASSERT_EQ(binding.num_tables(), 4u);
+  EXPECT_EQ(binding.TableIndex(kPartSupp), 0u);
+  EXPECT_EQ(binding.TableIndex(kRegion), 3u);
+
+  // Every delta pipeline joins the three other tables.
+  for (size_t i = 0; i < 4; ++i) {
+    const BoundPipeline& p = binding.delta_pipeline(i);
+    EXPECT_EQ(p.leading_index, i);
+    EXPECT_EQ(p.steps.size(), 3u);
+  }
+}
+
+TEST(ViewBindingTest, PartsuppPipelineJoinsSupplierFirst) {
+  Fixture fx;
+  ViewBinding binding(&fx.db, MakePaperMinView());
+  const BoundPipeline& p = binding.delta_pipeline(0);  // partsupp deltas
+  EXPECT_EQ(p.steps[0].table->name(), kSupplier);
+  EXPECT_EQ(p.steps[1].table->name(), kNation);
+  EXPECT_EQ(p.steps[2].table->name(), kRegion);
+  // Early projection keeps only ps_suppkey (join key) and ps_supplycost
+  // (the aggregate input) from partsupp, in that order.
+  EXPECT_EQ(p.initial_projection, (std::vector<size_t>{1, 3}));
+  // The join key is physical position 0 after the projection; the
+  // supplier join key is column 0 of supplier.
+  EXPECT_EQ(p.steps[0].left_column, 0u);
+  EXPECT_EQ(p.steps[0].right_column, 0u);
+  // The supplier step only materializes s_nationkey (column 3), which the
+  // nation join needs.
+  EXPECT_EQ(p.steps[0].right_keep, (std::vector<size_t>{3}));
+}
+
+TEST(ViewBindingTest, PredicateBindsToRegionStep) {
+  Fixture fx;
+  ViewBinding binding(&fx.db, MakePaperMinView());
+  const BoundPipeline& p = binding.delta_pipeline(0);
+  EXPECT_TRUE(p.leading_predicates.empty());
+  EXPECT_TRUE(p.steps[0].predicates.empty());
+  EXPECT_TRUE(p.steps[1].predicates.empty());
+  ASSERT_EQ(p.steps[2].predicates.size(), 1u);
+  EXPECT_EQ(p.steps[2].predicates[0].constant, Value("MIDDLE EAST"));
+  // The region step keeps only r_name (column 1) for the predicate, and
+  // projects it away afterwards.
+  EXPECT_EQ(p.steps[2].right_keep, (std::vector<size_t>{1}));
+  EXPECT_FALSE(p.steps[2].post_projection.empty());
+}
+
+TEST(ViewBindingTest, RegionLedPipelinePutsPredicateFirst) {
+  Fixture fx;
+  ViewBinding binding(&fx.db, MakePaperMinView());
+  const BoundPipeline& p =
+      binding.delta_pipeline(binding.TableIndex(kRegion));
+  ASSERT_EQ(p.leading_predicates.size(), 1u);
+  EXPECT_EQ(p.leading_predicates[0].op, CompareOp::kEq);
+  // Join order from region: nation, then supplier, then partsupp.
+  EXPECT_EQ(p.steps[0].table->name(), kNation);
+  EXPECT_EQ(p.steps[1].table->name(), kSupplier);
+  EXPECT_EQ(p.steps[2].table->name(), kPartSupp);
+}
+
+TEST(ViewBindingTest, AggregateColumnResolved) {
+  Fixture fx;
+  ViewBinding binding(&fx.db, MakePaperMinView());
+  const BoundPipeline& p = binding.delta_pipeline(0);
+  ASSERT_TRUE(p.has_aggregate_column);
+  // After the final projection, ps_supplycost is the only surviving
+  // column.
+  EXPECT_EQ(p.aggregate_column, 0u);
+  EXPECT_TRUE(p.key_columns.empty());  // scalar aggregate
+}
+
+TEST(ViewBindingTest, SpjOutputColumnsResolved) {
+  Fixture fx;
+  ViewBinding binding(&fx.db, MakeTwoWayJoinView());
+  const BoundPipeline& p = binding.delta_pipeline(0);
+  ASSERT_EQ(p.key_columns.size(), 4u);
+  EXPECT_FALSE(p.has_aggregate_column);
+}
+
+TEST(ViewBindingTest, DisconnectedJoinGraphIsRejected) {
+  Fixture fx;
+  ViewDef def;
+  def.name = "broken";
+  def.tables = {kPartSupp, kRegion};  // no join condition at all
+  def.output_columns = {{kPartSupp, "ps_partkey"}};
+  EXPECT_DEATH(ViewBinding(&fx.db, def), "not connected");
+}
+
+TEST(ViewBindingTest, UnknownTableIsRejected) {
+  Fixture fx;
+  ViewDef def;
+  def.name = "broken";
+  def.tables = {"nonexistent"};
+  def.output_columns = {{"nonexistent", "c"}};
+  EXPECT_DEATH(ViewBinding(&fx.db, def), "no table named");
+}
+
+}  // namespace
+}  // namespace abivm

@@ -1,0 +1,72 @@
+#include "ivm/calibrator.h"
+
+#include <gtest/gtest.h>
+
+#include "tpc/tpc_gen.h"
+#include "tpc/update_stream.h"
+#include "tpc/views.h"
+
+namespace abivm {
+namespace {
+
+struct Fixture {
+  Database db;
+  TpcUpdater updater{&db, 3};
+
+  Fixture() {
+    TpcGenOptions options;
+    options.scale_factor = 0.002;  // 20 suppliers, 1600 partsupps
+    GenerateTpcDatabase(&db, options);
+    CreatePaperIndexes(&db);
+  }
+};
+
+TEST(CalibratorTest, ProducesMonotoneSamplesAndValidCostFunctions) {
+  Fixture fx;
+  ViewMaintainer maintainer(&fx.db, MakePaperMinView());
+  for (int i = 0; i < 200; ++i) fx.updater.UpdatePartSuppSupplycost();
+
+  const CalibrationResult result = CalibrateTableCost(
+      maintainer, /*table_index=*/0, {1, 25, 50, 100, 200},
+      CalibratorOptions{.repetitions = 3});
+  ASSERT_EQ(result.samples.size(), 5u);
+  // Watermarks untouched (all runs were dry).
+  EXPECT_EQ(maintainer.PendingCount(0), 200u);
+
+  const CostFunctionPtr linear = result.AsLinearCost();
+  const CostFunctionPtr table_driven = result.AsTableDrivenCost();
+  EXPECT_TRUE(IsMonotone(*table_driven, 250));
+  EXPECT_GT(linear->Cost(100), 0.0);
+  // More work for bigger batches (probes scale with batch size).
+  EXPECT_GT(result.samples.back().stats.index_probes,
+            result.samples.front().stats.index_probes);
+}
+
+TEST(CalibratorTest, SupplierBatchesScanPartsupp) {
+  Fixture fx;
+  ViewMaintainer maintainer(&fx.db, MakePaperMinView());
+  for (int i = 0; i < 20; ++i) fx.updater.UpdateSupplierNationkey();
+
+  const CalibrationResult result = CalibrateTableCost(
+      maintainer, /*table_index=*/1, {1, 10, 20},
+      CalibratorOptions{.repetitions = 3});
+  // Every supplier batch scans partsupp at least once: the scan count is
+  // (nearly) flat in the batch size -- the paper's "amortizable" shape.
+  const uint64_t scans_small = result.samples.front().stats.rows_scanned;
+  const uint64_t scans_large = result.samples.back().stats.rows_scanned;
+  EXPECT_GE(scans_small, fx.db.table(kPartSupp).live_row_count());
+  EXPECT_EQ(scans_small, scans_large);
+}
+
+TEST(CalibratorTest, SingleSampleFallback) {
+  Fixture fx;
+  ViewMaintainer maintainer(&fx.db, MakePaperMinView());
+  for (int i = 0; i < 5; ++i) fx.updater.UpdatePartSuppSupplycost();
+  const CalibrationResult result =
+      CalibrateTableCost(maintainer, 0, {5}, CalibratorOptions{});
+  ASSERT_EQ(result.samples.size(), 1u);
+  EXPECT_GE(result.fit.slope, 0.0);
+}
+
+}  // namespace
+}  // namespace abivm

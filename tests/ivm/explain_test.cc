@@ -1,0 +1,97 @@
+#include "ivm/explain.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/astar.h"
+#include "tpc/tpc_gen.h"
+#include "tpc/views.h"
+
+namespace abivm {
+namespace {
+
+struct Fixture {
+  Database db;
+  Fixture() {
+    TpcGenOptions options;
+    options.scale_factor = 0.001;
+    GenerateTpcDatabase(&db, options);
+    CreatePaperIndexes(&db);
+  }
+};
+
+TEST(ExplainPipelineTest, ShowsStrategiesAndFilters) {
+  Fixture fx;
+  ViewBinding binding(&fx.db, MakePaperMinView());
+
+  const std::string partsupp = ExplainPipeline(binding, 0);
+  // Partsupp deltas probe indexes all the way.
+  EXPECT_NE(partsupp.find("delta(partsupp)"), std::string::npos);
+  EXPECT_NE(partsupp.find("INDEX JOIN supplier"), std::string::npos);
+  EXPECT_NE(partsupp.find("INDEX JOIN region"), std::string::npos);
+  EXPECT_EQ(partsupp.find("HASH+SCAN"), std::string::npos);
+  EXPECT_NE(partsupp.find("r_name = \"MIDDLE EAST\""), std::string::npos);
+  EXPECT_NE(partsupp.find("=> MIN(ps_supplycost)"), std::string::npos);
+
+  // Supplier deltas must hash-scan partsupp (no index on ps_suppkey) and,
+  // thanks to the join-order heuristic, visit nation/region first.
+  const std::string supplier =
+      ExplainPipeline(binding, binding.TableIndex(kSupplier));
+  EXPECT_NE(supplier.find("HASH+SCAN partsupp"), std::string::npos);
+  EXPECT_LT(supplier.find("INDEX JOIN nation"),
+            supplier.find("HASH+SCAN partsupp"));
+}
+
+TEST(ExplainPipelineTest, StrategyFollowsIndexesAtCallTime) {
+  Fixture fx;
+  ViewBinding binding(&fx.db, MakePaperMinView());
+  const std::string before =
+      ExplainPipeline(binding, binding.TableIndex(kSupplier));
+  EXPECT_NE(before.find("HASH+SCAN partsupp"), std::string::npos);
+  fx.db.table(kPartSupp).CreateHashIndex("ps_suppkey");
+  const std::string after =
+      ExplainPipeline(binding, binding.TableIndex(kSupplier));
+  EXPECT_NE(after.find("INDEX JOIN partsupp"), std::string::npos);
+}
+
+TEST(ExplainViewTest, CoversEveryPipeline) {
+  Fixture fx;
+  ViewBinding binding(&fx.db, MakePaperMinView());
+  const std::string text = ExplainView(binding);
+  for (const char* table : {"partsupp", "supplier", "nation", "region"}) {
+    EXPECT_NE(text.find("pipeline for delta(" + std::string(table) + ")"),
+              std::string::npos);
+  }
+}
+
+TEST(ExplainPlanTest, ListsActionsAndTotals) {
+  std::vector<CostFunctionPtr> fns = {
+      std::make_shared<LinearCost>(1.0, 0.0),
+      std::make_shared<LinearCost>(1.0, 0.0)};
+  const ProblemInstance instance{CostModel(std::move(fns)),
+                                 ArrivalSequence::Uniform({1, 1}, 9), 5.0};
+  const PlanSearchResult optimal = FindOptimalLgmPlan(instance);
+  const std::string text = ExplainPlan(instance, optimal.plan);
+  EXPECT_NE(text.find("plan over [0, 9]"), std::string::npos);
+  EXPECT_NE(text.find("total cost:"), std::string::npos);
+  // Every action time appears.
+  for (const auto& [t, amounts] : optimal.plan.actions()) {
+    EXPECT_NE(text.find("t=     " + std::to_string(t)),
+              std::string::npos)
+        << text;
+  }
+}
+
+TEST(ExplainPipelineTest, SpjProjection) {
+  Fixture fx;
+  ViewBinding binding(&fx.db, MakeTwoWayJoinView());
+  const std::string text = ExplainPipeline(binding, 0);
+  EXPECT_NE(text.find("PROJECT ps_partkey, ps_suppkey, ps_supplycost, "
+                      "p_retailprice"),
+            std::string::npos)
+      << text;
+}
+
+}  // namespace
+}  // namespace abivm

@@ -1,0 +1,157 @@
+// GROUP BY aggregate views and multi-condition joins maintained under
+// asymmetric batches, checked against the recompute oracle.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "ivm/maintainer.h"
+#include "tpc/tpc_gen.h"
+#include "tpc/update_stream.h"
+#include "tpc/views.h"
+
+namespace abivm {
+namespace {
+
+struct SalesFixture {
+  Database db;
+  TpcUpdater updater{&db, 5};
+
+  SalesFixture() {
+    TpcGenOptions options;
+    options.scale_factor = 0.001;
+    options.include_sales_pipeline = true;
+    GenerateTpcDatabase(&db, options);
+    db.table(kCustomer).CreateHashIndex("c_custkey");
+  }
+};
+
+TEST(GroupByViewTest, SumBySegmentMatchesOracleInitially) {
+  SalesFixture fx;
+  ViewMaintainer maintainer(&fx.db, MakeSalesBySegmentView());
+  EXPECT_TRUE(maintainer.state().SameContents(
+      maintainer.RecomputeAtWatermarks()));
+  // Five market segments exist and every order lands in one of them.
+  EXPECT_LE(maintainer.state().NumKeys(), 5u);
+  EXPECT_GE(maintainer.state().NumKeys(), 1u);
+}
+
+TEST(GroupByViewTest, OrderInsertsMoveTheRightGroup) {
+  SalesFixture fx;
+  ViewMaintainer maintainer(&fx.db, MakeSalesBySegmentView());
+  const auto before = maintainer.state().Snapshot();
+
+  for (int i = 0; i < 40; ++i) fx.updater.InsertOrder();
+  maintainer.RefreshAll();
+  EXPECT_TRUE(maintainer.state().SameContents(
+      maintainer.RecomputeAtWatermarks()));
+
+  // Total order count across groups grew by exactly 40.
+  int64_t before_total = 0;
+  for (const auto& [key, group] : before) before_total += group.count;
+  int64_t after_total = 0;
+  for (const auto& [key, group] : maintainer.state().Snapshot()) {
+    after_total += group.count;
+  }
+  EXPECT_EQ(after_total, before_total + 40);
+}
+
+TEST(GroupByViewTest, CustomerSegmentUpdatesMoveOrdersBetweenGroups) {
+  SalesFixture fx;
+  ViewMaintainer maintainer(&fx.db, MakeSalesBySegmentView());
+  for (int i = 0; i < 25; ++i) fx.updater.UpdateCustomerSegment();
+  // Asymmetric processing: orders table untouched, customer deltas only.
+  const size_t cust = maintainer.binding().TableIndex(kCustomer);
+  maintainer.ProcessBatch(cust, 10);
+  EXPECT_TRUE(maintainer.state().SameContents(
+      maintainer.RecomputeAtWatermarks()));
+  maintainer.RefreshAll();
+  EXPECT_TRUE(maintainer.state().SameContents(
+      maintainer.RecomputeAtWatermarks()));
+}
+
+TEST(GroupByViewTest, MixedWorkloadRandomInterleavings) {
+  Rng rng(99);
+  SalesFixture fx;
+  ViewMaintainer maintainer(&fx.db, MakeSalesBySegmentView());
+  TpcUpdater updater(&fx.db, 321);
+  for (int round = 0; round < 10; ++round) {
+    const int64_t inserts = rng.UniformInt(0, 6);
+    const int64_t seg_updates = rng.UniformInt(0, 3);
+    for (int64_t i = 0; i < inserts; ++i) updater.InsertOrder();
+    for (int64_t i = 0; i < seg_updates; ++i) {
+      updater.UpdateCustomerSegment();
+    }
+    for (size_t table = 0; table < 2; ++table) {
+      const size_t pending = maintainer.PendingCount(table);
+      if (pending == 0 || !rng.Bernoulli(0.6)) continue;
+      maintainer.ProcessBatch(
+          table, static_cast<size_t>(
+                     rng.UniformInt(1, static_cast<int64_t>(pending))));
+    }
+    ASSERT_TRUE(maintainer.state().SameContents(
+        maintainer.RecomputeAtWatermarks()))
+        << "round " << round;
+  }
+}
+
+// A view whose two tables are connected by TWO join conditions; the
+// second must be enforced as a residual equality.
+TEST(ResidualEqualityTest, MultiConditionJoinMaintainedCorrectly) {
+  Database db;
+  Table& left = db.CreateTable(
+      "left", Schema({{"a", ValueType::kInt64},
+                      {"b", ValueType::kInt64},
+                      {"payload", ValueType::kDouble}}));
+  Table& right = db.CreateTable(
+      "right", Schema({{"a", ValueType::kInt64},
+                       {"b", ValueType::kInt64},
+                       {"weight", ValueType::kDouble}}));
+  Rng rng(4);
+  for (int i = 0; i < 60; ++i) {
+    db.BulkLoad(left, {Value(rng.UniformInt(0, 5)),
+                       Value(rng.UniformInt(0, 5)),
+                       Value(rng.UniformDouble(0, 10))});
+    db.BulkLoad(right, {Value(rng.UniformInt(0, 5)),
+                        Value(rng.UniformInt(0, 5)),
+                        Value(rng.UniformDouble(0, 10))});
+  }
+
+  ViewDef def;
+  def.name = "double_join";
+  def.tables = {"left", "right"};
+  def.joins = {{{"left", "a"}, {"right", "a"}},
+               {{"left", "b"}, {"right", "b"}}};
+  def.aggregate = AggregateDef{AggKind::kSum, {"right", "weight"}};
+  ViewMaintainer maintainer(&db, def);
+  ASSERT_TRUE(maintainer.state().SameContents(
+      maintainer.RecomputeAtWatermarks()));
+
+  // Verify the residual condition actually restricts the result: a
+  // single-condition variant must differ (with this seed the (a) join
+  // has strictly more matches than the (a AND b) join).
+  ViewDef loose = def;
+  loose.name = "single_join";
+  loose.joins = {{{"left", "a"}, {"right", "a"}}};
+  ViewMaintainer loose_maintainer(&db, loose);
+  EXPECT_GT(loose_maintainer.state().ScalarCount(),
+            maintainer.state().ScalarCount());
+
+  // Incremental maintenance under updates on both sides.
+  for (int i = 0; i < 30; ++i) {
+    Table& t = i % 2 == 0 ? left : right;
+    const RowId id = t.SampleLiveRow(rng);
+    Row row = t.RowAt(id).row;
+    row[static_cast<size_t>(rng.UniformInt(0, 1))] =
+        Value(rng.UniformInt(0, 5));
+    db.ApplyUpdate(t, id, std::move(row));
+  }
+  maintainer.ProcessBatch(0, 7);
+  EXPECT_TRUE(maintainer.state().SameContents(
+      maintainer.RecomputeAtWatermarks()));
+  maintainer.RefreshAll();
+  EXPECT_TRUE(maintainer.state().SameContents(
+      maintainer.RecomputeAtWatermarks()));
+}
+
+}  // namespace
+}  // namespace abivm

@@ -1,0 +1,171 @@
+#include "ivm/sql_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "ivm/maintainer.h"
+#include "tpc/tpc_gen.h"
+#include "tpc/update_stream.h"
+#include "tpc/views.h"
+
+namespace abivm {
+namespace {
+
+struct Fixture {
+  Database db;
+  Fixture() {
+    TpcGenOptions options;
+    options.scale_factor = 0.001;
+    options.include_sales_pipeline = true;
+    GenerateTpcDatabase(&db, options);
+    CreatePaperIndexes(&db);
+  }
+};
+
+constexpr const char* kPaperSql =
+    "SELECT MIN(ps_supplycost) "
+    "FROM partsupp, supplier, nation, region "
+    "WHERE s_suppkey = ps_suppkey AND s_nationkey = n_nationkey "
+    "AND n_regionkey = r_regionkey AND r_name = 'MIDDLE EAST'";
+
+TEST(SqlParserTest, ParsesThePaperView) {
+  Fixture fx;
+  const Result<ViewDef> parsed = ParseViewSql(fx.db, "paper_view",
+                                              kPaperSql);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const ViewDef& def = parsed.value();
+  EXPECT_EQ(def.tables,
+            (std::vector<std::string>{"partsupp", "supplier", "nation",
+                                      "region"}));
+  EXPECT_EQ(def.joins.size(), 3u);
+  ASSERT_EQ(def.predicates.size(), 1u);
+  EXPECT_EQ(def.predicates[0].column.table, "region");
+  EXPECT_EQ(def.predicates[0].constant, Value("MIDDLE EAST"));
+  ASSERT_TRUE(def.aggregate.has_value());
+  EXPECT_EQ(def.aggregate->kind, AggKind::kMin);
+  EXPECT_EQ(def.aggregate->column.table, "partsupp");
+  EXPECT_EQ(def.aggregate->column.column, "ps_supplycost");
+  EXPECT_TRUE(def.group_by.empty());
+}
+
+TEST(SqlParserTest, ParsedPaperViewBehavesLikeTheHandWrittenOne) {
+  Fixture fx;
+  const Result<ViewDef> parsed =
+      ParseViewSql(fx.db, "paper_view", kPaperSql);
+  ASSERT_TRUE(parsed.ok());
+  ViewMaintainer from_sql(&fx.db, parsed.value());
+  ViewMaintainer hand_written(&fx.db, MakePaperMinView());
+  EXPECT_TRUE(from_sql.state().SameContents(hand_written.state()));
+
+  TpcUpdater updater(&fx.db, 12);
+  for (int i = 0; i < 15; ++i) updater.UpdatePartSuppSupplycost();
+  for (int i = 0; i < 5; ++i) updater.UpdateSupplierNationkey();
+  from_sql.RefreshAll();
+  hand_written.RefreshAll();
+  EXPECT_TRUE(from_sql.state().SameContents(hand_written.state()));
+}
+
+TEST(SqlParserTest, GroupByAggregateWithQualifiedColumns) {
+  Fixture fx;
+  const Result<ViewDef> parsed = ParseViewSql(
+      fx.db, "sales",
+      "SELECT customer.c_mktsegment, SUM(orders.o_totalprice) "
+      "FROM orders, customer WHERE o_custkey = c_custkey "
+      "GROUP BY customer.c_mktsegment");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const ViewDef& def = parsed.value();
+  ASSERT_TRUE(def.aggregate.has_value());
+  EXPECT_EQ(def.aggregate->kind, AggKind::kSum);
+  ASSERT_EQ(def.group_by.size(), 1u);
+  EXPECT_EQ(def.group_by[0].column, "c_mktsegment");
+  // Usable end to end.
+  ViewMaintainer maintainer(&fx.db, def);
+  EXPECT_TRUE(maintainer.state().SameContents(
+      maintainer.RecomputeAtWatermarks()));
+}
+
+TEST(SqlParserTest, SpjProjectionView) {
+  Fixture fx;
+  const Result<ViewDef> parsed = ParseViewSql(
+      fx.db, "spj",
+      "SELECT ps_partkey, ps_suppkey, ps_supplycost, p_retailprice "
+      "FROM partsupp, part WHERE p_partkey = ps_partkey");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_FALSE(parsed.value().is_aggregate());
+  EXPECT_EQ(parsed.value().output_columns.size(), 4u);
+}
+
+TEST(SqlParserTest, NumericLiteralsAndOperators) {
+  Fixture fx;
+  const Result<ViewDef> parsed = ParseViewSql(
+      fx.db, "cheap",
+      "SELECT COUNT(*) FROM partsupp "
+      "WHERE ps_supplycost <= 500.5 AND ps_availqty > 10 "
+      "AND ps_availqty <> 42");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const ViewDef& def = parsed.value();
+  ASSERT_EQ(def.predicates.size(), 3u);
+  EXPECT_EQ(def.predicates[0].op, CompareOp::kLe);
+  EXPECT_EQ(def.predicates[0].constant, Value(500.5));
+  EXPECT_EQ(def.predicates[1].op, CompareOp::kGt);
+  EXPECT_EQ(def.predicates[1].constant, Value(int64_t{10}));
+  EXPECT_EQ(def.predicates[2].op, CompareOp::kNe);
+  ASSERT_TRUE(def.aggregate.has_value());
+  EXPECT_EQ(def.aggregate->kind, AggKind::kCount);
+
+  // COUNT(*) view works end to end against the oracle.
+  ViewMaintainer maintainer(&fx.db, def);
+  EXPECT_TRUE(maintainer.state().SameContents(
+      maintainer.RecomputeAtWatermarks()));
+  EXPECT_GT(maintainer.state().ScalarCount(), 0);
+}
+
+TEST(SqlParserTest, CaseInsensitiveKeywords) {
+  Fixture fx;
+  const Result<ViewDef> parsed = ParseViewSql(
+      fx.db, "v",
+      "select min(ps_supplycost) from partsupp, supplier "
+      "where s_suppkey = ps_suppkey");
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+}
+
+TEST(SqlParserTest, ErrorMessages) {
+  Fixture fx;
+  auto expect_error = [&](const std::string& sql,
+                          const std::string& fragment) {
+    const Result<ViewDef> parsed = ParseViewSql(fx.db, "v", sql);
+    ASSERT_FALSE(parsed.ok()) << sql;
+    EXPECT_NE(parsed.status().message().find(fragment), std::string::npos)
+        << "message: " << parsed.status().message();
+  };
+  expect_error("FROM partsupp", "expected 'select'");
+  expect_error("SELECT ps_partkey FROM", "expected a table name");
+  expect_error("SELECT nope FROM partsupp", "not found in any FROM table");
+  expect_error("SELECT ps_partkey FROM no_such_table", "unknown table");
+  expect_error(
+      "SELECT s_suppkey FROM supplier, partsupp "
+      "WHERE s_suppkey < ps_suppkey",
+      "only equality joins");
+  expect_error("SELECT ps_partkey FROM partsupp WHERE ps_partkey = 'x",
+               "unterminated string");
+  expect_error(
+      "SELECT MIN(ps_supplycost), MAX(ps_supplycost) FROM partsupp",
+      "at most one aggregate");
+  expect_error("SELECT ps_partkey FROM partsupp GROUP BY ps_partkey",
+               "GROUP BY requires an aggregate");
+  expect_error(
+      "SELECT ps_suppkey, MIN(ps_supplycost) FROM partsupp "
+      "GROUP BY ps_partkey",
+      "must match");
+  expect_error("SELECT ps_partkey FROM partsupp extra", "trailing input");
+  // Ambiguous unqualified column: both supplier and customer have one
+  // named the same? Use nationkey-style collision via s_nationkey vs ...
+  // partsupp/part share no names, but customer and supplier both have
+  // columns named differently; construct ambiguity with 'ps_partkey'
+  // appearing in partsupp AND part? It does not. Use two tables sharing
+  // 'p_partkey': none. So test qualified-miss instead:
+  expect_error("SELECT partsupp.nope FROM partsupp", "has no column");
+  expect_error("SELECT region.r_name FROM partsupp", "not in the FROM");
+}
+
+}  // namespace
+}  // namespace abivm

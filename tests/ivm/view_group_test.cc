@@ -1,0 +1,112 @@
+#include "ivm/view_group.h"
+
+#include <gtest/gtest.h>
+
+#include "tpc/tpc_gen.h"
+#include "tpc/update_stream.h"
+#include "tpc/views.h"
+
+namespace abivm {
+namespace {
+
+struct Fixture {
+  Database db;
+  TpcUpdater updater{&db, 6};
+
+  Fixture() {
+    TpcGenOptions options;
+    options.scale_factor = 0.001;
+    GenerateTpcDatabase(&db, options);
+    CreatePaperIndexes(&db);
+  }
+};
+
+TEST(ViewGroupTest, IndependentWatermarksPerView) {
+  Fixture fx;
+  ViewGroup group(&fx.db);
+  ViewMaintainer& min_view = group.AddView(MakePaperMinView());
+  ViewMaintainer& join_view = group.AddView(MakeTwoWayJoinView());
+  EXPECT_EQ(group.size(), 2u);
+  EXPECT_TRUE(group.AllConsistent());
+
+  // Partsupp updates are pending for BOTH views; each processes at its
+  // own pace.
+  for (int i = 0; i < 20; ++i) fx.updater.UpdatePartSuppSupplycost();
+  EXPECT_EQ(min_view.PendingCount(0), 20u);
+  EXPECT_EQ(join_view.PendingCount(0), 20u);
+
+  min_view.ProcessBatch(0, 15);
+  EXPECT_EQ(min_view.PendingCount(0), 5u);
+  EXPECT_EQ(join_view.PendingCount(0), 20u);  // untouched
+  EXPECT_FALSE(group.AllConsistent());
+
+  EXPECT_TRUE(min_view.state().SameContents(
+      min_view.RecomputeAtWatermarks()));
+  EXPECT_TRUE(join_view.state().SameContents(
+      join_view.RecomputeAtWatermarks()));
+
+  group.RefreshAll();
+  EXPECT_TRUE(group.AllConsistent());
+}
+
+TEST(ViewGroupTest, FindViewByName) {
+  Fixture fx;
+  ViewGroup group(&fx.db);
+  group.AddView(MakePaperMinView());
+  EXPECT_NE(group.FindView("min_supplycost_middle_east"), nullptr);
+  EXPECT_EQ(group.FindView("nonexistent"), nullptr);
+}
+
+TEST(ViewGroupTest, VacuumRespectsTheLaggard) {
+  Fixture fx;
+  ViewGroup group(&fx.db);
+  ViewMaintainer& fast = group.AddView(MakePaperMinView());
+  ViewMaintainer& slow = group.AddView(MakeTwoWayJoinView());
+
+  for (int i = 0; i < 30; ++i) fx.updater.UpdatePartSuppSupplycost();
+  fast.ProcessBatch(0, 30);
+  slow.ProcessBatch(0, 10);  // lags behind
+
+  // Vacuum must keep the history the slow view still needs.
+  group.VacuumConsumed();
+  const DeltaLog& log = fx.db.table(kPartSupp).delta_log();
+  EXPECT_EQ(log.first_retained(), slow.watermark_position(0));
+
+  // The slow view can still process its remaining deltas correctly.
+  slow.ProcessBatch(0, 20);
+  EXPECT_TRUE(
+      slow.state().SameContents(slow.RecomputeAtWatermarks()));
+  EXPECT_TRUE(
+      fast.state().SameContents(fast.RecomputeAtWatermarks()));
+
+  // Now everything is consumed; vacuum can trim to the head.
+  group.VacuumConsumed();
+  EXPECT_EQ(log.first_retained(), log.size());
+}
+
+TEST(ViewGroupTest, UnreferencedTablesVacuumFully) {
+  Fixture fx;
+  ViewGroup group(&fx.db);
+  group.AddView(MakeTwoWayJoinView());  // partsupp + part only
+  for (int i = 0; i < 5; ++i) fx.updater.UpdateSupplierNationkey();
+  group.VacuumConsumed();
+  const DeltaLog& supplier_log = fx.db.table(kSupplier).delta_log();
+  EXPECT_EQ(supplier_log.first_retained(), supplier_log.size());
+}
+
+TEST(ViewGroupTest, ViewAddedLaterStartsConsistent) {
+  Fixture fx;
+  ViewGroup group(&fx.db);
+  group.AddView(MakePaperMinView());
+  for (int i = 0; i < 10; ++i) fx.updater.UpdatePartSuppSupplycost();
+  // A new subscription arrives mid-stream: it materializes from the
+  // CURRENT database state with nothing pending.
+  ViewMaintainer& late = group.AddView(MakeTwoWayJoinView());
+  EXPECT_TRUE(late.IsConsistent());
+  EXPECT_TRUE(late.state().SameContents(late.RecomputeAtWatermarks()));
+  // The earlier view still has its backlog.
+  EXPECT_EQ(group.view(0).PendingCount(0), 10u);
+}
+
+}  // namespace
+}  // namespace abivm

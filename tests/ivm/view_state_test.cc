@@ -1,0 +1,122 @@
+#include "ivm/view_state.h"
+
+#include <gtest/gtest.h>
+
+namespace abivm {
+namespace {
+
+Row Key(const std::string& k) { return {Value(k)}; }
+
+TEST(ViewStateTest, SpjBagSemantics) {
+  ViewState state;
+  const Row row = {Value(int64_t{1}), Value("x")};
+  state.Apply(row, Value(), 1);
+  state.Apply(row, Value(), 1);
+  EXPECT_EQ(state.RowMultiplicity(row), 2);
+  state.Apply(row, Value(), -1);
+  EXPECT_EQ(state.RowMultiplicity(row), 1);
+  state.Apply(row, Value(), -1);
+  EXPECT_EQ(state.RowMultiplicity(row), 0);
+  EXPECT_EQ(state.NumKeys(), 0u);
+}
+
+TEST(ViewStateTest, CountAggregate) {
+  ViewState state(AggKind::kCount);
+  state.Apply(Key("a"), Value(), 1);
+  state.Apply(Key("a"), Value(), 1);
+  state.Apply(Key("b"), Value(), 1);
+  EXPECT_EQ(state.GroupContributors(Key("a")), 2);
+  EXPECT_EQ(state.GroupContributors(Key("b")), 1);
+  EXPECT_EQ(state.GroupContributors(Key("zzz")), 0);
+}
+
+TEST(ViewStateTest, SumAggregate) {
+  ViewState state(AggKind::kSum);
+  state.Apply(Key("a"), Value(2.5), 1);
+  state.Apply(Key("a"), Value(4.0), 1);
+  state.Apply(Key("a"), Value(2.5), -1);
+  ASSERT_TRUE(state.GroupSum(Key("a")).has_value());
+  EXPECT_DOUBLE_EQ(*state.GroupSum(Key("a")), 4.0);
+}
+
+TEST(ViewStateTest, SumOfIntColumn) {
+  ViewState state(AggKind::kSum);
+  state.Apply(Key("a"), Value(int64_t{10}), 1);
+  state.Apply(Key("a"), Value(int64_t{5}), 1);
+  state.Apply(Key("a"), Value(int64_t{3}), -1);  // one contributor replaced
+  EXPECT_DOUBLE_EQ(*state.GroupSum(Key("a")), 12.0);
+  EXPECT_EQ(state.GroupContributors(Key("a")), 1);
+}
+
+TEST(ViewStateTest, SumGroupVanishesWithLastContributor) {
+  ViewState state(AggKind::kSum);
+  state.Apply(Key("a"), Value(int64_t{10}), 1);
+  state.Apply(Key("a"), Value(int64_t{10}), -1);
+  EXPECT_FALSE(state.GroupSum(Key("a")).has_value());
+  EXPECT_EQ(state.NumKeys(), 0u);
+}
+
+TEST(ViewStateTest, MinSurvivesDeletionOfCurrentMin) {
+  // The crux of MIN maintenance: deleting the minimum must surface the
+  // runner-up, which requires the multiset (not just the min value).
+  ViewState state(AggKind::kMin);
+  state.Apply(Row{}, Value(5.0), 1);
+  state.Apply(Row{}, Value(2.0), 1);
+  state.Apply(Row{}, Value(8.0), 1);
+  EXPECT_EQ(*state.ScalarMin(), Value(2.0));
+  state.Apply(Row{}, Value(2.0), -1);
+  EXPECT_EQ(*state.ScalarMin(), Value(5.0));
+  state.Apply(Row{}, Value(5.0), -1);
+  EXPECT_EQ(*state.ScalarMin(), Value(8.0));
+}
+
+TEST(ViewStateTest, MinWithDuplicateValues) {
+  ViewState state(AggKind::kMin);
+  state.Apply(Row{}, Value(2.0), 1);
+  state.Apply(Row{}, Value(2.0), 1);
+  state.Apply(Row{}, Value(2.0), -1);
+  // One copy of the minimum remains.
+  EXPECT_EQ(*state.ScalarMin(), Value(2.0));
+}
+
+TEST(ViewStateTest, MaxAggregate) {
+  ViewState state(AggKind::kMax);
+  state.Apply(Key("g"), Value(int64_t{5}), 1);
+  state.Apply(Key("g"), Value(int64_t{9}), 1);
+  EXPECT_EQ(*state.GroupMax(Key("g")), Value(int64_t{9}));
+  state.Apply(Key("g"), Value(int64_t{9}), -1);
+  EXPECT_EQ(*state.GroupMax(Key("g")), Value(int64_t{5}));
+}
+
+TEST(ViewStateTest, EmptyGroupReportsNullopt) {
+  ViewState state(AggKind::kMin);
+  EXPECT_FALSE(state.ScalarMin().has_value());
+  state.Apply(Row{}, Value(1.0), 1);
+  state.Apply(Row{}, Value(1.0), -1);
+  EXPECT_FALSE(state.ScalarMin().has_value());
+  EXPECT_EQ(state.NumKeys(), 0u);
+}
+
+TEST(ViewStateTest, SameContentsDetectsDifferences) {
+  ViewState a(AggKind::kMin);
+  ViewState b(AggKind::kMin);
+  a.Apply(Key("g"), Value(1.0), 1);
+  b.Apply(Key("g"), Value(1.0), 1);
+  EXPECT_TRUE(a.SameContents(b));
+  b.Apply(Key("g"), Value(3.0), 1);
+  EXPECT_FALSE(a.SameContents(b));
+  a.Apply(Key("g"), Value(3.0), 1);
+  EXPECT_TRUE(a.SameContents(b));
+}
+
+TEST(ViewStateTest, CopyIsIndependent) {
+  ViewState a(AggKind::kSum);
+  a.Apply(Key("g"), Value(1.0), 1);
+  ViewState copy = a;
+  copy.Apply(Key("g"), Value(5.0), 1);
+  EXPECT_DOUBLE_EQ(*a.GroupSum(Key("g")), 1.0);
+  EXPECT_DOUBLE_EQ(*copy.GroupSum(Key("g")), 6.0);
+}
+
+}  // namespace
+}  // namespace abivm

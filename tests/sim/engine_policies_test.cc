@@ -1,0 +1,114 @@
+// Additional engine-runner coverage: the REPLAN and PERIODIC policies on
+// the real engine, aggregate-only traces, and vacuum interleaved with a
+// live policy run.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/naive.h"
+#include "core/replan.h"
+#include "sim/engine_runner.h"
+#include "tpc/tpc_gen.h"
+#include "tpc/update_stream.h"
+#include "tpc/views.h"
+
+namespace abivm {
+namespace {
+
+struct Fixture {
+  Database db;
+  std::unique_ptr<ViewMaintainer> maintainer;
+  std::unique_ptr<TpcUpdater> updater;
+  ModificationDriver driver;
+
+  Fixture() {
+    TpcGenOptions options;
+    options.scale_factor = 0.001;
+    GenerateTpcDatabase(&db, options);
+    CreatePaperIndexes(&db);
+    maintainer = std::make_unique<ViewMaintainer>(&db, MakePaperMinView());
+    updater = std::make_unique<TpcUpdater>(&db, 44);
+    driver = [this](size_t i) {
+      if (i == 0) {
+        updater->UpdatePartSuppSupplycost();
+      } else {
+        updater->UpdateSupplierNationkey();
+      }
+    };
+  }
+};
+
+CostModel Model() {
+  std::vector<CostFunctionPtr> fns = {
+      std::make_shared<LinearCost>(0.3, 0.5),
+      std::make_shared<LinearCost>(0.2, 6.0),
+      std::make_shared<LinearCost>(1e-6, 0.0),
+      std::make_shared<LinearCost>(1e-6, 0.0)};
+  return CostModel(std::move(fns));
+}
+
+ArrivalSequence Arrivals(TimeStep horizon) {
+  return ArrivalSequence::Uniform({1, 1, 0, 0}, horizon);
+}
+
+TEST(EnginePoliciesTest, ReplanningPolicyOnRealEngine) {
+  Fixture fx;
+  ReplanOptions options;
+  options.replan_period = 20;
+  options.plan_horizon = 60;
+  ReplanningPolicy policy(options);
+  const EngineTrace trace = RunOnEngine(
+      *fx.maintainer, Arrivals(99), Model(), 15.0, policy, fx.driver);
+  EXPECT_EQ(trace.violations, 0u);
+  EXPECT_GE(policy.plans_computed(), 5u);
+  EXPECT_TRUE(fx.maintainer->IsConsistent());
+  EXPECT_TRUE(fx.maintainer->state().SameContents(
+      fx.maintainer->RecomputeAtWatermarks()));
+}
+
+TEST(EnginePoliciesTest, PeriodicPolicyOnRealEngine) {
+  Fixture fx;
+  PeriodicPolicy policy(10);
+  const EngineTrace trace = RunOnEngine(
+      *fx.maintainer, Arrivals(59), Model(), 50.0, policy, fx.driver);
+  EXPECT_EQ(trace.violations, 0u);
+  // Flushes every 10 steps plus the final refresh: 6 actions.
+  EXPECT_EQ(trace.action_count, 6u);
+}
+
+TEST(EnginePoliciesTest, LeanTraceKeepsAggregatesOnly) {
+  Fixture fx;
+  NaivePolicy policy;
+  const EngineTrace trace =
+      RunOnEngine(*fx.maintainer, Arrivals(39), Model(), 15.0, policy,
+                  fx.driver, {.record_steps = false});
+  EXPECT_TRUE(trace.steps.empty());
+  EXPECT_GT(trace.total_model_cost, 0.0);
+  EXPECT_GT(trace.total_actual_ms, 0.0);
+}
+
+TEST(EnginePoliciesTest, VacuumDuringPolicyRunKeepsViewCorrect) {
+  Fixture fx;
+  NaivePolicy policy;
+  policy.Reset(Model(), 15.0);
+  // Hand-rolled loop so vacuum can interleave with policy decisions.
+  for (TimeStep t = 0; t < 80; ++t) {
+    fx.driver(0);
+    fx.driver(1);
+    const StateVec pending = fx.maintainer->PendingVec();
+    const StateVec action = policy.Act(t, pending, {1, 1, 0, 0});
+    for (size_t i = 0; i < action.size(); ++i) {
+      if (action[i] > 0) {
+        fx.maintainer->ProcessBatch(i, static_cast<size_t>(action[i]));
+      }
+    }
+    if (t % 13 == 0) fx.maintainer->VacuumConsumed();
+  }
+  fx.maintainer->RefreshAll();
+  EXPECT_TRUE(fx.maintainer->state().SameContents(
+      fx.maintainer->RecomputeAtWatermarks()));
+}
+
+}  // namespace
+}  // namespace abivm

@@ -1,0 +1,36 @@
+#include "sim/report.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace abivm {
+namespace {
+
+TEST(ReportTableTest, AlignedOutputContainsAllCells) {
+  ReportTable table({"T", "NAIVE", "ONLINE"});
+  table.AddRow({"100", "12.5", "7.25"});
+  table.AddRow({"1000", "125.0", "70.5"});
+  std::ostringstream oss;
+  table.PrintAligned(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("NAIVE"), std::string::npos);
+  EXPECT_NE(out.find("125.0"), std::string::npos);
+  EXPECT_NE(out.find("7.25"), std::string::npos);
+}
+
+TEST(ReportTableTest, CsvOutput) {
+  ReportTable table({"a", "b"});
+  table.AddRow({"1", "2"});
+  std::ostringstream oss;
+  table.PrintCsv(oss);
+  EXPECT_EQ(oss.str(), "a,b\n1,2\n");
+}
+
+TEST(ReportTableTest, NumFormatsPrecision) {
+  EXPECT_EQ(ReportTable::Num(1.23456, 2), "1.23");
+  EXPECT_EQ(ReportTable::Num(10.0, 0), "10");
+}
+
+}  // namespace
+}  // namespace abivm

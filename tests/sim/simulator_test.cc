@@ -1,0 +1,87 @@
+#include "sim/simulator.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/naive.h"
+
+namespace abivm {
+namespace {
+
+ProblemInstance MakeInstance(double budget) {
+  std::vector<CostFunctionPtr> fns = {std::make_shared<LinearCost>(1.0, 0.0)};
+  return ProblemInstance{CostModel(std::move(fns)),
+                         ArrivalSequence::Uniform({2}, 5), budget};
+}
+
+// A policy that never acts; only the forced refresh at T runs.
+class DoNothingPolicy final : public Policy {
+ public:
+  void Reset(const CostModel&, double) override {}
+  StateVec Act(TimeStep, const StateVec& pre_state,
+               const StateVec&) override {
+    return ZeroVec(pre_state.size());
+  }
+  std::string name() const override { return "NOOP"; }
+};
+
+TEST(SimulatorTest, ForcesFinalRefresh) {
+  const ProblemInstance instance = MakeInstance(/*budget=*/100.0);
+  DoNothingPolicy noop;
+  const Trace trace = Simulate(instance, noop, {.strict = true});
+  EXPECT_EQ(trace.violations, 0u);
+  EXPECT_EQ(trace.action_count, 1u);
+  EXPECT_DOUBLE_EQ(trace.total_cost, 12.0);  // 6 steps * 2 arrivals
+  EXPECT_EQ(trace.steps.back().action, (StateVec{12}));
+  EXPECT_EQ(trace.steps.back().post_state, (StateVec{0}));
+}
+
+TEST(SimulatorTest, RecordsViolationsInNonStrictMode) {
+  const ProblemInstance instance = MakeInstance(/*budget=*/3.0);
+  DoNothingPolicy noop;
+  const Trace trace = Simulate(instance, noop);
+  // Backlog 2,4,6,8,10 at t=0..4; full (> 3) from t = 1 through 4.
+  EXPECT_EQ(trace.violations, 4u);
+}
+
+TEST(SimulatorTest, StepRecordsAreInternallyConsistent) {
+  const ProblemInstance instance = MakeInstance(/*budget=*/5.0);
+  NaivePolicy naive;
+  const Trace trace = Simulate(instance, naive, {.strict = true});
+  ASSERT_EQ(trace.steps.size(), 6u);
+  StateVec state = ZeroVec(1);
+  double total = 0.0;
+  for (const StepRecord& step : trace.steps) {
+    EXPECT_EQ(step.pre_state, AddVec(state, step.arrivals));
+    EXPECT_EQ(step.post_state, SubVec(step.pre_state, step.action));
+    EXPECT_DOUBLE_EQ(step.action_cost,
+                     instance.cost_model.TotalCost(step.action));
+    total += step.action_cost;
+    state = step.post_state;
+  }
+  EXPECT_DOUBLE_EQ(total, trace.total_cost);
+}
+
+TEST(SimulatorTest, RecordStepsFalseKeepsAggregatesOnly) {
+  const ProblemInstance instance = MakeInstance(/*budget=*/5.0);
+  NaivePolicy naive;
+  const Trace lean =
+      Simulate(instance, naive, {.strict = true, .record_steps = false});
+  const Trace full = Simulate(instance, naive, {.strict = true});
+  EXPECT_TRUE(lean.steps.empty());
+  EXPECT_DOUBLE_EQ(lean.total_cost, full.total_cost);
+  EXPECT_EQ(lean.action_count, full.action_count);
+}
+
+TEST(TraceTest, AsPlanRoundTripsThroughValidation) {
+  const ProblemInstance instance = MakeInstance(/*budget=*/5.0);
+  NaivePolicy naive;
+  const Trace trace = Simulate(instance, naive, {.strict = true});
+  const MaintenancePlan plan = trace.AsPlan(1, 5);
+  EXPECT_TRUE(ValidatePlan(instance, plan).ok());
+  EXPECT_NEAR(plan.TotalCost(instance.cost_model), trace.total_cost, 1e-9);
+}
+
+}  // namespace
+}  // namespace abivm

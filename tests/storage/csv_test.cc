@@ -1,0 +1,121 @@
+#include "storage/csv.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace abivm {
+namespace {
+
+Schema MixedSchema() {
+  return Schema({{"id", ValueType::kInt64},
+                 {"name", ValueType::kString},
+                 {"price", ValueType::kDouble}});
+}
+
+TEST(CsvEscapeTest, QuotingRules) {
+  EXPECT_EQ(CsvEscape("plain"), "plain");
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvEscape("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(CsvEscape(""), "");
+}
+
+TEST(CsvTest, WriteThenLoadRoundTrips) {
+  Database db;
+  Table& source = db.CreateTable("source", MixedSchema());
+  db.BulkLoad(source, {Value(int64_t{1}), Value("alpha"), Value(1.5)});
+  db.BulkLoad(source, {Value(int64_t{2}), Value("with,comma"),
+                       Value(2.25)});
+  db.BulkLoad(source, {Value(int64_t{3}), Value("q\"uote"),
+                       Value(0.333333333333333314829616256247)});
+
+  std::ostringstream out;
+  WriteTableCsv(source, 0, out);
+
+  Table& target = db.CreateTable("target", MixedSchema());
+  std::istringstream in(out.str());
+  const Result<size_t> loaded = LoadTableCsv(&db, &target, in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, 3u);
+
+  // Contents identical (same scan order: insertion order).
+  std::vector<Row> source_rows, target_rows;
+  source.ScanAt(0, [&](RowId, const Row& r) { source_rows.push_back(r); });
+  target.ScanAt(0, [&](RowId, const Row& r) { target_rows.push_back(r); });
+  ASSERT_EQ(source_rows.size(), target_rows.size());
+  for (size_t i = 0; i < source_rows.size(); ++i) {
+    EXPECT_EQ(source_rows[i], target_rows[i]) << "row " << i;
+  }
+}
+
+TEST(CsvTest, WriteRespectsSnapshotVersion) {
+  Database db;
+  Table& t = db.CreateTable("t", MixedSchema());
+  db.BulkLoad(t, {Value(int64_t{1}), Value("old"), Value(1.0)});
+  db.ApplyUpdate(t, 0, {Value(int64_t{1}), Value("new"), Value(1.0)});
+
+  std::ostringstream v0, v1;
+  WriteTableCsv(t, 0, v0);
+  WriteTableCsv(t, db.current_version(), v1);
+  EXPECT_NE(v0.str().find("old"), std::string::npos);
+  EXPECT_NE(v1.str().find("new"), std::string::npos);
+  EXPECT_EQ(v1.str().find("old"), std::string::npos);
+}
+
+TEST(CsvTest, HeaderValidation) {
+  Database db;
+  Table& t = db.CreateTable("t", MixedSchema());
+  {
+    std::istringstream in("wrong,header,names\n1,a,2.0\n");
+    const Result<size_t> r = LoadTableCsv(&db, &t, in);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.status().message().find("does not match"),
+              std::string::npos);
+  }
+  {
+    std::istringstream in("id,name\n");
+    EXPECT_FALSE(LoadTableCsv(&db, &t, in).ok());  // arity mismatch
+  }
+  {
+    std::istringstream in("");
+    EXPECT_FALSE(LoadTableCsv(&db, &t, in).ok());  // empty
+  }
+}
+
+TEST(CsvTest, CellTypeValidation) {
+  Database db;
+  Table& t = db.CreateTable("t", MixedSchema());
+  std::istringstream in("id,name,price\nnot_an_int,a,2.0\n");
+  const Result<size_t> r = LoadTableCsv(&db, &t, in);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("bad int64"), std::string::npos);
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(CsvTest, QuotedFieldsWithNewlinesAndBlankLines) {
+  Database db;
+  Table& t = db.CreateTable("t", MixedSchema());
+  std::istringstream in(
+      "id,name,price\n"
+      "1,\"multi\nline\",2.0\n"
+      "\n"
+      "2,plain,3.5\n");
+  const Result<size_t> r = LoadTableCsv(&db, &t, in);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(*r, 2u);
+  std::vector<Row> rows;
+  t.ScanAt(0, [&](RowId, const Row& row) { rows.push_back(row); });
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][1].AsString(), "multi\nline");
+}
+
+TEST(CsvTest, MalformedQuoting) {
+  Database db;
+  Table& t = db.CreateTable("t", MixedSchema());
+  std::istringstream in("id,name,price\n1,\"unterminated,2.0\n");
+  EXPECT_FALSE(LoadTableCsv(&db, &t, in).ok());
+}
+
+}  // namespace
+}  // namespace abivm

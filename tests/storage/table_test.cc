@@ -1,0 +1,166 @@
+#include "storage/table.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "storage/database.h"
+
+namespace abivm {
+namespace {
+
+Schema TwoColSchema() {
+  return Schema({{"k", ValueType::kInt64}, {"v", ValueType::kString}});
+}
+
+Row MakeRow(int64_t k, const std::string& v) {
+  return {Value(k), Value(v)};
+}
+
+TEST(TableTest, InsertAndVisibility) {
+  Table t("t", TwoColSchema());
+  const RowId id = t.Insert(MakeRow(1, "a"), /*version=*/3);
+  EXPECT_FALSE(t.VisibleAt(id, 2));
+  EXPECT_TRUE(t.VisibleAt(id, 3));
+  EXPECT_TRUE(t.VisibleAt(id, 100));
+}
+
+TEST(TableTest, DeleteEndsVisibility) {
+  Table t("t", TwoColSchema());
+  const RowId id = t.Insert(MakeRow(1, "a"), 1);
+  t.Delete(id, 5);
+  EXPECT_TRUE(t.VisibleAt(id, 1));
+  EXPECT_TRUE(t.VisibleAt(id, 4));
+  EXPECT_FALSE(t.VisibleAt(id, 5));
+  EXPECT_FALSE(t.VisibleAt(id, 50));
+}
+
+TEST(TableTest, UpdateIsDeletePlusInsert) {
+  Table t("t", TwoColSchema());
+  const RowId old_id = t.Insert(MakeRow(1, "a"), 1);
+  const RowId new_id = t.Update(old_id, MakeRow(1, "b"), 7);
+  EXPECT_NE(old_id, new_id);
+  // Snapshot 6 sees the old value; snapshot 7 the new one.
+  EXPECT_TRUE(t.VisibleAt(old_id, 6));
+  EXPECT_FALSE(t.VisibleAt(new_id, 6));
+  EXPECT_FALSE(t.VisibleAt(old_id, 7));
+  EXPECT_TRUE(t.VisibleAt(new_id, 7));
+  EXPECT_EQ(t.RowAt(new_id).row[1].AsString(), "b");
+}
+
+TEST(TableTest, ScanAtRespectsVersions) {
+  Table t("t", TwoColSchema());
+  t.Insert(MakeRow(1, "a"), 1);
+  const RowId b = t.Insert(MakeRow(2, "b"), 2);
+  t.Insert(MakeRow(3, "c"), 4);
+  t.Delete(b, 3);
+
+  auto keys_at = [&](Version v) {
+    std::set<int64_t> keys;
+    t.ScanAt(v, [&](RowId, const Row& row) {
+      keys.insert(row[0].AsInt64());
+    });
+    return keys;
+  };
+  EXPECT_EQ(keys_at(0), (std::set<int64_t>{}));
+  EXPECT_EQ(keys_at(1), (std::set<int64_t>{1}));
+  EXPECT_EQ(keys_at(2), (std::set<int64_t>{1, 2}));
+  EXPECT_EQ(keys_at(3), (std::set<int64_t>{1}));
+  EXPECT_EQ(keys_at(4), (std::set<int64_t>{1, 3}));
+}
+
+TEST(TableTest, HashIndexVersionAwareLookup) {
+  Table t("t", TwoColSchema());
+  t.CreateHashIndex("k");
+  const RowId a = t.Insert(MakeRow(7, "a"), 1);
+  t.Insert(MakeRow(7, "b"), 2);
+  t.Insert(MakeRow(8, "c"), 2);
+  t.Delete(a, 3);
+
+  auto lookup = [&](int64_t key, Version v) {
+    std::set<std::string> vals;
+    t.IndexLookup(0, Value(key), v, [&](RowId, const Row& row) {
+      vals.insert(row[1].AsString());
+    });
+    return vals;
+  };
+  EXPECT_EQ(lookup(7, 1), (std::set<std::string>{"a"}));
+  EXPECT_EQ(lookup(7, 2), (std::set<std::string>{"a", "b"}));
+  EXPECT_EQ(lookup(7, 3), (std::set<std::string>{"b"}));
+  EXPECT_EQ(lookup(8, 1), (std::set<std::string>{}));
+  EXPECT_EQ(lookup(8, 2), (std::set<std::string>{"c"}));
+}
+
+TEST(TableTest, IndexCreatedAfterRowsCoversExistingRows) {
+  Table t("t", TwoColSchema());
+  t.Insert(MakeRow(5, "x"), 1);
+  t.CreateHashIndex("k");
+  int hits = 0;
+  t.IndexLookup(0, Value(int64_t{5}), 1, [&](RowId, const Row&) { ++hits; });
+  EXPECT_EQ(hits, 1);
+  EXPECT_TRUE(t.HasIndexOn(0));
+  EXPECT_FALSE(t.HasIndexOn(1));
+}
+
+TEST(TableTest, LiveRowSampling) {
+  Table t("t", TwoColSchema());
+  std::vector<RowId> ids;
+  for (int64_t k = 0; k < 10; ++k) {
+    ids.push_back(t.Insert(MakeRow(k, "v"), 1));
+  }
+  t.Delete(ids[3], 2);
+  t.Delete(ids[7], 2);
+  EXPECT_EQ(t.live_row_count(), 8u);
+
+  Rng rng(9);
+  std::set<RowId> sampled;
+  for (int trial = 0; trial < 200; ++trial) {
+    const RowId id = t.SampleLiveRow(rng);
+    EXPECT_EQ(t.RowAt(id).delete_version, kNeverDeleted);
+    sampled.insert(id);
+  }
+  EXPECT_EQ(sampled.size(), 8u);  // every live row eventually sampled
+}
+
+TEST(DatabaseTest, VersionClockAndDeltaLog) {
+  Database db;
+  Table& t = db.CreateTable("t", TwoColSchema());
+  db.BulkLoad(t, MakeRow(1, "a"));
+  EXPECT_EQ(db.current_version(), 0u);
+  EXPECT_EQ(t.delta_log().size(), 0u);  // bulk load is not logged
+
+  const RowId id = db.ApplyInsert(t, MakeRow(2, "b"));
+  EXPECT_EQ(db.current_version(), 1u);
+  db.ApplyUpdate(t, id, MakeRow(2, "b2"));
+  EXPECT_EQ(db.current_version(), 2u);
+  db.ApplyDelete(t, 0);  // the bulk-loaded row
+  EXPECT_EQ(db.current_version(), 3u);
+
+  ASSERT_EQ(t.delta_log().size(), 3u);
+  const Modification& ins = t.delta_log().At(0);
+  EXPECT_EQ(ins.kind, ModKind::kInsert);
+  EXPECT_EQ(ins.version, 1u);
+  EXPECT_EQ(ins.new_row[1].AsString(), "b");
+
+  const Modification& upd = t.delta_log().At(1);
+  EXPECT_EQ(upd.kind, ModKind::kUpdate);
+  EXPECT_EQ(upd.old_row[1].AsString(), "b");
+  EXPECT_EQ(upd.new_row[1].AsString(), "b2");
+
+  const Modification& del = t.delta_log().At(2);
+  EXPECT_EQ(del.kind, ModKind::kDelete);
+  EXPECT_EQ(del.old_row[1].AsString(), "a");
+}
+
+TEST(DatabaseTest, TableCatalog) {
+  Database db;
+  db.CreateTable("a", TwoColSchema());
+  db.CreateTable("b", TwoColSchema());
+  EXPECT_TRUE(db.HasTable("a"));
+  EXPECT_FALSE(db.HasTable("c"));
+  EXPECT_EQ(db.table("b").name(), "b");
+  EXPECT_EQ(db.tables().size(), 2u);
+}
+
+}  // namespace
+}  // namespace abivm

@@ -1,0 +1,74 @@
+#include "storage/value.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/schema.h"
+
+namespace abivm {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  const Value i(int64_t{42});
+  const Value d(3.5);
+  const Value s("hello");
+  EXPECT_EQ(i.type(), ValueType::kInt64);
+  EXPECT_EQ(d.type(), ValueType::kDouble);
+  EXPECT_EQ(s.type(), ValueType::kString);
+  EXPECT_EQ(i.AsInt64(), 42);
+  EXPECT_DOUBLE_EQ(d.AsDouble(), 3.5);
+  EXPECT_EQ(s.AsString(), "hello");
+}
+
+TEST(ValueTest, EqualityAndOrdering) {
+  EXPECT_EQ(Value(int64_t{7}), Value(int64_t{7}));
+  EXPECT_NE(Value(int64_t{7}), Value(int64_t{8}));
+  EXPECT_LT(Value(int64_t{7}), Value(int64_t{8}));
+  EXPECT_LT(Value(1.5), Value(2.5));
+  EXPECT_LT(Value("abc"), Value("abd"));
+  EXPECT_GE(Value("b"), Value("a"));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value(int64_t{123}).Hash(), Value(int64_t{123}).Hash());
+  EXPECT_EQ(Value("xyz").Hash(), Value("xyz").Hash());
+  EXPECT_EQ(Value(2.25).Hash(), Value(2.25).Hash());
+  // Negative and positive zero are equal doubles and must hash equally.
+  EXPECT_EQ(Value(0.0).Hash(), Value(-0.0).Hash());
+  // Not a strict requirement, but catch degenerate constant hashing.
+  EXPECT_NE(Value(int64_t{1}).Hash(), Value(int64_t{2}).Hash());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value(int64_t{5}).ToString(), "5");
+  EXPECT_EQ(Value("hi").ToString(), "\"hi\"");
+  EXPECT_EQ(RowToString({Value(int64_t{1}), Value("a")}), "[1, \"a\"]");
+}
+
+TEST(RowHashTest, EqualRowsHashEqually) {
+  const Row a = {Value(int64_t{1}), Value("x"), Value(2.0)};
+  const Row b = {Value(int64_t{1}), Value("x"), Value(2.0)};
+  const Row c = {Value(int64_t{2}), Value("x"), Value(2.0)};
+  EXPECT_EQ(RowHash{}(a), RowHash{}(b));
+  EXPECT_NE(RowHash{}(a), RowHash{}(c));
+}
+
+TEST(SchemaTest, ColumnLookup) {
+  const Schema schema({{"id", ValueType::kInt64},
+                       {"name", ValueType::kString},
+                       {"price", ValueType::kDouble}});
+  EXPECT_EQ(schema.num_columns(), 3u);
+  EXPECT_EQ(schema.ColumnIndex("id"), 0u);
+  EXPECT_EQ(schema.ColumnIndex("price"), 2u);
+  EXPECT_EQ(schema.column(1).name, "name");
+}
+
+TEST(SchemaTest, RowMatches) {
+  const Schema schema({{"id", ValueType::kInt64},
+                       {"name", ValueType::kString}});
+  EXPECT_TRUE(schema.RowMatches({Value(int64_t{1}), Value("a")}));
+  EXPECT_FALSE(schema.RowMatches({Value(int64_t{1})}));
+  EXPECT_FALSE(schema.RowMatches({Value("a"), Value(int64_t{1})}));
+}
+
+}  // namespace
+}  // namespace abivm

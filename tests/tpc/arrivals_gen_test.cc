@@ -1,0 +1,69 @@
+#include "tpc/arrivals_gen.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace abivm {
+namespace {
+
+TEST(PaperNonUniformArrivalsTest, RespectsArrivalProbability) {
+  Rng rng(1);
+  const ArrivalSequence slow =
+      MakePaperNonUniformArrivals(2, 9999, /*p=*/0.5, /*mu=*/1.0,
+                                  /*sigma=*/1.0, rng);
+  const ArrivalSequence fast =
+      MakePaperNonUniformArrivals(2, 9999, /*p=*/0.9, 1.0, 1.0, rng);
+
+  auto active_fraction = [](const ArrivalSequence& seq, size_t i) {
+    int64_t active = 0;
+    for (TimeStep t = 0; t <= seq.horizon(); ++t) {
+      if (seq.At(t)[i] > 0) ++active;
+    }
+    return static_cast<double>(active) /
+           static_cast<double>(seq.horizon() + 1);
+  };
+  EXPECT_NEAR(active_fraction(slow, 0), 0.5, 0.03);
+  EXPECT_NEAR(active_fraction(fast, 0), 0.9, 0.03);
+  EXPECT_NEAR(active_fraction(fast, 1), 0.9, 0.03);
+}
+
+TEST(PaperNonUniformArrivalsTest, UnstableStreamsHaveLargerBursts) {
+  Rng rng(2);
+  const ArrivalSequence stable =
+      MakePaperNonUniformArrivals(1, 4999, 0.9, 1.0, /*sigma=*/1.0, rng);
+  const ArrivalSequence unstable =
+      MakePaperNonUniformArrivals(1, 4999, 0.9, 1.0, /*sigma=*/5.0, rng);
+  EXPECT_GT(unstable.MaxStepArrival(0), stable.MaxStepArrival(0));
+}
+
+TEST(PaperNonUniformArrivalsTest, CountsArePositiveWhenActive) {
+  Rng rng(3);
+  const ArrivalSequence seq =
+      MakePaperNonUniformArrivals(1, 999, 1.0, 1.0, 5.0, rng);
+  for (TimeStep t = 0; t <= seq.horizon(); ++t) {
+    EXPECT_GE(seq.At(t)[0], 1u);  // p = 1: every step has d >= 1
+  }
+}
+
+TEST(PoissonArrivalsTest, MeanTracksRate) {
+  Rng rng(4);
+  const ArrivalSequence seq = MakePoissonArrivals({2.0, 0.5}, 9999, rng);
+  EXPECT_NEAR(static_cast<double>(seq.Total(0)) / 10000.0, 2.0, 0.1);
+  EXPECT_NEAR(static_cast<double>(seq.Total(1)) / 10000.0, 0.5, 0.05);
+}
+
+TEST(BurstyArrivalsTest, OnOffPattern) {
+  const ArrivalSequence seq = MakeBurstyArrivals(1, 19, /*on=*/3, /*off=*/2,
+                                                 /*rate_on=*/4);
+  // Period 5: steps 0,1,2 on; 3,4 off.
+  EXPECT_EQ(seq.At(0)[0], 4u);
+  EXPECT_EQ(seq.At(2)[0], 4u);
+  EXPECT_EQ(seq.At(3)[0], 0u);
+  EXPECT_EQ(seq.At(4)[0], 0u);
+  EXPECT_EQ(seq.At(5)[0], 4u);
+  EXPECT_EQ(seq.Total(0), 4u * 12u);  // 4 full periods * 3 on-steps
+}
+
+}  // namespace
+}  // namespace abivm

@@ -1,0 +1,139 @@
+#include "tpc/tpc_gen.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "tpc/update_stream.h"
+
+namespace abivm {
+namespace {
+
+TEST(TpcGenTest, RowCountsMatchScaleFactor) {
+  Database db;
+  TpcGenOptions options;
+  options.scale_factor = 0.001;
+  GenerateTpcDatabase(&db, options);
+  EXPECT_EQ(db.table(kRegion).live_row_count(), 5u);
+  EXPECT_EQ(db.table(kNation).live_row_count(), 25u);
+  EXPECT_EQ(db.table(kSupplier).live_row_count(), 10u);
+  EXPECT_EQ(db.table(kPart).live_row_count(), 200u);
+  EXPECT_EQ(db.table(kPartSupp).live_row_count(), 800u);
+  EXPECT_FALSE(db.HasTable(kCustomer));
+}
+
+TEST(TpcGenTest, CountHelpers) {
+  EXPECT_EQ(TpcSupplierCount(1.0), 10'000u);
+  EXPECT_EQ(TpcPartCount(1.0), 200'000u);
+  EXPECT_EQ(TpcPartSuppCount(1.0), 800'000u);
+  EXPECT_EQ(TpcCustomerCount(0.01), 1'500u);
+  EXPECT_EQ(TpcSupplierCount(0.00001), 1u);  // minimum of one row
+}
+
+TEST(TpcGenTest, MiddleEastHasExactlyFiveNations) {
+  Database db;
+  TpcGenOptions options;
+  options.scale_factor = 0.001;
+  GenerateTpcDatabase(&db, options);
+
+  const Table& region = db.table(kRegion);
+  int64_t middle_east_key = -1;
+  region.ScanAt(0, [&](RowId, const Row& row) {
+    if (row[1] == Value("MIDDLE EAST")) middle_east_key = row[0].AsInt64();
+  });
+  ASSERT_NE(middle_east_key, -1);
+
+  std::set<std::string> me_nations;
+  db.table(kNation).ScanAt(0, [&](RowId, const Row& row) {
+    if (row[2].AsInt64() == middle_east_key) {
+      me_nations.insert(row[1].AsString());
+    }
+  });
+  EXPECT_EQ(me_nations, (std::set<std::string>{"EGYPT", "IRAN", "IRAQ",
+                                               "JORDAN", "SAUDI ARABIA"}));
+}
+
+TEST(TpcGenTest, ForeignKeysResolve) {
+  Database db;
+  TpcGenOptions options;
+  options.scale_factor = 0.001;
+  GenerateTpcDatabase(&db, options);
+
+  std::set<int64_t> suppkeys;
+  db.table(kSupplier).ScanAt(0, [&](RowId, const Row& row) {
+    suppkeys.insert(row[0].AsInt64());
+  });
+  std::set<int64_t> partkeys;
+  db.table(kPart).ScanAt(0, [&](RowId, const Row& row) {
+    partkeys.insert(row[0].AsInt64());
+  });
+  db.table(kPartSupp).ScanAt(0, [&](RowId, const Row& row) {
+    EXPECT_TRUE(partkeys.count(row[0].AsInt64()));
+    EXPECT_TRUE(suppkeys.count(row[1].AsInt64()));
+  });
+  db.table(kSupplier).ScanAt(0, [&](RowId, const Row& row) {
+    const int64_t nk = row[3].AsInt64();
+    EXPECT_GE(nk, 0);
+    EXPECT_LE(nk, 24);
+  });
+}
+
+TEST(TpcGenTest, DeterministicForSameSeed) {
+  auto fingerprint = [](uint64_t seed) {
+    Database db;
+    TpcGenOptions options;
+    options.scale_factor = 0.001;
+    options.seed = seed;
+    GenerateTpcDatabase(&db, options);
+    uint64_t h = 0;
+    db.table(kPartSupp).ScanAt(0, [&](RowId, const Row& row) {
+      for (const Value& v : row) h ^= v.Hash();
+    });
+    return h;
+  };
+  EXPECT_EQ(fingerprint(7), fingerprint(7));
+  EXPECT_NE(fingerprint(7), fingerprint(8));
+}
+
+TEST(TpcGenTest, SalesPipelineGeneratedWhenRequested) {
+  Database db;
+  TpcGenOptions options;
+  options.scale_factor = 0.0005;
+  options.include_sales_pipeline = true;
+  GenerateTpcDatabase(&db, options);
+  EXPECT_EQ(db.table(kCustomer).live_row_count(), 75u);
+  EXPECT_EQ(db.table(kOrders).live_row_count(), 750u);
+  EXPECT_GE(db.table(kLineItem).live_row_count(), 750u);
+}
+
+TEST(TpcUpdaterTest, PaperModificationsTouchTheRightColumns) {
+  Database db;
+  TpcGenOptions options;
+  options.scale_factor = 0.001;
+  GenerateTpcDatabase(&db, options);
+  TpcUpdater updater(&db, 17);
+
+  updater.UpdatePartSuppSupplycost();
+  updater.UpdateSupplierNationkey();
+
+  const DeltaLog& ps_log = db.table(kPartSupp).delta_log();
+  ASSERT_EQ(ps_log.size(), 1u);
+  const Modification& ps_mod = ps_log.At(0);
+  EXPECT_EQ(ps_mod.kind, ModKind::kUpdate);
+  // Keys unchanged, supplycost changed.
+  EXPECT_EQ(ps_mod.old_row[0], ps_mod.new_row[0]);
+  EXPECT_EQ(ps_mod.old_row[1], ps_mod.new_row[1]);
+  EXPECT_NE(ps_mod.old_row[3], ps_mod.new_row[3]);
+
+  const DeltaLog& s_log = db.table(kSupplier).delta_log();
+  ASSERT_EQ(s_log.size(), 1u);
+  const Modification& s_mod = s_log.At(0);
+  EXPECT_EQ(s_mod.kind, ModKind::kUpdate);
+  EXPECT_EQ(s_mod.old_row[0], s_mod.new_row[0]);
+
+  updater.ApplyPaperModification(kPartSupp);
+  EXPECT_EQ(ps_log.size(), 2u);
+}
+
+}  // namespace
+}  // namespace abivm
