@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_astar_heuristic.dir/abl_astar_heuristic.cc.o"
+  "CMakeFiles/abl_astar_heuristic.dir/abl_astar_heuristic.cc.o.d"
+  "abl_astar_heuristic"
+  "abl_astar_heuristic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_astar_heuristic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_cost_shapes.dir/abl_cost_shapes.cc.o"
+  "CMakeFiles/abl_cost_shapes.dir/abl_cost_shapes.cc.o.d"
+  "abl_cost_shapes"
+  "abl_cost_shapes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_cost_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_engine_planner.dir/abl_engine_planner.cc.o"
+  "CMakeFiles/abl_engine_planner.dir/abl_engine_planner.cc.o.d"
+  "abl_engine_planner"
+  "abl_engine_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_engine_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_engine_planner.
+# This may be replaced when dependencies are built.

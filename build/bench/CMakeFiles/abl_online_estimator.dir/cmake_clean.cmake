@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_online_estimator.dir/abl_online_estimator.cc.o"
+  "CMakeFiles/abl_online_estimator.dir/abl_online_estimator.cc.o.d"
+  "abl_online_estimator"
+  "abl_online_estimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_online_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

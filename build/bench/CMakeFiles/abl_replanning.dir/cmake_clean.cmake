@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_replanning.dir/abl_replanning.cc.o"
+  "CMakeFiles/abl_replanning.dir/abl_replanning.cc.o.d"
+  "abl_replanning"
+  "abl_replanning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_replanning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_tightness.dir/abl_tightness.cc.o"
+  "CMakeFiles/abl_tightness.dir/abl_tightness.cc.o.d"
+  "abl_tightness"
+  "abl_tightness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_tightness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

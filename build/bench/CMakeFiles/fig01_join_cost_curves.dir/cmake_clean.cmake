@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_join_cost_curves.dir/fig01_join_cost_curves.cc.o"
+  "CMakeFiles/fig01_join_cost_curves.dir/fig01_join_cost_curves.cc.o.d"
+  "fig01_join_cost_curves"
+  "fig01_join_cost_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_join_cost_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

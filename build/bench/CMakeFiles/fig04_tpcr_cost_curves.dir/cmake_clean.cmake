@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_tpcr_cost_curves.dir/fig04_tpcr_cost_curves.cc.o"
+  "CMakeFiles/fig04_tpcr_cost_curves.dir/fig04_tpcr_cost_curves.cc.o.d"
+  "fig04_tpcr_cost_curves"
+  "fig04_tpcr_cost_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_tpcr_cost_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig04_tpcr_cost_curves.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_sim_validation.dir/fig05_sim_validation.cc.o"
+  "CMakeFiles/fig05_sim_validation.dir/fig05_sim_validation.cc.o.d"
+  "fig05_sim_validation"
+  "fig05_sim_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_sim_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

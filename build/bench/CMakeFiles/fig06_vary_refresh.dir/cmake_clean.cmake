@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_vary_refresh.dir/fig06_vary_refresh.cc.o"
+  "CMakeFiles/fig06_vary_refresh.dir/fig06_vary_refresh.cc.o.d"
+  "fig06_vary_refresh"
+  "fig06_vary_refresh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_vary_refresh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

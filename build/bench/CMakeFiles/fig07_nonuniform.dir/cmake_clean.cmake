@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_nonuniform.dir/fig07_nonuniform.cc.o"
+  "CMakeFiles/fig07_nonuniform.dir/fig07_nonuniform.cc.o.d"
+  "fig07_nonuniform"
+  "fig07_nonuniform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_nonuniform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_smoke_fig01 "/root/repo/build/bench/fig01_join_cost_curves" "--sf=0.002")
+set_tests_properties(bench_smoke_fig01 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;26;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig04 "/root/repo/build/bench/fig04_tpcr_cost_curves" "--sf=0.002")
+set_tests_properties(bench_smoke_fig04 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig05 "/root/repo/build/bench/fig05_sim_validation" "--sf=0.002" "--t=60")
+set_tests_properties(bench_smoke_fig05 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;28;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig06 "/root/repo/build/bench/fig06_vary_refresh" "--sf=0.002")
+set_tests_properties(bench_smoke_fig06 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;29;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig07 "/root/repo/build/bench/fig07_nonuniform" "--sf=0.002" "--t=200")
+set_tests_properties(bench_smoke_fig07 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;30;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_tightness "/root/repo/build/bench/abl_tightness")
+set_tests_properties(bench_smoke_tightness PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_cost_shapes "/root/repo/build/bench/abl_cost_shapes")
+set_tests_properties(bench_smoke_cost_shapes PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;32;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_engine_planner "/root/repo/build/bench/abl_engine_planner" "--sf=0.002")
+set_tests_properties(bench_smoke_engine_planner PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;33;add_test;/root/repo/bench/CMakeLists.txt;0;")

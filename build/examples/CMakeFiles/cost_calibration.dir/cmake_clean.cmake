@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cost_calibration.dir/cost_calibration.cc.o"
+  "CMakeFiles/cost_calibration.dir/cost_calibration.cc.o.d"
+  "cost_calibration"
+  "cost_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

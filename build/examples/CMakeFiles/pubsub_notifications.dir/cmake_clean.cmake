@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pubsub_notifications.dir/pubsub_notifications.cc.o"
+  "CMakeFiles/pubsub_notifications.dir/pubsub_notifications.cc.o.d"
+  "pubsub_notifications"
+  "pubsub_notifications.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pubsub_notifications.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

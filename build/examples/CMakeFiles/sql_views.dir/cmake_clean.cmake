@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_views.dir/sql_views.cc.o"
+  "CMakeFiles/sql_views.dir/sql_views.cc.o.d"
+  "sql_views"
+  "sql_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

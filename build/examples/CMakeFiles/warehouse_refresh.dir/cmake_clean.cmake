@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warehouse_refresh.dir/warehouse_refresh.cc.o"
+  "CMakeFiles/warehouse_refresh.dir/warehouse_refresh.cc.o.d"
+  "warehouse_refresh"
+  "warehouse_refresh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warehouse_refresh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abivm_common.dir/fit.cc.o"
+  "CMakeFiles/abivm_common.dir/fit.cc.o.d"
+  "CMakeFiles/abivm_common.dir/random.cc.o"
+  "CMakeFiles/abivm_common.dir/random.cc.o.d"
+  "libabivm_common.a"
+  "libabivm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abivm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/actions.cc" "src/core/CMakeFiles/abivm_core.dir/actions.cc.o" "gcc" "src/core/CMakeFiles/abivm_core.dir/actions.cc.o.d"
+  "/root/repo/src/core/arrivals.cc" "src/core/CMakeFiles/abivm_core.dir/arrivals.cc.o" "gcc" "src/core/CMakeFiles/abivm_core.dir/arrivals.cc.o.d"
+  "/root/repo/src/core/astar.cc" "src/core/CMakeFiles/abivm_core.dir/astar.cc.o" "gcc" "src/core/CMakeFiles/abivm_core.dir/astar.cc.o.d"
+  "/root/repo/src/core/cost_model.cc" "src/core/CMakeFiles/abivm_core.dir/cost_model.cc.o" "gcc" "src/core/CMakeFiles/abivm_core.dir/cost_model.cc.o.d"
+  "/root/repo/src/core/exhaustive.cc" "src/core/CMakeFiles/abivm_core.dir/exhaustive.cc.o" "gcc" "src/core/CMakeFiles/abivm_core.dir/exhaustive.cc.o.d"
+  "/root/repo/src/core/naive.cc" "src/core/CMakeFiles/abivm_core.dir/naive.cc.o" "gcc" "src/core/CMakeFiles/abivm_core.dir/naive.cc.o.d"
+  "/root/repo/src/core/online.cc" "src/core/CMakeFiles/abivm_core.dir/online.cc.o" "gcc" "src/core/CMakeFiles/abivm_core.dir/online.cc.o.d"
+  "/root/repo/src/core/plan.cc" "src/core/CMakeFiles/abivm_core.dir/plan.cc.o" "gcc" "src/core/CMakeFiles/abivm_core.dir/plan.cc.o.d"
+  "/root/repo/src/core/plan_policies.cc" "src/core/CMakeFiles/abivm_core.dir/plan_policies.cc.o" "gcc" "src/core/CMakeFiles/abivm_core.dir/plan_policies.cc.o.d"
+  "/root/repo/src/core/replan.cc" "src/core/CMakeFiles/abivm_core.dir/replan.cc.o" "gcc" "src/core/CMakeFiles/abivm_core.dir/replan.cc.o.d"
+  "/root/repo/src/core/transforms.cc" "src/core/CMakeFiles/abivm_core.dir/transforms.cc.o" "gcc" "src/core/CMakeFiles/abivm_core.dir/transforms.cc.o.d"
+  "/root/repo/src/core/types.cc" "src/core/CMakeFiles/abivm_core.dir/types.cc.o" "gcc" "src/core/CMakeFiles/abivm_core.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cost/CMakeFiles/abivm_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/abivm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

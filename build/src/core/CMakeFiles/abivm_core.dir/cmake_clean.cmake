@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abivm_core.dir/actions.cc.o"
+  "CMakeFiles/abivm_core.dir/actions.cc.o.d"
+  "CMakeFiles/abivm_core.dir/arrivals.cc.o"
+  "CMakeFiles/abivm_core.dir/arrivals.cc.o.d"
+  "CMakeFiles/abivm_core.dir/astar.cc.o"
+  "CMakeFiles/abivm_core.dir/astar.cc.o.d"
+  "CMakeFiles/abivm_core.dir/cost_model.cc.o"
+  "CMakeFiles/abivm_core.dir/cost_model.cc.o.d"
+  "CMakeFiles/abivm_core.dir/exhaustive.cc.o"
+  "CMakeFiles/abivm_core.dir/exhaustive.cc.o.d"
+  "CMakeFiles/abivm_core.dir/naive.cc.o"
+  "CMakeFiles/abivm_core.dir/naive.cc.o.d"
+  "CMakeFiles/abivm_core.dir/online.cc.o"
+  "CMakeFiles/abivm_core.dir/online.cc.o.d"
+  "CMakeFiles/abivm_core.dir/plan.cc.o"
+  "CMakeFiles/abivm_core.dir/plan.cc.o.d"
+  "CMakeFiles/abivm_core.dir/plan_policies.cc.o"
+  "CMakeFiles/abivm_core.dir/plan_policies.cc.o.d"
+  "CMakeFiles/abivm_core.dir/replan.cc.o"
+  "CMakeFiles/abivm_core.dir/replan.cc.o.d"
+  "CMakeFiles/abivm_core.dir/transforms.cc.o"
+  "CMakeFiles/abivm_core.dir/transforms.cc.o.d"
+  "CMakeFiles/abivm_core.dir/types.cc.o"
+  "CMakeFiles/abivm_core.dir/types.cc.o.d"
+  "libabivm_core.a"
+  "libabivm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abivm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abivm_cost.dir/adaptive_cost.cc.o"
+  "CMakeFiles/abivm_cost.dir/adaptive_cost.cc.o.d"
+  "CMakeFiles/abivm_cost.dir/cost_function.cc.o"
+  "CMakeFiles/abivm_cost.dir/cost_function.cc.o.d"
+  "libabivm_cost.a"
+  "libabivm_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abivm_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/operators.cc" "src/exec/CMakeFiles/abivm_exec.dir/operators.cc.o" "gcc" "src/exec/CMakeFiles/abivm_exec.dir/operators.cc.o.d"
+  "/root/repo/src/exec/stats.cc" "src/exec/CMakeFiles/abivm_exec.dir/stats.cc.o" "gcc" "src/exec/CMakeFiles/abivm_exec.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/abivm_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/abivm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abivm_exec.dir/operators.cc.o"
+  "CMakeFiles/abivm_exec.dir/operators.cc.o.d"
+  "CMakeFiles/abivm_exec.dir/stats.cc.o"
+  "CMakeFiles/abivm_exec.dir/stats.cc.o.d"
+  "libabivm_exec.a"
+  "libabivm_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abivm_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

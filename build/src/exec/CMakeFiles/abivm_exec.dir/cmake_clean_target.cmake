@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libabivm_exec.a"
+)

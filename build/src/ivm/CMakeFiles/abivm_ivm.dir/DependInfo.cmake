@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ivm/binding.cc" "src/ivm/CMakeFiles/abivm_ivm.dir/binding.cc.o" "gcc" "src/ivm/CMakeFiles/abivm_ivm.dir/binding.cc.o.d"
+  "/root/repo/src/ivm/calibrator.cc" "src/ivm/CMakeFiles/abivm_ivm.dir/calibrator.cc.o" "gcc" "src/ivm/CMakeFiles/abivm_ivm.dir/calibrator.cc.o.d"
+  "/root/repo/src/ivm/explain.cc" "src/ivm/CMakeFiles/abivm_ivm.dir/explain.cc.o" "gcc" "src/ivm/CMakeFiles/abivm_ivm.dir/explain.cc.o.d"
+  "/root/repo/src/ivm/maintainer.cc" "src/ivm/CMakeFiles/abivm_ivm.dir/maintainer.cc.o" "gcc" "src/ivm/CMakeFiles/abivm_ivm.dir/maintainer.cc.o.d"
+  "/root/repo/src/ivm/sql_parser.cc" "src/ivm/CMakeFiles/abivm_ivm.dir/sql_parser.cc.o" "gcc" "src/ivm/CMakeFiles/abivm_ivm.dir/sql_parser.cc.o.d"
+  "/root/repo/src/ivm/view_group.cc" "src/ivm/CMakeFiles/abivm_ivm.dir/view_group.cc.o" "gcc" "src/ivm/CMakeFiles/abivm_ivm.dir/view_group.cc.o.d"
+  "/root/repo/src/ivm/view_state.cc" "src/ivm/CMakeFiles/abivm_ivm.dir/view_state.cc.o" "gcc" "src/ivm/CMakeFiles/abivm_ivm.dir/view_state.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exec/CMakeFiles/abivm_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/abivm_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/abivm_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/abivm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/abivm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abivm_ivm.dir/binding.cc.o"
+  "CMakeFiles/abivm_ivm.dir/binding.cc.o.d"
+  "CMakeFiles/abivm_ivm.dir/calibrator.cc.o"
+  "CMakeFiles/abivm_ivm.dir/calibrator.cc.o.d"
+  "CMakeFiles/abivm_ivm.dir/explain.cc.o"
+  "CMakeFiles/abivm_ivm.dir/explain.cc.o.d"
+  "CMakeFiles/abivm_ivm.dir/maintainer.cc.o"
+  "CMakeFiles/abivm_ivm.dir/maintainer.cc.o.d"
+  "CMakeFiles/abivm_ivm.dir/sql_parser.cc.o"
+  "CMakeFiles/abivm_ivm.dir/sql_parser.cc.o.d"
+  "CMakeFiles/abivm_ivm.dir/view_group.cc.o"
+  "CMakeFiles/abivm_ivm.dir/view_group.cc.o.d"
+  "CMakeFiles/abivm_ivm.dir/view_state.cc.o"
+  "CMakeFiles/abivm_ivm.dir/view_state.cc.o.d"
+  "libabivm_ivm.a"
+  "libabivm_ivm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abivm_ivm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abivm_sim.dir/engine_runner.cc.o"
+  "CMakeFiles/abivm_sim.dir/engine_runner.cc.o.d"
+  "CMakeFiles/abivm_sim.dir/report.cc.o"
+  "CMakeFiles/abivm_sim.dir/report.cc.o.d"
+  "CMakeFiles/abivm_sim.dir/simulator.cc.o"
+  "CMakeFiles/abivm_sim.dir/simulator.cc.o.d"
+  "libabivm_sim.a"
+  "libabivm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abivm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abivm_storage.dir/csv.cc.o"
+  "CMakeFiles/abivm_storage.dir/csv.cc.o.d"
+  "CMakeFiles/abivm_storage.dir/database.cc.o"
+  "CMakeFiles/abivm_storage.dir/database.cc.o.d"
+  "CMakeFiles/abivm_storage.dir/schema.cc.o"
+  "CMakeFiles/abivm_storage.dir/schema.cc.o.d"
+  "CMakeFiles/abivm_storage.dir/table.cc.o"
+  "CMakeFiles/abivm_storage.dir/table.cc.o.d"
+  "CMakeFiles/abivm_storage.dir/value.cc.o"
+  "CMakeFiles/abivm_storage.dir/value.cc.o.d"
+  "libabivm_storage.a"
+  "libabivm_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abivm_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

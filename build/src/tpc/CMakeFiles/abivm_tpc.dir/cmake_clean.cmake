@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abivm_tpc.dir/arrivals_gen.cc.o"
+  "CMakeFiles/abivm_tpc.dir/arrivals_gen.cc.o.d"
+  "CMakeFiles/abivm_tpc.dir/tpc_gen.cc.o"
+  "CMakeFiles/abivm_tpc.dir/tpc_gen.cc.o.d"
+  "CMakeFiles/abivm_tpc.dir/update_stream.cc.o"
+  "CMakeFiles/abivm_tpc.dir/update_stream.cc.o.d"
+  "CMakeFiles/abivm_tpc.dir/views.cc.o"
+  "CMakeFiles/abivm_tpc.dir/views.cc.o.d"
+  "libabivm_tpc.a"
+  "libabivm_tpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abivm_tpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replan_test.dir/replan_test.cc.o"
+  "CMakeFiles/replan_test.dir/replan_test.cc.o.d"
+  "replan_test"
+  "replan_test.pdb"
+  "replan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/core
+# Build directory: /root/repo/build/tests/core
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core/arrivals_test[1]_include.cmake")
+include("/root/repo/build/tests/core/plan_test[1]_include.cmake")
+include("/root/repo/build/tests/core/actions_test[1]_include.cmake")
+include("/root/repo/build/tests/core/transforms_test[1]_include.cmake")
+include("/root/repo/build/tests/core/astar_test[1]_include.cmake")
+include("/root/repo/build/tests/core/policies_test[1]_include.cmake")
+include("/root/repo/build/tests/core/exhaustive_test[1]_include.cmake")
+include("/root/repo/build/tests/core/replan_test[1]_include.cmake")
+include("/root/repo/build/tests/core/misc_test[1]_include.cmake")

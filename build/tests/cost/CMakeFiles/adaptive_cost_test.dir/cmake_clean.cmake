@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_cost_test.dir/adaptive_cost_test.cc.o"
+  "CMakeFiles/adaptive_cost_test.dir/adaptive_cost_test.cc.o.d"
+  "adaptive_cost_test"
+  "adaptive_cost_test.pdb"
+  "adaptive_cost_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_cost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

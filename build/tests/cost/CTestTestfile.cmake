@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/cost
+# Build directory: /root/repo/build/tests/cost
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/cost/cost_function_test[1]_include.cmake")
+include("/root/repo/build/tests/cost/paper_costs_test[1]_include.cmake")
+include("/root/repo/build/tests/cost/adaptive_cost_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avg_view_test.dir/avg_view_test.cc.o"
+  "CMakeFiles/avg_view_test.dir/avg_view_test.cc.o.d"
+  "avg_view_test"
+  "avg_view_test.pdb"
+  "avg_view_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avg_view_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

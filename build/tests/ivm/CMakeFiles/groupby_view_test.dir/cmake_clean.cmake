@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/groupby_view_test.dir/groupby_view_test.cc.o"
+  "CMakeFiles/groupby_view_test.dir/groupby_view_test.cc.o.d"
+  "groupby_view_test"
+  "groupby_view_test.pdb"
+  "groupby_view_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/groupby_view_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

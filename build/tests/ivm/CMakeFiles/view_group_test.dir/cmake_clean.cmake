@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/view_group_test.dir/view_group_test.cc.o"
+  "CMakeFiles/view_group_test.dir/view_group_test.cc.o.d"
+  "view_group_test"
+  "view_group_test.pdb"
+  "view_group_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/view_group_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

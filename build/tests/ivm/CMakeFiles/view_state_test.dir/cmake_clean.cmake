@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/view_state_test.dir/view_state_test.cc.o"
+  "CMakeFiles/view_state_test.dir/view_state_test.cc.o.d"
+  "view_state_test"
+  "view_state_test.pdb"
+  "view_state_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/view_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/ivm
+# Build directory: /root/repo/build/tests/ivm
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/ivm/view_state_test[1]_include.cmake")
+include("/root/repo/build/tests/ivm/binding_test[1]_include.cmake")
+include("/root/repo/build/tests/ivm/maintainer_test[1]_include.cmake")
+include("/root/repo/build/tests/ivm/calibrator_test[1]_include.cmake")
+include("/root/repo/build/tests/ivm/groupby_view_test[1]_include.cmake")
+include("/root/repo/build/tests/ivm/planner_options_test[1]_include.cmake")
+include("/root/repo/build/tests/ivm/avg_view_test[1]_include.cmake")
+include("/root/repo/build/tests/ivm/view_group_test[1]_include.cmake")
+include("/root/repo/build/tests/ivm/sql_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/ivm/fuzz_workload_test[1]_include.cmake")
+include("/root/repo/build/tests/ivm/explain_test[1]_include.cmake")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/engine_policies_test.cc" "tests/sim/CMakeFiles/engine_policies_test.dir/engine_policies_test.cc.o" "gcc" "tests/sim/CMakeFiles/engine_policies_test.dir/engine_policies_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/abivm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpc/CMakeFiles/abivm_tpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/ivm/CMakeFiles/abivm_ivm.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/abivm_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/abivm_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/abivm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/abivm_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/abivm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

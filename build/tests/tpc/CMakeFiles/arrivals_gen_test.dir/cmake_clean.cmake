@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arrivals_gen_test.dir/arrivals_gen_test.cc.o"
+  "CMakeFiles/arrivals_gen_test.dir/arrivals_gen_test.cc.o.d"
+  "arrivals_gen_test"
+  "arrivals_gen_test.pdb"
+  "arrivals_gen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arrivals_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

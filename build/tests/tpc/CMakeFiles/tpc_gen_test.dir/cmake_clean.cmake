@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpc_gen_test.dir/tpc_gen_test.cc.o"
+  "CMakeFiles/tpc_gen_test.dir/tpc_gen_test.cc.o.d"
+  "tpc_gen_test"
+  "tpc_gen_test.pdb"
+  "tpc_gen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpc_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

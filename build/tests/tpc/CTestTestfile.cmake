@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/tpc
+# Build directory: /root/repo/build/tests/tpc
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/tpc/tpc_gen_test[1]_include.cmake")
+include("/root/repo/build/tests/tpc/arrivals_gen_test[1]_include.cmake")
