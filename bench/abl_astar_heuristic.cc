@@ -7,14 +7,20 @@
 //   paper_exact -- the paper's literal floor(R/b_i)*f_i(b_i) term (safe
 //                  here because the costs are linear).
 // All three must return the same optimal cost on linear instances.
+//
+// The 3 x |T| searches are independent and run as one parallel sweep
+// (--threads=N); per-search A* counters (expansions, relaxations,
+// re-expansions, frontier peak) land in BENCH_abl_astar_metrics.json.
 
 #include <cmath>
+#include <deque>
 #include <iostream>
 #include <memory>
 
-#include "common/stopwatch.h"
+#include "bench/bench_util.h"
 #include "core/astar.h"
 #include "sim/report.h"
+#include "sim/sweep.h"
 
 namespace abivm {
 namespace {
@@ -27,39 +33,47 @@ ProblemInstance MakeInstance(TimeStep horizon) {
                          ArrivalSequence::Uniform({1, 1}, horizon), 15.0};
 }
 
-void Run() {
+void Run(int argc, char** argv) {
+  const SweepOptions sweep = bench::SweepFromFlags(argc, argv);
   std::cout << "=== A* heuristic ablation (2 linear tables, uniform "
                "arrivals, C = 15) ===\n\n";
+
+  const TimeStep horizons[] = {100, 200, 400, 800, 1600};
+  std::deque<ProblemInstance> instances;
+  std::vector<SweepJob> jobs;
+  for (TimeStep horizon : horizons) {
+    const ProblemInstance& instance =
+        instances.emplace_back(MakeInstance(horizon));
+    const std::string scenario = "T=" + std::to_string(horizon);
+    jobs.push_back(MakePlanJob(scenario, "dijkstra", instance,
+                               AStarOptions{.use_heuristic = false}));
+    jobs.push_back(MakePlanJob(scenario, "safe", instance));
+    jobs.push_back(MakePlanJob(scenario, "paper_exact", instance,
+                               AStarOptions{.paper_exact_heuristic = true}));
+  }
+  const std::vector<SweepJobResult> results =
+      bench::RunReportedSweep(jobs, sweep);
+
   ReportTable table({"T", "dijkstra_nodes", "safe_nodes", "paper_nodes",
                      "dijkstra_ms", "safe_ms", "paper_ms", "cost"});
-  for (TimeStep horizon : {100, 200, 400, 800, 1600}) {
-    const ProblemInstance instance = MakeInstance(horizon);
-
-    Stopwatch w1;
-    const PlanSearchResult dijkstra = FindOptimalLgmPlan(
-        instance, AStarOptions{.use_heuristic = false});
-    const double t1 = w1.ElapsedMs();
-
-    Stopwatch w2;
-    const PlanSearchResult safe = FindOptimalLgmPlan(instance);
-    const double t2 = w2.ElapsedMs();
-
-    Stopwatch w3;
-    const PlanSearchResult paper = FindOptimalLgmPlan(
-        instance, AStarOptions{.paper_exact_heuristic = true});
-    const double t3 = w3.ElapsedMs();
-
-    ABIVM_CHECK_LE(std::abs(dijkstra.cost - safe.cost), 1e-6);
-    ABIVM_CHECK_LE(std::abs(paper.cost - safe.cost), 1e-6);
-    table.AddRow({std::to_string(horizon),
-                  std::to_string(dijkstra.nodes_expanded),
-                  std::to_string(safe.nodes_expanded),
-                  std::to_string(paper.nodes_expanded),
-                  ReportTable::Num(t1, 2), ReportTable::Num(t2, 2),
-                  ReportTable::Num(t3, 2),
-                  ReportTable::Num(safe.cost, 2)});
+  for (size_t i = 0; i + 2 < results.size(); i += 3) {
+    const SweepJobResult& dijkstra = results[i];
+    const SweepJobResult& safe = results[i + 1];
+    const SweepJobResult& paper = results[i + 2];
+    ABIVM_CHECK_LE(std::abs(dijkstra.total_cost - safe.total_cost), 1e-6);
+    ABIVM_CHECK_LE(std::abs(paper.total_cost - safe.total_cost), 1e-6);
+    table.AddRow(
+        {std::to_string(horizons[i / 3]),
+         std::to_string(bench::CounterOr(dijkstra, "astar.nodes_expanded")),
+         std::to_string(bench::CounterOr(safe, "astar.nodes_expanded")),
+         std::to_string(bench::CounterOr(paper, "astar.nodes_expanded")),
+         ReportTable::Num(dijkstra.wall_ms, 2),
+         ReportTable::Num(safe.wall_ms, 2),
+         ReportTable::Num(paper.wall_ms, 2),
+         ReportTable::Num(safe.total_cost, 2)});
   }
   table.PrintAligned(std::cout);
+  bench::WriteBenchMetrics("abl_astar", results);
   std::cout << "\nExpected: informed searches expand no more nodes than "
                "Dijkstra; all configurations agree on the optimal cost.\n";
 }
@@ -67,7 +81,7 @@ void Run() {
 }  // namespace
 }  // namespace abivm
 
-int main() {
-  abivm::Run();
+int main(int argc, char** argv) {
+  abivm::Run(argc, argv);
   return 0;
 }

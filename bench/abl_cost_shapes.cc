@@ -7,21 +7,27 @@
 //   concave  -- a*sqrt(k) + b
 // Reports NAIVE / OPT_LGM / ONLINE and, where tractable, the true OPT over
 // all lazy plans (step costs are where LGM can lose up to 2x).
+//
+// The (shape, treatment) points run as one parallel sweep (--threads=N);
+// per-job metrics land in BENCH_abl_cost_shapes_metrics.json.
 
+#include <deque>
 #include <iostream>
 #include <memory>
 
+#include "bench/bench_util.h"
 #include "core/astar.h"
 #include "core/exhaustive.h"
 #include "core/naive.h"
 #include "core/online.h"
 #include "sim/report.h"
-#include "sim/simulator.h"
+#include "sim/sweep.h"
 
 namespace abivm {
 namespace {
 
-void Run() {
+void Run(int argc, char** argv) {
+  const SweepOptions sweep = bench::SweepFromFlags(argc, argv);
   std::cout << "=== Cost-shape ablation (table0 = shape below, table1 = "
                "linear 1.0*k; 1+1 arrivals/step) ===\n\n";
   struct Shape {
@@ -37,32 +43,55 @@ void Run() {
   const double budget = 12.0;
   const TimeStep horizon = 59;  // short enough for the full-space oracle
 
-  ReportTable table({"shape", "NAIVE", "ONLINE", "OPT_LGM", "OPT(lazy)",
-                     "LGM/OPT"});
+  std::deque<ProblemInstance> instances;
+  std::vector<SweepJob> jobs;
   for (const Shape& shape : shapes) {
     std::vector<CostFunctionPtr> fns = {
         shape.fn, std::make_shared<LinearCost>(1.0, 0.0)};
-    const ProblemInstance instance{
-        CostModel(std::move(fns)),
-        ArrivalSequence::Uniform({1, 1}, horizon), budget};
+    const ProblemInstance& instance = instances.emplace_back(
+        ProblemInstance{CostModel(std::move(fns)),
+                        ArrivalSequence::Uniform({1, 1}, horizon), budget});
+    jobs.push_back(MakeSimulateJob(
+        shape.label, "NAIVE", instance,
+        [] { return std::make_unique<NaivePolicy>(); },
+        {.record_steps = false}));
+    jobs.push_back(MakeSimulateJob(
+        shape.label, "ONLINE", instance,
+        [] { return std::make_unique<OnlinePolicy>(); },
+        {.record_steps = false}));
+    // LGM planner + full-space oracle in one job (both over the same
+    // instance; the oracle has no metrics of its own).
+    SweepJob oracle;
+    oracle.scenario = shape.label;
+    oracle.label = "OPT";
+    oracle.run = [&instance](obs::MetricRegistry& registry,
+                             SweepJobResult& result) {
+      AStarOptions options;
+      options.metrics = &registry;
+      const PlanSearchResult lgm = FindOptimalLgmPlan(instance, options);
+      const MaintenancePlan opt = ExhaustiveOptimalPlan(instance);
+      result.total_cost = lgm.cost;
+      result.values["opt_cost"] = opt.TotalCost(instance.cost_model);
+    };
+    jobs.push_back(std::move(oracle));
+  }
+  const std::vector<SweepJobResult> results =
+      bench::RunReportedSweep(jobs, sweep);
 
-    NaivePolicy naive;
-    const double naive_cost =
-        Simulate(instance, naive, {.record_steps = false}).total_cost;
-    OnlinePolicy online;
-    const double online_cost =
-        Simulate(instance, online, {.record_steps = false}).total_cost;
-    const PlanSearchResult lgm = FindOptimalLgmPlan(instance);
-    const MaintenancePlan opt = ExhaustiveOptimalPlan(instance);
-    const double opt_cost = opt.TotalCost(instance.cost_model);
-
-    table.AddRow({shape.label, ReportTable::Num(naive_cost, 2),
-                  ReportTable::Num(online_cost, 2),
-                  ReportTable::Num(lgm.cost, 2),
+  ReportTable table({"shape", "NAIVE", "ONLINE", "OPT_LGM", "OPT(lazy)",
+                     "LGM/OPT"});
+  for (size_t i = 0; i + 2 < results.size(); i += 3) {
+    const double lgm_cost = results[i + 2].total_cost;
+    const double opt_cost = results[i + 2].values.at("opt_cost");
+    table.AddRow({shapes[i / 3].label,
+                  ReportTable::Num(results[i].total_cost, 2),
+                  ReportTable::Num(results[i + 1].total_cost, 2),
+                  ReportTable::Num(lgm_cost, 2),
                   ReportTable::Num(opt_cost, 2),
-                  ReportTable::Num(lgm.cost / opt_cost, 4)});
+                  ReportTable::Num(lgm_cost / opt_cost, 4)});
   }
   table.PrintAligned(std::cout);
+  bench::WriteBenchMetrics("abl_cost_shapes", results);
   std::cout << "\nExpected: OPT_LGM = OPT for linear costs (Theorem 2); "
                "LGM/OPT in [1, 2] for all shapes (Theorem 1); asymmetric "
                "plans beat NAIVE most when the expensive table's cost is "
@@ -72,7 +101,7 @@ void Run() {
 }  // namespace
 }  // namespace abivm
 
-int main() {
-  abivm::Run();
+int main(int argc, char** argv) {
+  abivm::Run(argc, argv);
   return 0;
 }

@@ -4,20 +4,27 @@
 // prediction error. We sweep the EWMA weight of the estimator on stable
 // and unstable streams (Section 5's arrival model) and report cost
 // relative to OPT_LGM.
+//
+// Each (stream, alpha) cell plus the per-stream OPT_LGM reference is an
+// independent sweep job (--threads=N); metrics land in
+// BENCH_abl_online_metrics.json.
 
+#include <deque>
 #include <iostream>
 #include <memory>
 
+#include "bench/bench_util.h"
 #include "core/astar.h"
 #include "core/online.h"
 #include "sim/report.h"
-#include "sim/simulator.h"
+#include "sim/sweep.h"
 #include "tpc/arrivals_gen.h"
 
 namespace abivm {
 namespace {
 
-void Run() {
+void Run(int argc, char** argv) {
+  const SweepOptions sweep = bench::SweepFromFlags(argc, argv);
   std::cout << "=== ONLINE estimator ablation: EWMA alpha sweep "
                "(cost / OPT_LGM) ===\n\n";
   std::vector<CostFunctionPtr> fns = {
@@ -35,30 +42,46 @@ void Run() {
   const Stream streams[] = {
       {"FS (p=0.9,s=1)", 0.9, 1.0}, {"FU (p=0.9,s=5)", 0.9, 5.0}};
   const double alphas[] = {0.05, 0.1, 0.2, 0.5, 1.0};
+  constexpr size_t kJobsPerStream = 1 + std::size(alphas);
 
-  std::vector<std::string> header = {"stream"};
-  for (double a : alphas) header.push_back("a=" + ReportTable::Num(a, 2));
-  ReportTable table(header);
-
+  std::deque<ProblemInstance> instances;
+  std::vector<SweepJob> jobs;
   for (const Stream& stream : streams) {
     Rng rng(77);
     const ArrivalSequence arrivals = MakePaperNonUniformArrivals(
         2, horizon, stream.p, 1.0, stream.sigma, rng);
-    const ProblemInstance instance{model, arrivals, budget};
-    const PlanSearchResult optimal = FindOptimalLgmPlan(instance);
-
-    std::vector<std::string> row = {stream.label};
+    const ProblemInstance& instance =
+        instances.emplace_back(ProblemInstance{model, arrivals, budget});
+    jobs.push_back(MakePlanJob(stream.label, "OPT_LGM", instance));
     for (double alpha : alphas) {
-      OnlineOptions options;
-      options.rate_ewma_alpha = alpha;
-      OnlinePolicy online(options);
-      const double cost =
-          Simulate(instance, online, {.record_steps = false}).total_cost;
-      row.push_back(ReportTable::Num(cost / optimal.cost, 4));
+      jobs.push_back(MakeSimulateJob(
+          stream.label, "a=" + ReportTable::Num(alpha, 2), instance,
+          [alpha] {
+            OnlineOptions options;
+            options.rate_ewma_alpha = alpha;
+            return std::make_unique<OnlinePolicy>(options);
+          },
+          {.record_steps = false}));
+    }
+  }
+  const std::vector<SweepJobResult> results =
+      bench::RunReportedSweep(jobs, sweep);
+
+  std::vector<std::string> header = {"stream"};
+  for (double a : alphas) header.push_back("a=" + ReportTable::Num(a, 2));
+  ReportTable table(header);
+  for (size_t i = 0; i + kJobsPerStream - 1 < results.size();
+       i += kJobsPerStream) {
+    const double opt_cost = results[i].total_cost;
+    std::vector<std::string> row = {results[i].scenario};
+    for (size_t j = 1; j < kJobsPerStream; ++j) {
+      row.push_back(
+          ReportTable::Num(results[i + j].total_cost / opt_cost, 4));
     }
     table.AddRow(std::move(row));
   }
   table.PrintAligned(std::cout);
+  bench::WriteBenchMetrics("abl_online", results);
   std::cout << "\nExpected: ratios near 1 on the stable stream for all "
                "alphas; the unstable stream is more sensitive to the "
                "estimator (the paper's explanation for Figure 7's FU "
@@ -68,7 +91,7 @@ void Run() {
 }  // namespace
 }  // namespace abivm
 
-int main() {
-  abivm::Run();
+int main(int argc, char** argv) {
+  abivm::Run(argc, argv);
   return 0;
 }

@@ -2,16 +2,22 @@
 // lists stronger online algorithms as future work) against ONLINE, NAIVE
 // and the clairvoyant OPT_LGM on streams whose rates drift over time --
 // the regime where a one-step amortized heuristic has the least foresight.
+//
+// The (stream, policy) points run as one parallel sweep (--threads=N);
+// REPLAN's per-job planner counters (plans computed, deviations, A* nodes
+// across replans) land in BENCH_abl_replanning_metrics.json.
 
+#include <deque>
 #include <iostream>
 #include <memory>
 
+#include "bench/bench_util.h"
 #include "core/astar.h"
 #include "core/naive.h"
 #include "core/online.h"
 #include "core/replan.h"
 #include "sim/report.h"
-#include "sim/simulator.h"
+#include "sim/sweep.h"
 #include "tpc/arrivals_gen.h"
 
 namespace abivm {
@@ -28,7 +34,8 @@ ArrivalSequence DriftingArrivals(TimeStep horizon) {
   return ArrivalSequence(std::move(steps));
 }
 
-void Run() {
+void Run(int argc, char** argv) {
+  const SweepOptions sweep = bench::SweepFromFlags(argc, argv);
   std::cout << "=== REPLAN ablation: drifting arrival rates, T = 999 "
                "===\n\n";
   std::vector<CostFunctionPtr> fns = {
@@ -36,8 +43,6 @@ void Run() {
       std::make_shared<LinearCost>(0.2, 6.0)};
   const CostModel model(std::move(fns));
 
-  ReportTable table({"stream", "NAIVE", "ONLINE", "REPLAN", "OPT_LGM",
-                     "ONLINE/OPT", "REPLAN/OPT", "replans"});
   struct Row {
     const char* label;
     ArrivalSequence arrivals;
@@ -50,28 +55,45 @@ void Run() {
   rows.push_back(
       {"poisson", MakePoissonArrivals({1.0, 0.7}, 999, rng)});
 
+  std::deque<ProblemInstance> instances;
+  std::vector<SweepJob> jobs;
   for (const Row& row : rows) {
-    const ProblemInstance instance{model, row.arrivals, 20.0};
-    NaivePolicy naive;
-    const double naive_cost =
-        Simulate(instance, naive, {.record_steps = false}).total_cost;
-    OnlinePolicy online;
-    const double online_cost =
-        Simulate(instance, online, {.record_steps = false}).total_cost;
-    ReplanningPolicy replan;
-    const double replan_cost =
-        Simulate(instance, replan, {.record_steps = false}).total_cost;
-    const PlanSearchResult optimal = FindOptimalLgmPlan(instance);
+    const ProblemInstance& instance = instances.emplace_back(
+        ProblemInstance{model, row.arrivals, 20.0});
+    jobs.push_back(MakeSimulateJob(
+        row.label, "NAIVE", instance,
+        [] { return std::make_unique<NaivePolicy>(); },
+        {.record_steps = false}));
+    jobs.push_back(MakeSimulateJob(
+        row.label, "ONLINE", instance,
+        [] { return std::make_unique<OnlinePolicy>(); },
+        {.record_steps = false}));
+    jobs.push_back(MakeSimulateJob(
+        row.label, "REPLAN", instance,
+        [] { return std::make_unique<ReplanningPolicy>(); },
+        {.record_steps = false}));
+    jobs.push_back(MakePlanJob(row.label, "OPT_LGM", instance));
+  }
+  const std::vector<SweepJobResult> results =
+      bench::RunReportedSweep(jobs, sweep);
 
-    table.AddRow({row.label, ReportTable::Num(naive_cost, 1),
-                  ReportTable::Num(online_cost, 1),
-                  ReportTable::Num(replan_cost, 1),
-                  ReportTable::Num(optimal.cost, 1),
-                  ReportTable::Num(online_cost / optimal.cost, 3),
-                  ReportTable::Num(replan_cost / optimal.cost, 3),
-                  std::to_string(replan.plans_computed())});
+  ReportTable table({"stream", "NAIVE", "ONLINE", "REPLAN", "OPT_LGM",
+                     "ONLINE/OPT", "REPLAN/OPT", "replans"});
+  for (size_t i = 0; i + 3 < results.size(); i += 4) {
+    const double online_cost = results[i + 1].total_cost;
+    const double replan_cost = results[i + 2].total_cost;
+    const double opt_cost = results[i + 3].total_cost;
+    table.AddRow(
+        {results[i].scenario, ReportTable::Num(results[i].total_cost, 1),
+         ReportTable::Num(online_cost, 1),
+         ReportTable::Num(replan_cost, 1), ReportTable::Num(opt_cost, 1),
+         ReportTable::Num(online_cost / opt_cost, 3),
+         ReportTable::Num(replan_cost / opt_cost, 3),
+         std::to_string(
+             bench::CounterOr(results[i + 2], "replan.plans_computed"))});
   }
   table.PrintAligned(std::cout);
+  bench::WriteBenchMetrics("abl_replanning", results);
   std::cout << "\nExpected: both heuristics beat NAIVE on every stream; "
                "REPLAN's lookahead wins on smoothly drifting rates, while "
                "ONLINE's reactive rule handles on/off bursts better (rate "
@@ -82,7 +104,7 @@ void Run() {
 }  // namespace
 }  // namespace abivm
 
-int main() {
-  abivm::Run();
+int main(int argc, char** argv) {
+  abivm::Run(argc, argv);
   return 0;
 }

@@ -4,40 +4,69 @@
 // best LGM plan is forced to flush every step while a non-LGM plan can
 // stay ahead by pre-processing one modification. The OPT_LGM / OPT ratio
 // approaches 2 as eps -> 0 (Theorem 1 is tight).
+//
+// Each epsilon point (one A* search + one exhaustive search) is an
+// independent sweep job; metrics land in BENCH_abl_tightness_metrics.json.
 
+#include <deque>
 #include <iostream>
 
+#include "bench/bench_util.h"
 #include "core/astar.h"
 #include "core/exhaustive.h"
 #include "sim/report.h"
+#include "sim/sweep.h"
 
 namespace abivm {
 namespace {
 
-void Run() {
+void Run(int argc, char** argv) {
+  const SweepOptions sweep = bench::SweepFromFlags(argc, argv);
   std::cout << "=== Theorem 1 tightness: OPT_LGM / OPT on the Section 3.2 "
                "instance ===\n\n";
   const double c = 10.0;
-  ReportTable table({"epsilon", "arrivals/step", "OPT_LGM", "OPT",
-                     "ratio", "2-eps"});
-  for (double eps : {1.0, 0.5, 0.25, 0.125}) {
+  const double epsilons[] = {1.0, 0.5, 0.25, 0.125};
+
+  std::deque<ProblemInstance> instances;
+  std::vector<SweepJob> jobs;
+  for (double eps : epsilons) {
     const auto per_step = static_cast<Count>(2.0 / eps) + 1;
     const TimeStep horizon = 5;  // m = 3 periods
     std::vector<CostFunctionPtr> fns = {MakePaperGapCost(eps, c)};
-    const ProblemInstance instance{
-        CostModel(std::move(fns)),
-        ArrivalSequence::Uniform({per_step}, horizon), c};
+    const ProblemInstance& instance = instances.emplace_back(
+        ProblemInstance{CostModel(std::move(fns)),
+                        ArrivalSequence::Uniform({per_step}, horizon), c});
+    SweepJob job;
+    job.scenario = "eps=" + ReportTable::Num(eps, 3);
+    job.label = "LGM_vs_OPT";
+    job.run = [&instance](obs::MetricRegistry& registry,
+                          SweepJobResult& result) {
+      AStarOptions options;
+      options.metrics = &registry;
+      const PlanSearchResult lgm = FindOptimalLgmPlan(instance, options);
+      const MaintenancePlan opt = ExhaustiveOptimalPlan(instance);
+      result.total_cost = lgm.cost;
+      result.values["opt_cost"] = opt.TotalCost(instance.cost_model);
+    };
+    jobs.push_back(std::move(job));
+  }
+  const std::vector<SweepJobResult> results =
+      bench::RunReportedSweep(jobs, sweep);
 
-    const PlanSearchResult lgm = FindOptimalLgmPlan(instance);
-    const MaintenancePlan opt = ExhaustiveOptimalPlan(instance);
-    const double opt_cost = opt.TotalCost(instance.cost_model);
+  ReportTable table({"epsilon", "arrivals/step", "OPT_LGM", "OPT",
+                     "ratio", "2-eps"});
+  for (size_t i = 0; i < results.size(); ++i) {
+    const double eps = epsilons[i];
+    const auto per_step = static_cast<Count>(2.0 / eps) + 1;
+    const double opt_cost = results[i].values.at("opt_cost");
     table.AddRow({ReportTable::Num(eps, 3), std::to_string(per_step),
-                  ReportTable::Num(lgm.cost, 2),
+                  ReportTable::Num(results[i].total_cost, 2),
                   ReportTable::Num(opt_cost, 2),
-                  ReportTable::Num(lgm.cost / opt_cost, 4),
+                  ReportTable::Num(results[i].total_cost / opt_cost, 4),
                   ReportTable::Num(2.0 - eps, 3)});
   }
   table.PrintAligned(std::cout);
+  bench::WriteBenchMetrics("abl_tightness", results);
   std::cout << "\nExpected: ratio >= 2 - eps for every row (and always "
                "<= 2, Theorem 1).\n";
 }
@@ -45,7 +74,7 @@ void Run() {
 }  // namespace
 }  // namespace abivm
 
-int main() {
-  abivm::Run();
+int main(int argc, char** argv) {
+  abivm::Run(argc, argv);
   return 0;
 }

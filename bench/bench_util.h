@@ -7,13 +7,19 @@
 #define ABIVM_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "ivm/calibrator.h"
 #include "ivm/maintainer.h"
 #include "sim/engine_runner.h"
+#include "sim/sweep.h"
 #include "tpc/tpc_gen.h"
 #include "tpc/update_stream.h"
 #include "tpc/views.h"
@@ -101,10 +107,64 @@ inline double FlagOr(int argc, char** argv, const std::string& name,
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind(prefix, 0) == 0) {
-      return std::stod(arg.substr(prefix.size()));
+      const std::string text = arg.substr(prefix.size());
+      try {
+        size_t consumed = 0;
+        const double value = std::stod(text, &consumed);
+        if (consumed == text.size()) return value;
+      } catch (const std::exception&) {
+      }
+      std::cerr << "error: --" << name << " expects a number, got \"" << text
+                << "\"\n";
+      std::exit(2);
     }
   }
   return fallback;
+}
+
+/// Sweep configuration from the common --threads flag (0 = one worker per
+/// hardware thread).
+inline SweepOptions SweepFromFlags(int argc, char** argv) {
+  SweepOptions options;
+  options.threads =
+      static_cast<size_t>(FlagOr(argc, argv, "threads", 0.0));
+  return options;
+}
+
+/// Runs the sweep and prints one line of engine telemetry (job count,
+/// worker count, wall time) so --threads comparisons are self-reporting.
+inline std::vector<SweepJobResult> RunReportedSweep(
+    const std::vector<SweepJob>& jobs, const SweepOptions& options) {
+  const size_t workers = options.threads == 0
+                             ? ThreadPool::DefaultThreads()
+                             : options.threads;
+  const Stopwatch watch;
+  std::vector<SweepJobResult> results = RunSweep(jobs, options);
+  std::printf("[sweep] %zu jobs on %zu worker thread%s in %.1f ms\n\n",
+              jobs.size(), workers, workers == 1 ? "" : "s",
+              watch.ElapsedMs());
+  return results;
+}
+
+/// Writes per-job planner/policy metrics to BENCH_<name>_metrics.json in
+/// the working directory.
+inline void WriteBenchMetrics(const std::string& bench_name,
+                              const std::vector<SweepJobResult>& results) {
+  const std::string path = "BENCH_" + bench_name + "_metrics.json";
+  std::ofstream out(path);
+  WriteSweepJson(out, results);
+  out << "\n";
+  std::cout << "[metrics] wrote " << results.size()
+            << " job records to " << path << "\n";
+}
+
+/// Counter lookup in a sweep result's metrics snapshot (fallback when the
+/// job never recorded the name).
+inline uint64_t CounterOr(const SweepJobResult& result,
+                          const std::string& name,
+                          uint64_t fallback = 0) {
+  const auto it = result.metrics.counters.find(name);
+  return it == result.metrics.counters.end() ? fallback : it->second;
 }
 
 }  // namespace abivm::bench

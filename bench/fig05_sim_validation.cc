@@ -7,8 +7,14 @@
 // cost-model simulator and on the real engine, comparing total costs.
 // The paper's finding to reproduce: "negligible difference between the
 // simulated costs and the actual ones" (same ranking, ratios near 1).
+//
+// The six runs (3 plans x {simulator, engine}) are independent: each
+// engine job builds its own database fixture from the same seed, so the
+// sweep is deterministic for any --threads value. Per-job metrics land in
+// BENCH_fig05_metrics.json.
 
 #include <iostream>
+#include <memory>
 
 #include "bench/bench_util.h"
 #include "core/astar.h"
@@ -16,7 +22,7 @@
 #include "core/online.h"
 #include "core/plan_policies.h"
 #include "sim/report.h"
-#include "sim/simulator.h"
+#include "sim/sweep.h"
 
 namespace abivm {
 namespace {
@@ -28,12 +34,41 @@ ArrivalSequence PaperArrivals(size_t n, TimeStep horizon) {
   return ArrivalSequence::Uniform(rates, horizon);
 }
 
+/// Job that replays the policy on the real engine; records `engine.*`
+/// metrics and stores the measured total in values["actual_ms"].
+SweepJob MakeEngineJob(const std::string& label,
+                       const ProblemInstance& instance, double sf,
+                       uint64_t seed, PolicyFactory factory) {
+  SweepJob job;
+  job.scenario = "engine";
+  job.label = label;
+  job.run = [&instance, sf, seed, factory = std::move(factory)](
+                obs::MetricRegistry& registry, SweepJobResult& result) {
+    bench::PaperFixture fx =
+        bench::PaperFixture::Make(sf, seed, /*four_way=*/true);
+    std::unique_ptr<Policy> policy = factory();
+    EngineRunnerOptions options;
+    options.record_steps = false;
+    options.metrics = &registry;
+    const EngineTrace trace = RunOnEngine(
+        *fx.maintainer, instance.arrivals, instance.cost_model,
+        instance.budget, *policy, fx.driver, options);
+    policy->ExportMetrics(registry);
+    result.total_cost = trace.total_model_cost;
+    result.violations = trace.violations;
+    result.action_count = trace.action_count;
+    result.values["actual_ms"] = trace.total_actual_ms;
+  };
+  return job;
+}
+
 void Run(int argc, char** argv) {
   const double sf = bench::FlagOr(argc, argv, "sf", 0.005);
   const auto seed =
       static_cast<uint64_t>(bench::FlagOr(argc, argv, "seed", 42));
   const auto horizon = static_cast<TimeStep>(
       bench::FlagOr(argc, argv, "t", 400));
+  const SweepOptions sweep = bench::SweepFromFlags(argc, argv);
 
   std::cout << "=== Figure 5: simulated vs actual plan cost (sf=" << sf
             << ", T=" << horizon << ") ===\n\n";
@@ -53,39 +88,44 @@ void Run(int argc, char** argv) {
     return v;
   }());
   const ProblemInstance instance{model, PaperArrivals(n, horizon), budget};
+  const PlanSearchResult optimal = FindOptimalLgmPlan(instance);
+
+  struct Treatment {
+    const char* label;
+    PolicyFactory factory;
+  };
+  const Treatment treatments[] = {
+      {"NAIVE", [] { return std::make_unique<NaivePolicy>(); }},
+      {"ONLINE", [] { return std::make_unique<OnlinePolicy>(); }},
+      {"OPT_LGM",
+       [&optimal] {
+         return std::make_unique<PrecomputedPlanPolicy>(optimal.plan,
+                                                        "OPT_LGM");
+       }},
+  };
+
+  std::vector<SweepJob> jobs;
+  for (const Treatment& treatment : treatments) {
+    jobs.push_back(MakeSimulateJob("simulator", treatment.label, instance,
+                                   treatment.factory,
+                                   {.record_steps = false}));
+    jobs.push_back(MakeEngineJob(treatment.label, instance, sf, seed,
+                                 treatment.factory));
+  }
+  const std::vector<SweepJobResult> results =
+      bench::RunReportedSweep(jobs, sweep);
 
   ReportTable table({"plan", "simulated_cost_ms", "actual_engine_ms",
                      "actual/simulated"});
-  auto run_both = [&](Policy& sim_policy, Policy& engine_policy,
-                      const std::string& name) {
-    const Trace sim =
-        Simulate(instance, sim_policy, {.record_steps = false});
-    bench::PaperFixture fx =
-        bench::PaperFixture::Make(sf, seed, /*four_way=*/true);
-    const EngineTrace engine =
-        RunOnEngine(*fx.maintainer, instance.arrivals, model, budget,
-                    engine_policy, fx.driver, {.record_steps = false});
-    table.AddRow({name, ReportTable::Num(sim.total_cost, 2),
-                  ReportTable::Num(engine.total_actual_ms, 2),
-                  ReportTable::Num(
-                      engine.total_actual_ms / sim.total_cost, 3)});
-  };
-
-  {
-    NaivePolicy a, b;
-    run_both(a, b, "NAIVE");
-  }
-  {
-    OnlinePolicy a, b;
-    run_both(a, b, "ONLINE");
-  }
-  {
-    const PlanSearchResult optimal = FindOptimalLgmPlan(instance);
-    PrecomputedPlanPolicy a(optimal.plan, "OPT_LGM");
-    PrecomputedPlanPolicy b(optimal.plan, "OPT_LGM");
-    run_both(a, b, "OPT_LGM");
+  for (size_t i = 0; i + 1 < results.size(); i += 2) {
+    const double simulated = results[i].total_cost;
+    const double actual = results[i + 1].values.at("actual_ms");
+    table.AddRow({results[i].label, ReportTable::Num(simulated, 2),
+                  ReportTable::Num(actual, 2),
+                  ReportTable::Num(actual / simulated, 3)});
   }
   table.PrintAligned(std::cout);
+  bench::WriteBenchMetrics("fig05", results);
   std::cout << "\nPaper's shape: simulated and actual costs nearly "
                "coincide for every plan (their Figure 5 shows negligible "
                "differences), so ranking plans by simulated cost is "

@@ -14,8 +14,15 @@
 //   * engine-calibrated: functions measured and fitted from our engine.
 // Paper's shape to reproduce: NAIVE clearly worst; ADAPT and ONLINE very
 // close to OPT_LGM across the whole range.
+//
+// All (T, policy) points are independent, so they run as one parallel
+// sweep (--threads=N, 0 = auto); per-job planner/policy metrics land in
+// BENCH_fig06_metrics.json.
 
+#include <deque>
 #include <iostream>
+#include <iterator>
+#include <memory>
 
 #include "bench/bench_util.h"
 #include "core/astar.h"
@@ -23,13 +30,15 @@
 #include "core/online.h"
 #include "core/plan_policies.h"
 #include "sim/report.h"
-#include "sim/simulator.h"
+#include "sim/sweep.h"
 
 namespace abivm {
 namespace {
 
-void RunConfig(const std::string& title, const CostModel& model,
-               double budget) {
+std::vector<SweepJobResult> RunConfig(const std::string& title,
+                                      const std::string& scenario_prefix,
+                                      const CostModel& model, double budget,
+                                      const SweepOptions& sweep) {
   std::cout << "--- " << title << " (C = " << ReportTable::Num(budget, 2)
             << " ms) ---\n";
   // ADAPT's base plan: optimized for T0 = 500 with uniform arrivals.
@@ -38,46 +47,67 @@ void RunConfig(const std::string& title, const CostModel& model,
       model, ArrivalSequence::Uniform({1, 1}, t0), budget};
   const PlanSearchResult plan_t0 = FindOptimalLgmPlan(base);
 
+  // One job per (T, policy) point; instances live in the deque until the
+  // sweep returns (jobs hold references).
+  std::deque<ProblemInstance> instances;
+  std::vector<SweepJob> jobs;
+  for (TimeStep horizon = 100; horizon <= 1000; horizon += 100) {
+    const ProblemInstance& instance = instances.emplace_back(ProblemInstance{
+        model, ArrivalSequence::Uniform({1, 1}, horizon), budget});
+    const std::string scenario =
+        scenario_prefix + "/T=" + std::to_string(horizon);
+    jobs.push_back(MakeSimulateJob(
+        scenario, "NAIVE", instance,
+        [] { return std::make_unique<NaivePolicy>(); },
+        {.record_steps = false}));
+    jobs.push_back(MakePlanJob(scenario, "OPT_LGM", instance));
+    jobs.push_back(MakeSimulateJob(
+        scenario, "ADAPT", instance,
+        [&plan_t0] { return std::make_unique<AdaptPolicy>(plan_t0.plan); },
+        {.record_steps = false}));
+    jobs.push_back(MakeSimulateJob(
+        scenario, "ONLINE", instance,
+        [] { return std::make_unique<OnlinePolicy>(); },
+        {.record_steps = false}));
+  }
+  const std::vector<SweepJobResult> results =
+      bench::RunReportedSweep(jobs, sweep);
+
   ReportTable table({"refresh_T", "NAIVE", "OPT_LGM", "ADAPT(T0=500)",
                      "ONLINE", "NAIVE/OPT"});
-  for (TimeStep horizon = 100; horizon <= 1000; horizon += 100) {
-    const ProblemInstance instance{
-        model, ArrivalSequence::Uniform({1, 1}, horizon), budget};
-
-    NaivePolicy naive;
-    const double naive_cost =
-        Simulate(instance, naive, {.record_steps = false}).total_cost;
-    const PlanSearchResult optimal = FindOptimalLgmPlan(instance);
-    AdaptPolicy adapt(plan_t0.plan);
-    const double adapt_cost =
-        Simulate(instance, adapt, {.record_steps = false}).total_cost;
-    OnlinePolicy online;
-    const double online_cost =
-        Simulate(instance, online, {.record_steps = false}).total_cost;
-
+  for (size_t i = 0; i + 3 < results.size(); i += 4) {
+    const double naive_cost = results[i].total_cost;
+    const double opt_cost = results[i + 1].total_cost;
+    const TimeStep horizon = 100 + 100 * static_cast<TimeStep>(i / 4);
     table.AddRow({std::to_string(horizon), ReportTable::Num(naive_cost, 2),
-                  ReportTable::Num(optimal.cost, 2),
-                  ReportTable::Num(adapt_cost, 2),
-                  ReportTable::Num(online_cost, 2),
-                  ReportTable::Num(naive_cost / optimal.cost, 3)});
+                  ReportTable::Num(opt_cost, 2),
+                  ReportTable::Num(results[i + 2].total_cost, 2),
+                  ReportTable::Num(results[i + 3].total_cost, 2),
+                  ReportTable::Num(naive_cost / opt_cost, 3)});
   }
   table.PrintAligned(std::cout);
   std::cout << "\n";
+  return results;
 }
 
 void Run(int argc, char** argv) {
   const double sf = bench::FlagOr(argc, argv, "sf", 0.02);
   const auto seed =
       static_cast<uint64_t>(bench::FlagOr(argc, argv, "seed", 42));
+  const SweepOptions sweep = bench::SweepFromFlags(argc, argv);
 
   std::cout << "=== Figure 6: total cost vs refresh time "
             << "(1 + 1 updates per step) ===\n\n";
 
+  std::vector<SweepJobResult> all;
   {
     std::vector<CostFunctionPtr> fns = {MakePaperFig1LinearSideCost(),
                                         MakePaperFig1ScanSideCost()};
-    RunConfig("paper-digitized cost functions", CostModel(std::move(fns)),
-              kPaperFig1BudgetMs);
+    std::vector<SweepJobResult> results =
+        RunConfig("paper-digitized cost functions", "paper",
+                  CostModel(std::move(fns)), kPaperFig1BudgetMs, sweep);
+    all.insert(all.end(), std::make_move_iterator(results.begin()),
+               std::make_move_iterator(results.end()));
   }
   {
     bench::PaperFixture fx =
@@ -85,10 +115,14 @@ void Run(int argc, char** argv) {
     const bench::CalibratedCosts costs = bench::CalibratePaperCosts(
         fx, 600, {1, 25, 50, 100, 200, 400, 600});
     const CostModel model = bench::ModelFromCalibration(costs, 2);
-    RunConfig("engine-calibrated cost functions (4-way MIN view, sf=" +
-                  ReportTable::Num(sf, 3) + ")",
-              model, model.TotalCost({25, 25}));
+    std::vector<SweepJobResult> results = RunConfig(
+        "engine-calibrated cost functions (4-way MIN view, sf=" +
+            ReportTable::Num(sf, 3) + ")",
+        "calibrated", model, model.TotalCost({25, 25}), sweep);
+    all.insert(all.end(), std::make_move_iterator(results.begin()),
+               std::make_move_iterator(results.end()));
   }
+  bench::WriteBenchMetrics("fig06", all);
   std::cout << "Paper's shape: NAIVE is clearly outperformed by all other "
                "approaches; ADAPT and ONLINE track OPT_LGM closely even "
                "with less advance knowledge.\n";

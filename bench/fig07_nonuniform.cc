@@ -6,12 +6,20 @@
 //   slow p = 0.5, fast p = 0.9; stable sigma = 1, unstable sigma = 5;
 //   mu = 1. Refresh at T = 1000.
 // Like Figure 6, two cost configurations are reported: the paper's
-// digitized Figure-1 functions and our engine-calibrated functions. Paper's shape to reproduce: NAIVE worst on all four streams;
+// digitized Figure-1 functions and our engine-calibrated functions.
+// Paper's shape to reproduce: NAIVE worst on all four streams;
 // ONLINE close to OPT_LGM on stable streams, with a visible gap on
 // unstable streams due to TimeToFull prediction error.
+//
+// All (stream, policy) points run as one parallel sweep (--threads=N,
+// 0 = auto); ADAPT's T0-truncated planning happens inside its job so it
+// overlaps with the other points. Metrics: BENCH_fig07_metrics.json.
 
 #include <algorithm>
+#include <deque>
 #include <iostream>
+#include <iterator>
+#include <memory>
 
 #include "bench/bench_util.h"
 #include "core/astar.h"
@@ -19,7 +27,7 @@
 #include "core/online.h"
 #include "core/plan_policies.h"
 #include "sim/report.h"
-#include "sim/simulator.h"
+#include "sim/sweep.h"
 #include "tpc/arrivals_gen.h"
 
 namespace abivm {
@@ -36,43 +44,83 @@ constexpr Stream kStreams[] = {{"SS", 0.5, 1.0},
                                {"FS", 0.9, 1.0},
                                {"FU", 0.9, 5.0}};
 
-void RunConfig(const std::string& title, const CostModel& model,
-               double budget, TimeStep horizon, uint64_t seed) {
+/// ADAPT on a non-uniform stream: plan on the stream truncated at T0,
+/// execute against the full stream. The (A*) planning runs inside the job.
+SweepJob MakeAdaptJob(const std::string& scenario,
+                      const ProblemInstance& instance,
+                      const ProblemInstance& base) {
+  SweepJob job;
+  job.scenario = scenario;
+  job.label = "ADAPT";
+  job.run = [&instance, &base](obs::MetricRegistry& registry,
+                               SweepJobResult& result) {
+    AStarOptions plan_options;
+    plan_options.metrics = &registry;
+    AdaptPolicy adapt(FindOptimalLgmPlan(base, plan_options).plan);
+    SimulatorOptions options;
+    options.record_steps = false;
+    options.metrics = &registry;
+    const Trace trace = Simulate(instance, adapt, options);
+    adapt.ExportMetrics(registry);
+    result.total_cost = trace.total_cost;
+    result.violations = trace.violations;
+    result.action_count = trace.action_count;
+  };
+  return job;
+}
+
+std::vector<SweepJobResult> RunConfig(const std::string& title,
+                                      const std::string& scenario_prefix,
+                                      const CostModel& model, double budget,
+                                      TimeStep horizon, uint64_t seed,
+                                      const SweepOptions& sweep) {
   std::cout << "--- " << title << " (C = " << ReportTable::Num(budget, 2)
             << " ms, T = " << horizon << ") ---\n";
-  ReportTable table({"stream", "NAIVE", "OPT_LGM", "ADAPT(T0=500)",
-                     "ONLINE", "NAIVE/OPT", "ONLINE/OPT"});
+
+  std::deque<ProblemInstance> instances;
+  std::vector<SweepJob> jobs;
   for (const Stream& stream : kStreams) {
     Rng rng(seed + static_cast<uint64_t>(stream.p * 10) +
             static_cast<uint64_t>(stream.sigma));
     const ArrivalSequence arrivals = MakePaperNonUniformArrivals(
         2, horizon, stream.p, /*mu=*/1.0, stream.sigma, rng);
-    const ProblemInstance instance{model, arrivals, budget};
-
-    NaivePolicy naive;
-    const double naive_cost =
-        Simulate(instance, naive, {.record_steps = false}).total_cost;
-    const PlanSearchResult optimal = FindOptimalLgmPlan(instance);
-    // ADAPT: plan optimized on the same stream truncated at T0 = 500,
-    // then executed against the full stream.
+    const ProblemInstance& instance =
+        instances.emplace_back(ProblemInstance{model, arrivals, budget});
+    // ADAPT's base: the same stream truncated at T0 = 500.
     const TimeStep t0 = std::min<TimeStep>(500, horizon);
-    const ProblemInstance base{model, arrivals.Truncate(t0), budget};
-    AdaptPolicy adapt(FindOptimalLgmPlan(base).plan);
-    const double adapt_cost =
-        Simulate(instance, adapt, {.record_steps = false}).total_cost;
-    OnlinePolicy online;
-    const double online_cost =
-        Simulate(instance, online, {.record_steps = false}).total_cost;
+    const ProblemInstance& base = instances.emplace_back(
+        ProblemInstance{model, instance.arrivals.Truncate(t0), budget});
+    const std::string scenario = scenario_prefix + "/" + stream.label;
+    jobs.push_back(MakeSimulateJob(
+        scenario, "NAIVE", instance,
+        [] { return std::make_unique<NaivePolicy>(); },
+        {.record_steps = false}));
+    jobs.push_back(MakePlanJob(scenario, "OPT_LGM", instance));
+    jobs.push_back(MakeAdaptJob(scenario, instance, base));
+    jobs.push_back(MakeSimulateJob(
+        scenario, "ONLINE", instance,
+        [] { return std::make_unique<OnlinePolicy>(); },
+        {.record_steps = false}));
+  }
+  const std::vector<SweepJobResult> results =
+      bench::RunReportedSweep(jobs, sweep);
 
-    table.AddRow({stream.label, ReportTable::Num(naive_cost, 2),
-                  ReportTable::Num(optimal.cost, 2),
-                  ReportTable::Num(adapt_cost, 2),
+  ReportTable table({"stream", "NAIVE", "OPT_LGM", "ADAPT(T0=500)",
+                     "ONLINE", "NAIVE/OPT", "ONLINE/OPT"});
+  for (size_t i = 0; i + 3 < results.size(); i += 4) {
+    const double naive_cost = results[i].total_cost;
+    const double opt_cost = results[i + 1].total_cost;
+    const double online_cost = results[i + 3].total_cost;
+    table.AddRow({kStreams[i / 4].label, ReportTable::Num(naive_cost, 2),
+                  ReportTable::Num(opt_cost, 2),
+                  ReportTable::Num(results[i + 2].total_cost, 2),
                   ReportTable::Num(online_cost, 2),
-                  ReportTable::Num(naive_cost / optimal.cost, 3),
-                  ReportTable::Num(online_cost / optimal.cost, 3)});
+                  ReportTable::Num(naive_cost / opt_cost, 3),
+                  ReportTable::Num(online_cost / opt_cost, 3)});
   }
   table.PrintAligned(std::cout);
   std::cout << "\n";
+  return results;
 }
 
 void Run(int argc, char** argv) {
@@ -81,9 +129,11 @@ void Run(int argc, char** argv) {
       static_cast<uint64_t>(bench::FlagOr(argc, argv, "seed", 42));
   const auto horizon =
       static_cast<TimeStep>(bench::FlagOr(argc, argv, "t", 1000));
+  const SweepOptions sweep = bench::SweepFromFlags(argc, argv);
 
   std::cout << "=== Figure 7: non-uniform arrivals ===\n\n";
 
+  std::vector<SweepJobResult> all;
   {
     std::vector<CostFunctionPtr> fns = {MakePaperFig1LinearSideCost(),
                                         MakePaperFig1ScanSideCost()};
@@ -91,9 +141,12 @@ void Run(int argc, char** argv) {
     // because the non-uniform streams are heavier; our digitized Figure-1
     // functions already interact non-trivially with C = 350 ms (the scan
     // side's plateau sits just above it), so we keep that constraint.
-    RunConfig("paper-digitized cost functions",
-              CostModel(std::move(fns)), kPaperFig1BudgetMs, horizon,
-              seed);
+    std::vector<SweepJobResult> results = RunConfig(
+        "paper-digitized cost functions", "paper",
+        CostModel(std::move(fns)), kPaperFig1BudgetMs, horizon, seed,
+        sweep);
+    all.insert(all.end(), std::make_move_iterator(results.begin()),
+               std::make_move_iterator(results.end()));
   }
   {
     bench::PaperFixture fx =
@@ -101,10 +154,15 @@ void Run(int argc, char** argv) {
     const bench::CalibratedCosts costs = bench::CalibratePaperCosts(
         fx, 600, {1, 25, 50, 100, 200, 400, 600});
     const CostModel model = bench::ModelFromCalibration(costs, 2);
-    RunConfig("engine-calibrated cost functions (4-way MIN view, sf=" +
-                  ReportTable::Num(sf, 3) + ")",
-              model, model.TotalCost({42, 42}), horizon, seed);
+    std::vector<SweepJobResult> results = RunConfig(
+        "engine-calibrated cost functions (4-way MIN view, sf=" +
+            ReportTable::Num(sf, 3) + ")",
+        "calibrated", model, model.TotalCost({42, 42}), horizon, seed,
+        sweep);
+    all.insert(all.end(), std::make_move_iterator(results.begin()),
+               std::make_move_iterator(results.end()));
   }
+  bench::WriteBenchMetrics("fig07", all);
   std::cout << "Paper's shape: NAIVE outperformed on all four streams; "
                "ONLINE near-optimal on stable streams (SS, FS), larger "
                "gap on unstable ones (SU, FU) from TimeToFull prediction "

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Sanitizer gate: builds and runs the full test suite under ASan+UBSan
+# and again under TSan, then smoke-runs two parallel bench drivers under
+# TSan. Use before merging anything that touches threading or memory
+# management.
+#
+#   scripts/check.sh            # asan suite + tsan suite + bench smoke
+#   scripts/check.sh --fast     # skip the asan suite, tsan only
+set -u
+cd "$(dirname "$0")/.."
+
+# NOTE: `ctest -j` with no value swallows the next argument, so always
+# pass the count explicitly.
+jobs="$(nproc)"
+
+fast=0
+for arg in "$@"; do
+  [ "$arg" = "--fast" ] && fast=1
+done
+
+fail=0
+
+if [ "$fast" -eq 0 ]; then
+  echo "=== ASan + UBSan: full test suite ==="
+  cmake --preset asan || exit 1
+  cmake --build --preset asan -j "$jobs" || exit 1
+  ctest --preset asan -j "$jobs" || fail=1
+fi
+
+echo "=== TSan: full test suite ==="
+cmake --preset tsan || exit 1
+cmake --build --preset tsan -j "$jobs" || exit 1
+# The thread pool and sweep engine are where data races would live; the
+# bench smoke runs exercise the pool under the real drivers.
+ctest --preset tsan -j "$jobs" || fail=1
+(cd build-tsan/bench && ./abl_tightness --threads=4 >/dev/null) || fail=1
+(cd build-tsan/bench && ./abl_cost_shapes --threads=4 >/dev/null) || fail=1
+
+if [ "$fail" -ne 0 ]; then
+  echo "check.sh: FAILURES (see above)"
+  exit 1
+fi
+echo "check.sh: all clean"

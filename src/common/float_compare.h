@@ -1,0 +1,43 @@
+// Epsilon-tolerant comparisons for cost/budget arithmetic.
+//
+// Costs are sums (and differences) of doubles, so two mathematically
+// equal quantities -- e.g. f(residue) computed directly by
+// CostModel::TotalCost versus as `total - flushed` inside the subset
+// enumeration -- can differ by a few ulps. A strict `> budget` test then
+// lets the two callers disagree about whether the same state is full,
+// misclassifying boundary subsets as valid/minimal. Every fullness /
+// budget-validity decision must go through these helpers so the whole
+// codebase shares one notion of "within budget".
+
+#ifndef ABIVM_COMMON_FLOAT_COMPARE_H_
+#define ABIVM_COMMON_FLOAT_COMPARE_H_
+
+#include <algorithm>
+#include <cmath>
+
+namespace abivm {
+
+/// Relative half-width of the budget-comparison tolerance band. Large
+/// enough to absorb accumulated rounding over realistic cost sums (a few
+/// hundred terms), small enough that no experiment's intentional margins
+/// (which are many orders of magnitude wider) are affected.
+inline constexpr double kCostEpsilon = 1e-9;
+
+/// True iff `cost <= budget` up to tolerance: values within
+/// kCostEpsilon * max(1, |cost|, |budget|) of the boundary count as
+/// within budget.
+inline bool CostWithinBudget(double cost, double budget) {
+  const double scale =
+      std::max({1.0, std::fabs(cost), std::fabs(budget)});
+  return cost <= budget + kCostEpsilon * scale;
+}
+
+/// True iff `cost > budget` beyond tolerance (the "full"/"invalid" side).
+/// Exact complement of CostWithinBudget.
+inline bool CostExceedsBudget(double cost, double budget) {
+  return !CostWithinBudget(cost, budget);
+}
+
+}  // namespace abivm
+
+#endif  // ABIVM_COMMON_FLOAT_COMPARE_H_

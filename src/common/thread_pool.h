@@ -1,0 +1,57 @@
+// Fixed-size worker pool for CPU-bound fan-out (the sweep engine's
+// substrate). Deliberately minimal: submit void() tasks, wait for all of
+// them; no futures, no cancellation, no work stealing.
+
+#ifndef ABIVM_COMMON_THREAD_POOL_H_
+#define ABIVM_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace abivm {
+
+/// `threads` workers started at construction; destruction drains the
+/// queue (waits for every submitted task) and joins the workers.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; runs as soon as a worker frees up. Tasks must not
+  /// throw (the pool aborts on escaped exceptions, matching the repo's
+  /// CHECK-based error discipline).
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished. Safe to call
+  /// repeatedly and to submit again afterwards.
+  void Wait();
+
+  size_t thread_count() const { return workers_.size(); }
+
+  /// The pool size to use when the caller passes 0 ("auto"): the
+  /// hardware concurrency, at least 1.
+  static size_t DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_idle_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // queued + currently executing
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace abivm
+
+#endif  // ABIVM_COMMON_THREAD_POOL_H_

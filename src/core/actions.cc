@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/check.h"
+#include "common/float_compare.h"
 
 namespace abivm {
 
@@ -45,12 +46,17 @@ std::vector<StateVec> EnumerateMinimalGreedyActions(
     for (size_t j = 0; j < m; ++j) {
       if (mask & (uint64_t{1} << j)) flushed += costs[j];
     }
+    // Epsilon-tolerant comparisons (shared with CostModel::IsFull): the
+    // floating-point subtraction total - flushed may differ from a direct
+    // TotalCost(residual state) by a few ulps, and a strict > here could
+    // classify a boundary subset differently than IsFull does.
     const double residue = total - flushed;
-    if (residue > budget) continue;  // not valid
+    if (CostExceedsBudget(residue, budget)) continue;  // not valid
     // Minimal: removing any single flushed table must break the budget.
     bool minimal = true;
     for (size_t j = 0; j < m && minimal; ++j) {
-      if ((mask & (uint64_t{1} << j)) && residue + costs[j] <= budget) {
+      if ((mask & (uint64_t{1} << j)) &&
+          CostWithinBudget(residue + costs[j], budget)) {
         minimal = false;
       }
     }

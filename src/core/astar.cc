@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/stopwatch.h"
 #include "core/actions.h"
 
 namespace abivm {
@@ -41,6 +42,7 @@ struct NodeInfo {
   // action (with its time) taken on the incoming optimal edge.
   int32_t parent = -1;
   TimeStep action_time = -1;
+  bool expanded = false;  // for the re-expansion statistic
   StateVec action;
 };
 
@@ -111,8 +113,9 @@ class Search {
   // processing a <= b_i modifications costs f_i(a) >= (a/b_i) f_i(b_i),
   // exactly the amount the term decreases. A consistent heuristic means
   // nodes never need re-expansion.
-  double Heuristic(TimeStep t, const StateVec& state) const {
+  double Heuristic(TimeStep t, const StateVec& state) {
     if (!options_.use_heuristic) return 0.0;
+    ++result_.heuristic_evals;
     const TimeStep horizon = instance_.horizon();
     double h = 0.0;
     for (size_t i = 0; i < state.size(); ++i) {
@@ -165,6 +168,10 @@ class Search {
     if (inserted) {
       nodes_.emplace_back();
       nodes_.back().g = kInfinity;
+      // A node is "generated" when it first enters the search graph;
+      // relaxation attempts into existing nodes are counted separately
+      // (result_.relaxations) so the two statistics stay honest.
+      ++result_.nodes_generated;
     }
     return it->second;
   }
@@ -173,14 +180,34 @@ class Search {
              StateVec action, double weight, double h_to) {
     NodeInfo& info = nodes_[static_cast<size_t>(to)];
     const double candidate = nodes_[static_cast<size_t>(from)].g + weight;
-    ++result_.nodes_generated;
+    ++result_.relaxations;
     if (candidate < info.g) {
+      ++result_.edges_improved;
       info.g = candidate;
       info.parent = from;
       info.action_time = action_time;
       info.action = std::move(action);
       frontier_.push({candidate + h_to, candidate, to});
+      if (frontier_.size() > result_.frontier_peak) {
+        result_.frontier_peak = frontier_.size();
+      }
     }
+  }
+
+  // Mirrors the final PlanSearchResult statistics into the caller's
+  // registry (AStarOptions::metrics), if one was supplied.
+  void PublishMetrics() {
+    obs::MetricRegistry* metrics = options_.metrics;
+    if (metrics == nullptr) return;
+    metrics->counter("astar.searches").Add(1);
+    metrics->counter("astar.nodes_expanded").Add(result_.nodes_expanded);
+    metrics->counter("astar.nodes_generated").Add(result_.nodes_generated);
+    metrics->counter("astar.relaxations").Add(result_.relaxations);
+    metrics->counter("astar.edges_improved").Add(result_.edges_improved);
+    metrics->counter("astar.reexpansions").Add(result_.reexpansions);
+    metrics->counter("astar.heuristic_evals").Add(result_.heuristic_evals);
+    metrics->counter("astar.frontier_peak").RaiseTo(result_.frontier_peak);
+    metrics->timer("astar.search_ms").Record(result_.wall_ms);
   }
 
   static constexpr double kInfinity = 1e300;
@@ -201,6 +228,7 @@ class Search {
 };
 
 PlanSearchResult Search::Run() {
+  const Stopwatch watch;
   const TimeStep horizon = instance_.horizon();
   const size_t n = instance_.n();
   ABIVM_CHECK_LE(n, kMaxEnumerationTables);
@@ -232,6 +260,8 @@ PlanSearchResult Search::Run() {
     // No closed set: the heuristic is admissible but not necessarily
     // consistent, so a node may be re-expanded after its g improves.
     ++result_.nodes_expanded;
+    if (info.expanded) ++result_.reexpansions;
+    info.expanded = true;
 
     if (top.node == destination) {
       // Reconstruct the plan by walking back-pointers.
@@ -244,6 +274,8 @@ PlanSearchResult Search::Run() {
         }
         cursor = step.parent;
       }
+      result_.wall_ms = watch.ElapsedMs();
+      PublishMetrics();
       return result_;
     }
 

@@ -19,6 +19,7 @@
 #include <cstdint>
 
 #include "core/plan.h"
+#include "obs/metrics.h"
 
 namespace abivm {
 
@@ -27,10 +28,27 @@ struct PlanSearchResult {
   MaintenancePlan plan;
   /// Total plan cost (== OPT_LGM when the heuristic is admissible).
   double cost = 0.0;
-  /// Nodes popped from the frontier and expanded.
+  /// Nodes popped from the frontier and expanded (stale entries skipped).
   uint64_t nodes_expanded = 0;
-  /// Edges relaxed (successors generated).
+  /// Distinct nodes interned into the search graph (successful interns,
+  /// including source and destination). NOTE: historically this counted
+  /// every relaxation attempt, inflating "generated" by edges into
+  /// already-known nodes; that quantity is now `relaxations`.
   uint64_t nodes_generated = 0;
+  /// Edge relaxation attempts (every successor edge examined, improving
+  /// or not).
+  uint64_t relaxations = 0;
+  /// Relaxations that improved a node's g and (re-)queued it.
+  uint64_t edges_improved = 0;
+  /// Expansions of nodes that had already been expanded at a worse g
+  /// (zero when the heuristic is consistent).
+  uint64_t reexpansions = 0;
+  /// Heuristic evaluations (h is O(n * active-tables) each).
+  uint64_t heuristic_evals = 0;
+  /// Largest frontier (priority-queue) size observed.
+  uint64_t frontier_peak = 0;
+  /// Wall-clock time of the search.
+  double wall_ms = 0.0;
 };
 
 struct AStarOptions {
@@ -43,6 +61,10 @@ struct AStarOptions {
   /// return a suboptimal LGM plan. The default (false) uses the safe
   /// heuristic max(f_i(R), [star-shaped] floor(R/b_i) * f_i(b_i)).
   bool paper_exact_heuristic = false;
+  /// Optional metrics sink: when set, the search publishes its
+  /// PlanSearchResult statistics as `astar.*` counters and an
+  /// `astar.search_ms` timer into the registry on completion.
+  obs::MetricRegistry* metrics = nullptr;
 };
 
 /// Finds a minimum-cost LGM plan for the instance. Requires n <=

@@ -1,5 +1,7 @@
 #include "core/cost_model.h"
 
+#include "common/float_compare.h"
+
 namespace abivm {
 
 CostModel::CostModel(std::vector<CostFunctionPtr> functions)
@@ -21,7 +23,10 @@ double CostModel::TotalCost(const StateVec& v) const {
 }
 
 bool CostModel::IsFull(const StateVec& state, double budget) const {
-  return TotalCost(state) > budget;
+  // Epsilon-tolerant so this test and EnumerateMinimalGreedyActions'
+  // residue arithmetic (total - flushed) can never disagree at the
+  // boundary; see common/float_compare.h.
+  return CostExceedsBudget(TotalCost(state), budget);
 }
 
 const CostFunction& CostModel::function(size_t i) const {

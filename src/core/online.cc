@@ -18,19 +18,29 @@ void OnlinePolicy::Reset(const CostModel& model, double budget) {
   rates_.assign(model.n(), 0.0);
   rates_initialized_ = false;
   cost_so_far_ = 0.0;
+  stats_ = {};
 }
 
 TimeStep OnlinePolicy::TimeToFull(const StateVec& state) const {
   ABIVM_CHECK_MSG(model_.has_value(), "policy not Reset()");
+  ++stats_.time_to_full_calls;
   bool any_rate = false;
   for (double r : rates_) any_rate = any_rate || r > 0.0;
   if (!any_rate) return options_.max_time_to_full;
 
+  // Project each component's expected arrivals tau * rate, rounded to the
+  // nearest count. Flooring instead (the old behaviour) systematically
+  // under-projects growth -- by almost a whole modification per table, a
+  // ceil(1/rate)-step error for fractional EWMA rates -- so TimeToFull
+  // overestimated how long the post-action state could keep batching and
+  // H(q) was biased toward cheap actions. Rounding the expectation is
+  // unbiased and keeps the projection monotone in tau, preserving the
+  // binary-search invariant below.
   auto state_after = [&](TimeStep tau) {
     StateVec projected = state;
     for (size_t i = 0; i < projected.size(); ++i) {
       projected[i] += static_cast<Count>(
-          std::floor(static_cast<double>(tau) * rates_[i]));
+          std::llround(static_cast<double>(tau) * rates_[i]));
     }
     return projected;
   };
@@ -74,6 +84,7 @@ StateVec OnlinePolicy::Act(TimeStep t, const StateVec& pre_state,
 
   const std::vector<StateVec> options =
       EnumerateMinimalGreedyActions(*model_, budget_, pre_state);
+  stats_.candidates_evaluated += options.size();
   const StateVec* best = nullptr;
   double best_h = 0.0;
   for (const StateVec& q : options) {
@@ -87,8 +98,17 @@ StateVec OnlinePolicy::Act(TimeStep t, const StateVec& pre_state,
     }
   }
   ABIVM_CHECK(best != nullptr);
+  ++stats_.actions_taken;
   cost_so_far_ += model_->TotalCost(*best);
   return *best;
+}
+
+void OnlinePolicy::ExportMetrics(obs::MetricRegistry& registry) const {
+  registry.counter("online.actions_taken").Add(stats_.actions_taken);
+  registry.counter("online.candidates_evaluated")
+      .Add(stats_.candidates_evaluated);
+  registry.counter("online.time_to_full_calls")
+      .Add(stats_.time_to_full_calls);
 }
 
 }  // namespace abivm

@@ -28,16 +28,27 @@ struct OnlineOptions {
 
 class OnlinePolicy final : public Policy {
  public:
+  /// Decision counters for the metrics layer (reset by Reset()).
+  struct Stats {
+    uint64_t actions_taken = 0;
+    uint64_t candidates_evaluated = 0;
+    uint64_t time_to_full_calls = 0;
+  };
+
   explicit OnlinePolicy(OnlineOptions options = {});
 
   void Reset(const CostModel& model, double budget) override;
   StateVec Act(TimeStep t, const StateVec& pre_state,
                const StateVec& arrivals_now) override;
   std::string name() const override { return "ONLINE"; }
+  void ExportMetrics(obs::MetricRegistry& registry) const override;
 
   /// Predicted number of steps until arrivals at the estimated rates make
-  /// `state` full again (>= 1; capped). Exposed for tests and ablations.
+  /// `state` full again (>= 1; capped), using the rounded expected
+  /// arrivals round(tau * rate) per table. Exposed for tests/ablations.
   TimeStep TimeToFull(const StateVec& state) const;
+
+  const Stats& stats() const { return stats_; }
 
   /// Current per-table arrival-rate estimates (EWMA of d_t).
   const std::vector<double>& estimated_rates() const { return rates_; }
@@ -52,6 +63,8 @@ class OnlinePolicy final : public Policy {
   std::vector<double> rates_;
   bool rates_initialized_ = false;
   double cost_so_far_ = 0.0;
+  // Mutable: TimeToFull is a const prediction but still a counted event.
+  mutable Stats stats_;
 };
 
 }  // namespace abivm

@@ -10,6 +10,7 @@
 
 #include "core/cost_model.h"
 #include "core/types.h"
+#include "obs/metrics.h"
 
 namespace abivm {
 
@@ -31,6 +32,13 @@ class Policy {
 
   /// Display name for traces and experiment tables.
   virtual std::string name() const = 0;
+
+  /// Publishes the policy's decision statistics (if any) into `registry`
+  /// as `<policy>.*` counters/timers. Called by the sweep engine after a
+  /// run; the default exports nothing.
+  virtual void ExportMetrics(obs::MetricRegistry& registry) const {
+    (void)registry;
+  }
 };
 
 }  // namespace abivm

@@ -25,6 +25,8 @@ void ReplanningPolicy::Reset(const CostModel& model, double budget) {
   plan_epoch_ = 0;
   plans_computed_ = 0;
   deviations_ = 0;
+  planner_nodes_expanded_ = 0;
+  planner_wall_ms_ = 0.0;
 }
 
 ArrivalSequence ReplanningPolicy::ProjectArrivals(
@@ -50,9 +52,20 @@ ArrivalSequence ReplanningPolicy::ProjectArrivals(
 void ReplanningPolicy::Replan(TimeStep t, const StateVec& pre_state) {
   const ProblemInstance projected{*model_, ProjectArrivals(pre_state),
                                   budget_};
-  plan_ = FindOptimalLgmPlan(projected).plan;
+  PlanSearchResult result = FindOptimalLgmPlan(projected);
+  planner_nodes_expanded_ += result.nodes_expanded;
+  planner_wall_ms_ += result.wall_ms;
+  plan_ = std::move(result.plan);
   plan_epoch_ = t;
   ++plans_computed_;
+}
+
+void ReplanningPolicy::ExportMetrics(obs::MetricRegistry& registry) const {
+  registry.counter("replan.plans_computed").Add(plans_computed_);
+  registry.counter("replan.deviations").Add(deviations_);
+  registry.counter("replan.planner_nodes_expanded")
+      .Add(planner_nodes_expanded_);
+  registry.timer("replan.planner_ms").Record(planner_wall_ms_);
 }
 
 StateVec ReplanningPolicy::Act(TimeStep t, const StateVec& pre_state,

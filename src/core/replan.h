@@ -39,11 +39,16 @@ class ReplanningPolicy final : public Policy {
   StateVec Act(TimeStep t, const StateVec& pre_state,
                const StateVec& arrivals_now) override;
   std::string name() const override { return "REPLAN"; }
+  void ExportMetrics(obs::MetricRegistry& registry) const override;
 
   /// How many times the policy invoked the planner (for tests/benches).
   uint64_t plans_computed() const { return plans_computed_; }
   /// Steps where the projection diverged enough to need the fallback.
   uint64_t deviations() const { return deviations_; }
+  /// A* nodes expanded across all replans (planning effort spent).
+  uint64_t planner_nodes_expanded() const { return planner_nodes_expanded_; }
+  /// Wall-clock spent inside the planner across all replans.
+  double planner_wall_ms() const { return planner_wall_ms_; }
 
  private:
   /// Builds the projected arrival sequence: step 0 carries the current
@@ -64,6 +69,8 @@ class ReplanningPolicy final : public Policy {
   TimeStep plan_epoch_ = 0;  // absolute time of the plan's step 0
   uint64_t plans_computed_ = 0;
   uint64_t deviations_ = 0;
+  uint64_t planner_nodes_expanded_ = 0;
+  double planner_wall_ms_ = 0.0;
 };
 
 }  // namespace abivm

@@ -1,0 +1,54 @@
+#include "obs/export.h"
+
+namespace abivm::obs {
+
+void WriteSnapshotJson(JsonWriter& writer, const MetricsSnapshot& snapshot) {
+  writer.BeginObject();
+  if (!snapshot.counters.empty()) {
+    writer.Key("counters");
+    writer.BeginObject();
+    for (const auto& [name, value] : snapshot.counters) {
+      writer.Field(name, value);
+    }
+    writer.EndObject();
+  }
+  if (!snapshot.timers.empty()) {
+    writer.Key("timers");
+    writer.BeginObject();
+    for (const auto& [name, stat] : snapshot.timers) {
+      writer.Key(name);
+      writer.BeginObject();
+      writer.Field("count", stat.count);
+      writer.Field("total_ms", stat.total_ms);
+      writer.Field("max_ms", stat.max_ms);
+      writer.EndObject();
+    }
+    writer.EndObject();
+  }
+  if (!snapshot.histograms.empty()) {
+    writer.Key("histograms");
+    writer.BeginObject();
+    for (const auto& [name, stat] : snapshot.histograms) {
+      writer.Key(name);
+      writer.BeginObject();
+      writer.Field("count", stat.count);
+      writer.Field("sum", stat.sum);
+      writer.Field("min", stat.min);
+      writer.Field("max", stat.max);
+      writer.Key("buckets");
+      writer.BeginArray();
+      for (const auto& [upper, count] : stat.buckets) {
+        writer.BeginObject();
+        writer.Field("le", upper);
+        writer.Field("count", count);
+        writer.EndObject();
+      }
+      writer.EndArray();
+      writer.EndObject();
+    }
+    writer.EndObject();
+  }
+  writer.EndObject();
+}
+
+}  // namespace abivm::obs

@@ -1,0 +1,21 @@
+// JSON serialization of metric snapshots (kept out of metrics.h so the
+// hot-path header stays light).
+
+#ifndef ABIVM_OBS_EXPORT_H_
+#define ABIVM_OBS_EXPORT_H_
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace abivm::obs {
+
+/// Writes the snapshot as one JSON object:
+///   {"counters": {...}, "timers": {"name": {"count":..,"total_ms":..,
+///    "max_ms":..}, ...}, "histograms": {...}}
+/// Sections with no entries are omitted. Must be called where a JSON
+/// value is expected (after Key(), or inside an array).
+void WriteSnapshotJson(JsonWriter& writer, const MetricsSnapshot& snapshot);
+
+}  // namespace abivm::obs
+
+#endif  // ABIVM_OBS_EXPORT_H_

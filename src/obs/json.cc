@@ -1,0 +1,199 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace abivm::obs {
+
+JsonWriter::JsonWriter(std::ostream& os, int indent)
+    : os_(os), indent_(indent) {}
+
+JsonWriter::~JsonWriter() {
+  // Unfinished documents indicate a structural bug in the caller; don't
+  // CHECK in a destructor (it may run during unwinding), just note it.
+  if (!stack_.empty()) os_ << "\n/* unterminated JSON */";
+}
+
+void JsonWriter::NewlineIndent() {
+  if (indent_ <= 0) return;
+  os_ << '\n';
+  for (size_t i = 0; i < stack_.size() * static_cast<size_t>(indent_); ++i) {
+    os_ << ' ';
+  }
+}
+
+void JsonWriter::BeforeValue() {
+  ABIVM_CHECK_MSG(!done_, "JsonWriter: value after document end");
+  if (stack_.empty()) return;
+  if (stack_.back() == Scope::kObject) {
+    ABIVM_CHECK_MSG(key_pending_, "JsonWriter: object value without a key");
+    key_pending_ = false;
+    return;
+  }
+  if (has_items_.back()) os_ << ',';
+  has_items_.back() = true;
+  NewlineIndent();
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  os_ << '{';
+  stack_.push_back(Scope::kObject);
+  has_items_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  ABIVM_CHECK(!stack_.empty() && stack_.back() == Scope::kObject);
+  ABIVM_CHECK_MSG(!key_pending_, "JsonWriter: dangling key at EndObject");
+  const bool had_items = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had_items) NewlineIndent();
+  os_ << '}';
+  if (stack_.empty()) done_ = true;
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  os_ << '[';
+  stack_.push_back(Scope::kArray);
+  has_items_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  ABIVM_CHECK(!stack_.empty() && stack_.back() == Scope::kArray);
+  const bool had_items = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had_items) NewlineIndent();
+  os_ << ']';
+  if (stack_.empty()) done_ = true;
+}
+
+void JsonWriter::Key(std::string_view key) {
+  ABIVM_CHECK(!stack_.empty() && stack_.back() == Scope::kObject);
+  ABIVM_CHECK_MSG(!key_pending_, "JsonWriter: two keys in a row");
+  if (has_items_.back()) os_ << ',';
+  has_items_.back() = true;
+  NewlineIndent();
+  os_ << '"';
+  WriteEscaped(key);
+  os_ << (indent_ > 0 ? "\": " : "\":");
+  key_pending_ = true;
+}
+
+void JsonWriter::WriteEscaped(std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        os_ << "\\\"";
+        break;
+      case '\\':
+        os_ << "\\\\";
+        break;
+      case '\n':
+        os_ << "\\n";
+        break;
+      case '\r':
+        os_ << "\\r";
+        break;
+      case '\t':
+        os_ << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          os_ << buffer;
+        } else {
+          os_ << c;
+        }
+    }
+  }
+}
+
+void JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  os_ << '"';
+  WriteEscaped(value);
+  os_ << '"';
+  if (stack_.empty()) done_ = true;
+}
+
+void JsonWriter::Number(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    os_ << "null";
+  } else {
+    // Shortest representation that round-trips a double.
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    double parsed = 0.0;
+    std::sscanf(buffer, "%lf", &parsed);
+    for (int precision = 1; precision < 17; ++precision) {
+      char candidate[32];
+      std::snprintf(candidate, sizeof(candidate), "%.*g", precision, value);
+      std::sscanf(candidate, "%lf", &parsed);
+      if (parsed == value) {
+        std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
+        break;
+      }
+    }
+    os_ << buffer;
+  }
+  if (stack_.empty()) done_ = true;
+}
+
+void JsonWriter::Number(uint64_t value) {
+  BeforeValue();
+  os_ << value;
+  if (stack_.empty()) done_ = true;
+}
+
+void JsonWriter::Number(int64_t value) {
+  BeforeValue();
+  os_ << value;
+  if (stack_.empty()) done_ = true;
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  os_ << (value ? "true" : "false");
+  if (stack_.empty()) done_ = true;
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  os_ << "null";
+  if (stack_.empty()) done_ = true;
+}
+
+void JsonWriter::Field(std::string_view key, std::string_view value) {
+  Key(key);
+  String(value);
+}
+void JsonWriter::Field(std::string_view key, const char* value) {
+  Key(key);
+  String(value);
+}
+void JsonWriter::Field(std::string_view key, double value) {
+  Key(key);
+  Number(value);
+}
+void JsonWriter::Field(std::string_view key, uint64_t value) {
+  Key(key);
+  Number(value);
+}
+void JsonWriter::Field(std::string_view key, int64_t value) {
+  Key(key);
+  Number(value);
+}
+void JsonWriter::Field(std::string_view key, bool value) {
+  Key(key);
+  Bool(value);
+}
+
+}  // namespace abivm::obs

@@ -1,0 +1,72 @@
+// Minimal streaming JSON writer (no external dependencies): handles
+// nesting, comma placement, string escaping and round-trippable number
+// formatting. Used by the metrics/sweep exporters; deliberately tiny --
+// not a general-purpose JSON library.
+
+#ifndef ABIVM_OBS_JSON_H_
+#define ABIVM_OBS_JSON_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+namespace abivm::obs {
+
+/// Emits syntactically valid JSON to an ostream. Usage:
+///   JsonWriter w(os);
+///   w.BeginObject();
+///   w.Key("name"); w.String("fig06");
+///   w.Key("rows"); w.BeginArray(); w.Number(1.5); w.EndArray();
+///   w.EndObject();
+/// Structural misuse (e.g. a value without a pending key inside an
+/// object) CHECK-fails.
+class JsonWriter {
+ public:
+  /// `indent` > 0 pretty-prints with that many spaces per level.
+  explicit JsonWriter(std::ostream& os, int indent = 2);
+  ~JsonWriter();
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  void Key(std::string_view key);
+
+  void String(std::string_view value);
+  void Number(double value);  // non-finite values are emitted as null
+  void Number(uint64_t value);
+  void Number(int64_t value);
+  void Bool(bool value);
+  void Null();
+
+  /// Convenience: Key + value in one call. The const char* overload stops
+  /// string literals from silently binding to the bool overload (a
+  /// pointer->bool standard conversion outranks the user-defined
+  /// conversion to string_view).
+  void Field(std::string_view key, std::string_view value);
+  void Field(std::string_view key, const char* value);
+  void Field(std::string_view key, double value);
+  void Field(std::string_view key, uint64_t value);
+  void Field(std::string_view key, int64_t value);
+  void Field(std::string_view key, bool value);
+
+ private:
+  enum class Scope { kObject, kArray };
+
+  void BeforeValue();
+  void NewlineIndent();
+  void WriteEscaped(std::string_view text);
+
+  std::ostream& os_;
+  int indent_;
+  std::vector<Scope> stack_;
+  std::vector<bool> has_items_;
+  bool key_pending_ = false;
+  bool done_ = false;
+};
+
+}  // namespace abivm::obs
+
+#endif  // ABIVM_OBS_JSON_H_

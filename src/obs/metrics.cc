@@ -1,0 +1,113 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+
+namespace abivm::obs {
+
+namespace {
+
+// Smallest b with value <= 2^(b - 1); bucket 0 holds values <= 1.
+size_t BucketIndex(double value) {
+  if (!(value > 1.0)) return 0;
+  int exponent = 0;
+  // frexp: value = mantissa * 2^exponent with mantissa in [0.5, 1), so
+  // value <= 2^exponent with equality only at exact powers of two.
+  const double mantissa = std::frexp(value, &exponent);
+  if (mantissa == 0.5) --exponent;  // exact power of two: 2^e belongs to e
+  if (exponent < 0) return 0;
+  const size_t b = static_cast<size_t>(exponent);
+  return b < Histogram::kBuckets ? b : Histogram::kBuckets - 1;
+}
+
+template <typename T>
+void AtomicRaise(std::atomic<T>& slot, T candidate) {
+  T current = slot.load(std::memory_order_relaxed);
+  while (current < candidate &&
+         !slot.compare_exchange_weak(current, candidate,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Histogram::Record(double value) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  AtomicRaise(max_, value);
+  if (!has_min_.load(std::memory_order_relaxed)) {
+    // Benign race: two first-samples may both write; the CAS loop below
+    // then keeps the smaller one.
+    min_.store(value, std::memory_order_relaxed);
+    has_min_.store(true, std::memory_order_relaxed);
+  }
+  double current = min_.load(std::memory_order_relaxed);
+  while (value < current &&
+         !min_.compare_exchange_weak(current, value,
+                                     std::memory_order_relaxed)) {
+  }
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+}
+
+double Histogram::min() const {
+  return has_min_.load(std::memory_order_relaxed)
+             ? min_.load(std::memory_order_relaxed)
+             : 0.0;
+}
+
+Counter& MetricRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Timer& MetricRegistry::timer(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = timers_.find(name);
+  if (it == timers_.end()) {
+    it = timers_.emplace(std::string(name), std::make_unique<Timer>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter->value();
+  }
+  for (const auto& [name, timer] : timers_) {
+    snapshot.timers[name] = MetricsSnapshot::TimerStat{
+        timer->count(), timer->total_ms(), timer->max_ms()};
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    MetricsSnapshot::HistogramStat stat;
+    stat.count = histogram->count();
+    stat.sum = histogram->sum();
+    stat.min = histogram->min();
+    stat.max = histogram->max();
+    for (size_t b = 0; b < Histogram::kBuckets; ++b) {
+      const uint64_t c = histogram->bucket(b);
+      if (c != 0) {
+        stat.buckets.emplace_back(std::ldexp(1.0, static_cast<int>(b)), c);
+      }
+    }
+    snapshot.histograms[name] = std::move(stat);
+  }
+  return snapshot;
+}
+
+}  // namespace abivm::obs

@@ -1,0 +1,149 @@
+// Observability substrate: named counters, timers and histograms behind a
+// thread-safe registry, plus immutable snapshots for reporting/JSON export.
+//
+// Design rules:
+//   * Recording is cheap and lock-free (relaxed atomics); the registry
+//     mutex is taken only on first lookup of a name.
+//   * Metric objects are owned by the registry and never move, so callers
+//     may cache `Counter&`/`Timer&` references across a hot loop.
+//   * A registry is the unit of isolation: parallel sweep jobs each own
+//     one, so concurrent jobs never contend on (or mix) each other's
+//     numbers.
+
+#ifndef ABIVM_OBS_METRICS_H_
+#define ABIVM_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace abivm::obs {
+
+/// Monotone event counter.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  /// Sets the counter to max(current, candidate) -- for high-water marks
+  /// (e.g. peak frontier size) reported through the counter namespace.
+  void RaiseTo(uint64_t candidate) {
+    uint64_t current = value_.load(std::memory_order_relaxed);
+    while (current < candidate &&
+           !value_.compare_exchange_weak(current, candidate,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Accumulated wall-clock time: total/max milliseconds and a call count.
+class Timer {
+ public:
+  void Record(double ms) {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    total_ms_.fetch_add(ms, std::memory_order_relaxed);
+    double current = max_ms_.load(std::memory_order_relaxed);
+    while (current < ms && !max_ms_.compare_exchange_weak(
+                               current, ms, std::memory_order_relaxed)) {
+    }
+  }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double total_ms() const {
+    return total_ms_.load(std::memory_order_relaxed);
+  }
+  double max_ms() const { return max_ms_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> total_ms_{0.0};
+  std::atomic<double> max_ms_{0.0};
+};
+
+/// Log-scale histogram over non-negative samples: power-of-two buckets
+/// plus count/sum/min/max. Bucket b counts samples in (2^(b-1), 2^b]
+/// (bucket 0 holds samples <= 1).
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 64;
+
+  void Record(double value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double min() const;
+  double max() const { return max_.load(std::memory_order_relaxed); }
+  uint64_t bucket(size_t b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<bool> has_min_{false};
+  std::atomic<double> max_{0.0};
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+};
+
+/// Point-in-time copy of a registry's contents; plain data, safe to move
+/// across threads and to serialize after the fact.
+struct MetricsSnapshot {
+  struct TimerStat {
+    uint64_t count = 0;
+    double total_ms = 0.0;
+    double max_ms = 0.0;
+  };
+  struct HistogramStat {
+    uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    /// (bucket_upper_bound, count) for non-empty buckets only.
+    std::vector<std::pair<double, uint64_t>> buckets;
+  };
+
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, TimerStat> timers;
+  std::map<std::string, HistogramStat> histograms;
+
+  bool empty() const {
+    return counters.empty() && timers.empty() && histograms.empty();
+  }
+};
+
+/// Thread-safe registry of named metrics. Lookup interns the name; the
+/// returned reference stays valid for the registry's lifetime.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  Counter& counter(std::string_view name);
+  Timer& timer(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Copies every metric's current value. Safe to call while other
+  /// threads record (each value is read atomically; cross-metric skew is
+  /// acceptable for reporting).
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Timer>, std::less<>> timers_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace abivm::obs
+
+#endif  // ABIVM_OBS_METRICS_H_

@@ -1,0 +1,38 @@
+// Scoped trace spans: RAII timing that records into a registry Timer on
+// destruction. The registry pointer may be null, making instrumentation
+// free to leave compiled-in on hot paths that are usually unobserved.
+
+#ifndef ABIVM_OBS_SPAN_H_
+#define ABIVM_OBS_SPAN_H_
+
+#include <string_view>
+
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+
+namespace abivm::obs {
+
+/// Times the enclosing scope into `registry->timer(name)`; no-op when
+/// `registry` is null. Intern the Timer yourself (TimedSection) when the
+/// span sits inside a tight loop and the name lookup would show up.
+class ScopedSpan {
+ public:
+  ScopedSpan(MetricRegistry* registry, std::string_view name)
+      : timer_(registry == nullptr ? nullptr : &registry->timer(name)) {}
+  explicit ScopedSpan(Timer* timer) : timer_(timer) {}
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan() {
+    if (timer_ != nullptr) timer_->Record(watch_.ElapsedMs());
+  }
+
+ private:
+  Timer* timer_;
+  Stopwatch watch_;
+};
+
+}  // namespace abivm::obs
+
+#endif  // ABIVM_OBS_SPAN_H_

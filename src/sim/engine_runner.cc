@@ -43,6 +43,13 @@ EngineTrace RunOnEngine(ViewMaintainer& maintainer,
       const BatchResult result =
           maintainer.ProcessBatch(i, static_cast<size_t>(action[i]));
       actual_ms += result.wall_ms;
+      trace.exec_stats += result.stats;
+      if (options.metrics != nullptr) {
+        options.metrics->counter("engine.batches").Add(1);
+        options.metrics->counter("engine.modifications_processed")
+            .Add(result.processed);
+        options.metrics->timer("engine.batch_ms").Record(result.wall_ms);
+      }
     }
     const double model_cost = model.TotalCost(action);
     trace.total_model_cost += model_cost;
@@ -58,6 +65,16 @@ EngineTrace RunOnEngine(ViewMaintainer& maintainer,
     }
   }
   ABIVM_CHECK(maintainer.IsConsistent());
+  if (options.metrics != nullptr) {
+    obs::MetricRegistry& m = *options.metrics;
+    m.counter("engine.actions").Add(trace.action_count);
+    m.counter("engine.violations").Add(trace.violations);
+    m.counter("engine.rows_scanned").Add(trace.exec_stats.rows_scanned);
+    m.counter("engine.index_probes").Add(trace.exec_stats.index_probes);
+    m.counter("engine.hash_build_rows")
+        .Add(trace.exec_stats.hash_build_rows);
+    m.counter("engine.output_rows").Add(trace.exec_stats.output_rows);
+  }
   return trace;
 }
 

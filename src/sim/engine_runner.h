@@ -15,6 +15,7 @@
 #include "core/cost_model.h"
 #include "core/policy.h"
 #include "ivm/maintainer.h"
+#include "obs/metrics.h"
 
 namespace abivm {
 
@@ -37,10 +38,16 @@ struct EngineTrace {
   double total_actual_ms = 0.0;
   uint64_t violations = 0;
   uint64_t action_count = 0;
+  /// Operator work summed over every ProcessBatch call of the run.
+  ExecStats exec_stats;
 };
 
 struct EngineRunnerOptions {
   bool record_steps = true;
+  /// Optional metrics sink. When set, the runner records `engine.*`
+  /// counters (batches, modifications, operator work from ExecStats) and
+  /// an `engine.batch_ms` timer per ProcessBatch call.
+  obs::MetricRegistry* metrics = nullptr;
 };
 
 /// Drives `policy` over the arrival schedule: at each step, `driver`

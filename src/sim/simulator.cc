@@ -1,5 +1,8 @@
 #include "sim/simulator.h"
 
+#include "common/stopwatch.h"
+#include "obs/span.h"
+
 namespace abivm {
 
 MaintenancePlan Trace::AsPlan(size_t n, TimeStep horizon) const {
@@ -12,9 +15,15 @@ MaintenancePlan Trace::AsPlan(size_t n, TimeStep horizon) const {
 
 Trace Simulate(const ProblemInstance& instance, Policy& policy,
                SimulatorOptions options) {
+  const Stopwatch watch;
   const TimeStep horizon = instance.horizon();
   const size_t n = instance.n();
   policy.Reset(instance.cost_model, instance.budget);
+
+  // Interned once: the per-decision span sits in the hot loop.
+  obs::MetricRegistry* metrics = options.metrics;
+  obs::Timer* act_timer =
+      metrics == nullptr ? nullptr : &metrics->timer("sim.policy_act_ms");
 
   Trace trace;
   if (options.record_steps) {
@@ -32,6 +41,7 @@ Trace Simulate(const ProblemInstance& instance, Policy& policy,
       // (p_T = s_T by Definition 1), so the policy is not consulted.
       action = pre_state;
     } else {
+      obs::ScopedSpan span(act_timer);
       action = policy.Act(t, pre_state, arrivals);
       ABIVM_CHECK_EQ(action.size(), n);
       ABIVM_CHECK_MSG(FitsWithin(action, pre_state),
@@ -42,7 +52,12 @@ Trace Simulate(const ProblemInstance& instance, Policy& policy,
     state = SubVec(state, action);
     const double cost = instance.cost_model.TotalCost(action);
     trace.total_cost += cost;
-    if (!IsZeroVec(action)) ++trace.action_count;
+    if (!IsZeroVec(action)) {
+      ++trace.action_count;
+      if (metrics != nullptr) {
+        metrics->histogram("sim.action_cost").Record(cost);
+      }
+    }
 
     if (t < horizon && instance.cost_model.IsFull(state, instance.budget)) {
       ABIVM_CHECK_MSG(!options.strict,
@@ -57,6 +72,13 @@ Trace Simulate(const ProblemInstance& instance, Policy& policy,
     }
   }
   ABIVM_CHECK(IsZeroVec(state));
+  trace.wall_ms = watch.ElapsedMs();
+  if (metrics != nullptr) {
+    metrics->counter("sim.steps").Add(static_cast<uint64_t>(horizon) + 1);
+    metrics->counter("sim.actions").Add(trace.action_count);
+    metrics->counter("sim.violations").Add(trace.violations);
+    metrics->timer("sim.run_ms").Record(trace.wall_ms);
+  }
   return trace;
 }
 

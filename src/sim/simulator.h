@@ -11,6 +11,7 @@
 
 #include "core/plan.h"
 #include "core/policy.h"
+#include "obs/metrics.h"
 
 namespace abivm {
 
@@ -34,6 +35,8 @@ struct Trace {
   uint64_t violations = 0;
   /// Number of non-zero actions taken (including the final refresh).
   uint64_t action_count = 0;
+  /// Wall-clock time of the whole simulated run.
+  double wall_ms = 0.0;
 
   /// The realized plan (for validity/LGM checks in tests).
   MaintenancePlan AsPlan(size_t n, TimeStep horizon) const;
@@ -45,6 +48,10 @@ struct SimulatorOptions {
   /// If false, the Trace keeps only aggregates (no per-step records);
   /// useful for long horizons in benchmarks.
   bool record_steps = true;
+  /// Optional metrics sink. When set, the simulator records `sim.*`
+  /// counters (steps, actions, violations), a `sim.policy_act_ms` span
+  /// per policy decision, and a `sim.action_cost` histogram.
+  obs::MetricRegistry* metrics = nullptr;
 };
 
 /// Runs `policy` over the instance: at each step t arrivals are appended,

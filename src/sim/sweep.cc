@@ -1,0 +1,107 @@
+#include "sim/sweep.h"
+
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "obs/export.h"
+#include "obs/json.h"
+
+namespace abivm {
+
+std::vector<SweepJobResult> RunSweep(const std::vector<SweepJob>& jobs,
+                                     const SweepOptions& options) {
+  const size_t threads =
+      options.threads == 0 ? ThreadPool::DefaultThreads() : options.threads;
+  std::vector<SweepJobResult> results(jobs.size());
+
+  ThreadPool pool(threads);
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const SweepJob& job = jobs[i];
+    SweepJobResult& result = results[i];
+    pool.Submit([&job, &result] {
+      ABIVM_CHECK_MSG(static_cast<bool>(job.run),
+                      "sweep job '" << job.scenario << "/" << job.label
+                                    << "' has no run function");
+      result.scenario = job.scenario;
+      result.label = job.label;
+      obs::MetricRegistry registry;
+      const Stopwatch watch;
+      job.run(registry, result);
+      result.wall_ms = watch.ElapsedMs();
+      result.metrics = registry.Snapshot();
+    });
+  }
+  pool.Wait();
+  return results;
+}
+
+SweepJob MakeSimulateJob(std::string scenario, std::string label,
+                         const ProblemInstance& instance,
+                         PolicyFactory factory,
+                         SimulatorOptions base_options) {
+  SweepJob job;
+  job.scenario = std::move(scenario);
+  job.label = std::move(label);
+  job.run = [&instance, factory = std::move(factory),
+             base_options](obs::MetricRegistry& registry,
+                           SweepJobResult& result) {
+    std::unique_ptr<Policy> policy = factory();
+    SimulatorOptions options = base_options;
+    options.metrics = &registry;
+    const Trace trace = Simulate(instance, *policy, options);
+    policy->ExportMetrics(registry);
+    result.total_cost = trace.total_cost;
+    result.violations = trace.violations;
+    result.action_count = trace.action_count;
+  };
+  return job;
+}
+
+SweepJob MakePlanJob(std::string scenario, std::string label,
+                     const ProblemInstance& instance,
+                     AStarOptions base_options) {
+  SweepJob job;
+  job.scenario = std::move(scenario);
+  job.label = std::move(label);
+  job.run = [&instance, base_options](obs::MetricRegistry& registry,
+                                      SweepJobResult& result) {
+    AStarOptions options = base_options;
+    options.metrics = &registry;
+    const PlanSearchResult search = FindOptimalLgmPlan(instance, options);
+    result.total_cost = search.cost;
+    result.action_count = search.plan.actions().size();
+  };
+  return job;
+}
+
+void WriteSweepJson(std::ostream& os,
+                    const std::vector<SweepJobResult>& results) {
+  obs::JsonWriter writer(os);
+  writer.BeginArray();
+  for (const SweepJobResult& result : results) {
+    writer.BeginObject();
+    writer.Field("scenario", result.scenario);
+    writer.Field("label", result.label);
+    writer.Field("total_cost", result.total_cost);
+    writer.Field("violations", result.violations);
+    writer.Field("action_count", result.action_count);
+    writer.Field("wall_ms", result.wall_ms);
+    if (!result.values.empty()) {
+      writer.Key("values");
+      writer.BeginObject();
+      for (const auto& [name, value] : result.values) {
+        writer.Field(name, value);
+      }
+      writer.EndObject();
+    }
+    if (!result.metrics.empty()) {
+      writer.Key("metrics");
+      WriteSnapshotJson(writer, result.metrics);
+    }
+    writer.EndObject();
+  }
+  writer.EndArray();
+}
+
+}  // namespace abivm

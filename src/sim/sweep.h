@@ -1,0 +1,99 @@
+// Parallel scenario-sweep engine: runs independent simulation/planning
+// jobs (scenario x policy x budget points) across a worker pool. Each job
+// owns a private MetricRegistry and its own Policy instance (policies are
+// stateful), while read-only inputs -- ProblemInstance, CostModel -- are
+// shared by const reference. Results come back in job order regardless of
+// thread count, so a sweep is deterministic: running with --threads=1 and
+// --threads=N yields bit-identical numbers.
+
+#ifndef ABIVM_SIM_SWEEP_H_
+#define ABIVM_SIM_SWEEP_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/astar.h"
+#include "core/policy.h"
+#include "obs/metrics.h"
+#include "sim/simulator.h"
+
+namespace abivm {
+
+/// Outcome of one sweep job, in a reporting-friendly shape.
+struct SweepJobResult {
+  /// Which experiment point this is (e.g. "uniform" / "T=400").
+  std::string scenario;
+  /// Which treatment ran on it (e.g. "ONLINE" / "ADAPT k=10").
+  std::string label;
+
+  /// Headline numbers: meaning depends on the job kind (simulated total
+  /// cost for Simulate jobs, optimal plan cost for plan jobs).
+  double total_cost = 0.0;
+  uint64_t violations = 0;
+  uint64_t action_count = 0;
+
+  /// Wall-clock of the whole job, measured by the sweep engine.
+  double wall_ms = 0.0;
+
+  /// Everything the job recorded into its private registry (planner
+  /// counters, policy stats, sim spans, ...).
+  obs::MetricsSnapshot metrics;
+
+  /// Driver-specific extra values (e.g. fig05's actual engine ms), keyed
+  /// by name; serialized alongside the headline numbers.
+  std::map<std::string, double> values;
+};
+
+/// One unit of work. `run` executes on a worker thread: it must only
+/// touch its own arguments plus whatever the job closure owns or shares
+/// read-only. The engine pre-fills scenario/label in the result and
+/// stamps wall_ms and the metrics snapshot afterwards.
+struct SweepJob {
+  std::string scenario;
+  std::string label;
+  std::function<void(obs::MetricRegistry&, SweepJobResult&)> run;
+};
+
+/// Creates a fresh Policy per job so concurrent jobs never share policy
+/// state. Must be safe to call from any worker thread.
+using PolicyFactory = std::function<std::unique_ptr<Policy>()>;
+
+struct SweepOptions {
+  /// Worker threads; 0 means ThreadPool::DefaultThreads().
+  size_t threads = 0;
+};
+
+/// Runs every job (order of execution unspecified, results in job order).
+/// Jobs must not throw; a CHECK failure inside a job aborts the sweep,
+/// matching the repo-wide error discipline.
+std::vector<SweepJobResult> RunSweep(const std::vector<SweepJob>& jobs,
+                                     const SweepOptions& options = {});
+
+/// Job that runs Simulate(instance, *factory(), ...) with metrics wired
+/// in and exports the policy's own counters afterwards. `instance` is
+/// captured by reference and must outlive the RunSweep call.
+SweepJob MakeSimulateJob(std::string scenario, std::string label,
+                         const ProblemInstance& instance,
+                         PolicyFactory factory,
+                         SimulatorOptions base_options = {});
+
+/// Job that runs FindOptimalLgmPlan(instance, ...) with metrics wired in;
+/// total_cost is the optimal plan cost and action_count the number of
+/// non-zero plan actions. `instance` must outlive the RunSweep call.
+SweepJob MakePlanJob(std::string scenario, std::string label,
+                     const ProblemInstance& instance,
+                     AStarOptions base_options = {});
+
+/// Serializes sweep results as a JSON array of per-job objects:
+///   [{"scenario":..,"label":..,"total_cost":..,"violations":..,
+///     "action_count":..,"wall_ms":..,"values":{...},"metrics":{...}}]
+void WriteSweepJson(std::ostream& os,
+                    const std::vector<SweepJobResult>& results);
+
+}  // namespace abivm
+
+#endif  // ABIVM_SIM_SWEEP_H_

@@ -1,0 +1,48 @@
+#include "common/float_compare.h"
+
+#include <gtest/gtest.h>
+
+namespace abivm {
+namespace {
+
+TEST(FloatCompareTest, ExactBoundaryIsWithin) {
+  EXPECT_TRUE(CostWithinBudget(10.0, 10.0));
+  EXPECT_FALSE(CostExceedsBudget(10.0, 10.0));
+}
+
+TEST(FloatCompareTest, RoundingNoiseAtTheBoundaryIsWithin) {
+  // Sums of per-table costs that mathematically equal the budget can land
+  // a few ulps above it; those must still count as within.
+  const double budget = 0.3;
+  const double cost = 0.1 + 0.2;  // 0.30000000000000004
+  ASSERT_GT(cost, budget);        // the raw comparison disagrees...
+  EXPECT_TRUE(CostWithinBudget(cost, budget));  // ...the tolerant one not
+}
+
+TEST(FloatCompareTest, ClearExcessIsDetected) {
+  EXPECT_TRUE(CostExceedsBudget(10.001, 10.0));
+  EXPECT_FALSE(CostWithinBudget(10.001, 10.0));
+  EXPECT_TRUE(CostExceedsBudget(1e-3, 0.0));
+}
+
+TEST(FloatCompareTest, ToleranceScalesWithMagnitude) {
+  // At magnitude 1e12 the absolute epsilon alone would be far below one
+  // ulp; the relative term keeps boundary sums within.
+  const double budget = 1e12;
+  const double cost = budget * (1.0 + 1e-12);
+  EXPECT_TRUE(CostWithinBudget(cost, budget));
+  EXPECT_TRUE(CostExceedsBudget(budget * 1.001, budget));
+}
+
+TEST(FloatCompareTest, PredicatesAreExactComplements) {
+  const double values[] = {0.0, 1e-12, 0.1 + 0.2, 0.3, 10.0, 1e12};
+  for (double cost : values) {
+    for (double budget : values) {
+      EXPECT_NE(CostWithinBudget(cost, budget),
+                CostExceedsBudget(cost, budget));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace abivm

@@ -161,6 +161,28 @@ TEST(MinimizeActionTest, ResultIsAlwaysMinimalAndValid) {
   }
 }
 
+// Regression: validity used a raw `residue > budget` comparison while
+// CostModel::IsFull is epsilon-tolerant, so a residue that mathematically
+// equals the budget (but lands a few ulps above it, e.g. 0.1 + 0.2 vs
+// 0.3) was rejected here yet accepted by IsFull -- the enumeration then
+// skipped a minimal action and returned a strictly larger one.
+TEST(EnumerateMinimalGreedyActionsTest, BoundaryResidueAgreesWithIsFull) {
+  std::vector<CostFunctionPtr> fns = {
+      std::make_shared<LinearCost>(0.1, 0.0),
+      std::make_shared<LinearCost>(0.2, 0.0),
+      std::make_shared<LinearCost>(10.0, 0.0)};
+  CostModel model(std::move(fns));
+  const double budget = 0.3;
+  const StateVec pre = {1, 1, 1};  // f = 10.3 > 0.3: full
+  // Flushing only table2 leaves 0.1 + 0.2, which is 0.30000000000000004
+  // in binary -- within budget for IsFull, so it must be valid (and then
+  // the unique minimal action) here too.
+  ASSERT_FALSE(model.IsFull(StateVec{1, 1, 0}, budget));
+  const auto actions = EnumerateMinimalGreedyActions(model, budget, pre);
+  ASSERT_EQ(actions.size(), 1u);
+  EXPECT_EQ(actions[0], (StateVec{0, 0, 1}));
+}
+
 TEST(CheapestMinimalGreedyActionTest, PrefersCheapFlush) {
   // Table 0 is expensive to flush, table 1 cheap; flushing either works.
   CostModel model = TwoLinearTables(10.0, 0.0, 1.0, 0.0);

@@ -163,6 +163,51 @@ TEST(AStarTest, NeverFullInstanceHasSingleRefreshAction) {
   EXPECT_NEAR(result.cost, 1.1, 1e-9);
 }
 
+// Regression: nodes_generated used to be bumped on every relaxation
+// attempt, so edges into already-interned nodes inflated it; it now counts
+// distinct interned nodes, with relaxation attempts reported separately.
+TEST(AStarTest, SearchCountersAreHonest) {
+  std::vector<CostFunctionPtr> fns = {
+      std::make_shared<LinearCost>(0.3, 0.5),
+      std::make_shared<LinearCost>(0.2, 6.0)};
+  const ProblemInstance instance{CostModel(std::move(fns)),
+                                 ArrivalSequence::Uniform({1, 1}, 100),
+                                 15.0};
+  const PlanSearchResult result = FindOptimalLgmPlan(instance);
+  // This graph has many edges converging on shared states, so the two
+  // counts must actually differ (equality was the bug).
+  EXPECT_LT(result.nodes_generated, result.relaxations);
+  // Structural invariants of the corrected accounting.
+  EXPECT_GT(result.nodes_generated, 0u);
+  EXPECT_LE(result.nodes_expanded, result.nodes_generated +
+                                       result.reexpansions);
+  EXPECT_LE(result.edges_improved, result.relaxations);
+  // Every interned node except the source arrived via an improving edge.
+  EXPECT_LE(result.nodes_generated, result.edges_improved + 1);
+  EXPECT_GE(result.frontier_peak, 1u);
+  EXPECT_GE(result.wall_ms, 0.0);
+}
+
+TEST(AStarTest, PublishesCountersIntoMetricRegistry) {
+  std::vector<CostFunctionPtr> fns = {std::make_shared<LinearCost>(1.0, 0.0)};
+  const ProblemInstance instance{CostModel(std::move(fns)),
+                                 ArrivalSequence::Uniform({1}, 11), 5.0};
+  obs::MetricRegistry registry;
+  AStarOptions options;
+  options.metrics = &registry;
+  const PlanSearchResult result = FindOptimalLgmPlan(instance, options);
+  const obs::MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counters.at("astar.searches"), 1u);
+  EXPECT_EQ(snapshot.counters.at("astar.nodes_expanded"),
+            result.nodes_expanded);
+  EXPECT_EQ(snapshot.counters.at("astar.nodes_generated"),
+            result.nodes_generated);
+  EXPECT_EQ(snapshot.counters.at("astar.relaxations"), result.relaxations);
+  EXPECT_EQ(snapshot.counters.at("astar.frontier_peak"),
+            result.frontier_peak);
+  EXPECT_EQ(snapshot.timers.at("astar.search_ms").count, 1u);
+}
+
 TEST(AStarTest, ZeroArrivalsCostNothing) {
   std::vector<CostFunctionPtr> fns = {std::make_shared<LinearCost>(1.0, 1.0)};
   const ProblemInstance instance{CostModel(std::move(fns)),

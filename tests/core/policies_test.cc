@@ -102,6 +102,27 @@ TEST(OnlinePolicyTest, TimeToFullTracksUniformRate) {
   EXPECT_EQ(online.TimeToFull({4, 4}), 2);
 }
 
+// Regression: the projection used floor(tau * rate), which for fractional
+// EWMA rates under-projects growth by up to a whole arrival per table and
+// inflated TimeToFull (here: floor predicts 4 steps, the rounded
+// expectation 2), biasing H(q) toward cheap actions.
+TEST(OnlinePolicyTest, TimeToFullIsUnbiasedForFractionalRates) {
+  std::vector<CostFunctionPtr> fns = {std::make_shared<LinearCost>(1.0, 0.0)};
+  const CostModel model(std::move(fns));
+  OnlineOptions options;
+  options.rate_ewma_alpha = 0.5;
+  OnlinePolicy online(options);
+  online.Reset(model, /*budget=*/0.5);
+  // Rate decays 1.0 -> 0.5 -> 0.25 through two zero-arrival steps.
+  (void)online.Act(0, {1}, {1});
+  (void)online.Act(1, {0}, {0});
+  (void)online.Act(2, {0}, {0});
+  ASSERT_DOUBLE_EQ(online.estimated_rates()[0], 0.25);
+  // One arrival makes the state full (cost 1 > 0.5). Expected arrivals
+  // 0.25 * tau round to 1 first at tau = 2; flooring would need tau = 4.
+  EXPECT_EQ(online.TimeToFull(ZeroVec(1)), 2);
+}
+
 TEST(OnlinePolicyTest, ZeroRatePredictionSaturates) {
   const ProblemInstance instance = SimpleInstance();
   OnlineOptions options;

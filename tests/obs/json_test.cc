@@ -1,0 +1,108 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <functional>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+namespace abivm::obs {
+namespace {
+
+std::string Compact(const std::function<void(JsonWriter&)>& body) {
+  std::ostringstream os;
+  JsonWriter writer(os, /*indent=*/0);
+  body(writer);
+  return os.str();
+}
+
+TEST(JsonWriterTest, ObjectWithFields) {
+  const std::string out = Compact([](JsonWriter& w) {
+    w.BeginObject();
+    w.Field("name", "fig06");
+    w.Field("cost", 1.5);
+    w.Field("jobs", static_cast<uint64_t>(3));
+    w.Field("ok", true);
+    w.EndObject();
+  });
+  EXPECT_EQ(out, R"({"name":"fig06","cost":1.5,"jobs":3,"ok":true})");
+}
+
+TEST(JsonWriterTest, NestedArrays) {
+  const std::string out = Compact([](JsonWriter& w) {
+    w.BeginArray();
+    w.Number(1.0);
+    w.BeginArray();
+    w.Number(static_cast<int64_t>(-2));
+    w.EndArray();
+    w.Null();
+    w.EndArray();
+  });
+  EXPECT_EQ(out, "[1,[-2],null]");
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  const std::string out = Compact([](JsonWriter& w) {
+    w.String("a\"b\\c\n\t\x01");
+  });
+  EXPECT_EQ(out, R"("a\"b\\c\n\t\u0001")");
+}
+
+TEST(JsonWriterTest, NonFiniteNumbersBecomeNull) {
+  const std::string out = Compact([](JsonWriter& w) {
+    w.BeginArray();
+    w.Number(std::nan(""));
+    w.Number(INFINITY);
+    w.EndArray();
+  });
+  EXPECT_EQ(out, "[null,null]");
+}
+
+TEST(JsonWriterTest, NumbersRoundTrip) {
+  const std::string out = Compact([](JsonWriter& w) {
+    w.Number(0.1);
+  });
+  EXPECT_EQ(std::stod(out), 0.1);
+}
+
+TEST(JsonWriterTest, PrettyPrintsWithIndent) {
+  std::ostringstream os;
+  {
+    JsonWriter w(os, 2);
+    w.BeginObject();
+    w.Field("a", static_cast<uint64_t>(1));
+    w.EndObject();
+  }
+  EXPECT_EQ(os.str(), "{\n  \"a\": 1\n}");
+}
+
+TEST(SnapshotJsonTest, SerializesAllSections) {
+  MetricRegistry registry;
+  registry.counter("astar.nodes_expanded").Add(42);
+  registry.timer("astar.search_ms").Record(1.5);
+  registry.histogram("sim.action_cost").Record(3.0);
+
+  std::ostringstream os;
+  JsonWriter writer(os, 0);
+  WriteSnapshotJson(writer, registry.Snapshot());
+  const std::string out = os.str();
+  EXPECT_NE(out.find(R"("astar.nodes_expanded":42)"), std::string::npos);
+  EXPECT_NE(out.find(R"("astar.search_ms":{"count":1,"total_ms":1.5)"),
+            std::string::npos);
+  EXPECT_NE(out.find(R"("sim.action_cost")"), std::string::npos);
+  EXPECT_NE(out.find(R"("buckets":[{"le":4,"count":1}])"),
+            std::string::npos);
+}
+
+TEST(SnapshotJsonTest, EmptySnapshotIsEmptyObject) {
+  std::ostringstream os;
+  JsonWriter writer(os, 0);
+  WriteSnapshotJson(writer, MetricsSnapshot{});
+  EXPECT_EQ(os.str(), "{}");
+}
+
+}  // namespace
+}  // namespace abivm::obs

@@ -1,0 +1,116 @@
+#include "obs/metrics.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/span.h"
+
+namespace abivm::obs {
+namespace {
+
+TEST(CounterTest, AddsAndRaises) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Add();
+  c.Add(4);
+  EXPECT_EQ(c.value(), 5u);
+  c.RaiseTo(3);  // below current: no-op
+  EXPECT_EQ(c.value(), 5u);
+  c.RaiseTo(17);
+  EXPECT_EQ(c.value(), 17u);
+}
+
+TEST(TimerTest, TracksCountTotalAndMax) {
+  Timer t;
+  t.Record(2.0);
+  t.Record(5.0);
+  t.Record(1.0);
+  EXPECT_EQ(t.count(), 3u);
+  EXPECT_DOUBLE_EQ(t.total_ms(), 8.0);
+  EXPECT_DOUBLE_EQ(t.max_ms(), 5.0);
+}
+
+TEST(HistogramTest, PowerOfTwoBuckets) {
+  Histogram h;
+  h.Record(0.5);   // bucket 0 (<= 1)
+  h.Record(1.0);   // bucket 0 (edge)
+  h.Record(2.0);   // bucket 1 ((1, 2])
+  h.Record(3.0);   // bucket 2 ((2, 4])
+  h.Record(4.0);   // bucket 2 (edge)
+  h.Record(100.0); // bucket 7 ((64, 128])
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.sum(), 110.5);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 2u);
+  EXPECT_EQ(h.bucket(7), 1u);
+  EXPECT_EQ(h.bucket(3), 0u);
+}
+
+TEST(MetricRegistryTest, InterningIsStable) {
+  MetricRegistry registry;
+  Counter& a = registry.counter("x");
+  Counter& b = registry.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.Add(2);
+  EXPECT_EQ(registry.counter("x").value(), 2u);
+  // Different kinds may share a name without clashing.
+  registry.timer("x").Record(1.0);
+  EXPECT_EQ(registry.timer("x").count(), 1u);
+}
+
+TEST(MetricRegistryTest, SnapshotCopiesEverything) {
+  MetricRegistry registry;
+  registry.counter("jobs").Add(3);
+  registry.timer("run_ms").Record(2.5);
+  registry.histogram("cost").Record(3.0);
+
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_FALSE(snapshot.empty());
+  EXPECT_EQ(snapshot.counters.at("jobs"), 3u);
+  EXPECT_EQ(snapshot.timers.at("run_ms").count, 1u);
+  EXPECT_DOUBLE_EQ(snapshot.timers.at("run_ms").total_ms, 2.5);
+  const auto& hist = snapshot.histograms.at("cost");
+  EXPECT_EQ(hist.count, 1u);
+  EXPECT_DOUBLE_EQ(hist.sum, 3.0);
+  // Only non-empty buckets survive, as (upper_bound, count) pairs.
+  ASSERT_EQ(hist.buckets.size(), 1u);
+  EXPECT_DOUBLE_EQ(hist.buckets[0].first, 4.0);
+  EXPECT_EQ(hist.buckets[0].second, 1u);
+}
+
+TEST(MetricRegistryTest, ConcurrentRecordingIsLossless) {
+  MetricRegistry registry;
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&registry] {
+      for (int j = 0; j < kIncrements; ++j) {
+        registry.counter("shared").Add();
+        registry.histogram("h").Record(1.0);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(registry.counter("shared").value(),
+            static_cast<uint64_t>(kThreads) * kIncrements);
+  EXPECT_EQ(registry.histogram("h").count(),
+            static_cast<uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(ScopedSpanTest, RecordsOnceAndIgnoresNullRegistry) {
+  MetricRegistry registry;
+  { ScopedSpan span(&registry, "section"); }
+  EXPECT_EQ(registry.timer("section").count(), 1u);
+  EXPECT_GE(registry.timer("section").total_ms(), 0.0);
+  { ScopedSpan span(nullptr, "section"); }  // must not crash or record
+  EXPECT_EQ(registry.timer("section").count(), 1u);
+}
+
+}  // namespace
+}  // namespace abivm::obs

@@ -1,0 +1,123 @@
+#include "sim/sweep.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/astar.h"
+#include "core/naive.h"
+#include "core/online.h"
+#include "core/replan.h"
+
+namespace abivm {
+namespace {
+
+ProblemInstance MakeInstance(TimeStep horizon, double budget) {
+  std::vector<CostFunctionPtr> fns = {
+      std::make_shared<LinearCost>(0.3, 0.5),
+      std::make_shared<LinearCost>(0.2, 6.0)};
+  return ProblemInstance{CostModel(std::move(fns)),
+                         ArrivalSequence::Uniform({1, 1}, horizon), budget};
+}
+
+std::vector<SweepJob> MakeJobs(const std::vector<ProblemInstance>& instances) {
+  std::vector<SweepJob> jobs;
+  for (size_t i = 0; i < instances.size(); ++i) {
+    const ProblemInstance& instance = instances[i];
+    const std::string scenario = "instance" + std::to_string(i);
+    jobs.push_back(MakeSimulateJob(
+        scenario, "NAIVE", instance,
+        [] { return std::make_unique<NaivePolicy>(); },
+        {.record_steps = false}));
+    jobs.push_back(MakeSimulateJob(
+        scenario, "ONLINE", instance,
+        [] { return std::make_unique<OnlinePolicy>(); },
+        {.record_steps = false}));
+    jobs.push_back(MakeSimulateJob(
+        scenario, "REPLAN", instance,
+        [] { return std::make_unique<ReplanningPolicy>(); },
+        {.record_steps = false}));
+    jobs.push_back(MakePlanJob(scenario, "OPT_LGM", instance));
+  }
+  return jobs;
+}
+
+TEST(SweepTest, ResultsComeBackInJobOrder) {
+  const std::vector<ProblemInstance> instances = {MakeInstance(40, 15.0),
+                                                  MakeInstance(60, 20.0)};
+  const std::vector<SweepJob> jobs = MakeJobs(instances);
+  const std::vector<SweepJobResult> results =
+      RunSweep(jobs, SweepOptions{.threads = 4});
+  ASSERT_EQ(results.size(), jobs.size());
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(results[i].scenario, jobs[i].scenario);
+    EXPECT_EQ(results[i].label, jobs[i].label);
+  }
+}
+
+TEST(SweepTest, ParallelMatchesSequentialBitForBit) {
+  std::vector<ProblemInstance> instances;
+  for (TimeStep horizon : {30, 50, 80, 120}) {
+    instances.push_back(MakeInstance(horizon, 18.0));
+  }
+  const std::vector<SweepJob> jobs = MakeJobs(instances);
+
+  const std::vector<SweepJobResult> sequential =
+      RunSweep(jobs, SweepOptions{.threads = 1});
+  const std::vector<SweepJobResult> parallel =
+      RunSweep(jobs, SweepOptions{.threads = 8});
+
+  ASSERT_EQ(sequential.size(), parallel.size());
+  for (size_t i = 0; i < sequential.size(); ++i) {
+    SCOPED_TRACE(sequential[i].scenario + "/" + sequential[i].label);
+    // Exact double equality on purpose: the jobs share no mutable state,
+    // so thread count must not perturb a single bit of the results.
+    EXPECT_EQ(sequential[i].total_cost, parallel[i].total_cost);
+    EXPECT_EQ(sequential[i].violations, parallel[i].violations);
+    EXPECT_EQ(sequential[i].action_count, parallel[i].action_count);
+    EXPECT_EQ(sequential[i].values, parallel[i].values);
+    // Event counters (planner nodes, policy decisions) are deterministic
+    // too; only wall-clock timers may differ between runs.
+    EXPECT_EQ(sequential[i].metrics.counters, parallel[i].metrics.counters);
+  }
+}
+
+TEST(SweepTest, SimulateJobExportsPolicyAndSimMetrics) {
+  const std::vector<ProblemInstance> instances = {MakeInstance(50, 15.0)};
+  const SweepJob job = MakeSimulateJob(
+      "s", "ONLINE", instances[0],
+      [] { return std::make_unique<OnlinePolicy>(); },
+      {.record_steps = false});
+  const std::vector<SweepJobResult> results =
+      RunSweep({job}, SweepOptions{.threads = 1});
+  ASSERT_EQ(results.size(), 1u);
+  const SweepJobResult& result = results[0];
+  EXPECT_EQ(result.metrics.counters.at("sim.steps"), 51u);
+  EXPECT_EQ(result.metrics.counters.at("sim.actions"), result.action_count);
+  EXPECT_GT(result.metrics.counters.at("online.actions_taken"), 0u);
+  EXPECT_EQ(result.metrics.timers.at("sim.policy_act_ms").count, 50u);
+  EXPECT_GT(result.wall_ms, 0.0);
+}
+
+TEST(SweepTest, PlanJobMatchesDirectSearch) {
+  const ProblemInstance instance = MakeInstance(80, 15.0);
+  const PlanSearchResult direct = FindOptimalLgmPlan(instance);
+  const std::vector<SweepJobResult> results = RunSweep(
+      {MakePlanJob("s", "OPT_LGM", instance)}, SweepOptions{.threads = 2});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].total_cost, direct.cost);
+  EXPECT_EQ(results[0].metrics.counters.at("astar.nodes_expanded"),
+            direct.nodes_expanded);
+  EXPECT_EQ(results[0].metrics.counters.at("astar.nodes_generated"),
+            direct.nodes_generated);
+}
+
+TEST(SweepTest, EmptyJobListIsFine) {
+  const std::vector<SweepJobResult> results =
+      RunSweep({}, SweepOptions{.threads = 3});
+  EXPECT_TRUE(results.empty());
+}
+
+}  // namespace
+}  // namespace abivm
