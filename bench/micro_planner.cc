@@ -1,0 +1,219 @@
+// Planner hot-path micro-benchmark: times FindOptimalLgmPlan across a
+// grid of instance sizes and cost shapes and writes BENCH_planner.json
+// (per-instance best/mean wall ms, nodes expanded, peak frontier) plus a
+// geometric-mean summary over the largest tier. This file is the tracked
+// perf baseline for the planner: run it before and after any change to
+// core/astar.* and compare the "large" geomean.
+//
+//   micro_planner                # full grid, best-of-5 timing
+//   micro_planner --reps=9      # more repetitions per point
+//   micro_planner --smoke=1     # tiny grid; used by scripts/check.sh
+//                               # under asan/tsan to exercise the
+//                               # planner's scratch-buffer reuse
+//                               # (writes BENCH_planner_smoke.json)
+//   micro_planner --out-suffix=1  # write BENCH_planner_baseline.json
+//
+// The reference result (this machine, default build) is committed at
+// bench/baselines/BENCH_planner.json.
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "core/astar.h"
+#include "obs/json.h"
+
+namespace abivm {
+namespace {
+
+struct GridPoint {
+  std::string name;
+  std::string tier;  // "small" | "medium" | "large"
+  ProblemInstance instance;
+};
+
+struct PointResult {
+  std::string name;
+  std::string tier;
+  size_t n = 0;
+  TimeStep horizon = 0;
+  double wall_ms_best = 0.0;
+  double wall_ms_mean = 0.0;
+  double cost = 0.0;
+  uint64_t nodes_expanded = 0;
+  uint64_t nodes_generated = 0;
+  uint64_t reexpansions = 0;
+  uint64_t frontier_peak = 0;
+};
+
+// The grid spans the shapes the figure/ablation drivers actually plan
+// over: symmetric and asymmetric linear costs, a capped scan side, and a
+// non-concave step function (which disables the closed set's heuristic
+// fast path for that table but must stay correct).
+std::vector<GridPoint> MakeGrid(bool smoke) {
+  std::vector<GridPoint> grid;
+  auto add = [&grid](std::string name, std::string tier,
+                     std::vector<CostFunctionPtr> fns, StateVec rates,
+                     TimeStep horizon, double budget) {
+    grid.push_back(GridPoint{
+        std::move(name), std::move(tier),
+        ProblemInstance{CostModel(std::move(fns)),
+                        ArrivalSequence::Uniform(std::move(rates), horizon),
+                        budget}});
+  };
+
+  const TimeStep t_small = smoke ? 40 : 200;
+  const TimeStep t_medium = smoke ? 80 : 800;
+  const TimeStep t_large = smoke ? 120 : 3200;
+
+  add("lin1_small", "small", {std::make_shared<LinearCost>(1.0, 0.0)}, {1},
+      t_small, 5.0);
+  add("asym2_small", "small",
+      {std::make_shared<LinearCost>(0.01, 10.0),
+       std::make_shared<LinearCost>(1.0, 0.0)},
+      {1, 1}, t_small, 14.0);
+  add("asym2_medium", "medium",
+      {std::make_shared<LinearCost>(0.3, 0.5),
+       std::make_shared<LinearCost>(0.2, 6.0)},
+      {1, 1}, t_medium, 15.0);
+  add("capped2_medium", "medium",
+      {std::make_shared<AffineCappedCost>(0.107, 2.857, 600),
+       std::make_shared<LinearCost>(0.25, 0.0)},
+      {3, 2}, t_medium, 6.0);
+  add("asym2_large", "large",
+      {std::make_shared<LinearCost>(0.3, 0.5),
+       std::make_shared<LinearCost>(0.2, 6.0)},
+      {1, 1}, t_large, 15.0);
+  add("capped2_large", "large",
+      {std::make_shared<AffineCappedCost>(0.107, 2.857, 600),
+       std::make_shared<LinearCost>(0.25, 0.0)},
+      {3, 2}, t_large, 6.0);
+  add("step2_large", "large",
+      {std::make_shared<StepCost>(4, 1.0),
+       std::make_shared<LinearCost>(0.5, 1.0)},
+      {2, 1}, t_large, 9.0);
+  add("tri3_large", "large",
+      {std::make_shared<LinearCost>(0.05, 4.0),
+       std::make_shared<LinearCost>(0.8, 0.0),
+       std::make_shared<ConcaveCost>(1.5, 0.5)},
+      {1, 2, 1}, smoke ? 100 : 1200, 16.0);
+  return grid;
+}
+
+PointResult RunPoint(const GridPoint& point, int reps) {
+  PointResult out;
+  out.name = point.name;
+  out.tier = point.tier;
+  out.n = point.instance.n();
+  out.horizon = point.instance.horizon();
+  out.wall_ms_best = 1e300;
+  for (int rep = 0; rep < reps; ++rep) {
+    const Stopwatch watch;
+    const PlanSearchResult result = FindOptimalLgmPlan(point.instance);
+    const double ms = watch.ElapsedMs();
+    out.wall_ms_best = std::min(out.wall_ms_best, ms);
+    out.wall_ms_mean += ms / reps;
+    out.cost = result.cost;
+    out.nodes_expanded = result.nodes_expanded;
+    out.nodes_generated = result.nodes_generated;
+    out.reexpansions = result.reexpansions;
+    out.frontier_peak = result.frontier_peak;
+  }
+  return out;
+}
+
+double GeomeanWallMs(const std::vector<PointResult>& results,
+                     const std::string& tier) {
+  double log_sum = 0.0;
+  size_t count = 0;
+  for (const PointResult& r : results) {
+    if (r.tier != tier) continue;
+    log_sum += std::log(std::max(r.wall_ms_best, 1e-6));
+    ++count;
+  }
+  return count == 0 ? 0.0 : std::exp(log_sum / static_cast<double>(count));
+}
+
+void WriteJson(std::ostream& os, const std::vector<PointResult>& results,
+               int reps, bool smoke) {
+  obs::JsonWriter writer(os);
+  writer.BeginObject();
+  writer.Field("bench", "micro_planner");
+  writer.Field("smoke", smoke);
+  writer.Field("reps", static_cast<int64_t>(reps));
+  writer.Key("instances");
+  writer.BeginArray();
+  for (const PointResult& r : results) {
+    writer.BeginObject();
+    writer.Field("name", r.name);
+    writer.Field("tier", r.tier);
+    writer.Field("n", static_cast<uint64_t>(r.n));
+    writer.Field("horizon", static_cast<int64_t>(r.horizon));
+    writer.Field("wall_ms_best", r.wall_ms_best);
+    writer.Field("wall_ms_mean", r.wall_ms_mean);
+    writer.Field("cost", r.cost);
+    writer.Field("nodes_expanded", r.nodes_expanded);
+    writer.Field("nodes_generated", r.nodes_generated);
+    writer.Field("reexpansions", r.reexpansions);
+    writer.Field("frontier_peak", r.frontier_peak);
+    writer.EndObject();
+  }
+  writer.EndArray();
+  writer.Key("geomean_wall_ms_best");
+  writer.BeginObject();
+  for (const char* tier : {"small", "medium", "large"}) {
+    writer.Field(tier, GeomeanWallMs(results, tier));
+  }
+  writer.EndObject();
+  writer.EndObject();
+}
+
+int Main(int argc, char** argv) {
+  const bool smoke = bench::FlagOr(argc, argv, "smoke", 0.0) != 0.0;
+  const int reps = static_cast<int>(
+      bench::FlagOr(argc, argv, "reps", smoke ? 2.0 : 5.0));
+  const bool baseline =
+      bench::FlagOr(argc, argv, "out-suffix", 0.0) != 0.0;
+
+  const std::vector<GridPoint> grid = MakeGrid(smoke);
+  std::vector<PointResult> results;
+  results.reserve(grid.size());
+  for (const GridPoint& point : grid) {
+    PointResult r = RunPoint(point, reps);
+    std::printf("[micro_planner] %-14s tier=%-6s T=%-5lld best %8.3f ms  "
+                "expanded %llu  reexp %llu\n",
+                r.name.c_str(), r.tier.c_str(),
+                static_cast<long long>(r.horizon), r.wall_ms_best,
+                static_cast<unsigned long long>(r.nodes_expanded),
+                static_cast<unsigned long long>(r.reexpansions));
+    results.push_back(std::move(r));
+  }
+  std::printf("[micro_planner] geomean wall_ms_best: small %.3f  "
+              "medium %.3f  large %.3f\n",
+              GeomeanWallMs(results, "small"),
+              GeomeanWallMs(results, "medium"),
+              GeomeanWallMs(results, "large"));
+
+  // Smoke runs (ctest / check.sh) write to their own file so a CI pass
+  // never clobbers a real benchmark result sitting in the build dir.
+  const std::string path = smoke      ? "BENCH_planner_smoke.json"
+                           : baseline ? "BENCH_planner_baseline.json"
+                                      : "BENCH_planner.json";
+  std::ofstream out(path);
+  WriteJson(out, results, reps, smoke);
+  out << "\n";
+  std::cout << "[micro_planner] wrote " << results.size()
+            << " instance records to " << path << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace abivm
+
+int main(int argc, char** argv) { return abivm::Main(argc, argv); }

@@ -25,6 +25,9 @@ if [ "$fast" -eq 0 ]; then
   cmake --preset asan || exit 1
   cmake --build --preset asan -j "$jobs" || exit 1
   ctest --preset asan -j "$jobs" || fail=1
+  # Planner hot path: the arena/intern-table A* does manual index
+  # arithmetic over flat buffers, exactly what ASan exists to vet.
+  (cd build-asan/bench && ./micro_planner --smoke=1 >/dev/null) || fail=1
 fi
 
 echo "=== TSan: full test suite ==="
@@ -35,6 +38,7 @@ cmake --build --preset tsan -j "$jobs" || exit 1
 ctest --preset tsan -j "$jobs" || fail=1
 (cd build-tsan/bench && ./abl_tightness --threads=4 >/dev/null) || fail=1
 (cd build-tsan/bench && ./abl_cost_shapes --threads=4 >/dev/null) || fail=1
+(cd build-tsan/bench && ./micro_planner --smoke=1 >/dev/null) || fail=1
 
 if [ "$fail" -ne 0 ]; then
   echo "check.sh: FAILURES (see above)"

@@ -1,6 +1,7 @@
 #include "core/actions.h"
 
 #include <algorithm>
+#include <array>
 #include <numeric>
 
 #include "common/check.h"
@@ -8,38 +9,42 @@
 
 namespace abivm {
 
-namespace {
-
-// Indices of delta tables with pending modifications.
-std::vector<size_t> NonEmptyComponents(const StateVec& state) {
-  std::vector<size_t> out;
-  for (size_t i = 0; i < state.size(); ++i) {
-    if (state[i] > 0) out.push_back(i);
-  }
-  return out;
-}
-
-}  // namespace
-
 std::vector<StateVec> EnumerateMinimalGreedyActions(
     const CostModel& model, double budget, const StateVec& pre_state) {
+  std::vector<StateVec> result;
+  result.resize(
+      EnumerateMinimalGreedyActionsInto(model, budget, pre_state, result));
+  return result;
+}
+
+size_t EnumerateMinimalGreedyActionsInto(const CostModel& model, double budget,
+                                         const StateVec& pre_state,
+                                         std::vector<StateVec>& out,
+                                         std::vector<double>* action_costs) {
   ABIVM_CHECK_MSG(model.IsFull(pre_state, budget),
-                  "EnumerateMinimalGreedyActions requires a full state");
-  const std::vector<size_t> candidates = NonEmptyComponents(pre_state);
-  const size_t m = candidates.size();
-  ABIVM_CHECK_LE(m, kMaxEnumerationTables);
+                  "EnumerateMinimalGreedyActionsInto requires a full state");
+  // Indices of delta tables with pending modifications; fixed-size scratch
+  // (m <= kMaxEnumerationTables) so candidate discovery never allocates.
+  std::array<size_t, kMaxEnumerationTables> candidates;
+  size_t m = 0;
+  for (size_t i = 0; i < pre_state.size(); ++i) {
+    if (pre_state[i] > 0) {
+      ABIVM_CHECK_LT(m, kMaxEnumerationTables);
+      candidates[m++] = i;
+    }
+  }
 
   // Per-candidate flush cost f_i(s_i) and their sum. For a subset S of
   // flushed tables the residual refresh cost is total - sum_{i in S} cost_i
   // (tables outside `candidates` are empty and contribute 0).
-  std::vector<double> costs(m);
+  std::array<double, kMaxEnumerationTables> costs;
   double total = 0.0;
   for (size_t j = 0; j < m; ++j) {
     costs[j] = model.Cost(candidates[j], pre_state[candidates[j]]);
     total += costs[j];
   }
 
-  std::vector<StateVec> result;
+  size_t count = 0;
   const uint64_t subset_count = uint64_t{1} << m;
   for (uint64_t mask = 1; mask < subset_count; ++mask) {
     double flushed = 0.0;
@@ -61,17 +66,22 @@ std::vector<StateVec> EnumerateMinimalGreedyActions(
       }
     }
     if (!minimal) continue;
-    StateVec action = ZeroVec(pre_state.size());
+    if (count == out.size()) out.emplace_back();
+    if (action_costs != nullptr) {
+      if (count == action_costs->size()) action_costs->emplace_back();
+      (*action_costs)[count] = flushed;
+    }
+    StateVec& action = out[count++];
+    action.assign(pre_state.size(), 0);  // reuses the entry's capacity
     for (size_t j = 0; j < m; ++j) {
       if (mask & (uint64_t{1} << j)) {
         action[candidates[j]] = pre_state[candidates[j]];
       }
     }
-    result.push_back(std::move(action));
   }
-  ABIVM_CHECK_MSG(!result.empty(),
+  ABIVM_CHECK_MSG(count > 0,
                   "full state must admit at least one minimal action");
-  return result;
+  return count;
 }
 
 StateVec MinimizeAction(const CostModel& model, double budget,

@@ -26,6 +26,25 @@ std::vector<StateVec> EnumerateMinimalGreedyActions(const CostModel& model,
                                                     double budget,
                                                     const StateVec& pre_state);
 
+/// Allocation-lean variant for the planner hot path: writes the minimal
+/// actions into `out[0 .. count)` -- reusing both the outer vector and the
+/// inner StateVec storage across calls -- and returns `count`. `out` is
+/// only ever grown, so after warm-up the enumeration allocates nothing;
+/// entries at index >= count are stale scratch and must be ignored.
+/// Results (values and order) are identical to
+/// EnumerateMinimalGreedyActions.
+///
+/// If `action_costs` is non-null it receives f(action) for each returned
+/// action (same buffer-reuse contract). The value is bit-identical to
+/// CostModel::TotalCost(action): both sum the per-table flush costs in
+/// ascending table order, and the zero components TotalCost also visits
+/// contribute an exact IEEE +0.0 each, which cannot perturb the sum.
+size_t EnumerateMinimalGreedyActionsInto(const CostModel& model, double budget,
+                                         const StateVec& pre_state,
+                                         std::vector<StateVec>& out,
+                                         std::vector<double>* action_costs =
+                                             nullptr);
+
 /// Shrinks a greedy action (components equal to pre_state[i] or 0) to a
 /// minimal one emptying a subset of the tables it empties, while keeping
 /// f(pre_state - action) <= budget (the paper's MINIMIZEACTION). Components

@@ -47,10 +47,29 @@ Count ArrivalSequence::RangeSum(TimeStep t1, TimeStep t2, size_t i) const {
 }
 
 StateVec ArrivalSequence::RangeSumVec(TimeStep t1, TimeStep t2) const {
-  StateVec out(n_, 0);
-  if (t1 > t2) return out;
-  for (size_t i = 0; i < n_; ++i) out[i] = RangeSum(t1, t2, i);
+  StateVec out;
+  RangeSumVecInto(t1, t2, out);
   return out;
+}
+
+void ArrivalSequence::RangeSumVecInto(TimeStep t1, TimeStep t2,
+                                      StateVec& out) const {
+  out.resize(n_);
+  if (t1 > t2) {
+    std::fill(out.begin(), out.end(), 0);
+    return;
+  }
+  t1 = std::max<TimeStep>(t1, 0);
+  ABIVM_CHECK_LE(t2, horizon_);
+  const StateVec& hi = cumulative_[static_cast<size_t>(t2) + 1];
+  const StateVec& lo = cumulative_[static_cast<size_t>(t1)];
+  for (size_t i = 0; i < n_; ++i) out[i] = hi[i] - lo[i];
+}
+
+const StateVec& ArrivalSequence::PrefixThrough(TimeStep t) const {
+  ABIVM_CHECK_GE(t, -1);
+  ABIVM_CHECK_LE(t, horizon_);
+  return cumulative_[static_cast<size_t>(t + 1)];
 }
 
 Count ArrivalSequence::MaxStepArrival(size_t i) const {

@@ -36,6 +36,18 @@ class ArrivalSequence {
   /// Component-wise RangeSum as a vector.
   StateVec RangeSumVec(TimeStep t1, TimeStep t2) const;
 
+  /// RangeSumVec written into `out` (resized to n), reusing its storage --
+  /// the planner hot path calls this with a scratch buffer to avoid
+  /// per-query allocation. Bounds are clamped/checked once, then the two
+  /// cumulative rows are subtracted directly.
+  void RangeSumVecInto(TimeStep t1, TimeStep t2, StateVec& out) const;
+
+  /// The prefix-sum row sum_{u=0..t} d_u, component-wise; t = -1 returns
+  /// the zero row (the A* source time). The reference stays valid for the
+  /// sequence's lifetime, so callers can difference two rows in place
+  /// without materializing a range-sum vector.
+  const StateVec& PrefixThrough(TimeStep t) const;
+
   /// Largest single-step arrival count for table i over the whole horizon
   /// (the m_i of the A* heuristic).
   Count MaxStepArrival(size_t i) const;

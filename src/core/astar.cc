@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <cstddef>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
+#include "common/float_compare.h"
 #include "common/random.h"
 #include "common/stopwatch.h"
 #include "core/actions.h"
@@ -14,36 +14,22 @@ namespace abivm {
 
 namespace {
 
-// A node in the LGM plan graph: the post-action state at a given time
-// (t = -1 encodes the source; the destination is handled separately).
-struct NodeKey {
-  TimeStep t;
-  StateVec state;
-
-  bool operator==(const NodeKey& other) const {
-    return t == other.t && state == other.state;
-  }
-};
-
-struct NodeKeyHash {
-  size_t operator()(const NodeKey& key) const {
-    uint64_t h = static_cast<uint64_t>(key.t) * 0x9e3779b97f4a7c15ULL + 1;
-    for (Count c : key.state) {
-      uint64_t x = h ^ c;
-      h = SplitMix64(x);
-    }
-    return static_cast<size_t>(h);
-  }
-};
-
+// Per-node search bookkeeping. A node of the LGM plan graph is a
+// (time, post-action state) pair; the state vectors themselves live in a
+// flat arena (`Search::node_state_`, n counts per node) rather than in
+// per-node heap blocks, and the incoming best action lives in a parallel
+// arena slot, so growing the graph never allocates per node.
 struct NodeInfo {
   double g = 0.0;
-  // Back-pointer for plan reconstruction: the predecessor node and the
-  // action (with its time) taken on the incoming optimal edge.
+  // Cached heuristic value h(t, state): a pure function of the node, so
+  // it is computed once on the node's first improving relaxation and
+  // reused by every later queue push (< 0 means not yet computed).
+  double h = -1.0;
+  // Back-pointer for plan reconstruction: the predecessor node; the
+  // action taken on the incoming optimal edge sits in the action arena.
   int32_t parent = -1;
   TimeStep action_time = -1;
-  bool expanded = false;  // for the re-expansion statistic
-  StateVec action;
+  bool expanded = false;  // doubles as the closed-set membership bit
 };
 
 struct FrontierEntry {
@@ -61,23 +47,36 @@ struct FrontierEntry {
 class Search {
  public:
   Search(const ProblemInstance& instance, const AStarOptions& options)
-      : instance_(instance), options_(options) {
+      : instance_(instance), options_(options), n_(instance.n()) {
     PrecomputeHeuristicTerms();
   }
 
   PlanSearchResult Run();
 
  private:
+  // The configured heuristic is consistent for h = 0 (Dijkstra) and for
+  // the safe default bound (both terms are consistent and max preserves
+  // consistency; see DESIGN.md "Why the closed set is sound"). The
+  // literal paper heuristic is inconsistent even for linear costs, so it
+  // must keep the re-open loop.
+  bool Consistent() const { return !options_.paper_exact_heuristic; }
+
   // b_i = m_i + max{b : f_i(b) <= C} and f_i(b_i), the paper's per-table
   // batch bound. The floor(R/b_i) * f_i(b_i) term is only a valid lower
   // bound when the per-item cost is non-increasing (see Heuristic below).
+  // Also caches raw cost-function pointers and the per-table arrival
+  // suffix totals suffix_[(t+1)*n + i] = sum of d_u[i] over u in
+  // (t, horizon], so a heuristic evaluation indexes a precomputed row
+  // instead of issuing n range-sum queries.
   void PrecomputeHeuristicTerms() {
-    const size_t n = instance_.n();
-    batch_bound_.resize(n);
-    batch_bound_cost_.resize(n);
-    star_shaped_.resize(n);
-    for (size_t i = 0; i < n; ++i) {
+    const TimeStep horizon = instance_.horizon();
+    batch_bound_.resize(n_);
+    batch_bound_cost_.resize(n_);
+    star_shaped_.resize(n_);
+    fns_.resize(n_);
+    for (size_t i = 0; i < n_; ++i) {
       const CostFunction& f = instance_.cost_model.function(i);
+      fns_[i] = &f;
       star_shaped_[i] = f.CostPerItemNonIncreasing();
       const uint64_t max_batch = f.MaxBatchWithin(instance_.budget);
       if (max_batch == kUnboundedBatch) {
@@ -91,6 +90,16 @@ class Search {
           batch_bound_[i] == 0
               ? 0.0
               : instance_.cost_model.Cost(i, batch_bound_[i]);
+    }
+
+    // Suffix totals for every heuristic anchor time t in [-1, horizon]
+    // (row index t + 1): total arrivals minus the prefix through t.
+    suffix_.resize((static_cast<size_t>(horizon) + 2) * n_);
+    const StateVec& total = instance_.arrivals.PrefixThrough(horizon);
+    for (TimeStep t = -1; t <= horizon; ++t) {
+      const StateVec& prefix = instance_.arrivals.PrefixThrough(t);
+      Count* row = suffix_.data() + static_cast<size_t>(t + 1) * n_;
+      for (size_t i = 0; i < n_; ++i) row[i] = total[i] - prefix[i];
     }
   }
 
@@ -113,18 +122,18 @@ class Search {
   // processing a <= b_i modifications costs f_i(a) >= (a/b_i) f_i(b_i),
   // exactly the amount the term decreases. A consistent heuristic means
   // nodes never need re-expansion.
-  double Heuristic(TimeStep t, const StateVec& state) {
+  double Heuristic(TimeStep t, const Count* state) {
     if (!options_.use_heuristic) return 0.0;
     ++result_.heuristic_evals;
-    const TimeStep horizon = instance_.horizon();
+    const Count* suffix_row =
+        suffix_.data() + static_cast<size_t>(t + 1) * n_;
     double h = 0.0;
-    for (size_t i = 0; i < state.size(); ++i) {
-      const Count remaining =
-          state[i] + instance_.arrivals.RangeSum(t + 1, horizon, i);
+    for (size_t i = 0; i < n_; ++i) {
+      const Count remaining = state[i] + suffix_row[i];
       if (remaining == 0) continue;
       double term = options_.paper_exact_heuristic
                         ? 0.0
-                        : instance_.cost_model.Cost(i, remaining);
+                        : fns_[i]->Cost(remaining);
       if ((star_shaped_[i] || options_.paper_exact_heuristic) &&
           batch_bound_[i] != kUnboundedBatch && batch_bound_[i] > 0) {
         const double batches =
@@ -139,21 +148,33 @@ class Search {
     return h;
   }
 
+  // IsFull on the pre-action state state + arrivals(t+1 .. tp) without
+  // materializing a sum vector: differences the two cumulative rows
+  // component-wise and early-exits once the partial cost sum already
+  // exceeds the budget (valid because per-table costs are non-negative
+  // and CostExceedsBudget is monotone in its cost argument).
+  bool IsFullAt(const Count* state, TimeStep t, TimeStep tp) const {
+    const StateVec& hi = instance_.arrivals.PrefixThrough(tp);
+    const StateVec& lo = instance_.arrivals.PrefixThrough(t);
+    double total = 0.0;
+    for (size_t i = 0; i < n_; ++i) {
+      const Count pre = state[i] + (hi[i] - lo[i]);
+      total += fns_[i]->Cost(pre);
+      if (CostExceedsBudget(total, instance_.budget)) return true;
+    }
+    return false;
+  }
+
   // First time t' in (t, horizon] at which the pre-action state
   // state + arrivals(t+1 .. t') becomes full, or horizon + 1 if never.
-  TimeStep FirstFullTime(TimeStep t, const StateVec& state) const {
+  TimeStep FirstFullTime(TimeStep t, const Count* state) const {
     const TimeStep horizon = instance_.horizon();
-    auto full_at = [&](TimeStep tp) {
-      return instance_.cost_model.IsFull(
-          AddVec(state, instance_.arrivals.RangeSumVec(t + 1, tp)),
-          instance_.budget);
-    };
-    if (!full_at(horizon)) return horizon + 1;
+    if (!IsFullAt(state, t, horizon)) return horizon + 1;
     TimeStep lo = t + 1, hi = horizon;
-    // Invariant: full_at(hi); find smallest full time.
+    // Invariant: IsFullAt(hi); find smallest full time.
     while (lo < hi) {
       const TimeStep mid = lo + (hi - lo) / 2;
-      if (full_at(mid)) {
+      if (IsFullAt(state, t, mid)) {
         hi = mid;
       } else {
         lo = mid + 1;
@@ -162,35 +183,100 @@ class Search {
     return lo;
   }
 
-  int32_t InternNode(NodeKey key) {
-    auto [it, inserted] =
-        index_.try_emplace(std::move(key), static_cast<int32_t>(nodes_.size()));
-    if (inserted) {
-      nodes_.emplace_back();
-      nodes_.back().g = kInfinity;
-      // A node is "generated" when it first enters the search graph;
-      // relaxation attempts into existing nodes are counted separately
-      // (result_.relaxations) so the two statistics stay honest.
-      ++result_.nodes_generated;
-    }
-    return it->second;
+  // out = state + arrivals(t+1 .. t2), via the two cumulative rows.
+  void PreStateInto(const Count* state, TimeStep t, TimeStep t2,
+                    StateVec& out) const {
+    const StateVec& hi = instance_.arrivals.PrefixThrough(t2);
+    const StateVec& lo = instance_.arrivals.PrefixThrough(t);
+    out.resize(n_);
+    for (size_t i = 0; i < n_; ++i) out[i] = state[i] + (hi[i] - lo[i]);
   }
 
-  void Relax(int32_t from, int32_t to, TimeStep action_time,
-             StateVec action, double weight, double h_to) {
-    NodeInfo& info = nodes_[static_cast<size_t>(to)];
-    const double candidate = nodes_[static_cast<size_t>(from)].g + weight;
-    ++result_.relaxations;
-    if (candidate < info.g) {
-      ++result_.edges_improved;
-      info.g = candidate;
-      info.parent = from;
-      info.action_time = action_time;
-      info.action = std::move(action);
-      frontier_.push({candidate + h_to, candidate, to});
-      if (frontier_.size() > result_.frontier_peak) {
-        result_.frontier_peak = frontier_.size();
+  size_t HashOf(TimeStep t, const Count* state) const {
+    uint64_t h = static_cast<uint64_t>(t) * 0x9e3779b97f4a7c15ULL + 1;
+    for (size_t i = 0; i < n_; ++i) {
+      uint64_t x = h ^ state[i];
+      h = SplitMix64(x);
+    }
+    return static_cast<size_t>(h);
+  }
+
+  const Count* StateOf(int32_t id) const {
+    return node_state_.data() + static_cast<size_t>(id) * n_;
+  }
+
+  // Doubles the open-addressing table and reinserts every node using its
+  // stored hash (no state re-hashing).
+  void Rehash() {
+    const size_t new_size = buckets_.empty() ? 1024 : buckets_.size() * 2;
+    buckets_.assign(new_size, -1);
+    bucket_mask_ = new_size - 1;
+    for (int32_t id = 0; id < static_cast<int32_t>(nodes_.size()); ++id) {
+      size_t b = node_hash_[static_cast<size_t>(id)] & bucket_mask_;
+      while (buckets_[b] != -1) b = (b + 1) & bucket_mask_;
+      buckets_[b] = id;
+    }
+  }
+
+  // Interns the node (t, state): linear-probing lookup against the flat
+  // arenas; on a miss the node's state is appended to the state arena and
+  // an action slot is reserved, so interning performs no per-node heap
+  // allocation (arena growth is amortized).
+  int32_t InternNode(TimeStep t, const Count* state) {
+    if ((nodes_.size() + 1) * 4 > buckets_.size() * 3) Rehash();
+    const size_t hash = HashOf(t, state);
+    size_t b = hash & bucket_mask_;
+    while (buckets_[b] != -1) {
+      const int32_t id = buckets_[b];
+      if (node_t_[static_cast<size_t>(id)] == t &&
+          std::equal(state, state + n_, StateOf(id))) {
+        return id;
       }
+      b = (b + 1) & bucket_mask_;
+    }
+    const int32_t id = static_cast<int32_t>(nodes_.size());
+    buckets_[b] = id;
+    node_t_.push_back(t);
+    node_hash_.push_back(hash);
+    node_state_.insert(node_state_.end(), state, state + n_);
+    node_action_.resize(node_action_.size() + n_);
+    nodes_.emplace_back();
+    nodes_.back().g = kInfinity;
+    // A node is "generated" when it first enters the search graph;
+    // relaxation attempts into existing nodes are counted separately
+    // (result_.relaxations) so the two statistics stay honest.
+    ++result_.nodes_generated;
+    return id;
+  }
+
+  // Attempts to improve `to` via an edge from `from` (whose settled cost
+  // is `g_from`) paying `weight` for `action`. The heuristic is evaluated
+  // lazily -- only when the relaxation actually improves the node and the
+  // node's h was never computed -- so non-improving edges (the majority)
+  // cost no heuristic work.
+  void Relax(double g_from, int32_t from, int32_t to, TimeStep action_time,
+             const Count* action, double weight) {
+    NodeInfo& info = nodes_[static_cast<size_t>(to)];
+    const double candidate = g_from + weight;
+    ++result_.relaxations;
+    if (candidate >= info.g) return;
+    // Closed set: a settled node is final. The consistent heuristic
+    // limits any later "improvement" to floating-point summation noise
+    // (different addition orders along equal-cost paths, a few ulps);
+    // accepting it would desynchronize the node's recorded g from the
+    // costs already propagated to its successors, so it is ignored.
+    if (closed_set_active_ && info.expanded) return;
+    if (info.h < 0.0) info.h = Heuristic(node_t_[static_cast<size_t>(to)],
+                                         StateOf(to));
+    ++result_.edges_improved;
+    info.g = candidate;
+    info.parent = from;
+    info.action_time = action_time;
+    std::copy(action, action + n_,
+              node_action_.begin() + static_cast<size_t>(to) * n_);
+    frontier_.push({candidate + info.h, candidate, to});
+    if (frontier_.size() > result_.frontier_peak) {
+      result_.frontier_peak = frontier_.size();
     }
   }
 
@@ -214,53 +300,76 @@ class Search {
 
   const ProblemInstance& instance_;
   AStarOptions options_;
+  const size_t n_;
+  bool closed_set_active_ = false;
   std::vector<Count> batch_bound_;
   std::vector<double> batch_bound_cost_;
   std::vector<bool> star_shaped_;
+  std::vector<const CostFunction*> fns_;
+  std::vector<Count> suffix_;  // (horizon + 2) rows of n suffix totals
 
-  std::unordered_map<NodeKey, int32_t, NodeKeyHash> index_;
+  // Node storage: parallel flat arrays indexed by node id. States and
+  // incoming best actions are n_-count arena slices.
   std::vector<NodeInfo> nodes_;
-  std::vector<NodeKey> keys_;  // parallel to nodes_ for expansion
+  std::vector<TimeStep> node_t_;
+  std::vector<size_t> node_hash_;
+  std::vector<Count> node_state_;
+  std::vector<Count> node_action_;
+  // Open-addressing intern table over node ids (-1 = empty slot),
+  // power-of-two sized, linear probing, load factor <= 0.75.
+  std::vector<int32_t> buckets_;
+  size_t bucket_mask_ = 0;
+
   std::priority_queue<FrontierEntry, std::vector<FrontierEntry>,
                       std::greater<FrontierEntry>>
       frontier_;
+
+  // Scratch buffers owned by the search so the per-expansion work
+  // (key copy, pre-state accumulation, successor states, enumerated
+  // actions) reuses storage instead of allocating.
+  StateVec expand_state_;
+  StateVec pre_state_;
+  StateVec post_state_;
+  std::vector<StateVec> actions_;
+  std::vector<double> action_costs_;
+
   PlanSearchResult result_{MaintenancePlan(1, 0)};
 };
 
 PlanSearchResult Search::Run() {
   const Stopwatch watch;
   const TimeStep horizon = instance_.horizon();
-  const size_t n = instance_.n();
-  ABIVM_CHECK_LE(n, kMaxEnumerationTables);
+  ABIVM_CHECK_LE(n_, kMaxEnumerationTables);
 
-  result_ = PlanSearchResult{MaintenancePlan(n, horizon)};
+  result_ = PlanSearchResult{MaintenancePlan(n_, horizon)};
+  closed_set_active_ = options_.use_closed_set && Consistent();
+  result_.used_closed_set = closed_set_active_;
 
-  // Node interning keeps keys alongside infos.
-  auto intern = [&](NodeKey key) {
-    const int32_t id = InternNode(key);
-    if (static_cast<size_t>(id) == keys_.size()) {
-      keys_.push_back(std::move(key));
-    }
-    return id;
-  };
-
-  const int32_t source = intern(NodeKey{-1, ZeroVec(n)});
+  const StateVec zero = ZeroVec(n_);
+  const int32_t source = InternNode(-1, zero.data());
   // Destination: refresh done at T with empty state.
-  const int32_t destination = intern(NodeKey{horizon, ZeroVec(n)});
+  const int32_t destination = InternNode(horizon, zero.data());
 
   nodes_[static_cast<size_t>(source)].g = 0.0;
-  frontier_.push(
-      {Heuristic(-1, ZeroVec(n)), 0.0, source});
+  nodes_[static_cast<size_t>(source)].h = Heuristic(-1, zero.data());
+  frontier_.push({nodes_[static_cast<size_t>(source)].h, 0.0, source});
 
   while (!frontier_.empty()) {
     const FrontierEntry top = frontier_.top();
     frontier_.pop();
     NodeInfo& info = nodes_[static_cast<size_t>(top.node)];
     if (top.g > info.g) continue;  // stale entry
-    // No closed set: the heuristic is admissible but not necessarily
-    // consistent, so a node may be re-expanded after its g improves.
+    if (info.expanded) {
+      // Re-expansion: only reachable with the closed set off (the paper
+      // heuristic's genuine inconsistency, or ulp-level noise under the
+      // default heuristic). Under the closed set, Relax never re-queues a
+      // settled node and stale entries were filtered above, so reaching
+      // this line would be a soundness bug.
+      ABIVM_CHECK_MSG(!closed_set_active_,
+                      "closed-set A* popped a settled node");
+      ++result_.reexpansions;
+    }
     ++result_.nodes_expanded;
-    if (info.expanded) ++result_.reexpansions;
     info.expanded = true;
 
     if (top.node == destination) {
@@ -269,8 +378,12 @@ PlanSearchResult Search::Run() {
       int32_t cursor = destination;
       while (cursor != source) {
         const NodeInfo& step = nodes_[static_cast<size_t>(cursor)];
-        if (!IsZeroVec(step.action)) {
-          result_.plan.SetAction(step.action_time, step.action);
+        const Count* action =
+            node_action_.data() + static_cast<size_t>(cursor) * n_;
+        if (!std::all_of(action, action + n_,
+                         [](Count c) { return c == 0; })) {
+          result_.plan.SetAction(step.action_time,
+                                 StateVec(action, action + n_));
         }
         cursor = step.parent;
       }
@@ -279,30 +392,34 @@ PlanSearchResult Search::Run() {
       return result_;
     }
 
-    const NodeKey key = keys_[static_cast<size_t>(top.node)];  // copy:
-    // expansion below may grow keys_ and invalidate references.
-    const TimeStep t2 = FirstFullTime(key.t, key.state);
+    // Copy the node's time and state into scratch: interning successors
+    // below grows the arenas and would invalidate slice pointers.
+    const TimeStep t = node_t_[static_cast<size_t>(top.node)];
+    expand_state_.assign(StateOf(top.node), StateOf(top.node) + n_);
+    const double g_settled = info.g;  // info dangles once nodes_ grows
+
+    const TimeStep t2 = FirstFullTime(t, expand_state_.data());
     if (t2 >= horizon) {
       // Either the state never becomes full before T, or it first fills
       // exactly at T: in both cases the only remaining LGM action is the
       // full refresh at T.
-      StateVec pre_at_horizon =
-          AddVec(key.state, instance_.arrivals.RangeSumVec(key.t + 1, horizon));
-      const double weight = instance_.cost_model.TotalCost(pre_at_horizon);
-      Relax(top.node, destination, horizon, std::move(pre_at_horizon), weight,
-            /*h_to=*/0.0);
+      PreStateInto(expand_state_.data(), t, horizon, pre_state_);
+      const double weight = instance_.cost_model.TotalCost(pre_state_);
+      Relax(g_settled, top.node, destination, horizon, pre_state_.data(),
+            weight);
       continue;
     }
 
-    const StateVec pre_state =
-        AddVec(key.state, instance_.arrivals.RangeSumVec(key.t + 1, t2));
-    for (StateVec& action : EnumerateMinimalGreedyActions(
-             instance_.cost_model, instance_.budget, pre_state)) {
-      StateVec post = SubVec(pre_state, action);
-      const double weight = instance_.cost_model.TotalCost(action);
-      const double h_to = Heuristic(t2, post);
-      const int32_t successor = intern(NodeKey{t2, std::move(post)});
-      Relax(top.node, successor, t2, std::move(action), weight, h_to);
+    PreStateInto(expand_state_.data(), t, t2, pre_state_);
+    const size_t action_count = EnumerateMinimalGreedyActionsInto(
+        instance_.cost_model, instance_.budget, pre_state_, actions_,
+        &action_costs_);
+    for (size_t a = 0; a < action_count; ++a) {
+      const StateVec& action = actions_[a];
+      SubVecInto(pre_state_, action, post_state_);
+      const int32_t successor = InternNode(t2, post_state_.data());
+      Relax(g_settled, top.node, successor, t2, action.data(),
+            action_costs_[a]);
     }
   }
   ABIVM_CHECK_MSG(false, "A* frontier exhausted without reaching refresh; "

@@ -9,9 +9,13 @@
 // considering each delta table in isolation. NOTE: unlike the paper's
 // Lemma 7 claim, the literal floor(R/b_i)*f_i(b_i) term is neither
 // admissible for general subadditive costs nor consistent even for linear
-// ones, so this implementation (a) repairs/strengthens the bound (see
-// astar.cc) and (b) re-opens nodes instead of keeping a closed set, which
-// preserves optimality under any admissible heuristic.
+// ones, so this implementation repairs/strengthens the bound (see
+// astar.cc). The repaired default heuristic is *consistent* (see
+// DESIGN.md, "Why the closed set is sound"), so the search keeps a closed
+// set and never re-expands a settled node; the re-open-on-improvement
+// loop is retained for the literal paper heuristic, which stays available
+// behind AStarOptions::paper_exact_heuristic, and preserves optimality
+// under any admissible heuristic.
 
 #ifndef ABIVM_CORE_ASTAR_H_
 #define ABIVM_CORE_ASTAR_H_
@@ -40,9 +44,14 @@ struct PlanSearchResult {
   uint64_t relaxations = 0;
   /// Relaxations that improved a node's g and (re-)queued it.
   uint64_t edges_improved = 0;
-  /// Expansions of nodes that had already been expanded at a worse g
-  /// (zero when the heuristic is consistent).
+  /// Expansions of nodes that had already been expanded at a worse g.
+  /// Structurally zero when the closed set is active; with the closed set
+  /// disabled, the consistent default heuristic can still show a handful
+  /// of ulp-level re-expansions from floating-point summation noise.
   uint64_t reexpansions = 0;
+  /// True iff the search ran with the closed set (use_closed_set enabled
+  /// AND the configured heuristic is consistent).
+  bool used_closed_set = false;
   /// Heuristic evaluations (h is O(n * active-tables) each).
   uint64_t heuristic_evals = 0;
   /// Largest frontier (priority-queue) size observed.
@@ -61,6 +70,16 @@ struct AStarOptions {
   /// return a suboptimal LGM plan. The default (false) uses the safe
   /// heuristic max(f_i(R), [star-shaped] floor(R/b_i) * f_i(b_i)).
   bool paper_exact_heuristic = false;
+  /// If true (default), the search keeps a closed set whenever the
+  /// configured heuristic is consistent (h = 0 and the safe default
+  /// heuristic are; paper_exact_heuristic is not): a node is settled on
+  /// first expansion and later "improvements" -- which consistency limits
+  /// to floating-point summation noise of a few ulps -- are ignored, so
+  /// g, parent pointers and the reported cost stay mutually consistent
+  /// and reexpansions == 0 structurally. Set to false to force the
+  /// re-open-on-improvement loop regardless of heuristic (used by the
+  /// equivalence regression tests).
+  bool use_closed_set = true;
   /// Optional metrics sink: when set, the search publishes its
   /// PlanSearchResult statistics as `astar.*` counters and an
   /// `astar.search_ms` timer into the registry on completion.

@@ -39,6 +39,25 @@ inline StateVec AddVec(const StateVec& a, const StateVec& b) {
   return out;
 }
 
+/// out = a + b, component-wise, reusing out's storage (no allocation once
+/// out has capacity >= a.size()). `out` may alias `a` or `b`.
+inline void AddVecInto(const StateVec& a, const StateVec& b, StateVec& out) {
+  ABIVM_DCHECK(a.size() == b.size());
+  out.resize(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+}
+
+/// out = a - b, component-wise, reusing out's storage; checks b <= a.
+/// `out` may alias `a` or `b`.
+inline void SubVecInto(const StateVec& a, const StateVec& b, StateVec& out) {
+  ABIVM_DCHECK(a.size() == b.size());
+  out.resize(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ABIVM_CHECK_LE(b[i], a[i]);
+    out[i] = a[i] - b[i];
+  }
+}
+
 /// a - b, component-wise; checks b <= a.
 inline StateVec SubVec(const StateVec& a, const StateVec& b) {
   ABIVM_DCHECK(a.size() == b.size());

@@ -1,5 +1,7 @@
 #include "sim/sweep.h"
 
+#include <algorithm>
+#include <numeric>
 #include <utility>
 
 #include "common/stopwatch.h"
@@ -15,8 +17,21 @@ std::vector<SweepJobResult> RunSweep(const std::vector<SweepJob>& jobs,
       options.threads == 0 ? ThreadPool::DefaultThreads() : options.threads;
   std::vector<SweepJobResult> results(jobs.size());
 
+  // Cost-aware scheduling: dispatch longest-expected-first so that when
+  // thread count approaches job count, the most expensive job is never
+  // the one that starts last and stretches the tail. stable_sort keeps
+  // submission order among equal-cost jobs, so dispatch is deterministic;
+  // each job still writes results[its submission index], so the returned
+  // vector (and parallel==sequential bit-identity) is unaffected.
+  std::vector<size_t> dispatch(jobs.size());
+  std::iota(dispatch.begin(), dispatch.end(), size_t{0});
+  std::stable_sort(dispatch.begin(), dispatch.end(),
+                   [&jobs](size_t a, size_t b) {
+                     return jobs[a].expected_cost > jobs[b].expected_cost;
+                   });
+
   ThreadPool pool(threads);
-  for (size_t i = 0; i < jobs.size(); ++i) {
+  for (const size_t i : dispatch) {
     const SweepJob& job = jobs[i];
     SweepJobResult& result = results[i];
     pool.Submit([&job, &result] {
@@ -43,6 +58,9 @@ SweepJob MakeSimulateJob(std::string scenario, std::string label,
   SweepJob job;
   job.scenario = std::move(scenario);
   job.label = std::move(label);
+  // Simulation work scales with the number of steps; the horizon is a
+  // good-enough relative cost proxy for longest-first dispatch.
+  job.expected_cost = static_cast<double>(instance.horizon() + 1);
   job.run = [&instance, factory = std::move(factory),
              base_options](obs::MetricRegistry& registry,
                            SweepJobResult& result) {
@@ -64,6 +82,9 @@ SweepJob MakePlanJob(std::string scenario, std::string label,
   SweepJob job;
   job.scenario = std::move(scenario);
   job.label = std::move(label);
+  // A* search size grows superlinearly with the horizon; the horizon is
+  // still a monotone proxy, which is all longest-first dispatch needs.
+  job.expected_cost = static_cast<double>(instance.horizon() + 1);
   job.run = [&instance, base_options](obs::MetricRegistry& registry,
                                       SweepJobResult& result) {
     AStarOptions options = base_options;

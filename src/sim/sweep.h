@@ -55,6 +55,15 @@ struct SweepJobResult {
 struct SweepJob {
   std::string scenario;
   std::string label;
+  /// Relative expected runtime used for cost-aware scheduling: the engine
+  /// dispatches jobs in descending expected_cost so the longest job
+  /// starts first and cannot become the tail when thread count approaches
+  /// job count. Any monotone proxy works; the Make*Job helpers use the
+  /// instance's horizon length. 0 (the default) means "unknown" and
+  /// preserves submission order among such jobs. Scheduling only affects
+  /// dispatch order -- results always come back in submission order with
+  /// bit-identical contents.
+  double expected_cost = 0.0;
   std::function<void(obs::MetricRegistry&, SweepJobResult&)> run;
 };
 
@@ -67,9 +76,10 @@ struct SweepOptions {
   size_t threads = 0;
 };
 
-/// Runs every job (order of execution unspecified, results in job order).
-/// Jobs must not throw; a CHECK failure inside a job aborts the sweep,
-/// matching the repo-wide error discipline.
+/// Runs every job (dispatch order is longest-expected-first by
+/// SweepJob::expected_cost, results in job order). Jobs must not throw; a
+/// CHECK failure inside a job aborts the sweep, matching the repo-wide
+/// error discipline.
 std::vector<SweepJobResult> RunSweep(const std::vector<SweepJob>& jobs,
                                      const SweepOptions& options = {});
 

@@ -183,6 +183,45 @@ TEST(EnumerateMinimalGreedyActionsTest, BoundaryResidueAgreesWithIsFull) {
   EXPECT_EQ(actions[0], (StateVec{0, 0, 1}));
 }
 
+// The allocation-lean Into variant must be observationally identical to
+// the allocating one -- same actions, same order -- while reusing its
+// output buffers across calls, and its optional action_costs output must
+// be bit-identical to TotalCost of each action.
+TEST(EnumerateMinimalGreedyActionsTest, IntoVariantMatchesAndReusesBuffers) {
+  Rng rng(909);
+  std::vector<StateVec> scratch;
+  std::vector<double> costs;
+  int checked = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const ProblemInstance instance = abivm::testing::RandomInstance(rng);
+    const size_t n = instance.n();
+    StateVec pre(n);
+    for (size_t i = 0; i < n; ++i) {
+      pre[i] = static_cast<Count>(rng.UniformInt(0, 12));
+    }
+    if (!instance.cost_model.IsFull(pre, instance.budget)) continue;
+    ++checked;
+
+    const std::vector<StateVec> allocated = EnumerateMinimalGreedyActions(
+        instance.cost_model, instance.budget, pre);
+    const size_t count = EnumerateMinimalGreedyActionsInto(
+        instance.cost_model, instance.budget, pre, scratch, &costs);
+
+    ASSERT_EQ(count, allocated.size()) << "trial " << trial;
+    for (size_t a = 0; a < count; ++a) {
+      EXPECT_EQ(scratch[a], allocated[a]) << "trial " << trial;
+      // Exact double equality on purpose: the A* hot path substitutes
+      // these costs for TotalCost calls, which is only sound bitwise.
+      EXPECT_EQ(costs[a], instance.cost_model.TotalCost(allocated[a]))
+          << "trial " << trial << " action " << a;
+    }
+    // The buffers only grow; entries past `count` are stale scratch.
+    EXPECT_GE(scratch.size(), count);
+    EXPECT_GE(costs.size(), count);
+  }
+  EXPECT_GT(checked, 50);  // the corpus actually exercised the comparison
+}
+
 TEST(CheapestMinimalGreedyActionTest, PrefersCheapFlush) {
   // Table 0 is expensive to flush, table 1 cheap; flushing either works.
   CostModel model = TwoLinearTables(10.0, 0.0, 1.0, 0.0);

@@ -78,5 +78,89 @@ TEST(ArrivalSequenceTest, Truncate) {
   EXPECT_EQ(t2.Total(1), 5u);
 }
 
+TEST(ArrivalSequenceTest, RangeSumVecIntoMatchesAndReusesBuffer) {
+  const ArrivalSequence seq = MakeSequence();
+  StateVec scratch{99, 99, 99};  // wrong size on purpose: must be resized
+  seq.RangeSumVecInto(1, 3, scratch);
+  EXPECT_EQ(scratch, seq.RangeSumVec(1, 3));
+  const Count* data = scratch.data();
+  // Subsequent queries of the same width reuse the buffer's storage.
+  seq.RangeSumVecInto(0, 2, scratch);
+  EXPECT_EQ(scratch, seq.RangeSumVec(0, 2));
+  EXPECT_EQ(scratch.data(), data);
+  // Empty and clamped ranges behave like the allocating variant.
+  seq.RangeSumVecInto(3, 1, scratch);
+  EXPECT_EQ(scratch, (StateVec{0, 0}));
+  seq.RangeSumVecInto(-5, 0, scratch);
+  EXPECT_EQ(scratch, (StateVec{1, 0}));
+}
+
+TEST(ArrivalSequenceTest, PrefixThroughRows) {
+  const ArrivalSequence seq = MakeSequence();
+  EXPECT_EQ(seq.PrefixThrough(-1), (StateVec{0, 0}));
+  EXPECT_EQ(seq.PrefixThrough(0), (StateVec{1, 0}));
+  EXPECT_EQ(seq.PrefixThrough(2), (StateVec{3, 5}));
+  EXPECT_EQ(seq.PrefixThrough(3), (StateVec{6, 6}));
+  // Differencing two rows reproduces any range sum.
+  for (TimeStep t1 = 0; t1 <= 3; ++t1) {
+    for (TimeStep t2 = t1; t2 <= 3; ++t2) {
+      for (size_t i = 0; i < seq.n(); ++i) {
+        EXPECT_EQ(seq.PrefixThrough(t2)[i] - seq.PrefixThrough(t1 - 1)[i],
+                  seq.RangeSum(t1, t2, i))
+            << "t1=" << t1 << " t2=" << t2 << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ArrivalSequenceTest, HorizonZeroSequence) {
+  // A single-step sequence (T = 0) is the smallest legal input; every
+  // accessor must handle it.
+  const ArrivalSequence seq({{4, 7}});
+  EXPECT_EQ(seq.horizon(), 0);
+  EXPECT_EQ(seq.Total(0), 4u);
+  EXPECT_EQ(seq.RangeSumVec(0, 0), (StateVec{4, 7}));
+  EXPECT_EQ(seq.RangeSumVec(1, 0), (StateVec{0, 0}));
+  EXPECT_EQ(seq.PrefixThrough(-1), (StateVec{0, 0}));
+  EXPECT_EQ(seq.PrefixThrough(0), (StateVec{4, 7}));
+}
+
+TEST(ArrivalSequenceTest, RepeatToSingleStep) {
+  // Repeating a one-step sequence gives uniform arrivals.
+  const ArrivalSequence seq({{2, 3}});
+  const ArrivalSequence repeated = seq.RepeatTo(5);
+  EXPECT_EQ(repeated.horizon(), 5);
+  for (TimeStep t = 0; t <= 5; ++t) {
+    EXPECT_EQ(repeated.At(t), (StateVec{2, 3})) << "t=" << t;
+  }
+  EXPECT_EQ(repeated.Total(0), 12u);
+}
+
+TEST(ArrivalSequenceTest, RepeatToSameHorizonIsIdentity) {
+  const ArrivalSequence seq = MakeSequence();
+  const ArrivalSequence same = seq.RepeatTo(seq.horizon());
+  EXPECT_EQ(same.horizon(), seq.horizon());
+  for (TimeStep t = 0; t <= seq.horizon(); ++t) {
+    EXPECT_EQ(same.At(t), seq.At(t)) << "t=" << t;
+  }
+}
+
+TEST(ArrivalSequenceTest, TruncateEdgeCases) {
+  const ArrivalSequence seq = MakeSequence();
+  // Truncate to the full length: a verbatim copy.
+  const ArrivalSequence full = seq.Truncate(seq.horizon());
+  EXPECT_EQ(full.horizon(), seq.horizon());
+  for (TimeStep t = 0; t <= seq.horizon(); ++t) {
+    EXPECT_EQ(full.At(t), seq.At(t)) << "t=" << t;
+  }
+  EXPECT_EQ(full.MaxStepArrival(1), seq.MaxStepArrival(1));
+  // Truncate to a single step (T = 0).
+  const ArrivalSequence first = seq.Truncate(0);
+  EXPECT_EQ(first.horizon(), 0);
+  EXPECT_EQ(first.At(0), seq.At(0));
+  EXPECT_EQ(first.Total(1), 0u);
+  EXPECT_EQ(first.MaxStepArrival(0), 1u);
+}
+
 }  // namespace
 }  // namespace abivm

@@ -208,6 +208,63 @@ TEST(AStarTest, PublishesCountersIntoMetricRegistry) {
   EXPECT_EQ(snapshot.timers.at("astar.search_ms").count, 1u);
 }
 
+// The closed set may only fire when the heuristic is consistent; when it
+// does, the search must be equivalent to the re-open variant. Closed-set
+// "on" vs "off" is exact-cost-identical across a broad seeded corpus for
+// BOTH heuristic modes: under the default (consistent) heuristic the
+// closed set is active and must not change the answer; under the paper
+// (inconsistent) heuristic it must silently deactivate, making the two
+// runs literally the same search.
+TEST(AStarTest, ClosedSetMatchesReopenSearchOnCorpus) {
+  Rng rng(5150);
+  int closed_set_active_count = 0;
+  for (int trial = 0; trial < 220; ++trial) {
+    const ProblemInstance instance = RandomInstance(rng);
+    for (const bool paper_mode : {false, true}) {
+      AStarOptions on;
+      on.paper_exact_heuristic = paper_mode;
+      on.use_closed_set = true;
+      AStarOptions off = on;
+      off.use_closed_set = false;
+
+      const PlanSearchResult with_cs = FindOptimalLgmPlan(instance, on);
+      const PlanSearchResult without_cs = FindOptimalLgmPlan(instance, off);
+
+      // Exact equality on purpose: the closed set only skips work that a
+      // correct search never needed, so the found optimum (a sum of the
+      // same action costs in the same order) is bit-identical.
+      EXPECT_EQ(with_cs.cost, without_cs.cost)
+          << "trial " << trial << " paper_mode " << paper_mode;
+
+      if (paper_mode) {
+        // Inconsistent heuristic: the gate must refuse the closed set.
+        EXPECT_FALSE(with_cs.used_closed_set) << "trial " << trial;
+      } else {
+        EXPECT_TRUE(with_cs.used_closed_set) << "trial " << trial;
+        EXPECT_EQ(with_cs.reexpansions, 0u) << "trial " << trial;
+        ++closed_set_active_count;
+      }
+      EXPECT_FALSE(without_cs.used_closed_set) << "trial " << trial;
+    }
+  }
+  EXPECT_EQ(closed_set_active_count, 220);
+}
+
+// With the closed set active, a settled node is never re-queued, so every
+// expansion is of a distinct node: expanded <= generated with no
+// reexpansion slack needed.
+TEST(AStarTest, ClosedSetNeverReexpandsOnDefaultHeuristic) {
+  Rng rng(6001);
+  for (int trial = 0; trial < 60; ++trial) {
+    const ProblemInstance instance = RandomInstance(rng);
+    const PlanSearchResult result = FindOptimalLgmPlan(instance);
+    ASSERT_TRUE(result.used_closed_set) << "trial " << trial;
+    EXPECT_EQ(result.reexpansions, 0u) << "trial " << trial;
+    EXPECT_LE(result.nodes_expanded, result.nodes_generated)
+        << "trial " << trial;
+  }
+}
+
 TEST(AStarTest, ZeroArrivalsCostNothing) {
   std::vector<CostFunctionPtr> fns = {std::make_shared<LinearCost>(1.0, 1.0)};
   const ProblemInstance instance{CostModel(std::move(fns)),

@@ -32,6 +32,22 @@ TEST(TypesTest, VectorHelpers) {
   EXPECT_EQ(ZeroVec(3), (StateVec{0, 0, 0}));
 }
 
+TEST(TypesTest, InPlaceVectorHelpers) {
+  StateVec out{9, 9, 9};  // wrong size: must be resized, not trusted
+  AddVecInto({1, 2}, {3, 4}, out);
+  EXPECT_EQ(out, (StateVec{4, 6}));
+  SubVecInto({5, 5}, {2, 0}, out);
+  EXPECT_EQ(out, (StateVec{3, 5}));
+  // Aliasing with an input is allowed: out = out - b.
+  SubVecInto(out, {1, 1}, out);
+  EXPECT_EQ(out, (StateVec{2, 4}));
+  // Same-width reuse keeps the buffer's storage.
+  const Count* data = out.data();
+  AddVecInto({7, 7}, {0, 1}, out);
+  EXPECT_EQ(out, (StateVec{7, 8}));
+  EXPECT_EQ(out.data(), data);
+}
+
 TEST(MaintenancePlanTest, ToStringListsActions) {
   MaintenancePlan plan(2, 10);
   plan.SetAction(3, {2, 0});

@@ -113,6 +113,64 @@ TEST(SweepTest, PlanJobMatchesDirectSearch) {
             direct.nodes_generated);
 }
 
+TEST(SweepTest, DispatchesLongestExpectedCostFirst) {
+  // With one worker thread, execution order equals dispatch order, so the
+  // start sequence observes the scheduler directly. Costs are submitted
+  // shuffled; dispatch must be by descending expected_cost.
+  const std::vector<double> costs = {3.0, 9.0, 1.0, 7.0, 5.0};
+  std::vector<size_t> started;  // safe unsynchronized: threads = 1
+  std::vector<SweepJob> jobs;
+  for (size_t i = 0; i < costs.size(); ++i) {
+    SweepJob job;
+    job.scenario = "order";
+    job.label = "job" + std::to_string(i);
+    job.expected_cost = costs[i];
+    job.run = [&started, i](obs::MetricRegistry&, SweepJobResult&) {
+      started.push_back(i);
+    };
+    jobs.push_back(std::move(job));
+  }
+  const std::vector<SweepJobResult> results =
+      RunSweep(jobs, SweepOptions{.threads = 1});
+  EXPECT_EQ(started, (std::vector<size_t>{1, 3, 4, 0, 2}));
+  // Results still come back in submission order.
+  ASSERT_EQ(results.size(), jobs.size());
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(results[i].label, jobs[i].label);
+  }
+}
+
+TEST(SweepTest, EqualCostDispatchKeepsSubmissionOrder) {
+  // All-default expected_cost (0.0, "unknown") must not reorder anything:
+  // stable_sort leaves equal keys in submission order.
+  std::vector<size_t> started;
+  std::vector<SweepJob> jobs;
+  for (size_t i = 0; i < 6; ++i) {
+    SweepJob job;
+    job.scenario = "stable";
+    job.label = "job" + std::to_string(i);
+    job.run = [&started, i](obs::MetricRegistry&, SweepJobResult&) {
+      started.push_back(i);
+    };
+    jobs.push_back(std::move(job));
+  }
+  RunSweep(jobs, SweepOptions{.threads = 1});
+  EXPECT_EQ(started, (std::vector<size_t>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(SweepTest, MakeJobHelpersSetExpectedCostFromHorizon) {
+  const ProblemInstance shorter = MakeInstance(40, 15.0);
+  const ProblemInstance longer = MakeInstance(120, 15.0);
+  const SweepJob sim_short = MakeSimulateJob(
+      "s", "NAIVE", shorter, [] { return std::make_unique<NaivePolicy>(); });
+  const SweepJob sim_long = MakeSimulateJob(
+      "s", "NAIVE", longer, [] { return std::make_unique<NaivePolicy>(); });
+  const SweepJob plan_long = MakePlanJob("s", "OPT_LGM", longer);
+  EXPECT_LT(sim_short.expected_cost, sim_long.expected_cost);
+  EXPECT_EQ(sim_long.expected_cost, plan_long.expected_cost);
+  EXPECT_GT(sim_short.expected_cost, 0.0);
+}
+
 TEST(SweepTest, EmptyJobListIsFine) {
   const std::vector<SweepJobResult> results =
       RunSweep({}, SweepOptions{.threads = 3});
