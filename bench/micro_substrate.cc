@@ -27,7 +27,7 @@ void BM_IndexNestedLoopJoin(benchmark::State& state) {
   const Table& supplier = fx.db->table(kSupplier);
   // A batch of partsupp rows joined against the supplier index.
   ExecStats stats;
-  DeltaBatch batch = ScanToBatch(partsupp, 0, &stats);
+  DeltaBatch batch = ScanToBatch(partsupp, 0, &stats).value();
   batch.resize(static_cast<size_t>(state.range(0)));
   const size_t key = partsupp.schema().ColumnIndex("ps_suppkey");
   for (auto _ : state) {
@@ -46,7 +46,7 @@ void BM_HashJoinScan(benchmark::State& state) {
   const Table& supplier = fx.db->table(kSupplier);
   // A batch of supplier rows joined against partsupp (no index: scan).
   ExecStats stats;
-  DeltaBatch batch = ScanToBatch(supplier, 0, &stats);
+  DeltaBatch batch = ScanToBatch(supplier, 0, &stats).value();
   batch.resize(std::min<size_t>(batch.size(),
                                 static_cast<size_t>(state.range(0))));
   const size_t ps_key = partsupp.schema().ColumnIndex("ps_suppkey");

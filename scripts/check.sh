@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Sanitizer gate: builds and runs the full test suite under ASan+UBSan
-# and again under TSan, then smoke-runs two parallel bench drivers under
-# TSan. Use before merging anything that touches threading or memory
-# management.
+# and again under TSan (with an explicit pass over the fault-injection
+# suite, `ctest -L fault`, under each), smoke-runs two parallel bench
+# drivers under TSan, and guards the release planner bench against its
+# checked-in baseline. Use before merging anything that touches
+# threading, memory management, or the failpoint wiring.
 #
-#   scripts/check.sh            # asan suite + tsan suite + bench smoke
+#   scripts/check.sh            # asan suite + tsan suite + bench guard
 #   scripts/check.sh --fast     # skip the asan suite, tsan only
 set -u
 cd "$(dirname "$0")/.."
@@ -25,6 +27,10 @@ if [ "$fast" -eq 0 ]; then
   cmake --preset asan || exit 1
   cmake --build --preset asan -j "$jobs" || exit 1
   ctest --preset asan -j "$jobs" || fail=1
+  # Fault-injection suite on its own: injected faults drive the error
+  # paths (staged-then-abandoned batches, retry loops), exactly where a
+  # leak or use-after-free would hide from the happy path.
+  ctest --preset asan -j "$jobs" -L fault || fail=1
   # Planner hot path: the arena/intern-table A* does manual index
   # arithmetic over flat buffers, exactly what ASan exists to vet.
   (cd build-asan/bench && ./micro_planner --smoke=1 >/dev/null) || fail=1
@@ -36,9 +42,24 @@ cmake --build --preset tsan -j "$jobs" || exit 1
 # The thread pool and sweep engine are where data races would live; the
 # bench smoke runs exercise the pool under the real drivers.
 ctest --preset tsan -j "$jobs" || fail=1
+# Fault suite under TSan: thread-local failpoint registries + the
+# fault-injected parallel sweep must stay race-free.
+ctest --preset tsan -j "$jobs" -L fault || fail=1
 (cd build-tsan/bench && ./abl_tightness --threads=4 >/dev/null) || fail=1
 (cd build-tsan/bench && ./abl_cost_shapes --threads=4 >/dev/null) || fail=1
 (cd build-tsan/bench && ./micro_planner --smoke=1 >/dev/null) || fail=1
+
+echo "=== Release bench guard: planner vs baseline ==="
+# Failpoints are disarmed (one relaxed load per site) in the default
+# release build and sit outside the planner's libraries entirely; the
+# planner bench must therefore reproduce its checked-in baseline: search
+# work exactly, wall-clock within tolerance.
+cmake --preset default >/dev/null || exit 1
+cmake --build --preset default -j "$jobs" >/dev/null || exit 1
+(cd build/bench && ./micro_planner >/dev/null) || fail=1
+python3 scripts/compare_planner_baseline.py \
+  build/bench/BENCH_planner.json bench/baselines/BENCH_planner.json \
+  || fail=1
 
 if [ "$fail" -ne 0 ]; then
   echo "check.sh: FAILURES (see above)"

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Guards the planner bench against its checked-in baseline.
+
+Usage: compare_planner_baseline.py CURRENT.json BASELINE.json [--wall-tol X]
+
+Search-work fields (cost, nodes_expanded, nodes_generated, reexpansions)
+are deterministic and must match the baseline exactly; wall_ms_best may
+drift with machine load and only fails beyond the tolerance factor
+(default 2.0x). Instances present in only one file fail the check, so the
+grid itself is pinned too.
+"""
+
+import json
+import sys
+
+EXACT_FIELDS = ("cost", "nodes_expanded", "nodes_generated", "reexpansions")
+
+
+def main(argv):
+    if len(argv) < 3:
+        sys.stderr.write(__doc__)
+        return 2
+    wall_tol = 2.0
+    if "--wall-tol" in argv:
+        wall_tol = float(argv[argv.index("--wall-tol") + 1])
+
+    with open(argv[1]) as f:
+        current = {i["name"]: i for i in json.load(f)["instances"]}
+    with open(argv[2]) as f:
+        baseline = {i["name"]: i for i in json.load(f)["instances"]}
+
+    failures = []
+    for name in sorted(set(current) | set(baseline)):
+        if name not in current:
+            failures.append(f"{name}: missing from current run")
+            continue
+        if name not in baseline:
+            failures.append(f"{name}: not in baseline (grid changed?)")
+            continue
+        cur, base = current[name], baseline[name]
+        for field in EXACT_FIELDS:
+            if cur[field] != base[field]:
+                failures.append(
+                    f"{name}.{field}: {cur[field]} != baseline "
+                    f"{base[field]}"
+                )
+        if cur["wall_ms_best"] > base["wall_ms_best"] * wall_tol:
+            failures.append(
+                f"{name}.wall_ms_best: {cur['wall_ms_best']:.3f} ms > "
+                f"{wall_tol}x baseline {base['wall_ms_best']:.3f} ms"
+            )
+
+    if failures:
+        for line in failures:
+            print(f"[planner-baseline] REGRESSION {line}")
+        return 1
+    print(f"[planner-baseline] {len(current)} instances match baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -2,6 +2,9 @@
 
 #include <unordered_map>
 
+#include "fault/failpoint.h"
+#include "fault/sites.h"
+
 namespace abivm {
 
 const char* CompareOpName(CompareOp op) {
@@ -22,8 +25,9 @@ const char* CompareOpName(CompareOp op) {
   return "?";
 }
 
-DeltaBatch ScanToBatch(const Table& table, Version version,
-                       ExecStats* stats) {
+Result<DeltaBatch> ScanToBatch(const Table& table, Version version,
+                               ExecStats* stats) {
+  ABIVM_FAULT_POINT(fault::kFpExecScan);
   DeltaBatch out;
   out.reserve(table.live_row_count());
   table.ScanAt(version, [&](RowId, const Row& row) {
@@ -94,15 +98,18 @@ DeltaBatch HashJoinScan(const DeltaBatch& input, size_t left_col,
 
 }  // namespace
 
-DeltaBatch JoinBatchWithTable(const DeltaBatch& input, size_t left_col,
-                              const Table& table, size_t right_col,
-                              const std::vector<size_t>& right_keep,
-                              Version version, ExecStats* stats) {
-  if (input.empty()) return {};
+Result<DeltaBatch> JoinBatchWithTable(const DeltaBatch& input,
+                                      size_t left_col, const Table& table,
+                                      size_t right_col,
+                                      const std::vector<size_t>& right_keep,
+                                      Version version, ExecStats* stats) {
+  if (input.empty()) return DeltaBatch{};
   if (table.HasIndexOn(right_col)) {
+    ABIVM_FAULT_POINT(fault::kFpExecIndexJoin);
     return IndexNestedLoopJoin(input, left_col, table, right_col,
                                right_keep, version, stats);
   }
+  ABIVM_FAULT_POINT(fault::kFpExecHashJoin);
   return HashJoinScan(input, left_col, table, right_col, right_keep,
                       version, stats);
 }

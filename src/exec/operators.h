@@ -14,6 +14,7 @@
 
 #include <cstdint>
 
+#include "common/status.h"
 #include "exec/delta_batch.h"
 #include "exec/expression.h"
 #include "storage/table.h"
@@ -39,20 +40,24 @@ struct ExecStats {
 };
 
 /// Materializes all rows of `table` visible at `version` as a +1 batch
-/// (used by full recompute).
-DeltaBatch ScanToBatch(const Table& table, Version version,
-                       ExecStats* stats);
+/// (used by full recompute). Fails only on an injected fault (failpoint
+/// `exec.scan`); a failure performs no scan work.
+Result<DeltaBatch> ScanToBatch(const Table& table, Version version,
+                               ExecStats* stats);
 
 /// Equi-joins `input` with `table` on input[left_col] == row[right_col],
 /// seeing `table` as of `version`. Output rows are input ++ the
 /// `right_keep` columns of the matched table row (early projection: only
 /// the columns the rest of the pipeline needs are materialized).
 /// Multiplicities preserved. Uses the index on right_col when present,
-/// otherwise a hash build over `input` plus one table scan.
-DeltaBatch JoinBatchWithTable(const DeltaBatch& input, size_t left_col,
-                              const Table& table, size_t right_col,
-                              const std::vector<size_t>& right_keep,
-                              Version version, ExecStats* stats);
+/// otherwise a hash build over `input` plus one table scan. Fails only on
+/// an injected fault (failpoints `exec.index_join` / `exec.hash_join`,
+/// checked after strategy selection, before any join work).
+Result<DeltaBatch> JoinBatchWithTable(const DeltaBatch& input,
+                                      size_t left_col, const Table& table,
+                                      size_t right_col,
+                                      const std::vector<size_t>& right_keep,
+                                      Version version, ExecStats* stats);
 
 /// Keeps rows whose `column` satisfies the comparison.
 DeltaBatch FilterBatch(const DeltaBatch& input, size_t column, CompareOp op,

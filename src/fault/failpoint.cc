@@ -1,0 +1,132 @@
+#include "fault/failpoint.h"
+
+namespace abivm::fault {
+
+void Failpoint::ArmOnce(uint64_t skip_hits) {
+  std::lock_guard<std::mutex> lock(mu_);
+  mode_ = Mode::kOnce;
+  skip_remaining_ = skip_hits;
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void Failpoint::ArmAlways() {
+  std::lock_guard<std::mutex> lock(mu_);
+  mode_ = Mode::kAlways;
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void Failpoint::ArmProbability(double p, uint64_t seed) {
+  ABIVM_CHECK_MSG(p >= 0.0 && p <= 1.0,
+                  "failpoint probability " << p << " out of [0, 1]");
+  std::lock_guard<std::mutex> lock(mu_);
+  mode_ = Mode::kProbability;
+  probability_ = p;
+  rng_ = Rng(seed);
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void Failpoint::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+void Failpoint::ResetCounters() {
+  hits_.store(0, std::memory_order_relaxed);
+  triggers_.store(0, std::memory_order_relaxed);
+}
+
+Status Failpoint::CheckArmed() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Re-check under the lock: a concurrent Disarm may have won.
+  if (!armed_.load(std::memory_order_relaxed)) return Status::Ok();
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  bool fire = false;
+  switch (mode_) {
+    case Mode::kOnce:
+      if (skip_remaining_ == 0) {
+        fire = true;
+        armed_.store(false, std::memory_order_relaxed);  // one-shot
+      } else {
+        --skip_remaining_;
+      }
+      break;
+    case Mode::kAlways:
+      fire = true;
+      break;
+    case Mode::kProbability:
+      fire = rng_.Bernoulli(probability_);
+      break;
+  }
+  if (!fire) return Status::Ok();
+  triggers_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Internal("injected fault at failpoint '" + name_ + "'");
+}
+
+FailpointRegistry& FailpointRegistry::ThreadLocal() {
+  thread_local FailpointRegistry registry;
+  return registry;
+}
+
+Failpoint& FailpointRegistry::Get(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  if (it == points_.end()) {
+    it = points_
+             .emplace(std::string(name),
+                      std::make_unique<Failpoint>(std::string(name)))
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<std::string> FailpointRegistry::RegisteredNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(points_.size());
+  for (const auto& [name, point] : points_) names.push_back(name);
+  return names;
+}
+
+void FailpointRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, point] : points_) point->Disarm();
+}
+
+void FailpointRegistry::ResetAllCounters() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, point] : points_) point->ResetCounters();
+}
+
+void FailpointRegistry::ExportMetrics(obs::MetricRegistry& metrics) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, point] : points_) {
+    if (point->hits() > 0) {
+      metrics.counter("fault.hits." + name).Add(point->hits());
+    }
+    if (point->triggers() > 0) {
+      metrics.counter("fault.triggers." + name).Add(point->triggers());
+    }
+  }
+}
+
+ScopedFailpoint ScopedFailpoint::Once(std::string_view site,
+                                      uint64_t skip_hits) {
+  Failpoint& point = FailpointRegistry::ThreadLocal().Get(site);
+  point.ArmOnce(skip_hits);
+  return ScopedFailpoint(&point);
+}
+
+ScopedFailpoint ScopedFailpoint::Always(std::string_view site) {
+  Failpoint& point = FailpointRegistry::ThreadLocal().Get(site);
+  point.ArmAlways();
+  return ScopedFailpoint(&point);
+}
+
+ScopedFailpoint ScopedFailpoint::Probability(std::string_view site, double p,
+                                             uint64_t seed) {
+  Failpoint& point = FailpointRegistry::ThreadLocal().Get(site);
+  point.ArmProbability(p, seed);
+  return ScopedFailpoint(&point);
+}
+
+}  // namespace abivm::fault

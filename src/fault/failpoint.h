@@ -1,0 +1,179 @@
+// Deterministic fault injection: named failpoints in the spirit of
+// RocksDB's SyncPoint and LeanStore's crash-testing hooks.
+//
+// A failpoint is a named site in production code that can be armed by a
+// test or bench driver to return an injected error Status. Design rules:
+//   * Disarmed cost is ONE relaxed atomic load per site visit (no lock,
+//     no counter bump). Release builds can compile sites out entirely
+//     with -DABIVM_DISABLE_FAILPOINTS.
+//   * Arming is deterministic: one-shot trigger on the Nth hit, trigger
+//     on every hit, or a Bernoulli trigger driven by a seeded PRNG --
+//     never wall-clock or global randomness.
+//   * The registry is THREAD-LOCAL: each thread owns an independent set
+//     of failpoint states and counters. Arming in a test thread cannot
+//     perturb concurrent sweep workers, which is what makes
+//     parallel==sequential bit-identity hold even for fault-injected
+//     engine runs (each sweep job arms inside its own closure, on the
+//     worker thread that executes it).
+//   * Hit/trigger counters (counted while armed) export into an
+//     obs::MetricRegistry as `fault.hits.<site>` / `fault.triggers.<site>`.
+//
+// The catalog of wired site names lives in fault/sites.h.
+
+#ifndef ABIVM_FAULT_FAILPOINT_H_
+#define ABIVM_FAULT_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace abivm::fault {
+
+/// One named injection site. Owned by a FailpointRegistry; never moves,
+/// so call sites may cache a reference.
+class Failpoint {
+ public:
+  explicit Failpoint(std::string name) : name_(std::move(name)) {}
+
+  Failpoint(const Failpoint&) = delete;
+  Failpoint& operator=(const Failpoint&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// The site check. Disarmed: a single relaxed atomic load, then OK.
+  /// Armed: counts the hit and evaluates the armed mode; a trigger
+  /// returns Status::Internal("injected fault at ...").
+  Status Check() {
+    if (!armed_.load(std::memory_order_relaxed)) return Status::Ok();
+    return CheckArmed();
+  }
+
+  /// Triggers once on the (skip_hits+1)-th hit, then disarms itself.
+  void ArmOnce(uint64_t skip_hits = 0);
+  /// Triggers on every hit until disarmed.
+  void ArmAlways();
+  /// Triggers each hit with probability `p`, drawn from a PRNG seeded
+  /// with `seed` at arm time (deterministic trigger schedule).
+  void ArmProbability(double p, uint64_t seed);
+  void Disarm();
+
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+  /// Site visits while armed (disarmed visits are not counted -- the
+  /// disarmed fast path touches nothing but the armed flag).
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  /// Injected failures returned from Check().
+  uint64_t triggers() const {
+    return triggers_.load(std::memory_order_relaxed);
+  }
+  void ResetCounters();
+
+ private:
+  enum class Mode { kOnce, kAlways, kProbability };
+
+  Status CheckArmed();
+
+  const std::string name_;
+  std::atomic<bool> armed_{false};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> triggers_{0};
+  // Arming state; guarded by mu_ (Check re-reads armed_ under the lock).
+  std::mutex mu_;
+  Mode mode_ = Mode::kOnce;
+  uint64_t skip_remaining_ = 0;
+  double probability_ = 0.0;
+  Rng rng_{0};
+};
+
+/// Thread-local registry of failpoints. Get() interns a site by name;
+/// the returned reference stays valid for the thread's lifetime.
+class FailpointRegistry {
+ public:
+  /// The calling thread's registry (created on first use).
+  static FailpointRegistry& ThreadLocal();
+
+  FailpointRegistry() = default;
+  FailpointRegistry(const FailpointRegistry&) = delete;
+  FailpointRegistry& operator=(const FailpointRegistry&) = delete;
+
+  Failpoint& Get(std::string_view name);
+
+  /// Names interned so far (sites visited or armed on this thread), in
+  /// lexicographic order. The full compiled-in catalog is
+  /// fault::kAllFailpointSites in fault/sites.h.
+  std::vector<std::string> RegisteredNames() const;
+
+  void DisarmAll();
+  void ResetAllCounters();
+
+  /// Exports `fault.hits.<site>` / `fault.triggers.<site>` counters for
+  /// every interned site with a non-zero count.
+  void ExportMetrics(obs::MetricRegistry& metrics) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Failpoint>, std::less<>> points_;
+};
+
+/// RAII armer: arms a failpoint on the calling thread's registry and
+/// disarms it (and clears its counters) on destruction.
+class ScopedFailpoint {
+ public:
+  static ScopedFailpoint Once(std::string_view site, uint64_t skip_hits = 0);
+  static ScopedFailpoint Always(std::string_view site);
+  static ScopedFailpoint Probability(std::string_view site, double p,
+                                     uint64_t seed);
+
+  ScopedFailpoint(ScopedFailpoint&& other) noexcept
+      : point_(other.point_) {
+    other.point_ = nullptr;
+  }
+  ScopedFailpoint& operator=(ScopedFailpoint&&) = delete;
+  ScopedFailpoint(const ScopedFailpoint&) = delete;
+  ScopedFailpoint& operator=(const ScopedFailpoint&) = delete;
+
+  ~ScopedFailpoint() {
+    if (point_ != nullptr) {
+      point_->Disarm();
+      point_->ResetCounters();
+    }
+  }
+
+  Failpoint& point() { return *point_; }
+
+ private:
+  explicit ScopedFailpoint(Failpoint* point) : point_(point) {}
+
+  Failpoint* point_;
+};
+
+}  // namespace abivm::fault
+
+// The site macro used by production code. Evaluates to a `return status`
+// when the site triggers, so it may only appear in functions returning
+// Status or Result<T>. The interned Failpoint reference is cached per
+// call site per thread (registries are thread-local, so the cache is
+// never stale).
+#ifndef ABIVM_DISABLE_FAILPOINTS
+#define ABIVM_FAULT_POINT(site)                                           \
+  do {                                                                    \
+    thread_local ::abivm::fault::Failpoint& abivm_fault_fp_ =             \
+        ::abivm::fault::FailpointRegistry::ThreadLocal().Get(site);       \
+    ::abivm::Status abivm_fault_status_ = abivm_fault_fp_.Check();        \
+    if (!abivm_fault_status_.ok()) return abivm_fault_status_;            \
+  } while (0)
+#else
+#define ABIVM_FAULT_POINT(site) \
+  do {                          \
+  } while (0)
+#endif
+
+#endif  // ABIVM_FAULT_FAILPOINT_H_

@@ -1,0 +1,39 @@
+// Catalog of every failpoint site wired into the engine. Tests iterate
+// AllFailpointSites() to torture each site in turn; keep this list in
+// sync when adding an ABIVM_FAULT_POINT to production code.
+
+#ifndef ABIVM_FAULT_SITES_H_
+#define ABIVM_FAULT_SITES_H_
+
+#include <array>
+
+namespace abivm::fault {
+
+// Storage layer: logged base-table modifications and delta-log reads.
+inline constexpr const char* kFpStorageApplyInsert = "storage.apply_insert";
+inline constexpr const char* kFpStorageApplyDelete = "storage.apply_delete";
+inline constexpr const char* kFpStorageApplyUpdate = "storage.apply_update";
+inline constexpr const char* kFpStorageDeltaLogRead =
+    "storage.delta_log_read";
+
+// Exec layer: pipeline operators (hit per scan / per join step).
+inline constexpr const char* kFpExecScan = "exec.scan";
+inline constexpr const char* kFpExecIndexJoin = "exec.index_join";
+inline constexpr const char* kFpExecHashJoin = "exec.hash_join";
+
+// IVM layer: batch maintenance. `ivm.apply_state` sits after the delta
+// pipeline, before any state mutation; `ivm.commit` is the last site
+// before the atomic commit of state + watermarks (non-dry-run only).
+inline constexpr const char* kFpIvmApplyState = "ivm.apply_state";
+inline constexpr const char* kFpIvmCommit = "ivm.commit";
+
+/// Every wired site, for exhaustive fault-torture loops.
+inline constexpr std::array<const char*, 9> kAllFailpointSites = {
+    kFpStorageApplyInsert, kFpStorageApplyDelete, kFpStorageApplyUpdate,
+    kFpStorageDeltaLogRead, kFpExecScan,          kFpExecIndexJoin,
+    kFpExecHashJoin,        kFpIvmApplyState,     kFpIvmCommit,
+};
+
+}  // namespace abivm::fault
+
+#endif  // ABIVM_FAULT_SITES_H_

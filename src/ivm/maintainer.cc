@@ -1,6 +1,8 @@
 #include "ivm/maintainer.h"
 
 #include "common/stopwatch.h"
+#include "fault/failpoint.h"
+#include "fault/sites.h"
 
 namespace abivm {
 
@@ -64,14 +66,33 @@ size_t ViewMaintainer::VacuumConsumed() {
 }
 
 BatchResult ViewMaintainer::ProcessBatch(size_t i, size_t k, bool dry_run) {
-  ABIVM_CHECK_LT(i, num_tables());
-  ABIVM_CHECK_LE(k, PendingCount(i));
   BatchResult result;
-  result.processed = k;
-  if (k == 0) return result;
+  const Status status = ProcessBatchChecked(i, k, &result, dry_run);
+  ABIVM_CHECK_MSG(status.ok(), status.ToString());
+  return result;
+}
+
+Status ViewMaintainer::ProcessBatchChecked(size_t i, size_t k,
+                                           BatchResult* result,
+                                           bool dry_run) {
+  ABIVM_CHECK(result != nullptr);
+  *result = BatchResult{};
+  if (i >= num_tables()) {
+    return Status::InvalidArgument("no base table " + std::to_string(i));
+  }
+  if (k > PendingCount(i)) {
+    return Status::OutOfRange("batch of " + std::to_string(k) +
+                              " exceeds the " +
+                              std::to_string(PendingCount(i)) +
+                              " pending modifications of table " +
+                              std::to_string(i));
+  }
+  result->processed = k;
+  if (k == 0) return Status::Ok();
 
   Stopwatch watch;
   const DeltaLog& log = binding_.base_table(i).delta_log();
+  ABIVM_RETURN_NOT_OK(log.CheckRead(positions_[i], k));
 
   // Turn the next k modifications into signed delta rows.
   DeltaBatch batch;
@@ -93,31 +114,54 @@ BatchResult ViewMaintainer::ProcessBatch(size_t i, size_t k, bool dry_run) {
     }
     last_version = mod.version;
   }
-  result.delta_rows_in = batch.size();
+  result->delta_rows_in = batch.size();
 
-  // Dry runs apply the computed deltas to an empty scratch state (same
-  // asymptotic application work as the real run, no O(view) clone), with
-  // negative multiplicities permitted since the base content is absent.
+  // Stage: run the delta pipeline and net-aggregate its output without
+  // touching any member state. Every fallible site (delta-log read, exec
+  // operators, the two ivm.* failpoints below) is crossed before the
+  // commit point, so a failure anywhere leaves state_, positions_, and
+  // versions_ exactly as they were.
+  Result<DeltaBatch> piped =
+      RunPipeline(binding_.delta_pipeline(i), std::move(batch),
+                  &result->stats);
+  if (!piped.ok()) return piped.status();
+  const NetDelta net = ExtractNet(binding_.delta_pipeline(i), *piped);
+  ABIVM_FAULT_POINT(fault::kFpIvmApplyState);
+  if (!dry_run) ABIVM_FAULT_POINT(fault::kFpIvmCommit);
+
+  // Commit: pure in-memory application plus the watermark advance; no
+  // failpoint sites from here on, so the commit is atomic under injected
+  // faults. Dry runs apply the staged deltas to an empty scratch state
+  // (same asymptotic application work as the real run, no O(view)
+  // clone), with negative multiplicities permitted since the base
+  // content is absent.
   ViewState scratch = binding_.def().is_aggregate()
                           ? ViewState(binding_.def().aggregate->kind)
                           : ViewState();
   scratch.AllowNegativeMultiplicities();
   ViewState* target = dry_run ? &scratch : &state_;
-  result.view_updates = RunPipeline(binding_.delta_pipeline(i),
-                                    std::move(batch), target, &result.stats);
+  result->view_updates = ApplyNet(net, target);
   if (!dry_run) {
     positions_[i] += k;
     versions_[i] = last_version;
   }
-  result.wall_ms = watch.ElapsedMs();
-  return result;
+  result->wall_ms = watch.ElapsedMs();
+  return Status::Ok();
 }
 
 void ViewMaintainer::RefreshAll() {
+  const Status status = RefreshAllChecked();
+  ABIVM_CHECK_MSG(status.ok(), status.ToString());
+}
+
+Status ViewMaintainer::RefreshAllChecked() {
   for (size_t i = 0; i < num_tables(); ++i) {
     const size_t pending = PendingCount(i);
-    if (pending > 0) ProcessBatch(i, pending);
+    if (pending == 0) continue;
+    BatchResult result;
+    ABIVM_RETURN_NOT_OK(ProcessBatchChecked(i, pending, &result));
   }
+  return Status::Ok();
 }
 
 bool ViewMaintainer::IsConsistent() const {
@@ -128,20 +172,31 @@ bool ViewMaintainer::IsConsistent() const {
 }
 
 ViewState ViewMaintainer::RecomputeAtWatermarks() const {
+  Result<ViewState> fresh = RecomputeAtWatermarksChecked();
+  ABIVM_CHECK_MSG(fresh.ok(), fresh.status().ToString());
+  return std::move(*fresh);
+}
+
+Result<ViewState> ViewMaintainer::RecomputeAtWatermarksChecked() const {
   const BoundPipeline& pipeline = binding_.recompute_pipeline();
   ExecStats stats;
-  DeltaBatch batch = ScanToBatch(binding_.base_table(pipeline.leading_index),
-                                 versions_[pipeline.leading_index], &stats);
+  Result<DeltaBatch> batch =
+      ScanToBatch(binding_.base_table(pipeline.leading_index),
+                  versions_[pipeline.leading_index], &stats);
+  if (!batch.ok()) return batch.status();
+  Result<DeltaBatch> piped =
+      RunPipeline(pipeline, std::move(*batch), &stats);
+  if (!piped.ok()) return piped.status();
   ViewState fresh = binding_.def().is_aggregate()
                         ? ViewState(binding_.def().aggregate->kind)
                         : ViewState();
-  RunPipeline(pipeline, std::move(batch), &fresh, &stats);
+  ApplyNet(ExtractNet(pipeline, *piped), &fresh);
   return fresh;
 }
 
-size_t ViewMaintainer::RunPipeline(const BoundPipeline& pipeline,
-                                   DeltaBatch batch, ViewState* target,
-                                   ExecStats* stats) const {
+Result<DeltaBatch> ViewMaintainer::RunPipeline(const BoundPipeline& pipeline,
+                                               DeltaBatch batch,
+                                               ExecStats* stats) const {
   // Leading predicates run against raw rows; then project down to the
   // columns the pipeline actually consumes.
   batch = ApplyBoundPredicates(std::move(batch),
@@ -149,9 +204,12 @@ size_t ViewMaintainer::RunPipeline(const BoundPipeline& pipeline,
   batch = ProjectBatch(batch, pipeline.initial_projection);
   for (const BoundJoinStep& step : pipeline.steps) {
     if (batch.empty()) break;
-    batch = JoinBatchWithTable(batch, step.left_column, *step.table,
-                               step.right_column, step.right_keep,
-                               versions_[step.table_index], stats);
+    Result<DeltaBatch> joined =
+        JoinBatchWithTable(batch, step.left_column, *step.table,
+                           step.right_column, step.right_keep,
+                           versions_[step.table_index], stats);
+    if (!joined.ok()) return joined.status();
+    batch = std::move(*joined);
     for (const auto& [a, b] : step.residual_equalities) {
       DeltaBatch kept;
       kept.reserve(batch.size());
@@ -165,19 +223,18 @@ size_t ViewMaintainer::RunPipeline(const BoundPipeline& pipeline,
       batch = ProjectBatch(batch, step.post_projection);
     }
   }
-  return ApplyToState(pipeline, batch, target);
+  return batch;
 }
 
-size_t ViewMaintainer::ApplyToState(const BoundPipeline& pipeline,
-                                    const DeltaBatch& batch,
-                                    ViewState* target) const {
+ViewMaintainer::NetDelta ViewMaintainer::ExtractNet(
+    const BoundPipeline& pipeline, const DeltaBatch& batch) const {
   static const Value kNoValue(int64_t{0});
   // Net-aggregate the signed deltas per (group key, aggregate value)
   // before touching the state: join operators emit output in scan order,
   // so a batch can contain a removal textually before its matching
   // insertion; netting first keeps application order-independent and lets
   // ViewState enforce non-negative multiplicities strictly.
-  std::unordered_map<Row, int64_t, RowHash> net;
+  NetDelta net;
   net.reserve(batch.size());
   for (const DeltaRow& delta : batch) {
     Row extracted;
@@ -188,6 +245,11 @@ size_t ViewMaintainer::ApplyToState(const BoundPipeline& pipeline,
                             : kNoValue);
     net[std::move(extracted)] += delta.mult;
   }
+  return net;
+}
+
+size_t ViewMaintainer::ApplyNet(const NetDelta& net,
+                                ViewState* target) const {
   size_t updates = 0;
   for (const auto& [extracted, mult] : net) {
     if (mult == 0) continue;

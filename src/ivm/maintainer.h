@@ -14,8 +14,10 @@
 #define ABIVM_IVM_MAINTAINER_H_
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
 #include "core/types.h"
 #include "exec/operators.h"
 #include "ivm/binding.h"
@@ -57,11 +59,28 @@ class ViewMaintainer {
   /// Processes the next k pending modifications of base table i (k must
   /// not exceed PendingCount(i)). With dry_run = true the work is done
   /// against a scratch copy of the state and no watermark advances --
-  /// used by cost calibration.
+  /// used by cost calibration. CHECK-fails on injected faults; robust
+  /// callers (the engine runner) use ProcessBatchChecked.
   BatchResult ProcessBatch(size_t i, size_t k, bool dry_run = false);
 
+  /// Crash-consistent variant: stages all view-state mutations until the
+  /// whole delta pipeline has succeeded, then commits state, watermark
+  /// position, and snapshot version together. A failure -- injected at
+  /// any failpoint site, or a bad argument -- leaves the view state,
+  /// positions, and versions EXACTLY as before (the recompute oracle
+  /// still matches), so the caller may simply retry. On success `*result`
+  /// holds what ProcessBatch would have returned.
+  Status ProcessBatchChecked(size_t i, size_t k, BatchResult* result,
+                             bool dry_run = false);
+
   /// Processes everything pending, bringing the view up to date.
+  /// CHECK-fails on injected faults.
   void RefreshAll();
+
+  /// Status-returning RefreshAll. Stops at the first failed batch; the
+  /// already-processed prefix stays committed (each batch is atomic), so
+  /// a retry resumes where it left off.
+  Status RefreshAllChecked();
 
   /// True iff every watermark is at its log's head.
   bool IsConsistent() const;
@@ -69,8 +88,12 @@ class ViewMaintainer {
   const ViewState& state() const { return state_; }
 
   /// Recomputes the view from scratch at the current watermark snapshot
-  /// vector -- the correctness oracle for tests.
+  /// vector -- the correctness oracle for tests. CHECK-fails on injected
+  /// faults (disarm failpoints before consulting the oracle).
   ViewState RecomputeAtWatermarks() const;
+
+  /// Status-returning recompute (fails only on injected faults).
+  Result<ViewState> RecomputeAtWatermarksChecked() const;
 
   /// Version of the snapshot table i is maintained at.
   Version watermark_version(size_t i) const;
@@ -87,14 +110,23 @@ class ViewMaintainer {
   size_t VacuumConsumed();
 
  private:
-  // Runs `pipeline` on `batch` with co-table snapshots taken from the
-  // current watermark versions, applying results to `target`.
-  size_t RunPipeline(const BoundPipeline& pipeline, DeltaBatch batch,
-                     ViewState* target, ExecStats* stats) const;
+  // Staged outcome of a delta pipeline: net signed multiplicity per
+  // extracted (key columns ++ aggregate value) row. Applying it to the
+  // view state is pure in-memory work with no failpoint sites, so the
+  // commit of state + watermarks is atomic under injected faults.
+  using NetDelta = std::unordered_map<Row, int64_t, RowHash>;
 
-  // Applies extraction (key/aggregate columns) of finished rows.
-  size_t ApplyToState(const BoundPipeline& pipeline,
-                      const DeltaBatch& batch, ViewState* target) const;
+  // Runs `pipeline` on `batch` with co-table snapshots taken from the
+  // current watermark versions; returns the finished delta rows.
+  Result<DeltaBatch> RunPipeline(const BoundPipeline& pipeline,
+                                 DeltaBatch batch, ExecStats* stats) const;
+
+  // Net-aggregates finished rows per extracted (key, aggregate) row.
+  NetDelta ExtractNet(const BoundPipeline& pipeline,
+                      const DeltaBatch& batch) const;
+
+  // Applies a staged net delta to `target`; returns rows touched.
+  size_t ApplyNet(const NetDelta& net, ViewState* target) const;
 
   Database* db_;
   ViewBinding binding_;

@@ -1,6 +1,8 @@
 #include "ivm/sql_parser.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cstdlib>
 #include <optional>
 #include <sstream>
 #include <vector>
@@ -293,13 +295,30 @@ class Parser {
         cond.right_column = std::move(right);
         break;
       }
-      case TokenKind::kInteger:
-        cond.literal = Value(static_cast<int64_t>(
-            std::stoll(Advance().text)));
+      case TokenKind::kInteger: {
+        const std::string text = Advance().text;
+        errno = 0;
+        char* end = nullptr;
+        const long long parsed = std::strtoll(text.c_str(), &end, 10);
+        if (errno == ERANGE || end != text.c_str() + text.size()) {
+          return Error("integer literal '" + text +
+                       "' is out of range for a 64-bit value");
+        }
+        cond.literal = Value(static_cast<int64_t>(parsed));
         break;
-      case TokenKind::kFloat:
-        cond.literal = Value(std::stod(Advance().text));
+      }
+      case TokenKind::kFloat: {
+        const std::string text = Advance().text;
+        errno = 0;
+        char* end = nullptr;
+        const double parsed = std::strtod(text.c_str(), &end);
+        if (errno == ERANGE || end != text.c_str() + text.size()) {
+          return Error("float literal '" + text +
+                       "' is not representable as a double");
+        }
+        cond.literal = Value(parsed);
         break;
+      }
       case TokenKind::kString:
         cond.literal = Value(Advance().text);
         break;

@@ -31,6 +31,13 @@ void ViewGroup::RefreshAll() {
   for (auto& v : views_) v->RefreshAll();
 }
 
+Status ViewGroup::RefreshAllChecked() {
+  for (auto& v : views_) {
+    ABIVM_RETURN_NOT_OK(v->RefreshAllChecked());
+  }
+  return Status::Ok();
+}
+
 bool ViewGroup::AllConsistent() const {
   for (const auto& v : views_) {
     if (!v->IsConsistent()) return false;

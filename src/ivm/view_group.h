@@ -34,8 +34,13 @@ class ViewGroup {
   /// Maintainer of the view with the given ViewDef::name, or nullptr.
   ViewMaintainer* FindView(const std::string& name);
 
-  /// Brings every view fully up to date.
+  /// Brings every view fully up to date (CHECK-fails on injected faults).
   void RefreshAll();
+
+  /// Status-returning refresh: stops at the first failed batch. Views
+  /// (and batches within a view) already refreshed stay refreshed; the
+  /// failed view is untouched by its failed batch, so a retry resumes.
+  Status RefreshAllChecked();
 
   bool AllConsistent() const;
 

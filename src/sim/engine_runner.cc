@@ -1,5 +1,8 @@
 #include "sim/engine_runner.h"
 
+#include <algorithm>
+#include <cmath>
+
 namespace abivm {
 
 EngineTrace RunOnEngine(ViewMaintainer& maintainer,
@@ -12,6 +15,7 @@ EngineTrace RunOnEngine(ViewMaintainer& maintainer,
   ABIVM_CHECK_EQ(model.n(), n);
   ABIVM_CHECK_MSG(maintainer.IsConsistent(),
                   "engine run must start from a refreshed view");
+  ABIVM_CHECK_GE(options.retry.max_attempts, size_t{1});
   const TimeStep horizon = arrivals.horizon();
   policy.Reset(model, budget);
 
@@ -37,38 +41,74 @@ EngineTrace RunOnEngine(ViewMaintainer& maintainer,
                                 << " acted beyond the pending deltas");
     }
 
-    double actual_ms = 0.0;
+    EngineStepRecord record{t, d, pre_state, action, 0.0, 0.0,
+                            0,  0, 0.0,      false};
     for (size_t i = 0; i < n; ++i) {
       if (action[i] == 0) continue;
-      const BatchResult result =
-          maintainer.ProcessBatch(i, static_cast<size_t>(action[i]));
-      actual_ms += result.wall_ms;
-      trace.exec_stats += result.stats;
-      if (options.metrics != nullptr) {
-        options.metrics->counter("engine.batches").Add(1);
-        options.metrics->counter("engine.modifications_processed")
-            .Add(result.processed);
-        options.metrics->timer("engine.batch_ms").Record(result.wall_ms);
+      // Retry loop: a failed batch left the view untouched (atomic
+      // commit), so re-running the identical batch is safe. Backoff is
+      // charged in simulated time to stay deterministic.
+      for (size_t attempt = 0;; ++attempt) {
+        BatchResult result;
+        const Status status = maintainer.ProcessBatchChecked(
+            i, static_cast<size_t>(action[i]), &result);
+        if (status.ok()) {
+          record.actual_ms += result.wall_ms;
+          trace.exec_stats += result.stats;
+          if (options.metrics != nullptr) {
+            options.metrics->counter("engine.batches").Add(1);
+            options.metrics->counter("engine.modifications_processed")
+                .Add(result.processed);
+            options.metrics->timer("engine.batch_ms").Record(result.wall_ms);
+          }
+          break;
+        }
+        ++record.failures;
+        if (attempt + 1 >= options.retry.max_attempts) {
+          // Degrade: abandon this batch; its residue stays pending and
+          // the policy re-plans against it next step.
+          record.degraded = true;
+          break;
+        }
+        record.backoff_ms +=
+            std::min(options.retry.backoff_cap_ms,
+                     options.retry.backoff_base_ms *
+                         std::pow(options.retry.backoff_multiplier,
+                                  static_cast<double>(attempt)));
+        ++record.retries;
       }
     }
     const double model_cost = model.TotalCost(action);
+    record.model_cost = model_cost;
     trace.total_model_cost += model_cost;
-    trace.total_actual_ms += actual_ms;
+    trace.total_actual_ms += record.actual_ms;
+    trace.failures += record.failures;
+    trace.retries += record.retries;
+    trace.total_backoff_ms += record.backoff_ms;
+    if (record.degraded) ++trace.degraded_steps;
     if (!IsZeroVec(action)) ++trace.action_count;
     if (t < horizon &&
         model.IsFull(maintainer.PendingVec(), budget)) {
       ++trace.violations;
     }
     if (options.record_steps) {
-      trace.steps.push_back(EngineStepRecord{t, d, pre_state, action,
-                                             model_cost, actual_ms});
+      trace.steps.push_back(std::move(record));
     }
   }
-  ABIVM_CHECK(maintainer.IsConsistent());
+  trace.ended_consistent = maintainer.IsConsistent();
+  // Graceful degradation is only legitimate under persistent failures;
+  // a run with no degraded step must have refreshed completely.
+  if (trace.degraded_steps == 0) {
+    ABIVM_CHECK_MSG(trace.ended_consistent,
+                    "no step degraded yet the view ended inconsistent");
+  }
   if (options.metrics != nullptr) {
     obs::MetricRegistry& m = *options.metrics;
     m.counter("engine.actions").Add(trace.action_count);
     m.counter("engine.violations").Add(trace.violations);
+    m.counter("engine.failures").Add(trace.failures);
+    m.counter("engine.retries").Add(trace.retries);
+    m.counter("engine.degraded_steps").Add(trace.degraded_steps);
     m.counter("engine.rows_scanned").Add(trace.exec_stats.rows_scanned);
     m.counter("engine.index_probes").Add(trace.exec_stats.index_probes);
     m.counter("engine.hash_build_rows")

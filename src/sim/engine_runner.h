@@ -4,6 +4,16 @@
 // system would -- while every action's actual wall-clock cost is measured.
 // Comparing the two validates the simulation methodology (the paper's
 // Figure 5).
+//
+// Failure semantics: ProcessBatchChecked is atomic (a failed batch leaves
+// the view untouched), so the runner treats a failure as transient and
+// retries the same batch with capped exponential backoff charged in
+// SIMULATED time (deterministic -- no wall-clock sleeping). When a batch
+// still fails after the attempt budget, the step DEGRADES gracefully: the
+// unprocessed residue stays pending, the policy re-plans against it on
+// the next step (possibly under a now-violated budget constraint), and
+// the trace records the failure so sweeps can report availability
+// alongside cost.
 
 #ifndef ABIVM_SIM_ENGINE_RUNNER_H_
 #define ABIVM_SIM_ENGINE_RUNNER_H_
@@ -30,6 +40,16 @@ struct EngineStepRecord {
   StateVec action;
   double model_cost = 0.0;
   double actual_ms = 0.0;
+  /// Failed ProcessBatch attempts during this step.
+  uint64_t failures = 0;
+  /// Re-attempts after a failure (== failures unless a batch exhausted
+  /// its attempt budget).
+  uint64_t retries = 0;
+  /// Simulated backoff charged for this step's retries.
+  double backoff_ms = 0.0;
+  /// True when some batch of this step was abandoned after the attempt
+  /// budget; its residue stayed pending.
+  bool degraded = false;
 };
 
 struct EngineTrace {
@@ -38,24 +58,46 @@ struct EngineTrace {
   double total_actual_ms = 0.0;
   uint64_t violations = 0;
   uint64_t action_count = 0;
+  /// Failure accounting over the whole run (availability view).
+  uint64_t failures = 0;
+  uint64_t retries = 0;
+  uint64_t degraded_steps = 0;
+  double total_backoff_ms = 0.0;
+  /// False only when the forced final refresh itself degraded.
+  bool ended_consistent = true;
   /// Operator work summed over every ProcessBatch call of the run.
   ExecStats exec_stats;
 };
 
+/// Retry discipline for failed batches. Backoff for attempt a (0-based
+/// count of prior failures of that batch) is
+/// min(cap_ms, base_ms * multiplier^a), charged in simulated time.
+struct EngineRetryOptions {
+  /// Total tries per batch, including the first (1 = never retry).
+  size_t max_attempts = 4;
+  double backoff_base_ms = 1.0;
+  double backoff_multiplier = 2.0;
+  double backoff_cap_ms = 8.0;
+};
+
 struct EngineRunnerOptions {
   bool record_steps = true;
+  EngineRetryOptions retry;
   /// Optional metrics sink. When set, the runner records `engine.*`
-  /// counters (batches, modifications, operator work from ExecStats) and
-  /// an `engine.batch_ms` timer per ProcessBatch call.
+  /// counters (batches, modifications, operator work from ExecStats,
+  /// failures/retries/degraded steps) and an `engine.batch_ms` timer per
+  /// ProcessBatch call.
   obs::MetricRegistry* metrics = nullptr;
 };
 
 /// Drives `policy` over the arrival schedule: at each step, `driver`
 /// applies the scheduled modifications, the policy decides which delta
 /// tables to process (table order matches the maintainer's base tables),
-/// and ProcessBatch executes the decision for real. At the final step the
-/// view is refreshed completely; the run CHECKs that the maintainer ends
-/// consistent.
+/// and ProcessBatchChecked executes the decision for real, with
+/// retry/degrade semantics as above. At the final step the view is
+/// refreshed completely; the run CHECKs that the maintainer ends
+/// consistent unless some step degraded (then `ended_consistent` reports
+/// the outcome instead).
 EngineTrace RunOnEngine(ViewMaintainer& maintainer,
                         const ArrivalSequence& arrivals,
                         const CostModel& model, double budget,

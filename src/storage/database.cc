@@ -1,5 +1,8 @@
 #include "storage/database.h"
 
+#include "fault/failpoint.h"
+#include "fault/sites.h"
+
 namespace abivm {
 
 Table& Database::CreateTable(const std::string& name, Schema schema) {
@@ -32,21 +35,42 @@ bool Database::HasTable(const std::string& name) const {
 }
 
 RowId Database::ApplyInsert(Table& t, Row row) {
+  Result<RowId> id = TryApplyInsert(t, std::move(row));
+  ABIVM_CHECK_MSG(id.ok(), id.status().ToString());
+  return *id;
+}
+
+void Database::ApplyDelete(Table& t, RowId id) {
+  const Status status = TryApplyDelete(t, id);
+  ABIVM_CHECK_MSG(status.ok(), status.ToString());
+}
+
+RowId Database::ApplyUpdate(Table& t, RowId id, Row new_row) {
+  Result<RowId> new_id = TryApplyUpdate(t, id, std::move(new_row));
+  ABIVM_CHECK_MSG(new_id.ok(), new_id.status().ToString());
+  return *new_id;
+}
+
+Result<RowId> Database::TryApplyInsert(Table& t, Row row) {
+  ABIVM_FAULT_POINT(fault::kFpStorageApplyInsert);
   const Version v = ++version_;
   const RowId id = t.Insert(row, v);
   t.delta_log().Append(Modification{v, ModKind::kInsert, {}, std::move(row)});
   return id;
 }
 
-void Database::ApplyDelete(Table& t, RowId id) {
+Status Database::TryApplyDelete(Table& t, RowId id) {
+  ABIVM_FAULT_POINT(fault::kFpStorageApplyDelete);
   const Version v = ++version_;
   Row old_row = t.RowAt(id).row;
   t.Delete(id, v);
   t.delta_log().Append(
       Modification{v, ModKind::kDelete, std::move(old_row), {}});
+  return Status::Ok();
 }
 
-RowId Database::ApplyUpdate(Table& t, RowId id, Row new_row) {
+Result<RowId> Database::TryApplyUpdate(Table& t, RowId id, Row new_row) {
+  ABIVM_FAULT_POINT(fault::kFpStorageApplyUpdate);
   const Version v = ++version_;
   Row old_row = t.RowAt(id).row;
   const RowId new_id = t.Update(id, new_row, v);

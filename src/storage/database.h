@@ -39,10 +39,18 @@ class Database {
   /// delta log (the initial view materialization covers it).
   RowId BulkLoad(Table& t, Row row) { return t.Insert(std::move(row), 0); }
 
-  /// Logged modifications (each advances the global clock by one).
+  /// Logged modifications (each advances the global clock by one). These
+  /// CHECK-fail on injected faults; robust callers use the Try* variants.
   RowId ApplyInsert(Table& t, Row row);
   void ApplyDelete(Table& t, RowId id);
   RowId ApplyUpdate(Table& t, RowId id, Row new_row);
+
+  /// Status-returning apply path with `storage.apply_*` failpoints. A
+  /// failure is atomic: the table, its delta log, and the global clock
+  /// are untouched (the failpoint sits before the first mutation).
+  Result<RowId> TryApplyInsert(Table& t, Row row);
+  Status TryApplyDelete(Table& t, RowId id);
+  Result<RowId> TryApplyUpdate(Table& t, RowId id, Row new_row);
 
   /// All tables in creation order.
   const std::vector<std::unique_ptr<Table>>& tables() const {

@@ -1,5 +1,8 @@
 #include "storage/table.h"
 
+#include "fault/failpoint.h"
+#include "fault/sites.h"
+
 namespace abivm {
 
 Table::Table(std::string name, Schema schema)
@@ -65,6 +68,22 @@ void Table::IndexRow(RowId id) {
   for (auto& [column, index] : indexes_) {
     index.emplace(rows_[id].row[column], id);
   }
+}
+
+Status DeltaLog::CheckRead(size_t first, size_t count) const {
+  ABIVM_FAULT_POINT(fault::kFpStorageDeltaLogRead);
+  if (first < base_offset_) {
+    return Status::FailedPrecondition(
+        "delta-log position " + std::to_string(first) +
+        " was trimmed (first retained: " + std::to_string(base_offset_) +
+        ")");
+  }
+  if (first + count > size()) {
+    return Status::OutOfRange("delta-log read [" + std::to_string(first) +
+                              ", " + std::to_string(first + count) +
+                              ") past head " + std::to_string(size()));
+  }
+  return Status::Ok();
 }
 
 void DeltaLog::TrimBefore(size_t position) {

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/status.h"
 #include "storage/schema.h"
 #include "storage/value.h"
 
@@ -67,6 +68,13 @@ class DeltaLog {
     ABIVM_CHECK_LT(position, size());
     return mods_[position - base_offset_];
   }
+
+  /// Status-returning readability check for the range
+  /// [first, first + count): OutOfRange when it extends past the head,
+  /// FailedPrecondition when its prefix was already trimmed. Carries the
+  /// `storage.delta_log_read` failpoint, so a consumer that calls this
+  /// before a run of At() gets fault injection for the whole read.
+  Status CheckRead(size_t first, size_t count) const;
 
   /// Garbage-collects every modification before `position` (exclusive).
   /// Callers must ensure no consumer watermark is below it. Positions of

@@ -34,7 +34,7 @@ struct Fixture {
 TEST(ScanToBatchTest, MaterializesSnapshot) {
   Fixture fx;
   ExecStats stats;
-  const DeltaBatch batch = ScanToBatch(*fx.fact, 0, &stats);
+  const DeltaBatch batch = ScanToBatch(*fx.fact, 0, &stats).value();
   EXPECT_EQ(batch.size(), 10u);
   EXPECT_EQ(stats.rows_scanned, 10u);
   for (const DeltaRow& row : batch) EXPECT_EQ(row.mult, 1);
@@ -44,8 +44,8 @@ TEST(ScanToBatchTest, OldSnapshotExcludesNewRows) {
   Fixture fx;
   fx.db.ApplyInsert(*fx.fact, {Value(int64_t{99}), Value(int64_t{0}),
                                Value(1.0)});
-  EXPECT_EQ(ScanToBatch(*fx.fact, 0, nullptr).size(), 10u);
-  EXPECT_EQ(ScanToBatch(*fx.fact, fx.db.current_version(), nullptr).size(),
+  EXPECT_EQ(ScanToBatch(*fx.fact, 0, nullptr).value().size(), 10u);
+  EXPECT_EQ(ScanToBatch(*fx.fact, fx.db.current_version(), nullptr).value().size(),
             11u);
 }
 
@@ -59,7 +59,8 @@ TEST(JoinBatchWithTableTest, HashJoinWithoutIndex) {
   const DeltaBatch out =
       JoinBatchWithTable(input, /*left_col=*/1, *fx.dim,
                          /*right_col=*/0, /*right_keep=*/{0, 1},
-                         /*version=*/0, &stats);
+                         /*version=*/0, &stats)
+          .value();
   ASSERT_EQ(out.size(), 2u);
   // No index on dim -> hash join built over input + full scan of dim.
   EXPECT_EQ(stats.hash_build_rows, 2u);
@@ -85,7 +86,7 @@ TEST(JoinBatchWithTableTest, IndexJoinWhenIndexExists) {
       DeltaRow{{Value(int64_t{100}), Value(int64_t{1}), Value(5.0)}, 1}};
   ExecStats stats;
   const DeltaBatch out =
-      JoinBatchWithTable(input, 1, *fx.dim, 0, {0, 1}, 0, &stats);
+      JoinBatchWithTable(input, 1, *fx.dim, 0, {0, 1}, 0, &stats).value();
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(stats.index_probes, 1u);
   EXPECT_EQ(stats.rows_scanned, 0u);  // no scan at all
@@ -106,9 +107,10 @@ TEST(JoinBatchWithTableTest, JoinSeesCoTableAtRequestedVersion) {
   DeltaBatch input = {
       DeltaRow{{Value(int64_t{100}), Value(int64_t{1}), Value(5.0)}, 1}};
   const DeltaBatch old_snap = JoinBatchWithTable(
-      input, 1, *fx.dim, 0, {0, 1}, /*version=*/0, nullptr);
+      input, 1, *fx.dim, 0, {0, 1}, /*version=*/0, nullptr).value();
   const DeltaBatch new_snap = JoinBatchWithTable(
-      input, 1, *fx.dim, 0, {0, 1}, fx.db.current_version(), nullptr);
+      input, 1, *fx.dim, 0, {0, 1}, fx.db.current_version(), nullptr)
+                                  .value();
   ASSERT_EQ(old_snap.size(), 1u);
   ASSERT_EQ(new_snap.size(), 1u);
   EXPECT_EQ(old_snap[0].row[4].AsString(), "dim1");
@@ -122,7 +124,8 @@ TEST(JoinBatchWithTableTest, MultiplicityOfDuplicateKeys) {
   DeltaBatch input = {DeltaRow{{Value(int64_t{1}), Value("dim1")}, -1}};
   const DeltaBatch out = JoinBatchWithTable(input, 0, *fx.fact,
                                             /*right_col=*/1, {0, 1, 2}, 0,
-                                            nullptr);
+                                            nullptr)
+                             .value();
   EXPECT_EQ(out.size(), 3u);
   for (const DeltaRow& row : out) EXPECT_EQ(row.mult, -1);
 }
@@ -131,7 +134,7 @@ TEST(JoinBatchWithTableTest, EmptyInputShortCircuits) {
   Fixture fx;
   ExecStats stats;
   EXPECT_TRUE(
-      JoinBatchWithTable({}, 0, *fx.dim, 0, {0}, 0, &stats).empty());
+      JoinBatchWithTable({}, 0, *fx.dim, 0, {0}, 0, &stats).value().empty());
   EXPECT_EQ(stats.rows_scanned, 0u);
 }
 
@@ -141,13 +144,13 @@ TEST(JoinBatchWithTableTest, RightKeepProjectsColumns) {
       DeltaRow{{Value(int64_t{100}), Value(int64_t{1}), Value(5.0)}, 1}};
   // Keep only the label column of dim.
   const DeltaBatch out =
-      JoinBatchWithTable(input, 1, *fx.dim, 0, {1}, 0, nullptr);
+      JoinBatchWithTable(input, 1, *fx.dim, 0, {1}, 0, nullptr).value();
   ASSERT_EQ(out.size(), 1u);
   ASSERT_EQ(out[0].row.size(), 4u);
   EXPECT_EQ(out[0].row[3].AsString(), "dim1");
   // Keeping nothing is legal too (semi-join shape).
   const DeltaBatch semi =
-      JoinBatchWithTable(input, 1, *fx.dim, 0, {}, 0, nullptr);
+      JoinBatchWithTable(input, 1, *fx.dim, 0, {}, 0, nullptr).value();
   ASSERT_EQ(semi.size(), 1u);
   EXPECT_EQ(semi[0].row.size(), 3u);
 }

@@ -1,0 +1,176 @@
+#include "fault/failpoint.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fault/sites.h"
+
+namespace abivm::fault {
+namespace {
+
+TEST(FailpointTest, DisarmedIsOkAndCountsNothing) {
+  FailpointRegistry registry;
+  Failpoint& fp = registry.Get("test.site");
+  EXPECT_FALSE(fp.armed());
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(fp.Check().ok());
+  EXPECT_EQ(fp.hits(), 0u);
+  EXPECT_EQ(fp.triggers(), 0u);
+}
+
+TEST(FailpointTest, ArmOnceFiresOnFirstHitThenDisarms) {
+  FailpointRegistry registry;
+  Failpoint& fp = registry.Get("test.site");
+  fp.ArmOnce();
+  const Status status = fp.Check();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_NE(status.message().find("test.site"), std::string::npos);
+  EXPECT_FALSE(fp.armed());
+  EXPECT_TRUE(fp.Check().ok());  // one-shot: subsequent hits pass
+  EXPECT_EQ(fp.hits(), 1u);      // disarmed hits are not counted
+  EXPECT_EQ(fp.triggers(), 1u);
+}
+
+TEST(FailpointTest, ArmOnceSkipsTheFirstNHits) {
+  FailpointRegistry registry;
+  Failpoint& fp = registry.Get("test.site");
+  fp.ArmOnce(/*skip_hits=*/2);
+  EXPECT_TRUE(fp.Check().ok());
+  EXPECT_TRUE(fp.Check().ok());
+  EXPECT_FALSE(fp.Check().ok());  // third hit fires
+  EXPECT_EQ(fp.hits(), 3u);
+  EXPECT_EQ(fp.triggers(), 1u);
+}
+
+TEST(FailpointTest, ArmAlwaysFiresUntilDisarmed) {
+  FailpointRegistry registry;
+  Failpoint& fp = registry.Get("test.site");
+  fp.ArmAlways();
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(fp.Check().ok());
+  fp.Disarm();
+  EXPECT_TRUE(fp.Check().ok());
+  EXPECT_EQ(fp.hits(), 4u);
+  EXPECT_EQ(fp.triggers(), 4u);
+}
+
+TEST(FailpointTest, ProbabilityScheduleIsSeedDeterministic) {
+  FailpointRegistry registry;
+  Failpoint& a = registry.Get("test.a");
+  Failpoint& b = registry.Get("test.b");
+  a.ArmProbability(0.5, /*seed=*/1234);
+  b.ArmProbability(0.5, /*seed=*/1234);
+  uint64_t fired = 0;
+  for (int i = 0; i < 200; ++i) {
+    const bool fa = !a.Check().ok();
+    const bool fb = !b.Check().ok();
+    EXPECT_EQ(fa, fb) << "same seed must give the same schedule at hit "
+                      << i;
+    fired += fa ? 1u : 0u;
+  }
+  // p=0.5 over 200 draws: both outcomes must occur.
+  EXPECT_GT(fired, 0u);
+  EXPECT_LT(fired, 200u);
+  EXPECT_EQ(a.triggers(), fired);
+}
+
+TEST(FailpointTest, ProbabilityExtremesAreExact) {
+  FailpointRegistry registry;
+  Failpoint& never = registry.Get("test.never");
+  Failpoint& always = registry.Get("test.always");
+  never.ArmProbability(0.0, 7);
+  always.ArmProbability(1.0, 7);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(never.Check().ok());
+    EXPECT_FALSE(always.Check().ok());
+  }
+}
+
+TEST(FailpointRegistryTest, GetInternsByName) {
+  FailpointRegistry registry;
+  Failpoint& first = registry.Get("site.x");
+  Failpoint& again = registry.Get("site.x");
+  EXPECT_EQ(&first, &again);
+  registry.Get("site.y");
+  EXPECT_EQ(registry.RegisteredNames(),
+            (std::vector<std::string>{"site.x", "site.y"}));
+}
+
+TEST(FailpointRegistryTest, DisarmAllAndResetAllCounters) {
+  FailpointRegistry registry;
+  Failpoint& a = registry.Get("a");
+  Failpoint& b = registry.Get("b");
+  a.ArmAlways();
+  b.ArmOnce();
+  (void)a.Check();
+  registry.DisarmAll();
+  EXPECT_FALSE(a.armed());
+  EXPECT_FALSE(b.armed());
+  EXPECT_EQ(a.hits(), 1u);
+  registry.ResetAllCounters();
+  EXPECT_EQ(a.hits(), 0u);
+  EXPECT_EQ(a.triggers(), 0u);
+}
+
+TEST(FailpointRegistryTest, ThreadLocalRegistriesAreIndependent) {
+  // Arming a site on this thread must not be visible to another thread's
+  // registry -- the property that keeps parallel sweeps deterministic.
+  ScopedFailpoint guard = ScopedFailpoint::Always(kFpExecScan);
+  EXPECT_TRUE(
+      FailpointRegistry::ThreadLocal().Get(kFpExecScan).armed());
+  bool other_thread_armed = true;
+  std::thread worker([&] {
+    other_thread_armed =
+        FailpointRegistry::ThreadLocal().Get(kFpExecScan).armed();
+  });
+  worker.join();
+  EXPECT_FALSE(other_thread_armed);
+}
+
+TEST(FailpointRegistryTest, ExportMetricsWritesNonZeroCounters) {
+  FailpointRegistry registry;
+  Failpoint& fired = registry.Get("fp.fired");
+  Failpoint& idle = registry.Get("fp.idle");
+  fired.ArmOnce(/*skip_hits=*/1);
+  (void)fired.Check();
+  (void)fired.Check();
+  (void)idle.Check();  // disarmed: no counts
+
+  obs::MetricRegistry metrics;
+  registry.ExportMetrics(metrics);
+  const obs::MetricsSnapshot snap = metrics.Snapshot();
+  EXPECT_EQ(snap.counters.at("fault.hits.fp.fired"), 2u);
+  EXPECT_EQ(snap.counters.at("fault.triggers.fp.fired"), 1u);
+  EXPECT_EQ(snap.counters.count("fault.hits.fp.idle"), 0u);
+}
+
+TEST(ScopedFailpointTest, DisarmsAndClearsCountersOnScopeExit) {
+  Failpoint& fp = FailpointRegistry::ThreadLocal().Get("scoped.site");
+  {
+    ScopedFailpoint guard = ScopedFailpoint::Always("scoped.site");
+    EXPECT_FALSE(fp.Check().ok());
+    EXPECT_EQ(fp.hits(), 1u);
+  }
+  EXPECT_FALSE(fp.armed());
+  EXPECT_EQ(fp.hits(), 0u);
+  EXPECT_EQ(fp.triggers(), 0u);
+}
+
+TEST(FailpointMacroTest, ReturnsInjectedStatusFromEnclosingFunction) {
+  auto guarded = []() -> Status {
+    ABIVM_FAULT_POINT("macro.site");
+    return Status::Ok();
+  };
+  EXPECT_TRUE(guarded().ok());
+  {
+    ScopedFailpoint guard = ScopedFailpoint::Once("macro.site");
+    const Status status = guarded();
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::kInternal);
+  }
+  EXPECT_TRUE(guarded().ok());
+}
+
+}  // namespace
+}  // namespace abivm::fault

@@ -1,0 +1,278 @@
+// Fault torture: every registered failpoint site armed in turn against a
+// fuzz workload, asserting the atomicity invariant (a failed operation
+// leaves storage / view state / watermarks exactly as before), plus a
+// seeded random fault schedule that must still converge to a consistent
+// view once the faults clear. Runs under the `fault` ctest label so the
+// sanitizer presets can target it.
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "fault/failpoint.h"
+#include "fault/sites.h"
+#include "ivm/maintainer.h"
+#include "tpc/tpc_gen.h"
+#include "tpc/update_stream.h"
+#include "tpc/views.h"
+
+namespace abivm {
+namespace {
+
+using fault::ScopedFailpoint;
+
+struct Fixture {
+  Database db;
+  std::unique_ptr<ViewMaintainer> maintainer;
+  std::unique_ptr<TpcUpdater> updater;
+
+  explicit Fixture(uint64_t seed = 7) {
+    TpcGenOptions options;
+    options.scale_factor = 0.001;
+    options.seed = seed;
+    GenerateTpcDatabase(&db, options);
+    CreatePaperIndexes(&db);
+    maintainer = std::make_unique<ViewMaintainer>(&db, MakePaperMinView());
+    updater = std::make_unique<TpcUpdater>(&db, seed + 1);
+  }
+
+  // A burst of modifications on the two mutable base tables.
+  void MakePending(Rng& rng, int count) {
+    for (int i = 0; i < count; ++i) {
+      switch (rng.UniformInt(0, 3)) {
+        case 0:
+          updater->UpdatePartSuppSupplycost();
+          break;
+        case 1:
+          updater->InsertPartSupp();
+          break;
+        case 2:
+          updater->UpdateSupplierNationkey();
+          break;
+        default:
+          if (db.table(kPartSupp).live_row_count() > 100) {
+            updater->DeletePartSupp();
+          } else {
+            updater->UpdatePartSuppSupplycost();
+          }
+          break;
+      }
+    }
+  }
+};
+
+// Storage-level sites: a failed TryApply* must leave the table, the delta
+// log, and the database version untouched; the retry then applies.
+TEST(FaultTortureTest, StorageApplySitesAreAtomic) {
+  Fixture fx;
+  Table& partsupp = fx.db.table(kPartSupp);
+  const Row fresh_row = {Value(int64_t{1}), Value(int64_t{1}),
+                         Value(int64_t{424242}), Value(9.99),
+                         Value("torture")};
+
+  struct Snapshot {
+    size_t live_rows, log_size;
+    Version version;
+  };
+  const auto snap = [&] {
+    return Snapshot{partsupp.live_row_count(), partsupp.delta_log().size(),
+                    fx.db.current_version()};
+  };
+  const auto expect_unchanged = [&](const Snapshot& before,
+                                    const char* what) {
+    const Snapshot after = snap();
+    EXPECT_EQ(after.live_rows, before.live_rows) << what;
+    EXPECT_EQ(after.log_size, before.log_size) << what;
+    EXPECT_EQ(after.version, before.version) << what;
+  };
+
+  // Insert.
+  RowId inserted = 0;
+  {
+    const Snapshot before = snap();
+    ScopedFailpoint guard =
+        ScopedFailpoint::Once(fault::kFpStorageApplyInsert);
+    EXPECT_FALSE(fx.db.TryApplyInsert(partsupp, fresh_row).ok());
+    expect_unchanged(before, "failed insert");
+    const Result<RowId> retry = fx.db.TryApplyInsert(partsupp, fresh_row);
+    ASSERT_TRUE(retry.ok());
+    inserted = retry.value();
+    EXPECT_EQ(partsupp.live_row_count(), before.live_rows + 1);
+    EXPECT_EQ(partsupp.delta_log().size(), before.log_size + 1);
+  }
+  // Update.
+  RowId updated = 0;
+  {
+    const Snapshot before = snap();
+    ScopedFailpoint guard =
+        ScopedFailpoint::Once(fault::kFpStorageApplyUpdate);
+    EXPECT_FALSE(fx.db.TryApplyUpdate(partsupp, inserted, fresh_row).ok());
+    expect_unchanged(before, "failed update");
+    const Result<RowId> retry =
+        fx.db.TryApplyUpdate(partsupp, inserted, fresh_row);
+    ASSERT_TRUE(retry.ok());
+    updated = retry.value();
+    EXPECT_EQ(partsupp.live_row_count(), before.live_rows);
+    EXPECT_EQ(partsupp.delta_log().size(), before.log_size + 1);
+  }
+  // Delete.
+  {
+    const Snapshot before = snap();
+    ScopedFailpoint guard =
+        ScopedFailpoint::Once(fault::kFpStorageApplyDelete);
+    EXPECT_FALSE(fx.db.TryApplyDelete(partsupp, updated).ok());
+    expect_unchanged(before, "failed delete");
+    ASSERT_TRUE(fx.db.TryApplyDelete(partsupp, updated).ok());
+    EXPECT_EQ(partsupp.live_row_count(), before.live_rows - 1);
+  }
+  // The view was not maintained through any of this; a refresh still
+  // converges and matches the oracle.
+  ASSERT_TRUE(fx.maintainer->RefreshAllChecked().ok());
+  EXPECT_TRUE(fx.maintainer->state().SameContents(
+      fx.maintainer->RecomputeAtWatermarks()));
+}
+
+// Batch-maintenance sites: with each site armed to always fire, a failed
+// ProcessBatchChecked must leave view state, watermark positions, and
+// snapshot versions exactly as before; once the site is disarmed, the
+// identical batch succeeds and the oracle matches.
+TEST(FaultTortureTest, EverySiteLeavesBatchMaintenanceAtomic) {
+  Fixture fx;
+  ViewMaintainer& m = *fx.maintainer;
+  Rng rng(0xBEEF);
+  std::set<std::string> fired;
+
+  for (const char* site : fault::kAllFailpointSites) {
+    fx.MakePending(rng, 8);
+    {
+      ScopedFailpoint guard = ScopedFailpoint::Always(site);
+      for (size_t table = 0; table < m.num_tables(); ++table) {
+        const size_t pending = m.PendingCount(table);
+        if (pending == 0) continue;
+        const ViewState before_state = m.state();
+        const size_t before_pos = m.watermark_position(table);
+        const Version before_ver = m.watermark_version(table);
+        BatchResult result;
+        const Status status =
+            m.ProcessBatchChecked(table, pending, &result);
+        if (status.ok()) continue;  // site not on this table's delta path
+        fired.insert(site);
+        EXPECT_EQ(status.code(), StatusCode::kInternal) << site;
+        EXPECT_EQ(m.watermark_position(table), before_pos) << site;
+        EXPECT_EQ(m.watermark_version(table), before_ver) << site;
+        EXPECT_TRUE(m.state().SameContents(before_state))
+            << "state mutated by failed batch at " << site;
+      }
+    }
+    // Fault cleared: the identical work must now commit.
+    ASSERT_TRUE(m.RefreshAllChecked().ok()) << site;
+    ASSERT_TRUE(m.IsConsistent()) << site;
+    ASSERT_TRUE(m.state().SameContents(m.RecomputeAtWatermarks())) << site;
+  }
+
+  // The batch path must actually cross these sites (a vacuous pass would
+  // mean the wiring regressed).
+  EXPECT_TRUE(fired.count(fault::kFpStorageDeltaLogRead));
+  EXPECT_TRUE(fired.count(fault::kFpIvmApplyState));
+  EXPECT_TRUE(fired.count(fault::kFpIvmCommit));
+  EXPECT_TRUE(fired.count(fault::kFpExecIndexJoin) ||
+              fired.count(fault::kFpExecHashJoin))
+      << "no join site fired";
+}
+
+// Dry-run batches stage against scratch state; a fault must not leak
+// watermark movement either.
+TEST(FaultTortureTest, DryRunFaultIsAtomicToo) {
+  Fixture fx;
+  ViewMaintainer& m = *fx.maintainer;
+  Rng rng(0xD12);
+  fx.MakePending(rng, 6);
+  for (size_t table = 0; table < m.num_tables(); ++table) {
+    const size_t pending = m.PendingCount(table);
+    if (pending == 0) continue;
+    ScopedFailpoint guard =
+        ScopedFailpoint::Always(fault::kFpIvmApplyState);
+    const size_t before_pos = m.watermark_position(table);
+    BatchResult result;
+    EXPECT_FALSE(
+        m.ProcessBatchChecked(table, pending, &result, /*dry_run=*/true)
+            .ok());
+    EXPECT_EQ(m.watermark_position(table), before_pos);
+    EXPECT_EQ(m.PendingCount(table), pending);
+  }
+  ASSERT_TRUE(m.RefreshAllChecked().ok());
+  EXPECT_TRUE(m.state().SameContents(m.RecomputeAtWatermarks()));
+}
+
+// The recompute oracle itself is guarded: an armed scan site fails the
+// Status-returning variant instead of crashing.
+TEST(FaultTortureTest, ScanFaultFailsRecomputeChecked) {
+  Fixture fx;
+  ScopedFailpoint guard = ScopedFailpoint::Always(fault::kFpExecScan);
+  const Result<ViewState> recompute =
+      fx.maintainer->RecomputeAtWatermarksChecked();
+  ASSERT_FALSE(recompute.ok());
+  EXPECT_EQ(recompute.status().code(), StatusCode::kInternal);
+}
+
+// Seeded random fault schedule over a fuzz workload: ProcessBatchChecked
+// calls fail nondeterministically (from the workload's point of view, but
+// reproducibly from the seed), every failure is atomic, and once the
+// faults clear the view converges and matches the oracle.
+TEST(FaultTortureTest, RandomFaultScheduleEventuallyConverges) {
+  Fixture fx;
+  ViewMaintainer& m = *fx.maintainer;
+  Rng rng(0xFA111);
+  uint64_t failures = 0;
+  uint64_t successes = 0;
+  {
+    // Arm the whole ProcessBatch delta path with independent seeded
+    // Bernoulli schedules.
+    std::vector<ScopedFailpoint> guards;
+    guards.push_back(ScopedFailpoint::Probability(
+        fault::kFpStorageDeltaLogRead, 0.15, 11));
+    guards.push_back(
+        ScopedFailpoint::Probability(fault::kFpExecIndexJoin, 0.10, 22));
+    guards.push_back(
+        ScopedFailpoint::Probability(fault::kFpExecHashJoin, 0.10, 33));
+    guards.push_back(
+        ScopedFailpoint::Probability(fault::kFpIvmApplyState, 0.15, 44));
+    guards.push_back(
+        ScopedFailpoint::Probability(fault::kFpIvmCommit, 0.15, 55));
+
+    for (int round = 0; round < 25; ++round) {
+      fx.MakePending(rng, static_cast<int>(rng.UniformInt(1, 6)));
+      for (size_t table = 0; table < m.num_tables(); ++table) {
+        const size_t pending = m.PendingCount(table);
+        if (pending == 0 || !rng.Bernoulli(0.7)) continue;
+        const size_t k = static_cast<size_t>(
+            rng.UniformInt(1, static_cast<int64_t>(pending)));
+        const size_t before_pos = m.watermark_position(table);
+        const Version before_ver = m.watermark_version(table);
+        BatchResult result;
+        const Status status = m.ProcessBatchChecked(table, k, &result);
+        if (status.ok()) {
+          ++successes;
+          EXPECT_EQ(m.watermark_position(table), before_pos + k);
+        } else {
+          ++failures;
+          ASSERT_EQ(m.watermark_position(table), before_pos);
+          ASSERT_EQ(m.watermark_version(table), before_ver);
+        }
+      }
+    }
+  }
+  // The schedule must actually exercise both outcomes.
+  EXPECT_GT(failures, 0u);
+  EXPECT_GT(successes, 0u);
+  // Faults cleared: retrying the residue converges.
+  ASSERT_TRUE(m.RefreshAllChecked().ok());
+  ASSERT_TRUE(m.IsConsistent());
+  EXPECT_TRUE(m.state().SameContents(m.RecomputeAtWatermarks()));
+}
+
+}  // namespace
+}  // namespace abivm

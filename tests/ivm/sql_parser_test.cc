@@ -167,5 +167,38 @@ TEST(SqlParserTest, ErrorMessages) {
   expect_error("SELECT region.r_name FROM partsupp", "not in the FROM");
 }
 
+TEST(SqlParserTest, OutOfRangeLiteralsAreErrorsNotCrashes) {
+  // These used to throw std::out_of_range from std::stoll / std::stod
+  // (an uncaught-exception abort); they must surface as parse errors.
+  Fixture fx;
+  auto expect_error = [&](const std::string& sql,
+                          const std::string& fragment) {
+    const Result<ViewDef> parsed = ParseViewSql(fx.db, "v", sql);
+    ASSERT_FALSE(parsed.ok()) << sql;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(parsed.status().message().find(fragment), std::string::npos)
+        << "message: " << parsed.status().message();
+  };
+  expect_error(
+      "SELECT ps_partkey FROM partsupp "
+      "WHERE ps_partkey = 99999999999999999999999999999999",
+      "out of range");
+  // ~10^400: overflows double (the lexer has no exponent syntax, so the
+  // overflow must come as a long plain-decimal literal).
+  expect_error("SELECT ps_partkey FROM partsupp WHERE ps_supplycost < " +
+                   std::string(400, '9') + ".0",
+               "not representable");
+
+  // Extreme-but-valid literals still parse exactly.
+  const Result<ViewDef> ok = ParseViewSql(
+      fx.db, "v",
+      "SELECT ps_partkey FROM partsupp "
+      "WHERE ps_partkey < 9223372036854775807");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  ASSERT_EQ(ok.value().predicates.size(), 1u);
+  EXPECT_EQ(ok.value().predicates[0].constant,
+            Value(int64_t{9223372036854775807LL}));
+}
+
 }  // namespace
 }  // namespace abivm

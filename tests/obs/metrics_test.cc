@@ -1,10 +1,13 @@
 #include "obs/metrics.h"
 
+#include <sstream>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "fault/failpoint.h"
+#include "obs/export.h"
 #include "obs/span.h"
 
 namespace abivm::obs {
@@ -110,6 +113,38 @@ TEST(ScopedSpanTest, RecordsOnceAndIgnoresNullRegistry) {
   EXPECT_GE(registry.timer("section").total_ms(), 0.0);
   { ScopedSpan span(nullptr, "section"); }  // must not crash or record
   EXPECT_EQ(registry.timer("section").count(), 1u);
+}
+
+TEST(MetricRegistryTest, FailpointCountersFlowIntoJsonSnapshot) {
+  // Fault-injection counters export through the same registry/snapshot
+  // pipeline as every other metric.
+  fault::FailpointRegistry failpoints;
+  fault::Failpoint& fp = failpoints.Get("ivm.commit");
+  fp.ArmOnce(/*skip_hits=*/1);
+  (void)fp.Check();  // hit, skipped
+  (void)fp.Check();  // hit, triggered
+
+  MetricRegistry registry;
+  registry.counter("engine.retries").Add(3);
+  registry.counter("engine.degraded_steps").Add(0);
+  failpoints.ExportMetrics(registry);
+
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counters.at("fault.hits.ivm.commit"), 2u);
+  EXPECT_EQ(snap.counters.at("fault.triggers.ivm.commit"), 1u);
+  EXPECT_EQ(snap.counters.at("engine.retries"), 3u);
+
+  std::ostringstream os;
+  JsonWriter writer(os, /*indent=*/0);
+  WriteSnapshotJson(writer, snap);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"fault.hits.ivm.commit\":2"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"fault.triggers.ivm.commit\":1"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"engine.degraded_steps\":0"), std::string::npos)
+      << json;
 }
 
 }  // namespace

@@ -1,0 +1,234 @@
+// Engine-runner failure semantics under injected faults: retry with
+// deterministic simulated backoff, graceful degradation on persistent
+// failure, and bit-identical traces for identical seeds + armed sites.
+// Runs under the `fault` ctest label.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/naive.h"
+#include "core/online.h"
+#include "fault/failpoint.h"
+#include "fault/sites.h"
+#include "sim/engine_runner.h"
+#include "tpc/tpc_gen.h"
+#include "tpc/update_stream.h"
+#include "tpc/views.h"
+
+namespace abivm {
+namespace {
+
+using fault::ScopedFailpoint;
+
+struct Fixture {
+  Database db;
+  std::unique_ptr<ViewMaintainer> maintainer;
+  std::unique_ptr<TpcUpdater> updater;
+  ModificationDriver driver;
+
+  Fixture() {
+    TpcGenOptions options;
+    options.scale_factor = 0.001;
+    GenerateTpcDatabase(&db, options);
+    CreatePaperIndexes(&db);
+    maintainer = std::make_unique<ViewMaintainer>(&db, MakePaperMinView());
+    updater = std::make_unique<TpcUpdater>(&db, 99);
+    driver = [this](size_t table_index) {
+      if (table_index == 0) {
+        updater->UpdatePartSuppSupplycost();
+      } else if (table_index == 1) {
+        updater->UpdateSupplierNationkey();
+      } else {
+        ABIVM_CHECK_MSG(false, "no modifications for table " << table_index);
+      }
+    };
+  }
+};
+
+CostModel PaperLikeModel() {
+  std::vector<CostFunctionPtr> fns = {
+      std::make_shared<LinearCost>(0.3, 0.5),
+      std::make_shared<LinearCost>(0.2, 6.0),
+      std::make_shared<LinearCost>(0.1, 0.1),
+      std::make_shared<LinearCost>(0.1, 0.1)};
+  return CostModel(std::move(fns));
+}
+
+TEST(EngineFaultTest, OneShotFaultIsRetriedTransparently) {
+  Fixture fx;
+  const ArrivalSequence arrivals =
+      ArrivalSequence::Uniform({1, 1, 0, 0}, 19);
+  ScopedFailpoint guard = ScopedFailpoint::Once(fault::kFpIvmCommit);
+
+  NaivePolicy policy;
+  const EngineTrace trace =
+      RunOnEngine(*fx.maintainer, arrivals, PaperLikeModel(), 15.0, policy,
+                  fx.driver);
+
+  EXPECT_EQ(trace.failures, 1u);
+  EXPECT_EQ(trace.retries, 1u);
+  EXPECT_EQ(trace.degraded_steps, 0u);
+  EXPECT_TRUE(trace.ended_consistent);
+  // First retry is charged the base backoff.
+  EXPECT_DOUBLE_EQ(trace.total_backoff_ms, 1.0);
+  EXPECT_TRUE(fx.maintainer->IsConsistent());
+  EXPECT_TRUE(fx.maintainer->state().SameContents(
+      fx.maintainer->RecomputeAtWatermarks()));
+}
+
+TEST(EngineFaultTest, PersistentFaultDegradesGracefully) {
+  Fixture fx;
+  // One step (the forced final refresh) over a single modified table.
+  const ArrivalSequence arrivals = ArrivalSequence::Uniform({1, 0, 0, 0}, 0);
+  ScopedFailpoint guard = ScopedFailpoint::Always(fault::kFpIvmCommit);
+
+  EngineRunnerOptions options;
+  options.retry.max_attempts = 5;
+  options.retry.backoff_base_ms = 1.0;
+  options.retry.backoff_multiplier = 2.0;
+  options.retry.backoff_cap_ms = 8.0;
+
+  NaivePolicy policy;
+  const EngineTrace trace =
+      RunOnEngine(*fx.maintainer, arrivals, PaperLikeModel(), 15.0, policy,
+                  fx.driver, options);
+
+  // The single batch was tried max_attempts times, then abandoned; its
+  // residue stays pending and the run reports the inconsistency instead
+  // of crashing.
+  ASSERT_EQ(trace.steps.size(), 1u);
+  EXPECT_EQ(trace.failures, 5u);
+  EXPECT_EQ(trace.retries, 4u);
+  EXPECT_EQ(trace.degraded_steps, 1u);
+  EXPECT_TRUE(trace.steps[0].degraded);
+  // Backoff sequence 1, 2, 4, then capped at 8: the cap binds.
+  EXPECT_DOUBLE_EQ(trace.total_backoff_ms, 1.0 + 2.0 + 4.0 + 8.0);
+  EXPECT_FALSE(trace.ended_consistent);
+  EXPECT_FALSE(fx.maintainer->IsConsistent());
+  EXPECT_EQ(fx.maintainer->PendingCount(0), 1u);
+
+  // A failed run never corrupted the view: clearing the fault and
+  // retrying the residue converges.
+  fault::FailpointRegistry::ThreadLocal().DisarmAll();
+  ASSERT_TRUE(fx.maintainer->RefreshAllChecked().ok());
+  EXPECT_TRUE(fx.maintainer->state().SameContents(
+      fx.maintainer->RecomputeAtWatermarks()));
+}
+
+TEST(EngineFaultTest, DegradedResidueIsReplannedNextStep) {
+  Fixture fx;
+  const ArrivalSequence arrivals =
+      ArrivalSequence::Uniform({1, 1, 0, 0}, 14);
+  // Commit fails often enough that some step exhausts two attempts.
+  ScopedFailpoint guard =
+      ScopedFailpoint::Probability(fault::kFpIvmCommit, 0.6, 1234);
+  EngineRunnerOptions options;
+  options.retry.max_attempts = 2;
+
+  OnlinePolicy policy;
+  const EngineTrace trace =
+      RunOnEngine(*fx.maintainer, arrivals, PaperLikeModel(), 15.0, policy,
+                  fx.driver, options);
+
+  EXPECT_GT(trace.failures, 0u);
+  // Residue abandoned at step t stays pending: the recorded pre_state of
+  // a later step must carry it forward (pending never shrinks without a
+  // successful batch).
+  for (size_t s = 0; s + 1 < trace.steps.size(); ++s) {
+    const EngineStepRecord& cur = trace.steps[s];
+    const EngineStepRecord& next = trace.steps[s + 1];
+    for (size_t i = 0; i < cur.pre_state.size(); ++i) {
+      Count processed = cur.action[i];
+      if (cur.degraded) {
+        // Some of the acted-on residue may have been abandoned.
+        processed = 0;
+      }
+      EXPECT_GE(next.pre_state[i] + processed,
+                cur.pre_state[i] - cur.action[i])
+          << "step " << s << " table " << i;
+    }
+  }
+  // Whatever happened during the run, the view itself is uncorrupted:
+  // its state matches the oracle at its own watermarks.
+  fault::FailpointRegistry::ThreadLocal().DisarmAll();
+  EXPECT_TRUE(fx.maintainer->state().SameContents(
+      fx.maintainer->RecomputeAtWatermarks()));
+  ASSERT_TRUE(fx.maintainer->RefreshAllChecked().ok());
+  EXPECT_TRUE(fx.maintainer->IsConsistent());
+}
+
+// Same seed + same armed failpoints => bit-identical decision/failure
+// traces, run after run (wall-clock timing fields excluded).
+TEST(EngineFaultTest, FaultedRunsAreSeedDeterministic) {
+  const auto run = [] {
+    Fixture fx;
+    const ArrivalSequence arrivals =
+        ArrivalSequence::Uniform({1, 1, 0, 0}, 24);
+    ScopedFailpoint commit =
+        ScopedFailpoint::Probability(fault::kFpIvmCommit, 0.35, 777);
+    ScopedFailpoint join =
+        ScopedFailpoint::Probability(fault::kFpExecIndexJoin, 0.10, 778);
+    EngineRunnerOptions options;
+    options.retry.max_attempts = 3;
+    OnlinePolicy policy;
+    return RunOnEngine(*fx.maintainer, arrivals, PaperLikeModel(), 15.0,
+                       policy, fx.driver, options);
+  };
+
+  const EngineTrace a = run();
+  const EngineTrace b = run();
+
+  EXPECT_EQ(a.failures, b.failures);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.degraded_steps, b.degraded_steps);
+  EXPECT_EQ(a.violations, b.violations);
+  EXPECT_EQ(a.action_count, b.action_count);
+  EXPECT_EQ(a.ended_consistent, b.ended_consistent);
+  EXPECT_DOUBLE_EQ(a.total_backoff_ms, b.total_backoff_ms);
+  EXPECT_DOUBLE_EQ(a.total_model_cost, b.total_model_cost);
+  EXPECT_EQ(a.exec_stats.rows_scanned, b.exec_stats.rows_scanned);
+  EXPECT_EQ(a.exec_stats.output_rows, b.exec_stats.output_rows);
+  ASSERT_EQ(a.steps.size(), b.steps.size());
+  for (size_t s = 0; s < a.steps.size(); ++s) {
+    EXPECT_EQ(a.steps[s].action, b.steps[s].action) << "t=" << s;
+    EXPECT_EQ(a.steps[s].pre_state, b.steps[s].pre_state) << "t=" << s;
+    EXPECT_EQ(a.steps[s].failures, b.steps[s].failures) << "t=" << s;
+    EXPECT_EQ(a.steps[s].retries, b.steps[s].retries) << "t=" << s;
+    EXPECT_EQ(a.steps[s].degraded, b.steps[s].degraded) << "t=" << s;
+    EXPECT_DOUBLE_EQ(a.steps[s].backoff_ms, b.steps[s].backoff_ms)
+        << "t=" << s;
+  }
+  // The schedule must actually contain failures for this to mean much.
+  EXPECT_GT(a.failures, 0u);
+}
+
+TEST(EngineFaultTest, FaultCountersExportThroughMetrics) {
+  Fixture fx;
+  const ArrivalSequence arrivals =
+      ArrivalSequence::Uniform({1, 1, 0, 0}, 9);
+  ScopedFailpoint guard = ScopedFailpoint::Once(fault::kFpIvmCommit);
+
+  obs::MetricRegistry metrics;
+  EngineRunnerOptions options;
+  options.metrics = &metrics;
+  NaivePolicy policy;
+  const EngineTrace trace =
+      RunOnEngine(*fx.maintainer, arrivals, PaperLikeModel(), 15.0, policy,
+                  fx.driver, options);
+  fault::FailpointRegistry::ThreadLocal().ExportMetrics(metrics);
+
+  const obs::MetricsSnapshot snap = metrics.Snapshot();
+  EXPECT_EQ(snap.counters.at("engine.failures"), trace.failures);
+  EXPECT_EQ(snap.counters.at("engine.retries"), trace.retries);
+  EXPECT_EQ(snap.counters.at("engine.degraded_steps"), 0u);
+  EXPECT_EQ(snap.counters.at(std::string("fault.triggers.") +
+                             fault::kFpIvmCommit),
+            1u);
+  EXPECT_GE(snap.counters.at(std::string("fault.hits.") +
+                             fault::kFpIvmCommit),
+            1u);
+}
+
+}  // namespace
+}  // namespace abivm

@@ -9,6 +9,12 @@
 #include "core/naive.h"
 #include "core/online.h"
 #include "core/replan.h"
+#include "fault/failpoint.h"
+#include "fault/sites.h"
+#include "sim/engine_runner.h"
+#include "tpc/tpc_gen.h"
+#include "tpc/update_stream.h"
+#include "tpc/views.h"
 
 namespace abivm {
 namespace {
@@ -169,6 +175,100 @@ TEST(SweepTest, MakeJobHelpersSetExpectedCostFromHorizon) {
   EXPECT_LT(sim_short.expected_cost, sim_long.expected_cost);
   EXPECT_EQ(sim_long.expected_cost, plan_long.expected_cost);
   EXPECT_GT(sim_short.expected_cost, 0.0);
+}
+
+// A sweep job that runs the REAL engine with seeded fault injection armed
+// inside the job closure. Failpoint registries are thread-local, so each
+// worker thread arms (and tears down) its own sites -- the property that
+// keeps fault-injected sweeps bit-identical across thread counts.
+SweepJob MakeEngineFaultJob(std::string scenario, uint64_t seed) {
+  SweepJob job;
+  job.scenario = std::move(scenario);
+  job.label = "ENGINE_FAULT seed=" + std::to_string(seed);
+  job.run = [seed](obs::MetricRegistry& metrics, SweepJobResult& result) {
+    // Worker threads are reused across jobs: start from clean counters.
+    fault::FailpointRegistry::ThreadLocal().ResetAllCounters();
+
+    Database db;
+    TpcGenOptions gen;
+    gen.scale_factor = 0.001;
+    gen.seed = seed;
+    GenerateTpcDatabase(&db, gen);
+    CreatePaperIndexes(&db);
+    ViewMaintainer maintainer(&db, MakePaperMinView());
+    TpcUpdater updater(&db, seed + 1);
+    const ModificationDriver driver = [&](size_t table_index) {
+      if (table_index == 0) {
+        updater.UpdatePartSuppSupplycost();
+      } else {
+        updater.UpdateSupplierNationkey();
+      }
+    };
+
+    std::vector<CostFunctionPtr> fns = {
+        std::make_shared<LinearCost>(0.3, 0.5),
+        std::make_shared<LinearCost>(0.2, 6.0),
+        std::make_shared<LinearCost>(0.1, 0.1),
+        std::make_shared<LinearCost>(0.1, 0.1)};
+    const CostModel model{std::move(fns)};
+    const ArrivalSequence arrivals =
+        ArrivalSequence::Uniform({1, 1, 0, 0}, 19);
+
+    fault::ScopedFailpoint commit = fault::ScopedFailpoint::Probability(
+        fault::kFpIvmCommit, 0.3, seed * 2 + 1);
+    fault::ScopedFailpoint log_read = fault::ScopedFailpoint::Probability(
+        fault::kFpStorageDeltaLogRead, 0.1, seed * 2 + 2);
+
+    EngineRunnerOptions options;
+    options.record_steps = false;
+    options.retry.max_attempts = 3;
+    options.metrics = &metrics;
+    OnlinePolicy policy;
+    const EngineTrace trace = RunOnEngine(maintainer, arrivals, model, 15.0,
+                                          policy, driver, options);
+    fault::FailpointRegistry::ThreadLocal().ExportMetrics(metrics);
+
+    result.total_cost = trace.total_model_cost;
+    result.violations = trace.violations;
+    result.action_count = trace.action_count;
+    result.values["failures"] = static_cast<double>(trace.failures);
+    result.values["retries"] = static_cast<double>(trace.retries);
+    result.values["degraded_steps"] =
+        static_cast<double>(trace.degraded_steps);
+    result.values["backoff_ms"] = trace.total_backoff_ms;
+    result.values["ended_consistent"] = trace.ended_consistent ? 1.0 : 0.0;
+  };
+  return job;
+}
+
+TEST(SweepTest, FaultInjectedEngineSweepIsThreadCountInvariant) {
+  std::vector<SweepJob> jobs;
+  for (uint64_t seed : {101u, 202u, 303u, 404u}) {
+    jobs.push_back(MakeEngineFaultJob("fault_sweep", seed));
+  }
+
+  const std::vector<SweepJobResult> sequential =
+      RunSweep(jobs, SweepOptions{.threads = 1});
+  const std::vector<SweepJobResult> parallel =
+      RunSweep(jobs, SweepOptions{.threads = 4});
+
+  ASSERT_EQ(sequential.size(), parallel.size());
+  uint64_t total_failures = 0;
+  for (size_t i = 0; i < sequential.size(); ++i) {
+    SCOPED_TRACE(sequential[i].label);
+    // Bit-identical decisions, failure schedules, and counters: arming
+    // happens on the worker thread's own registry, so concurrency cannot
+    // perturb a single injected fault.
+    EXPECT_EQ(sequential[i].total_cost, parallel[i].total_cost);
+    EXPECT_EQ(sequential[i].violations, parallel[i].violations);
+    EXPECT_EQ(sequential[i].action_count, parallel[i].action_count);
+    EXPECT_EQ(sequential[i].values, parallel[i].values);
+    EXPECT_EQ(sequential[i].metrics.counters, parallel[i].metrics.counters);
+    total_failures +=
+        static_cast<uint64_t>(sequential[i].values.at("failures"));
+  }
+  // The schedule must actually inject failures, or the test is vacuous.
+  EXPECT_GT(total_failures, 0u);
 }
 
 TEST(SweepTest, EmptyJobListIsFine) {

@@ -117,5 +117,43 @@ TEST(CsvTest, MalformedQuoting) {
   EXPECT_FALSE(LoadTableCsv(&db, &t, in).ok());
 }
 
+TEST(CsvTest, NumericCellsOutOfRangeAreErrorsNotCrashes) {
+  Database db;
+  Table& t = db.CreateTable("t", MixedSchema());
+  {
+    // Way past int64 range: must come back as a Status, not abort.
+    std::istringstream in(
+        "id,name,price\n99999999999999999999999999,a,2.0\n");
+    const Result<size_t> r = LoadTableCsv(&db, &t, in);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(r.status().message().find("bad int64"), std::string::npos);
+  }
+  {
+    // Double overflow (1e999 -> ERANGE in strtod).
+    std::istringstream in("id,name,price\n1,a,1e999\n");
+    const Result<size_t> r = LoadTableCsv(&db, &t, in);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.status().message().find("bad double"), std::string::npos);
+  }
+  {
+    // Trailing garbage after a valid prefix.
+    std::istringstream in("id,name,price\n12x,a,2.0\n");
+    EXPECT_FALSE(LoadTableCsv(&db, &t, in).ok());
+  }
+}
+
+TEST(CsvTest, FailedLoadKeepsEarlierValidRows) {
+  // Row-by-row bulk load: a malformed record aborts the load with the
+  // already-validated prefix applied (callers see the row count only on
+  // full success, so partial loads are detectable via the error).
+  Database db;
+  Table& t = db.CreateTable("t", MixedSchema());
+  std::istringstream in(
+      "id,name,price\n1,a,2.0\nbogus_int,b,3.0\n");
+  EXPECT_FALSE(LoadTableCsv(&db, &t, in).ok());
+  EXPECT_EQ(t.live_row_count(), 1u);
+}
+
 }  // namespace
 }  // namespace abivm
