@@ -58,6 +58,18 @@ SweepJob MakeEngineJob(const std::string& label,
     result.violations = trace.violations;
     result.action_count = trace.action_count;
     result.values["actual_ms"] = trace.total_actual_ms;
+    result.values["abandoned_model_cost"] = trace.abandoned_model_cost;
+    result.values["attempted_ms"] = trace.total_attempted_ms;
+    result.values["attempted_batches"] =
+        static_cast<double>(trace.attempted_batches);
+    // Per-operator wall totals (the asymmetry made visible: probe-bound
+    // pipelines vs the one HASH+SCAN stage).
+    for (const PipelineProfile& profile : trace.operator_profiles) {
+      for (const StageStats& stage : profile.stages) {
+        result.values["op_ms." + profile.pipeline + "." + stage.slug] +=
+            stage.wall_ms;
+      }
+    }
   };
   return job;
 }

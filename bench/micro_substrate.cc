@@ -88,6 +88,27 @@ void BM_ProcessBatchSupplier(benchmark::State& state) {
 }
 BENCHMARK(BM_ProcessBatchSupplier)->Arg(1)->Arg(16)->Arg(64);
 
+void BM_ProcessBatchPartsuppProfiled(benchmark::State& state) {
+  // Same work as BM_ProcessBatchPartsupp but with per-operator profiling
+  // on; the delta vs the plain run is the price of attribution (per-stage
+  // clock reads + StageStats slices). The plain runs above stay on the
+  // null-registry fast path and are the regression guard for it.
+  bench::PaperFixture& fx = SharedFixture();
+  const auto k = static_cast<size_t>(state.range(0));
+  while (fx.maintainer->PendingCount(0) < k) {
+    fx.updater->UpdatePartSuppSupplycost();
+  }
+  fx.maintainer->EnableProfiling(true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fx.maintainer->ProcessBatch(0, k, /*dry_run=*/true));
+  }
+  // SharedFixture is shared across benchmarks: leave profiling off.
+  fx.maintainer->EnableProfiling(false);
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(k));
+}
+BENCHMARK(BM_ProcessBatchPartsuppProfiled)->Arg(64)->Arg(512);
+
 void BM_AStarPlanner(benchmark::State& state) {
   std::vector<CostFunctionPtr> fns = {
       std::make_shared<LinearCost>(0.3, 0.5),

@@ -2,9 +2,11 @@
 # Sanitizer gate: builds and runs the full test suite under ASan+UBSan
 # and again under TSan (with an explicit pass over the fault-injection
 # suite, `ctest -L fault`, under each), smoke-runs two parallel bench
-# drivers under TSan, and guards the release planner bench against its
-# checked-in baseline. Use before merging anything that touches
-# threading, memory management, or the failpoint wiring.
+# drivers under TSan, and guards the release planner and substrate
+# benches against their checked-in baselines (the substrate guard pins
+# the unobserved null-registry ProcessBatch path). Use before merging
+# anything that touches threading, memory management, the failpoint
+# wiring, or the observability hooks.
 #
 #   scripts/check.sh            # asan suite + tsan suite + bench guard
 #   scripts/check.sh --fast     # skip the asan suite, tsan only
@@ -59,6 +61,18 @@ cmake --build --preset default -j "$jobs" >/dev/null || exit 1
 (cd build/bench && ./micro_planner >/dev/null) || fail=1
 python3 scripts/compare_planner_baseline.py \
   build/bench/BENCH_planner.json bench/baselines/BENCH_planner.json \
+  || fail=1
+
+echo "=== Release bench guard: substrate unobserved path vs baseline ==="
+# Per-operator profiling must stay free when off: the plain ProcessBatch
+# and join-operator benchmarks run with profiling disabled and a null
+# metrics registry, and must reproduce their checked-in wall-clock within
+# tolerance. An accidentally-always-on attribution path fails here.
+(cd build/bench && ./micro_substrate \
+    --benchmark_out=BENCH_substrate.json --benchmark_out_format=json \
+    >/dev/null) || fail=1
+python3 scripts/compare_substrate_baseline.py \
+  build/bench/BENCH_substrate.json bench/baselines/BENCH_substrate.json \
   || fail=1
 
 if [ "$fail" -ne 0 ]; then

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Guards the substrate micro-bench against its checked-in baseline.
+
+Usage: compare_substrate_baseline.py CURRENT.json BASELINE.json [--wall-tol X]
+
+The point of this guard is the UNOBSERVED path: plain ProcessBatch /
+join-operator runs with no profiling and a null metrics registry must not
+pay for the per-operator attribution machinery. Inputs are google-benchmark
+JSON (--benchmark_out_format=json). The benchmark grid is pinned -- a name
+present in only one file fails -- and each benchmark's real_time may not
+exceed the baseline by more than the tolerance factor (default 2.0x, wide
+enough for machine noise, narrow enough to catch an accidentally-always-on
+profiling path). Faster-than-baseline never fails.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    # Skip aggregate rows (mean/median/stddev) if repetitions were used.
+    return {
+        b["name"]: b
+        for b in data["benchmarks"]
+        if b.get("run_type", "iteration") == "iteration"
+    }
+
+
+def main(argv):
+    if len(argv) < 3:
+        sys.stderr.write(__doc__)
+        return 2
+    wall_tol = 2.0
+    if "--wall-tol" in argv:
+        wall_tol = float(argv[argv.index("--wall-tol") + 1])
+
+    current = load(argv[1])
+    baseline = load(argv[2])
+
+    failures = []
+    for name in sorted(set(current) | set(baseline)):
+        if name not in current:
+            failures.append(f"{name}: missing from current run")
+            continue
+        if name not in baseline:
+            failures.append(f"{name}: not in baseline (grid changed?)")
+            continue
+        cur, base = current[name], baseline[name]
+        if cur.get("time_unit") != base.get("time_unit"):
+            failures.append(
+                f"{name}: time_unit {cur.get('time_unit')} != baseline "
+                f"{base.get('time_unit')}"
+            )
+            continue
+        if cur["real_time"] > base["real_time"] * wall_tol:
+            failures.append(
+                f"{name}.real_time: {cur['real_time']:.1f} "
+                f"{cur.get('time_unit', 'ns')} > {wall_tol}x baseline "
+                f"{base['real_time']:.1f}"
+            )
+
+    if failures:
+        for line in failures:
+            print(f"[substrate-baseline] REGRESSION {line}")
+        return 1
+    print(f"[substrate-baseline] {len(current)} benchmarks within "
+          f"{wall_tol}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

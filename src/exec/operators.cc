@@ -115,7 +115,8 @@ Result<DeltaBatch> JoinBatchWithTable(const DeltaBatch& input,
 }
 
 DeltaBatch FilterBatch(const DeltaBatch& input, size_t column, CompareOp op,
-                       const Value& constant) {
+                       const Value& constant, ExecStats* stats) {
+  if (stats != nullptr) stats->rows_filtered += input.size();
   DeltaBatch out;
   out.reserve(input.size());
   for (const DeltaRow& delta : input) {
@@ -127,7 +128,9 @@ DeltaBatch FilterBatch(const DeltaBatch& input, size_t column, CompareOp op,
 }
 
 DeltaBatch ProjectBatch(const DeltaBatch& input,
-                        const std::vector<size_t>& columns) {
+                        const std::vector<size_t>& columns,
+                        ExecStats* stats) {
+  if (stats != nullptr) stats->rows_projected += input.size();
   DeltaBatch out;
   out.reserve(input.size());
   for (const DeltaRow& delta : input) {

@@ -29,13 +29,29 @@ struct ExecStats {
   uint64_t index_probes = 0;
   uint64_t hash_build_rows = 0;
   uint64_t output_rows = 0;
+  /// Rows evaluated by filter predicates (FilterBatch and residual join
+  /// equalities).
+  uint64_t rows_filtered = 0;
+  /// Rows rewritten by projections (ProjectBatch).
+  uint64_t rows_projected = 0;
 
   ExecStats& operator+=(const ExecStats& other) {
     rows_scanned += other.rows_scanned;
     index_probes += other.index_probes;
     hash_build_rows += other.hash_build_rows;
     output_rows += other.output_rows;
+    rows_filtered += other.rows_filtered;
+    rows_projected += other.rows_projected;
     return *this;
+  }
+
+  bool operator==(const ExecStats& other) const {
+    return rows_scanned == other.rows_scanned &&
+           index_probes == other.index_probes &&
+           hash_build_rows == other.hash_build_rows &&
+           output_rows == other.output_rows &&
+           rows_filtered == other.rows_filtered &&
+           rows_projected == other.rows_projected;
   }
 };
 
@@ -59,13 +75,16 @@ Result<DeltaBatch> JoinBatchWithTable(const DeltaBatch& input,
                                       const std::vector<size_t>& right_keep,
                                       Version version, ExecStats* stats);
 
-/// Keeps rows whose `column` satisfies the comparison.
+/// Keeps rows whose `column` satisfies the comparison. When `stats` is
+/// given, charges one `rows_filtered` per input row.
 DeltaBatch FilterBatch(const DeltaBatch& input, size_t column, CompareOp op,
-                       const Value& constant);
+                       const Value& constant, ExecStats* stats = nullptr);
 
-/// Keeps only the named column positions (in the given order).
+/// Keeps only the named column positions (in the given order). When
+/// `stats` is given, charges one `rows_projected` per input row.
 DeltaBatch ProjectBatch(const DeltaBatch& input,
-                        const std::vector<size_t>& columns);
+                        const std::vector<size_t>& columns,
+                        ExecStats* stats = nullptr);
 
 }  // namespace abivm
 

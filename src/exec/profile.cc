@@ -1,0 +1,48 @@
+#include "exec/profile.h"
+
+namespace abivm {
+
+ExecStats PipelineProfile::TotalStats() const {
+  ExecStats total;
+  for (const StageStats& stage : stages) total += stage.stats;
+  return total;
+}
+
+double PipelineProfile::TotalWallMs() const {
+  double total = 0.0;
+  for (const StageStats& stage : stages) total += stage.wall_ms;
+  return total;
+}
+
+void PipelineProfile::Merge(const PipelineProfile& other) {
+  for (const StageStats& theirs : other.stages) {
+    StageStats* mine = nullptr;
+    for (StageStats& stage : stages) {
+      if (stage.slug == theirs.slug) {
+        mine = &stage;
+        break;
+      }
+    }
+    if (mine == nullptr) {
+      stages.push_back(theirs);
+      continue;
+    }
+    mine->rows_in += theirs.rows_in;
+    mine->rows_out += theirs.rows_out;
+    mine->stats += theirs.stats;
+    mine->wall_ms += theirs.wall_ms;
+  }
+}
+
+void MergeProfileInto(std::vector<PipelineProfile>& totals,
+                      const PipelineProfile& profile) {
+  for (PipelineProfile& total : totals) {
+    if (total.pipeline == profile.pipeline) {
+      total.Merge(profile);
+      return;
+    }
+  }
+  totals.push_back(profile);
+}
+
+}  // namespace abivm

@@ -1,0 +1,68 @@
+// Per-operator attribution of pipeline work. A pipeline run can fill a
+// PipelineProfile with one StageStats per stage (the leading
+// filter/project block, then one per join step); each slice carries the
+// stage's own ExecStats share and wall-clock time, and summing the slices
+// reproduces the whole-run totals exactly (test-enforced). This is what
+// makes the paper's cost asymmetry *measurable*: an index-probe pipeline
+// shows its cost concentrated in probe steps, a scan pipeline in the one
+// HASH+SCAN stage.
+
+#ifndef ABIVM_EXEC_PROFILE_H_
+#define ABIVM_EXEC_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/operators.h"
+
+namespace abivm {
+
+/// Work attributed to one pipeline stage. `stats` holds only this stage's
+/// share of the run's counters.
+struct StageStats {
+  /// Display label with the strategy as executed, e.g. "INDEX JOIN
+  /// supplier" or "HASH+SCAN partsupp".
+  std::string op;
+  /// Stable strategy-independent key, e.g. "s1.join_supplier"; used to
+  /// merge profiles across batches and to name interned metrics.
+  std::string slug;
+  /// Intermediate rows entering/leaving the stage (display convenience;
+  /// not part of the ExecStats sum identity).
+  uint64_t rows_in = 0;
+  uint64_t rows_out = 0;
+  ExecStats stats;
+  double wall_ms = 0.0;
+};
+
+/// Per-stage breakdown of one pipeline run, or the stage-wise sum of many
+/// runs of the same pipeline.
+struct PipelineProfile {
+  /// Which pipeline, e.g. "delta(partsupp)" or "recompute".
+  std::string pipeline;
+  std::vector<StageStats> stages;
+
+  bool empty() const { return stages.empty(); }
+
+  /// Sum of the per-stage slices; equals the whole-run ExecStats.
+  ExecStats TotalStats() const;
+
+  /// Sum of the per-stage wall clock. Stages are sub-intervals of the
+  /// batch, so this is <= BatchResult::wall_ms (which also covers
+  /// net-extract and state application).
+  double TotalWallMs() const;
+
+  /// Stage-wise accumulate of another run of the same pipeline. Stages
+  /// match by slug (so a strategy flip mid-run keeps accumulating into
+  /// one stage); first-seen slugs append.
+  void Merge(const PipelineProfile& other);
+};
+
+/// Accumulates `profile` into the entry of `totals` with the same
+/// pipeline name, appending a new entry for a first-seen pipeline.
+void MergeProfileInto(std::vector<PipelineProfile>& totals,
+                      const PipelineProfile& profile);
+
+}  // namespace abivm
+
+#endif  // ABIVM_EXEC_PROFILE_H_

@@ -4,6 +4,26 @@
 
 namespace abivm {
 
+OperatorCostShare CalibrationResult::DominantOperator() const {
+  ABIVM_CHECK(!samples.empty());
+  // batch_sizes are ascending, so the last sample is the largest -- the
+  // regime the fitted slope describes.
+  const PipelineProfile& profile = samples.back().profile;
+  ABIVM_CHECK_MSG(!profile.empty(),
+                  "calibration samples carry no profile");
+  const double total = profile.TotalWallMs();
+  const StageStats* best = &profile.stages.front();
+  for (const StageStats& stage : profile.stages) {
+    if (stage.wall_ms > best->wall_ms) best = &stage;
+  }
+  OperatorCostShare share;
+  share.op = best->op;
+  share.slug = best->slug;
+  share.wall_ms = best->wall_ms;
+  share.share = total > 0.0 ? best->wall_ms / total : 0.0;
+  return share;
+}
+
 CostFunctionPtr CalibrationResult::AsLinearCost() const {
   // A valid LinearCost needs a > 0 and b >= 0; measurement noise on flat
   // or tiny curves can produce slightly negative estimates.
@@ -34,6 +54,10 @@ CalibrationResult CalibrateTableCost(ViewMaintainer& maintainer,
   ABIVM_CHECK_GE(options.repetitions, 1);
   CalibrationResult result;
 
+  // Profile every run so the result can attribute the fitted curve to
+  // the dominant operator; restore the caller's profiling choice after.
+  const bool saved_profiling = maintainer.profiling_requested();
+  maintainer.EnableProfiling(true);
   std::vector<double> xs, ys;
   for (uint64_t k : batch_sizes) {
     ABIVM_CHECK_MSG(k >= 1, "batch sizes must be >= 1");
@@ -43,16 +67,19 @@ CalibrationResult CalibrateTableCost(ViewMaintainer& maintainer,
     std::vector<double> times;
     times.reserve(static_cast<size_t>(options.repetitions));
     ExecStats representative;
+    PipelineProfile representative_profile;
     for (int r = 0; r < options.repetitions; ++r) {
-      const BatchResult batch = maintainer.ProcessBatch(
+      BatchResult batch = maintainer.ProcessBatch(
           table_index, static_cast<size_t>(k), /*dry_run=*/true);
       times.push_back(batch.wall_ms);
       representative = batch.stats;
+      representative_profile = std::move(batch.profile);
     }
     CostSample sample;
     sample.batch_size = k;
     sample.median_ms = Median(times);
     sample.stats = representative;
+    sample.profile = std::move(representative_profile);
     result.samples.push_back(sample);
     xs.push_back(static_cast<double>(k));
     ys.push_back(sample.median_ms);
@@ -64,6 +91,7 @@ CalibrationResult CalibrateTableCost(ViewMaintainer& maintainer,
     result.fit.intercept = 0.0;
     result.fit.r_squared = 1.0;
   }
+  maintainer.EnableProfiling(saved_profiling);
   return result;
 }
 

@@ -21,12 +21,32 @@ struct CostSample {
   double median_ms = 0.0;
   /// Operator work counters from one representative run.
   ExecStats stats;
+  /// Per-operator breakdown of the representative run; its slices sum to
+  /// `stats`.
+  PipelineProfile profile;
+};
+
+/// The operator a calibrated cost curve is dominated by.
+struct OperatorCostShare {
+  /// Display label, e.g. "HASH+SCAN partsupp".
+  std::string op;
+  /// Stable stage key, e.g. "s1.join_partsupp".
+  std::string slug;
+  double wall_ms = 0.0;
+  /// Fraction of the profiled pipeline wall time, in [0, 1].
+  double share = 0.0;
 };
 
 struct CalibrationResult {
   std::vector<CostSample> samples;
   /// OLS fit of median_ms against batch_size.
   LinearFit fit;
+
+  /// The stage with the largest wall-time share in the LARGEST sample
+  /// (the asymptotic regime the fitted slope describes) -- i.e. which
+  /// operator this table's f_i is really paying for. CHECK-fails on an
+  /// empty calibration.
+  OperatorCostShare DominantOperator() const;
 
   /// LinearCost from the fit, with slope/intercept clamped to tiny
   /// positive values so the result is a valid cost function even when the

@@ -1,7 +1,10 @@
 #include "ivm/explain.h"
 
+#include <algorithm>
 #include <iomanip>
 #include <sstream>
+
+#include "exec/stats.h"
 
 namespace abivm {
 
@@ -105,6 +108,176 @@ std::string ExplainView(const ViewBinding& binding) {
         << ExplainPipeline(binding, i);
   }
   return oss.str();
+}
+
+namespace {
+
+// Where an intermediate-row column physically lives, so predicate
+// selectivities can be estimated from that column's base-table stats at
+// the snapshot the pipeline actually reads (the table's watermark).
+struct ColumnProvenance {
+  const Table* table = nullptr;
+  size_t column = 0;
+  size_t table_index = 0;  // position in ViewDef::tables
+};
+
+double PredicateSelectivity(const ViewMaintainer& maintainer,
+                            const ColumnProvenance& prov, CompareOp op,
+                            const Value& constant) {
+  const ColumnStats stats = ComputeColumnStats(
+      *prov.table, prov.column,
+      maintainer.watermark_version(prov.table_index));
+  return EstimateSelectivity(stats, op, constant);
+}
+
+size_t DistinctAtWatermark(const ViewMaintainer& maintainer,
+                           const ColumnProvenance& prov) {
+  return ComputeColumnStats(*prov.table, prov.column,
+                            maintainer.watermark_version(prov.table_index))
+      .distinct_count;
+}
+
+std::string FormatEstimate(double value) {
+  std::ostringstream oss;
+  oss << "~" << std::fixed << std::setprecision(1) << value;
+  return oss.str();
+}
+
+std::string FormatMeasured(const StageStats& stage) {
+  std::ostringstream oss;
+  oss << "in=" << stage.rows_in << " out=" << stage.rows_out
+      << " scan=" << stage.stats.rows_scanned
+      << " probe=" << stage.stats.index_probes
+      << " build=" << stage.stats.hash_build_rows
+      << " filt=" << stage.stats.rows_filtered
+      << " proj=" << stage.stats.rows_projected << " wall=" << std::fixed
+      << std::setprecision(3) << stage.wall_ms << "ms";
+  return oss.str();
+}
+
+}  // namespace
+
+ExplainAnalyzeResult ExplainAnalyzePipeline(ViewMaintainer& maintainer,
+                                            size_t table_index, size_t k,
+                                            const CostModel* model) {
+  const ViewBinding& binding = maintainer.binding();
+  ABIVM_CHECK_LT(table_index, binding.num_tables());
+  ABIVM_CHECK_GE(k, size_t{1});
+  ABIVM_CHECK_LE(k, maintainer.PendingCount(table_index));
+  const BoundPipeline& pipeline = binding.delta_pipeline(table_index);
+
+  ExplainAnalyzeResult out;
+  // Dry-run with profiling on; restore the caller's profiling choice.
+  const bool saved_profiling = maintainer.profiling_requested();
+  maintainer.EnableProfiling(true);
+  out.batch = maintainer.ProcessBatch(table_index, k, /*dry_run=*/true);
+  maintainer.EnableProfiling(saved_profiling);
+  if (model != nullptr) {
+    out.estimated_model_cost = model->Cost(table_index,
+                                           static_cast<Count>(k));
+  }
+  const std::vector<StageStats>& stages = out.batch.profile.stages;
+  ABIVM_CHECK_EQ(stages.size(), pipeline.steps.size() + 1);
+
+  // Statistics-side estimates, stage by stage, mirroring the executor's
+  // column layout so predicate selectivities resolve to base columns.
+  std::vector<ColumnProvenance> prov;
+  for (size_t c : pipeline.initial_projection) {
+    prov.push_back({pipeline.leading, c, pipeline.leading_index});
+  }
+  // A modification is at worst an update = one retract + one insert row.
+  double est_rows = 2.0 * static_cast<double>(k);
+  std::vector<std::string> estimates;
+  {
+    std::ostringstream oss;
+    oss << "rows" << FormatEstimate(est_rows);
+    for (const BoundPredicate& p : pipeline.leading_predicates) {
+      est_rows *= PredicateSelectivity(
+          maintainer, {pipeline.leading, p.column, pipeline.leading_index},
+          p.op, p.constant);
+    }
+    oss << " out" << FormatEstimate(est_rows);
+    estimates.push_back(oss.str());
+  }
+  for (const BoundJoinStep& step : pipeline.steps) {
+    const ColumnStats right = ComputeColumnStats(
+        *step.table, step.right_column,
+        maintainer.watermark_version(step.table_index));
+    const bool indexed = step.table->HasIndexOn(step.right_column);
+    std::ostringstream oss;
+    if (indexed) {
+      oss << "probes" << FormatEstimate(est_rows);
+    } else {
+      oss << "scan" << FormatEstimate(static_cast<double>(right.row_count))
+          << " build" << FormatEstimate(est_rows);
+    }
+    const double fanout =
+        right.distinct_count > 0
+            ? static_cast<double>(right.row_count) /
+                  static_cast<double>(right.distinct_count)
+            : 0.0;
+    est_rows *= fanout;
+    for (size_t c : step.right_keep) {
+      prov.push_back({step.table, c, step.table_index});
+    }
+    for (const BoundPredicate& p : step.predicates) {
+      est_rows *= PredicateSelectivity(maintainer, prov[p.column], p.op,
+                                       p.constant);
+    }
+    for (const auto& [a, b] : step.residual_equalities) {
+      // Column-equality selectivity: 1/max(d_a, d_b), System-R style.
+      const size_t d = std::max(DistinctAtWatermark(maintainer, prov[a]),
+                                DistinctAtWatermark(maintainer, prov[b]));
+      est_rows *= d > 0 ? 1.0 / static_cast<double>(d) : 1.0;
+    }
+    if (!step.post_projection.empty()) {
+      std::vector<ColumnProvenance> projected;
+      for (size_t pos : step.post_projection) projected.push_back(prov[pos]);
+      prov = std::move(projected);
+    }
+    std::ostringstream full;
+    full << oss.str() << " out" << FormatEstimate(est_rows);
+    estimates.push_back(full.str());
+  }
+
+  // Render: one row per stage, estimated next to measured; a TOTAL row
+  // whose measured counters are the whole-run ExecStats (the per-stage
+  // slices sum to it exactly).
+  size_t op_width = 0;
+  size_t slug_width = 0;
+  size_t est_width = 0;
+  for (size_t s = 0; s < stages.size(); ++s) {
+    op_width = std::max(op_width, stages[s].op.size());
+    slug_width = std::max(slug_width, stages[s].slug.size());
+    est_width = std::max(est_width, estimates[s].size());
+  }
+  std::ostringstream oss;
+  oss << "EXPLAIN ANALYZE " << out.batch.profile.pipeline << ", k=" << k
+      << " (dry run)\n";
+  for (size_t s = 0; s < stages.size(); ++s) {
+    oss << "  " << std::left << std::setw(static_cast<int>(slug_width))
+        << stages[s].slug << "  "
+        << std::setw(static_cast<int>(op_width)) << stages[s].op << "  est: "
+        << std::setw(static_cast<int>(est_width)) << estimates[s]
+        << "  meas: " << FormatMeasured(stages[s]) << "\n";
+  }
+  const ExecStats& total = out.batch.stats;
+  oss << "  TOTAL scan=" << total.rows_scanned
+      << " probe=" << total.index_probes
+      << " build=" << total.hash_build_rows
+      << " filt=" << total.rows_filtered
+      << " proj=" << total.rows_projected << " out=" << total.output_rows
+      << " wall=" << std::fixed << std::setprecision(3)
+      << out.batch.wall_ms << "ms\n";
+  if (model != nullptr) {
+    oss.unsetf(std::ios::fixed);
+    oss << "  model: f_" << binding.def().tables[table_index] << "(" << k
+        << ") = " << std::fixed << std::setprecision(3)
+        << out.estimated_model_cost << " (estimated cost units), measured "
+        << out.batch.wall_ms << "ms\n";
+  }
+  out.text = oss.str();
+  return out;
 }
 
 std::string ExplainPlan(const ProblemInstance& instance,

@@ -2,13 +2,19 @@
 // (which join strategy each delta stream uses and why) and of maintenance
 // plans (when the scheduler acts, on what, at what cost).
 
+// EXPLAIN ANALYZE additionally *runs* a pipeline (as a dry run) and
+// renders the measured per-operator work next to the statistics-derived
+// estimates, so mis-estimates and the dominant operator are visible.
+
 #ifndef ABIVM_IVM_EXPLAIN_H_
 #define ABIVM_IVM_EXPLAIN_H_
 
 #include <string>
 
+#include "core/cost_model.h"
 #include "core/plan.h"
 #include "ivm/binding.h"
+#include "ivm/maintainer.h"
 
 namespace abivm {
 
@@ -25,6 +31,32 @@ std::string ExplainPipeline(const ViewBinding& binding, size_t table_index);
 
 /// All delta pipelines of the view plus the recompute pipeline.
 std::string ExplainView(const ViewBinding& binding);
+
+/// Outcome of ExplainAnalyzePipeline.
+struct ExplainAnalyzeResult {
+  /// The dry-run batch outcome; `batch.profile` holds the per-operator
+  /// breakdown and `batch.stats` the whole-run totals (the rendered
+  /// per-stage rows sum to them exactly).
+  BatchResult batch;
+  /// f_i(k) from the cost model, when one was supplied (else 0).
+  double estimated_model_cost = 0.0;
+  /// The rendered report.
+  std::string text;
+};
+
+/// EXPLAIN ANALYZE for the delta pipeline of base table `table_index`:
+/// dry-runs the next k pending modifications with per-operator profiling
+/// (watermarks and view state are untouched; the maintainer's profiling
+/// flag is restored afterwards) and renders, per stage, the estimated
+/// work (from column statistics at the current watermark snapshots:
+/// System-R selectivities, |T|/distinct join fanout, probes ~ input rows
+/// for index joins, scan ~ |T| for hash+scan) next to the MEASURED rows,
+/// probes, and wall time. When `model` is non-null the report also shows
+/// the calibrated f_i(k) next to the measured total wall time.
+/// Requires k >= 1 and k <= PendingCount(table_index).
+ExplainAnalyzeResult ExplainAnalyzePipeline(ViewMaintainer& maintainer,
+                                            size_t table_index, size_t k,
+                                            const CostModel* model = nullptr);
 
 /// Renders a maintenance plan against its instance: one line per action
 /// with the pre-action state, the amounts processed, the action cost and

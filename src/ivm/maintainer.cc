@@ -1,5 +1,7 @@
 #include "ivm/maintainer.h"
 
+#include <algorithm>
+
 #include "common/stopwatch.h"
 #include "fault/failpoint.h"
 #include "fault/sites.h"
@@ -9,11 +11,31 @@ namespace abivm {
 namespace {
 
 DeltaBatch ApplyBoundPredicates(DeltaBatch batch,
-                                const std::vector<BoundPredicate>& preds) {
+                                const std::vector<BoundPredicate>& preds,
+                                ExecStats* stats) {
   for (const BoundPredicate& p : preds) {
-    batch = FilterBatch(batch, p.column, p.op, p.constant);
+    batch = FilterBatch(batch, p.column, p.op, p.constant, stats);
   }
   return batch;
+}
+
+// Stage addressing shared by the profiled pipeline loop and the timer
+// interning in SetMetrics: stage 0 is the leading filter/project block,
+// stage j + 1 is join step j.
+std::string StageSlug(const BoundPipeline& pipeline, size_t stage) {
+  if (stage == 0) return "s0.prepare";
+  return "s" + std::to_string(stage) + ".join_" +
+         pipeline.steps[stage - 1].table->name();
+}
+
+std::string StageOpLabel(const BoundPipeline& pipeline, size_t stage) {
+  if (stage == 0) {
+    return "delta(" + pipeline.leading->name() + ") filter/project";
+  }
+  const BoundJoinStep& step = pipeline.steps[stage - 1];
+  const bool indexed = step.table->HasIndexOn(step.right_column);
+  return std::string(indexed ? "INDEX JOIN " : "HASH+SCAN ") +
+         step.table->name();
 }
 
 }  // namespace
@@ -55,6 +77,21 @@ size_t ViewMaintainer::watermark_position(size_t i) const {
   return positions_[i];
 }
 
+void ViewMaintainer::SetMetrics(obs::MetricRegistry* registry) {
+  metrics_ = registry;
+  stage_timers_.clear();
+  if (registry == nullptr) return;
+  stage_timers_.resize(num_tables());
+  for (size_t i = 0; i < num_tables(); ++i) {
+    const BoundPipeline& pipeline = binding_.delta_pipeline(i);
+    const std::string base = "ivm.op." + binding_.def().tables[i] + ".";
+    for (size_t s = 0; s <= pipeline.steps.size(); ++s) {
+      stage_timers_[i].push_back(
+          &registry->timer(base + StageSlug(pipeline, s)));
+    }
+  }
+}
+
 size_t ViewMaintainer::VacuumConsumed() {
   size_t reclaimed = 0;
   for (size_t i = 0; i < num_tables(); ++i) {
@@ -91,6 +128,15 @@ Status ViewMaintainer::ProcessBatchChecked(size_t i, size_t k,
   if (k == 0) return Status::Ok();
 
   Stopwatch watch;
+  // Stamp the elapsed time on EVERY exit from here on (failpoint macros
+  // return early), so failed attempts report the wall clock they burned
+  // before the fault -- the engine runner charges it as attempted work.
+  struct WallStamp {
+    const Stopwatch& watch;
+    BatchResult* result;
+    ~WallStamp() { result->wall_ms = watch.ElapsedMs(); }
+  } stamp{watch, result};
+
   const DeltaLog& log = binding_.base_table(i).delta_log();
   ABIVM_RETURN_NOT_OK(log.CheckRead(positions_[i], k));
 
@@ -121,9 +167,24 @@ Status ViewMaintainer::ProcessBatchChecked(size_t i, size_t k,
   // operators, the two ivm.* failpoints below) is crossed before the
   // commit point, so a failure anywhere leaves state_, positions_, and
   // versions_ exactly as they were.
+  const bool profiled = profiling_enabled();
   Result<DeltaBatch> piped =
       RunPipeline(binding_.delta_pipeline(i), std::move(batch),
-                  &result->stats);
+                  &result->stats, profiled ? &result->profile : nullptr);
+  if (profiled) {
+    result->profile.pipeline = "delta(" + binding_.def().tables[i] + ")";
+    if (metrics_ != nullptr) {
+      const std::vector<obs::Timer*>& timers = stage_timers_[i];
+      const size_t stages =
+          std::min(result->profile.stages.size(), timers.size());
+      for (size_t s = 0; s < stages; ++s) {
+        const StageStats& stage = result->profile.stages[s];
+        // Skip stages the run never reached (empty-batch padding).
+        if (stage.rows_in == 0 && stage.wall_ms == 0.0) continue;
+        timers[s]->Record(stage.wall_ms);
+      }
+    }
+  }
   if (!piped.ok()) return piped.status();
   const NetDelta net = ExtractNet(binding_.delta_pipeline(i), *piped);
   ABIVM_FAULT_POINT(fault::kFpIvmApplyState);
@@ -145,7 +206,6 @@ Status ViewMaintainer::ProcessBatchChecked(size_t i, size_t k,
     positions_[i] += k;
     versions_[i] = last_version;
   }
-  result->wall_ms = watch.ElapsedMs();
   return Status::Ok();
 }
 
@@ -177,15 +237,42 @@ ViewState ViewMaintainer::RecomputeAtWatermarks() const {
   return std::move(*fresh);
 }
 
-Result<ViewState> ViewMaintainer::RecomputeAtWatermarksChecked() const {
+Result<ViewState> ViewMaintainer::RecomputeAtWatermarksChecked(
+    PipelineProfile* profile) const {
   const BoundPipeline& pipeline = binding_.recompute_pipeline();
   ExecStats stats;
+  ExecStats* scan_stats = &stats;
+  if (profile != nullptr) {
+    profile->pipeline = "recompute";
+    profile->stages.clear();
+    profile->stages.push_back(StageStats{});
+    StageStats& scan = profile->stages.back();
+    scan.op = "SCAN " + pipeline.leading->name();
+    scan.slug = "scan." + pipeline.leading->name();
+    scan_stats = &scan.stats;
+  }
+  const Stopwatch scan_watch;
   Result<DeltaBatch> batch =
       ScanToBatch(binding_.base_table(pipeline.leading_index),
-                  versions_[pipeline.leading_index], &stats);
+                  versions_[pipeline.leading_index], scan_stats);
+  if (profile != nullptr) {
+    StageStats& scan = profile->stages.back();
+    scan.wall_ms = scan_watch.ElapsedMs();
+    scan.rows_out = batch.ok() ? (*batch).size() : 0;
+    stats += scan.stats;
+  }
   if (!batch.ok()) return batch.status();
+  // The pipeline loop resets/refills the stage list, so run it on a local
+  // profile and splice the scan stage back in front.
+  PipelineProfile pipeline_profile;
   Result<DeltaBatch> piped =
-      RunPipeline(pipeline, std::move(*batch), &stats);
+      RunPipeline(pipeline, std::move(*batch), &stats,
+                  profile != nullptr ? &pipeline_profile : nullptr);
+  if (profile != nullptr) {
+    for (StageStats& stage : pipeline_profile.stages) {
+      profile->stages.push_back(std::move(stage));
+    }
+  }
   if (!piped.ok()) return piped.status();
   ViewState fresh = binding_.def().is_aggregate()
                         ? ViewState(binding_.def().aggregate->kind)
@@ -196,12 +283,18 @@ Result<ViewState> ViewMaintainer::RecomputeAtWatermarksChecked() const {
 
 Result<DeltaBatch> ViewMaintainer::RunPipeline(const BoundPipeline& pipeline,
                                                DeltaBatch batch,
-                                               ExecStats* stats) const {
-  // Leading predicates run against raw rows; then project down to the
-  // columns the pipeline actually consumes.
+                                               ExecStats* stats,
+                                               PipelineProfile* profile) const {
+  if (profile != nullptr) {
+    return RunPipelineProfiled(pipeline, std::move(batch), stats, profile);
+  }
+  // Unobserved fast path: no per-stage clock reads or allocations; every
+  // operator accumulates straight into the whole-run counters. The
+  // profiled variant below must charge the same counters (the equality is
+  // test-enforced).
   batch = ApplyBoundPredicates(std::move(batch),
-                               pipeline.leading_predicates);
-  batch = ProjectBatch(batch, pipeline.initial_projection);
+                               pipeline.leading_predicates, stats);
+  batch = ProjectBatch(batch, pipeline.initial_projection, stats);
   for (const BoundJoinStep& step : pipeline.steps) {
     if (batch.empty()) break;
     Result<DeltaBatch> joined =
@@ -211,6 +304,7 @@ Result<DeltaBatch> ViewMaintainer::RunPipeline(const BoundPipeline& pipeline,
     if (!joined.ok()) return joined.status();
     batch = std::move(*joined);
     for (const auto& [a, b] : step.residual_equalities) {
+      if (stats != nullptr) stats->rows_filtered += batch.size();
       DeltaBatch kept;
       kept.reserve(batch.size());
       for (DeltaRow& row : batch) {
@@ -218,11 +312,79 @@ Result<DeltaBatch> ViewMaintainer::RunPipeline(const BoundPipeline& pipeline,
       }
       batch = std::move(kept);
     }
-    batch = ApplyBoundPredicates(std::move(batch), step.predicates);
+    batch = ApplyBoundPredicates(std::move(batch), step.predicates, stats);
     if (!step.post_projection.empty()) {
-      batch = ProjectBatch(batch, step.post_projection);
+      batch = ProjectBatch(batch, step.post_projection, stats);
     }
   }
+  return batch;
+}
+
+Result<DeltaBatch> ViewMaintainer::RunPipelineProfiled(
+    const BoundPipeline& pipeline, DeltaBatch batch, ExecStats* stats,
+    PipelineProfile* profile) const {
+  // Each stage accumulates into its own StageStats slice; the slices are
+  // summed into `*stats` at every exit, so the per-operator breakdown and
+  // the whole-run totals cannot disagree.
+  profile->stages.clear();
+  profile->stages.reserve(pipeline.steps.size() + 1);
+  const auto flush = [&] {
+    if (stats == nullptr) return;
+    for (const StageStats& stage : profile->stages) *stats += stage.stats;
+  };
+  auto begin_stage = [&](size_t index, size_t rows_in) -> StageStats& {
+    profile->stages.push_back(StageStats{});
+    StageStats& stage = profile->stages.back();
+    stage.op = StageOpLabel(pipeline, index);
+    stage.slug = StageSlug(pipeline, index);
+    stage.rows_in = rows_in;
+    return stage;
+  };
+
+  {
+    StageStats& stage = begin_stage(0, batch.size());
+    const Stopwatch stage_watch;
+    batch = ApplyBoundPredicates(std::move(batch),
+                                 pipeline.leading_predicates, &stage.stats);
+    batch = ProjectBatch(batch, pipeline.initial_projection, &stage.stats);
+    stage.wall_ms = stage_watch.ElapsedMs();
+    stage.rows_out = batch.size();
+  }
+  for (size_t j = 0; j < pipeline.steps.size(); ++j) {
+    const BoundJoinStep& step = pipeline.steps[j];
+    StageStats& stage = begin_stage(j + 1, batch.size());
+    // An empty batch skips the remaining joins; the padded zero-work
+    // stages keep the profile's shape stable for merging and display.
+    if (batch.empty()) continue;
+    const Stopwatch stage_watch;
+    Result<DeltaBatch> joined =
+        JoinBatchWithTable(batch, step.left_column, *step.table,
+                           step.right_column, step.right_keep,
+                           versions_[step.table_index], &stage.stats);
+    if (!joined.ok()) {
+      stage.wall_ms = stage_watch.ElapsedMs();
+      flush();
+      return joined.status();
+    }
+    batch = std::move(*joined);
+    for (const auto& [a, b] : step.residual_equalities) {
+      stage.stats.rows_filtered += batch.size();
+      DeltaBatch kept;
+      kept.reserve(batch.size());
+      for (DeltaRow& row : batch) {
+        if (row.row[a] == row.row[b]) kept.push_back(std::move(row));
+      }
+      batch = std::move(kept);
+    }
+    batch = ApplyBoundPredicates(std::move(batch), step.predicates,
+                                 &stage.stats);
+    if (!step.post_projection.empty()) {
+      batch = ProjectBatch(batch, step.post_projection, &stage.stats);
+    }
+    stage.wall_ms = stage_watch.ElapsedMs();
+    stage.rows_out = batch.size();
+  }
+  flush();
   return batch;
 }
 

@@ -20,8 +20,10 @@
 #include "common/status.h"
 #include "core/types.h"
 #include "exec/operators.h"
+#include "exec/profile.h"
 #include "ivm/binding.h"
 #include "ivm/view_state.h"
+#include "obs/metrics.h"
 
 namespace abivm {
 
@@ -33,10 +35,17 @@ struct BatchResult {
   size_t delta_rows_in = 0;
   /// Signed output rows applied to the view state.
   size_t view_updates = 0;
-  /// Operator work counters for the whole pipeline run.
+  /// Operator work counters for the whole pipeline run. On a failed
+  /// ProcessBatchChecked these hold the work done before the failure, so
+  /// callers can account for attempted (then discarded) work.
   ExecStats stats;
-  /// Wall-clock time of delta computation + state application.
+  /// Wall-clock time of delta computation + state application; on a
+  /// failed call, the time spent until the failure.
   double wall_ms = 0.0;
+  /// Per-operator breakdown of the pipeline run; filled only when
+  /// profiling is enabled on the maintainer (empty otherwise). The
+  /// per-stage slices sum exactly to `stats`.
+  PipelineProfile profile;
 };
 
 class ViewMaintainer {
@@ -49,6 +58,26 @@ class ViewMaintainer {
 
   const ViewBinding& binding() const { return binding_; }
   size_t num_tables() const { return binding_.num_tables(); }
+
+  /// Per-operator profiling: when on, every ProcessBatch fills
+  /// BatchResult::profile with one StageStats per pipeline stage. Off by
+  /// default -- the unobserved path does no per-stage clock reads or
+  /// allocations.
+  void EnableProfiling(bool on) { profiling_ = on; }
+  /// The raw EnableProfiling flag (save/restore for scoped profiling).
+  bool profiling_requested() const { return profiling_; }
+  /// True when ProcessBatch attributes per-stage slices (profiling was
+  /// requested or a metrics registry is attached).
+  bool profiling_enabled() const {
+    return profiling_ || metrics_ != nullptr;
+  }
+
+  /// Attaches a metrics registry: interns one obs::Timer per delta
+  /// pipeline stage (named `ivm.op.<table>.<stage slug>`) up front and
+  /// records each stage's wall time on every batch -- implies profiling.
+  /// Pass nullptr to detach and return to the unobserved fast path.
+  void SetMetrics(obs::MetricRegistry* registry);
+  obs::MetricRegistry* metrics() const { return metrics_; }
 
   /// Unprocessed modifications of base table i.
   size_t PendingCount(size_t i) const;
@@ -92,8 +121,11 @@ class ViewMaintainer {
   /// faults (disarm failpoints before consulting the oracle).
   ViewState RecomputeAtWatermarks() const;
 
-  /// Status-returning recompute (fails only on injected faults).
-  Result<ViewState> RecomputeAtWatermarksChecked() const;
+  /// Status-returning recompute (fails only on injected faults). When
+  /// `profile` is non-null it receives the per-operator breakdown of the
+  /// recompute pipeline (a leading SCAN stage plus the join steps).
+  Result<ViewState> RecomputeAtWatermarksChecked(
+      PipelineProfile* profile = nullptr) const;
 
   /// Version of the snapshot table i is maintained at.
   Version watermark_version(size_t i) const;
@@ -117,9 +149,20 @@ class ViewMaintainer {
   using NetDelta = std::unordered_map<Row, int64_t, RowHash>;
 
   // Runs `pipeline` on `batch` with co-table snapshots taken from the
-  // current watermark versions; returns the finished delta rows.
+  // current watermark versions; returns the finished delta rows. With a
+  // null `profile` this is the unobserved fast path (no per-stage clock
+  // reads); otherwise each stage gets its own StageStats slice and the
+  // slices are summed into `*stats`, so breakdown and totals cannot
+  // disagree. On failure the work done so far is still in `*stats` (and
+  // the executed stages in `*profile`).
   Result<DeltaBatch> RunPipeline(const BoundPipeline& pipeline,
-                                 DeltaBatch batch, ExecStats* stats) const;
+                                 DeltaBatch batch, ExecStats* stats,
+                                 PipelineProfile* profile) const;
+
+  // Profiled variant of the pipeline loop (see RunPipeline).
+  Result<DeltaBatch> RunPipelineProfiled(const BoundPipeline& pipeline,
+                                         DeltaBatch batch, ExecStats* stats,
+                                         PipelineProfile* profile) const;
 
   // Net-aggregates finished rows per extracted (key, aggregate) row.
   NetDelta ExtractNet(const BoundPipeline& pipeline,
@@ -135,6 +178,12 @@ class ViewMaintainer {
   std::vector<size_t> positions_;
   /// Per-table snapshot version the view reflects.
   std::vector<Version> versions_;
+  /// Profiling/observability (see EnableProfiling / SetMetrics).
+  bool profiling_ = false;
+  obs::MetricRegistry* metrics_ = nullptr;
+  /// stage_timers_[i][s]: interned timer of stage s of delta pipeline i;
+  /// built by SetMetrics so the per-batch path never does a name lookup.
+  std::vector<std::vector<obs::Timer*>> stage_timers_;
 };
 
 }  // namespace abivm

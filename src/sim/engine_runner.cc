@@ -19,6 +19,13 @@ EngineTrace RunOnEngine(ViewMaintainer& maintainer,
   const TimeStep horizon = arrivals.horizon();
   policy.Reset(model, budget);
 
+  // Attach the metrics registry to the maintainer for the duration of
+  // the run so every pipeline stage records its `ivm.op.*` timer (and
+  // BatchResult::profile is filled). Restored on exit.
+  obs::MetricRegistry* const saved_metrics = maintainer.metrics();
+  if (options.metrics != nullptr) maintainer.SetMetrics(options.metrics);
+  const bool profiled = maintainer.profiling_enabled();
+
   EngineTrace trace;
   if (options.record_steps) {
     trace.steps.reserve(static_cast<size_t>(horizon) + 1);
@@ -41,9 +48,14 @@ EngineTrace RunOnEngine(ViewMaintainer& maintainer,
                                 << " acted beyond the pending deltas");
     }
 
-    EngineStepRecord record{t, d, pre_state, action, 0.0, 0.0,
-                            0,  0, 0.0,      false};
+    EngineStepRecord record{
+        .t = t, .arrivals = d, .pre_state = pre_state, .action = action};
     for (size_t i = 0; i < n; ++i) {
+      // Charge the modelled cost per table as the batch COMMITS;
+      // summing model.Cost(i, ...) in table order reproduces
+      // model.TotalCost(action) bit-exactly when every batch commits
+      // (both are in-order accumulations from 0.0, and Cost(i, 0) == 0).
+      const double batch_model_cost = model.Cost(i, action[i]);
       if (action[i] == 0) continue;
       // Retry loop: a failed batch left the view untouched (atomic
       // commit), so re-running the identical batch is safe. Backoff is
@@ -53,8 +65,13 @@ EngineTrace RunOnEngine(ViewMaintainer& maintainer,
         const Status status = maintainer.ProcessBatchChecked(
             i, static_cast<size_t>(action[i]), &result);
         if (status.ok()) {
+          record.model_cost += batch_model_cost;
           record.actual_ms += result.wall_ms;
+          record.stats += result.stats;
           trace.exec_stats += result.stats;
+          if (profiled) {
+            MergeProfileInto(trace.operator_profiles, result.profile);
+          }
           if (options.metrics != nullptr) {
             options.metrics->counter("engine.batches").Add(1);
             options.metrics->counter("engine.modifications_processed")
@@ -63,10 +80,25 @@ EngineTrace RunOnEngine(ViewMaintainer& maintainer,
           }
           break;
         }
+        // The failed attempt's work was discarded by the rollback, but
+        // it was physically performed -- account it separately so retry
+        // cost stays visible instead of vanishing.
         ++record.failures;
+        record.attempted_ms += result.wall_ms;
+        record.attempted_stats += result.stats;
+        trace.attempted_exec_stats += result.stats;
+        ++trace.attempted_batches;
+        if (options.metrics != nullptr) {
+          options.metrics->counter("engine.attempted_batches").Add(1);
+          options.metrics->timer("engine.attempted_batch_ms")
+              .Record(result.wall_ms);
+        }
         if (attempt + 1 >= options.retry.max_attempts) {
           // Degrade: abandon this batch; its residue stays pending and
-          // the policy re-plans against it next step.
+          // the policy re-plans against it next step. The modelled cost
+          // of the abandoned batch is recorded apart from the committed
+          // spend -- the work never happened.
+          record.abandoned_model_cost += batch_model_cost;
           record.degraded = true;
           break;
         }
@@ -78,10 +110,10 @@ EngineTrace RunOnEngine(ViewMaintainer& maintainer,
         ++record.retries;
       }
     }
-    const double model_cost = model.TotalCost(action);
-    record.model_cost = model_cost;
-    trace.total_model_cost += model_cost;
+    trace.total_model_cost += record.model_cost;
+    trace.abandoned_model_cost += record.abandoned_model_cost;
     trace.total_actual_ms += record.actual_ms;
+    trace.total_attempted_ms += record.attempted_ms;
     trace.failures += record.failures;
     trace.retries += record.retries;
     trace.total_backoff_ms += record.backoff_ms;
@@ -114,7 +146,19 @@ EngineTrace RunOnEngine(ViewMaintainer& maintainer,
     m.counter("engine.hash_build_rows")
         .Add(trace.exec_stats.hash_build_rows);
     m.counter("engine.output_rows").Add(trace.exec_stats.output_rows);
+    m.counter("engine.rows_filtered").Add(trace.exec_stats.rows_filtered);
+    m.counter("engine.rows_projected")
+        .Add(trace.exec_stats.rows_projected);
+    m.counter("engine.attempted_rows_scanned")
+        .Add(trace.attempted_exec_stats.rows_scanned);
+    m.counter("engine.attempted_index_probes")
+        .Add(trace.attempted_exec_stats.index_probes);
+    m.counter("engine.attempted_hash_build_rows")
+        .Add(trace.attempted_exec_stats.hash_build_rows);
+    m.counter("engine.attempted_output_rows")
+        .Add(trace.attempted_exec_stats.output_rows);
   }
+  if (options.metrics != nullptr) maintainer.SetMetrics(saved_metrics);
   return trace;
 }
 

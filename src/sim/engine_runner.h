@@ -14,6 +14,14 @@
 // the next step (possibly under a now-violated budget constraint), and
 // the trace records the failure so sweeps can report availability
 // alongside cost.
+//
+// Accounting discipline: committed and attempted-but-discarded work are
+// kept strictly apart. `model_cost`/`exec_stats`/`actual_ms` cover only
+// batches that committed; the modelled cost of batches abandoned after
+// the attempt budget goes to `abandoned_model_cost`, and the physical
+// work burned by failed attempts (pipeline stages executed before the
+// fault) goes to the `attempted_*` fields and `engine.attempted_*`
+// counters. Nothing is double-counted and nothing vanishes.
 
 #ifndef ABIVM_SIM_ENGINE_RUNNER_H_
 #define ABIVM_SIM_ENGINE_RUNNER_H_
@@ -24,6 +32,7 @@
 #include "core/arrivals.h"
 #include "core/cost_model.h"
 #include "core/policy.h"
+#include "exec/profile.h"
 #include "ivm/maintainer.h"
 #include "obs/metrics.h"
 
@@ -33,13 +42,28 @@ namespace abivm {
 /// supplycost update). The runner calls it d_t[i] times per step.
 using ModificationDriver = std::function<void(size_t table_index)>;
 
+/// One step of an engine run. Initialized with designated/default member
+/// init only -- never positional aggregate init, which silently mis-binds
+/// when fields are added.
 struct EngineStepRecord {
   TimeStep t = 0;
   StateVec arrivals;
   StateVec pre_state;
   StateVec action;
+  /// Modelled cost of the COMMITTED portion of the action. A batch that
+  /// degraded (was abandoned after the attempt budget) is charged to
+  /// `abandoned_model_cost` instead.
   double model_cost = 0.0;
+  double abandoned_model_cost = 0.0;
+  /// Measured wall time of committed batches.
   double actual_ms = 0.0;
+  /// Measured wall time burned by failed attempts before their fault.
+  double attempted_ms = 0.0;
+  /// Operator work of committed batches this step.
+  ExecStats stats;
+  /// Operator work of failed attempts this step (discarded by the atomic
+  /// rollback, but physically performed).
+  ExecStats attempted_stats;
   /// Failed ProcessBatch attempts during this step.
   uint64_t failures = 0;
   /// Re-attempts after a failure (== failures unless a batch exhausted
@@ -54,8 +78,14 @@ struct EngineStepRecord {
 
 struct EngineTrace {
   std::vector<EngineStepRecord> steps;
+  /// Modelled cost of committed work only.
   double total_model_cost = 0.0;
+  /// Modelled cost of batches abandoned after the attempt budget (the
+  /// step degraded; the batch never committed).
+  double abandoned_model_cost = 0.0;
   double total_actual_ms = 0.0;
+  /// Wall time of failed attempts (work discarded by the rollback).
+  double total_attempted_ms = 0.0;
   uint64_t violations = 0;
   uint64_t action_count = 0;
   /// Failure accounting over the whole run (availability view).
@@ -65,8 +95,16 @@ struct EngineTrace {
   double total_backoff_ms = 0.0;
   /// False only when the forced final refresh itself degraded.
   bool ended_consistent = true;
-  /// Operator work summed over every ProcessBatch call of the run.
+  /// Operator work summed over every COMMITTED ProcessBatch call.
   ExecStats exec_stats;
+  /// Operator work of failed attempts (== failures ProcessBatch calls).
+  ExecStats attempted_exec_stats;
+  uint64_t attempted_batches = 0;
+  /// Per-pipeline, per-operator totals of committed batches; filled when
+  /// the maintainer profiles (a metrics registry is attached via
+  /// `options.metrics`, or profiling was enabled by the caller). Each
+  /// profile's TotalStats() slice sums to `exec_stats` per pipeline.
+  std::vector<PipelineProfile> operator_profiles;
 };
 
 /// Retry discipline for failed batches. Backoff for attempt a (0-based
@@ -85,8 +123,11 @@ struct EngineRunnerOptions {
   EngineRetryOptions retry;
   /// Optional metrics sink. When set, the runner records `engine.*`
   /// counters (batches, modifications, operator work from ExecStats,
-  /// failures/retries/degraded steps) and an `engine.batch_ms` timer per
-  /// ProcessBatch call.
+  /// failures/retries/degraded steps, attempted_* for discarded work),
+  /// an `engine.batch_ms` timer per committed ProcessBatch call, an
+  /// `engine.attempted_batch_ms` timer per failed attempt, and attaches
+  /// the registry to the maintainer for the duration of the run so every
+  /// pipeline stage records its interned `ivm.op.*` timer.
   obs::MetricRegistry* metrics = nullptr;
 };
 

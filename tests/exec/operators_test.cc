@@ -174,6 +174,34 @@ TEST(FilterBatchTest, AllOperators) {
             3u);
 }
 
+TEST(FilterBatchTest, AttributesExaminedRowsToStats) {
+  DeltaBatch input;
+  for (int64_t k = 0; k < 5; ++k) {
+    input.push_back(DeltaRow{{Value(k)}, 1});
+  }
+  ExecStats stats;
+  FilterBatch(input, 0, CompareOp::kLt, Value(int64_t{2}), &stats);
+  // Filtering charges every EXAMINED row, not just survivors.
+  EXPECT_EQ(stats.rows_filtered, 5u);
+  EXPECT_EQ(stats.rows_scanned, 0u);
+  // A second filter accumulates; a null sink stays the fast path.
+  FilterBatch(input, 0, CompareOp::kGe, Value(int64_t{2}), &stats);
+  EXPECT_EQ(stats.rows_filtered, 10u);
+  FilterBatch(input, 0, CompareOp::kEq, Value(int64_t{2}), nullptr);
+  EXPECT_EQ(stats.rows_filtered, 10u);
+}
+
+TEST(ProjectBatchTest, AttributesProjectedRowsToStats) {
+  DeltaBatch input = {
+      DeltaRow{{Value(int64_t{1}), Value("a"), Value(2.0)}, -1},
+      DeltaRow{{Value(int64_t{2}), Value("b"), Value(3.0)}, 1}};
+  ExecStats stats;
+  ProjectBatch(input, {2, 0}, &stats);
+  EXPECT_EQ(stats.rows_projected, 2u);
+  ProjectBatch(input, {0}, &stats);
+  EXPECT_EQ(stats.rows_projected, 4u);
+}
+
 TEST(ProjectBatchTest, ReordersColumns) {
   DeltaBatch input = {
       DeltaRow{{Value(int64_t{1}), Value("a"), Value(2.0)}, -1}};

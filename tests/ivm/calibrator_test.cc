@@ -58,6 +58,30 @@ TEST(CalibratorTest, SupplierBatchesScanPartsupp) {
   EXPECT_EQ(scans_small, scans_large);
 }
 
+TEST(CalibratorTest, DominantOperatorAttributesSupplierCostToScan) {
+  Fixture fx;
+  ViewMaintainer maintainer(&fx.db, MakePaperMinView());
+  for (int i = 0; i < 20; ++i) fx.updater.UpdateSupplierNationkey();
+
+  const CalibrationResult result = CalibrateTableCost(
+      maintainer, /*table_index=*/1, {1, 10, 20},
+      CalibratorOptions{.repetitions = 3});
+  // Every sample carries a per-operator profile whose slices sum to its
+  // whole-run counters, and the calibrator restores the profiling flag.
+  for (const CostSample& sample : result.samples) {
+    ASSERT_FALSE(sample.profile.empty());
+    EXPECT_TRUE(sample.profile.TotalStats() == sample.stats);
+  }
+  EXPECT_FALSE(maintainer.profiling_enabled());
+  // A supplier batch pays for the partsupp scan, whatever the batch
+  // size -- exactly what makes f_supplier flat. The attribution names it.
+  const OperatorCostShare dominant = result.DominantOperator();
+  EXPECT_EQ(dominant.op, "HASH+SCAN partsupp");
+  EXPECT_GT(dominant.wall_ms, 0.0);
+  EXPECT_GT(dominant.share, 0.5);
+  EXPECT_LE(dominant.share, 1.0);
+}
+
 TEST(CalibratorTest, SingleSampleFallback) {
   Fixture fx;
   ViewMaintainer maintainer(&fx.db, MakePaperMinView());

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "cost/cost_function.h"
+#include "ivm/explain.h"
+#include "tpc/tpc_gen.h"
+#include "tpc/update_stream.h"
+#include "tpc/views.h"
+
+namespace abivm {
+namespace {
+
+struct Fixture {
+  Database db;
+  TpcUpdater updater{&db, 13};
+
+  Fixture() {
+    TpcGenOptions options;
+    options.scale_factor = 0.002;
+    GenerateTpcDatabase(&db, options);
+    CreatePaperIndexes(&db);
+  }
+};
+
+TEST(ExplainAnalyzeTest, IndexJoinPipelineShowsMeasuredProbes) {
+  Fixture fx;
+  ViewMaintainer maintainer(&fx.db, MakePaperMinView());
+  for (int i = 0; i < 32; ++i) fx.updater.UpdatePartSuppSupplycost();
+
+  const ExplainAnalyzeResult result =
+      ExplainAnalyzePipeline(maintainer, /*table_index=*/0, /*k=*/32);
+  // Dry run: nothing moved.
+  EXPECT_EQ(maintainer.PendingCount(0), 32u);
+  EXPECT_FALSE(maintainer.profiling_requested());
+
+  EXPECT_NE(result.text.find("EXPLAIN ANALYZE delta(partsupp), k=32"),
+            std::string::npos);
+  EXPECT_NE(result.text.find("INDEX JOIN supplier"), std::string::npos);
+  EXPECT_NE(result.text.find("est:"), std::string::npos);
+  EXPECT_NE(result.text.find("meas:"), std::string::npos);
+  EXPECT_NE(result.text.find("probes~"), std::string::npos);
+  EXPECT_NE(result.text.find("TOTAL"), std::string::npos);
+  // Partsupp deltas probe indexes all the way -- no scan estimate.
+  EXPECT_EQ(result.text.find("scan~"), std::string::npos);
+  // The per-stage slices really sum to the batch totals, and the probe
+  // work is batch-proportional (32 updates = 64 delta rows per join).
+  EXPECT_TRUE(result.batch.profile.TotalStats() == result.batch.stats);
+  EXPECT_GT(result.batch.stats.index_probes, 0u);
+  EXPECT_EQ(result.batch.stats.rows_scanned, 0u);
+}
+
+TEST(ExplainAnalyzeTest, HashScanPipelineShowsCoTableScanEstimate) {
+  Fixture fx;
+  ViewMaintainer maintainer(&fx.db, MakePaperMinView());
+  for (int i = 0; i < 8; ++i) fx.updater.UpdateSupplierNationkey();
+
+  const size_t supplier = maintainer.binding().TableIndex(kSupplier);
+  const ExplainAnalyzeResult result =
+      ExplainAnalyzePipeline(maintainer, supplier, /*k=*/8);
+  EXPECT_NE(result.text.find("HASH+SCAN partsupp"), std::string::npos);
+  // The estimate names the flat co-table scan plus the batch-sized build.
+  EXPECT_NE(result.text.find("scan~"), std::string::npos);
+  EXPECT_NE(result.text.find("build~"), std::string::npos);
+  // The measured scan really paid |partsupp|.
+  EXPECT_GE(result.batch.stats.rows_scanned,
+            fx.db.table(kPartSupp).live_row_count());
+  EXPECT_TRUE(result.batch.profile.TotalStats() == result.batch.stats);
+}
+
+TEST(ExplainAnalyzeTest, ModelLineComparesEstimatedToMeasured) {
+  Fixture fx;
+  ViewMaintainer maintainer(&fx.db, MakePaperMinView());
+  for (int i = 0; i < 16; ++i) fx.updater.UpdatePartSuppSupplycost();
+
+  std::vector<CostFunctionPtr> fns = {
+      std::make_shared<LinearCost>(0.25, 0.0),
+      std::make_shared<LinearCost>(0.1, 5.0),
+      std::make_shared<LinearCost>(0.1, 1.0),
+      std::make_shared<LinearCost>(0.1, 1.0)};
+  const CostModel model(std::move(fns));
+  const ExplainAnalyzeResult result =
+      ExplainAnalyzePipeline(maintainer, 0, 16, &model);
+  EXPECT_DOUBLE_EQ(result.estimated_model_cost, 0.25 * 16);
+  EXPECT_NE(result.text.find("model: f_partsupp(16) = 4.000"),
+            std::string::npos);
+}
+
+TEST(ExplainAnalyzeTest, RestoresCallerProfilingChoice) {
+  Fixture fx;
+  ViewMaintainer maintainer(&fx.db, MakePaperMinView());
+  for (int i = 0; i < 4; ++i) fx.updater.UpdatePartSuppSupplycost();
+  maintainer.EnableProfiling(true);
+  ExplainAnalyzePipeline(maintainer, 0, 4);
+  EXPECT_TRUE(maintainer.profiling_requested());
+  maintainer.EnableProfiling(false);
+  ExplainAnalyzePipeline(maintainer, 0, 4);
+  EXPECT_FALSE(maintainer.profiling_requested());
+}
+
+}  // namespace
+}  // namespace abivm

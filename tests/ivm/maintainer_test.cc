@@ -256,5 +256,76 @@ TEST(ViewMaintainerTest, InsertAndDeleteModifications) {
   }
 }
 
+TEST(ViewMaintainerTest, ProfileSlicesSumExactlyToBatchStats) {
+  PaperViewFixture fx;
+  ViewMaintainer maintainer(&fx.db, MakePaperMinView());
+  for (int i = 0; i < 40; ++i) fx.updater.UpdatePartSuppSupplycost();
+  for (int i = 0; i < 10; ++i) fx.updater.UpdateSupplierNationkey();
+  maintainer.EnableProfiling(true);
+  for (size_t table : {0u, 1u}) {
+    const BatchResult result =
+        maintainer.ProcessBatch(table, maintainer.PendingCount(table));
+    ASSERT_FALSE(result.profile.empty());
+    EXPECT_EQ(result.profile.pipeline,
+              "delta(" + maintainer.binding().def().tables[table] + ")");
+    // One stage per pipeline step plus the leading filter/project block;
+    // the breakdown reproduces the whole-run counters EXACTLY.
+    EXPECT_EQ(result.profile.stages.size(),
+              maintainer.binding().delta_pipeline(table).steps.size() + 1);
+    EXPECT_TRUE(result.profile.TotalStats() == result.stats);
+    // Stage walls are sub-intervals of the batch (which also covers
+    // net-extract and state application).
+    EXPECT_LE(result.profile.TotalWallMs(), result.wall_ms);
+  }
+  EXPECT_TRUE(maintainer.state().SameContents(
+      maintainer.RecomputeAtWatermarks()));
+}
+
+TEST(ViewMaintainerTest, ProfiledAndUnprofiledRunsChargeSameCounters) {
+  PaperViewFixture fx;
+  ViewMaintainer maintainer(&fx.db, MakePaperMinView());
+  for (int i = 0; i < 25; ++i) fx.updater.UpdatePartSuppSupplycost();
+  // Dry runs over the same pending window: the profiled path must charge
+  // the identical whole-run counters as the unobserved fast path.
+  const BatchResult plain = maintainer.ProcessBatch(0, 25, /*dry_run=*/true);
+  EXPECT_TRUE(plain.profile.empty());
+  maintainer.EnableProfiling(true);
+  const BatchResult profiled =
+      maintainer.ProcessBatch(0, 25, /*dry_run=*/true);
+  EXPECT_TRUE(profiled.stats == plain.stats);
+  EXPECT_EQ(profiled.view_updates, plain.view_updates);
+}
+
+TEST(ViewMaintainerTest, MetricsRegistryRecordsPerStageTimers) {
+  PaperViewFixture fx;
+  ViewMaintainer maintainer(&fx.db, MakePaperMinView());
+  for (int i = 0; i < 10; ++i) fx.updater.UpdatePartSuppSupplycost();
+  obs::MetricRegistry registry;
+  maintainer.SetMetrics(&registry);
+  EXPECT_TRUE(maintainer.profiling_enabled());  // implied by the registry
+  maintainer.ProcessBatch(0, 10);
+  const obs::MetricsSnapshot snapshot = registry.Snapshot();
+  // The leading stage always runs; its interned timer must have fired.
+  const auto it = snapshot.timers.find("ivm.op.partsupp.s0.prepare");
+  ASSERT_NE(it, snapshot.timers.end());
+  EXPECT_GT(it->second.count, 0u);
+  // Detaching restores the unobserved fast path.
+  maintainer.SetMetrics(nullptr);
+  EXPECT_FALSE(maintainer.profiling_enabled());
+}
+
+TEST(ViewMaintainerTest, RecomputeProfileLeadsWithScanStage) {
+  PaperViewFixture fx;
+  ViewMaintainer maintainer(&fx.db, MakePaperMinView());
+  PipelineProfile profile;
+  Result<ViewState> fresh = maintainer.RecomputeAtWatermarksChecked(&profile);
+  ASSERT_TRUE(fresh.ok());
+  ASSERT_FALSE(profile.empty());
+  EXPECT_EQ(profile.pipeline, "recompute");
+  EXPECT_EQ(profile.stages.front().slug.rfind("scan.", 0), 0u);
+  EXPECT_GT(profile.stages.front().rows_out, 0u);
+  EXPECT_GT(profile.TotalStats().rows_scanned, 0u);
+}
+
 }  // namespace
 }  // namespace abivm

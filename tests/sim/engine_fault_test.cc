@@ -72,6 +72,11 @@ TEST(EngineFaultTest, OneShotFaultIsRetriedTransparently) {
   EXPECT_TRUE(trace.ended_consistent);
   // First retry is charged the base backoff.
   EXPECT_DOUBLE_EQ(trace.total_backoff_ms, 1.0);
+  // The one failed attempt is accounted as attempted (not committed)
+  // work; nothing was abandoned -- the retry committed everything, so
+  // the committed model cost is the full plan cost.
+  EXPECT_EQ(trace.attempted_batches, 1u);
+  EXPECT_DOUBLE_EQ(trace.abandoned_model_cost, 0.0);
   EXPECT_TRUE(fx.maintainer->IsConsistent());
   EXPECT_TRUE(fx.maintainer->state().SameContents(
       fx.maintainer->RecomputeAtWatermarks()));
@@ -104,6 +109,21 @@ TEST(EngineFaultTest, PersistentFaultDegradesGracefully) {
   EXPECT_TRUE(trace.steps[0].degraded);
   // Backoff sequence 1, 2, 4, then capped at 8: the cap binds.
   EXPECT_DOUBLE_EQ(trace.total_backoff_ms, 1.0 + 2.0 + 4.0 + 8.0);
+  // The degraded batch never committed: its modelled cost f_0(1) =
+  // 0.3 * 1 + 0.5 is charged to abandoned_model_cost, NOT to the
+  // committed total -- the run spent nothing it can show for.
+  EXPECT_DOUBLE_EQ(trace.total_model_cost, 0.0);
+  EXPECT_DOUBLE_EQ(trace.abandoned_model_cost, 0.8);
+  EXPECT_DOUBLE_EQ(trace.steps[0].model_cost, 0.0);
+  EXPECT_DOUBLE_EQ(trace.steps[0].abandoned_model_cost, 0.8);
+  // The five attempts each burned real pipeline work before the commit
+  // fault; it is visible as attempted (discarded) work.
+  EXPECT_EQ(trace.attempted_batches, 5u);
+  EXPECT_GT(trace.attempted_exec_stats.index_probes, 0u);
+  EXPECT_GT(trace.total_attempted_ms, 0.0);
+  EXPECT_GT(trace.steps[0].attempted_ms, 0.0);
+  EXPECT_TRUE(trace.steps[0].attempted_stats ==
+              trace.attempted_exec_stats);
   EXPECT_FALSE(trace.ended_consistent);
   EXPECT_FALSE(fx.maintainer->IsConsistent());
   EXPECT_EQ(fx.maintainer->PendingCount(0), 1u);
@@ -222,6 +242,14 @@ TEST(EngineFaultTest, FaultCountersExportThroughMetrics) {
   EXPECT_EQ(snap.counters.at("engine.failures"), trace.failures);
   EXPECT_EQ(snap.counters.at("engine.retries"), trace.retries);
   EXPECT_EQ(snap.counters.at("engine.degraded_steps"), 0u);
+  // Attempted (discarded) work exports under its own counters, so retry
+  // cost stays visible next to the committed engine.* numbers.
+  EXPECT_EQ(snap.counters.at("engine.attempted_batches"), 1u);
+  EXPECT_EQ(snap.counters.at("engine.attempted_index_probes"),
+            trace.attempted_exec_stats.index_probes);
+  EXPECT_EQ(snap.counters.at("engine.attempted_rows_scanned"),
+            trace.attempted_exec_stats.rows_scanned);
+  EXPECT_EQ(snap.timers.at("engine.attempted_batch_ms").count, 1u);
   EXPECT_EQ(snap.counters.at(std::string("fault.triggers.") +
                              fault::kFpIvmCommit),
             1u);

@@ -108,6 +108,62 @@ TEST(EngineRunnerTest, OptimalPlanExecutesOnEngine) {
   EXPECT_TRUE(fx.maintainer->IsConsistent());
 }
 
+TEST(EngineRunnerTest, CleanRunHasNoAttemptedOrAbandonedWork) {
+  Fixture fx;
+  const ProblemInstance instance{PaperLikeModel(), PaperArrivals(39), 15.0};
+  NaivePolicy policy;
+  const EngineTrace trace =
+      RunOnEngine(*fx.maintainer, instance.arrivals, instance.cost_model,
+                  instance.budget, policy, fx.driver);
+  EXPECT_EQ(trace.attempted_batches, 0u);
+  EXPECT_DOUBLE_EQ(trace.abandoned_model_cost, 0.0);
+  EXPECT_DOUBLE_EQ(trace.total_attempted_ms, 0.0);
+  EXPECT_TRUE(trace.attempted_exec_stats == ExecStats{});
+  // Per-step stats sum to the whole-run committed totals.
+  ExecStats from_steps;
+  double model_from_steps = 0.0;
+  for (const EngineStepRecord& step : trace.steps) {
+    from_steps += step.stats;
+    model_from_steps += step.model_cost;
+    EXPECT_TRUE(step.attempted_stats == ExecStats{});
+    EXPECT_DOUBLE_EQ(step.abandoned_model_cost, 0.0);
+  }
+  EXPECT_TRUE(from_steps == trace.exec_stats);
+  EXPECT_DOUBLE_EQ(model_from_steps, trace.total_model_cost);
+}
+
+TEST(EngineRunnerTest, MetricsRunExportsOperatorProfiles) {
+  Fixture fx;
+  const ProblemInstance instance{PaperLikeModel(), PaperArrivals(39), 15.0};
+  OnlinePolicy policy;
+  obs::MetricRegistry registry;
+  EngineRunnerOptions options;
+  options.metrics = &registry;
+  const EngineTrace trace =
+      RunOnEngine(*fx.maintainer, instance.arrivals, instance.cost_model,
+                  instance.budget, policy, fx.driver, options);
+  // The registry attachment is scoped to the run.
+  EXPECT_EQ(fx.maintainer->metrics(), nullptr);
+  EXPECT_FALSE(fx.maintainer->profiling_enabled());
+  // Per-operator totals cover exactly the committed work.
+  ASSERT_FALSE(trace.operator_profiles.empty());
+  ExecStats from_profiles;
+  for (const PipelineProfile& profile : trace.operator_profiles) {
+    from_profiles += profile.TotalStats();
+  }
+  EXPECT_TRUE(from_profiles == trace.exec_stats);
+  // Interned per-stage timers fired, and the committed counters are out.
+  const obs::MetricsSnapshot snapshot = registry.Snapshot();
+  const auto timer = snapshot.timers.find("ivm.op.partsupp.s0.prepare");
+  ASSERT_NE(timer, snapshot.timers.end());
+  EXPECT_GT(timer->second.count, 0u);
+  EXPECT_EQ(snapshot.counters.at("engine.output_rows"),
+            trace.exec_stats.output_rows);
+  const auto attempted = snapshot.counters.find("engine.attempted_batches");
+  EXPECT_TRUE(attempted == snapshot.counters.end() ||
+              attempted->second == 0u);
+}
+
 TEST(EngineRunnerTest, AsymmetricPolicyBeatsNaiveOnActualWork) {
   // On the real engine, ONLINE's asymmetric batching should do less
   // physical work than NAIVE for the same workload: NAIVE flushes the
