@@ -5,6 +5,12 @@
 // perf baseline for the planner: run it before and after any change to
 // core/astar.* and compare the "large" geomean.
 //
+// The "replan" tier times SEQUENCES of small projected instances (the
+// ReplanningPolicy workload) warm -- one PlannerWorkspace across the
+// sequence -- against cold (scratch workspace per search), CHECKs the two
+// are bit-identical, and records the warm path's grow_events so the
+// baseline guard can pin "reuse stops allocating" deterministically.
+//
 //   micro_planner                # full grid, best-of-5 timing
 //   micro_planner --reps=9      # more repetitions per point
 //   micro_planner --smoke=1     # tiny grid; used by scripts/check.sh
@@ -25,8 +31,10 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/check.h"
 #include "common/stopwatch.h"
 #include "core/astar.h"
+#include "core/astar_workspace.h"
 #include "obs/json.h"
 
 namespace abivm {
@@ -50,6 +58,15 @@ struct PointResult {
   uint64_t nodes_generated = 0;
   uint64_t reexpansions = 0;
   uint64_t frontier_peak = 0;
+  // Replan-tier extras: the tier times a SEQUENCE of searches, warm
+  // (one PlannerWorkspace across the sequence, reported as
+  // wall_ms_best/mean) against cold (scratch workspace per search).
+  double wall_ms_cold_best = 0.0;
+  uint64_t searches = 0;
+  // Warm-path searches during which some pooled buffer grew; after the
+  // sequence's first few shapes this must go quiet -- the deterministic
+  // "reuse actually avoids allocation" signal the baseline guard pins.
+  uint64_t warm_grow_events = 0;
 };
 
 // The grid spans the shapes the figure/ablation drivers actually plan
@@ -104,6 +121,116 @@ std::vector<GridPoint> MakeGrid(bool smoke) {
        std::make_shared<ConcaveCost>(1.5, 0.5)},
       {1, 2, 1}, smoke ? 100 : 1200, 16.0);
   return grid;
+}
+
+// A replanning-shaped workload: many small projected instances of one
+// family, exactly what ReplanningPolicy hands the planner every window --
+// step 0 carries the accumulated backlog, the tail is a rate projection.
+struct ReplanPoint {
+  std::string name;
+  std::vector<ProblemInstance> instances;
+};
+
+std::vector<ReplanPoint> MakeReplanSequences(bool smoke) {
+  const size_t seq_len = smoke ? 8 : 64;
+  const TimeStep horizon = smoke ? 20 : 40;
+  std::vector<ReplanPoint> points;
+
+  auto add = [&](std::string name, std::vector<CostFunctionPtr> fns,
+                 StateVec rates, double budget) {
+    ReplanPoint point;
+    point.name = std::move(name);
+    const size_t n = rates.size();
+    for (size_t s = 0; s < seq_len; ++s) {
+      // Deterministic per-window backlog: what accumulated since the
+      // last replan varies window to window but stays modest.
+      StateVec backlog(n, 0);
+      for (size_t i = 0; i < n; ++i) {
+        backlog[i] = static_cast<Count>((s * (i + 2) + i) % 5);
+      }
+      std::vector<StateVec> steps;
+      steps.reserve(static_cast<size_t>(horizon) + 1);
+      steps.push_back(std::move(backlog));
+      for (TimeStep t = 1; t <= horizon; ++t) steps.push_back(rates);
+      // CostModel is cheap to copy (shared_ptr cost functions).
+      std::vector<CostFunctionPtr> fns_copy = fns;
+      point.instances.push_back(ProblemInstance{
+          CostModel(std::move(fns_copy)), ArrivalSequence(std::move(steps)),
+          budget});
+    }
+    points.push_back(std::move(point));
+  };
+
+  add("replan_asym2",
+      {std::make_shared<LinearCost>(0.3, 0.5),
+       std::make_shared<LinearCost>(0.2, 6.0)},
+      {1, 1}, 15.0);
+  add("replan_capped2",
+      {std::make_shared<AffineCappedCost>(0.107, 2.857, 600),
+       std::make_shared<LinearCost>(0.25, 0.0)},
+      {3, 2}, 6.0);
+  return points;
+}
+
+PointResult RunReplanPoint(const ReplanPoint& point, int reps) {
+  PointResult out;
+  out.name = point.name;
+  out.tier = "replan";
+  out.n = point.instances.front().n();
+  out.horizon = point.instances.front().horizon();
+  out.searches = point.instances.size();
+  out.wall_ms_best = 1e300;
+  out.wall_ms_cold_best = 1e300;
+
+  for (int rep = 0; rep < reps; ++rep) {
+    // Warm pass: one workspace across the whole sequence (the
+    // ReplanningPolicy usage pattern). Fresh per rep so growth is
+    // deterministic and the cold/warm comparison stays fair.
+    PlannerWorkspace workspace;
+    std::vector<PlanSearchResult> warm;
+    warm.reserve(point.instances.size());
+    const Stopwatch warm_watch;
+    for (const ProblemInstance& instance : point.instances) {
+      warm.push_back(FindOptimalLgmPlan(instance, {}, workspace));
+    }
+    const double warm_ms = warm_watch.ElapsedMs();
+
+    // Cold pass: scratch workspace per search.
+    std::vector<PlanSearchResult> cold;
+    cold.reserve(point.instances.size());
+    const Stopwatch cold_watch;
+    for (const ProblemInstance& instance : point.instances) {
+      cold.push_back(FindOptimalLgmPlan(instance));
+    }
+    const double cold_ms = cold_watch.ElapsedMs();
+
+    // Reuse must not change one bit of any search in the sequence.
+    for (size_t s = 0; s < point.instances.size(); ++s) {
+      ABIVM_CHECK_MSG(
+          warm[s].cost == cold[s].cost &&
+              warm[s].nodes_expanded == cold[s].nodes_expanded &&
+              warm[s].nodes_generated == cold[s].nodes_generated &&
+              warm[s].reexpansions == cold[s].reexpansions &&
+              warm[s].plan.actions() == cold[s].plan.actions(),
+          "warm search diverged from cold at " << point.name << "[" << s
+                                               << "]");
+    }
+
+    out.wall_ms_best = std::min(out.wall_ms_best, warm_ms);
+    out.wall_ms_cold_best = std::min(out.wall_ms_cold_best, cold_ms);
+    out.wall_ms_mean += warm_ms / reps;
+    out.warm_grow_events = workspace.grow_events();
+    out.cost = 0.0;
+    out.nodes_expanded = out.nodes_generated = out.reexpansions = 0;
+    for (const PlanSearchResult& r : warm) {
+      out.cost += r.cost;
+      out.nodes_expanded += r.nodes_expanded;
+      out.nodes_generated += r.nodes_generated;
+      out.reexpansions += r.reexpansions;
+      out.frontier_peak = std::max(out.frontier_peak, r.frontier_peak);
+    }
+  }
+  return out;
 }
 
 PointResult RunPoint(const GridPoint& point, int reps) {
@@ -162,15 +289,34 @@ void WriteJson(std::ostream& os, const std::vector<PointResult>& results,
     writer.Field("nodes_generated", r.nodes_generated);
     writer.Field("reexpansions", r.reexpansions);
     writer.Field("frontier_peak", r.frontier_peak);
+    if (r.tier == "replan") {
+      writer.Field("wall_ms_cold_best", r.wall_ms_cold_best);
+      writer.Field("searches", r.searches);
+      writer.Field("warm_grow_events", r.warm_grow_events);
+    }
     writer.EndObject();
   }
   writer.EndArray();
   writer.Key("geomean_wall_ms_best");
   writer.BeginObject();
-  for (const char* tier : {"small", "medium", "large"}) {
+  for (const char* tier : {"small", "medium", "large", "replan"}) {
     writer.Field(tier, GeomeanWallMs(results, tier));
   }
   writer.EndObject();
+  // Warm-over-cold wall-clock ratio across the replan tier (< 1.0 means
+  // workspace reuse pays for itself on the replanning-shaped workload).
+  double log_ratio = 0.0;
+  size_t ratio_count = 0;
+  for (const PointResult& r : results) {
+    if (r.tier != "replan" || r.wall_ms_cold_best <= 0.0) continue;
+    log_ratio += std::log(std::max(r.wall_ms_best, 1e-6) /
+                          r.wall_ms_cold_best);
+    ++ratio_count;
+  }
+  writer.Field("geomean_warm_over_cold",
+               ratio_count == 0
+                   ? 0.0
+                   : std::exp(log_ratio / static_cast<double>(ratio_count)));
   writer.EndObject();
 }
 
@@ -194,11 +340,23 @@ int Main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.reexpansions));
     results.push_back(std::move(r));
   }
+  for (const ReplanPoint& point : MakeReplanSequences(smoke)) {
+    PointResult r = RunReplanPoint(point, reps);
+    std::printf("[micro_planner] %-14s tier=replan S=%-5llu warm %8.3f ms  "
+                "cold %8.3f ms  grow %llu/%llu\n",
+                r.name.c_str(),
+                static_cast<unsigned long long>(r.searches), r.wall_ms_best,
+                r.wall_ms_cold_best,
+                static_cast<unsigned long long>(r.warm_grow_events),
+                static_cast<unsigned long long>(r.searches));
+    results.push_back(std::move(r));
+  }
   std::printf("[micro_planner] geomean wall_ms_best: small %.3f  "
-              "medium %.3f  large %.3f\n",
+              "medium %.3f  large %.3f  replan %.3f\n",
               GeomeanWallMs(results, "small"),
               GeomeanWallMs(results, "medium"),
-              GeomeanWallMs(results, "large"));
+              GeomeanWallMs(results, "large"),
+              GeomeanWallMs(results, "replan"));
 
   // Smoke runs (ctest / check.sh) write to their own file so a CI pass
   // never clobbers a real benchmark result sitting in the build dir.

@@ -35,7 +35,14 @@ if [ "$fast" -eq 0 ]; then
   ctest --preset asan -j "$jobs" -L fault || fail=1
   # Planner hot path: the arena/intern-table A* does manual index
   # arithmetic over flat buffers, exactly what ASan exists to vet.
+  # micro_planner's smoke grid includes the replan tier, which runs warm
+  # sequences on a pooled PlannerWorkspace -- reuse of grown arenas is
+  # where a stale-slice read would hide.
   (cd build-asan/bench && ./micro_planner --smoke=1 >/dev/null) || fail=1
+  # Replanning sweep under workspace reuse: ReplanningPolicy jobs (each
+  # holding a pooled workspace across ~999 steps of replans) running
+  # concurrently with plan jobs.
+  (cd build-asan/bench && ./abl_replanning --threads=4 >/dev/null) || fail=1
 fi
 
 echo "=== TSan: full test suite ==="
@@ -50,6 +57,9 @@ ctest --preset tsan -j "$jobs" -L fault || fail=1
 (cd build-tsan/bench && ./abl_tightness --threads=4 >/dev/null) || fail=1
 (cd build-tsan/bench && ./abl_cost_shapes --threads=4 >/dev/null) || fail=1
 (cd build-tsan/bench && ./micro_planner --smoke=1 >/dev/null) || fail=1
+# Replanning sweep under workspace reuse: per-job pooled workspaces must
+# stay thread-confined (one workspace per policy/closure, never shared).
+(cd build-tsan/bench && ./abl_replanning --threads=4 >/dev/null) || fail=1
 
 echo "=== Release bench guard: planner vs baseline ==="
 # Failpoints are disarmed (one relaxed load per site) in the default

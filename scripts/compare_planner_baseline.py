@@ -2,18 +2,28 @@
 """Guards the planner bench against its checked-in baseline.
 
 Usage: compare_planner_baseline.py CURRENT.json BASELINE.json [--wall-tol X]
+                                   [--warm-tol Y]
 
 Search-work fields (cost, nodes_expanded, nodes_generated, reexpansions)
 are deterministic and must match the baseline exactly; wall_ms_best may
 drift with machine load and only fails beyond the tolerance factor
 (default 2.0x). Instances present in only one file fail the check, so the
 grid itself is pinned too.
+
+Replan-tier records (those carrying wall_ms_cold_best) additionally
+guard workspace reuse: warm_grow_events is deterministic and must match
+the baseline exactly AND stay below searches (the warm path must run
+some searches without growing any buffer), and the warm sequence may not
+be slower than the cold one beyond --warm-tol (default 1.1; warm and
+cold are timed seconds apart in the same process, so this comparison is
+far more stable than cross-run wall clocks).
 """
 
 import json
 import sys
 
 EXACT_FIELDS = ("cost", "nodes_expanded", "nodes_generated", "reexpansions")
+REPLAN_EXACT_FIELDS = ("searches", "warm_grow_events")
 
 
 def main(argv):
@@ -23,6 +33,9 @@ def main(argv):
     wall_tol = 2.0
     if "--wall-tol" in argv:
         wall_tol = float(argv[argv.index("--wall-tol") + 1])
+    warm_tol = 1.1
+    if "--warm-tol" in argv:
+        warm_tol = float(argv[argv.index("--warm-tol") + 1])
 
     with open(argv[1]) as f:
         current = {i["name"]: i for i in json.load(f)["instances"]}
@@ -49,6 +62,28 @@ def main(argv):
                 f"{name}.wall_ms_best: {cur['wall_ms_best']:.3f} ms > "
                 f"{wall_tol}x baseline {base['wall_ms_best']:.3f} ms"
             )
+        if "wall_ms_cold_best" in base:
+            if "wall_ms_cold_best" not in cur:
+                failures.append(f"{name}: replan-tier fields missing")
+                continue
+            for field in REPLAN_EXACT_FIELDS:
+                if cur[field] != base[field]:
+                    failures.append(
+                        f"{name}.{field}: {cur[field]} != baseline "
+                        f"{base[field]}"
+                    )
+            if cur["warm_grow_events"] >= cur["searches"]:
+                failures.append(
+                    f"{name}: warm path grew buffers on every search "
+                    f"({cur['warm_grow_events']}/{cur['searches']}) -- "
+                    "workspace reuse is not amortizing allocations"
+                )
+            if cur["wall_ms_best"] > cur["wall_ms_cold_best"] * warm_tol:
+                failures.append(
+                    f"{name}: warm sequence {cur['wall_ms_best']:.3f} ms "
+                    f"> {warm_tol}x its own cold run "
+                    f"{cur['wall_ms_cold_best']:.3f} ms"
+                )
 
     if failures:
         for line in failures:

@@ -2,52 +2,29 @@
 
 #include <algorithm>
 #include <cstddef>
-#include <queue>
+#include <functional>
 #include <vector>
 
 #include "common/float_compare.h"
 #include "common/random.h"
 #include "common/stopwatch.h"
 #include "core/actions.h"
+#include "core/astar_workspace.h"
 
 namespace abivm {
 
-namespace {
+namespace astar_internal {
 
-// Per-node search bookkeeping. A node of the LGM plan graph is a
-// (time, post-action state) pair; the state vectors themselves live in a
-// flat arena (`Search::node_state_`, n counts per node) rather than in
-// per-node heap blocks, and the incoming best action lives in a parallel
-// arena slot, so growing the graph never allocates per node.
-struct NodeInfo {
-  double g = 0.0;
-  // Cached heuristic value h(t, state): a pure function of the node, so
-  // it is computed once on the node's first improving relaxation and
-  // reused by every later queue push (< 0 means not yet computed).
-  double h = -1.0;
-  // Back-pointer for plan reconstruction: the predecessor node; the
-  // action taken on the incoming optimal edge sits in the action arena.
-  int32_t parent = -1;
-  TimeStep action_time = -1;
-  bool expanded = false;  // doubles as the closed-set membership bit
-};
-
-struct FrontierEntry {
-  double f;       // g + h
-  double g;       // tie-break: prefer larger g (deeper, more informed)
-  int32_t node;
-
-  bool operator>(const FrontierEntry& other) const {
-    if (f != other.f) return f > other.f;
-    if (g != other.g) return g < other.g;
-    return node > other.node;
-  }
-};
-
+// One search over a PlannerWorkspace. The workspace owns every buffer
+// (node arenas, intern table, frontier heap, heuristic rows, scratch);
+// the Search binds the instance/options for a single FindOptimalLgmPlan
+// call and leaves the grown capacity behind for the next search.
 class Search {
  public:
-  Search(const ProblemInstance& instance, const AStarOptions& options)
-      : instance_(instance), options_(options), n_(instance.n()) {
+  Search(const ProblemInstance& instance, const AStarOptions& options,
+         PlannerWorkspace& ws)
+      : instance_(instance), options_(options), n_(instance.n()), ws_(ws) {
+    ws_.BeginSearch();
     PrecomputeHeuristicTerms();
   }
 
@@ -67,38 +44,39 @@ class Search {
   // Also caches raw cost-function pointers and the per-table arrival
   // suffix totals suffix_[(t+1)*n + i] = sum of d_u[i] over u in
   // (t, horizon], so a heuristic evaluation indexes a precomputed row
-  // instead of issuing n range-sum queries.
+  // instead of issuing n range-sum queries. Every cached row is rewritten
+  // in full here, so nothing leaks in from the workspace's prior search.
   void PrecomputeHeuristicTerms() {
     const TimeStep horizon = instance_.horizon();
-    batch_bound_.resize(n_);
-    batch_bound_cost_.resize(n_);
-    star_shaped_.resize(n_);
-    fns_.resize(n_);
+    ws_.batch_bound_.resize(n_);
+    ws_.batch_bound_cost_.resize(n_);
+    ws_.star_shaped_.resize(n_);
+    ws_.fns_.resize(n_);
     for (size_t i = 0; i < n_; ++i) {
       const CostFunction& f = instance_.cost_model.function(i);
-      fns_[i] = &f;
-      star_shaped_[i] = f.CostPerItemNonIncreasing();
+      ws_.fns_[i] = &f;
+      ws_.star_shaped_[i] = f.CostPerItemNonIncreasing();
       const uint64_t max_batch = f.MaxBatchWithin(instance_.budget);
       if (max_batch == kUnboundedBatch) {
-        batch_bound_[i] = kUnboundedBatch;
-        batch_bound_cost_[i] = 0.0;
+        ws_.batch_bound_[i] = kUnboundedBatch;
+        ws_.batch_bound_cost_[i] = 0.0;
         continue;
       }
       const Count m_i = instance_.arrivals.MaxStepArrival(i);
-      batch_bound_[i] = max_batch + m_i;
-      batch_bound_cost_[i] =
-          batch_bound_[i] == 0
+      ws_.batch_bound_[i] = max_batch + m_i;
+      ws_.batch_bound_cost_[i] =
+          ws_.batch_bound_[i] == 0
               ? 0.0
-              : instance_.cost_model.Cost(i, batch_bound_[i]);
+              : instance_.cost_model.Cost(i, ws_.batch_bound_[i]);
     }
 
     // Suffix totals for every heuristic anchor time t in [-1, horizon]
     // (row index t + 1): total arrivals minus the prefix through t.
-    suffix_.resize((static_cast<size_t>(horizon) + 2) * n_);
+    ws_.suffix_.resize((static_cast<size_t>(horizon) + 2) * n_);
     const StateVec& total = instance_.arrivals.PrefixThrough(horizon);
     for (TimeStep t = -1; t <= horizon; ++t) {
       const StateVec& prefix = instance_.arrivals.PrefixThrough(t);
-      Count* row = suffix_.data() + static_cast<size_t>(t + 1) * n_;
+      Count* row = ws_.suffix_.data() + static_cast<size_t>(t + 1) * n_;
       for (size_t i = 0; i < n_; ++i) row[i] = total[i] - prefix[i];
     }
   }
@@ -126,22 +104,22 @@ class Search {
     if (!options_.use_heuristic) return 0.0;
     ++result_.heuristic_evals;
     const Count* suffix_row =
-        suffix_.data() + static_cast<size_t>(t + 1) * n_;
+        ws_.suffix_.data() + static_cast<size_t>(t + 1) * n_;
     double h = 0.0;
     for (size_t i = 0; i < n_; ++i) {
       const Count remaining = state[i] + suffix_row[i];
       if (remaining == 0) continue;
       double term = options_.paper_exact_heuristic
                         ? 0.0
-                        : fns_[i]->Cost(remaining);
-      if ((star_shaped_[i] || options_.paper_exact_heuristic) &&
-          batch_bound_[i] != kUnboundedBatch && batch_bound_[i] > 0) {
+                        : ws_.fns_[i]->Cost(remaining);
+      if ((ws_.star_shaped_[i] || options_.paper_exact_heuristic) &&
+          ws_.batch_bound_[i] != kUnboundedBatch && ws_.batch_bound_[i] > 0) {
         const double batches =
             options_.paper_exact_heuristic
-                ? static_cast<double>(remaining / batch_bound_[i])
+                ? static_cast<double>(remaining / ws_.batch_bound_[i])
                 : static_cast<double>(remaining) /
-                      static_cast<double>(batch_bound_[i]);
-        term = std::max(term, batches * batch_bound_cost_[i]);
+                      static_cast<double>(ws_.batch_bound_[i]);
+        term = std::max(term, batches * ws_.batch_bound_cost_[i]);
       }
       h += term;
     }
@@ -159,7 +137,7 @@ class Search {
     double total = 0.0;
     for (size_t i = 0; i < n_; ++i) {
       const Count pre = state[i] + (hi[i] - lo[i]);
-      total += fns_[i]->Cost(pre);
+      total += ws_.fns_[i]->Cost(pre);
       if (CostExceedsBudget(total, instance_.budget)) return true;
     }
     return false;
@@ -202,51 +180,78 @@ class Search {
   }
 
   const Count* StateOf(int32_t id) const {
-    return node_state_.data() + static_cast<size_t>(id) * n_;
+    return ws_.node_state_.data() + static_cast<size_t>(id) * n_;
   }
 
   // Doubles the open-addressing table and reinserts every node using its
-  // stored hash (no state re-hashing).
+  // stored hash (no state re-hashing). A reused workspace usually starts
+  // with a warm table big enough for the whole search, so this only runs
+  // while the workspace is still growing; the table size never changes
+  // which nodes are interned or their ids, only the probe sequences.
   void Rehash() {
-    const size_t new_size = buckets_.empty() ? 1024 : buckets_.size() * 2;
-    buckets_.assign(new_size, -1);
-    bucket_mask_ = new_size - 1;
-    for (int32_t id = 0; id < static_cast<int32_t>(nodes_.size()); ++id) {
-      size_t b = node_hash_[static_cast<size_t>(id)] & bucket_mask_;
-      while (buckets_[b] != -1) b = (b + 1) & bucket_mask_;
-      buckets_[b] = id;
+    const size_t new_size =
+        ws_.buckets_.empty() ? 1024 : ws_.buckets_.size() * 2;
+    ws_.buckets_.assign(new_size, -1);
+    ws_.bucket_mask_ = new_size - 1;
+    for (int32_t id = 0; id < static_cast<int32_t>(ws_.nodes_.size());
+         ++id) {
+      size_t b = ws_.node_hash_[static_cast<size_t>(id)] & ws_.bucket_mask_;
+      while (ws_.buckets_[b] != -1) b = (b + 1) & ws_.bucket_mask_;
+      ws_.buckets_[b] = id;
     }
   }
 
   // Interns the node (t, state): linear-probing lookup against the flat
   // arenas; on a miss the node's state is appended to the state arena and
   // an action slot is reserved, so interning performs no per-node heap
-  // allocation (arena growth is amortized).
+  // allocation (arena growth is amortized, and a warm workspace skips
+  // even that).
   int32_t InternNode(TimeStep t, const Count* state) {
-    if ((nodes_.size() + 1) * 4 > buckets_.size() * 3) Rehash();
+    if ((ws_.nodes_.size() + 1) * 4 > ws_.buckets_.size() * 3) Rehash();
     const size_t hash = HashOf(t, state);
-    size_t b = hash & bucket_mask_;
-    while (buckets_[b] != -1) {
-      const int32_t id = buckets_[b];
-      if (node_t_[static_cast<size_t>(id)] == t &&
+    size_t b = hash & ws_.bucket_mask_;
+    while (ws_.buckets_[b] != -1) {
+      const int32_t id = ws_.buckets_[b];
+      if (ws_.node_t_[static_cast<size_t>(id)] == t &&
           std::equal(state, state + n_, StateOf(id))) {
         return id;
       }
-      b = (b + 1) & bucket_mask_;
+      b = (b + 1) & ws_.bucket_mask_;
     }
-    const int32_t id = static_cast<int32_t>(nodes_.size());
-    buckets_[b] = id;
-    node_t_.push_back(t);
-    node_hash_.push_back(hash);
-    node_state_.insert(node_state_.end(), state, state + n_);
-    node_action_.resize(node_action_.size() + n_);
-    nodes_.emplace_back();
-    nodes_.back().g = kInfinity;
+    const int32_t id = static_cast<int32_t>(ws_.nodes_.size());
+    ws_.buckets_[b] = id;
+    ws_.node_t_.push_back(t);
+    ws_.node_hash_.push_back(hash);
+    ws_.node_state_.insert(ws_.node_state_.end(), state, state + n_);
+    ws_.node_action_.resize(ws_.node_action_.size() + n_);
+    ws_.nodes_.emplace_back();
+    ws_.nodes_.back().g = kInfinity;
     // A node is "generated" when it first enters the search graph;
     // relaxation attempts into existing nodes are counted separately
     // (result_.relaxations) so the two statistics stay honest.
     ++result_.nodes_generated;
     return id;
+  }
+
+  // Frontier ops: a min-heap over the workspace's vector, using the same
+  // comparator std::priority_queue<.., std::greater<..>> would -- pop
+  // order (and therefore the whole search) is unchanged, but the heap's
+  // storage survives between searches.
+  void FrontierPush(const FrontierEntry& entry) {
+    ws_.frontier_.push_back(entry);
+    std::push_heap(ws_.frontier_.begin(), ws_.frontier_.end(),
+                   std::greater<FrontierEntry>());
+    if (ws_.frontier_.size() > result_.frontier_peak) {
+      result_.frontier_peak = ws_.frontier_.size();
+    }
+  }
+
+  FrontierEntry FrontierPop() {
+    std::pop_heap(ws_.frontier_.begin(), ws_.frontier_.end(),
+                  std::greater<FrontierEntry>());
+    const FrontierEntry top = ws_.frontier_.back();
+    ws_.frontier_.pop_back();
+    return top;
   }
 
   // Attempts to improve `to` via an edge from `from` (whose settled cost
@@ -256,7 +261,7 @@ class Search {
   // cost no heuristic work.
   void Relax(double g_from, int32_t from, int32_t to, TimeStep action_time,
              const Count* action, double weight) {
-    NodeInfo& info = nodes_[static_cast<size_t>(to)];
+    NodeInfo& info = ws_.nodes_[static_cast<size_t>(to)];
     const double candidate = g_from + weight;
     ++result_.relaxations;
     if (candidate >= info.g) return;
@@ -266,18 +271,16 @@ class Search {
     // accepting it would desynchronize the node's recorded g from the
     // costs already propagated to its successors, so it is ignored.
     if (closed_set_active_ && info.expanded) return;
-    if (info.h < 0.0) info.h = Heuristic(node_t_[static_cast<size_t>(to)],
-                                         StateOf(to));
+    if (info.h < 0.0) {
+      info.h = Heuristic(ws_.node_t_[static_cast<size_t>(to)], StateOf(to));
+    }
     ++result_.edges_improved;
     info.g = candidate;
     info.parent = from;
     info.action_time = action_time;
     std::copy(action, action + n_,
-              node_action_.begin() + static_cast<size_t>(to) * n_);
-    frontier_.push({candidate + info.h, candidate, to});
-    if (frontier_.size() > result_.frontier_peak) {
-      result_.frontier_peak = frontier_.size();
-    }
+              ws_.node_action_.begin() + static_cast<size_t>(to) * n_);
+    FrontierPush({candidate + info.h, candidate, to});
   }
 
   // Mirrors the final PlanSearchResult statistics into the caller's
@@ -294,6 +297,14 @@ class Search {
     metrics->counter("astar.heuristic_evals").Add(result_.heuristic_evals);
     metrics->counter("astar.frontier_peak").RaiseTo(result_.frontier_peak);
     metrics->timer("astar.search_ms").Record(result_.wall_ms);
+    // Workspace pooling: a one-shot call runs on a scratch workspace and
+    // reports no reuse; repeat callers (replanning, sweeps) accumulate
+    // one reuse per search after the workspace's first.
+    if (ws_.searches() > 1) {
+      metrics->counter("astar.workspace_reuses").Add(1);
+    }
+    metrics->counter("astar.arena_bytes_peak")
+        .RaiseTo(ws_.arena_bytes_peak());
   }
 
   static constexpr double kInfinity = 1e300;
@@ -301,37 +312,8 @@ class Search {
   const ProblemInstance& instance_;
   AStarOptions options_;
   const size_t n_;
+  PlannerWorkspace& ws_;
   bool closed_set_active_ = false;
-  std::vector<Count> batch_bound_;
-  std::vector<double> batch_bound_cost_;
-  std::vector<bool> star_shaped_;
-  std::vector<const CostFunction*> fns_;
-  std::vector<Count> suffix_;  // (horizon + 2) rows of n suffix totals
-
-  // Node storage: parallel flat arrays indexed by node id. States and
-  // incoming best actions are n_-count arena slices.
-  std::vector<NodeInfo> nodes_;
-  std::vector<TimeStep> node_t_;
-  std::vector<size_t> node_hash_;
-  std::vector<Count> node_state_;
-  std::vector<Count> node_action_;
-  // Open-addressing intern table over node ids (-1 = empty slot),
-  // power-of-two sized, linear probing, load factor <= 0.75.
-  std::vector<int32_t> buckets_;
-  size_t bucket_mask_ = 0;
-
-  std::priority_queue<FrontierEntry, std::vector<FrontierEntry>,
-                      std::greater<FrontierEntry>>
-      frontier_;
-
-  // Scratch buffers owned by the search so the per-expansion work
-  // (key copy, pre-state accumulation, successor states, enumerated
-  // actions) reuses storage instead of allocating.
-  StateVec expand_state_;
-  StateVec pre_state_;
-  StateVec post_state_;
-  std::vector<StateVec> actions_;
-  std::vector<double> action_costs_;
 
   PlanSearchResult result_{MaintenancePlan(1, 0)};
 };
@@ -350,14 +332,13 @@ PlanSearchResult Search::Run() {
   // Destination: refresh done at T with empty state.
   const int32_t destination = InternNode(horizon, zero.data());
 
-  nodes_[static_cast<size_t>(source)].g = 0.0;
-  nodes_[static_cast<size_t>(source)].h = Heuristic(-1, zero.data());
-  frontier_.push({nodes_[static_cast<size_t>(source)].h, 0.0, source});
+  ws_.nodes_[static_cast<size_t>(source)].g = 0.0;
+  ws_.nodes_[static_cast<size_t>(source)].h = Heuristic(-1, zero.data());
+  FrontierPush({ws_.nodes_[static_cast<size_t>(source)].h, 0.0, source});
 
-  while (!frontier_.empty()) {
-    const FrontierEntry top = frontier_.top();
-    frontier_.pop();
-    NodeInfo& info = nodes_[static_cast<size_t>(top.node)];
+  while (!ws_.frontier_.empty()) {
+    const FrontierEntry top = FrontierPop();
+    NodeInfo& info = ws_.nodes_[static_cast<size_t>(top.node)];
     if (top.g > info.g) continue;  // stale entry
     if (info.expanded) {
       // Re-expansion: only reachable with the closed set off (the paper
@@ -377,9 +358,9 @@ PlanSearchResult Search::Run() {
       result_.cost = info.g;
       int32_t cursor = destination;
       while (cursor != source) {
-        const NodeInfo& step = nodes_[static_cast<size_t>(cursor)];
+        const NodeInfo& step = ws_.nodes_[static_cast<size_t>(cursor)];
         const Count* action =
-            node_action_.data() + static_cast<size_t>(cursor) * n_;
+            ws_.node_action_.data() + static_cast<size_t>(cursor) * n_;
         if (!std::all_of(action, action + n_,
                          [](Count c) { return c == 0; })) {
           result_.plan.SetAction(step.action_time,
@@ -388,38 +369,39 @@ PlanSearchResult Search::Run() {
         cursor = step.parent;
       }
       result_.wall_ms = watch.ElapsedMs();
+      ws_.FinishSearch();
       PublishMetrics();
       return result_;
     }
 
     // Copy the node's time and state into scratch: interning successors
     // below grows the arenas and would invalidate slice pointers.
-    const TimeStep t = node_t_[static_cast<size_t>(top.node)];
-    expand_state_.assign(StateOf(top.node), StateOf(top.node) + n_);
+    const TimeStep t = ws_.node_t_[static_cast<size_t>(top.node)];
+    ws_.expand_state_.assign(StateOf(top.node), StateOf(top.node) + n_);
     const double g_settled = info.g;  // info dangles once nodes_ grows
 
-    const TimeStep t2 = FirstFullTime(t, expand_state_.data());
+    const TimeStep t2 = FirstFullTime(t, ws_.expand_state_.data());
     if (t2 >= horizon) {
       // Either the state never becomes full before T, or it first fills
       // exactly at T: in both cases the only remaining LGM action is the
       // full refresh at T.
-      PreStateInto(expand_state_.data(), t, horizon, pre_state_);
-      const double weight = instance_.cost_model.TotalCost(pre_state_);
-      Relax(g_settled, top.node, destination, horizon, pre_state_.data(),
-            weight);
+      PreStateInto(ws_.expand_state_.data(), t, horizon, ws_.pre_state_);
+      const double weight = instance_.cost_model.TotalCost(ws_.pre_state_);
+      Relax(g_settled, top.node, destination, horizon,
+            ws_.pre_state_.data(), weight);
       continue;
     }
 
-    PreStateInto(expand_state_.data(), t, t2, pre_state_);
+    PreStateInto(ws_.expand_state_.data(), t, t2, ws_.pre_state_);
     const size_t action_count = EnumerateMinimalGreedyActionsInto(
-        instance_.cost_model, instance_.budget, pre_state_, actions_,
-        &action_costs_);
+        instance_.cost_model, instance_.budget, ws_.pre_state_,
+        ws_.actions_, &ws_.action_costs_);
     for (size_t a = 0; a < action_count; ++a) {
-      const StateVec& action = actions_[a];
-      SubVecInto(pre_state_, action, post_state_);
-      const int32_t successor = InternNode(t2, post_state_.data());
+      const StateVec& action = ws_.actions_[a];
+      SubVecInto(ws_.pre_state_, action, ws_.post_state_);
+      const int32_t successor = InternNode(t2, ws_.post_state_.data());
       Relax(g_settled, top.node, successor, t2, action.data(),
-            action_costs_[a]);
+            ws_.action_costs_[a]);
     }
   }
   ABIVM_CHECK_MSG(false, "A* frontier exhausted without reaching refresh; "
@@ -427,11 +409,20 @@ PlanSearchResult Search::Run() {
   return result_;
 }
 
-}  // namespace
+}  // namespace astar_internal
 
 PlanSearchResult FindOptimalLgmPlan(const ProblemInstance& instance,
                                     AStarOptions options) {
-  Search search(instance, options);
+  // One-shot call: scratch workspace, identical results to the reusing
+  // overload (only allocation behaviour differs).
+  PlannerWorkspace scratch;
+  return FindOptimalLgmPlan(instance, options, scratch);
+}
+
+PlanSearchResult FindOptimalLgmPlan(const ProblemInstance& instance,
+                                    AStarOptions options,
+                                    PlannerWorkspace& workspace) {
+  astar_internal::Search search(instance, options, workspace);
   return search.Run();
 }
 

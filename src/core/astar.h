@@ -27,6 +27,8 @@
 
 namespace abivm {
 
+class PlannerWorkspace;  // core/astar_workspace.h
+
 /// Search statistics and the optimal plan.
 struct PlanSearchResult {
   MaintenancePlan plan;
@@ -87,9 +89,21 @@ struct AStarOptions {
 };
 
 /// Finds a minimum-cost LGM plan for the instance. Requires n <=
-/// kMaxEnumerationTables. Deterministic.
+/// kMaxEnumerationTables. Deterministic. Runs on a scratch workspace;
+/// repeat callers should prefer the overload below.
 PlanSearchResult FindOptimalLgmPlan(const ProblemInstance& instance,
                                     AStarOptions options = {});
+
+/// Same search, but running on a caller-held PlannerWorkspace
+/// (core/astar_workspace.h) so arenas, intern table, frontier and
+/// heuristic rows grown by earlier searches are reused instead of
+/// re-allocated. Results are bit-identical to the scratch overload for
+/// any prior workspace history (the workspace pools capacity only;
+/// corpus-enforced). The workspace must not be used by another search
+/// concurrently.
+PlanSearchResult FindOptimalLgmPlan(const ProblemInstance& instance,
+                                    AStarOptions options,
+                                    PlannerWorkspace& workspace);
 
 }  // namespace abivm
 

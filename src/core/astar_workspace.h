@@ -1,0 +1,183 @@
+// PlannerWorkspace: the reusable search workspace behind FindOptimalLgmPlan.
+//
+// The A* planner keeps all per-search storage -- flat state/action arenas,
+// the open-addressing intern table, the frontier heap, and the per-table
+// heuristic caches + arrival suffix rows -- in one object. A one-shot call
+// (FindOptimalLgmPlan without a workspace argument) builds a scratch
+// workspace on the stack; repeat callers (ReplanningPolicy re-planning on
+// successive projected instances, sweep plan jobs, engine runs) hold one
+// across calls so every search after the first reuses the grown capacity
+// instead of re-allocating it. Search results are bit-identical either
+// way: the workspace only pools CAPACITY, never carries logical state from
+// one search into the next (corpus-enforced by
+// tests/core/astar_workspace_test.cc).
+//
+// Lifetime and aliasing rules (see DESIGN.md 5g):
+//   * A workspace serves ONE search at a time; it is not thread-safe.
+//     Concurrent searches need one workspace each (sweep jobs hold a
+//     per-closure workspace for exactly this reason).
+//   * Pointers/slices into the arenas (node states, action slots) are
+//     invalidated whenever a search interns a node and the arena grows --
+//     the same hazard as within a single search (astar.cc copies a node's
+//     state to scratch before expanding it) -- and additionally by
+//     Reset(), so nothing may retain an arena pointer across searches.
+//   * PlanSearchResult deep-copies everything it returns, so results
+//     remain valid after the workspace is reused or destroyed.
+
+#ifndef ABIVM_CORE_ASTAR_WORKSPACE_H_
+#define ABIVM_CORE_ASTAR_WORKSPACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/types.h"
+#include "cost/cost_function.h"
+
+namespace abivm {
+
+namespace astar_internal {
+
+class Search;
+
+// Per-node search bookkeeping. A node of the LGM plan graph is a
+// (time, post-action state) pair; the state vectors themselves live in a
+// flat arena (`PlannerWorkspace::node_state_`, n counts per node) rather
+// than in per-node heap blocks, and the incoming best action lives in a
+// parallel arena slot, so growing the graph never allocates per node.
+struct NodeInfo {
+  double g = 0.0;
+  // Cached heuristic value h(t, state): a pure function of the node, so
+  // it is computed once on the node's first improving relaxation and
+  // reused by every later queue push (< 0 means not yet computed).
+  double h = -1.0;
+  // Back-pointer for plan reconstruction: the predecessor node; the
+  // action taken on the incoming optimal edge sits in the action arena.
+  int32_t parent = -1;
+  TimeStep action_time = -1;
+  bool expanded = false;  // doubles as the closed-set membership bit
+};
+
+struct FrontierEntry {
+  double f;       // g + h
+  double g;       // tie-break: prefer larger g (deeper, more informed)
+  int32_t node;
+
+  bool operator>(const FrontierEntry& other) const {
+    if (f != other.f) return f > other.f;
+    if (g != other.g) return g < other.g;
+    return node > other.node;
+  }
+};
+
+}  // namespace astar_internal
+
+/// Reusable storage for FindOptimalLgmPlan. Default-constructed empty;
+/// grows on first use and keeps its capacity across searches. Movable is
+/// deliberately disabled along with copy: the search holds raw pointers
+/// into the arenas while running.
+class PlannerWorkspace {
+ public:
+  PlannerWorkspace() = default;
+  PlannerWorkspace(const PlannerWorkspace&) = delete;
+  PlannerWorkspace& operator=(const PlannerWorkspace&) = delete;
+
+  /// Searches run on this workspace so far.
+  uint64_t searches() const { return searches_; }
+  /// Searches that found warm capacity to reuse (every search after the
+  /// first); exported as the `astar.workspace_reuses` counter.
+  uint64_t reuses() const { return searches_ == 0 ? 0 : searches_ - 1; }
+  /// Searches during which some pooled buffer's capacity grew. Once the
+  /// workspace has warmed up on a family of similar instances this stays
+  /// flat -- the deterministic "no allocations on the warm path" signal
+  /// the replanning bench tier guards.
+  uint64_t grow_events() const { return grow_events_; }
+  /// High-water mark of bytes held across all pooled buffers (capacity,
+  /// not size); exported as the `astar.arena_bytes_peak` counter.
+  size_t arena_bytes_peak() const { return arena_bytes_peak_; }
+
+ private:
+  friend class astar_internal::Search;
+
+  /// Capacity-based byte total over every pooled buffer.
+  size_t PooledBytes() const {
+    const size_t action_entries =
+        actions_.capacity() * sizeof(StateVec);  // inner buffers vary
+    return batch_bound_.capacity() * sizeof(Count) +
+           batch_bound_cost_.capacity() * sizeof(double) +
+           star_shaped_.capacity() / 8 +
+           fns_.capacity() * sizeof(const CostFunction*) +
+           suffix_.capacity() * sizeof(Count) +
+           nodes_.capacity() * sizeof(astar_internal::NodeInfo) +
+           node_t_.capacity() * sizeof(TimeStep) +
+           node_hash_.capacity() * sizeof(size_t) +
+           node_state_.capacity() * sizeof(Count) +
+           node_action_.capacity() * sizeof(Count) +
+           buckets_.capacity() * sizeof(int32_t) +
+           frontier_.capacity() * sizeof(astar_internal::FrontierEntry) +
+           action_costs_.capacity() * sizeof(double) + action_entries;
+  }
+
+  /// Clears logical contents for a fresh search while keeping capacity.
+  /// The intern table keeps its size (slots are re-emptied, not freed):
+  /// table size never affects which nodes are interned or in what order,
+  /// only the probe sequences, so results stay bit-identical.
+  void BeginSearch() {
+    nodes_.clear();
+    node_t_.clear();
+    node_hash_.clear();
+    node_state_.clear();
+    node_action_.clear();
+    if (!buckets_.empty()) buckets_.assign(buckets_.size(), -1);
+    frontier_.clear();
+    bytes_at_begin_ = PooledBytes();
+  }
+
+  void FinishSearch() {
+    ++searches_;
+    const size_t bytes = PooledBytes();
+    if (bytes > bytes_at_begin_) ++grow_events_;
+    if (bytes > arena_bytes_peak_) arena_bytes_peak_ = bytes;
+  }
+
+  // Per-instance heuristic terms (rewritten in full by every search).
+  std::vector<Count> batch_bound_;
+  std::vector<double> batch_bound_cost_;
+  std::vector<bool> star_shaped_;
+  std::vector<const CostFunction*> fns_;
+  std::vector<Count> suffix_;  // (horizon + 2) rows of n suffix totals
+
+  // Node storage: parallel flat arrays indexed by node id. States and
+  // incoming best actions are n-count arena slices.
+  std::vector<astar_internal::NodeInfo> nodes_;
+  std::vector<TimeStep> node_t_;
+  std::vector<size_t> node_hash_;
+  std::vector<Count> node_state_;
+  std::vector<Count> node_action_;
+  // Open-addressing intern table over node ids (-1 = empty slot),
+  // power-of-two sized, linear probing, load factor <= 0.75.
+  std::vector<int32_t> buckets_;
+  size_t bucket_mask_ = 0;
+
+  // Frontier min-heap storage (std::push_heap/pop_heap over a plain
+  // vector, which is exactly what std::priority_queue does underneath --
+  // kept as a vector so clear() preserves capacity across searches).
+  std::vector<astar_internal::FrontierEntry> frontier_;
+
+  // Scratch buffers for the per-expansion work (key copy, pre-state
+  // accumulation, successor states, enumerated actions).
+  StateVec expand_state_;
+  StateVec pre_state_;
+  StateVec post_state_;
+  std::vector<StateVec> actions_;
+  std::vector<double> action_costs_;
+
+  uint64_t searches_ = 0;
+  uint64_t grow_events_ = 0;
+  size_t arena_bytes_peak_ = 0;
+  size_t bytes_at_begin_ = 0;
+};
+
+}  // namespace abivm
+
+#endif  // ABIVM_CORE_ASTAR_WORKSPACE_H_

@@ -17,7 +17,7 @@ ReplanningPolicy::ReplanningPolicy(ReplanOptions options)
 }
 
 void ReplanningPolicy::Reset(const CostModel& model, double budget) {
-  model_ = model;
+  model_ = &model;
   budget_ = budget;
   rates_.assign(model.n(), 0.0);
   rates_initialized_ = false;
@@ -27,6 +27,9 @@ void ReplanningPolicy::Reset(const CostModel& model, double budget) {
   deviations_ = 0;
   planner_nodes_expanded_ = 0;
   planner_wall_ms_ = 0.0;
+  // workspace_ deliberately untouched: its pooled capacity carries over
+  // to the next run (that is the point of holding it here); per-search
+  // logical state is cleared by the planner itself.
 }
 
 ArrivalSequence ReplanningPolicy::ProjectArrivals(
@@ -52,7 +55,10 @@ ArrivalSequence ReplanningPolicy::ProjectArrivals(
 void ReplanningPolicy::Replan(TimeStep t, const StateVec& pre_state) {
   const ProblemInstance projected{*model_, ProjectArrivals(pre_state),
                                   budget_};
-  PlanSearchResult result = FindOptimalLgmPlan(projected);
+  // Reuse the held workspace: successive projected instances share shape
+  // (same n, same plan_horizon), so after the first replan the search
+  // runs entirely in warm arenas.
+  PlanSearchResult result = FindOptimalLgmPlan(projected, {}, workspace_);
   planner_nodes_expanded_ += result.nodes_expanded;
   planner_wall_ms_ += result.wall_ms;
   plan_ = std::move(result.plan);
@@ -66,16 +72,29 @@ void ReplanningPolicy::ExportMetrics(obs::MetricRegistry& registry) const {
   registry.counter("replan.planner_nodes_expanded")
       .Add(planner_nodes_expanded_);
   registry.timer("replan.planner_ms").Record(planner_wall_ms_);
+  registry.counter("astar.workspace_reuses").Add(workspace_.reuses());
+  registry.counter("astar.arena_bytes_peak")
+      .RaiseTo(workspace_.arena_bytes_peak());
 }
 
 StateVec ReplanningPolicy::Act(TimeStep t, const StateVec& pre_state,
                                const StateVec& arrivals_now) {
-  ABIVM_CHECK_MSG(model_.has_value(), "policy not Reset()");
+  ABIVM_CHECK_MSG(model_ != nullptr, "policy not Reset()");
+  const bool any_arrivals =
+      std::any_of(arrivals_now.begin(), arrivals_now.end(),
+                  [](Count c) { return c != 0; });
   if (!rates_initialized_) {
-    for (size_t i = 0; i < rates_.size(); ++i) {
-      rates_[i] = static_cast<double>(arrivals_now[i]);
+    // Seed lazily on the first NONZERO arrival vector. Seeding from a
+    // quiet first step used to mark the estimator initialized at
+    // all-zero rates, so a stream with a silent warm-up projected zero
+    // future arrivals and then EWMA-crawled toward the true rate one
+    // alpha-step at a time.
+    if (any_arrivals) {
+      for (size_t i = 0; i < rates_.size(); ++i) {
+        rates_[i] = static_cast<double>(arrivals_now[i]);
+      }
+      rates_initialized_ = true;
     }
-    rates_initialized_ = true;
   } else {
     const double alpha = options_.rate_ewma_alpha;
     for (size_t i = 0; i < rates_.size(); ++i) {
@@ -84,6 +103,14 @@ StateVec ReplanningPolicy::Act(TimeStep t, const StateVec& pre_state,
     }
   }
 
+  // Replan when the window elapsed or the plan ran out. The expiry clause
+  // is defensive: ProjectArrivals always builds a plan with horizon ==
+  // plan_horizon and the constructor enforces plan_horizon >=
+  // replan_period, so the period clause fires at or before t -
+  // plan_epoch_ == plan_->horizon() and ActionAt below is only ever
+  // indexed in [0, replan_period) -- in range even at the boundary step
+  // t - plan_epoch_ == plan_->horizon() (pinned by the
+  // PlanIndexStaysInRangeAtHorizonBoundary regression test).
   if (!plan_.has_value() || t - plan_epoch_ >= options_.replan_period ||
       t - plan_epoch_ > plan_->horizon()) {
     Replan(t, pre_state);

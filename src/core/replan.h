@@ -7,6 +7,13 @@
 // actually accumulated, and a cheapest-minimal-flush fallback keeps the
 // response-time constraint satisfied when reality diverges from the
 // projection.
+//
+// The policy re-plans on many successive projected instances of the same
+// shape, so it holds a PlannerWorkspace across Replan calls: every search
+// after the first reuses the arenas the previous one grew (identical
+// results, amortized allocation). The workspace survives Reset() too --
+// capacity pooling across runs is the point; Reset() clears only the
+// logical policy state.
 
 #ifndef ABIVM_CORE_REPLAN_H_
 #define ABIVM_CORE_REPLAN_H_
@@ -15,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "core/astar_workspace.h"
 #include "core/plan.h"
 #include "core/policy.h"
 
@@ -35,6 +43,11 @@ class ReplanningPolicy final : public Policy {
  public:
   explicit ReplanningPolicy(ReplanOptions options = {});
 
+  /// `model` is held by reference (not copied): it must stay alive until
+  /// the next Reset or the policy's destruction. Every runner (Simulate,
+  /// RunOnEngine, the sweep Make*Job closures) passes a model that
+  /// outlives the run, so this only constrains callers driving the policy
+  /// by hand.
   void Reset(const CostModel& model, double budget) override;
   StateVec Act(TimeStep t, const StateVec& pre_state,
                const StateVec& arrivals_now) override;
@@ -49,6 +62,11 @@ class ReplanningPolicy final : public Policy {
   uint64_t planner_nodes_expanded() const { return planner_nodes_expanded_; }
   /// Wall-clock spent inside the planner across all replans.
   double planner_wall_ms() const { return planner_wall_ms_; }
+  /// Current per-table EWMA arrival-rate estimates (diagnostics/tests).
+  /// All-zero until the first nonzero arrival vector seeds the estimator.
+  const std::vector<double>& arrival_rates() const { return rates_; }
+  /// The pooled planner workspace (reuse/arena counters for tests/obs).
+  const PlannerWorkspace& planner_workspace() const { return workspace_; }
 
  private:
   /// Builds the projected arrival sequence: step 0 carries the current
@@ -61,9 +79,15 @@ class ReplanningPolicy final : public Policy {
   void Replan(TimeStep t, const StateVec& pre_state);
 
   ReplanOptions options_;
-  std::optional<CostModel> model_;
+  /// Non-owning; set by Reset (see lifetime note there). The cost model
+  /// used to be copied per Reset, which re-ran the copy for every sweep
+  /// job and engine run.
+  const CostModel* model_ = nullptr;
   double budget_ = 0.0;
   std::vector<double> rates_;
+  /// False until the first nonzero arrival vector seeds the EWMA: seeding
+  /// from a quiet first step used to lock the estimator to an all-zero
+  /// start that the EWMA then climbed out of arrival by arrival.
   bool rates_initialized_ = false;
   std::optional<MaintenancePlan> plan_;
   TimeStep plan_epoch_ = 0;  // absolute time of the plan's step 0
@@ -71,6 +95,7 @@ class ReplanningPolicy final : public Policy {
   uint64_t deviations_ = 0;
   uint64_t planner_nodes_expanded_ = 0;
   double planner_wall_ms_ = 0.0;
+  PlannerWorkspace workspace_;
 };
 
 }  // namespace abivm

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/float_compare.h"
+
 namespace abivm {
 
 EngineTrace RunOnEngine(ViewMaintainer& maintainer,
@@ -50,6 +52,11 @@ EngineTrace RunOnEngine(ViewMaintainer& maintainer,
 
     EngineStepRecord record{
         .t = t, .arrivals = d, .pre_state = pre_state, .action = action};
+    // Modelled cost burned by this step's FAILED attempts so far; the
+    // budget-aware give-up rule compares it against the step's cost
+    // bound C (the same epsilon-tolerant comparison every other
+    // fullness/budget decision uses).
+    double step_attempted_model_cost = 0.0;
     for (size_t i = 0; i < n; ++i) {
       // Charge the modelled cost per table as the batch COMMITS;
       // summing model.Cost(i, ...) in table order reproduces
@@ -88,18 +95,31 @@ EngineTrace RunOnEngine(ViewMaintainer& maintainer,
         record.attempted_stats += result.stats;
         trace.attempted_exec_stats += result.stats;
         ++trace.attempted_batches;
+        step_attempted_model_cost += batch_model_cost;
         if (options.metrics != nullptr) {
           options.metrics->counter("engine.attempted_batches").Add(1);
           options.metrics->timer("engine.attempted_batch_ms")
               .Record(result.wall_ms);
         }
-        if (attempt + 1 >= options.retry.max_attempts) {
+        const bool attempts_exhausted =
+            attempt + 1 >= options.retry.max_attempts;
+        // Budget-aware give-up: once the step's failed attempts have
+        // burned more modelled cost than the step's committed-cost bound
+        // C, further retries can only make this step more expensive than
+        // any step is allowed to be -- stop paying.
+        const bool over_budget =
+            options.retry.budget_aware &&
+            CostExceedsBudget(step_attempted_model_cost, budget);
+        if (attempts_exhausted || over_budget) {
           // Degrade: abandon this batch; its residue stays pending and
           // the policy re-plans against it next step. The modelled cost
           // of the abandoned batch is recorded apart from the committed
           // spend -- the work never happened.
           record.abandoned_model_cost += batch_model_cost;
           record.degraded = true;
+          if (over_budget && !attempts_exhausted) {
+            ++record.retry_budget_abandons;
+          }
           break;
         }
         record.backoff_ms +=
@@ -116,6 +136,7 @@ EngineTrace RunOnEngine(ViewMaintainer& maintainer,
     trace.total_attempted_ms += record.attempted_ms;
     trace.failures += record.failures;
     trace.retries += record.retries;
+    trace.retry_budget_abandons += record.retry_budget_abandons;
     trace.total_backoff_ms += record.backoff_ms;
     if (record.degraded) ++trace.degraded_steps;
     if (!IsZeroVec(action)) ++trace.action_count;
@@ -141,6 +162,8 @@ EngineTrace RunOnEngine(ViewMaintainer& maintainer,
     m.counter("engine.failures").Add(trace.failures);
     m.counter("engine.retries").Add(trace.retries);
     m.counter("engine.degraded_steps").Add(trace.degraded_steps);
+    m.counter("engine.retry_budget_abandons")
+        .Add(trace.retry_budget_abandons);
     m.counter("engine.rows_scanned").Add(trace.exec_stats.rows_scanned);
     m.counter("engine.index_probes").Add(trace.exec_stats.index_probes);
     m.counter("engine.hash_build_rows")

@@ -15,6 +15,11 @@
 // the trace records the failure so sweeps can report availability
 // alongside cost.
 //
+// Planner reuse: the runner's planner path is the policy it drives; a
+// planning policy (ReplanningPolicy) holds its own PlannerWorkspace, so
+// every replan within a run -- and across runs of the same policy object
+// -- reuses the search arenas with bit-identical decisions.
+//
 // Accounting discipline: committed and attempted-but-discarded work are
 // kept strictly apart. `model_cost`/`exec_stats`/`actual_ms` cover only
 // batches that committed; the modelled cost of batches abandoned after
@@ -74,6 +79,9 @@ struct EngineStepRecord {
   /// True when some batch of this step was abandoned after the attempt
   /// budget; its residue stayed pending.
   bool degraded = false;
+  /// Batches this step abandoned by the budget-aware rule (attempted
+  /// model cost exceeded the step's cost bound) before max_attempts.
+  uint64_t retry_budget_abandons = 0;
 };
 
 struct EngineTrace {
@@ -92,6 +100,8 @@ struct EngineTrace {
   uint64_t failures = 0;
   uint64_t retries = 0;
   uint64_t degraded_steps = 0;
+  /// Batches abandoned early by EngineRetryOptions::budget_aware.
+  uint64_t retry_budget_abandons = 0;
   double total_backoff_ms = 0.0;
   /// False only when the forced final refresh itself degraded.
   bool ended_consistent = true;
@@ -116,6 +126,17 @@ struct EngineRetryOptions {
   double backoff_base_ms = 1.0;
   double backoff_multiplier = 2.0;
   double backoff_cap_ms = 8.0;
+  /// Optional budget-aware give-up rule tying availability to the paper's
+  /// cost model: when true, a failing batch is abandoned as soon as the
+  /// step's accumulated attempted (failed-and-discarded) model cost
+  /// exceeds the step's committed-cost bound -- the response-time budget
+  /// C that caps what any step is allowed to spend. Retrying past that
+  /// point would burn more modelled work on one step than a successful
+  /// step may cost at all. Abandons triggered by this rule (rather than
+  /// by max_attempts) are counted in `retry_budget_abandons` and the
+  /// `engine.retry_budget_abandons` counter; max_attempts still applies
+  /// as the outer cap.
+  bool budget_aware = false;
 };
 
 struct EngineRunnerOptions {

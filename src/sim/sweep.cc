@@ -6,6 +6,7 @@
 
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "core/astar_workspace.h"
 #include "obs/export.h"
 #include "obs/json.h"
 
@@ -85,11 +86,19 @@ SweepJob MakePlanJob(std::string scenario, std::string label,
   // A* search size grows superlinearly with the horizon; the horizon is
   // still a monotone proxy, which is all longest-first dispatch needs.
   job.expected_cost = static_cast<double>(instance.horizon() + 1);
-  job.run = [&instance, base_options](obs::MetricRegistry& registry,
-                                      SweepJobResult& result) {
+  // Each job closure owns a planner workspace: a job that runs more than
+  // once (repeated sweeps over the same job vector, bench reps) reuses
+  // the arenas its first search grew. shared_ptr only because
+  // std::function requires copyable closures; the workspace is never
+  // shared across jobs, so concurrent sweep workers stay isolated.
+  auto workspace = std::make_shared<PlannerWorkspace>();
+  job.run = [&instance, base_options,
+             workspace](obs::MetricRegistry& registry,
+                        SweepJobResult& result) {
     AStarOptions options = base_options;
     options.metrics = &registry;
-    const PlanSearchResult search = FindOptimalLgmPlan(instance, options);
+    const PlanSearchResult search =
+        FindOptimalLgmPlan(instance, options, *workspace);
     result.total_cost = search.cost;
     result.action_count = search.plan.actions().size();
   };

@@ -94,6 +94,9 @@ SweepJob MakeSimulateJob(std::string scenario, std::string label,
 /// Job that runs FindOptimalLgmPlan(instance, ...) with metrics wired in;
 /// total_cost is the optimal plan cost and action_count the number of
 /// non-zero plan actions. `instance` must outlive the RunSweep call.
+/// The job closure owns a PlannerWorkspace, so re-running the same job
+/// (repeated sweeps, bench reps) reuses the planner's arenas; results are
+/// bit-identical regardless of reuse.
 SweepJob MakePlanJob(std::string scenario, std::string label,
                      const ProblemInstance& instance,
                      AStarOptions base_options = {});

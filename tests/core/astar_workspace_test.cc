@@ -1,0 +1,157 @@
+// PlannerWorkspace reuse: searches on a warm workspace must be
+// bit-identical to fresh-workspace searches over the whole randomized
+// corpus -- the workspace pools capacity only, never logical state.
+
+#include "core/astar_workspace.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/astar.h"
+#include "tests/core/test_instances.h"
+
+namespace abivm {
+namespace {
+
+using abivm::testing::RandomInstance;
+
+void ExpectBitIdentical(const PlanSearchResult& fresh,
+                        const PlanSearchResult& reused) {
+  // Exact double equality on purpose: reuse must not perturb one bit of
+  // the search (same interned node ids, same relaxation order, same
+  // floating-point accumulation order).
+  EXPECT_EQ(fresh.cost, reused.cost);
+  EXPECT_EQ(fresh.plan.actions(), reused.plan.actions());
+  EXPECT_EQ(fresh.nodes_expanded, reused.nodes_expanded);
+  EXPECT_EQ(fresh.nodes_generated, reused.nodes_generated);
+  EXPECT_EQ(fresh.relaxations, reused.relaxations);
+  EXPECT_EQ(fresh.edges_improved, reused.edges_improved);
+  EXPECT_EQ(fresh.reexpansions, reused.reexpansions);
+  EXPECT_EQ(fresh.heuristic_evals, reused.heuristic_evals);
+  EXPECT_EQ(fresh.frontier_peak, reused.frontier_peak);
+  EXPECT_EQ(fresh.used_closed_set, reused.used_closed_set);
+}
+
+TEST(PlannerWorkspaceTest, CorpusFreshVsReusedBitIdentical) {
+  // One workspace carried across the whole randomized corpus: by the
+  // time an instance runs warm, the arenas hold leftovers from dozens of
+  // differently-shaped searches -- the strongest aliasing test we can
+  // run. Every result must match a scratch-workspace search exactly.
+  Rng rng(2026);
+  PlannerWorkspace warm;
+  for (int trial = 0; trial < 120; ++trial) {
+    SCOPED_TRACE(trial);
+    const ProblemInstance instance = RandomInstance(rng);
+    const PlanSearchResult fresh = FindOptimalLgmPlan(instance);
+    const PlanSearchResult reused = FindOptimalLgmPlan(instance, {}, warm);
+    ExpectBitIdentical(fresh, reused);
+  }
+  EXPECT_EQ(warm.searches(), 120u);
+  EXPECT_EQ(warm.reuses(), 119u);
+}
+
+TEST(PlannerWorkspaceTest, DijkstraAndClosedSetVariantsAlsoBitIdentical) {
+  // Reuse must hold for every search configuration, not just the default
+  // (the ablation benches re-run the same instances under h = 0 and with
+  // the closed set disabled).
+  Rng rng(31);
+  PlannerWorkspace warm;
+  for (int trial = 0; trial < 30; ++trial) {
+    SCOPED_TRACE(trial);
+    const ProblemInstance instance = RandomInstance(rng);
+    for (const AStarOptions options :
+         {AStarOptions{.use_heuristic = false},
+          AStarOptions{.use_closed_set = false}}) {
+      const PlanSearchResult fresh = FindOptimalLgmPlan(instance, options);
+      const PlanSearchResult reused =
+          FindOptimalLgmPlan(instance, options, warm);
+      ExpectBitIdentical(fresh, reused);
+    }
+  }
+}
+
+TEST(PlannerWorkspaceTest, WarmRepeatsStopGrowing) {
+  // Repeating the same instance on one workspace: the first search grows
+  // every buffer; repeats must find all capacity in place. grow_events is
+  // the deterministic "no allocations on the warm path" signal the
+  // replanning bench tier guards.
+  Rng rng(7);
+  const ProblemInstance instance = RandomInstance(rng);
+  PlannerWorkspace ws;
+  (void)FindOptimalLgmPlan(instance, {}, ws);
+  EXPECT_EQ(ws.searches(), 1u);
+  EXPECT_EQ(ws.grow_events(), 1u);
+  EXPECT_GT(ws.arena_bytes_peak(), 0u);
+
+  const size_t peak_after_first = ws.arena_bytes_peak();
+  for (int rep = 0; rep < 5; ++rep) {
+    (void)FindOptimalLgmPlan(instance, {}, ws);
+  }
+  EXPECT_EQ(ws.searches(), 6u);
+  EXPECT_EQ(ws.reuses(), 5u);
+  EXPECT_EQ(ws.grow_events(), 1u);  // nothing grew after the first search
+  EXPECT_EQ(ws.arena_bytes_peak(), peak_after_first);
+}
+
+TEST(PlannerWorkspaceTest, HeterogeneousShapesReuseSafely) {
+  // Shrinking then growing the instance shape exercises both directions
+  // of capacity reuse (stale arena tails, oversized intern table).
+  std::vector<CostFunctionPtr> small_fns = {
+      std::make_shared<LinearCost>(0.3, 0.5)};
+  std::vector<CostFunctionPtr> big_fns = {
+      std::make_shared<LinearCost>(0.3, 0.5),
+      std::make_shared<LinearCost>(0.2, 6.0),
+      std::make_shared<LinearCost>(0.4, 1.0)};
+  const ProblemInstance small{CostModel(std::move(small_fns)),
+                              ArrivalSequence::Uniform({2}, 6), 4.0};
+  const ProblemInstance big{CostModel(std::move(big_fns)),
+                            ArrivalSequence::Uniform({1, 1, 2}, 40), 18.0};
+
+  PlannerWorkspace ws;
+  for (int round = 0; round < 3; ++round) {
+    SCOPED_TRACE(round);
+    ExpectBitIdentical(FindOptimalLgmPlan(big),
+                       FindOptimalLgmPlan(big, {}, ws));
+    ExpectBitIdentical(FindOptimalLgmPlan(small),
+                       FindOptimalLgmPlan(small, {}, ws));
+  }
+  EXPECT_EQ(ws.searches(), 6u);
+}
+
+TEST(PlannerWorkspaceTest, ReuseCountersExportThroughMetrics) {
+  Rng rng(99);
+  const ProblemInstance instance = RandomInstance(rng);
+  PlannerWorkspace ws;
+
+  obs::MetricRegistry cold;
+  (void)FindOptimalLgmPlan(instance, {.metrics = &cold}, ws);
+  // The first search is no reuse; the counter must not appear at all
+  // (sweep bit-identity across thread counts depends on the exact key
+  // set, not just values).
+  EXPECT_EQ(cold.Snapshot().counters.count("astar.workspace_reuses"), 0u);
+  EXPECT_EQ(cold.Snapshot().counters.at("astar.arena_bytes_peak"),
+            ws.arena_bytes_peak());
+
+  obs::MetricRegistry warm;
+  (void)FindOptimalLgmPlan(instance, {.metrics = &warm}, ws);
+  (void)FindOptimalLgmPlan(instance, {.metrics = &warm}, ws);
+  EXPECT_EQ(warm.Snapshot().counters.at("astar.workspace_reuses"), 2u);
+  EXPECT_EQ(warm.Snapshot().counters.at("astar.arena_bytes_peak"),
+            ws.arena_bytes_peak());
+}
+
+TEST(PlannerWorkspaceTest, ScratchOverloadMatchesWorkspaceOverload) {
+  // The 2-arg convenience overload is defined as "3-arg with a scratch
+  // workspace"; pin that equivalence directly.
+  Rng rng(55);
+  for (int trial = 0; trial < 20; ++trial) {
+    SCOPED_TRACE(trial);
+    const ProblemInstance instance = RandomInstance(rng);
+    PlannerWorkspace scratch;
+    ExpectBitIdentical(FindOptimalLgmPlan(instance),
+                       FindOptimalLgmPlan(instance, {}, scratch));
+  }
+}
+
+}  // namespace
+}  // namespace abivm

@@ -88,5 +88,88 @@ TEST(ReplanningPolicyTest, ResetClearsState) {
   EXPECT_EQ(policy.plans_computed(), first_run_plans);  // re-counted fresh
 }
 
+TEST(ReplanningPolicyTest, QuietFirstStepDoesNotSeedZeroRates) {
+  // Regression: seeding the EWMA from a quiet first step marked the
+  // estimator initialized at all-zero rates, so later arrivals were
+  // blended in one alpha-step at a time instead of seeding directly.
+  std::vector<CostFunctionPtr> fns = {
+      std::make_shared<LinearCost>(0.3, 0.5),
+      std::make_shared<LinearCost>(0.2, 6.0)};
+  const CostModel model(std::move(fns));
+  ReplanningPolicy policy;
+  policy.Reset(model, 15.0);
+
+  // Quiet warm-up: the estimator must stay unseeded, not locked at zero.
+  (void)policy.Act(0, {0, 0}, {0, 0});
+  (void)policy.Act(1, {0, 0}, {0, 0});
+  EXPECT_EQ(policy.arrival_rates(), (std::vector<double>{0.0, 0.0}));
+
+  // First nonzero arrivals seed the rates EXACTLY (not alpha * value).
+  (void)policy.Act(2, {4, 2}, {4, 2});
+  EXPECT_EQ(policy.arrival_rates(), (std::vector<double>{4.0, 2.0}));
+
+  // From then on the ordinary EWMA update applies (alpha defaults 0.2).
+  (void)policy.Act(3, {4, 2}, {0, 0});
+  EXPECT_EQ(policy.arrival_rates(), (std::vector<double>{3.2, 1.6}));
+}
+
+TEST(ReplanningPolicyTest, ResetRebindsModelReference) {
+  // The policy holds the cost model by pointer; Reset must rebind it, and
+  // a model that lives across the run is all the policy may assume.
+  std::vector<CostFunctionPtr> cheap_fns = {
+      std::make_shared<LinearCost>(0.1, 0.2),
+      std::make_shared<LinearCost>(0.1, 0.2)};
+  std::vector<CostFunctionPtr> dear_fns = {
+      std::make_shared<LinearCost>(0.3, 0.5),
+      std::make_shared<LinearCost>(0.2, 6.0)};
+  const ArrivalSequence arrivals = ArrivalSequence::Uniform({1, 1}, 149);
+  const ProblemInstance cheap{CostModel(std::move(cheap_fns)), arrivals,
+                              15.0};
+  const ProblemInstance dear{CostModel(std::move(dear_fns)), arrivals,
+                             15.0};
+  ReplanningPolicy policy;
+  const Trace cheap_trace = Simulate(cheap, policy, {.strict = true});
+  const Trace dear_trace = Simulate(dear, policy, {.strict = true});
+  // Distinct models must drive distinct (here: differently priced) runs;
+  // a stale binding would reproduce the first run's costs.
+  EXPECT_NE(cheap_trace.total_cost, dear_trace.total_cost);
+  EXPECT_EQ(dear_trace.violations, 0u);
+}
+
+TEST(ReplanningPolicyTest, PlanIndexStaysInRangeAtHorizonBoundary) {
+  // Boundary audit pin: with replan_period == plan_horizon, the plan's
+  // last usable index is reached exactly when the period clause forces a
+  // replan, so ActionAt is only ever indexed in [0, horizon). This is the
+  // tightest configuration the constructor admits; it must neither crash
+  // nor read past the plan.
+  ReplanOptions options;
+  options.replan_period = 4;
+  options.plan_horizon = 4;
+  const ProblemInstance instance =
+      TwoTableInstance(ArrivalSequence::Uniform({1, 1}, 99));
+  ReplanningPolicy policy(options);
+  const Trace trace = Simulate(instance, policy, {.strict = true});
+  EXPECT_EQ(trace.violations, 0u);
+  EXPECT_TRUE(ValidatePlan(instance, trace.AsPlan(2, 99)).ok());
+  // The period clause must have fired on schedule: one plan per window.
+  EXPECT_GE(policy.plans_computed(), 99u / 4u);
+}
+
+TEST(ReplanningPolicyTest, HoldsWorkspaceAcrossReplansAndResets) {
+  const ProblemInstance instance =
+      TwoTableInstance(ArrivalSequence::Uniform({1, 1}, 199));
+  ReplanningPolicy policy;
+  (void)Simulate(instance, policy, {.strict = true});
+  const uint64_t searches_after_first = policy.planner_workspace().searches();
+  ASSERT_GE(policy.plans_computed(), 2u);
+  // Every replan after the first reused the same workspace.
+  EXPECT_EQ(policy.planner_workspace().reuses(), searches_after_first - 1);
+  // Reset() keeps the pooled capacity: the second run continues the
+  // workspace's search count instead of starting a fresh one.
+  (void)Simulate(instance, policy, {.strict = true});
+  EXPECT_EQ(policy.planner_workspace().searches(),
+            2 * searches_after_first);
+}
+
 }  // namespace
 }  // namespace abivm

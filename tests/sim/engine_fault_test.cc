@@ -223,6 +223,87 @@ TEST(EngineFaultTest, FaultedRunsAreSeedDeterministic) {
   EXPECT_GT(a.failures, 0u);
 }
 
+TEST(EngineFaultTest, BudgetAwareRetryAbandonsEarly) {
+  Fixture fx;
+  // One step (the forced final refresh) over a single modified table:
+  // the batch's modelled cost is f_0(1) = 0.3 * 1 + 0.5 = 0.8.
+  const ArrivalSequence arrivals = ArrivalSequence::Uniform({1, 0, 0, 0}, 0);
+  ScopedFailpoint guard = ScopedFailpoint::Always(fault::kFpIvmCommit);
+
+  obs::MetricRegistry metrics;
+  EngineRunnerOptions options;
+  options.metrics = &metrics;
+  options.retry.max_attempts = 50;  // far beyond what the budget allows
+  options.retry.budget_aware = true;
+
+  NaivePolicy policy;
+  const EngineTrace trace = RunOnEngine(*fx.maintainer, arrivals,
+                                        PaperLikeModel(), /*budget=*/2.0,
+                                        policy, fx.driver, options);
+
+  // Attempted model cost runs 0.8, 1.6, 2.4, ...; the rule fires as soon
+  // as it EXCEEDS the step bound C = 2.0, i.e. after the third failure --
+  // not after 50 attempts.
+  EXPECT_EQ(trace.failures, 3u);
+  EXPECT_EQ(trace.retries, 2u);
+  EXPECT_EQ(trace.degraded_steps, 1u);
+  EXPECT_EQ(trace.retry_budget_abandons, 1u);
+  ASSERT_EQ(trace.steps.size(), 1u);
+  EXPECT_EQ(trace.steps[0].retry_budget_abandons, 1u);
+  EXPECT_DOUBLE_EQ(trace.total_backoff_ms, 1.0 + 2.0);
+  EXPECT_DOUBLE_EQ(trace.abandoned_model_cost, 0.8);
+  EXPECT_FALSE(trace.ended_consistent);
+  EXPECT_EQ(metrics.Snapshot().counters.at("engine.retry_budget_abandons"),
+            1u);
+
+  // The abandoned residue is recoverable once the fault clears.
+  fault::FailpointRegistry::ThreadLocal().DisarmAll();
+  ASSERT_TRUE(fx.maintainer->RefreshAllChecked().ok());
+  EXPECT_TRUE(fx.maintainer->state().SameContents(
+      fx.maintainer->RecomputeAtWatermarks()));
+}
+
+TEST(EngineFaultTest, BudgetAwareRuleToleratesExactBudgetSpend) {
+  Fixture fx;
+  const ArrivalSequence arrivals = ArrivalSequence::Uniform({1, 0, 0, 0}, 0);
+  ScopedFailpoint guard = ScopedFailpoint::Always(fault::kFpIvmCommit);
+
+  EngineRunnerOptions options;
+  options.retry.max_attempts = 50;
+  options.retry.budget_aware = true;
+
+  NaivePolicy policy;
+  // Budget equals one attempt's modelled cost exactly: the rule fires on
+  // EXCEEDS, not reaches (same epsilon-tolerant comparison as fullness),
+  // so the first failure at 0.8 == C does not abandon; the second does.
+  const EngineTrace trace = RunOnEngine(*fx.maintainer, arrivals,
+                                        PaperLikeModel(), /*budget=*/0.8,
+                                        policy, fx.driver, options);
+  EXPECT_EQ(trace.failures, 2u);
+  EXPECT_EQ(trace.retries, 1u);
+  EXPECT_EQ(trace.retry_budget_abandons, 1u);
+}
+
+TEST(EngineFaultTest, BudgetAwareOffPreservesMaxAttemptsBehavior) {
+  Fixture fx;
+  const ArrivalSequence arrivals = ArrivalSequence::Uniform({1, 0, 0, 0}, 0);
+  ScopedFailpoint guard = ScopedFailpoint::Always(fault::kFpIvmCommit);
+
+  EngineRunnerOptions options;
+  options.retry.max_attempts = 6;  // budget_aware defaults to false
+
+  NaivePolicy policy;
+  const EngineTrace trace = RunOnEngine(*fx.maintainer, arrivals,
+                                        PaperLikeModel(), /*budget=*/2.0,
+                                        policy, fx.driver, options);
+  // With the rule off, the runner retries all the way to max_attempts
+  // even though the attempted model cost blew past the budget.
+  EXPECT_EQ(trace.failures, 6u);
+  EXPECT_EQ(trace.retries, 5u);
+  EXPECT_EQ(trace.retry_budget_abandons, 0u);
+  EXPECT_EQ(trace.degraded_steps, 1u);
+}
+
 TEST(EngineFaultTest, FaultCountersExportThroughMetrics) {
   Fixture fx;
   const ArrivalSequence arrivals =

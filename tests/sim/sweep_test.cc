@@ -67,12 +67,18 @@ TEST(SweepTest, ParallelMatchesSequentialBitForBit) {
   for (TimeStep horizon : {30, 50, 80, 120}) {
     instances.push_back(MakeInstance(horizon, 18.0));
   }
-  const std::vector<SweepJob> jobs = MakeJobs(instances);
+  // Fresh job vectors per sweep: plan jobs own a PlannerWorkspace, so
+  // re-running ONE vector would make the second sweep report warm-start
+  // counters (astar.workspace_reuses). That behavior is covered by
+  // RerunningPlanJobReusesWorkspaceBitIdentically below; this test
+  // isolates the thread-count-invariance claim.
+  const std::vector<SweepJob> jobs_seq = MakeJobs(instances);
+  const std::vector<SweepJob> jobs_par = MakeJobs(instances);
 
   const std::vector<SweepJobResult> sequential =
-      RunSweep(jobs, SweepOptions{.threads = 1});
+      RunSweep(jobs_seq, SweepOptions{.threads = 1});
   const std::vector<SweepJobResult> parallel =
-      RunSweep(jobs, SweepOptions{.threads = 8});
+      RunSweep(jobs_par, SweepOptions{.threads = 8});
 
   ASSERT_EQ(sequential.size(), parallel.size());
   for (size_t i = 0; i < sequential.size(); ++i) {
@@ -86,6 +92,45 @@ TEST(SweepTest, ParallelMatchesSequentialBitForBit) {
     // Event counters (planner nodes, policy decisions) are deterministic
     // too; only wall-clock timers may differ between runs.
     EXPECT_EQ(sequential[i].metrics.counters, parallel[i].metrics.counters);
+  }
+}
+
+TEST(SweepTest, RerunningPlanJobReusesWorkspaceBitIdentically) {
+  // A plan job's closure owns its PlannerWorkspace, so running the SAME
+  // job vector twice warms the arenas: the second sweep must report the
+  // reuse truthfully while every search-shaped counter stays bit-equal.
+  std::vector<ProblemInstance> instances;
+  for (TimeStep horizon : {30, 50, 80}) {
+    instances.push_back(MakeInstance(horizon, 18.0));
+  }
+  std::vector<SweepJob> jobs;
+  for (size_t i = 0; i < instances.size(); ++i) {
+    jobs.push_back(MakePlanJob("instance" + std::to_string(i), "OPT_LGM",
+                               instances[i]));
+  }
+
+  const std::vector<SweepJobResult> cold =
+      RunSweep(jobs, SweepOptions{.threads = 1});
+  const std::vector<SweepJobResult> warm =
+      RunSweep(jobs, SweepOptions{.threads = 2});
+
+  ASSERT_EQ(cold.size(), warm.size());
+  for (size_t i = 0; i < cold.size(); ++i) {
+    SCOPED_TRACE(cold[i].scenario);
+    EXPECT_EQ(cold[i].total_cost, warm[i].total_cost);
+    EXPECT_EQ(cold[i].action_count, warm[i].action_count);
+    for (const char* key :
+         {"astar.nodes_expanded", "astar.nodes_generated",
+          "astar.relaxations", "astar.frontier_peak",
+          "astar.arena_bytes_peak"}) {
+      SCOPED_TRACE(key);
+      EXPECT_EQ(cold[i].metrics.counters.at(key),
+                warm[i].metrics.counters.at(key));
+    }
+    // The cold sweep ran each workspace's first search; the warm sweep
+    // its second.
+    EXPECT_EQ(cold[i].metrics.counters.count("astar.workspace_reuses"), 0u);
+    EXPECT_EQ(warm[i].metrics.counters.at("astar.workspace_reuses"), 1u);
   }
 }
 
