@@ -6,8 +6,10 @@
 #include <memory>
 
 #include "bench/bench_util.h"
+#include "common/thread_pool.h"
 #include "core/astar.h"
 #include "exec/operators.h"
+#include "exec/pipeline_workspace.h"
 
 namespace abivm {
 namespace {
@@ -21,6 +23,13 @@ bench::PaperFixture& SharedFixture() {
   return *fx;
 }
 
+// The join tiers measure the operators the way the maintainer runs them:
+// on a held PipelineWorkspace, warm after a couple of calls. Each records
+// `warm_grow_events` -- pooled-capacity growth during the timed loop,
+// after an explicit warmup -- which the baseline guard pins to exactly 0
+// (the deterministic no-alloc-on-warm-path signal).
+constexpr int kWorkspaceWarmupIters = 3;
+
 void BM_IndexNestedLoopJoin(benchmark::State& state) {
   bench::PaperFixture& fx = SharedFixture();
   const Table& partsupp = fx.db->table(kPartSupp);
@@ -30,15 +39,50 @@ void BM_IndexNestedLoopJoin(benchmark::State& state) {
   DeltaBatch batch = ScanToBatch(partsupp, 0, &stats).value();
   batch.resize(static_cast<size_t>(state.range(0)));
   const size_t key = partsupp.schema().ColumnIndex("ps_suppkey");
-  for (auto _ : state) {
+  PipelineWorkspace ws;
+  PooledBatch out;
+  const auto run = [&] {
+    ws.BeginBatch();
     ExecStats s;
-    benchmark::DoNotOptimize(
-        JoinBatchWithTable(batch, key, supplier, 0, {3}, 0, &s));
-  }
+    (void)JoinBatchInto(batch.data(), batch.size(), key, supplier, 0, {3},
+                        0, ws, &out, &s);
+    benchmark::DoNotOptimize(out.size());
+    ws.FinishBatch();
+  };
+  for (int i = 0; i < kWorkspaceWarmupIters; ++i) run();
+  const uint64_t grow0 = ws.grow_events();
+  for (auto _ : state) run();
+  state.counters["warm_grow_events"] =
+      static_cast<double>(ws.grow_events() - grow0);
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(batch.size()));
 }
 BENCHMARK(BM_IndexNestedLoopJoin)->Arg(16)->Arg(256)->Arg(1024);
+
+// Pure probe cost of the flat open-addressing index: no output rows are
+// materialized, so this isolates the hash + bucket walk + visibility
+// check that IndexNestedLoopJoin pays per input row.
+void BM_FlatIndexProbe(benchmark::State& state) {
+  bench::PaperFixture& fx = SharedFixture();
+  const Table& partsupp = fx.db->table(kPartSupp);
+  const Table& supplier = fx.db->table(kSupplier);
+  ExecStats stats;
+  DeltaBatch batch = ScanToBatch(partsupp, 0, &stats).value();
+  batch.resize(static_cast<size_t>(state.range(0)));
+  const Table::FlatIndex* index = supplier.IndexOn(0);
+  uint64_t matches = 0;
+  for (auto _ : state) {
+    for (const DeltaRow& delta : batch) {
+      const Value& key = delta.row[1];  // ps_suppkey
+      supplier.ProbeIndexHashed(*index, index->HashOf(key), key, 0,
+                                [&](RowId, const Row&) { ++matches; });
+    }
+  }
+  benchmark::DoNotOptimize(matches);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(batch.size()));
+}
+BENCHMARK(BM_FlatIndexProbe)->Arg(256)->Arg(1024);
 
 void BM_HashJoinScan(benchmark::State& state) {
   bench::PaperFixture& fx = SharedFixture();
@@ -50,15 +94,79 @@ void BM_HashJoinScan(benchmark::State& state) {
   batch.resize(std::min<size_t>(batch.size(),
                                 static_cast<size_t>(state.range(0))));
   const size_t ps_key = partsupp.schema().ColumnIndex("ps_suppkey");
-  for (auto _ : state) {
+  PipelineWorkspace ws;
+  PooledBatch out;
+  const auto run = [&] {
+    ws.BeginBatch();
     ExecStats s;
-    benchmark::DoNotOptimize(
-        JoinBatchWithTable(batch, 0, partsupp, ps_key, {3}, 0, &s));
-  }
+    (void)JoinBatchInto(batch.data(), batch.size(), 0, partsupp, ps_key,
+                        {3}, 0, ws, &out, &s);
+    benchmark::DoNotOptimize(out.size());
+    ws.FinishBatch();
+  };
+  for (int i = 0; i < kWorkspaceWarmupIters; ++i) run();
+  const uint64_t grow0 = ws.grow_events();
+  for (auto _ : state) run();
+  state.counters["warm_grow_events"] =
+      static_cast<double>(ws.grow_events() - grow0);
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(batch.size()));
 }
 BENCHMARK(BM_HashJoinScan)->Arg(1)->Arg(16)->Arg(50);
+
+// The same join on a COLD workspace every iteration: the price of losing
+// the pool. Warm (BM_HashJoinScan) must not be slower than this tier;
+// the gap is what PipelineWorkspace buys.
+void BM_HashJoinScanColdWorkspace(benchmark::State& state) {
+  bench::PaperFixture& fx = SharedFixture();
+  const Table& partsupp = fx.db->table(kPartSupp);
+  const Table& supplier = fx.db->table(kSupplier);
+  ExecStats stats;
+  DeltaBatch batch = ScanToBatch(supplier, 0, &stats).value();
+  batch.resize(std::min<size_t>(batch.size(),
+                                static_cast<size_t>(state.range(0))));
+  const size_t ps_key = partsupp.schema().ColumnIndex("ps_suppkey");
+  for (auto _ : state) {
+    PipelineWorkspace ws;
+    PooledBatch out;
+    ExecStats s;
+    (void)JoinBatchInto(batch.data(), batch.size(), 0, partsupp, ps_key,
+                        {3}, 0, ws, &out, &s);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(batch.size()));
+}
+BENCHMARK(BM_HashJoinScanColdWorkspace)->Arg(16)->Arg(50);
+
+// Partitioned scan-side probe at Arg(0) threads (= partitions), forced on
+// regardless of table size. Output is bit-identical to the sequential
+// tier; the baseline guard only pins this tier against itself.
+void BM_PartitionedProbe(benchmark::State& state) {
+  bench::PaperFixture& fx = SharedFixture();
+  const Table& partsupp = fx.db->table(kPartSupp);
+  const Table& supplier = fx.db->table(kSupplier);
+  ExecStats stats;
+  DeltaBatch batch = ScanToBatch(supplier, 0, &stats).value();
+  batch.resize(std::min<size_t>(batch.size(), size_t{16}));
+  const size_t ps_key = partsupp.schema().ColumnIndex("ps_suppkey");
+  const auto threads = static_cast<size_t>(state.range(0));
+  ThreadPool pool(threads);
+  PipelineWorkspace ws;
+  ws.EnableParallelProbe(&pool, threads, /*min_rows=*/0);
+  PooledBatch out;
+  for (auto _ : state) {
+    ws.BeginBatch();
+    ExecStats s;
+    (void)JoinBatchInto(batch.data(), batch.size(), 0, partsupp, ps_key,
+                        {3}, 0, ws, &out, &s);
+    benchmark::DoNotOptimize(out.size());
+    ws.FinishBatch();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(batch.size()));
+}
+BENCHMARK(BM_PartitionedProbe)->Arg(1)->Arg(4);
 
 void BM_ProcessBatchPartsupp(benchmark::State& state) {
   bench::PaperFixture& fx = SharedFixture();
@@ -66,10 +174,16 @@ void BM_ProcessBatchPartsupp(benchmark::State& state) {
   while (fx.maintainer->PendingCount(0) < k) {
     fx.updater->UpdatePartSuppSupplycost();
   }
+  for (int i = 0; i < kWorkspaceWarmupIters; ++i) {
+    fx.maintainer->ProcessBatch(0, k, /*dry_run=*/true);
+  }
+  const uint64_t grow0 = fx.maintainer->workspace().grow_events();
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         fx.maintainer->ProcessBatch(0, k, /*dry_run=*/true));
   }
+  state.counters["warm_grow_events"] = static_cast<double>(
+      fx.maintainer->workspace().grow_events() - grow0);
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(k));
 }
 BENCHMARK(BM_ProcessBatchPartsupp)->Arg(1)->Arg(64)->Arg(512);
@@ -80,10 +194,16 @@ void BM_ProcessBatchSupplier(benchmark::State& state) {
   while (fx.maintainer->PendingCount(1) < k) {
     fx.updater->UpdateSupplierNationkey();
   }
+  for (int i = 0; i < kWorkspaceWarmupIters; ++i) {
+    fx.maintainer->ProcessBatch(1, k, /*dry_run=*/true);
+  }
+  const uint64_t grow0 = fx.maintainer->workspace().grow_events();
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         fx.maintainer->ProcessBatch(1, k, /*dry_run=*/true));
   }
+  state.counters["warm_grow_events"] = static_cast<double>(
+      fx.maintainer->workspace().grow_events() - grow0);
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(k));
 }
 BENCHMARK(BM_ProcessBatchSupplier)->Arg(1)->Arg(16)->Arg(64);

@@ -31,8 +31,17 @@ if [ "$fast" -eq 0 ]; then
   ctest --preset asan -j "$jobs" || fail=1
   # Fault-injection suite on its own: injected faults drive the error
   # paths (staged-then-abandoned batches, retry loops), exactly where a
-  # leak or use-after-free would hide from the happy path.
+  # leak or use-after-free would hide from the happy path. This label
+  # includes the fault-armed substrate tests (flat-index growth edge,
+  # partitioned-probe cancellation, thread-count invariance).
   ctest --preset asan -j "$jobs" -L fault || fail=1
+  # Substrate hot path under ASan: the flat open-addressing index and the
+  # pooled join workspace do manual slot/chain arithmetic over flat
+  # buffers; the warm tiers re-fill pooled rows in place, where a stale
+  # slot read or overrun would hide.
+  (cd build-asan/bench && ./micro_substrate \
+      --benchmark_filter='BM_FlatIndexProbe|BM_IndexNestedLoopJoin|BM_HashJoinScan|BM_PartitionedProbe' \
+      --benchmark_min_time=0.05 >/dev/null) || fail=1
   # Planner hot path: the arena/intern-table A* does manual index
   # arithmetic over flat buffers, exactly what ASan exists to vet.
   # micro_planner's smoke grid includes the replan tier, which runs warm
@@ -52,8 +61,16 @@ cmake --build --preset tsan -j "$jobs" || exit 1
 # bench smoke runs exercise the pool under the real drivers.
 ctest --preset tsan -j "$jobs" || fail=1
 # Fault suite under TSan: thread-local failpoint registries + the
-# fault-injected parallel sweep must stay race-free.
+# fault-injected parallel sweep must stay race-free -- including the
+# armed partitioned-probe tests (per-partition output slots and stats
+# must stay thread-confined).
 ctest --preset tsan -j "$jobs" -L fault || fail=1
+# Partitioned scan-side probe under TSan: the one substrate path that
+# fans out across the thread pool (per-partition slots, barrier, then
+# partition-order concatenation on the caller thread).
+(cd build-tsan/bench && ./micro_substrate \
+    --benchmark_filter='BM_PartitionedProbe' \
+    --benchmark_min_time=0.05 >/dev/null) || fail=1
 (cd build-tsan/bench && ./abl_tightness --threads=4 >/dev/null) || fail=1
 (cd build-tsan/bench && ./abl_cost_shapes --threads=4 >/dev/null) || fail=1
 (cd build-tsan/bench && ./micro_planner --smoke=1 >/dev/null) || fail=1

@@ -11,6 +11,14 @@ present in only one file fails -- and each benchmark's real_time may not
 exceed the baseline by more than the tolerance factor (default 2.0x, wide
 enough for machine noise, narrow enough to catch an accidentally-always-on
 profiling path). Faster-than-baseline never fails.
+
+Tiers that export a `warm_grow_events` counter (the warm-workspace join
+and ProcessBatch tiers) are additionally pinned to EXACTLY 0: after the
+in-benchmark warmup, the pooled PipelineWorkspace must not grow any
+buffer during the timed loop. This is deterministic (capacity accounting,
+not wall clock), so there is no tolerance -- a single grow event on the
+warm path fails the guard. The counter grid itself is pinned too: a tier
+that exported the counter in the baseline must still export it.
 """
 
 import json
@@ -59,6 +67,16 @@ def main(argv):
                 f"{name}.real_time: {cur['real_time']:.1f} "
                 f"{cur.get('time_unit', 'ns')} > {wall_tol}x baseline "
                 f"{base['real_time']:.1f}"
+            )
+        if "warm_grow_events" in base and "warm_grow_events" not in cur:
+            failures.append(
+                f"{name}: warm_grow_events counter disappeared "
+                f"(no-alloc signal no longer exported)"
+            )
+        if cur.get("warm_grow_events", 0) != 0:
+            failures.append(
+                f"{name}.warm_grow_events: {cur['warm_grow_events']:.0f} "
+                f"!= 0 (workspace grew on the warm path)"
             )
 
     if failures:

@@ -1,0 +1,299 @@
+// FlatMultiMap: an open-addressing multi-map over flat arrays -- the A*
+// intern table of core/astar_workspace.h generalized into a reusable
+// container. Design (shared with that table): power-of-two bucket array,
+// linear probing, stored hashes, and ONE bucket per distinct key whose
+// duplicates form an index-linked chain through the entry arena. Probing
+// therefore touches a contiguous int32 bucket array (usually one cache
+// line) instead of chasing per-node heap blocks, and never re-hashes a
+// stored key (rehash moves buckets by the hash remembered at insert).
+//
+// Deviations from std::unordered_multimap that callers rely on:
+//   * Erase support is per (key, value) pair (EraseOne) -- what index
+//     garbage collection needs -- not per iterator. Erasing the last pair
+//     of a key leaves a tombstone; tombstones are purged by the next
+//     rehash.
+//   * Equal-range iteration (ForEachValue) yields a key's values in
+//     REVERSE insertion order (chains prepend; rehashes re-link chains in
+//     reverse entry order). The order is fully deterministic for a given
+//     operation sequence, but unspecified-by-contract, exactly like the
+//     unordered_multimap it replaces: consumers must treat the range as a
+//     multiset (oracle-enforced by tests/common/flat_multimap_test.cc).
+//   * Clear() keeps bucket and entry CAPACITY, so pooled users (the exec
+//     workspace) pay no allocation on the warm path.
+
+#ifndef ABIVM_COMMON_FLAT_MULTIMAP_H_
+#define ABIVM_COMMON_FLAT_MULTIMAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace abivm {
+
+template <typename K, typename V, typename Hash>
+class FlatMultiMap {
+ public:
+  FlatMultiMap() = default;
+
+  /// Live (key, value) pairs.
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  /// Distinct keys currently present.
+  size_t distinct_keys() const { return keys_; }
+  /// Bucket slots (0 before first insert; power of two after).
+  size_t bucket_count() const { return buckets_.size(); }
+
+  /// Hash of `key` as this map computes it; pass to the *Hashed entry
+  /// points to hash a key once per batch instead of once per probe.
+  uint64_t HashOf(const K& key) const { return Hash{}(key); }
+
+  /// Grows the bucket array so `n` distinct keys fit without rehashing.
+  void ReserveKeys(size_t n) {
+    const size_t want = BucketsFor(n);
+    if (want > buckets_.size()) Rehash(want);
+    entries_.reserve(n);
+  }
+
+  /// True iff inserting one more pair with a NEW key would rehash -- the
+  /// deterministic pre-check behind the `flat_index.grow` failpoint.
+  bool WouldGrowOnInsert() const {
+    return buckets_.empty() ||
+           (used_buckets_ + 1) * 4 > buckets_.size() * 3;
+  }
+
+  void Insert(const K& key, V value) {
+    InsertHashed(HashOf(key), key, std::move(value));
+  }
+
+  void InsertHashed(uint64_t hash, const K& key, V value) {
+    if (WouldGrowOnInsert()) {
+      // Double only when live keys genuinely fill the table; a table full
+      // of tombstones rebuilds at the same size.
+      const size_t doubled = buckets_.empty() ? kMinBuckets
+                                              : buckets_.size() * 2;
+      Rehash(keys_ * 4 >= buckets_.size() ? doubled : buckets_.size());
+    }
+    size_t i = hash & mask_;
+    size_t first_tombstone = kNoSlot;
+    while (true) {
+      const int32_t head = buckets_[i];
+      if (head == kEmpty) break;
+      if (head == kTombstone) {
+        if (first_tombstone == kNoSlot) first_tombstone = i;
+      } else if (entries_[static_cast<size_t>(head)].hash == hash &&
+                 entries_[static_cast<size_t>(head)].key == key) {
+        // Existing key: prepend to its duplicate chain.
+        const int32_t e = NewEntry(hash, key, std::move(value), head);
+        buckets_[i] = e;
+        ++size_;
+        return;
+      }
+      i = (i + 1) & mask_;
+    }
+    const int32_t e = NewEntry(hash, key, std::move(value), kEndOfChain);
+    if (first_tombstone != kNoSlot) {
+      // A tombstone already counts toward used_buckets_.
+      buckets_[first_tombstone] = e;
+      --tombstones_;
+    } else {
+      buckets_[i] = e;
+      ++used_buckets_;
+    }
+    ++keys_;
+    ++size_;
+  }
+
+  /// Removes one pair equal to (key, value); returns false when absent.
+  bool EraseOne(const K& key, const V& value) {
+    if (buckets_.empty()) return false;
+    const uint64_t hash = HashOf(key);
+    size_t i = hash & mask_;
+    while (true) {
+      const int32_t head = buckets_[i];
+      if (head == kEmpty) return false;
+      if (head != kTombstone) {
+        Entry& h = entries_[static_cast<size_t>(head)];
+        if (h.hash == hash && h.key == key) {
+          return EraseFromChain(i, value);
+        }
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Calls fn(const V&) for every value stored under `key`.
+  template <typename Fn>
+  void ForEachValue(const K& key, Fn&& fn) const {
+    ForEachValueHashed(HashOf(key), key, std::forward<Fn>(fn));
+  }
+
+  /// ForEachValue with a caller-computed hash (hash once per batch).
+  template <typename Fn>
+  void ForEachValueHashed(uint64_t hash, const K& key, Fn&& fn) const {
+    if (buckets_.empty()) return;
+    size_t i = hash & mask_;
+    while (true) {
+      const int32_t head = buckets_[i];
+      if (head == kEmpty) return;
+      if (head != kTombstone) {
+        const Entry& h = entries_[static_cast<size_t>(head)];
+        if (h.hash == hash && h.key == key) {
+          for (int32_t e = head; e != kEndOfChain;
+               e = entries_[static_cast<size_t>(e)].next) {
+            fn(entries_[static_cast<size_t>(e)].value);
+          }
+          return;
+        }
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Calls fn(const K&, const V&) over every live pair (arena order).
+  template <typename Fn>
+  void ForEachPair(Fn&& fn) const {
+    for (const Entry& e : entries_) {
+      if (e.next != kDead) fn(e.key, e.value);
+    }
+  }
+
+  /// Drops all pairs but keeps bucket and entry arena capacity.
+  void Clear() {
+    entries_.clear();
+    free_.clear();
+    if (!buckets_.empty()) buckets_.assign(buckets_.size(), kEmpty);
+    size_ = keys_ = used_buckets_ = tombstones_ = 0;
+  }
+
+  /// Bytes held by the bucket array and entry arena (capacity-based; the
+  /// pooled-workspace no-alloc accounting reads this).
+  size_t capacity_bytes() const {
+    return buckets_.capacity() * sizeof(int32_t) +
+           entries_.capacity() * sizeof(Entry) +
+           free_.capacity() * sizeof(int32_t);
+  }
+
+ private:
+  struct Entry {
+    K key;
+    V value;
+    uint64_t hash;
+    // kEndOfChain terminates a duplicate chain; kDead marks a freed slot
+    // (sitting in free_); otherwise the next entry of the same key.
+    int32_t next;
+  };
+
+  static constexpr int32_t kEmpty = -1;      // bucket: never used
+  static constexpr int32_t kTombstone = -2;  // bucket: key fully erased
+  static constexpr int32_t kEndOfChain = -1;
+  static constexpr int32_t kDead = -2;
+  static constexpr size_t kMinBuckets = 16;
+  static constexpr size_t kNoSlot = static_cast<size_t>(-1);
+
+  static size_t BucketsFor(size_t keys) {
+    size_t want = kMinBuckets;
+    // Load factor <= 0.75 over distinct keys.
+    while (want * 3 < keys * 4) want *= 2;
+    return want;
+  }
+
+  int32_t NewEntry(uint64_t hash, const K& key, V value, int32_t next) {
+    if (!free_.empty()) {
+      const int32_t idx = free_.back();
+      free_.pop_back();
+      Entry& e = entries_[static_cast<size_t>(idx)];
+      e.key = key;
+      e.value = std::move(value);
+      e.hash = hash;
+      e.next = next;
+      return idx;
+    }
+    ABIVM_CHECK_MSG(entries_.size() <
+                        static_cast<size_t>(
+                            std::numeric_limits<int32_t>::max()),
+                    "FlatMultiMap entry arena overflow");
+    entries_.push_back(Entry{key, std::move(value), hash, next});
+    return static_cast<int32_t>(entries_.size() - 1);
+  }
+
+  bool EraseFromChain(size_t bucket, const V& value) {
+    int32_t prev = kEndOfChain;
+    int32_t cur = buckets_[bucket];
+    while (cur != kEndOfChain) {
+      Entry& e = entries_[static_cast<size_t>(cur)];
+      if (e.value == value) {
+        if (prev == kEndOfChain) {
+          if (e.next == kEndOfChain) {
+            buckets_[bucket] = kTombstone;
+            ++tombstones_;
+            --keys_;
+          } else {
+            buckets_[bucket] = e.next;
+          }
+        } else {
+          entries_[static_cast<size_t>(prev)].next = e.next;
+        }
+        e.next = kDead;
+        e.key = K{};
+        e.value = V{};
+        free_.push_back(cur);
+        --size_;
+        return true;
+      }
+      prev = cur;
+      cur = e.next;
+    }
+    return false;
+  }
+
+  void Rehash(size_t new_buckets) {
+    ABIVM_CHECK((new_buckets & (new_buckets - 1)) == 0);
+    buckets_.assign(new_buckets, kEmpty);
+    mask_ = new_buckets - 1;
+    used_buckets_ = 0;
+    tombstones_ = 0;
+    keys_ = 0;
+    // Re-link every live entry through the new bucket array. Entries keep
+    // their arena slots; chains rebuild in reverse arena order (prepend),
+    // which is deterministic for a given operation history.
+    for (size_t idx = 0; idx < entries_.size(); ++idx) {
+      Entry& e = entries_[idx];
+      if (e.next == kDead) continue;
+      size_t i = e.hash & mask_;
+      while (true) {
+        const int32_t head = buckets_[i];
+        if (head == kEmpty) {
+          e.next = kEndOfChain;
+          buckets_[i] = static_cast<int32_t>(idx);
+          ++used_buckets_;
+          ++keys_;
+          break;
+        }
+        const Entry& h = entries_[static_cast<size_t>(head)];
+        if (h.hash == e.hash && h.key == e.key) {
+          e.next = head;
+          buckets_[i] = static_cast<int32_t>(idx);
+          break;
+        }
+        i = (i + 1) & mask_;
+      }
+    }
+  }
+
+  std::vector<Entry> entries_;
+  std::vector<int32_t> free_;     // arena slots of erased entries
+  std::vector<int32_t> buckets_;  // heads into entries_, kEmpty/kTombstone
+  size_t mask_ = 0;
+  size_t size_ = 0;          // live pairs
+  size_t keys_ = 0;          // distinct live keys
+  size_t used_buckets_ = 0;  // occupied buckets incl. tombstones
+  size_t tombstones_ = 0;
+};
+
+}  // namespace abivm
+
+#endif  // ABIVM_COMMON_FLAT_MULTIMAP_H_

@@ -1,9 +1,6 @@
 #include "exec/operators.h"
 
-#include <unordered_map>
-
-#include "fault/failpoint.h"
-#include "fault/sites.h"
+#include "exec/pipeline_workspace.h"
 
 namespace abivm {
 
@@ -25,93 +22,34 @@ const char* CompareOpName(CompareOp op) {
   return "?";
 }
 
+// The one-shot operators are compatibility shells over the pooled cores
+// in pipeline_workspace.cc: a scratch workspace per call, results moved
+// out into a plain DeltaBatch. Counter accounting and failpoint sites are
+// those of the cores; repeat callers (the maintainer) hold a workspace
+// and use the *Into ops directly.
+
 Result<DeltaBatch> ScanToBatch(const Table& table, Version version,
                                ExecStats* stats) {
-  ABIVM_FAULT_POINT(fault::kFpExecScan);
-  DeltaBatch out;
-  out.reserve(table.live_row_count());
-  table.ScanAt(version, [&](RowId, const Row& row) {
-    if (stats != nullptr) ++stats->rows_scanned;
-    out.push_back(DeltaRow{row, 1});
-  });
-  if (stats != nullptr) stats->output_rows += out.size();
-  return out;
+  PooledBatch out;
+  ABIVM_RETURN_NOT_OK(ScanToBatchInto(table, version, &out, stats));
+  DeltaBatch released;
+  out.ReleaseTo(&released);
+  return released;
 }
-
-namespace {
-
-Row ConcatProject(const Row& left, const Row& right,
-                  const std::vector<size_t>& right_keep) {
-  Row out;
-  out.reserve(left.size() + right_keep.size());
-  out.insert(out.end(), left.begin(), left.end());
-  for (size_t c : right_keep) {
-    ABIVM_DCHECK(c < right.size());
-    out.push_back(right[c]);
-  }
-  return out;
-}
-
-DeltaBatch IndexNestedLoopJoin(const DeltaBatch& input, size_t left_col,
-                               const Table& table, size_t right_col,
-                               const std::vector<size_t>& right_keep,
-                               Version version, ExecStats* stats) {
-  DeltaBatch out;
-  for (const DeltaRow& delta : input) {
-    if (stats != nullptr) ++stats->index_probes;
-    table.IndexLookup(
-        right_col, delta.row[left_col], version,
-        [&](RowId, const Row& matched) {
-          out.push_back(DeltaRow{
-              ConcatProject(delta.row, matched, right_keep), delta.mult});
-        });
-  }
-  if (stats != nullptr) stats->output_rows += out.size();
-  return out;
-}
-
-DeltaBatch HashJoinScan(const DeltaBatch& input, size_t left_col,
-                        const Table& table, size_t right_col,
-                        const std::vector<size_t>& right_keep,
-                        Version version, ExecStats* stats) {
-  // Build side: the (small) delta batch, keyed by the join value.
-  std::unordered_multimap<Value, size_t, ValueHash> build;
-  build.reserve(input.size());
-  for (size_t i = 0; i < input.size(); ++i) {
-    build.emplace(input[i].row[left_col], i);
-  }
-  if (stats != nullptr) stats->hash_build_rows += input.size();
-
-  DeltaBatch out;
-  table.ScanAt(version, [&](RowId, const Row& row) {
-    if (stats != nullptr) ++stats->rows_scanned;
-    auto [begin, end] = build.equal_range(row[right_col]);
-    for (auto it = begin; it != end; ++it) {
-      const DeltaRow& delta = input[it->second];
-      out.push_back(
-          DeltaRow{ConcatProject(delta.row, row, right_keep), delta.mult});
-    }
-  });
-  if (stats != nullptr) stats->output_rows += out.size();
-  return out;
-}
-
-}  // namespace
 
 Result<DeltaBatch> JoinBatchWithTable(const DeltaBatch& input,
                                       size_t left_col, const Table& table,
                                       size_t right_col,
                                       const std::vector<size_t>& right_keep,
                                       Version version, ExecStats* stats) {
-  if (input.empty()) return DeltaBatch{};
-  if (table.HasIndexOn(right_col)) {
-    ABIVM_FAULT_POINT(fault::kFpExecIndexJoin);
-    return IndexNestedLoopJoin(input, left_col, table, right_col,
-                               right_keep, version, stats);
-  }
-  ABIVM_FAULT_POINT(fault::kFpExecHashJoin);
-  return HashJoinScan(input, left_col, table, right_col, right_keep,
-                      version, stats);
+  PipelineWorkspace ws;
+  PooledBatch out;
+  ABIVM_RETURN_NOT_OK(JoinBatchInto(input.data(), input.size(), left_col,
+                                    table, right_col, right_keep, version,
+                                    ws, &out, stats));
+  DeltaBatch released;
+  out.ReleaseTo(&released);
+  return released;
 }
 
 DeltaBatch FilterBatch(const DeltaBatch& input, size_t column, CompareOp op,

@@ -1,0 +1,272 @@
+#include "exec/pipeline_workspace.h"
+
+#include <algorithm>
+
+#include "common/thread_pool.h"
+#include "fault/failpoint.h"
+#include "fault/sites.h"
+
+namespace abivm {
+
+namespace {
+
+// ScanToBatchInto's reserve cap: enough to skip regrows on small scans
+// without pinning live_row_count() slots when a downstream filter keeps
+// almost nothing (pooled growth covers the large case geometrically).
+constexpr size_t kScanReserveCap = 1024;
+
+// Appends input ++ right_keep(matched) into a pooled slot, reusing the
+// slot's Value storage.
+void AppendJoined(PooledBatch* out, const DeltaRow& delta,
+                  const Row& matched,
+                  const std::vector<size_t>& right_keep) {
+  Row& slot = out->Append(delta.mult);
+  slot.resize(delta.row.size() + right_keep.size());
+  size_t w = 0;
+  for (const Value& v : delta.row) slot[w++] = v;
+  for (size_t c : right_keep) {
+    ABIVM_DCHECK(c < matched.size());
+    slot[w++] = matched[c];
+  }
+}
+
+}  // namespace
+
+void PipelineWorkspace::EnableParallelProbe(ThreadPool* pool,
+                                            size_t partitions,
+                                            size_t min_rows) {
+  ABIVM_CHECK(pool != nullptr);
+  probe_pool_ = pool;
+  probe_partitions_ =
+      partitions == 0 ? pool->thread_count() : partitions;
+  probe_min_rows_ = min_rows;
+}
+
+size_t PipelineWorkspace::PooledBytes() const {
+  // scratch_row_ is deliberately NOT counted: ProjectBatchInPlace swaps
+  // it buffer-for-buffer with slot rows, so its capacity is whichever
+  // row buffer last landed there -- an inner-row payload (uncounted by
+  // rule), not a container that grows. Counting it makes grow_events
+  // fire when a larger migrating buffer happens to end a batch in the
+  // scratch slot, with no allocation having crossed the batch.
+  size_t bytes = batch_a_.capacity_bytes() + batch_b_.capacity_bytes() +
+                 build_.capacity_bytes() +
+                 key_hashes_.capacity() * sizeof(uint64_t) +
+                 partition_out_.capacity() * sizeof(PooledBatch) +
+                 partition_stats_.capacity() * sizeof(ExecStats);
+  for (const PooledBatch& p : partition_out_) bytes += p.capacity_bytes();
+  return bytes;
+}
+
+void JoinBuildTable::Build(const DeltaRow* rows, size_t n,
+                           size_t left_col) {
+  rows_ = rows;
+  left_col_ = left_col;
+  // Bucket count is the canonical power of two for n (load factor 0.75),
+  // recomputed every build; assign() reuses the vector's capacity, so a
+  // warm table of the same or smaller batch size allocates nothing.
+  size_t want = 16;
+  while (want * 3 < n * 4) want *= 2;
+  buckets_.assign(want, kEmpty);
+  mask_ = want - 1;
+  slots_.clear();
+  slots_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Value& key = rows[i].row[left_col];
+    const uint64_t hash = ValueHash{}(key);
+    size_t b = hash & mask_;
+    while (true) {
+      const int32_t head = buckets_[b];
+      if (head == kEmpty) {
+        slots_.push_back(
+            Slot{hash, static_cast<uint32_t>(i), kEndOfChain});
+        buckets_[b] = static_cast<int32_t>(slots_.size() - 1);
+        break;
+      }
+      const Slot& s = slots_[static_cast<size_t>(head)];
+      if (s.hash == hash && KeyOf(s.row) == key) {
+        slots_.push_back(Slot{hash, static_cast<uint32_t>(i), head});
+        buckets_[b] = static_cast<int32_t>(slots_.size() - 1);
+        break;
+      }
+      b = (b + 1) & mask_;
+    }
+  }
+}
+
+Status ScanToBatchInto(const Table& table, Version version,
+                       PooledBatch* out, ExecStats* stats) {
+  ABIVM_FAULT_POINT(fault::kFpExecScan);
+  out->Clear();
+  out->Reserve(std::min(table.live_row_count(), kScanReserveCap));
+  table.ScanAt(version, [&](RowId, const Row& row) {
+    if (stats != nullptr) ++stats->rows_scanned;
+    AssignRow(out->Append(1), row);
+  });
+  if (stats != nullptr) stats->output_rows += out->size();
+  return Status::Ok();
+}
+
+namespace {
+
+Status IndexJoinInto(const DeltaRow* rows, size_t n, size_t left_col,
+                     const Table& table, const Table::FlatIndex& index,
+                     const std::vector<size_t>& right_keep, Version version,
+                     PipelineWorkspace& ws, PooledBatch* out,
+                     ExecStats* stats) {
+  ABIVM_FAULT_POINT(fault::kFpExecIndexJoin);
+  table.CheckSnapshotReadable(version);
+  // Hash every batch key once, in one tight pass, then probe with the
+  // precomputed hashes (the flat index never re-hashes stored keys).
+  std::vector<uint64_t>& hashes = ws.key_hashes();
+  hashes.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    hashes[i] = index.HashOf(rows[i].row[left_col]);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (stats != nullptr) ++stats->index_probes;
+    const DeltaRow& delta = rows[i];
+    table.ProbeIndexHashed(
+        index, hashes[i], delta.row[left_col], version,
+        [&](RowId, const Row& matched) {
+          AppendJoined(out, delta, matched, right_keep);
+        });
+  }
+  if (stats != nullptr) stats->output_rows += out->size();
+  return Status::Ok();
+}
+
+// One partition's worth of scan-side probing: scan physical rows
+// [begin, end) visible at `version` and append matches to `part`.
+void ProbeRange(const Table& table, Version version, RowId begin,
+                RowId end, const JoinBuildTable& build,
+                const DeltaRow* rows, size_t right_col,
+                const std::vector<size_t>& right_keep, PooledBatch* part,
+                ExecStats* part_stats) {
+  table.ScanRangeAt(version, begin, end, [&](RowId, const Row& row) {
+    ++part_stats->rows_scanned;
+    const Value& key = row[right_col];
+    build.ForEachMatchHashed(build.HashOf(key), key, [&](size_t i) {
+      AppendJoined(part, rows[i], row, right_keep);
+    });
+  });
+}
+
+Status HashJoinInto(const DeltaRow* rows, size_t n, size_t left_col,
+                    const Table& table, size_t right_col,
+                    const std::vector<size_t>& right_keep, Version version,
+                    PipelineWorkspace& ws, PooledBatch* out,
+                    ExecStats* stats) {
+  ABIVM_FAULT_POINT(fault::kFpExecHashJoin);
+  table.CheckSnapshotReadable(version);
+  JoinBuildTable& build = ws.build();
+  build.Build(rows, n, left_col);
+  if (stats != nullptr) stats->hash_build_rows += n;
+
+  const size_t phys = table.physical_row_count();
+  ThreadPool* pool = ws.probe_pool();
+  const size_t parts =
+      (pool != nullptr && phys >= ws.probe_min_rows())
+          ? std::max<size_t>(1, std::min(ws.probe_partitions(), phys))
+          : 1;
+  if (parts <= 1) {
+    ExecStats seq{};
+    ProbeRange(table, version, 0, phys, build, rows, right_col,
+               right_keep, out, &seq);
+    if (stats != nullptr) stats->rows_scanned += seq.rows_scanned;
+    if (stats != nullptr) stats->output_rows += out->size();
+    return Status::Ok();
+  }
+
+  // Partitioned path. The failpoint fires on the CALLER thread before any
+  // work is dispatched (registries are thread-local), so an injected
+  // fault cancels the whole probe cleanly.
+  ABIVM_FAULT_POINT(fault::kFpPartitionedProbe);
+  ws.EnsurePartitionSlots(parts);
+  const size_t chunk = (phys + parts - 1) / parts;
+  for (size_t p = 0; p < parts; ++p) {
+    const RowId begin = static_cast<RowId>(p * chunk);
+    const RowId end = static_cast<RowId>(std::min(phys, (p + 1) * chunk));
+    PooledBatch* part = &ws.partition_out(p);
+    ExecStats* part_stats = &ws.partition_stats(p);
+    part->Clear();
+    *part_stats = ExecStats{};
+    if (begin >= end) continue;
+    pool->Submit([&table, version, begin, end, &build, rows, right_col,
+                  &right_keep, part, part_stats] {
+      ProbeRange(table, version, begin, end, build, rows, right_col,
+                 right_keep, part, part_stats);
+    });
+  }
+  pool->Wait();
+  // Concatenate in partition order -- ranges are contiguous and ordered,
+  // so this is byte-for-byte the sequential scan's output. Rows move by
+  // buffer swap: the pool's slots trade storage with `out`, nothing is
+  // copied.
+  for (size_t p = 0; p < parts; ++p) {
+    PooledBatch& part = ws.partition_out(p);
+    if (stats != nullptr) {
+      stats->rows_scanned += ws.partition_stats(p).rows_scanned;
+    }
+    for (size_t j = 0; j < part.size(); ++j) {
+      out->Append(part[j].mult).swap(part[j].row);
+    }
+  }
+  if (stats != nullptr) stats->output_rows += out->size();
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status JoinBatchInto(const DeltaRow* rows, size_t n, size_t left_col,
+                     const Table& table, size_t right_col,
+                     const std::vector<size_t>& right_keep, Version version,
+                     PipelineWorkspace& ws, PooledBatch* out,
+                     ExecStats* stats) {
+  out->Clear();
+  if (n == 0) return Status::Ok();
+  if (const Table::FlatIndex* index = table.IndexOn(right_col)) {
+    return IndexJoinInto(rows, n, left_col, table, *index, right_keep,
+                         version, ws, out, stats);
+  }
+  return HashJoinInto(rows, n, left_col, table, right_col, right_keep,
+                      version, ws, out, stats);
+}
+
+void FilterBatchInPlace(PooledBatch* batch, size_t column, CompareOp op,
+                        const Value& constant, ExecStats* stats) {
+  if (stats != nullptr) stats->rows_filtered += batch->size();
+  size_t w = 0;
+  for (size_t i = 0; i < batch->size(); ++i) {
+    DeltaRow& r = (*batch)[i];
+    if (EvalCompare(r.row[column], op, constant)) {
+      if (w != i) {
+        (*batch)[w].row.swap(r.row);
+        (*batch)[w].mult = r.mult;
+      }
+      ++w;
+    }
+  }
+  batch->TruncateTo(w);
+}
+
+void ProjectBatchInPlace(PooledBatch* batch,
+                         const std::vector<size_t>& columns,
+                         PipelineWorkspace& ws, ExecStats* stats) {
+  if (stats != nullptr) stats->rows_projected += batch->size();
+  // Stage each projection in the scratch row, then swap buffers with the
+  // source. Copy-assignment (not move) keeps duplicate or reordered
+  // column lists safe and reuses the scratch slots' string storage.
+  Row& scratch = ws.scratch_row();
+  for (size_t i = 0; i < batch->size(); ++i) {
+    Row& r = (*batch)[i].row;
+    scratch.resize(columns.size());
+    for (size_t j = 0; j < columns.size(); ++j) {
+      ABIVM_DCHECK(columns[j] < r.size());
+      scratch[j] = r[columns[j]];
+    }
+    scratch.swap(r);
+  }
+}
+
+}  // namespace abivm

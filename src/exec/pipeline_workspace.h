@@ -1,0 +1,316 @@
+// PipelineWorkspace: the reusable storage behind maintenance pipelines --
+// the exec-layer sibling of core/astar_workspace.h's PlannerWorkspace.
+//
+// One ProcessBatch run churns through several short-lived buffers: the
+// delta batch at each pipeline stage, the HashJoinScan build table, a
+// per-batch key-hash scratch, and (when enabled) per-partition output
+// slots for the parallel scan-side probe. The workspace owns all of them
+// and pools CAPACITY across batches: a warm maintainer allocates nothing
+// on the steady-state path (grow_events() goes flat once the workspace has
+// seen the largest batch of its workload; test- and bench-pinned).
+// Results are bit-identical warm or cold -- no logical state survives a
+// batch, only capacity.
+//
+// Lifetime and aliasing rules (see DESIGN.md 5h):
+//   * A workspace serves ONE pipeline run at a time; it is not
+//     thread-safe. The partitioned probe fans out INTERNALLY (thread-
+//     confined per-partition slots); callers still treat the workspace as
+//     single-threaded.
+//   * The ops below hand out references into pooled buffers (PooledBatch
+//     rows, the build table) that are invalidated by the next op on the
+//     same workspace. Consumers that outlive the batch must copy
+//     (PooledBatch::ReleaseTo deep-moves rows out of the pool).
+//   * JoinBatchInto's input must not alias its output batch; the build
+//     table keeps raw pointers into the input rows for the whole call.
+
+#ifndef ABIVM_EXEC_PIPELINE_WORKSPACE_H_
+#define ABIVM_EXEC_PIPELINE_WORKSPACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/operators.h"
+#include "storage/table.h"
+
+namespace abivm {
+
+class ThreadPool;
+
+/// Assigns `src` into `dst` element-wise, reusing dst's per-Value heap
+/// storage (a string Value assigned over a string Value reuses its
+/// buffer). The workhorse of slot reuse in PooledBatch.
+inline void AssignRow(Row& dst, const Row& src) {
+  dst.resize(src.size());
+  for (size_t i = 0; i < src.size(); ++i) dst[i] = src[i];
+}
+
+/// A DeltaBatch with pooled row slots: Clear() resets the logical size to
+/// zero but keeps every previously-built DeltaRow (and the Value/string
+/// buffers inside it) for the next fill. Append returns a slot to assign
+/// into, so refilling a warm batch does no allocation until rows outgrow
+/// their previous occupants.
+class PooledBatch {
+ public:
+  PooledBatch() = default;
+  PooledBatch(PooledBatch&&) = default;
+  PooledBatch& operator=(PooledBatch&&) = default;
+  PooledBatch(const PooledBatch&) = delete;
+  PooledBatch& operator=(const PooledBatch&) = delete;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const DeltaRow& operator[](size_t i) const { return rows_[i]; }
+  DeltaRow& operator[](size_t i) { return rows_[i]; }
+  const DeltaRow* data() const { return rows_.data(); }
+
+  /// Logical reset; slots (and their heap payloads) stay pooled.
+  void Clear() { size_ = 0; }
+
+  void Reserve(size_t n) { rows_.reserve(n); }
+
+  /// Appends a row slot with the given multiplicity and returns its Row
+  /// for the caller to fill (typically via AssignRow). The returned
+  /// reference is invalidated by the next Append.
+  Row& Append(int64_t mult) {
+    if (size_ == rows_.size()) rows_.emplace_back();
+    DeltaRow& slot = rows_[size_++];
+    slot.mult = mult;
+    return slot.row;
+  }
+
+  /// Shrinks the logical size (in-place filter compaction).
+  void TruncateTo(size_t n) {
+    ABIVM_DCHECK(n <= size_);
+    size_ = n;
+  }
+
+  void Swap(PooledBatch& other) {
+    rows_.swap(other.rows_);
+    std::swap(size_, other.size_);
+  }
+
+  /// Moves the live rows out into a plain DeltaBatch (the compatibility
+  /// wrappers in operators.cc use this); the pool is left empty.
+  void ReleaseTo(DeltaBatch* out) {
+    rows_.resize(size_);
+    *out = std::move(rows_);
+    rows_ = DeltaBatch{};
+    size_ = 0;
+  }
+
+  /// Slot-array capacity in bytes (outer container only; the Rows inside
+  /// slots own further heap storage that is not counted).
+  size_t capacity_bytes() const {
+    return rows_.capacity() * sizeof(DeltaRow);
+  }
+
+ private:
+  DeltaBatch rows_;  // physical slots; [0, size_) are live
+  size_t size_ = 0;
+};
+
+/// Build side of HashJoinScan as a flat open-addressing table over the
+/// input batch: entries hold {stored hash, input row index, chain link}
+/// and the join KEYS stay in the batch rows (zero Value copies to build).
+/// Same layout discipline as common/flat_multimap.h, minus erase support.
+/// Probe results are independent of the bucket count, so pooling bucket
+/// capacity across batches cannot change output.
+class JoinBuildTable {
+ public:
+  JoinBuildTable() = default;
+  JoinBuildTable(const JoinBuildTable&) = delete;
+  JoinBuildTable& operator=(const JoinBuildTable&) = delete;
+
+  /// (Re)builds over rows[0..n) keyed by row[left_col]. The table keeps
+  /// raw pointers into `rows` until the next Build.
+  void Build(const DeltaRow* rows, size_t n, size_t left_col);
+
+  uint64_t HashOf(const Value& key) const { return ValueHash{}(key); }
+
+  /// Calls fn(size_t input_index) for every input row whose key equals
+  /// `key`, in reverse input order (chains prepend -- deterministic for a
+  /// given input, like FlatMultiMap).
+  template <typename Fn>
+  void ForEachMatchHashed(uint64_t hash, const Value& key, Fn&& fn) const {
+    if (buckets_.empty()) return;
+    size_t b = hash & mask_;
+    while (true) {
+      const int32_t head = buckets_[b];
+      if (head == kEmpty) return;
+      const Slot& s = slots_[static_cast<size_t>(head)];
+      if (s.hash == hash && KeyOf(s.row) == key) {
+        for (int32_t e = head; e != kEndOfChain;
+             e = slots_[static_cast<size_t>(e)].next) {
+          fn(static_cast<size_t>(slots_[static_cast<size_t>(e)].row));
+        }
+        return;
+      }
+      b = (b + 1) & mask_;
+    }
+  }
+
+  size_t capacity_bytes() const {
+    return slots_.capacity() * sizeof(Slot) +
+           buckets_.capacity() * sizeof(int32_t);
+  }
+
+ private:
+  struct Slot {
+    uint64_t hash;
+    uint32_t row;  // index into the input batch
+    int32_t next;  // next input row with the same key, or kEndOfChain
+  };
+
+  static constexpr int32_t kEmpty = -1;
+  static constexpr int32_t kEndOfChain = -1;
+
+  const Value& KeyOf(uint32_t row) const {
+    return rows_[row].row[left_col_];
+  }
+
+  const DeltaRow* rows_ = nullptr;
+  size_t left_col_ = 0;
+  std::vector<Slot> slots_;
+  std::vector<int32_t> buckets_;
+  size_t mask_ = 0;
+};
+
+/// Reusable storage for the pipeline ops below. Default-constructed
+/// empty; grows on first use and keeps capacity across batches. The
+/// maintainer owns one and brackets every ProcessBatch with
+/// BeginBatch()/FinishBatch() to drive the no-alloc accounting.
+class PipelineWorkspace {
+ public:
+  PipelineWorkspace() = default;
+  PipelineWorkspace(const PipelineWorkspace&) = delete;
+  PipelineWorkspace& operator=(const PipelineWorkspace&) = delete;
+
+  // ---- Parallel scan-side probe (opt-in) -------------------------------
+  // With a pool attached, JoinBatchInto's hash-join path splits the
+  // scanned table into `partitions` contiguous physical-row ranges (0 =
+  // one per pool thread) when the table has at least `min_rows` physical
+  // rows. Output is bit-identical to the sequential path at every
+  // partition and thread count: partition results are concatenated in
+  // partition order, which IS the sequential scan order.
+  static constexpr size_t kDefaultProbeMinRows = 2048;
+
+  void EnableParallelProbe(ThreadPool* pool, size_t partitions = 0,
+                           size_t min_rows = kDefaultProbeMinRows);
+  void DisableParallelProbe() { probe_pool_ = nullptr; }
+  ThreadPool* probe_pool() const { return probe_pool_; }
+  size_t probe_partitions() const { return probe_partitions_; }
+  size_t probe_min_rows() const { return probe_min_rows_; }
+
+  // ---- No-alloc-on-warm-path accounting --------------------------------
+  /// Batches bracketed by BeginBatch/FinishBatch so far.
+  uint64_t batches() const { return batches_; }
+  /// Batches that found warm capacity (every batch after the first);
+  /// exported as the `exec.workspace_reuses` counter.
+  uint64_t reuses() const { return batches_ == 0 ? 0 : batches_ - 1; }
+  /// Batches during which some pooled buffer's capacity grew. Flat once
+  /// the workspace has warmed up -- the deterministic "no allocations on
+  /// the warm path" signal the tests and bench tiers pin.
+  uint64_t grow_events() const { return grow_events_; }
+  /// High-water mark of pooled bytes; exported as `exec.arena_bytes_peak`.
+  size_t arena_bytes_peak() const { return arena_bytes_peak_; }
+
+  /// Capacity-based byte total over the pooled outer containers (DeltaRow
+  /// slot arrays, build table, hash scratch, partition slots). Row/string
+  /// payloads inside slots -- including scratch_row(), which trades
+  /// buffers with slot rows -- are pooled too but not counted here.
+  size_t PooledBytes() const;
+
+  /// Clears logical state for a fresh batch, keeping capacity.
+  void BeginBatch() {
+    batch_a_.Clear();
+    batch_b_.Clear();
+    bytes_at_begin_ = PooledBytes();
+  }
+
+  void FinishBatch() {
+    ++batches_;
+    const size_t bytes = PooledBytes();
+    if (bytes > bytes_at_begin_) ++grow_events_;
+    if (bytes > arena_bytes_peak_) arena_bytes_peak_ = bytes;
+  }
+
+  // ---- Pooled pieces (used by the ops below and the maintainer) --------
+  PooledBatch& batch_a() { return batch_a_; }
+  PooledBatch& batch_b() { return batch_b_; }
+  JoinBuildTable& build() { return build_; }
+  std::vector<uint64_t>& key_hashes() { return key_hashes_; }
+  Row& scratch_row() { return scratch_row_; }
+
+  /// Grows (never shrinks) the per-partition slot arrays.
+  void EnsurePartitionSlots(size_t n) {
+    if (partition_out_.size() < n) partition_out_.resize(n);
+    if (partition_stats_.size() < n) partition_stats_.resize(n);
+  }
+  PooledBatch& partition_out(size_t p) { return partition_out_[p]; }
+  ExecStats& partition_stats(size_t p) { return partition_stats_[p]; }
+
+ private:
+  PooledBatch batch_a_;
+  PooledBatch batch_b_;
+  JoinBuildTable build_;
+  std::vector<uint64_t> key_hashes_;  // one per input row, per join stage
+  Row scratch_row_;                   // in-place projection staging
+  std::vector<PooledBatch> partition_out_;
+  std::vector<ExecStats> partition_stats_;
+
+  ThreadPool* probe_pool_ = nullptr;
+  size_t probe_partitions_ = 0;
+  size_t probe_min_rows_ = kDefaultProbeMinRows;
+
+  uint64_t batches_ = 0;
+  uint64_t grow_events_ = 0;
+  size_t arena_bytes_peak_ = 0;
+  size_t bytes_at_begin_ = 0;
+};
+
+// ---- Workspace-based pipeline ops ------------------------------------
+// The cores behind the one-shot operators in operators.h. Same counters,
+// same failpoint sites, same output multisets; these variants write into
+// pooled batches and mutate in place where the one-shots copied.
+
+/// ScanToBatch into a pooled batch. The reserve is capped: a scan feeding
+/// a selective filter must not pin live_row_count() slots forever.
+Status ScanToBatchInto(const Table& table, Version version,
+                       PooledBatch* out, ExecStats* stats);
+
+/// JoinBatchWithTable over a row span, into a pooled batch. `rows` must
+/// not alias `out`'s storage. Uses ws's build table / hash scratch /
+/// partition slots; runs the partitioned probe when ws enables it and the
+/// hash-join strategy is selected.
+Status JoinBatchInto(const DeltaRow* rows, size_t n, size_t left_col,
+                     const Table& table, size_t right_col,
+                     const std::vector<size_t>& right_keep, Version version,
+                     PipelineWorkspace& ws, PooledBatch* out,
+                     ExecStats* stats);
+
+inline Status JoinBatchInto(const PooledBatch& input, size_t left_col,
+                            const Table& table, size_t right_col,
+                            const std::vector<size_t>& right_keep,
+                            Version version, PipelineWorkspace& ws,
+                            PooledBatch* out, ExecStats* stats) {
+  return JoinBatchInto(input.data(), input.size(), left_col, table,
+                       right_col, right_keep, version, ws, out, stats);
+}
+
+/// FilterBatch in place (compacts kept rows to the front by swapping row
+/// slots; no Value copies).
+void FilterBatchInPlace(PooledBatch* batch, size_t column, CompareOp op,
+                        const Value& constant, ExecStats* stats = nullptr);
+
+/// ProjectBatch in place via ws.scratch_row() (handles duplicate and
+/// reordered column lists; no per-row allocation on the warm path).
+void ProjectBatchInPlace(PooledBatch* batch,
+                         const std::vector<size_t>& columns,
+                         PipelineWorkspace& ws, ExecStats* stats = nullptr);
+
+}  // namespace abivm
+
+#endif  // ABIVM_EXEC_PIPELINE_WORKSPACE_H_

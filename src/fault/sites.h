@@ -15,11 +15,20 @@ inline constexpr const char* kFpStorageApplyDelete = "storage.apply_delete";
 inline constexpr const char* kFpStorageApplyUpdate = "storage.apply_update";
 inline constexpr const char* kFpStorageDeltaLogRead =
     "storage.delta_log_read";
+// Fired by the apply paths when an inserting modification is about to
+// grow (rehash) a flat hash index -- deterministically BEFORE any table
+// or delta-log mutation, so an injected fault leaves the table exactly
+// as it was (the torture loop verifies atomicity at the growth edge).
+inline constexpr const char* kFpFlatIndexGrow = "storage.flat_index_grow";
 
 // Exec layer: pipeline operators (hit per scan / per join step).
 inline constexpr const char* kFpExecScan = "exec.scan";
 inline constexpr const char* kFpExecIndexJoin = "exec.index_join";
 inline constexpr const char* kFpExecHashJoin = "exec.hash_join";
+// Fired on the caller thread before a partitioned scan-side probe
+// dispatches work to the pool (failpoint registries are thread-local, so
+// the site must trip before any worker runs).
+inline constexpr const char* kFpPartitionedProbe = "exec.partitioned_probe";
 
 // IVM layer: batch maintenance. `ivm.apply_state` sits after the delta
 // pipeline, before any state mutation; `ivm.commit` is the last site
@@ -28,10 +37,11 @@ inline constexpr const char* kFpIvmApplyState = "ivm.apply_state";
 inline constexpr const char* kFpIvmCommit = "ivm.commit";
 
 /// Every wired site, for exhaustive fault-torture loops.
-inline constexpr std::array<const char*, 9> kAllFailpointSites = {
-    kFpStorageApplyInsert, kFpStorageApplyDelete, kFpStorageApplyUpdate,
-    kFpStorageDeltaLogRead, kFpExecScan,          kFpExecIndexJoin,
-    kFpExecHashJoin,        kFpIvmApplyState,     kFpIvmCommit,
+inline constexpr std::array<const char*, 11> kAllFailpointSites = {
+    kFpStorageApplyInsert,  kFpStorageApplyDelete, kFpStorageApplyUpdate,
+    kFpStorageDeltaLogRead, kFpFlatIndexGrow,      kFpExecScan,
+    kFpExecIndexJoin,       kFpExecHashJoin,       kFpPartitionedProbe,
+    kFpIvmApplyState,       kFpIvmCommit,
 };
 
 }  // namespace abivm::fault

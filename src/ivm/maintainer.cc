@@ -10,13 +10,31 @@ namespace abivm {
 
 namespace {
 
-DeltaBatch ApplyBoundPredicates(DeltaBatch batch,
-                                const std::vector<BoundPredicate>& preds,
-                                ExecStats* stats) {
+void ApplyBoundPredicatesInPlace(PooledBatch* batch,
+                                 const std::vector<BoundPredicate>& preds,
+                                 ExecStats* stats) {
   for (const BoundPredicate& p : preds) {
-    batch = FilterBatch(batch, p.column, p.op, p.constant, stats);
+    FilterBatchInPlace(batch, p.column, p.op, p.constant, stats);
   }
-  return batch;
+}
+
+// Keeps rows with row[a] == row[b], compacting in place (slot swaps, no
+// Value copies). Charges rows_filtered like a FilterBatch would.
+void ResidualEqualityInPlace(PooledBatch* batch, size_t a, size_t b,
+                             ExecStats* stats) {
+  if (stats != nullptr) stats->rows_filtered += batch->size();
+  size_t w = 0;
+  for (size_t i = 0; i < batch->size(); ++i) {
+    DeltaRow& row = (*batch)[i];
+    if (row.row[a] == row.row[b]) {
+      if (w != i) {
+        (*batch)[w].row.swap(row.row);
+        (*batch)[w].mult = row.mult;
+      }
+      ++w;
+    }
+  }
+  batch->TruncateTo(w);
 }
 
 // Stage addressing shared by the profiled pipeline loop and the timer
@@ -80,7 +98,11 @@ size_t ViewMaintainer::watermark_position(size_t i) const {
 void ViewMaintainer::SetMetrics(obs::MetricRegistry* registry) {
   metrics_ = registry;
   stage_timers_.clear();
+  ws_reuses_counter_ = nullptr;
+  ws_peak_counter_ = nullptr;
   if (registry == nullptr) return;
+  ws_reuses_counter_ = &registry->counter("exec.workspace_reuses");
+  ws_peak_counter_ = &registry->counter("exec.arena_bytes_peak");
   stage_timers_.resize(num_tables());
   for (size_t i = 0; i < num_tables(); ++i) {
     const BoundPipeline& pipeline = binding_.delta_pipeline(i);
@@ -140,27 +162,42 @@ Status ViewMaintainer::ProcessBatchChecked(size_t i, size_t k,
   const DeltaLog& log = binding_.base_table(i).delta_log();
   ABIVM_RETURN_NOT_OK(log.CheckRead(positions_[i], k));
 
-  // Turn the next k modifications into signed delta rows.
-  DeltaBatch batch;
-  batch.reserve(k * 2);
+  // Bracket the pooled-workspace use (FinishBatch drives the grow-event
+  // accounting and counter export on every exit, including failpoints).
+  ws_.BeginBatch();
+  struct WorkspaceFinish {
+    ViewMaintainer* m;
+    ~WorkspaceFinish() {
+      m->ws_.FinishBatch();
+      if (m->ws_reuses_counter_ != nullptr) {
+        m->ws_reuses_counter_->RaiseTo(m->ws_.reuses());
+        m->ws_peak_counter_->RaiseTo(m->ws_.arena_bytes_peak());
+      }
+    }
+  } ws_finish{this};
+
+  // Turn the next k modifications into signed delta rows, filling pooled
+  // row slots (a warm workspace re-assigns into last batch's storage).
+  PooledBatch* batch = &ws_.batch_a();
+  batch->Reserve(k * 2);
   Version last_version = versions_[i];
   for (size_t m = 0; m < k; ++m) {
     const Modification& mod = log.At(positions_[i] + m);
     switch (mod.kind) {
       case ModKind::kInsert:
-        batch.push_back(DeltaRow{mod.new_row, 1});
+        AssignRow(batch->Append(1), mod.new_row);
         break;
       case ModKind::kDelete:
-        batch.push_back(DeltaRow{mod.old_row, -1});
+        AssignRow(batch->Append(-1), mod.old_row);
         break;
       case ModKind::kUpdate:
-        batch.push_back(DeltaRow{mod.old_row, -1});
-        batch.push_back(DeltaRow{mod.new_row, 1});
+        AssignRow(batch->Append(-1), mod.old_row);
+        AssignRow(batch->Append(1), mod.new_row);
         break;
     }
     last_version = mod.version;
   }
-  result->delta_rows_in = batch.size();
+  result->delta_rows_in = batch->size();
 
   // Stage: run the delta pipeline and net-aggregate its output without
   // touching any member state. Every fallible site (delta-log read, exec
@@ -168,9 +205,9 @@ Status ViewMaintainer::ProcessBatchChecked(size_t i, size_t k,
   // commit point, so a failure anywhere leaves state_, positions_, and
   // versions_ exactly as they were.
   const bool profiled = profiling_enabled();
-  Result<DeltaBatch> piped =
-      RunPipeline(binding_.delta_pipeline(i), std::move(batch),
-                  &result->stats, profiled ? &result->profile : nullptr);
+  const Status piped =
+      RunPipeline(binding_.delta_pipeline(i), &batch, &result->stats,
+                  profiled ? &result->profile : nullptr);
   if (profiled) {
     result->profile.pipeline = "delta(" + binding_.def().tables[i] + ")";
     if (metrics_ != nullptr) {
@@ -185,8 +222,8 @@ Status ViewMaintainer::ProcessBatchChecked(size_t i, size_t k,
       }
     }
   }
-  if (!piped.ok()) return piped.status();
-  const NetDelta net = ExtractNet(binding_.delta_pipeline(i), *piped);
+  if (!piped.ok()) return piped;
+  ExtractNet(binding_.delta_pipeline(i), *batch, &net_);
   ABIVM_FAULT_POINT(fault::kFpIvmApplyState);
   if (!dry_run) ABIVM_FAULT_POINT(fault::kFpIvmCommit);
 
@@ -201,7 +238,7 @@ Status ViewMaintainer::ProcessBatchChecked(size_t i, size_t k,
                           : ViewState();
   scratch.AllowNegativeMultiplicities();
   ViewState* target = dry_run ? &scratch : &state_;
-  result->view_updates = ApplyNet(net, target);
+  result->view_updates = ApplyNet(net_, target);
   if (!dry_run) {
     positions_[i] += k;
     versions_[i] = last_version;
@@ -240,6 +277,11 @@ ViewState ViewMaintainer::RecomputeAtWatermarks() const {
 Result<ViewState> ViewMaintainer::RecomputeAtWatermarksChecked(
     PipelineProfile* profile) const {
   const BoundPipeline& pipeline = binding_.recompute_pipeline();
+  ws_.BeginBatch();
+  struct WorkspaceFinish {
+    PipelineWorkspace& ws;
+    ~WorkspaceFinish() { ws.FinishBatch(); }
+  } ws_finish{ws_};
   ExecStats stats;
   ExecStats* scan_stats = &stats;
   if (profile != nullptr) {
@@ -252,83 +294,89 @@ Result<ViewState> ViewMaintainer::RecomputeAtWatermarksChecked(
     scan_stats = &scan.stats;
   }
   const Stopwatch scan_watch;
-  Result<DeltaBatch> batch =
-      ScanToBatch(binding_.base_table(pipeline.leading_index),
-                  versions_[pipeline.leading_index], scan_stats);
+  PooledBatch* batch = &ws_.batch_a();
+  const Status scanned =
+      ScanToBatchInto(binding_.base_table(pipeline.leading_index),
+                      versions_[pipeline.leading_index], batch, scan_stats);
   if (profile != nullptr) {
     StageStats& scan = profile->stages.back();
     scan.wall_ms = scan_watch.ElapsedMs();
-    scan.rows_out = batch.ok() ? (*batch).size() : 0;
+    scan.rows_out = scanned.ok() ? batch->size() : 0;
     stats += scan.stats;
   }
-  if (!batch.ok()) return batch.status();
+  if (!scanned.ok()) return scanned;
   // The pipeline loop resets/refills the stage list, so run it on a local
   // profile and splice the scan stage back in front.
   PipelineProfile pipeline_profile;
-  Result<DeltaBatch> piped =
-      RunPipeline(pipeline, std::move(*batch), &stats,
+  const Status piped =
+      RunPipeline(pipeline, &batch, &stats,
                   profile != nullptr ? &pipeline_profile : nullptr);
   if (profile != nullptr) {
     for (StageStats& stage : pipeline_profile.stages) {
       profile->stages.push_back(std::move(stage));
     }
   }
-  if (!piped.ok()) return piped.status();
+  if (!piped.ok()) return piped;
   ViewState fresh = binding_.def().is_aggregate()
                         ? ViewState(binding_.def().aggregate->kind)
                         : ViewState();
-  ApplyNet(ExtractNet(pipeline, *piped), &fresh);
+  ExtractNet(pipeline, *batch, &net_);
+  ApplyNet(net_, &fresh);
   return fresh;
 }
 
-Result<DeltaBatch> ViewMaintainer::RunPipeline(const BoundPipeline& pipeline,
-                                               DeltaBatch batch,
-                                               ExecStats* stats,
-                                               PipelineProfile* profile) const {
+Status ViewMaintainer::RunPipeline(const BoundPipeline& pipeline,
+                                   PooledBatch** cur, ExecStats* stats,
+                                   PipelineProfile* profile) const {
   if (profile != nullptr) {
-    return RunPipelineProfiled(pipeline, std::move(batch), stats, profile);
+    return RunPipelineProfiled(pipeline, cur, stats, profile);
   }
-  // Unobserved fast path: no per-stage clock reads or allocations; every
-  // operator accumulates straight into the whole-run counters. The
+  // Unobserved fast path: no per-stage clock reads, no per-stage
+  // allocations -- filters and projections run in place on the pooled
+  // batch, joins ping-pong between the workspace's two batches. The
   // profiled variant below must charge the same counters (the equality is
   // test-enforced).
-  batch = ApplyBoundPredicates(std::move(batch),
-                               pipeline.leading_predicates, stats);
-  batch = ProjectBatch(batch, pipeline.initial_projection, stats);
+  PooledBatch* batch = *cur;
+  PooledBatch* other =
+      batch == &ws_.batch_a() ? &ws_.batch_b() : &ws_.batch_a();
+  ApplyBoundPredicatesInPlace(batch, pipeline.leading_predicates, stats);
+  ProjectBatchInPlace(batch, pipeline.initial_projection, ws_, stats);
   for (const BoundJoinStep& step : pipeline.steps) {
-    if (batch.empty()) break;
-    Result<DeltaBatch> joined =
-        JoinBatchWithTable(batch, step.left_column, *step.table,
-                           step.right_column, step.right_keep,
-                           versions_[step.table_index], stats);
-    if (!joined.ok()) return joined.status();
-    batch = std::move(*joined);
-    for (const auto& [a, b] : step.residual_equalities) {
-      if (stats != nullptr) stats->rows_filtered += batch.size();
-      DeltaBatch kept;
-      kept.reserve(batch.size());
-      for (DeltaRow& row : batch) {
-        if (row.row[a] == row.row[b]) kept.push_back(std::move(row));
-      }
-      batch = std::move(kept);
+    if (batch->empty()) break;
+    const Status joined = JoinBatchInto(
+        *batch, step.left_column, *step.table, step.right_column,
+        step.right_keep, versions_[step.table_index], ws_, other, stats);
+    if (!joined.ok()) {
+      *cur = batch;
+      return joined;
     }
-    batch = ApplyBoundPredicates(std::move(batch), step.predicates, stats);
+    std::swap(batch, other);
+    for (const auto& [a, b] : step.residual_equalities) {
+      ResidualEqualityInPlace(batch, a, b, stats);
+    }
+    ApplyBoundPredicatesInPlace(batch, step.predicates, stats);
     if (!step.post_projection.empty()) {
-      batch = ProjectBatch(batch, step.post_projection, stats);
+      ProjectBatchInPlace(batch, step.post_projection, ws_, stats);
     }
   }
-  return batch;
+  *cur = batch;
+  return Status::Ok();
 }
 
-Result<DeltaBatch> ViewMaintainer::RunPipelineProfiled(
-    const BoundPipeline& pipeline, DeltaBatch batch, ExecStats* stats,
-    PipelineProfile* profile) const {
+Status ViewMaintainer::RunPipelineProfiled(const BoundPipeline& pipeline,
+                                           PooledBatch** cur,
+                                           ExecStats* stats,
+                                           PipelineProfile* profile) const {
   // Each stage accumulates into its own StageStats slice; the slices are
   // summed into `*stats` at every exit, so the per-operator breakdown and
   // the whole-run totals cannot disagree.
   profile->stages.clear();
   profile->stages.reserve(pipeline.steps.size() + 1);
+  PooledBatch* batch = *cur;
+  PooledBatch* other =
+      batch == &ws_.batch_a() ? &ws_.batch_b() : &ws_.batch_a();
   const auto flush = [&] {
+    *cur = batch;
     if (stats == nullptr) return;
     for (const StageStats& stage : profile->stages) *stats += stage.stats;
   };
@@ -342,80 +390,85 @@ Result<DeltaBatch> ViewMaintainer::RunPipelineProfiled(
   };
 
   {
-    StageStats& stage = begin_stage(0, batch.size());
+    StageStats& stage = begin_stage(0, batch->size());
     const Stopwatch stage_watch;
-    batch = ApplyBoundPredicates(std::move(batch),
-                                 pipeline.leading_predicates, &stage.stats);
-    batch = ProjectBatch(batch, pipeline.initial_projection, &stage.stats);
+    ApplyBoundPredicatesInPlace(batch, pipeline.leading_predicates,
+                                &stage.stats);
+    ProjectBatchInPlace(batch, pipeline.initial_projection, ws_,
+                        &stage.stats);
     stage.wall_ms = stage_watch.ElapsedMs();
-    stage.rows_out = batch.size();
+    stage.rows_out = batch->size();
   }
   for (size_t j = 0; j < pipeline.steps.size(); ++j) {
     const BoundJoinStep& step = pipeline.steps[j];
-    StageStats& stage = begin_stage(j + 1, batch.size());
+    StageStats& stage = begin_stage(j + 1, batch->size());
     // An empty batch skips the remaining joins; the padded zero-work
     // stages keep the profile's shape stable for merging and display.
-    if (batch.empty()) continue;
+    if (batch->empty()) continue;
     const Stopwatch stage_watch;
-    Result<DeltaBatch> joined =
-        JoinBatchWithTable(batch, step.left_column, *step.table,
-                           step.right_column, step.right_keep,
-                           versions_[step.table_index], &stage.stats);
+    const Status joined = JoinBatchInto(
+        *batch, step.left_column, *step.table, step.right_column,
+        step.right_keep, versions_[step.table_index], ws_, other,
+        &stage.stats);
     if (!joined.ok()) {
       stage.wall_ms = stage_watch.ElapsedMs();
       flush();
-      return joined.status();
+      return joined;
     }
-    batch = std::move(*joined);
+    std::swap(batch, other);
     for (const auto& [a, b] : step.residual_equalities) {
-      stage.stats.rows_filtered += batch.size();
-      DeltaBatch kept;
-      kept.reserve(batch.size());
-      for (DeltaRow& row : batch) {
-        if (row.row[a] == row.row[b]) kept.push_back(std::move(row));
-      }
-      batch = std::move(kept);
+      ResidualEqualityInPlace(batch, a, b, &stage.stats);
     }
-    batch = ApplyBoundPredicates(std::move(batch), step.predicates,
-                                 &stage.stats);
+    ApplyBoundPredicatesInPlace(batch, step.predicates, &stage.stats);
     if (!step.post_projection.empty()) {
-      batch = ProjectBatch(batch, step.post_projection, &stage.stats);
+      ProjectBatchInPlace(batch, step.post_projection, ws_, &stage.stats);
     }
     stage.wall_ms = stage_watch.ElapsedMs();
-    stage.rows_out = batch.size();
+    stage.rows_out = batch->size();
   }
   flush();
-  return batch;
+  return Status::Ok();
 }
 
-ViewMaintainer::NetDelta ViewMaintainer::ExtractNet(
-    const BoundPipeline& pipeline, const DeltaBatch& batch) const {
+void ViewMaintainer::ExtractNet(const BoundPipeline& pipeline,
+                                const PooledBatch& batch,
+                                NetDelta* net) const {
   static const Value kNoValue(int64_t{0});
   // Net-aggregate the signed deltas per (group key, aggregate value)
   // before touching the state: join operators emit output in scan order,
   // so a batch can contain a removal textually before its matching
   // insertion; netting first keeps application order-independent and lets
   // ViewState enforce non-negative multiplicities strictly.
-  NetDelta net;
-  net.reserve(batch.size());
-  for (const DeltaRow& delta : batch) {
-    Row extracted;
-    extracted.reserve(pipeline.key_columns.size() + 1);
-    for (size_t c : pipeline.key_columns) extracted.push_back(delta.row[c]);
-    extracted.push_back(pipeline.has_aggregate_column
-                            ? delta.row[pipeline.aggregate_column]
-                            : kNoValue);
-    net[std::move(extracted)] += delta.mult;
+  net->clear();  // keeps bucket capacity
+  net->reserve(batch.size());
+  Row& extracted = extract_scratch_;
+  const size_t width = pipeline.key_columns.size() + 1;
+  for (size_t r = 0; r < batch.size(); ++r) {
+    const DeltaRow& delta = batch[r];
+    extracted.resize(width);
+    size_t w = 0;
+    for (size_t c : pipeline.key_columns) extracted[w++] = delta.row[c];
+    extracted[w] = pipeline.has_aggregate_column
+                       ? delta.row[pipeline.aggregate_column]
+                       : kNoValue;
+    // Lookup-then-insert with the scratch row: only the first occurrence
+    // of a distinct key copies it into the map.
+    const auto it = net->find(extracted);
+    if (it != net->end()) {
+      it->second += delta.mult;
+    } else {
+      net->emplace(extracted, delta.mult);
+    }
   }
-  return net;
 }
 
 size_t ViewMaintainer::ApplyNet(const NetDelta& net,
                                 ViewState* target) const {
   size_t updates = 0;
+  Row& key = key_scratch_;
   for (const auto& [extracted, mult] : net) {
     if (mult == 0) continue;
-    Row key(extracted.begin(), extracted.end() - 1);
+    key.assign(extracted.begin(), extracted.end() - 1);
     target->Apply(key, extracted.back(), mult);
     ++updates;
   }

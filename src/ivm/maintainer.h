@@ -20,6 +20,7 @@
 #include "common/status.h"
 #include "core/types.h"
 #include "exec/operators.h"
+#include "exec/pipeline_workspace.h"
 #include "exec/profile.h"
 #include "ivm/binding.h"
 #include "ivm/view_state.h"
@@ -78,6 +79,24 @@ class ViewMaintainer {
   /// Pass nullptr to detach and return to the unobserved fast path.
   void SetMetrics(obs::MetricRegistry* registry);
   obs::MetricRegistry* metrics() const { return metrics_; }
+
+  /// Opt-in parallel scan-side probe: HashJoinScan steps split the
+  /// scanned co-table into `partitions` contiguous row ranges (0 = one
+  /// per pool thread) on `pool` when the table has at least `min_rows`
+  /// physical rows. Results are bit-identical to the sequential path at
+  /// every thread and partition count. The pool must outlive the
+  /// maintainer (or a DisableParallelProbe call).
+  void EnableParallelProbe(
+      ThreadPool* pool, size_t partitions = 0,
+      size_t min_rows = PipelineWorkspace::kDefaultProbeMinRows) {
+    ws_.EnableParallelProbe(pool, partitions, min_rows);
+  }
+  void DisableParallelProbe() { ws_.DisableParallelProbe(); }
+
+  /// The pooled pipeline workspace (counters: reuses, grow_events,
+  /// arena_bytes_peak) -- read-only; tests pin grow_events() == 0 on the
+  /// warm path.
+  const PipelineWorkspace& workspace() const { return ws_; }
 
   /// Unprocessed modifications of base table i.
   size_t PendingCount(size_t i) const;
@@ -148,25 +167,28 @@ class ViewMaintainer {
   // commit of state + watermarks is atomic under injected faults.
   using NetDelta = std::unordered_map<Row, int64_t, RowHash>;
 
-  // Runs `pipeline` on `batch` with co-table snapshots taken from the
-  // current watermark versions; returns the finished delta rows. With a
-  // null `profile` this is the unobserved fast path (no per-stage clock
-  // reads); otherwise each stage gets its own StageStats slice and the
-  // slices are summed into `*stats`, so breakdown and totals cannot
-  // disagree. On failure the work done so far is still in `*stats` (and
-  // the executed stages in `*profile`).
-  Result<DeltaBatch> RunPipeline(const BoundPipeline& pipeline,
-                                 DeltaBatch batch, ExecStats* stats,
-                                 PipelineProfile* profile) const;
+  // Runs `pipeline` on the batch `*cur` points at, in place on the
+  // workspace's pooled batches (joins ping-pong between them; on return
+  // `*cur` points at whichever batch holds the finished delta rows --
+  // `*cur` must be one of ws_.batch_a()/batch_b()). With a null `profile`
+  // this is the unobserved fast path (no per-stage clock reads);
+  // otherwise each stage gets its own StageStats slice and the slices are
+  // summed into `*stats`, so breakdown and totals cannot disagree. On
+  // failure the work done so far is still in `*stats` (and the executed
+  // stages in `*profile`).
+  Status RunPipeline(const BoundPipeline& pipeline, PooledBatch** cur,
+                     ExecStats* stats, PipelineProfile* profile) const;
 
   // Profiled variant of the pipeline loop (see RunPipeline).
-  Result<DeltaBatch> RunPipelineProfiled(const BoundPipeline& pipeline,
-                                         DeltaBatch batch, ExecStats* stats,
-                                         PipelineProfile* profile) const;
+  Status RunPipelineProfiled(const BoundPipeline& pipeline,
+                             PooledBatch** cur, ExecStats* stats,
+                             PipelineProfile* profile) const;
 
-  // Net-aggregates finished rows per extracted (key, aggregate) row.
-  NetDelta ExtractNet(const BoundPipeline& pipeline,
-                      const DeltaBatch& batch) const;
+  // Net-aggregates finished rows per extracted (key, aggregate) row into
+  // the pooled `*net` (cleared first; buckets and the per-key rows of
+  // surviving capacity are reused -- only distinct keys allocate).
+  void ExtractNet(const BoundPipeline& pipeline, const PooledBatch& batch,
+                  NetDelta* net) const;
 
   // Applies a staged net delta to `target`; returns rows touched.
   size_t ApplyNet(const NetDelta& net, ViewState* target) const;
@@ -184,6 +206,17 @@ class ViewMaintainer {
   /// stage_timers_[i][s]: interned timer of stage s of delta pipeline i;
   /// built by SetMetrics so the per-batch path never does a name lookup.
   std::vector<std::vector<obs::Timer*>> stage_timers_;
+  /// Workspace counters interned by SetMetrics (exported after every
+  /// batch): `exec.workspace_reuses` / `exec.arena_bytes_peak`.
+  obs::Counter* ws_reuses_counter_ = nullptr;
+  obs::Counter* ws_peak_counter_ = nullptr;
+  /// Pooled pipeline storage. Mutable: RecomputeAtWatermarks is logically
+  /// const but reuses the same pooled buffers (capacity-only state).
+  mutable PipelineWorkspace ws_;
+  /// Pooled net-delta scratch (ExtractNet / ApplyNet).
+  mutable NetDelta net_;
+  mutable Row extract_scratch_;
+  mutable Row key_scratch_;
 };
 
 }  // namespace abivm

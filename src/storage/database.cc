@@ -53,6 +53,9 @@ RowId Database::ApplyUpdate(Table& t, RowId id, Row new_row) {
 
 Result<RowId> Database::TryApplyInsert(Table& t, Row row) {
   ABIVM_FAULT_POINT(fault::kFpStorageApplyInsert);
+  if (t.IndexGrowthPending()) {
+    ABIVM_FAULT_POINT(fault::kFpFlatIndexGrow);
+  }
   const Version v = ++version_;
   const RowId id = t.Insert(row, v);
   t.delta_log().Append(Modification{v, ModKind::kInsert, {}, std::move(row)});
@@ -71,6 +74,9 @@ Status Database::TryApplyDelete(Table& t, RowId id) {
 
 Result<RowId> Database::TryApplyUpdate(Table& t, RowId id, Row new_row) {
   ABIVM_FAULT_POINT(fault::kFpStorageApplyUpdate);
+  if (t.IndexGrowthPending()) {
+    ABIVM_FAULT_POINT(fault::kFpFlatIndexGrow);
+  }
   const Version v = ++version_;
   Row old_row = t.RowAt(id).row;
   const RowId new_id = t.Update(id, new_row, v);

@@ -14,7 +14,7 @@ RowId Table::Insert(Row row, Version version) {
                                                   << RowToString(row));
   const RowId id = rows_.size();
   rows_.push_back(VersionedRow{std::move(row), version, kNeverDeleted});
-  live_pos_[id] = live_ids_.size();
+  live_pos_.push_back(live_ids_.size());
   live_ids_.push_back(id);
   IndexRow(id);
   return id;
@@ -28,14 +28,13 @@ void Table::Delete(RowId id, Version version) {
   ABIVM_CHECK_GE(version, r.insert_version);
   r.delete_version = version;
   // Swap-remove from the live set.
-  auto it = live_pos_.find(id);
-  ABIVM_CHECK(it != live_pos_.end());
-  const size_t pos = it->second;
+  const size_t pos = live_pos_[id];
+  ABIVM_CHECK(pos != kNotLive);
   const RowId last = live_ids_.back();
   live_ids_[pos] = last;
   live_pos_[last] = pos;
   live_ids_.pop_back();
-  live_pos_.erase(it);
+  live_pos_[id] = kNotLive;
 }
 
 RowId Table::Update(RowId id, Row new_row, Version version) {
@@ -57,16 +56,19 @@ RowId Table::SampleLiveRow(Rng& rng) const {
 
 void Table::CreateHashIndex(const std::string& column_name) {
   const size_t column = schema_.ColumnIndex(column_name);
-  if (indexes_.count(column) > 0) return;
-  auto& index = indexes_[column];
+  if (indexes_.find(column) != indexes_.end()) return;
+  FlatIndex& index = indexes_[column];
+  index.ReserveKeys(rows_.size());
   for (RowId id = 0; id < rows_.size(); ++id) {
-    index.emplace(rows_[id].row[column], id);
+    // Vacuumed slots have empty payloads and no index entries.
+    if (rows_[id].row.empty()) continue;
+    index.Insert(rows_[id].row[column], id);
   }
 }
 
 void Table::IndexRow(RowId id) {
   for (auto& [column, index] : indexes_) {
-    index.emplace(rows_[id].row[column], id);
+    index.Insert(rows_[id].row[column], id);
   }
 }
 
@@ -103,13 +105,7 @@ size_t Table::VacuumBefore(Version safe_version) {
     // cleared (an empty payload marks an already-vacuumed slot).
     if (r.delete_version > safe_version || r.row.empty()) continue;
     for (auto& [column, index] : indexes_) {
-      auto [begin, end] = index.equal_range(r.row[column]);
-      for (auto it = begin; it != end; ++it) {
-        if (it->second == id) {
-          index.erase(it);
-          break;
-        }
-      }
+      ABIVM_CHECK(index.EraseOne(r.row[column], id));
     }
     Row().swap(r.row);  // release the payload
     ++reclaimed;

@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/flat_multimap.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "storage/schema.h"
@@ -90,6 +91,11 @@ class DeltaLog {
 /// sampling (used by the update-stream generators).
 class Table {
  public:
+  /// Physical index layout: a flat open-addressing multi-map from join
+  /// key to RowId (common/flat_multimap.h) -- probes touch a contiguous
+  /// bucket array and an entry arena, never per-node heap blocks.
+  using FlatIndex = FlatMultiMap<Value, RowId, ValueHash>;
+
   Table(std::string name, Schema schema);
 
   Table(const Table&) = delete;
@@ -127,16 +133,32 @@ class Table {
   /// v >= vacuum_horizon() (older snapshots were garbage-collected).
   template <typename Fn>
   void ScanAt(Version v, Fn&& fn) const {
-    ABIVM_CHECK_MSG(v >= vacuum_horizon_,
-                    "snapshot " << v << " of " << name_
-                                << " was vacuumed (horizon "
-                                << vacuum_horizon_ << ")");
-    for (RowId id = 0; id < rows_.size(); ++id) {
+    CheckSnapshotReadable(v);
+    ScanRangeAt(v, 0, rows_.size(), std::forward<Fn>(fn));
+  }
+
+  /// ScanAt restricted to physical row ids [begin, end): the unit of the
+  /// partitioned scan-side probe. Concatenating the results of contiguous
+  /// ranges in range order reproduces a full ScanAt exactly, whatever the
+  /// partitioning. Callers must have validated the snapshot (ScanAt does;
+  /// parallel workers call CheckSnapshotReadable once up front).
+  template <typename Fn>
+  void ScanRangeAt(Version v, RowId begin, RowId end, Fn&& fn) const {
+    ABIVM_DCHECK(end <= rows_.size());
+    for (RowId id = begin; id < end; ++id) {
       const VersionedRow& r = rows_[id];
       if (r.insert_version <= v && v < r.delete_version) {
         fn(id, r.row);
       }
     }
+  }
+
+  /// CHECKs that snapshot `v` has not been vacuumed away.
+  void CheckSnapshotReadable(Version v) const {
+    ABIVM_CHECK_MSG(v >= vacuum_horizon_,
+                    "snapshot " << v << " of " << name_
+                                << " was vacuumed (horizon "
+                                << vacuum_horizon_ << ")");
   }
 
   /// Reclaims the payloads and index entries of row versions that are
@@ -153,29 +175,62 @@ class Table {
   /// time). Idempotent.
   void CreateHashIndex(const std::string& column_name);
 
+  /// The index on `column`, or nullptr. ONE map lookup: operators fetch
+  /// the index once per batch and probe the returned object per row,
+  /// instead of the old HasIndexOn + IndexLookup pair that re-resolved
+  /// the column on every probe.
+  const FlatIndex* IndexOn(size_t column) const {
+    const auto it = indexes_.find(column);
+    return it == indexes_.end() ? nullptr : &it->second;
+  }
+
   bool HasIndexOn(size_t column) const {
-    return indexes_.count(column) > 0;
+    return IndexOn(column) != nullptr;
+  }
+
+  /// True iff some index of this table would grow (rehash) on the next
+  /// inserted row -- the deterministic pre-check the storage apply path
+  /// uses to place the `flat_index.grow` failpoint BEFORE any mutation.
+  bool IndexGrowthPending() const {
+    for (const auto& [column, index] : indexes_) {
+      if (index.WouldGrowOnInsert()) return true;
+    }
+    return false;
   }
 
   /// Calls fn(RowId, const Row&) for rows with row[column] == key visible
-  /// at `v`. Requires an index on `column`.
+  /// at `v`. Requires an index on `column`. Convenience wrapper over
+  /// IndexOn for one-off probes; batch operators hold the FlatIndex and
+  /// probe it directly (see exec/operators.cc).
   template <typename Fn>
   void IndexLookup(size_t column, const Value& key, Version v,
                    Fn&& fn) const {
-    ABIVM_CHECK_MSG(v >= vacuum_horizon_,
-                    "snapshot " << v << " of " << name_
-                                << " was vacuumed (horizon "
-                                << vacuum_horizon_ << ")");
-    auto idx = indexes_.find(column);
-    ABIVM_CHECK_MSG(idx != indexes_.end(),
+    CheckSnapshotReadable(v);
+    const FlatIndex* idx = IndexOn(column);
+    ABIVM_CHECK_MSG(idx != nullptr,
                     "no index on column " << column << " of " << name_);
-    auto [begin, end] = idx->second.equal_range(key);
-    for (auto it = begin; it != end; ++it) {
-      const VersionedRow& r = rows_[it->second];
+    idx->ForEachValue(key, [&](const RowId& id) {
+      const VersionedRow& r = rows_[id];
       if (r.insert_version <= v && v < r.delete_version) {
-        fn(it->second, r.row);
+        fn(id, r.row);
       }
-    }
+    });
+  }
+
+  /// Probes `idx` (one of THIS table's indexes, from IndexOn) with a
+  /// caller-computed key hash and calls fn(RowId, const Row&) for every
+  /// match visible at `v`. The batch-join hot path: the caller resolves
+  /// the index and checks the snapshot once per batch, hashes each key
+  /// once, and this does only the probe + visibility filter.
+  template <typename Fn>
+  void ProbeIndexHashed(const FlatIndex& idx, uint64_t hash,
+                        const Value& key, Version v, Fn&& fn) const {
+    idx.ForEachValueHashed(hash, key, [&](const RowId& id) {
+      const VersionedRow& r = rows_[id];
+      if (r.insert_version <= v && v < r.delete_version) {
+        fn(id, r.row);
+      }
+    });
   }
 
   DeltaLog& delta_log() { return delta_log_; }
@@ -187,12 +242,13 @@ class Table {
   std::string name_;
   Schema schema_;
   std::vector<VersionedRow> rows_;
-  std::unordered_map<size_t,
-                     std::unordered_multimap<Value, RowId, ValueHash>>
-      indexes_;
-  // Live-row sampling support: ids of live rows + id -> slot position.
+  std::unordered_map<size_t, FlatIndex> indexes_;
+  // Live-row sampling support: ids of live rows + a DENSE id -> slot
+  // position array (RowIds are contiguous, so a hash map here was pure
+  // overhead on the insert/delete hot path). kNotLive marks dead slots.
   std::vector<RowId> live_ids_;
-  std::unordered_map<RowId, size_t> live_pos_;
+  std::vector<size_t> live_pos_;
+  static constexpr size_t kNotLive = static_cast<size_t>(-1);
   DeltaLog delta_log_;
   Version vacuum_horizon_ = 0;
 };

@@ -1,0 +1,200 @@
+// FlatMultiMap oracle tests: the flat open-addressing index must return
+// byte-identical multiset results to the std::unordered_multimap it
+// replaced, across randomized inserts and per-pair erases, while honoring
+// the capacity-pooling contracts (Clear keeps capacity, ReserveKeys
+// pre-sizes, WouldGrowOnInsert is the exact growth edge).
+
+#include "common/flat_multimap.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "storage/value.h"
+
+namespace abivm {
+namespace {
+
+using Map = FlatMultiMap<Value, uint64_t, ValueHash>;
+using Oracle = std::unordered_multimap<Value, uint64_t, ValueHash>;
+
+std::vector<uint64_t> Sorted(std::vector<uint64_t> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+std::vector<uint64_t> FlatValues(const Map& map, const Value& key) {
+  std::vector<uint64_t> out;
+  map.ForEachValue(key, [&](const uint64_t& v) { out.push_back(v); });
+  return out;
+}
+
+std::vector<uint64_t> OracleValues(const Oracle& oracle, const Value& key) {
+  std::vector<uint64_t> out;
+  const auto range = oracle.equal_range(key);
+  for (auto it = range.first; it != range.second; ++it) {
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+void ExpectSameMultisets(const Map& map, const Oracle& oracle,
+                         int64_t key_domain) {
+  ASSERT_EQ(map.size(), oracle.size());
+  for (int64_t k = 0; k < key_domain; ++k) {
+    const Value key(k);
+    EXPECT_EQ(Sorted(FlatValues(map, key)),
+              Sorted(OracleValues(oracle, key)))
+        << "key " << k;
+  }
+  // ForEachPair visits exactly the live pairs (erased slots are skipped).
+  size_t visited = 0;
+  map.ForEachPair([&](const Value& k, const uint64_t& v) {
+    ++visited;
+    const std::vector<uint64_t> vals = OracleValues(oracle, k);
+    EXPECT_NE(std::find(vals.begin(), vals.end(), v), vals.end());
+  });
+  EXPECT_EQ(visited, oracle.size());
+}
+
+TEST(FlatMultiMapTest, RandomizedOracle) {
+  Map map;
+  Oracle oracle;
+  Rng rng(20260809);
+  // A small key domain forces long duplicate chains, bucket collisions,
+  // tombstone reuse, and several rehashes over the run.
+  constexpr int64_t kKeys = 37;
+  uint64_t next_value = 0;
+  for (int step = 0; step < 20000; ++step) {
+    const int64_t k = rng.UniformInt(0, kKeys - 1);
+    const Value key(k);
+    if (rng.UniformInt(0, 99) < 60 || oracle.empty()) {
+      map.Insert(key, next_value);
+      oracle.emplace(key, next_value);
+      ++next_value;
+    } else {
+      const std::vector<uint64_t> vals = OracleValues(oracle, key);
+      if (vals.empty()) {
+        // Erasing an absent pair must be a no-op that reports false.
+        EXPECT_FALSE(map.EraseOne(key, next_value + 1));
+      } else {
+        const uint64_t victim = vals[static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(vals.size()) - 1))];
+        EXPECT_TRUE(map.EraseOne(key, victim));
+        auto range = oracle.equal_range(key);
+        for (auto it = range.first; it != range.second; ++it) {
+          if (it->second == victim) {
+            oracle.erase(it);
+            break;
+          }
+        }
+      }
+    }
+    if (step % 997 == 0) ExpectSameMultisets(map, oracle, kKeys);
+  }
+  ExpectSameMultisets(map, oracle, kKeys);
+}
+
+TEST(FlatMultiMapTest, EqualRangeIsReverseInsertionOrder) {
+  // The documented (unspecified-by-contract but deterministic) order:
+  // duplicate chains prepend, so a key's values come back newest-first.
+  Map map;
+  for (uint64_t v = 0; v < 5; ++v) map.Insert(Value(int64_t{7}), v);
+  EXPECT_EQ(FlatValues(map, Value(int64_t{7})),
+            (std::vector<uint64_t>{4, 3, 2, 1, 0}));
+}
+
+TEST(FlatMultiMapTest, HashedEntryPointsMatchPlainOnes) {
+  Map map;
+  const Value key(int64_t{42});
+  const uint64_t hash = map.HashOf(key);
+  map.InsertHashed(hash, key, 1);
+  map.Insert(key, 2);
+  std::vector<uint64_t> got;
+  map.ForEachValueHashed(hash, key,
+                         [&](const uint64_t& v) { got.push_back(v); });
+  EXPECT_EQ(Sorted(got), (std::vector<uint64_t>{1, 2}));
+  EXPECT_EQ(Sorted(got), Sorted(FlatValues(map, key)));
+}
+
+TEST(FlatMultiMapTest, ClearKeepsCapacityAndRefillAllocatesNothing) {
+  Map map;
+  for (int64_t k = 0; k < 1000; ++k) {
+    map.Insert(Value(k), static_cast<uint64_t>(k));
+  }
+  const size_t buckets = map.bucket_count();
+  const size_t bytes = map.capacity_bytes();
+  map.Clear();
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_EQ(map.distinct_keys(), 0u);
+  EXPECT_EQ(map.bucket_count(), buckets);
+  EXPECT_EQ(map.capacity_bytes(), bytes);
+  EXPECT_TRUE(FlatValues(map, Value(int64_t{3})).empty());
+  for (int64_t k = 0; k < 1000; ++k) {
+    map.Insert(Value(k), static_cast<uint64_t>(k + 5));
+  }
+  // Refilling to the previous population reuses the pooled arrays.
+  EXPECT_EQ(map.bucket_count(), buckets);
+  EXPECT_EQ(map.capacity_bytes(), bytes);
+  EXPECT_EQ(FlatValues(map, Value(int64_t{3})),
+            (std::vector<uint64_t>{8}));
+}
+
+TEST(FlatMultiMapTest, ReserveKeysAvoidsRehash) {
+  Map map;
+  map.ReserveKeys(100);
+  const size_t buckets = map.bucket_count();
+  EXPECT_GT(buckets, 0u);
+  for (int64_t k = 0; k < 100; ++k) {
+    EXPECT_FALSE(map.WouldGrowOnInsert()) << k;
+    map.Insert(Value(k), static_cast<uint64_t>(k));
+    ASSERT_EQ(map.bucket_count(), buckets);
+  }
+}
+
+TEST(FlatMultiMapTest, WouldGrowOnInsertIsTheExactGrowthEdge) {
+  Map map;
+  EXPECT_TRUE(map.WouldGrowOnInsert());  // first insert allocates
+  int64_t k = 0;
+  for (int round = 0; round < 4; ++round) {
+    // Inserts below the flag never move the bucket array; the first
+    // insert at the flag grows it.
+    const size_t before = map.bucket_count();
+    while (!map.WouldGrowOnInsert()) {
+      map.Insert(Value(k), static_cast<uint64_t>(k));
+      ++k;
+      ASSERT_EQ(map.bucket_count(), before);
+    }
+    map.Insert(Value(k), static_cast<uint64_t>(k));
+    ++k;
+    EXPECT_GT(map.bucket_count(), before);
+  }
+}
+
+TEST(FlatMultiMapTest, TombstoneChurnRebuildsAtSameSize) {
+  Map map;
+  for (int64_t k = 0; k < 3; ++k) {
+    map.Insert(Value(k), static_cast<uint64_t>(k));
+  }
+  const size_t buckets = map.bucket_count();
+  // Insert-then-erase a fresh key each round: tombstones pile up and
+  // periodically force a rebuild, but with only 3 live keys the rebuild
+  // must purge at the SAME bucket count, never double.
+  for (int64_t round = 0; round < 5000; ++round) {
+    const Value key(int64_t{100} + round);
+    map.Insert(key, 7);
+    EXPECT_TRUE(map.EraseOne(key, 7));
+  }
+  EXPECT_EQ(map.bucket_count(), buckets);
+  EXPECT_EQ(map.size(), 3u);
+  EXPECT_EQ(map.distinct_keys(), 3u);
+  EXPECT_EQ(FlatValues(map, Value(int64_t{1})),
+            (std::vector<uint64_t>{1}));
+}
+
+}  // namespace
+}  // namespace abivm

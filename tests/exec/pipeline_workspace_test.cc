@@ -1,0 +1,288 @@
+// PipelineWorkspace tests: the pooled *Into ops must match the one-shot
+// operators (and a brute-force reference join) row for row; a warm
+// workspace must stop growing; and the partitioned scan-side probe must
+// be BIT-IDENTICAL to the sequential path at every partition and thread
+// count (partition-order concatenation == sequential scan order).
+
+#include "exec/pipeline_workspace.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "exec/operators.h"
+#include "storage/database.h"
+
+namespace abivm {
+namespace {
+
+// Same star as operators_test: fact(k, dk, p) and dim(dk, label).
+struct Fixture {
+  Database db;
+  Table* fact;
+  Table* dim;
+
+  Fixture() {
+    fact = &db.CreateTable("fact", Schema({{"k", ValueType::kInt64},
+                                           {"dk", ValueType::kInt64},
+                                           {"p", ValueType::kDouble}}));
+    dim = &db.CreateTable("dim", Schema({{"dk", ValueType::kInt64},
+                                         {"label", ValueType::kString}}));
+    for (int64_t d = 0; d < 3; ++d) {
+      db.BulkLoad(*dim, {Value(d), Value("dim" + std::to_string(d))});
+    }
+    for (int64_t k = 0; k < 10; ++k) {
+      db.BulkLoad(*fact,
+                  {Value(k), Value(k % 3), Value(static_cast<double>(k))});
+    }
+  }
+};
+
+bool SameRow(const DeltaRow& a, const DeltaRow& b) {
+  if (a.mult != b.mult || a.row.size() != b.row.size()) return false;
+  for (size_t i = 0; i < a.row.size(); ++i) {
+    if (!(a.row[i] == b.row[i])) return false;
+  }
+  return true;
+}
+
+void ExpectSameSequence(const PooledBatch& got, const DeltaBatch& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_TRUE(SameRow(got[i], want[i])) << "row " << i;
+  }
+}
+
+void ExpectSameMultiset(const PooledBatch& got, DeltaBatch want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    const auto it =
+        std::find_if(want.begin(), want.end(),
+                     [&](const DeltaRow& w) { return SameRow(got[i], w); });
+    ASSERT_NE(it, want.end()) << "unmatched output row " << i;
+    want.erase(it);
+  }
+}
+
+// Brute-force reference join: per input row, full visible scan of the
+// co-table. Order-free oracle for both join strategies.
+DeltaBatch ReferenceJoin(const DeltaBatch& input, size_t left_col,
+                         const Table& table, size_t right_col,
+                         const std::vector<size_t>& right_keep,
+                         Version version) {
+  DeltaBatch out;
+  for (const DeltaRow& delta : input) {
+    table.ScanAt(version, [&](RowId, const Row& row) {
+      if (!(row[right_col] == delta.row[left_col])) return;
+      DeltaRow joined{delta.row, delta.mult};
+      for (size_t c : right_keep) joined.row.push_back(row[c]);
+      out.push_back(std::move(joined));
+    });
+  }
+  return out;
+}
+
+DeltaBatch MakeInput() {
+  DeltaBatch input;
+  for (int64_t i = 0; i < 6; ++i) {
+    input.push_back(
+        DeltaRow{{Value(int64_t{100} + i), Value(i % 4), Value(0.5 * i)},
+                 i % 2 == 0 ? 1 : -1});
+  }
+  return input;  // dk 3 matches nothing: some rows must drop out
+}
+
+TEST(JoinBatchIntoTest, HashStrategyMatchesOneShotAndReference) {
+  Fixture fx;
+  const DeltaBatch input = MakeInput();
+  ExecStats one_shot_stats;
+  const DeltaBatch one_shot =
+      JoinBatchWithTable(input, 1, *fx.fact, 1, {0, 2}, 0, &one_shot_stats)
+          .value();
+
+  PipelineWorkspace ws;
+  PooledBatch out;
+  ExecStats stats;
+  ASSERT_TRUE(
+      JoinBatchInto(input.data(), input.size(), 1, *fx.fact, 1, {0, 2}, 0,
+                    ws, &out, &stats)
+          .ok());
+  ExpectSameSequence(out, one_shot);
+  EXPECT_EQ(stats, one_shot_stats);
+  EXPECT_EQ(stats.hash_build_rows, input.size());
+  ExpectSameMultiset(out,
+                     ReferenceJoin(input, 1, *fx.fact, 1, {0, 2}, 0));
+}
+
+TEST(JoinBatchIntoTest, IndexStrategyMatchesOneShotAndReference) {
+  Fixture fx;
+  fx.dim->CreateHashIndex("dk");
+  const DeltaBatch input = MakeInput();
+  ExecStats one_shot_stats;
+  const DeltaBatch one_shot =
+      JoinBatchWithTable(input, 1, *fx.dim, 0, {1}, 0, &one_shot_stats)
+          .value();
+
+  PipelineWorkspace ws;
+  PooledBatch out;
+  ExecStats stats;
+  ASSERT_TRUE(JoinBatchInto(input.data(), input.size(), 1, *fx.dim, 0, {1},
+                            0, ws, &out, &stats)
+                  .ok());
+  ExpectSameSequence(out, one_shot);
+  EXPECT_EQ(stats, one_shot_stats);
+  EXPECT_EQ(stats.index_probes, input.size());
+  EXPECT_EQ(stats.rows_scanned, 0u);
+  ExpectSameMultiset(out, ReferenceJoin(input, 1, *fx.dim, 0, {1}, 0));
+}
+
+TEST(JoinBatchIntoTest, WarmWorkspaceStopsGrowing) {
+  Fixture fx;
+  const DeltaBatch input = MakeInput();
+  PipelineWorkspace ws;
+  PooledBatch out;
+  for (int i = 0; i < 3; ++i) {
+    ws.BeginBatch();
+    ExecStats stats;
+    ASSERT_TRUE(JoinBatchInto(input.data(), input.size(), 1, *fx.fact, 1,
+                              {0, 2}, 0, ws, &out, &stats)
+                    .ok());
+    ws.FinishBatch();
+  }
+  const uint64_t grow_after_warmup = ws.grow_events();
+  const size_t peak = ws.arena_bytes_peak();
+  for (int i = 0; i < 10; ++i) {
+    ws.BeginBatch();
+    ExecStats stats;
+    ASSERT_TRUE(JoinBatchInto(input.data(), input.size(), 1, *fx.fact, 1,
+                              {0, 2}, 0, ws, &out, &stats)
+                    .ok());
+    ws.FinishBatch();
+  }
+  EXPECT_EQ(ws.grow_events(), grow_after_warmup);
+  EXPECT_EQ(ws.arena_bytes_peak(), peak);
+  EXPECT_EQ(ws.batches(), 13u);
+  EXPECT_EQ(ws.reuses(), 12u);
+}
+
+TEST(JoinBatchIntoTest, PartitionedProbeIsBitIdenticalToSequential) {
+  Fixture fx;
+  const DeltaBatch input = MakeInput();
+
+  PipelineWorkspace seq_ws;
+  PooledBatch seq_out;
+  ExecStats seq_stats;
+  ASSERT_TRUE(JoinBatchInto(input.data(), input.size(), 1, *fx.fact, 1,
+                            {0, 2}, 0, seq_ws, &seq_out, &seq_stats)
+                  .ok());
+  DeltaBatch seq;
+  seq_out.ReleaseTo(&seq);
+
+  // More partitions than rows, more threads than partitions, and every
+  // count in between: the output sequence and the counters never change.
+  for (const size_t partitions : {1u, 2u, 3u, 5u, 16u}) {
+    for (const size_t threads : {1u, 3u}) {
+      ThreadPool pool(threads);
+      PipelineWorkspace ws;
+      ws.EnableParallelProbe(&pool, partitions, /*min_rows=*/0);
+      PooledBatch out;
+      ExecStats stats;
+      ASSERT_TRUE(JoinBatchInto(input.data(), input.size(), 1, *fx.fact, 1,
+                                {0, 2}, 0, ws, &out, &stats)
+                      .ok())
+          << partitions << "x" << threads;
+      ExpectSameSequence(out, seq);
+      EXPECT_EQ(stats, seq_stats) << partitions << "x" << threads;
+    }
+  }
+}
+
+TEST(JoinBatchIntoTest, MinRowsGateKeepsSmallTablesSequential) {
+  Fixture fx;
+  const DeltaBatch input = MakeInput();
+  ThreadPool pool(2);
+  PipelineWorkspace ws;
+  // fact has 10 physical rows < min_rows: the gate must keep the probe
+  // sequential (observable through the armed-failpoint test in
+  // tests/exec/substrate_fault_test.cc; here we pin output + counters).
+  ws.EnableParallelProbe(&pool, 2, /*min_rows=*/1000000);
+  PooledBatch out;
+  ExecStats stats;
+  ASSERT_TRUE(JoinBatchInto(input.data(), input.size(), 1, *fx.fact, 1,
+                            {0, 2}, 0, ws, &out, &stats)
+                  .ok());
+  ExpectSameMultiset(out, ReferenceJoin(input, 1, *fx.fact, 1, {0, 2}, 0));
+}
+
+TEST(ScanToBatchIntoTest, MatchesOneShotAndCountsScannedRows) {
+  Fixture fx;
+  ExecStats one_shot_stats;
+  const DeltaBatch one_shot =
+      ScanToBatch(*fx.fact, 0, &one_shot_stats).value();
+
+  PooledBatch out;
+  ExecStats stats;
+  ASSERT_TRUE(ScanToBatchInto(*fx.fact, 0, &out, &stats).ok());
+  ExpectSameSequence(out, one_shot);
+  EXPECT_EQ(stats.rows_scanned, fx.fact->live_row_count());
+  EXPECT_EQ(stats, one_shot_stats);
+}
+
+TEST(FilterBatchInPlaceTest, MatchesOneShotAndChargesExaminedRows) {
+  Fixture fx;
+  const DeltaBatch scanned = ScanToBatch(*fx.fact, 0, nullptr).value();
+  ExecStats one_shot_stats;
+  const DeltaBatch one_shot = FilterBatch(scanned, 0, CompareOp::kLt,
+                                          Value(int64_t{4}),
+                                          &one_shot_stats);
+
+  PooledBatch batch;
+  ASSERT_TRUE(ScanToBatchInto(*fx.fact, 0, &batch, nullptr).ok());
+  ExecStats stats;
+  FilterBatchInPlace(&batch, 0, CompareOp::kLt, Value(int64_t{4}), &stats);
+  ExpectSameMultiset(batch, one_shot);
+  EXPECT_EQ(stats.rows_filtered, scanned.size());
+  EXPECT_EQ(stats, one_shot_stats);
+}
+
+TEST(ProjectBatchInPlaceTest, HandlesDuplicateAndReorderedColumns) {
+  Fixture fx;
+  const DeltaBatch scanned = ScanToBatch(*fx.fact, 0, nullptr).value();
+  // Duplicated source column: naive in-place moves would clobber the
+  // second read of column 0.
+  const std::vector<size_t> columns = {2, 0, 0};
+  ExecStats one_shot_stats;
+  const DeltaBatch one_shot =
+      ProjectBatch(scanned, columns, &one_shot_stats);
+
+  PipelineWorkspace ws;
+  PooledBatch batch;
+  ASSERT_TRUE(ScanToBatchInto(*fx.fact, 0, &batch, nullptr).ok());
+  ExecStats stats;
+  ProjectBatchInPlace(&batch, columns, ws, &stats);
+  ExpectSameSequence(batch, one_shot);
+  EXPECT_EQ(stats, one_shot_stats);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ASSERT_EQ(batch[i].row.size(), 3u);
+    EXPECT_TRUE(batch[i].row[1] == batch[i].row[2]);
+  }
+}
+
+TEST(PooledBatchTest, ReleaseToEmptiesThePool) {
+  PooledBatch batch;
+  AssignRow(batch.Append(1), {Value(int64_t{1})});
+  AssignRow(batch.Append(-1), {Value(int64_t{2})});
+  batch.TruncateTo(1);
+  DeltaBatch released;
+  batch.ReleaseTo(&released);
+  ASSERT_EQ(released.size(), 1u);
+  EXPECT_EQ(released[0].row[0].AsInt64(), 1);
+  EXPECT_EQ(batch.size(), 0u);
+  EXPECT_EQ(batch.capacity_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace abivm

@@ -1,8 +1,11 @@
 #include "ivm/maintainer.h"
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "tpc/tpc_gen.h"
 #include "tpc/update_stream.h"
 #include "tpc/views.h"
@@ -325,6 +328,60 @@ TEST(ViewMaintainerTest, RecomputeProfileLeadsWithScanStage) {
   EXPECT_EQ(profile.stages.front().slug.rfind("scan.", 0), 0u);
   EXPECT_GT(profile.stages.front().rows_out, 0u);
   EXPECT_GT(profile.TotalStats().rows_scanned, 0u);
+}
+
+TEST(ViewMaintainerTest, WarmWorkspaceStopsGrowing) {
+  PaperViewFixture fx;
+  ViewMaintainer maintainer(&fx.db, MakePaperMinView());
+  // Warm up on batches of the workload's size...
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 8; ++i) fx.updater.UpdatePartSuppSupplycost();
+    maintainer.ProcessBatch(0, 8);
+  }
+  const uint64_t grow_after_warmup = maintainer.workspace().grow_events();
+  // ...then the steady state must allocate nothing: grow_events() is flat
+  // over arbitrarily many same-shaped batches.
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 8; ++i) fx.updater.UpdatePartSuppSupplycost();
+    maintainer.ProcessBatch(0, 8);
+  }
+  EXPECT_EQ(maintainer.workspace().grow_events(), grow_after_warmup);
+  EXPECT_GT(maintainer.workspace().reuses(), 0u);
+  EXPECT_GT(maintainer.workspace().arena_bytes_peak(), 0u);
+  EXPECT_TRUE(maintainer.state().SameContents(
+      maintainer.RecomputeAtWatermarks()));
+}
+
+TEST(ViewMaintainerTest, ParallelProbeMatchesSequential) {
+  PaperViewFixture seq_fx;
+  PaperViewFixture par_fx;  // same seeds => identical database + workload
+  ViewMaintainer seq(&seq_fx.db, MakePaperMinView());
+  ViewMaintainer par(&par_fx.db, MakePaperMinView());
+  ThreadPool pool(3);
+  par.EnableParallelProbe(&pool, /*partitions=*/3, /*min_rows=*/0);
+  for (int i = 0; i < 12; ++i) {
+    seq_fx.updater.UpdateSupplierNationkey();
+    par_fx.updater.UpdateSupplierNationkey();
+    seq_fx.updater.UpdatePartSuppSupplycost();
+    par_fx.updater.UpdatePartSuppSupplycost();
+  }
+  for (size_t table = 0; table < seq.num_tables(); ++table) {
+    ASSERT_EQ(seq.PendingCount(table), par.PendingCount(table));
+    while (seq.PendingCount(table) > 0) {
+      const size_t k = std::min<size_t>(5, seq.PendingCount(table));
+      const BatchResult a = seq.ProcessBatch(table, k);
+      const BatchResult b = par.ProcessBatch(table, k);
+      EXPECT_TRUE(a.stats == b.stats) << "table " << table;
+      EXPECT_EQ(a.view_updates, b.view_updates);
+    }
+  }
+  EXPECT_TRUE(par.state().SameContents(seq.state()));
+  EXPECT_TRUE(par.state().SameContents(par.RecomputeAtWatermarks()));
+  // Toggling the probe off returns to the sequential path in place.
+  par.DisableParallelProbe();
+  par_fx.updater.UpdateSupplierNationkey();
+  par.RefreshAll();
+  EXPECT_TRUE(par.state().SameContents(par.RecomputeAtWatermarks()));
 }
 
 }  // namespace

@@ -1,0 +1,194 @@
+// Fault tests for the substrate hot path (ctest -L fault): the
+// flat-index growth failpoint must fire exactly at the growth edge and
+// leave the apply atomic, the partitioned-probe failpoint must cancel a
+// batch cleanly, and the partitioned scan-side probe must be
+// thread-count invariant -- including while the new sites are armed on a
+// seeded probability schedule.
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "fault/failpoint.h"
+#include "fault/sites.h"
+#include "ivm/maintainer.h"
+#include "storage/database.h"
+#include "tpc/tpc_gen.h"
+#include "tpc/update_stream.h"
+#include "tpc/views.h"
+
+namespace abivm {
+namespace {
+
+using fault::ScopedFailpoint;
+
+// The flat-index growth site: armed, it must reject exactly the apply
+// that would rehash an index -- BEFORE any mutation -- and let every
+// pre-edge apply through untouched.
+TEST(SubstrateFaultTest, FlatIndexGrowFailpointFiresExactlyAtGrowthEdge) {
+  Database db;
+  Table& t = db.CreateTable(
+      "t", Schema({{"k", ValueType::kInt64}, {"v", ValueType::kString}}));
+  db.BulkLoad(t, {Value(int64_t{0}), Value("seed")});
+  t.CreateHashIndex("k");
+  const Table::FlatIndex* index = t.IndexOn(0);
+  ASSERT_NE(index, nullptr);
+
+  int64_t next_key = 1;
+  for (int round = 0; round < 3; ++round) {
+    const size_t buckets_before = index->bucket_count();
+    {
+      ScopedFailpoint guard =
+          ScopedFailpoint::Always(fault::kFpFlatIndexGrow);
+      // Below the edge the armed site is not crossed: inserts succeed and
+      // the bucket array never moves.
+      while (!t.IndexGrowthPending()) {
+        ASSERT_TRUE(
+            db.TryApplyInsert(t, {Value(next_key), Value("x")}).ok());
+        ++next_key;
+        ASSERT_EQ(index->bucket_count(), buckets_before);
+      }
+      // At the edge the injected fault must fail the apply atomically:
+      // no row, no delta-log entry, no version bump, no rehash.
+      const size_t live_before = t.live_row_count();
+      const size_t log_before = t.delta_log().size();
+      const Version ver_before = db.current_version();
+      const Result<RowId> failed =
+          db.TryApplyInsert(t, {Value(next_key), Value("x")});
+      ASSERT_FALSE(failed.ok());
+      EXPECT_EQ(failed.status().code(), StatusCode::kInternal);
+      EXPECT_EQ(t.live_row_count(), live_before);
+      EXPECT_EQ(t.delta_log().size(), log_before);
+      EXPECT_EQ(db.current_version(), ver_before);
+      EXPECT_EQ(index->bucket_count(), buckets_before);
+      EXPECT_GT(guard.point().triggers(), 0u);
+    }
+    // Disarmed, the identical apply succeeds and the index grows.
+    ASSERT_TRUE(db.TryApplyInsert(t, {Value(next_key), Value("x")}).ok());
+    ++next_key;
+    EXPECT_GT(index->bucket_count(), buckets_before);
+  }
+
+  // The index still answers correctly after the fault/growth churn.
+  size_t hits = 0;
+  t.IndexLookup(0, Value(next_key - 1), db.current_version(),
+                [&](RowId, const Row&) { ++hits; });
+  EXPECT_EQ(hits, 1u);
+}
+
+struct TpcFixture {
+  Database db;
+  std::unique_ptr<ViewMaintainer> maintainer;
+  std::unique_ptr<TpcUpdater> updater;
+
+  explicit TpcFixture(uint64_t seed = 7) {
+    TpcGenOptions options;
+    options.scale_factor = 0.001;
+    options.seed = seed;
+    GenerateTpcDatabase(&db, options);
+    CreatePaperIndexes(&db);
+    maintainer = std::make_unique<ViewMaintainer>(&db, MakePaperMinView());
+    updater = std::make_unique<TpcUpdater>(&db, seed + 1);
+  }
+
+  void MakePending(int count) {
+    for (int i = 0; i < count; ++i) {
+      updater->UpdateSupplierNationkey();
+      updater->UpdatePartSuppSupplycost();
+    }
+  }
+};
+
+// An armed partitioned-probe site cancels the whole batch on the caller
+// thread before any work is dispatched: the failure is atomic and the
+// retry (site disarmed) converges to the oracle.
+TEST(SubstrateFaultTest, PartitionedProbeFailpointIsAtomic) {
+  TpcFixture fx;
+  ViewMaintainer& m = *fx.maintainer;
+  ThreadPool pool(2);
+  m.EnableParallelProbe(&pool, /*partitions=*/2, /*min_rows=*/0);
+  fx.MakePending(6);
+
+  // Supplier deltas (table 1) join the unindexed partsupp: that is the
+  // hash-join strategy, so the partitioned path is taken.
+  const size_t pending = m.PendingCount(1);
+  ASSERT_GT(pending, 0u);
+  {
+    ScopedFailpoint guard =
+        ScopedFailpoint::Always(fault::kFpPartitionedProbe);
+    const ViewState before_state = m.state();
+    const size_t before_pos = m.watermark_position(1);
+    BatchResult result;
+    const Status status = m.ProcessBatchChecked(1, pending, &result);
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::kInternal);
+    EXPECT_EQ(m.watermark_position(1), before_pos);
+    EXPECT_TRUE(m.state().SameContents(before_state));
+    EXPECT_GT(guard.point().triggers(), 0u);
+  }
+  ASSERT_TRUE(m.RefreshAllChecked().ok());
+  ASSERT_TRUE(m.IsConsistent());
+  EXPECT_TRUE(m.state().SameContents(m.RecomputeAtWatermarks()));
+}
+
+// Thread-count invariance: a sequential maintainer and a partitioned one
+// fed the identical workload must agree batch for batch -- same operator
+// counters, same view state -- at every thread count, even while the new
+// sites are armed on a seeded probability schedule (failed attempts are
+// atomic, so the caller just retries).
+TEST(SubstrateFaultTest, PartitionedProbeIsThreadCountInvariant) {
+  for (const size_t threads : {1u, 2u, 4u}) {
+    TpcFixture seq_fx(11);
+    TpcFixture par_fx(11);  // identical seed => identical workload
+    ViewMaintainer& seq = *seq_fx.maintainer;
+    ViewMaintainer& par = *par_fx.maintainer;
+    ThreadPool pool(threads);
+    par.EnableParallelProbe(&pool, /*partitions=*/threads,
+                            /*min_rows=*/0);
+    seq_fx.MakePending(8);
+    par_fx.MakePending(8);
+
+    {
+      ScopedFailpoint grow_guard = ScopedFailpoint::Probability(
+          fault::kFpFlatIndexGrow, 0.3, /*seed=*/threads);
+      ScopedFailpoint probe_guard = ScopedFailpoint::Probability(
+          fault::kFpPartitionedProbe, 0.3, /*seed=*/100 + threads);
+      for (size_t table = 0; table < seq.num_tables(); ++table) {
+        ASSERT_EQ(seq.PendingCount(table), par.PendingCount(table));
+        while (seq.PendingCount(table) > 0) {
+          const size_t k = std::min<size_t>(3, seq.PendingCount(table));
+          BatchResult seq_result;
+          BatchResult par_result;
+          Status seq_status;
+          Status par_status;
+          int attempts = 0;
+          do {
+            seq_status = seq.ProcessBatchChecked(table, k, &seq_result);
+            ASSERT_LT(++attempts, 100);
+          } while (!seq_status.ok());
+          attempts = 0;
+          do {
+            par_status = par.ProcessBatchChecked(table, k, &par_result);
+            ASSERT_LT(++attempts, 100);
+          } while (!par_status.ok());
+          EXPECT_EQ(seq_result.stats, par_result.stats)
+              << "threads=" << threads << " table=" << table;
+          EXPECT_EQ(seq_result.view_updates, par_result.view_updates);
+          EXPECT_EQ(seq_result.delta_rows_in, par_result.delta_rows_in);
+        }
+      }
+    }
+    ASSERT_TRUE(seq.IsConsistent());
+    ASSERT_TRUE(par.IsConsistent());
+    EXPECT_TRUE(par.state().SameContents(seq.state()))
+        << "threads=" << threads;
+    EXPECT_TRUE(par.state().SameContents(par.RecomputeAtWatermarks()))
+        << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace abivm

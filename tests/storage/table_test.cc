@@ -1,9 +1,13 @@
 #include "storage/table.h"
 
+#include <algorithm>
 #include <set>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/random.h"
 #include "storage/database.h"
 
 namespace abivm {
@@ -150,6 +154,110 @@ TEST(DatabaseTest, VersionClockAndDeltaLog) {
   const Modification& del = t.delta_log().At(2);
   EXPECT_EQ(del.kind, ModKind::kDelete);
   EXPECT_EQ(del.old_row[1].AsString(), "a");
+}
+
+// Randomized oracle for the flat hash index: at every version, an index
+// lookup must return exactly the rows a full visible scan finds for that
+// key -- across inserts, updates, deletes, index creation after rows,
+// and version GC (VacuumBefore).
+TEST(TableTest, IndexMatchesScanOracleAcrossMutationsAndVacuum) {
+  Table t("t", TwoColSchema());
+  Rng rng(0x5EED);
+  constexpr int64_t kKeys = 9;  // few keys -> long duplicate chains
+  std::vector<RowId> live;
+  Version version = 1;
+
+  const auto check_all_keys = [&](Version v) {
+    for (int64_t k = 0; k < kKeys; ++k) {
+      std::multiset<std::string> via_scan;
+      t.ScanAt(v, [&](RowId, const Row& row) {
+        if (row[0].AsInt64() == k) via_scan.insert(row[1].AsString());
+      });
+      std::multiset<std::string> via_index;
+      t.IndexLookup(0, Value(k), v, [&](RowId, const Row& row) {
+        via_index.insert(row[1].AsString());
+      });
+      ASSERT_EQ(via_index, via_scan) << "key " << k << " at v" << v;
+    }
+  };
+
+  // Seed rows BEFORE the index exists: CreateHashIndex must cover them.
+  for (int i = 0; i < 40; ++i) {
+    live.push_back(t.Insert(
+        MakeRow(rng.UniformInt(0, kKeys - 1), "seed" + std::to_string(i)),
+        version++));
+  }
+  t.CreateHashIndex("k");
+  check_all_keys(version - 1);
+
+  for (int step = 0; step < 600; ++step) {
+    switch (rng.UniformInt(0, 3)) {
+      case 0:
+      case 1:
+        live.push_back(t.Insert(MakeRow(rng.UniformInt(0, kKeys - 1),
+                                        "s" + std::to_string(step)),
+                                version++));
+        break;
+      case 2:
+        if (!live.empty()) {
+          const size_t pick = static_cast<size_t>(rng.UniformInt(
+              0, static_cast<int64_t>(live.size()) - 1));
+          const RowId id = live[pick];
+          live[pick] = t.Update(id,
+                                MakeRow(rng.UniformInt(0, kKeys - 1),
+                                        "u" + std::to_string(step)),
+                                version++);
+        }
+        break;
+      default:
+        if (live.size() > 5) {
+          const size_t pick = static_cast<size_t>(rng.UniformInt(
+              0, static_cast<int64_t>(live.size()) - 1));
+          t.Delete(live[pick], version++);
+          live.erase(live.begin() + static_cast<ptrdiff_t>(pick));
+        }
+        break;
+    }
+    if (step % 53 == 0) check_all_keys(version - 1);
+  }
+  check_all_keys(version - 1);
+
+  // Version GC: reclaiming dead versions must unindex exactly the
+  // vacuumed rows and leave current-snapshot answers untouched.
+  const Version safe = version - 1;
+  const size_t reclaimed = t.VacuumBefore(safe);
+  EXPECT_GT(reclaimed, 0u);
+  check_all_keys(safe);
+  EXPECT_EQ(t.live_row_count(), live.size());
+}
+
+// ScanRangeAt partitions: contiguous ranges concatenated in order must
+// reproduce the full scan exactly (the partitioned probe's foundation).
+TEST(TableTest, ScanRangeConcatenationEqualsFullScan) {
+  Table t("t", TwoColSchema());
+  std::vector<RowId> ids;
+  for (int64_t k = 0; k < 23; ++k) {
+    ids.push_back(t.Insert(MakeRow(k, "v" + std::to_string(k)), 1));
+  }
+  for (int64_t k = 0; k < 23; k += 3) t.Delete(ids[static_cast<size_t>(k)], 2);
+
+  std::vector<RowId> full;
+  t.ScanAt(2, [&](RowId id, const Row&) { full.push_back(id); });
+
+  for (const size_t parts : {1u, 2u, 4u, 7u, 30u}) {
+    std::vector<RowId> pieced;
+    const size_t phys = t.physical_row_count();
+    const size_t chunk = (phys + parts - 1) / parts;
+    for (size_t p = 0; p < parts; ++p) {
+      const RowId begin = static_cast<RowId>(p * chunk);
+      const RowId end =
+          static_cast<RowId>(std::min(phys, (p + 1) * chunk));
+      if (begin >= end) continue;
+      t.ScanRangeAt(2, begin, end,
+                    [&](RowId id, const Row&) { pieced.push_back(id); });
+    }
+    EXPECT_EQ(pieced, full) << parts << " partitions";
+  }
 }
 
 TEST(DatabaseTest, TableCatalog) {
