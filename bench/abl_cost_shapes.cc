@@ -22,6 +22,7 @@
 #include "core/online.h"
 #include "sim/report.h"
 #include "sim/sweep.h"
+#include "sim/sweep_values.h"
 
 namespace abivm {
 namespace {
@@ -71,7 +72,7 @@ void Run(int argc, char** argv) {
       const PlanSearchResult lgm = FindOptimalLgmPlan(instance, options);
       const MaintenancePlan opt = ExhaustiveOptimalPlan(instance);
       result.total_cost = lgm.cost;
-      result.values["opt_cost"] = opt.TotalCost(instance.cost_model);
+      sweep_values::kOptCost.Set(result, opt.TotalCost(instance.cost_model));
     };
     jobs.push_back(std::move(oracle));
   }
@@ -82,7 +83,7 @@ void Run(int argc, char** argv) {
                      "LGM/OPT"});
   for (size_t i = 0; i + 2 < results.size(); i += 3) {
     const double lgm_cost = results[i + 2].total_cost;
-    const double opt_cost = results[i + 2].values.at("opt_cost");
+    const double opt_cost = sweep_values::kOptCost.Get(results[i + 2]);
     table.AddRow({shapes[i / 3].label,
                   ReportTable::Num(results[i].total_cost, 2),
                   ReportTable::Num(results[i + 1].total_cost, 2),

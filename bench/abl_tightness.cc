@@ -16,6 +16,7 @@
 #include "core/exhaustive.h"
 #include "sim/report.h"
 #include "sim/sweep.h"
+#include "sim/sweep_values.h"
 
 namespace abivm {
 namespace {
@@ -46,7 +47,7 @@ void Run(int argc, char** argv) {
       const PlanSearchResult lgm = FindOptimalLgmPlan(instance, options);
       const MaintenancePlan opt = ExhaustiveOptimalPlan(instance);
       result.total_cost = lgm.cost;
-      result.values["opt_cost"] = opt.TotalCost(instance.cost_model);
+      sweep_values::kOptCost.Set(result, opt.TotalCost(instance.cost_model));
     };
     jobs.push_back(std::move(job));
   }
@@ -58,7 +59,7 @@ void Run(int argc, char** argv) {
   for (size_t i = 0; i < results.size(); ++i) {
     const double eps = epsilons[i];
     const auto per_step = static_cast<Count>(2.0 / eps) + 1;
-    const double opt_cost = results[i].values.at("opt_cost");
+    const double opt_cost = sweep_values::kOptCost.Get(results[i]);
     table.AddRow({ReportTable::Num(eps, 3), std::to_string(per_step),
                   ReportTable::Num(results[i].total_cost, 2),
                   ReportTable::Num(opt_cost, 2),

@@ -23,6 +23,7 @@
 #include "core/plan_policies.h"
 #include "sim/report.h"
 #include "sim/sweep.h"
+#include "sim/sweep_values.h"
 
 namespace abivm {
 namespace {
@@ -35,7 +36,7 @@ ArrivalSequence PaperArrivals(size_t n, TimeStep horizon) {
 }
 
 /// Job that replays the policy on the real engine; records `engine.*`
-/// metrics and stores the measured total in values["actual_ms"].
+/// metrics and stores the measured total under sweep_values::kActualMs.
 SweepJob MakeEngineJob(const std::string& label,
                        const ProblemInstance& instance, double sf,
                        uint64_t seed, PolicyFactory factory) {
@@ -57,17 +58,18 @@ SweepJob MakeEngineJob(const std::string& label,
     result.total_cost = trace.total_model_cost;
     result.violations = trace.violations;
     result.action_count = trace.action_count;
-    result.values["actual_ms"] = trace.total_actual_ms;
-    result.values["abandoned_model_cost"] = trace.abandoned_model_cost;
-    result.values["attempted_ms"] = trace.total_attempted_ms;
-    result.values["attempted_batches"] =
-        static_cast<double>(trace.attempted_batches);
+    sweep_values::kActualMs.Set(result, trace.total_actual_ms);
+    sweep_values::kAbandonedModelCost.Set(result,
+                                          trace.abandoned_model_cost);
+    sweep_values::kAttemptedMs.Set(result, trace.total_attempted_ms);
+    sweep_values::kAttemptedBatches.Set(
+        result, static_cast<double>(trace.attempted_batches));
     // Per-operator wall totals (the asymmetry made visible: probe-bound
     // pipelines vs the one HASH+SCAN stage).
     for (const PipelineProfile& profile : trace.operator_profiles) {
       for (const StageStats& stage : profile.stages) {
-        result.values["op_ms." + profile.pipeline + "." + stage.slug] +=
-            stage.wall_ms;
+        sweep_values::OpMs(profile.pipeline, stage.slug)
+            .Add(result, stage.wall_ms);
       }
     }
   };
@@ -131,7 +133,7 @@ void Run(int argc, char** argv) {
                      "actual/simulated"});
   for (size_t i = 0; i + 1 < results.size(); i += 2) {
     const double simulated = results[i].total_cost;
-    const double actual = results[i + 1].values.at("actual_ms");
+    const double actual = sweep_values::kActualMs.Get(results[i + 1]);
     table.AddRow({results[i].label, ReportTable::Num(simulated, 2),
                   ReportTable::Num(actual, 2),
                   ReportTable::Num(actual / simulated, 3)});

@@ -35,6 +35,11 @@ if [ "$fast" -eq 0 ]; then
   # includes the fault-armed substrate tests (flat-index growth edge,
   # partitioned-probe cancellation, thread-count invariance).
   ctest --preset asan -j "$jobs" -L fault || fail=1
+  # Recovery suite on its own: checkpoint serde round-trips, WAL torn
+  # tails, and the kill-and-restart torture all shuttle whole tables
+  # through byte buffers and rebuild them -- exactly where an overrun or
+  # use-after-free in the image/restore path would hide.
+  ctest --preset asan -j "$jobs" -L recovery || fail=1
   # Substrate hot path under ASan: the flat open-addressing index and the
   # pooled join workspace do manual slot/chain arithmetic over flat
   # buffers; the warm tiers re-fill pooled rows in place, where a stale
@@ -65,6 +70,10 @@ ctest --preset tsan -j "$jobs" || fail=1
 # armed partitioned-probe tests (per-partition output slots and stats
 # must stay thread-confined).
 ctest --preset tsan -j "$jobs" -L fault || fail=1
+# Recovery suite under TSan: durable runs install a Database apply
+# listener and run inside sweep worker threads elsewhere; the suite must
+# stay race-free when tests run concurrently.
+ctest --preset tsan -j "$jobs" -L recovery || fail=1
 # Partitioned scan-side probe under TSan: the one substrate path that
 # fans out across the thread pool (per-partition slots, barrier, then
 # partition-order concatenation on the caller thread).
@@ -77,6 +86,16 @@ ctest --preset tsan -j "$jobs" -L fault || fail=1
 # Replanning sweep under workspace reuse: per-job pooled workspaces must
 # stay thread-confined (one workspace per policy/closure, never shared).
 (cd build-tsan/bench && ./abl_replanning --threads=4 >/dev/null) || fail=1
+
+echo "=== Crash/restart smoke: real process death + recovery ==="
+# A real process dies (std::_Exit at an armed durability failpoint, no
+# cleanup) and a fresh process recovers from the directory alone; the
+# stitched digest must equal a clean run's. One mid-step WAL death, one
+# checkpoint-publish death.
+cmake --preset default >/dev/null || exit 1
+cmake --build --preset default -j "$jobs" >/dev/null || exit 1
+bash scripts/crash_restart_smoke.sh build log.append 7 || fail=1
+bash scripts/crash_restart_smoke.sh build ckpt.fsync 2 || fail=1
 
 echo "=== Release bench guard: planner vs baseline ==="
 # Failpoints are disarmed (one relaxed load per site) in the default

@@ -1,0 +1,336 @@
+#include "ckpt/checkpoint.h"
+
+#include "ckpt/posix_io.h"
+#include "ckpt/serde.h"
+#include "fault/failpoint.h"
+#include "fault/sites.h"
+
+namespace abivm::ckpt {
+
+namespace {
+
+constexpr uint64_t kCheckpointMagic = 0x41424956434b5054ULL;  // "ABIVCKPT"
+constexpr uint32_t kCheckpointFormat = 1;
+constexpr uint64_t kManifestMagic = 0x414249564d414e46ULL;  // "ABIVMANF"
+
+void PutModification(std::string* out, const Modification& m) {
+  PutU64(out, m.version);
+  PutU8(out, static_cast<uint8_t>(m.kind));
+  PutRow(out, m.old_row);
+  PutRow(out, m.new_row);
+}
+
+Status GetModification(ByteReader* in, Modification* m) {
+  ABIVM_RETURN_NOT_OK(in->GetU64(&m->version));
+  uint8_t kind = 0;
+  ABIVM_RETURN_NOT_OK(in->GetU8(&kind));
+  if (kind > static_cast<uint8_t>(ModKind::kUpdate)) {
+    return Status::InvalidArgument("bad ModKind tag " +
+                                   std::to_string(kind));
+  }
+  m->kind = static_cast<ModKind>(kind);
+  ABIVM_RETURN_NOT_OK(in->GetRow(&m->old_row));
+  ABIVM_RETURN_NOT_OK(in->GetRow(&m->new_row));
+  return Status::Ok();
+}
+
+}  // namespace
+
+CheckpointImage CaptureCheckpoint(const Database& db,
+                                  const ViewMaintainer& maintainer,
+                                  uint64_t seq, TimeStep next_step,
+                                  std::string driver_blob) {
+  CheckpointImage image;
+  image.seq = seq;
+  image.db_version = db.current_version();
+  image.next_step = next_step;
+  image.driver_blob = std::move(driver_blob);
+  for (const auto& table : db.tables()) {
+    TableImage ti;
+    ti.name = table->name();
+    for (size_t c = 0; c < table->schema().num_columns(); ++c) {
+      ti.columns.push_back(table->schema().column(c));
+    }
+    ti.slots.reserve(table->physical_row_count());
+    for (RowId id = 0; id < table->physical_row_count(); ++id) {
+      ti.slots.push_back(table->RowAt(id));
+    }
+    ti.live_ids = table->live_ids();
+    ti.vacuum_horizon = table->vacuum_horizon();
+    const DeltaLog& log = table->delta_log();
+    ti.delta_base_offset = log.first_retained();
+    ti.delta_mods.reserve(log.size() - log.first_retained());
+    for (size_t p = log.first_retained(); p < log.size(); ++p) {
+      ti.delta_mods.push_back(log.At(p));
+    }
+    for (size_t column : table->IndexedColumns()) {
+      ti.indexed_columns.push_back(table->schema().column(column).name);
+    }
+    image.tables.push_back(std::move(ti));
+  }
+  for (size_t i = 0; i < maintainer.num_tables(); ++i) {
+    image.positions.push_back(maintainer.watermark_position(i));
+    image.versions.push_back(maintainer.watermark_version(i));
+  }
+  image.view_is_aggregate = maintainer.state().is_aggregate();
+  image.view_groups = maintainer.state().Snapshot();
+  return image;
+}
+
+std::string SerializeCheckpoint(const CheckpointImage& image) {
+  std::string out;
+  PutU64(&out, kCheckpointMagic);
+  PutU32(&out, kCheckpointFormat);
+  PutU64(&out, image.seq);
+  PutU64(&out, image.db_version);
+  PutI64(&out, image.next_step);
+  PutString(&out, image.driver_blob);
+  PutU64(&out, image.tables.size());
+  for (const TableImage& ti : image.tables) {
+    PutString(&out, ti.name);
+    PutU64(&out, ti.columns.size());
+    for (const Column& col : ti.columns) {
+      PutString(&out, col.name);
+      PutU8(&out, static_cast<uint8_t>(col.type));
+    }
+    PutU64(&out, ti.slots.size());
+    for (const VersionedRow& slot : ti.slots) {
+      PutRow(&out, slot.row);
+      PutU64(&out, slot.insert_version);
+      PutU64(&out, slot.delete_version);
+    }
+    PutU64(&out, ti.live_ids.size());
+    for (RowId id : ti.live_ids) PutU64(&out, id);
+    PutU64(&out, ti.vacuum_horizon);
+    PutU64(&out, ti.delta_base_offset);
+    PutU64(&out, ti.delta_mods.size());
+    for (const Modification& m : ti.delta_mods) PutModification(&out, m);
+    PutU64(&out, ti.indexed_columns.size());
+    for (const std::string& name : ti.indexed_columns) {
+      PutString(&out, name);
+    }
+  }
+  PutU64(&out, image.positions.size());
+  for (size_t p : image.positions) PutU64(&out, p);
+  PutU64(&out, image.versions.size());
+  for (Version v : image.versions) PutU64(&out, v);
+  PutU8(&out, image.view_is_aggregate ? 1 : 0);
+  PutU64(&out, image.view_groups.size());
+  for (const auto& [key, group] : image.view_groups) {
+    PutRow(&out, key);
+    PutI64(&out, group.count);
+    PutDouble(&out, group.sum);
+    PutU64(&out, group.values.size());
+    for (const auto& [value, count] : group.values) {
+      PutValue(&out, value);
+      PutI64(&out, count);
+    }
+  }
+  return out;
+}
+
+Result<CheckpointImage> ParseCheckpoint(std::string_view data) {
+  ByteReader in(data);
+  uint64_t magic = 0;
+  uint32_t format = 0;
+  ABIVM_RETURN_NOT_OK(in.GetU64(&magic));
+  if (magic != kCheckpointMagic) {
+    return Status::InvalidArgument("not a checkpoint image (bad magic)");
+  }
+  ABIVM_RETURN_NOT_OK(in.GetU32(&format));
+  if (format != kCheckpointFormat) {
+    return Status::InvalidArgument("unsupported checkpoint format " +
+                                   std::to_string(format));
+  }
+  CheckpointImage image;
+  ABIVM_RETURN_NOT_OK(in.GetU64(&image.seq));
+  ABIVM_RETURN_NOT_OK(in.GetU64(&image.db_version));
+  ABIVM_RETURN_NOT_OK(in.GetI64(&image.next_step));
+  ABIVM_RETURN_NOT_OK(in.GetString(&image.driver_blob));
+  uint64_t num_tables = 0;
+  ABIVM_RETURN_NOT_OK(in.GetU64(&num_tables));
+  for (uint64_t ti_idx = 0; ti_idx < num_tables; ++ti_idx) {
+    TableImage ti;
+    ABIVM_RETURN_NOT_OK(in.GetString(&ti.name));
+    uint64_t ncols = 0;
+    ABIVM_RETURN_NOT_OK(in.GetU64(&ncols));
+    for (uint64_t c = 0; c < ncols; ++c) {
+      Column col;
+      ABIVM_RETURN_NOT_OK(in.GetString(&col.name));
+      uint8_t type = 0;
+      ABIVM_RETURN_NOT_OK(in.GetU8(&type));
+      if (type > static_cast<uint8_t>(ValueType::kString)) {
+        return Status::InvalidArgument("bad column type tag " +
+                                       std::to_string(type));
+      }
+      col.type = static_cast<ValueType>(type);
+      ti.columns.push_back(std::move(col));
+    }
+    uint64_t nslots = 0;
+    ABIVM_RETURN_NOT_OK(in.GetU64(&nslots));
+    ti.slots.resize(static_cast<size_t>(nslots));
+    for (auto& slot : ti.slots) {
+      ABIVM_RETURN_NOT_OK(in.GetRow(&slot.row));
+      ABIVM_RETURN_NOT_OK(in.GetU64(&slot.insert_version));
+      ABIVM_RETURN_NOT_OK(in.GetU64(&slot.delete_version));
+    }
+    uint64_t nlive = 0;
+    ABIVM_RETURN_NOT_OK(in.GetU64(&nlive));
+    ti.live_ids.resize(static_cast<size_t>(nlive));
+    for (auto& id : ti.live_ids) ABIVM_RETURN_NOT_OK(in.GetU64(&id));
+    ABIVM_RETURN_NOT_OK(in.GetU64(&ti.vacuum_horizon));
+    uint64_t base = 0;
+    ABIVM_RETURN_NOT_OK(in.GetU64(&base));
+    ti.delta_base_offset = static_cast<size_t>(base);
+    uint64_t nmods = 0;
+    ABIVM_RETURN_NOT_OK(in.GetU64(&nmods));
+    ti.delta_mods.resize(static_cast<size_t>(nmods));
+    for (auto& m : ti.delta_mods) {
+      ABIVM_RETURN_NOT_OK(GetModification(&in, &m));
+    }
+    uint64_t nindexed = 0;
+    ABIVM_RETURN_NOT_OK(in.GetU64(&nindexed));
+    ti.indexed_columns.resize(static_cast<size_t>(nindexed));
+    for (auto& name : ti.indexed_columns) {
+      ABIVM_RETURN_NOT_OK(in.GetString(&name));
+    }
+    image.tables.push_back(std::move(ti));
+  }
+  uint64_t npos = 0;
+  ABIVM_RETURN_NOT_OK(in.GetU64(&npos));
+  image.positions.resize(static_cast<size_t>(npos));
+  for (auto& p : image.positions) {
+    uint64_t v = 0;
+    ABIVM_RETURN_NOT_OK(in.GetU64(&v));
+    p = static_cast<size_t>(v);
+  }
+  uint64_t nver = 0;
+  ABIVM_RETURN_NOT_OK(in.GetU64(&nver));
+  image.versions.resize(static_cast<size_t>(nver));
+  for (auto& v : image.versions) ABIVM_RETURN_NOT_OK(in.GetU64(&v));
+  uint8_t is_aggregate = 0;
+  ABIVM_RETURN_NOT_OK(in.GetU8(&is_aggregate));
+  image.view_is_aggregate = is_aggregate != 0;
+  uint64_t ngroups = 0;
+  ABIVM_RETURN_NOT_OK(in.GetU64(&ngroups));
+  for (uint64_t g = 0; g < ngroups; ++g) {
+    Row key;
+    GroupState group;
+    ABIVM_RETURN_NOT_OK(in.GetRow(&key));
+    ABIVM_RETURN_NOT_OK(in.GetI64(&group.count));
+    ABIVM_RETURN_NOT_OK(in.GetDouble(&group.sum));
+    uint64_t nvalues = 0;
+    ABIVM_RETURN_NOT_OK(in.GetU64(&nvalues));
+    for (uint64_t v = 0; v < nvalues; ++v) {
+      Value value;
+      int64_t count = 0;
+      ABIVM_RETURN_NOT_OK(in.GetValue(&value));
+      ABIVM_RETURN_NOT_OK(in.GetI64(&count));
+      group.values.emplace(std::move(value), count);
+    }
+    image.view_groups.emplace(std::move(key), std::move(group));
+  }
+  ABIVM_RETURN_NOT_OK(in.ExpectEnd());
+  return image;
+}
+
+Status InstallDatabaseImage(const CheckpointImage& image, Database* db) {
+  ABIVM_CHECK(db != nullptr);
+  if (!db->tables().empty() || db->current_version() != 0) {
+    return Status::FailedPrecondition(
+        "checkpoint images install into an empty database");
+  }
+  for (const TableImage& ti : image.tables) {
+    Table& table = db->CreateTable(ti.name, Schema(ti.columns));
+    for (const VersionedRow& slot : ti.slots) {
+      table.RestoreRowSlot(slot.row, slot.insert_version,
+                           slot.delete_version);
+    }
+    table.RestoreLiveOrder(ti.live_ids);
+    table.RestoreVacuumHorizon(ti.vacuum_horizon);
+    table.delta_log().RestoreBaseOffset(ti.delta_base_offset);
+    for (const Modification& m : ti.delta_mods) {
+      table.delta_log().Append(m);
+    }
+    // Index rebuild AFTER the slots: RowId-ascending insertion reproduces
+    // the per-key chain order organic inserts produced.
+    for (const std::string& column : ti.indexed_columns) {
+      table.CreateHashIndex(column);
+    }
+  }
+  db->RestoreVersion(image.db_version);
+  return Status::Ok();
+}
+
+std::string CheckpointFileName(uint64_t seq) {
+  return "ckpt-" + std::to_string(seq) + ".bin";
+}
+
+namespace {
+
+std::string SerializeManifest(const Manifest& manifest) {
+  std::string body;
+  PutU64(&body, kManifestMagic);
+  PutU64(&body, manifest.seq);
+  PutString(&body, manifest.checkpoint_file);
+  PutU64(&body, manifest.checkpoint_checksum);
+  PutU64(&body, Checksum(body));
+  return body;
+}
+
+Result<Manifest> ParseManifest(std::string_view data) {
+  if (data.size() < 8) {
+    return Status::InvalidArgument("manifest too short");
+  }
+  const std::string_view body = data.substr(0, data.size() - 8);
+  ByteReader tail(data.substr(data.size() - 8));
+  uint64_t stored = 0;
+  ABIVM_RETURN_NOT_OK(tail.GetU64(&stored));
+  if (Checksum(body) != stored) {
+    return Status::InvalidArgument("manifest checksum mismatch");
+  }
+  ByteReader in(body);
+  uint64_t magic = 0;
+  ABIVM_RETURN_NOT_OK(in.GetU64(&magic));
+  if (magic != kManifestMagic) {
+    return Status::InvalidArgument("not a manifest (bad magic)");
+  }
+  Manifest manifest;
+  ABIVM_RETURN_NOT_OK(in.GetU64(&manifest.seq));
+  ABIVM_RETURN_NOT_OK(in.GetString(&manifest.checkpoint_file));
+  ABIVM_RETURN_NOT_OK(in.GetU64(&manifest.checkpoint_checksum));
+  ABIVM_RETURN_NOT_OK(in.ExpectEnd());
+  return manifest;
+}
+
+}  // namespace
+
+Status PublishCheckpoint(const std::string& dir,
+                         const CheckpointImage& image,
+                         uint64_t* bytes_written) {
+  const std::string payload = SerializeCheckpoint(image);
+  const std::string file = CheckpointFileName(image.seq);
+  ABIVM_RETURN_NOT_OK(WriteFileDurable(dir + "/" + file, payload));
+  Manifest manifest;
+  manifest.seq = image.seq;
+  manifest.checkpoint_file = file;
+  manifest.checkpoint_checksum = Checksum(payload);
+  ABIVM_FAULT_POINT(fault::kFpCkptManifest);
+  ABIVM_RETURN_NOT_OK(
+      WriteFileDurable(dir + "/MANIFEST", SerializeManifest(manifest)));
+  // The superseded image is unreachable once the manifest swap is
+  // durable; reclaim it (best effort -- a leftover file is harmless).
+  if (image.seq > 0) {
+    RemoveFileIfExists(dir + "/" + CheckpointFileName(image.seq - 1));
+  }
+  if (bytes_written != nullptr) *bytes_written = payload.size();
+  return Status::Ok();
+}
+
+Result<Manifest> ReadManifest(const std::string& dir) {
+  Result<std::string> data = ReadFile(dir + "/MANIFEST");
+  if (!data.ok()) return data.status();
+  return ParseManifest(*data);
+}
+
+}  // namespace abivm::ckpt

@@ -1,0 +1,97 @@
+// Checkpoint image: a complete, self-describing snapshot of an engine
+// run's durable state -- every table's exact physical layout (all row
+// slots including vacuumed ones, the live-sampling order, the retained
+// delta-log suffix, vacuum horizon, index catalog), the global version
+// clock, the maintainer's watermarks and view content (raw-bit doubles),
+// the next step to execute, and the opaque driver-state blob.
+//
+// Publication protocol: the image is written durably under a
+// sequence-numbered name (ckpt-<seq>.bin), then the MANIFEST -- which
+// names the current image and its checksum -- is atomically swapped.
+// Recovery trusts only what the MANIFEST points at; a crash anywhere in
+// the protocol leaves the previous manifest/image pair intact.
+
+#ifndef ABIVM_CKPT_CHECKPOINT_H_
+#define ABIVM_CKPT_CHECKPOINT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/types.h"
+#include "ivm/maintainer.h"
+#include "storage/database.h"
+
+namespace abivm::ckpt {
+
+/// One table's exact physical state.
+struct TableImage {
+  std::string name;
+  std::vector<Column> columns;
+  /// Every physical slot in RowId order; vacuumed slots have an empty
+  /// payload row.
+  std::vector<VersionedRow> slots;
+  /// Live RowIds in sampling order (the swap-remove history).
+  std::vector<RowId> live_ids;
+  Version vacuum_horizon = 0;
+  size_t delta_base_offset = 0;
+  /// Retained delta-log suffix at positions [delta_base_offset, ...).
+  std::vector<Modification> delta_mods;
+  /// Indexed columns, by name.
+  std::vector<std::string> indexed_columns;
+};
+
+struct CheckpointImage {
+  uint64_t seq = 0;
+  Version db_version = 0;
+  /// First step the resumed run has NOT fully executed.
+  TimeStep next_step = 0;
+  std::string driver_blob;
+  std::vector<TableImage> tables;
+  /// Maintainer watermarks, in the maintainer's base-table order.
+  std::vector<size_t> positions;
+  std::vector<Version> versions;
+  /// View content with its exact incremental-history doubles.
+  bool view_is_aggregate = false;
+  std::map<Row, GroupState> view_groups;
+};
+
+/// Snapshots the live objects into an image (pure read).
+CheckpointImage CaptureCheckpoint(const Database& db,
+                                  const ViewMaintainer& maintainer,
+                                  uint64_t seq, TimeStep next_step,
+                                  std::string driver_blob);
+
+std::string SerializeCheckpoint(const CheckpointImage& image);
+Result<CheckpointImage> ParseCheckpoint(std::string_view data);
+
+/// Rebuilds the database portion of an image into an EMPTY Database:
+/// tables (slots, live order, vacuum horizon, delta log, indexes) and
+/// the version clock. The maintainer portion is installed by the
+/// recovery (it owns the ViewDef needed to re-bind).
+Status InstallDatabaseImage(const CheckpointImage& image, Database* db);
+
+struct Manifest {
+  uint64_t seq = 0;
+  std::string checkpoint_file;
+  uint64_t checkpoint_checksum = 0;
+};
+
+/// File name of the image with this sequence number.
+std::string CheckpointFileName(uint64_t seq);
+
+/// Serializes + durably publishes the image and swaps the manifest;
+/// carries the `ckpt.manifest` failpoint before the swap (the image
+/// write carries `ckpt.write`/`ckpt.fsync`/`ckpt.rename` itself). On
+/// success `*bytes_written` (optional) receives the image size.
+Status PublishCheckpoint(const std::string& dir,
+                         const CheckpointImage& image,
+                         uint64_t* bytes_written = nullptr);
+
+/// Reads the manifest; NotFound when the directory was never published.
+Result<Manifest> ReadManifest(const std::string& dir);
+
+}  // namespace abivm::ckpt
+
+#endif  // ABIVM_CKPT_CHECKPOINT_H_

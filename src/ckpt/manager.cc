@@ -1,0 +1,155 @@
+#include "ckpt/manager.h"
+
+#include "ckpt/posix_io.h"
+
+namespace abivm::ckpt {
+
+namespace {
+
+std::string WalPath(const std::string& dir) { return dir + "/wal.log"; }
+
+}  // namespace
+
+DurabilityManager::DurabilityManager(std::string dir, Database* db,
+                                     ViewMaintainer* maintainer,
+                                     SaveDriverState save_driver,
+                                     DurabilityOptions options,
+                                     obs::MetricRegistry* metrics)
+    : dir_(std::move(dir)),
+      db_(db),
+      maintainer_(maintainer),
+      save_driver_(std::move(save_driver)),
+      options_(options),
+      metrics_(metrics) {
+  ABIVM_CHECK(db_ != nullptr);
+  ABIVM_CHECK(maintainer_ != nullptr);
+  ABIVM_CHECK(save_driver_ != nullptr);
+}
+
+DurabilityManager::~DurabilityManager() {
+  db_->SetApplyListener(nullptr);
+}
+
+void DurabilityManager::InstallListener() {
+  db_->SetApplyListener([this](const AppliedModification& mod) {
+    pending_mods_.push_back(mod);
+  });
+}
+
+void DurabilityManager::Count(const char* name, uint64_t delta) {
+  if (metrics_ != nullptr) metrics_->counter(name).Add(delta);
+}
+
+Result<std::unique_ptr<DurabilityManager>> DurabilityManager::Start(
+    std::string dir, Database* db, ViewMaintainer* maintainer,
+    SaveDriverState save_driver, DurabilityOptions options,
+    obs::MetricRegistry* metrics) {
+  ABIVM_RETURN_NOT_OK(EnsureDir(dir));
+  std::unique_ptr<DurabilityManager> manager(
+      new DurabilityManager(std::move(dir), db, maintainer,
+                            std::move(save_driver), options, metrics));
+  // Seq-0 checkpoint of the initial state: recovery always has a
+  // manifest to start from, whatever step the run dies on.
+  ABIVM_RETURN_NOT_OK(manager->PublishAndVacuum(/*next_step=*/0));
+  ABIVM_RETURN_NOT_OK(manager->wal_.Open(WalPath(manager->dir_),
+                                         /*truncate_to=*/0));
+  manager->InstallListener();
+  return manager;
+}
+
+Result<std::unique_ptr<DurabilityManager>> DurabilityManager::Resume(
+    std::string dir, Database* db, ViewMaintainer* maintainer,
+    SaveDriverState save_driver, const ResumeHandle& handle,
+    DurabilityOptions options, obs::MetricRegistry* metrics) {
+  std::unique_ptr<DurabilityManager> manager(
+      new DurabilityManager(std::move(dir), db, maintainer,
+                            std::move(save_driver), options, metrics));
+  manager->next_seq_ = handle.manifest_seq + 1;
+  manager->last_checkpoint_version_ = handle.checkpoint_version;
+  ABIVM_RETURN_NOT_OK(
+      manager->wal_.Open(WalPath(manager->dir_), handle.wal_valid_bytes));
+  manager->InstallListener();
+  return manager;
+}
+
+Status DurabilityManager::OnStepPlanned(const EngineStepRecord& planned,
+                                        bool forced) {
+  WalStepPlan plan;
+  plan.t = planned.t;
+  plan.forced = forced;
+  plan.arrivals = planned.arrivals;
+  plan.pre_state = planned.pre_state;
+  plan.action = planned.action;
+  plan.driver_blob = save_driver_();
+  plan.mods = std::move(pending_mods_);
+  pending_mods_.clear();
+  ABIVM_RETURN_NOT_OK(wal_.Append(WalRecord(std::move(plan))));
+  Count("ckpt.wal_records", 1);
+  return Status::Ok();
+}
+
+Status DurabilityManager::OnBatchCommitted(TimeStep t, size_t table,
+                                           size_t k,
+                                           const BatchResult& result) {
+  WalBatchCommit batch;
+  batch.t = t;
+  batch.table = table;
+  batch.k = k;
+  batch.processed = result.processed;
+  batch.delta_rows_in = result.delta_rows_in;
+  batch.view_updates = result.view_updates;
+  batch.stats = result.stats;
+  ABIVM_RETURN_NOT_OK(wal_.Append(WalRecord(batch)));
+  Count("ckpt.wal_records", 1);
+  return Status::Ok();
+}
+
+Status DurabilityManager::OnStepEnd(const EngineStepRecord& record) {
+  WalStepEnd end;
+  end.t = record.t;
+  end.model_cost = record.model_cost;
+  end.abandoned_model_cost = record.abandoned_model_cost;
+  end.backoff_ms = record.backoff_ms;
+  end.stats = record.stats;
+  end.attempted_stats = record.attempted_stats;
+  end.failures = record.failures;
+  end.retries = record.retries;
+  end.retry_budget_abandons = record.retry_budget_abandons;
+  end.degraded = record.degraded;
+  end.violation = record.violation;
+  ABIVM_RETURN_NOT_OK(wal_.Append(WalRecord(end)));
+  Count("ckpt.wal_records", 1);
+  if (options_.checkpoint_every > 0 &&
+      (record.t + 1) % options_.checkpoint_every == 0) {
+    ABIVM_RETURN_NOT_OK(PublishAndVacuum(record.t + 1));
+  }
+  return Status::Ok();
+}
+
+Status DurabilityManager::PublishAndVacuum(TimeStep next_step) {
+  CheckpointImage image = CaptureCheckpoint(*db_, *maintainer_, next_seq_,
+                                            next_step, save_driver_());
+  uint64_t bytes = 0;
+  ABIVM_RETURN_NOT_OK(PublishCheckpoint(dir_, image, &bytes));
+  ++next_seq_;
+  ++checkpoints_published_;
+  last_checkpoint_version_ = image.db_version;
+  Count("ckpt.checkpoints", 1);
+  Count("ckpt.bytes_written", bytes);
+  if (!options_.vacuum_after_checkpoint) return Status::Ok();
+  // Watermark-frontier GC, riding the checkpoint cycle. Safe version per
+  // table: min(its watermark, the just-published checkpoint's clock) --
+  // never reclaim state a recovery redo could need to read.
+  size_t reclaimed = 0;
+  size_t trimmed = 0;
+  ABIVM_RETURN_NOT_OK(maintainer_->VacuumConsumedBelow(
+      last_checkpoint_version_, &reclaimed, &trimmed));
+  ++gc_passes_;
+  gc_rows_reclaimed_ += reclaimed;
+  Count("gc.passes", 1);
+  Count("gc.rows_reclaimed", reclaimed);
+  Count("gc.log_entries_trimmed", trimmed);
+  return Status::Ok();
+}
+
+}  // namespace abivm::ckpt

@@ -1,0 +1,132 @@
+// DurabilityManager: the ckpt layer's implementation of the engine
+// runner's EngineDurabilityHooks.
+//
+// Lifecycle of a durable run:
+//   Start()  -- publishes the seq-0 checkpoint of the initial
+//               (consistent) state, opens a fresh WAL, and installs the
+//               Database apply listener that captures every logged
+//               modification with its RowIds.
+//   hooks    -- OnStepPlanned appends a kStepPlan record carrying the
+//               buffered modifications and the driver-state blob;
+//               OnBatchCommitted appends a kBatchCommit; OnStepEnd
+//               appends a kStepEnd, then -- on the checkpoint cadence --
+//               publishes a fresh checkpoint and runs the
+//               watermark-frontier vacuum pass.
+//   Resume() -- after RecoverFromDir: reopens the WAL at the valid
+//               prefix (cutting any torn tail) and continues the
+//               checkpoint sequence.
+//
+// Any failed durability step surfaces as a non-OK hook return, which
+// aborts the run dead (EngineTrace::aborted) -- the crash model the
+// kill-and-restart torture tests drive.
+
+#ifndef ABIVM_CKPT_MANAGER_H_
+#define ABIVM_CKPT_MANAGER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.h"
+#include "ckpt/wal.h"
+#include "obs/metrics.h"
+#include "sim/engine_runner.h"
+
+namespace abivm::ckpt {
+
+struct DurabilityOptions {
+  /// Publish a checkpoint every this many completed steps of simulated
+  /// time (0 disables periodic checkpoints; only seq 0 is written).
+  TimeStep checkpoint_every = 8;
+  /// Run the watermark-frontier vacuum pass after each published
+  /// checkpoint: per maintained table, dead row versions strictly below
+  /// min(its watermark version, the checkpoint's version clock) are
+  /// reclaimed and the consumed delta-log prefix trimmed. The cap at the
+  /// checkpoint version is what keeps recovery's redo replayable -- it
+  /// joins co-tables at the CHECKPOINTED watermark snapshots.
+  bool vacuum_after_checkpoint = true;
+};
+
+/// How a resumed manager reattaches to the on-disk state; produced by
+/// RecoverFromDir.
+struct ResumeHandle {
+  /// Sequence of the manifest the recovery loaded (Resume continues at
+  /// seq + 1).
+  uint64_t manifest_seq = 0;
+  /// Version clock of the loaded checkpoint (GC cap until the next one).
+  Version checkpoint_version = 0;
+  /// Valid WAL prefix in bytes; Resume truncates any torn tail.
+  size_t wal_valid_bytes = 0;
+};
+
+class DurabilityManager final : public EngineDurabilityHooks {
+ public:
+  /// Snapshots the driver's opaque resume state (e.g. its PRNG words).
+  using SaveDriverState = std::function<std::string()>;
+
+  /// Fresh run over a consistent maintainer: creates `dir`, publishes
+  /// the seq-0 checkpoint, opens an empty WAL, installs the apply
+  /// listener. The database, maintainer, and metrics must outlive the
+  /// manager.
+  static Result<std::unique_ptr<DurabilityManager>> Start(
+      std::string dir, Database* db, ViewMaintainer* maintainer,
+      SaveDriverState save_driver, DurabilityOptions options = {},
+      obs::MetricRegistry* metrics = nullptr);
+
+  /// Reattach after RecoverFromDir (which produced `handle`).
+  static Result<std::unique_ptr<DurabilityManager>> Resume(
+      std::string dir, Database* db, ViewMaintainer* maintainer,
+      SaveDriverState save_driver, const ResumeHandle& handle,
+      DurabilityOptions options = {},
+      obs::MetricRegistry* metrics = nullptr);
+
+  ~DurabilityManager() override;
+  DurabilityManager(const DurabilityManager&) = delete;
+  DurabilityManager& operator=(const DurabilityManager&) = delete;
+
+  Status OnStepPlanned(const EngineStepRecord& planned,
+                       bool forced) override;
+  Status OnBatchCommitted(TimeStep t, size_t table, size_t k,
+                          const BatchResult& result) override;
+  Status OnStepEnd(const EngineStepRecord& record) override;
+
+  uint64_t checkpoints_published() const { return checkpoints_published_; }
+  /// Sequence the NEXT checkpoint will get.
+  uint64_t next_seq() const { return next_seq_; }
+  uint64_t wal_records_appended() const {
+    return wal_.records_appended();
+  }
+  uint64_t gc_rows_reclaimed() const { return gc_rows_reclaimed_; }
+  uint64_t gc_passes() const { return gc_passes_; }
+
+ private:
+  DurabilityManager(std::string dir, Database* db,
+                    ViewMaintainer* maintainer, SaveDriverState save_driver,
+                    DurabilityOptions options,
+                    obs::MetricRegistry* metrics);
+
+  void InstallListener();
+  Status PublishAndVacuum(TimeStep next_step);
+  void Count(const char* name, uint64_t delta);
+
+  std::string dir_;
+  Database* db_;
+  ViewMaintainer* maintainer_;
+  SaveDriverState save_driver_;
+  DurabilityOptions options_;
+  obs::MetricRegistry* metrics_;
+  WalWriter wal_;
+  /// Modifications applied since the last kStepPlan record (captured by
+  /// the Database listener).
+  std::vector<AppliedModification> pending_mods_;
+  uint64_t next_seq_ = 0;
+  Version last_checkpoint_version_ = 0;
+  uint64_t checkpoints_published_ = 0;
+  uint64_t gc_rows_reclaimed_ = 0;
+  uint64_t gc_passes_ = 0;
+};
+
+}  // namespace abivm::ckpt
+
+#endif  // ABIVM_CKPT_MANAGER_H_

@@ -1,0 +1,163 @@
+#include "ckpt/posix_io.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "fault/failpoint.h"
+#include "fault/sites.h"
+
+namespace abivm::ckpt {
+
+namespace {
+
+Status Errno(const std::string& op, const std::string& path) {
+  return Status::Internal(op + " " + path + ": " +
+                          std::strerror(errno));
+}
+
+}  // namespace
+
+Status EnsureDir(const std::string& dir) {
+  std::string prefix;
+  size_t start = 0;
+  while (start <= dir.size()) {
+    size_t slash = dir.find('/', start);
+    if (slash == std::string::npos) slash = dir.size();
+    prefix = dir.substr(0, slash);
+    if (!prefix.empty() && prefix != "/") {
+      if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+        return Errno("mkdir", prefix);
+      }
+    }
+    start = slash + 1;
+  }
+  return Status::Ok();
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("no file " + path);
+    return Errno("open", path);
+  }
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Errno("read", path);
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+namespace {
+
+Status WriteAll(int fd, std::string_view data, const std::string& path) {
+  size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n =
+        ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write", path);
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status WriteFileDurable(const std::string& path, std::string_view data) {
+  const std::string tmp = path + ".tmp";
+  ABIVM_FAULT_POINT(fault::kFpCkptWrite);
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Errno("open", tmp);
+  Status status = WriteAll(fd, data, tmp);
+  if (status.ok()) {
+    // Not ABIVM_FAULT_POINT: an early return here would leak the fd.
+    status = fault::FailpointRegistry::ThreadLocal()
+                 .Get(fault::kFpCkptFsync)
+                 .Check();
+    if (status.ok() && ::fsync(fd) != 0) status = Errno("fsync", tmp);
+  }
+  ::close(fd);
+  if (!status.ok()) return status;
+  ABIVM_FAULT_POINT(fault::kFpCkptRename);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Errno("rename", tmp);
+  }
+  const size_t slash = path.find_last_of('/');
+  return FsyncDir(slash == std::string::npos ? "."
+                                             : path.substr(0, slash));
+}
+
+Status FsyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Errno("open dir", dir);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Errno("fsync dir", dir);
+  return Status::Ok();
+}
+
+void RemoveFileIfExists(const std::string& path) {
+  ::unlink(path.c_str());
+}
+
+Status AppendFile::Open(const std::string& path, size_t truncate_to) {
+  Close();
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) return Errno("open", path);
+  path_ = path;
+  if (truncate_to != static_cast<size_t>(-1)) {
+    if (::ftruncate(fd_, static_cast<off_t>(truncate_to)) != 0) {
+      const Status status = Errno("ftruncate", path);
+      Close();
+      return status;
+    }
+    if (::fsync(fd_) != 0) {
+      const Status status = Errno("fsync", path);
+      Close();
+      return status;
+    }
+  }
+  return Status::Ok();
+}
+
+Status AppendFile::Append(std::string_view data) {
+  ABIVM_CHECK(is_open());
+  return WriteAll(fd_, data, path_);
+}
+
+Status AppendFile::Sync() {
+  ABIVM_CHECK(is_open());
+  if (::fsync(fd_) != 0) return Errno("fsync", path_);
+  return Status::Ok();
+}
+
+void AppendFile::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace abivm::ckpt

@@ -1,0 +1,65 @@
+// Crash-safe file primitives for the durability layer, built directly on
+// POSIX fds so every durability point is explicit (and has a failpoint).
+//
+// WriteFileDurable is the atomic-publish protocol every on-disk artifact
+// uses: write `path.tmp`, fsync it, rename onto `path`, fsync the parent
+// directory. A crash at any point leaves either the old file or the new
+// one -- never a torn mix -- because rename(2) is atomic on POSIX.
+
+#ifndef ABIVM_CKPT_POSIX_IO_H_
+#define ABIVM_CKPT_POSIX_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace abivm::ckpt {
+
+/// Creates `dir` (and missing parents) if absent.
+Status EnsureDir(const std::string& dir);
+
+bool FileExists(const std::string& path);
+
+/// Reads the whole file; NotFound when absent.
+Result<std::string> ReadFile(const std::string& path);
+
+/// Atomically publishes `data` at `path` via the temp + fsync + rename +
+/// dir-fsync protocol. Carries the `ckpt.write` / `ckpt.fsync` /
+/// `ckpt.rename` failpoints, each BEFORE its side effect, so an injected
+/// fault models a crash that lost that step and everything after it.
+Status WriteFileDurable(const std::string& path, std::string_view data);
+
+/// fsyncs a directory (making completed renames inside it durable).
+Status FsyncDir(const std::string& dir);
+
+/// Best-effort unlink (errors ignored; used to GC superseded artifacts).
+void RemoveFileIfExists(const std::string& path);
+
+/// An append-only fd with explicit fsync, for the WAL. Append+Sync are
+/// separate so the WAL can batch one fsync per logical record.
+class AppendFile {
+ public:
+  AppendFile() = default;
+  ~AppendFile() { Close(); }
+  AppendFile(const AppendFile&) = delete;
+  AppendFile& operator=(const AppendFile&) = delete;
+
+  /// Opens (creating if absent) for appending. `truncate_to` < npos
+  /// first truncates the file to that many bytes -- recovery cutting a
+  /// torn tail before resuming.
+  Status Open(const std::string& path,
+              size_t truncate_to = static_cast<size_t>(-1));
+  Status Append(std::string_view data);
+  Status Sync();
+  void Close();
+  bool is_open() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+}  // namespace abivm::ckpt
+
+#endif  // ABIVM_CKPT_POSIX_IO_H_

@@ -1,0 +1,351 @@
+#include "ckpt/recovery.h"
+
+#include <optional>
+
+#include "ckpt/serde.h"
+#include "fault/failpoint.h"
+#include "fault/sites.h"
+
+namespace abivm::ckpt {
+
+namespace {
+
+Status Corrupt(const std::string& what) {
+  return Status::Internal("WAL replay: " + what);
+}
+
+/// Re-applies one logged modification through the normal apply path and
+/// verifies the physical outcome (RowIds, version) reproduces the log.
+Status RedoModification(Database* db, const AppliedModification& m) {
+  if (m.table_index >= db->tables().size()) {
+    return Corrupt("modification targets unknown table index " +
+                   std::to_string(m.table_index));
+  }
+  Table& table = *db->tables()[m.table_index];
+  if (db->current_version() + 1 != m.version) {
+    return Corrupt("modification version " + std::to_string(m.version) +
+                   " does not follow clock " +
+                   std::to_string(db->current_version()));
+  }
+  switch (m.kind) {
+    case ModKind::kInsert: {
+      Result<RowId> id = db->TryApplyInsert(table, m.new_row);
+      if (!id.ok()) return id.status();
+      if (*id != m.inserted_id) {
+        return Corrupt("insert produced row " + std::to_string(*id) +
+                       ", log says " + std::to_string(m.inserted_id));
+      }
+      return Status::Ok();
+    }
+    case ModKind::kDelete:
+      return db->TryApplyDelete(table, m.deleted_id);
+    case ModKind::kUpdate: {
+      Result<RowId> id =
+          db->TryApplyUpdate(table, m.deleted_id, m.new_row);
+      if (!id.ok()) return id.status();
+      if (*id != m.inserted_id) {
+        return Corrupt("update produced row " + std::to_string(*id) +
+                       ", log says " + std::to_string(m.inserted_id));
+      }
+      return Status::Ok();
+    }
+  }
+  return Corrupt("bad modification kind");
+}
+
+EngineStepRecord RecordFromPlan(const WalStepPlan& plan) {
+  EngineStepRecord record;
+  record.t = plan.t;
+  record.arrivals = plan.arrivals;
+  record.pre_state = plan.pre_state;
+  record.action = plan.action;
+  return record;
+}
+
+void FillRecordFromEnd(const WalStepEnd& end, EngineStepRecord* record) {
+  record->model_cost = end.model_cost;
+  record->abandoned_model_cost = end.abandoned_model_cost;
+  record->backoff_ms = end.backoff_ms;
+  record->stats = end.stats;
+  record->attempted_stats = end.attempted_stats;
+  record->failures = end.failures;
+  record->retries = end.retries;
+  record->retry_budget_abandons = end.retry_budget_abandons;
+  record->degraded = end.degraded;
+  record->violation = end.violation;
+}
+
+}  // namespace
+
+Result<RecoveredRun> RecoverFromDir(const std::string& dir, ViewDef def,
+                                    const CostModel& model, double budget,
+                                    Policy* policy,
+                                    RecoveryOptions options) {
+  // 1. Manifest -> checkpoint image (checksum-verified).
+  Result<Manifest> manifest = ReadManifest(dir);
+  if (!manifest.ok()) return manifest.status();
+  Result<std::string> payload =
+      ReadFile(dir + "/" + (*manifest).checkpoint_file);
+  if (!payload.ok()) return payload.status();
+  if (Checksum(*payload) != (*manifest).checkpoint_checksum) {
+    return Status::Internal("checkpoint " + (*manifest).checkpoint_file +
+                            " fails its manifest checksum");
+  }
+  Result<CheckpointImage> parsed = ParseCheckpoint(*payload);
+  if (!parsed.ok()) return parsed.status();
+  const CheckpointImage& image = *parsed;
+  if (image.seq != (*manifest).seq) {
+    return Status::Internal("checkpoint seq does not match manifest");
+  }
+
+  // 2. Rebuild the database and an unmaterialized maintainer, then
+  // install the checkpointed watermarks and view content.
+  RecoveredRun run;
+  run.db = std::make_unique<Database>();
+  ABIVM_RETURN_NOT_OK(InstallDatabaseImage(image, run.db.get()));
+  run.maintainer = std::make_unique<ViewMaintainer>(
+      ViewMaintainer::Unmaterialized{}, run.db.get(), std::move(def),
+      options.binding);
+  const ViewDef& bound_def = run.maintainer->binding().def();
+  if (image.view_is_aggregate != bound_def.is_aggregate()) {
+    return Status::Internal(
+        "checkpointed view shape does not match the supplied ViewDef");
+  }
+  if (image.positions.size() != run.maintainer->num_tables()) {
+    return Status::Internal("checkpointed watermark count " +
+                            std::to_string(image.positions.size()) +
+                            " does not match the view's " +
+                            std::to_string(run.maintainer->num_tables()) +
+                            " base tables");
+  }
+  ViewState state = bound_def.is_aggregate()
+                        ? ViewState(bound_def.aggregate->kind)
+                        : ViewState();
+  for (const auto& [key, group] : image.view_groups) {
+    state.RestoreGroupForRecovery(key, group);
+  }
+  run.maintainer->RestoreForRecovery(image.positions, image.versions,
+                                     std::move(state));
+  run.driver_blob = image.driver_blob;
+
+  // 3. WAL scan: policy decision replay from step 0; modification and
+  // batch redo from next_step on.
+  Result<WalContents> wal = ReadWal(dir + "/wal.log");
+  if (!wal.ok()) return wal.status();
+  if (policy != nullptr) policy->Reset(model, budget);
+  const size_t n = run.maintainer->num_tables();
+  uint64_t replayed_mods = 0;
+  uint64_t replayed_batches = 0;
+  std::optional<WalStepPlan> open_plan;
+  std::vector<WalBatchCommit> open_batches;
+  TimeStep last_completed = -1;
+  for (const WalRecord& record : (*wal).records) {
+    ABIVM_FAULT_POINT(fault::kFpRecoveryReplay);
+    if (const auto* plan = std::get_if<WalStepPlan>(&record)) {
+      if (open_plan.has_value()) {
+        return Corrupt("step " + std::to_string(open_plan->t) +
+                       " was never closed before step " +
+                       std::to_string(plan->t));
+      }
+      if (!plan->forced && policy != nullptr) {
+        const StateVec replayed =
+            policy->Act(plan->t, plan->pre_state, plan->arrivals);
+        if (replayed != plan->action) {
+          return Corrupt(
+              "policy replay diverged at step " + std::to_string(plan->t) +
+              ": replayed " + VecToString(replayed) + ", log says " +
+              VecToString(plan->action));
+        }
+      }
+      if (plan->t >= image.next_step) {
+        for (const AppliedModification& m : plan->mods) {
+          ABIVM_RETURN_NOT_OK(RedoModification(run.db.get(), m));
+          ++replayed_mods;
+        }
+        run.driver_blob = plan->driver_blob;
+      }
+      open_plan = *plan;
+      open_batches.clear();
+    } else if (const auto* batch = std::get_if<WalBatchCommit>(&record)) {
+      if (!open_plan.has_value() || batch->t != open_plan->t) {
+        return Corrupt("batch commit for step " +
+                       std::to_string(batch->t) + " outside its step");
+      }
+      if (batch->table >= n) {
+        return Corrupt("batch commit targets unknown table " +
+                       std::to_string(batch->table));
+      }
+      if (batch->t >= image.next_step) {
+        BatchResult result;
+        const Status redo = run.maintainer->ProcessBatchChecked(
+            batch->table, static_cast<size_t>(batch->k), &result);
+        if (!redo.ok()) return redo;
+        if (result.processed != batch->processed ||
+            result.delta_rows_in != batch->delta_rows_in ||
+            result.view_updates != batch->view_updates ||
+            !(result.stats == batch->stats)) {
+          return Corrupt("batch redo at step " + std::to_string(batch->t) +
+                         " table " + std::to_string(batch->table) +
+                         " did not reproduce the logged result");
+        }
+        ++replayed_batches;
+      }
+      open_batches.push_back(*batch);
+    } else {
+      const auto& end = std::get<WalStepEnd>(record);
+      if (!open_plan.has_value() || end.t != open_plan->t) {
+        return Corrupt("step end for step " + std::to_string(end.t) +
+                       " outside its step");
+      }
+      EngineStepRecord step = RecordFromPlan(*open_plan);
+      FillRecordFromEnd(end, &step);
+      run.trace_prefix.push_back(std::move(step));
+      last_completed = end.t;
+      open_plan.reset();
+      open_batches.clear();
+    }
+  }
+
+  // 4. Resume point.
+  if (open_plan.has_value()) {
+    run.resume.first_step = open_plan->t;
+    run.resume.mid_step = true;
+    run.resume.partial = RecordFromPlan(*open_plan);
+    run.resume.batch_committed.assign(n, 0);
+    for (const WalBatchCommit& batch : open_batches) {
+      run.resume.batch_committed[static_cast<size_t>(batch.table)] = 1;
+      // Rebuild the committed prefix's accounting the way the live step
+      // accumulated it (batches commit in table order, from zero), so
+      // the stitched record is bit-identical to an uninterrupted run's.
+      run.resume.partial.model_cost +=
+          model.Cost(static_cast<size_t>(batch.table),
+                     static_cast<Count>(batch.k));
+      run.resume.partial.stats += batch.stats;
+    }
+  } else {
+    run.resume.first_step =
+        last_completed >= 0 ? last_completed + 1 : image.next_step;
+    run.resume.mid_step = false;
+  }
+
+  run.handle.manifest_seq = image.seq;
+  run.handle.checkpoint_version = image.db_version;
+  run.handle.wal_valid_bytes = (*wal).valid_bytes;
+
+  if (options.metrics != nullptr) {
+    options.metrics->counter("recovery.replayed_records")
+        .Add((*wal).records.size());
+    options.metrics->counter("recovery.replayed_mods").Add(replayed_mods);
+    options.metrics->counter("recovery.replayed_batches")
+        .Add(replayed_batches);
+    options.metrics->counter("recovery.trace_steps")
+        .Add(run.trace_prefix.size());
+    if ((*wal).torn_tail) {
+      options.metrics->counter("recovery.torn_tails").Add(1);
+    }
+  }
+  return run;
+}
+
+EngineTrace StitchTrace(const std::vector<EngineStepRecord>& prefix,
+                        const EngineTrace& resumed) {
+  EngineTrace trace;
+  trace.steps.reserve(prefix.size() + resumed.steps.size());
+  trace.steps.insert(trace.steps.end(), prefix.begin(), prefix.end());
+  trace.steps.insert(trace.steps.end(), resumed.steps.begin(),
+                     resumed.steps.end());
+  for (const EngineStepRecord& record : trace.steps) {
+    trace.total_model_cost += record.model_cost;
+    trace.abandoned_model_cost += record.abandoned_model_cost;
+    trace.total_actual_ms += record.actual_ms;
+    trace.total_attempted_ms += record.attempted_ms;
+    trace.failures += record.failures;
+    trace.retries += record.retries;
+    trace.retry_budget_abandons += record.retry_budget_abandons;
+    trace.total_backoff_ms += record.backoff_ms;
+    trace.exec_stats += record.stats;
+    trace.attempted_exec_stats += record.attempted_stats;
+    trace.attempted_batches += record.failures;
+    if (record.degraded) ++trace.degraded_steps;
+    if (!IsZeroVec(record.action)) ++trace.action_count;
+    if (record.violation) ++trace.violations;
+  }
+  trace.ended_consistent = resumed.ended_consistent;
+  trace.operator_profiles = resumed.operator_profiles;
+  return trace;
+}
+
+bool DeterministicTraceEquals(const EngineTrace& a, const EngineTrace& b,
+                              std::string* why) {
+  const auto fail = [&](const std::string& reason) {
+    if (why != nullptr) *why = reason;
+    return false;
+  };
+  if (a.steps.size() != b.steps.size()) {
+    return fail("step counts differ: " + std::to_string(a.steps.size()) +
+                " vs " + std::to_string(b.steps.size()));
+  }
+  for (size_t i = 0; i < a.steps.size(); ++i) {
+    const EngineStepRecord& x = a.steps[i];
+    const EngineStepRecord& y = b.steps[i];
+    const std::string at = "step " + std::to_string(x.t) + ": ";
+    if (x.t != y.t) return fail(at + "t differs");
+    if (x.arrivals != y.arrivals) return fail(at + "arrivals differ");
+    if (x.pre_state != y.pre_state) return fail(at + "pre_state differs");
+    if (x.action != y.action) return fail(at + "action differs");
+    if (x.model_cost != y.model_cost) {
+      return fail(at + "model_cost differs");
+    }
+    if (x.abandoned_model_cost != y.abandoned_model_cost) {
+      return fail(at + "abandoned_model_cost differs");
+    }
+    if (x.backoff_ms != y.backoff_ms) {
+      return fail(at + "backoff_ms differs");
+    }
+    if (!(x.stats == y.stats)) return fail(at + "stats differ");
+    if (!(x.attempted_stats == y.attempted_stats)) {
+      return fail(at + "attempted_stats differ");
+    }
+    if (x.failures != y.failures) return fail(at + "failures differ");
+    if (x.retries != y.retries) return fail(at + "retries differ");
+    if (x.retry_budget_abandons != y.retry_budget_abandons) {
+      return fail(at + "retry_budget_abandons differ");
+    }
+    if (x.degraded != y.degraded) return fail(at + "degraded differs");
+    if (x.violation != y.violation) return fail(at + "violation differs");
+  }
+  if (a.total_model_cost != b.total_model_cost) {
+    return fail("total_model_cost differs");
+  }
+  if (a.abandoned_model_cost != b.abandoned_model_cost) {
+    return fail("abandoned_model_cost differs");
+  }
+  if (a.total_backoff_ms != b.total_backoff_ms) {
+    return fail("total_backoff_ms differs");
+  }
+  if (a.violations != b.violations) return fail("violations differ");
+  if (a.action_count != b.action_count) {
+    return fail("action_count differs");
+  }
+  if (a.failures != b.failures) return fail("failures differ");
+  if (a.retries != b.retries) return fail("retries differ");
+  if (a.degraded_steps != b.degraded_steps) {
+    return fail("degraded_steps differ");
+  }
+  if (a.retry_budget_abandons != b.retry_budget_abandons) {
+    return fail("retry_budget_abandons differ");
+  }
+  if (!(a.exec_stats == b.exec_stats)) return fail("exec_stats differ");
+  if (!(a.attempted_exec_stats == b.attempted_exec_stats)) {
+    return fail("attempted_exec_stats differ");
+  }
+  if (a.attempted_batches != b.attempted_batches) {
+    return fail("attempted_batches differ");
+  }
+  if (a.ended_consistent != b.ended_consistent) {
+    return fail("ended_consistent differs");
+  }
+  return true;
+}
+
+}  // namespace abivm::ckpt

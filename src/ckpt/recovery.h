@@ -1,0 +1,92 @@
+// RecoverFromDir: rebuilds a crashed engine run from its durability
+// directory -- the MANIFEST-designated checkpoint image plus the WAL --
+// and computes exactly where the resumed run picks up.
+//
+// Replay rules (see DESIGN.md section 5i):
+//   * The checkpoint image restores the database and maintainer to the
+//     state as of `next_step` (every step < next_step fully applied).
+//   * The WAL is then scanned from record 0. kStepPlan records replay
+//     the policy's decision sequence (skipping forced steps) against a
+//     freshly Reset policy -- the replayed action must equal the logged
+//     one, which deterministically rebuilds stateful policies without
+//     serializing their internals. For steps >= next_step the plan's
+//     modifications are re-applied through the normal TryApply* path
+//     (RowIds and versions must reproduce exactly) and each logged
+//     kBatchCommit is re-executed with ProcessBatchChecked (its
+//     BatchResult integrity fields must match the log).
+//   * A kStepPlan with no matching kStepEnd at the tail means the crash
+//     hit mid-step: the resumed run re-enters that step, skipping the
+//     batches whose commits are on disk.
+//   * A torn trailing record is expected crash damage: it is ignored
+//     here and truncated when DurabilityManager::Resume reopens the WAL.
+//
+// Recovery itself writes NOTHING to disk, so a failed or fault-injected
+// recovery (recovery.replay) can simply be retried.
+
+#ifndef ABIVM_CKPT_RECOVERY_H_
+#define ABIVM_CKPT_RECOVERY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ckpt/manager.h"
+#include "core/cost_model.h"
+#include "core/policy.h"
+#include "ivm/view_def.h"
+#include "obs/metrics.h"
+#include "sim/engine_runner.h"
+
+namespace abivm::ckpt {
+
+struct RecoveryOptions {
+  /// Planner toggles for re-binding the view (must match the original
+  /// run's).
+  BindingOptions binding;
+  /// Optional sink for `recovery.*` counters.
+  obs::MetricRegistry* metrics = nullptr;
+};
+
+struct RecoveredRun {
+  std::unique_ptr<Database> db;
+  std::unique_ptr<ViewMaintainer> maintainer;
+  /// Driver state to restore (e.g. TpcUpdater::RestoreState) before the
+  /// resumed run executes its first step.
+  std::string driver_blob;
+  /// Every step the crashed run completed, rebuilt from the WAL --
+  /// stitch with the resumed run's trace via StitchTrace.
+  std::vector<EngineStepRecord> trace_prefix;
+  /// Where RunOnEngine picks up (EngineRunnerOptions::resume).
+  EngineResumeState resume;
+  /// For DurabilityManager::Resume.
+  ResumeHandle handle;
+};
+
+/// Rebuilds the run from `dir`. `def` must be the original run's view
+/// definition and `model`/`budget` its cost model and budget; `policy`
+/// (optional) is Reset and replayed to the crash point. Carries the
+/// `recovery.replay` failpoint per WAL record.
+Result<RecoveredRun> RecoverFromDir(const std::string& dir, ViewDef def,
+                                    const CostModel& model, double budget,
+                                    Policy* policy,
+                                    RecoveryOptions options = {});
+
+/// Prefix (recovered) + resumed trace, with every total re-derived from
+/// the concatenated step records in step order -- the same in-order
+/// accumulation a live run performs, so doubles match bit-for-bit.
+/// Wall-clock totals cover only what was actually measured;
+/// operator_profiles are not reconstructable and are taken from the
+/// resumed trace alone.
+EngineTrace StitchTrace(const std::vector<EngineStepRecord>& prefix,
+                        const EngineTrace& resumed);
+
+/// Step-by-step equality on everything deterministic (t, arrivals,
+/// states, actions, bit-exact model costs, ExecStats, failure/degrade
+/// accounting, violations) -- wall-clock fields are ignored. On
+/// mismatch, `*why` (optional) receives a description.
+bool DeterministicTraceEquals(const EngineTrace& a, const EngineTrace& b,
+                              std::string* why = nullptr);
+
+}  // namespace abivm::ckpt
+
+#endif  // ABIVM_CKPT_RECOVERY_H_

@@ -1,0 +1,202 @@
+#include "ckpt/serde.h"
+
+#include <cstring>
+
+namespace abivm::ckpt {
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) {
+    buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+  out->append(buf, sizeof(buf));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+  out->append(buf, sizeof(buf));
+}
+
+void PutI64(std::string* out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+
+void PutDouble(std::string* out, double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+void PutString(std::string* out, std::string_view s) {
+  PutU64(out, s.size());
+  out->append(s.data(), s.size());
+}
+
+void PutValue(std::string* out, const Value& v) {
+  PutU8(out, static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case ValueType::kInt64:
+      PutI64(out, v.AsInt64());
+      break;
+    case ValueType::kDouble:
+      PutDouble(out, v.AsDouble());
+      break;
+    case ValueType::kString:
+      PutString(out, v.AsString());
+      break;
+  }
+}
+
+void PutRow(std::string* out, const Row& row) {
+  PutU64(out, row.size());
+  for (const Value& v : row) PutValue(out, v);
+}
+
+void PutStateVec(std::string* out, const StateVec& v) {
+  PutU64(out, v.size());
+  for (Count c : v) PutU64(out, c);
+}
+
+Status ByteReader::Need(size_t n) const {
+  if (offset_ + n > data_.size()) {
+    return Status::OutOfRange("serialized image truncated at offset " +
+                              std::to_string(offset_) + " (need " +
+                              std::to_string(n) + " of " +
+                              std::to_string(data_.size()) + " bytes)");
+  }
+  return Status::Ok();
+}
+
+Status ByteReader::GetU8(uint8_t* v) {
+  ABIVM_RETURN_NOT_OK(Need(1));
+  *v = static_cast<uint8_t>(data_[offset_++]);
+  return Status::Ok();
+}
+
+Status ByteReader::GetU32(uint32_t* v) {
+  ABIVM_RETURN_NOT_OK(Need(4));
+  uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    out |= static_cast<uint32_t>(static_cast<uint8_t>(data_[offset_ + i]))
+           << (8 * i);
+  }
+  offset_ += 4;
+  *v = out;
+  return Status::Ok();
+}
+
+Status ByteReader::GetU64(uint64_t* v) {
+  ABIVM_RETURN_NOT_OK(Need(8));
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<uint64_t>(static_cast<uint8_t>(data_[offset_ + i]))
+           << (8 * i);
+  }
+  offset_ += 8;
+  *v = out;
+  return Status::Ok();
+}
+
+Status ByteReader::GetI64(int64_t* v) {
+  uint64_t raw = 0;
+  ABIVM_RETURN_NOT_OK(GetU64(&raw));
+  *v = static_cast<int64_t>(raw);
+  return Status::Ok();
+}
+
+Status ByteReader::GetDouble(double* v) {
+  uint64_t bits = 0;
+  ABIVM_RETURN_NOT_OK(GetU64(&bits));
+  std::memcpy(v, &bits, sizeof(bits));
+  return Status::Ok();
+}
+
+Status ByteReader::GetString(std::string* s) {
+  uint64_t len = 0;
+  ABIVM_RETURN_NOT_OK(GetU64(&len));
+  ABIVM_RETURN_NOT_OK(Need(static_cast<size_t>(len)));
+  s->assign(data_.data() + offset_, static_cast<size_t>(len));
+  offset_ += static_cast<size_t>(len);
+  return Status::Ok();
+}
+
+Status ByteReader::GetValue(Value* v) {
+  uint8_t tag = 0;
+  ABIVM_RETURN_NOT_OK(GetU8(&tag));
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kInt64: {
+      int64_t x = 0;
+      ABIVM_RETURN_NOT_OK(GetI64(&x));
+      *v = Value(x);
+      return Status::Ok();
+    }
+    case ValueType::kDouble: {
+      double x = 0;
+      ABIVM_RETURN_NOT_OK(GetDouble(&x));
+      *v = Value(x);
+      return Status::Ok();
+    }
+    case ValueType::kString: {
+      std::string x;
+      ABIVM_RETURN_NOT_OK(GetString(&x));
+      *v = Value(std::move(x));
+      return Status::Ok();
+    }
+  }
+  return Status::InvalidArgument("bad Value type tag " +
+                                 std::to_string(tag));
+}
+
+Status ByteReader::GetRow(Row* row) {
+  uint64_t n = 0;
+  ABIVM_RETURN_NOT_OK(GetU64(&n));
+  row->clear();
+  row->reserve(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    Value v;
+    ABIVM_RETURN_NOT_OK(GetValue(&v));
+    row->push_back(std::move(v));
+  }
+  return Status::Ok();
+}
+
+Status ByteReader::GetStateVec(StateVec* v) {
+  uint64_t n = 0;
+  ABIVM_RETURN_NOT_OK(GetU64(&n));
+  v->clear();
+  v->reserve(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t c = 0;
+    ABIVM_RETURN_NOT_OK(GetU64(&c));
+    v->push_back(c);
+  }
+  return Status::Ok();
+}
+
+Status ByteReader::ExpectEnd() const {
+  if (!AtEnd()) {
+    return Status::InvalidArgument(
+        "serialized image has " + std::to_string(data_.size() - offset_) +
+        " trailing bytes");
+  }
+  return Status::Ok();
+}
+
+uint64_t Checksum(std::string_view data) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : data) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace abivm::ckpt

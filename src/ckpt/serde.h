@@ -1,0 +1,69 @@
+// Binary serialization primitives for the durability layer: fixed-width
+// little-endian integers, raw-bit doubles, length-prefixed strings, and
+// the storage vocabulary (Value / Row / StateVec) built on top of them.
+//
+// Doubles are serialized as their raw 64-bit pattern, NOT via decimal
+// text: a recovered maintainer must carry the exact sums its incremental
+// history produced (a recompute would round in a different order), and a
+// recovered trace record must compare bit-equal to the live one.
+
+#ifndef ABIVM_CKPT_SERDE_H_
+#define ABIVM_CKPT_SERDE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "core/types.h"
+#include "storage/value.h"
+
+namespace abivm::ckpt {
+
+void PutU8(std::string* out, uint8_t v);
+void PutU32(std::string* out, uint32_t v);
+void PutU64(std::string* out, uint64_t v);
+void PutI64(std::string* out, int64_t v);
+void PutDouble(std::string* out, double v);
+void PutString(std::string* out, std::string_view s);
+void PutValue(std::string* out, const Value& v);
+void PutRow(std::string* out, const Row& row);
+void PutStateVec(std::string* out, const StateVec& v);
+
+/// Bounds-checked sequential reader over a serialized buffer. Every
+/// getter returns OutOfRange past the end and InvalidArgument on a
+/// malformed tag -- a truncated or corrupt image surfaces as a Status,
+/// never as UB.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  Status GetU8(uint8_t* v);
+  Status GetU32(uint32_t* v);
+  Status GetU64(uint64_t* v);
+  Status GetI64(int64_t* v);
+  Status GetDouble(double* v);
+  Status GetString(std::string* s);
+  Status GetValue(Value* v);
+  Status GetRow(Row* row);
+  Status GetStateVec(StateVec* v);
+
+  size_t offset() const { return offset_; }
+  bool AtEnd() const { return offset_ == data_.size(); }
+  /// InvalidArgument unless the whole buffer was consumed.
+  Status ExpectEnd() const;
+
+ private:
+  Status Need(size_t n) const;
+
+  std::string_view data_;
+  size_t offset_ = 0;
+};
+
+/// FNV-1a 64-bit checksum, used by the WAL and checkpoint images to
+/// detect torn writes and corruption.
+uint64_t Checksum(std::string_view data);
+
+}  // namespace abivm::ckpt
+
+#endif  // ABIVM_CKPT_SERDE_H_

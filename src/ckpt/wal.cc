@@ -1,0 +1,216 @@
+#include "ckpt/wal.h"
+
+#include "ckpt/serde.h"
+#include "fault/failpoint.h"
+#include "fault/sites.h"
+
+namespace abivm::ckpt {
+
+namespace {
+
+enum : uint8_t {
+  kTagStepPlan = 1,
+  kTagBatchCommit = 2,
+  kTagStepEnd = 3,
+};
+
+void PutExecStats(std::string* out, const ExecStats& s) {
+  PutU64(out, s.rows_scanned);
+  PutU64(out, s.index_probes);
+  PutU64(out, s.hash_build_rows);
+  PutU64(out, s.output_rows);
+  PutU64(out, s.rows_filtered);
+  PutU64(out, s.rows_projected);
+}
+
+Status GetExecStats(ByteReader* in, ExecStats* s) {
+  ABIVM_RETURN_NOT_OK(in->GetU64(&s->rows_scanned));
+  ABIVM_RETURN_NOT_OK(in->GetU64(&s->index_probes));
+  ABIVM_RETURN_NOT_OK(in->GetU64(&s->hash_build_rows));
+  ABIVM_RETURN_NOT_OK(in->GetU64(&s->output_rows));
+  ABIVM_RETURN_NOT_OK(in->GetU64(&s->rows_filtered));
+  ABIVM_RETURN_NOT_OK(in->GetU64(&s->rows_projected));
+  return Status::Ok();
+}
+
+void PutMod(std::string* out, const AppliedModification& m) {
+  PutU64(out, m.table_index);
+  PutU64(out, m.version);
+  PutU8(out, static_cast<uint8_t>(m.kind));
+  PutU64(out, m.deleted_id);
+  PutU64(out, m.inserted_id);
+  PutRow(out, m.old_row);
+  PutRow(out, m.new_row);
+}
+
+Status GetMod(ByteReader* in, AppliedModification* m) {
+  uint64_t table_index = 0;
+  ABIVM_RETURN_NOT_OK(in->GetU64(&table_index));
+  m->table_index = static_cast<size_t>(table_index);
+  ABIVM_RETURN_NOT_OK(in->GetU64(&m->version));
+  uint8_t kind = 0;
+  ABIVM_RETURN_NOT_OK(in->GetU8(&kind));
+  if (kind > static_cast<uint8_t>(ModKind::kUpdate)) {
+    return Status::InvalidArgument("bad ModKind tag " +
+                                   std::to_string(kind));
+  }
+  m->kind = static_cast<ModKind>(kind);
+  ABIVM_RETURN_NOT_OK(in->GetU64(&m->deleted_id));
+  ABIVM_RETURN_NOT_OK(in->GetU64(&m->inserted_id));
+  ABIVM_RETURN_NOT_OK(in->GetRow(&m->old_row));
+  ABIVM_RETURN_NOT_OK(in->GetRow(&m->new_row));
+  return Status::Ok();
+}
+
+void SerializeRecord(const WalRecord& record, std::string* out) {
+  if (const auto* plan = std::get_if<WalStepPlan>(&record)) {
+    PutU8(out, kTagStepPlan);
+    PutI64(out, plan->t);
+    PutU8(out, plan->forced ? 1 : 0);
+    PutStateVec(out, plan->arrivals);
+    PutStateVec(out, plan->pre_state);
+    PutStateVec(out, plan->action);
+    PutString(out, plan->driver_blob);
+    PutU64(out, plan->mods.size());
+    for (const AppliedModification& m : plan->mods) PutMod(out, m);
+  } else if (const auto* batch = std::get_if<WalBatchCommit>(&record)) {
+    PutU8(out, kTagBatchCommit);
+    PutI64(out, batch->t);
+    PutU64(out, batch->table);
+    PutU64(out, batch->k);
+    PutU64(out, batch->processed);
+    PutU64(out, batch->delta_rows_in);
+    PutU64(out, batch->view_updates);
+    PutExecStats(out, batch->stats);
+  } else {
+    const auto& end = std::get<WalStepEnd>(record);
+    PutU8(out, kTagStepEnd);
+    PutI64(out, end.t);
+    PutDouble(out, end.model_cost);
+    PutDouble(out, end.abandoned_model_cost);
+    PutDouble(out, end.backoff_ms);
+    PutExecStats(out, end.stats);
+    PutExecStats(out, end.attempted_stats);
+    PutU64(out, end.failures);
+    PutU64(out, end.retries);
+    PutU64(out, end.retry_budget_abandons);
+    PutU8(out, end.degraded ? 1 : 0);
+    PutU8(out, end.violation ? 1 : 0);
+  }
+}
+
+Status ParseRecord(std::string_view payload, WalRecord* record) {
+  ByteReader in(payload);
+  uint8_t tag = 0;
+  ABIVM_RETURN_NOT_OK(in.GetU8(&tag));
+  switch (tag) {
+    case kTagStepPlan: {
+      WalStepPlan plan;
+      ABIVM_RETURN_NOT_OK(in.GetI64(&plan.t));
+      uint8_t forced = 0;
+      ABIVM_RETURN_NOT_OK(in.GetU8(&forced));
+      plan.forced = forced != 0;
+      ABIVM_RETURN_NOT_OK(in.GetStateVec(&plan.arrivals));
+      ABIVM_RETURN_NOT_OK(in.GetStateVec(&plan.pre_state));
+      ABIVM_RETURN_NOT_OK(in.GetStateVec(&plan.action));
+      ABIVM_RETURN_NOT_OK(in.GetString(&plan.driver_blob));
+      uint64_t n = 0;
+      ABIVM_RETURN_NOT_OK(in.GetU64(&n));
+      plan.mods.resize(static_cast<size_t>(n));
+      for (auto& m : plan.mods) ABIVM_RETURN_NOT_OK(GetMod(&in, &m));
+      ABIVM_RETURN_NOT_OK(in.ExpectEnd());
+      *record = std::move(plan);
+      return Status::Ok();
+    }
+    case kTagBatchCommit: {
+      WalBatchCommit batch;
+      ABIVM_RETURN_NOT_OK(in.GetI64(&batch.t));
+      ABIVM_RETURN_NOT_OK(in.GetU64(&batch.table));
+      ABIVM_RETURN_NOT_OK(in.GetU64(&batch.k));
+      ABIVM_RETURN_NOT_OK(in.GetU64(&batch.processed));
+      ABIVM_RETURN_NOT_OK(in.GetU64(&batch.delta_rows_in));
+      ABIVM_RETURN_NOT_OK(in.GetU64(&batch.view_updates));
+      ABIVM_RETURN_NOT_OK(GetExecStats(&in, &batch.stats));
+      ABIVM_RETURN_NOT_OK(in.ExpectEnd());
+      *record = batch;
+      return Status::Ok();
+    }
+    case kTagStepEnd: {
+      WalStepEnd end;
+      ABIVM_RETURN_NOT_OK(in.GetI64(&end.t));
+      ABIVM_RETURN_NOT_OK(in.GetDouble(&end.model_cost));
+      ABIVM_RETURN_NOT_OK(in.GetDouble(&end.abandoned_model_cost));
+      ABIVM_RETURN_NOT_OK(in.GetDouble(&end.backoff_ms));
+      ABIVM_RETURN_NOT_OK(GetExecStats(&in, &end.stats));
+      ABIVM_RETURN_NOT_OK(GetExecStats(&in, &end.attempted_stats));
+      ABIVM_RETURN_NOT_OK(in.GetU64(&end.failures));
+      ABIVM_RETURN_NOT_OK(in.GetU64(&end.retries));
+      ABIVM_RETURN_NOT_OK(in.GetU64(&end.retry_budget_abandons));
+      uint8_t degraded = 0;
+      uint8_t violation = 0;
+      ABIVM_RETURN_NOT_OK(in.GetU8(&degraded));
+      ABIVM_RETURN_NOT_OK(in.GetU8(&violation));
+      end.degraded = degraded != 0;
+      end.violation = violation != 0;
+      ABIVM_RETURN_NOT_OK(in.ExpectEnd());
+      *record = end;
+      return Status::Ok();
+    }
+    default:
+      return Status::InvalidArgument("bad WAL record tag " +
+                                     std::to_string(tag));
+  }
+}
+
+}  // namespace
+
+Status WalWriter::Open(const std::string& path, size_t truncate_to) {
+  return file_.Open(path, truncate_to);
+}
+
+Status WalWriter::Append(const WalRecord& record) {
+  ABIVM_FAULT_POINT(fault::kFpLogAppend);
+  frame_.clear();
+  std::string payload;
+  SerializeRecord(record, &payload);
+  PutU32(&frame_, static_cast<uint32_t>(payload.size()));
+  PutU64(&frame_, Checksum(payload));
+  frame_.append(payload);
+  ABIVM_RETURN_NOT_OK(file_.Append(frame_));
+  ABIVM_RETURN_NOT_OK(file_.Sync());
+  ++records_appended_;
+  bytes_appended_ += frame_.size();
+  return Status::Ok();
+}
+
+Result<WalContents> ReadWal(const std::string& path) {
+  WalContents out;
+  Result<std::string> data = ReadFile(path);
+  if (!data.ok()) {
+    if (data.status().code() == StatusCode::kNotFound) return out;
+    return data.status();
+  }
+  const std::string& bytes = *data;
+  size_t offset = 0;
+  constexpr size_t kHeader = 4 + 8;
+  while (offset + kHeader <= bytes.size()) {
+    ByteReader header(
+        std::string_view(bytes.data() + offset, kHeader));
+    uint32_t len = 0;
+    uint64_t checksum = 0;
+    ABIVM_RETURN_NOT_OK(header.GetU32(&len));
+    ABIVM_RETURN_NOT_OK(header.GetU64(&checksum));
+    if (offset + kHeader + len > bytes.size()) break;  // torn payload
+    const std::string_view payload(bytes.data() + offset + kHeader, len);
+    if (Checksum(payload) != checksum) break;  // torn / corrupt record
+    WalRecord record;
+    ABIVM_RETURN_NOT_OK(ParseRecord(payload, &record));
+    out.records.push_back(std::move(record));
+    offset += kHeader + len;
+  }
+  out.valid_bytes = offset;
+  out.torn_tail = offset < bytes.size();
+  return out;
+}
+
+}  // namespace abivm::ckpt

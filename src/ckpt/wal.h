@@ -1,0 +1,112 @@
+// Batch delta log (write-ahead log) of an engine run.
+//
+// Three record types mirror the three commit points of a step:
+//   * kStepPlan   -- the step's arrivals were applied and its action
+//                    decided: arrivals / pre_state / action, the applied
+//                    base-table modifications WITH their RowIds, and the
+//                    driver-state blob as of after the arrivals.
+//   * kBatchCommit -- one ProcessBatchChecked call committed: (table, k)
+//                    plus integrity fields the recovery redo must
+//                    reproduce exactly.
+//   * kStepEnd    -- the step completed; its full accounting record.
+//
+// Framing: [u32 payload_len][u64 fnv1a(payload)][payload], one fsync per
+// record. A torn tail (short frame or checksum mismatch) marks the end
+// of the valid prefix; recovery truncates it before resuming. Records
+// are NEVER trimmed during a run: recovery re-drives the policy's
+// decision sequence over every kStepPlan from step 0, which is what
+// rebuilds stateful policies (e.g. replanning cost estimators) without
+// serializing their internals.
+
+#ifndef ABIVM_CKPT_WAL_H_
+#define ABIVM_CKPT_WAL_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "ckpt/posix_io.h"
+#include "common/status.h"
+#include "core/types.h"
+#include "exec/operators.h"
+#include "storage/database.h"
+
+namespace abivm::ckpt {
+
+struct WalStepPlan {
+  TimeStep t = 0;
+  /// True for the horizon's forced final refresh (the action did not
+  /// come from the policy, so decision replay skips it).
+  bool forced = false;
+  StateVec arrivals;
+  StateVec pre_state;
+  StateVec action;
+  /// Opaque driver state AFTER this step's arrivals were applied.
+  std::string driver_blob;
+  /// The arrivals as physically applied (with RowIds), in apply order.
+  std::vector<AppliedModification> mods;
+};
+
+struct WalBatchCommit {
+  TimeStep t = 0;
+  uint64_t table = 0;
+  uint64_t k = 0;
+  /// Integrity fields: the redo's BatchResult must match these exactly.
+  uint64_t processed = 0;
+  uint64_t delta_rows_in = 0;
+  uint64_t view_updates = 0;
+  ExecStats stats;
+};
+
+struct WalStepEnd {
+  TimeStep t = 0;
+  /// Raw-bit doubles: a rebuilt trace record compares bit-equal.
+  double model_cost = 0.0;
+  double abandoned_model_cost = 0.0;
+  double backoff_ms = 0.0;
+  ExecStats stats;
+  ExecStats attempted_stats;
+  uint64_t failures = 0;
+  uint64_t retries = 0;
+  uint64_t retry_budget_abandons = 0;
+  bool degraded = false;
+  bool violation = false;
+};
+
+using WalRecord = std::variant<WalStepPlan, WalBatchCommit, WalStepEnd>;
+
+/// Append-only writer; one fsync per record. Every Append carries the
+/// `log.append` failpoint BEFORE any byte reaches the fd.
+class WalWriter {
+ public:
+  /// Opens (creating if absent); `truncate_to` cuts a torn tail first.
+  Status Open(const std::string& path,
+              size_t truncate_to = static_cast<size_t>(-1));
+  Status Append(const WalRecord& record);
+
+  uint64_t records_appended() const { return records_appended_; }
+  uint64_t bytes_appended() const { return bytes_appended_; }
+
+ private:
+  AppendFile file_;
+  std::string frame_;  // reused serialization buffer
+  uint64_t records_appended_ = 0;
+  uint64_t bytes_appended_ = 0;
+};
+
+struct WalContents {
+  std::vector<WalRecord> records;
+  /// Bytes of the valid prefix (what a resuming writer truncates to).
+  size_t valid_bytes = 0;
+  /// True when trailing bytes after the valid prefix were discarded.
+  bool torn_tail = false;
+};
+
+/// Reads every intact record; a missing file yields an empty WAL. Only a
+/// structurally corrupt VALID-length frame is an error -- a torn tail is
+/// the expected shape of a crash and is reported, not failed.
+Result<WalContents> ReadWal(const std::string& path);
+
+}  // namespace abivm::ckpt
+
+#endif  // ABIVM_CKPT_WAL_H_

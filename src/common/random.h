@@ -7,6 +7,7 @@
 #ifndef ABIVM_COMMON_RANDOM_H_
 #define ABIVM_COMMON_RANDOM_H_
 
+#include <array>
 #include <cstdint>
 #include <string>
 
@@ -78,6 +79,15 @@ class Rng {
 
   /// Random lowercase alphabetic string of the given length.
   std::string AlphaString(size_t length);
+
+  /// Exact generator state, for checkpoint/restore of drivers whose
+  /// resumed output must continue the original sequence bit-for-bit.
+  std::array<uint64_t, 4> SaveState() const {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
+  void RestoreState(const std::array<uint64_t, 4>& state) {
+    for (size_t i = 0; i < 4; ++i) s_[i] = state[i];
+  }
 
  private:
   static uint64_t Rotl(uint64_t x, int k) {

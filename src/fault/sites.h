@@ -36,12 +36,36 @@ inline constexpr const char* kFpPartitionedProbe = "exec.partitioned_probe";
 inline constexpr const char* kFpIvmApplyState = "ivm.apply_state";
 inline constexpr const char* kFpIvmCommit = "ivm.commit";
 
+// Durability layer (src/ckpt/): every step of the checkpoint write
+// protocol (payload write, fsync, temp->final rename, manifest swap),
+// the per-record WAL append, the per-record recovery replay, and the
+// per-table watermark-driven vacuum pass. Each site fires BEFORE the
+// corresponding side effect, so an injected fault models a crash that
+// lost the step entirely -- the kill-and-restart torture loop recovers
+// from disk and must land on the last durable state.
+inline constexpr const char* kFpCkptWrite = "ckpt.write";
+inline constexpr const char* kFpCkptFsync = "ckpt.fsync";
+inline constexpr const char* kFpCkptRename = "ckpt.rename";
+inline constexpr const char* kFpCkptManifest = "ckpt.manifest";
+inline constexpr const char* kFpLogAppend = "log.append";
+inline constexpr const char* kFpRecoveryReplay = "recovery.replay";
+inline constexpr const char* kFpGcVacuum = "gc.vacuum";
+
 /// Every wired site, for exhaustive fault-torture loops.
-inline constexpr std::array<const char*, 11> kAllFailpointSites = {
+inline constexpr std::array<const char*, 18> kAllFailpointSites = {
     kFpStorageApplyInsert,  kFpStorageApplyDelete, kFpStorageApplyUpdate,
     kFpStorageDeltaLogRead, kFpFlatIndexGrow,      kFpExecScan,
     kFpExecIndexJoin,       kFpExecHashJoin,       kFpPartitionedProbe,
-    kFpIvmApplyState,       kFpIvmCommit,
+    kFpIvmApplyState,       kFpIvmCommit,          kFpCkptWrite,
+    kFpCkptFsync,           kFpCkptRename,         kFpCkptManifest,
+    kFpLogAppend,           kFpRecoveryReplay,     kFpGcVacuum,
+};
+
+/// The durability-protocol subset (checkpoint write, WAL append,
+/// recovery replay, GC), for the crash/recover/resume torture loop.
+inline constexpr std::array<const char*, 7> kDurabilityFailpointSites = {
+    kFpCkptWrite,    kFpCkptFsync,      kFpCkptRename, kFpCkptManifest,
+    kFpLogAppend,    kFpRecoveryReplay, kFpGcVacuum,
 };
 
 }  // namespace abivm::fault

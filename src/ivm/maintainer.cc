@@ -74,6 +74,34 @@ ViewMaintainer::ViewMaintainer(Database* db, ViewDef def,
   state_ = RecomputeAtWatermarks();
 }
 
+ViewMaintainer::ViewMaintainer(Unmaterialized, Database* db, ViewDef def,
+                               BindingOptions options)
+    : db_(db),
+      binding_(db, std::move(def), options),
+      state_(binding_.def().is_aggregate()
+                 ? ViewState(binding_.def().aggregate->kind)
+                 : ViewState()) {
+  positions_.resize(binding_.num_tables(), 0);
+  versions_.resize(binding_.num_tables(), 0);
+}
+
+void ViewMaintainer::RestoreForRecovery(std::vector<size_t> positions,
+                                        std::vector<Version> versions,
+                                        ViewState state) {
+  ABIVM_CHECK_EQ(positions.size(), num_tables());
+  ABIVM_CHECK_EQ(versions.size(), num_tables());
+  ABIVM_CHECK_EQ(state.is_aggregate(), binding_.def().is_aggregate());
+  for (size_t i = 0; i < num_tables(); ++i) {
+    const DeltaLog& log = binding_.base_table(i).delta_log();
+    ABIVM_CHECK_GE(positions[i], log.first_retained());
+    ABIVM_CHECK_LE(positions[i], log.size());
+    ABIVM_CHECK_LE(versions[i], db_->current_version());
+  }
+  positions_ = std::move(positions);
+  versions_ = std::move(versions);
+  state_ = std::move(state);
+}
+
 size_t ViewMaintainer::PendingCount(size_t i) const {
   ABIVM_CHECK_LT(i, positions_.size());
   return binding_.base_table(i).delta_log().size() - positions_[i];
@@ -122,6 +150,24 @@ size_t ViewMaintainer::VacuumConsumed() {
     table.delta_log().TrimBefore(positions_[i]);
   }
   return reclaimed;
+}
+
+Status ViewMaintainer::VacuumConsumedBelow(Version cap,
+                                           size_t* rows_reclaimed,
+                                           size_t* log_entries_trimmed) {
+  size_t rows = 0;
+  size_t entries = 0;
+  for (size_t i = 0; i < num_tables(); ++i) {
+    ABIVM_FAULT_POINT(fault::kFpGcVacuum);
+    Table& table = binding_.base_table(i);
+    rows += table.VacuumBefore(std::min(versions_[i], cap));
+    const size_t before = table.delta_log().first_retained();
+    table.delta_log().TrimBefore(positions_[i]);
+    entries += table.delta_log().first_retained() - before;
+  }
+  if (rows_reclaimed != nullptr) *rows_reclaimed = rows;
+  if (log_entries_trimmed != nullptr) *log_entries_trimmed = entries;
+  return Status::Ok();
 }
 
 BatchResult ViewMaintainer::ProcessBatch(size_t i, size_t k, bool dry_run) {

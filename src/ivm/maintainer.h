@@ -57,6 +57,22 @@ class ViewMaintainer {
   /// planner toggles for ablations; defaults are production behaviour.
   ViewMaintainer(Database* db, ViewDef def, BindingOptions options = {});
 
+  /// Tag selecting the recovery constructor: binds the view but does NOT
+  /// materialize (no recompute, watermarks left at zero). The maintainer
+  /// is unusable until RestoreForRecovery installs a checkpointed image;
+  /// src/ckpt/ is the only intended caller.
+  struct Unmaterialized {};
+  ViewMaintainer(Unmaterialized, Database* db, ViewDef def,
+                 BindingOptions options = {});
+
+  /// Recovery-only: installs the exact checkpointed maintenance state --
+  /// per-table watermark positions/versions and the view content with its
+  /// raw incremental-history doubles. Watermark positions must lie within
+  /// the (restored) delta logs; versions must not exceed the database
+  /// clock. Only valid on an Unmaterialized maintainer.
+  void RestoreForRecovery(std::vector<size_t> positions,
+                          std::vector<Version> versions, ViewState state);
+
   const ViewBinding& binding() const { return binding_; }
   size_t num_tables() const { return binding_.num_tables(); }
 
@@ -159,6 +175,18 @@ class ViewMaintainer {
   /// the minimum watermark across all of them instead). Returns the
   /// number of row versions reclaimed.
   size_t VacuumConsumed();
+
+  /// VacuumConsumed with an external safe-version cap -- the durability
+  /// layer passes its last published checkpoint's version clock, so no
+  /// row version or delta-log entry the on-disk image's recovery redo
+  /// would need to read is ever reclaimed. Per base table i the safe
+  /// version is min(watermark_version(i), cap); the consumed delta-log
+  /// prefix is trimmed at watermark_position(i). Carries the `gc.vacuum`
+  /// failpoint per table, fired BEFORE that table is mutated; an
+  /// injected fault leaves it untouched. Outputs (optional): row
+  /// versions reclaimed and delta-log entries trimmed.
+  Status VacuumConsumedBelow(Version cap, size_t* rows_reclaimed,
+                             size_t* log_entries_trimmed);
 
  private:
   // Staged outcome of a delta pipeline: net signed multiplicity per

@@ -86,6 +86,17 @@ std::optional<Value> ViewState::GroupMax(const Row& key) const {
   return it->second.values.rbegin()->first;
 }
 
+void ViewState::RestoreGroupForRecovery(Row key, GroupState group) {
+  ABIVM_CHECK(groups_.find(key) == groups_.end());
+  // Apply() never leaves a fully-empty group behind; a checkpoint image
+  // must not either.
+  ABIVM_CHECK(group.count != 0 || !group.values.empty());
+  for (const auto& [value, count] : group.values) {
+    ABIVM_CHECK_NE(count, 0);
+  }
+  groups_.emplace(std::move(key), std::move(group));
+}
+
 std::map<Row, GroupState> ViewState::Snapshot() const {
   return std::map<Row, GroupState>(groups_.begin(), groups_.end());
 }

@@ -78,6 +78,13 @@ class ViewState {
   /// Exact content equality (counts, sums within 1e-6, multisets).
   bool SameContents(const ViewState& other) const;
 
+  /// Recovery-only (src/ckpt/): installs one group's accumulator exactly
+  /// as checkpointed -- including the raw double `sum`, which an
+  /// incremental maintenance history produces in a different rounding
+  /// order than a fresh recompute would. The key must be absent (the
+  /// state is rebuilt from empty) and the group non-degenerate.
+  void RestoreGroupForRecovery(Row key, GroupState group);
+
   std::string ToString() const;
 
  private:

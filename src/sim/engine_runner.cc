@@ -15,11 +15,27 @@ EngineTrace RunOnEngine(ViewMaintainer& maintainer,
   const size_t n = maintainer.num_tables();
   ABIVM_CHECK_EQ(arrivals.n(), n);
   ABIVM_CHECK_EQ(model.n(), n);
-  ABIVM_CHECK_MSG(maintainer.IsConsistent(),
-                  "engine run must start from a refreshed view");
+  const EngineResumeState* const resume = options.resume;
+  if (resume == nullptr) {
+    ABIVM_CHECK_MSG(maintainer.IsConsistent(),
+                    "engine run must start from a refreshed view");
+  }
   ABIVM_CHECK_GE(options.retry.max_attempts, size_t{1});
   const TimeStep horizon = arrivals.horizon();
-  policy.Reset(model, budget);
+  if (resume == nullptr) {
+    policy.Reset(model, budget);
+  } else {
+    // The recovery already replayed the policy's decision history, so its
+    // internal state (e.g. replanning estimators) is warm; a Reset here
+    // would erase it.
+    // first_step == horizon + 1 is legal: the crash hit after the final
+    // step's record was durable, so there is nothing left to execute.
+    ABIVM_CHECK_LE(resume->first_step, horizon + 1);
+    if (resume->mid_step) {
+      ABIVM_CHECK_EQ(resume->partial.t, resume->first_step);
+      ABIVM_CHECK_EQ(resume->batch_committed.size(), n);
+    }
+  }
 
   // Attach the metrics registry to the maintainer for the duration of
   // the run so every pipeline stage records its `ivm.op.*` timer (and
@@ -29,35 +45,65 @@ EngineTrace RunOnEngine(ViewMaintainer& maintainer,
   const bool profiled = maintainer.profiling_enabled();
 
   EngineTrace trace;
+  const TimeStep first_step = resume == nullptr ? 0 : resume->first_step;
   if (options.record_steps) {
-    trace.steps.reserve(static_cast<size_t>(horizon) + 1);
+    trace.steps.reserve(static_cast<size_t>(horizon - first_step) + 1);
   }
-  for (TimeStep t = 0; t <= horizon; ++t) {
+  // Aborts the run dead at step t (a durability fault models a crash:
+  // nothing after the failed hook happens, in memory or on disk).
+  const auto abort_run = [&](TimeStep t, const Status& status) {
+    trace.aborted = true;
+    trace.aborted_at = t;
+    trace.abort_reason = status.ToString();
+  };
+  for (TimeStep t = first_step; t <= horizon; ++t) {
     const StateVec& d = arrivals.At(t);
-    for (size_t i = 0; i < n; ++i) {
-      for (Count c = 0; c < d[i]; ++c) driver(i);
-    }
-    const StateVec pre_state = maintainer.PendingVec();
-
-    StateVec action;
-    if (t == horizon) {
-      action = pre_state;  // forced refresh
+    const bool resumed_mid_step =
+        resume != nullptr && resume->mid_step && t == first_step;
+    EngineStepRecord record;
+    if (resumed_mid_step) {
+      // The crashed run already applied this step's arrivals (the WAL
+      // replay restored them) and durably logged its plan; re-enter the
+      // step with the recovered committed prefix.
+      record = resume->partial;
+      ABIVM_CHECK_EQ(record.action.size(), n);
     } else {
-      action = policy.Act(t, pre_state, d);
-      ABIVM_CHECK_EQ(action.size(), n);
-      ABIVM_CHECK_MSG(FitsWithin(action, pre_state),
-                      "policy " << policy.name()
-                                << " acted beyond the pending deltas");
-    }
+      for (size_t i = 0; i < n; ++i) {
+        for (Count c = 0; c < d[i]; ++c) driver(i);
+      }
+      const StateVec pre_state = maintainer.PendingVec();
 
-    EngineStepRecord record{
-        .t = t, .arrivals = d, .pre_state = pre_state, .action = action};
+      StateVec action;
+      if (t == horizon) {
+        action = pre_state;  // forced refresh
+      } else {
+        action = policy.Act(t, pre_state, d);
+        ABIVM_CHECK_EQ(action.size(), n);
+        ABIVM_CHECK_MSG(FitsWithin(action, pre_state),
+                        "policy " << policy.name()
+                                  << " acted beyond the pending deltas");
+      }
+
+      record = EngineStepRecord{
+          .t = t, .arrivals = d, .pre_state = pre_state, .action = action};
+      if (options.durability != nullptr) {
+        const Status planned =
+            options.durability->OnStepPlanned(record, t == horizon);
+        if (!planned.ok()) {
+          abort_run(t, planned);
+          break;
+        }
+      }
+    }
+    const StateVec& action = record.action;
     // Modelled cost burned by this step's FAILED attempts so far; the
     // budget-aware give-up rule compares it against the step's cost
     // bound C (the same epsilon-tolerant comparison every other
     // fullness/budget decision uses).
     double step_attempted_model_cost = 0.0;
+    bool step_aborted = false;
     for (size_t i = 0; i < n; ++i) {
+      if (resumed_mid_step && resume->batch_committed[i] != 0) continue;
       // Charge the modelled cost per table as the batch COMMITS;
       // summing model.Cost(i, ...) in table order reproduces
       // model.TotalCost(action) bit-exactly when every batch commits
@@ -84,6 +130,14 @@ EngineTrace RunOnEngine(ViewMaintainer& maintainer,
             options.metrics->counter("engine.modifications_processed")
                 .Add(result.processed);
             options.metrics->timer("engine.batch_ms").Record(result.wall_ms);
+          }
+          if (options.durability != nullptr) {
+            const Status committed = options.durability->OnBatchCommitted(
+                t, i, static_cast<size_t>(action[i]), result);
+            if (!committed.ok()) {
+              abort_run(t, committed);
+              step_aborted = true;
+            }
           }
           break;
         }
@@ -129,6 +183,12 @@ EngineTrace RunOnEngine(ViewMaintainer& maintainer,
                                   static_cast<double>(attempt)));
         ++record.retries;
       }
+      if (step_aborted) break;
+    }
+    if (step_aborted) {
+      // A crashed step is not part of the trace: its committed prefix is
+      // on disk (WAL), and the recovery rebuilds the step from there.
+      break;
     }
     trace.total_model_cost += record.model_cost;
     trace.abandoned_model_cost += record.abandoned_model_cost;
@@ -140,20 +200,28 @@ EngineTrace RunOnEngine(ViewMaintainer& maintainer,
     trace.total_backoff_ms += record.backoff_ms;
     if (record.degraded) ++trace.degraded_steps;
     if (!IsZeroVec(action)) ++trace.action_count;
-    if (t < horizon &&
-        model.IsFull(maintainer.PendingVec(), budget)) {
-      ++trace.violations;
+    record.violation =
+        t < horizon && model.IsFull(maintainer.PendingVec(), budget);
+    if (record.violation) ++trace.violations;
+    if (options.durability != nullptr) {
+      const Status ended = options.durability->OnStepEnd(record);
+      if (!ended.ok()) {
+        abort_run(t, ended);
+        break;
+      }
     }
     if (options.record_steps) {
       trace.steps.push_back(std::move(record));
     }
   }
-  trace.ended_consistent = maintainer.IsConsistent();
-  // Graceful degradation is only legitimate under persistent failures;
-  // a run with no degraded step must have refreshed completely.
-  if (trace.degraded_steps == 0) {
-    ABIVM_CHECK_MSG(trace.ended_consistent,
-                    "no step degraded yet the view ended inconsistent");
+  if (!trace.aborted) {
+    trace.ended_consistent = maintainer.IsConsistent();
+    // Graceful degradation is only legitimate under persistent failures;
+    // a run with no degraded step must have refreshed completely.
+    if (trace.degraded_steps == 0) {
+      ABIVM_CHECK_MSG(trace.ended_consistent,
+                      "no step degraded yet the view ended inconsistent");
+    }
   }
   if (options.metrics != nullptr) {
     obs::MetricRegistry& m = *options.metrics;

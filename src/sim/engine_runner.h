@@ -32,6 +32,7 @@
 #define ABIVM_SIM_ENGINE_RUNNER_H_
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "core/arrivals.h"
@@ -82,6 +83,10 @@ struct EngineStepRecord {
   /// Batches this step abandoned by the budget-aware rule (attempted
   /// model cost exceeded the step's cost bound) before max_attempts.
   uint64_t retry_budget_abandons = 0;
+  /// True when the post-step pending state violated the fullness budget
+  /// (non-final steps only). Recorded per step so a recovered trace
+  /// prefix carries the same information as a live one.
+  bool violation = false;
 };
 
 struct EngineTrace {
@@ -115,6 +120,56 @@ struct EngineTrace {
   /// `options.metrics`, or profiling was enabled by the caller). Each
   /// profile's TotalStats() slice sums to `exec_stats` per pipeline.
   std::vector<PipelineProfile> operator_profiles;
+  /// Set when a durability hook failed: the run stopped dead at
+  /// `aborted_at` (modelling a crash), the trace covers only the steps
+  /// executed before it, and no end-of-run consistency check was made.
+  /// Callers recover from disk (ckpt::RecoverFromDir) and resume.
+  bool aborted = false;
+  TimeStep aborted_at = 0;
+  std::string abort_reason;
+};
+
+/// Durability callbacks the runner invokes at the three commit points of
+/// a step. Implemented by ckpt::DurabilityManager (WAL + checkpoints);
+/// declared here so abivm_sim does not depend on the ckpt layer. A
+/// non-OK return aborts the run immediately (see EngineTrace::aborted) --
+/// an injected durability fault models a crash, not a retryable error.
+class EngineDurabilityHooks {
+ public:
+  virtual ~EngineDurabilityHooks() = default;
+
+  /// After the step's arrivals were applied and its action decided,
+  /// before any batch executes. `planned` has t / arrivals / pre_state /
+  /// action filled; `forced` marks the horizon's forced final refresh
+  /// (whose action did not come from the policy).
+  virtual Status OnStepPlanned(const EngineStepRecord& planned,
+                               bool forced) = 0;
+
+  /// After each successfully committed batch (k modifications of base
+  /// table `table` at step t).
+  virtual Status OnBatchCommitted(TimeStep t, size_t table, size_t k,
+                                  const BatchResult& result) = 0;
+
+  /// After the step's record is complete (including the violation flag).
+  virtual Status OnStepEnd(const EngineStepRecord& record) = 0;
+};
+
+/// Where a recovered run resumes. Produced by ckpt::RecoverFromDir after
+/// it has restored the database/maintainer image and replayed the WAL;
+/// consumed by RunOnEngine via EngineRunnerOptions::resume.
+struct EngineResumeState {
+  /// First step the resumed run executes.
+  TimeStep first_step = 0;
+  /// True when `first_step` was already planned pre-crash (its arrivals
+  /// are in the recovered database and its action is fixed): the runner
+  /// must not re-apply the driver or re-consult the policy for it.
+  bool mid_step = false;
+  /// Committed prefix of the mid step (t/arrivals/pre_state/action plus
+  /// the accounting of batches that committed before the crash).
+  EngineStepRecord partial;
+  /// Per-table: 1 when that table's batch of the mid step committed
+  /// pre-crash (the resumed step skips it).
+  std::vector<uint8_t> batch_committed;
 };
 
 /// Retry discipline for failed batches. Backoff for attempt a (0-based
@@ -150,6 +205,14 @@ struct EngineRunnerOptions {
   /// the registry to the maintainer for the duration of the run so every
   /// pipeline stage records its interned `ivm.op.*` timer.
   obs::MetricRegistry* metrics = nullptr;
+  /// Optional durability hooks (WAL + checkpoints). Not owned.
+  EngineDurabilityHooks* durability = nullptr;
+  /// Optional resume point from a recovery. When set, the runner starts
+  /// at resume->first_step with the policy ALREADY warmed by the
+  /// recovery's decision replay (Reset is not called again), and skips
+  /// the start-of-run consistency check (a recovered view legitimately
+  /// has pending deltas). Not owned.
+  const EngineResumeState* resume = nullptr;
 };
 
 /// Drives `policy` over the arrival schedule: at each step, `driver`

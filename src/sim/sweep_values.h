@@ -1,0 +1,105 @@
+#pragma once
+
+// Typed veneer over `SweepJobResult.values`.
+//
+// The `values` map is intentionally schemaless so drivers can attach
+// whatever extras their report needs, but every consumer re-typing the
+// key string is how silent mismatches happen ("attempted_ms" written,
+// "attempt_ms" read, zero reported). This header is the single place
+// where known keys live: each key is an interned `ValueKey` whose
+// backing `std::string` is built once, so hot accumulation loops do not
+// re-allocate a temporary string per map access, and readers/writers
+// share the exact same spelling by construction.
+//
+// New driver extras should be added here (with a one-line meaning and
+// unit) rather than spelled inline at the use site.
+
+#include <string>
+
+#include "sim/sweep.h"
+
+namespace abivm {
+namespace sweep_values {
+
+/// An interned key into `SweepJobResult.values`. Construction builds the
+/// backing string once; all accesses reuse it. Composed keys (see
+/// `OpMs`) are regular `ValueKey`s built on the fly.
+class ValueKey {
+ public:
+  explicit ValueKey(std::string name) : name_(std::move(name)) {}
+
+  const std::string& str() const { return name_; }
+
+  void Set(SweepJobResult& result, double value) const {
+    result.values[name_] = value;
+  }
+  void Add(SweepJobResult& result, double value) const {
+    result.values[name_] += value;
+  }
+  /// Read a key the driver is known to have written; throws (map::at)
+  /// on absence, which is the right failure mode for report code that
+  /// would otherwise print a silent zero.
+  double Get(const SweepJobResult& result) const {
+    return result.values.at(name_);
+  }
+  double GetOr(const SweepJobResult& result, double fallback) const {
+    const auto it = result.values.find(name_);
+    return it == result.values.end() ? fallback : it->second;
+  }
+
+ private:
+  std::string name_;
+};
+
+// --- Engine-replay extras (fig05 and friends) ---------------------------
+
+/// Measured wall-clock of all committed batches, ms.
+inline const ValueKey kActualMs{"actual_ms"};
+/// Model cost of work abandoned by failed/degraded steps.
+inline const ValueKey kAbandonedModelCost{"abandoned_model_cost"};
+/// Wall-clock including failed attempts, ms.
+inline const ValueKey kAttemptedMs{"attempted_ms"};
+/// Batches attempted (committed + failed), count.
+inline const ValueKey kAttemptedBatches{"attempted_batches"};
+
+/// Per-operator wall total for one pipeline stage, ms. Composed as
+/// "op_ms.<pipeline>.<stage-slug>"; build once per stage when
+/// accumulating in a loop.
+inline ValueKey OpMs(const std::string& pipeline, const std::string& slug) {
+  return ValueKey("op_ms." + pipeline + "." + slug);
+}
+
+// --- Planner-vs-oracle extras (ablation benches) ------------------------
+
+/// Exhaustive-oracle optimal plan cost (same instance as the headline
+/// `total_cost`, which holds the LGM planner's cost).
+inline const ValueKey kOptCost{"opt_cost"};
+
+// --- Fault/robustness extras (engine fault sweeps) ----------------------
+
+/// Failed batch attempts, count.
+inline const ValueKey kFailures{"failures"};
+/// Retries after failure, count.
+inline const ValueKey kRetries{"retries"};
+/// Steps that fell back to a degraded action, count.
+inline const ValueKey kDegradedSteps{"degraded_steps"};
+/// Simulated retry backoff, ms.
+inline const ValueKey kBackoffMs{"backoff_ms"};
+/// 1.0 if the final view matched the recompute oracle, else 0.0.
+inline const ValueKey kEndedConsistent{"ended_consistent"};
+
+// --- Durability/recovery extras (ckpt drivers) --------------------------
+
+/// Checkpoints published during the run, count.
+inline const ValueKey kCheckpoints{"checkpoints"};
+/// WAL records appended, count.
+inline const ValueKey kWalRecords{"wal_records"};
+/// WAL records replayed by recovery, count.
+inline const ValueKey kReplayedRecords{"replayed_records"};
+/// Batches re-executed by recovery replay, count.
+inline const ValueKey kReplayedBatches{"replayed_batches"};
+/// Dead row versions reclaimed by watermark-driven vacuum, count.
+inline const ValueKey kGcVersionsReclaimed{"gc_versions_reclaimed"};
+
+}  // namespace sweep_values
+}  // namespace abivm

@@ -34,6 +34,9 @@ bool ReadRecord(std::istream& is, std::vector<std::string>* fields,
   *malformed = false;
   std::string field;
   bool in_quotes = false;
+  // A closing quote ended the current field: only a separator (or end of
+  // record) may legally follow.
+  bool quote_closed = false;
   bool any = false;
   int c;
   while ((c = is.get()) != EOF) {
@@ -46,22 +49,28 @@ bool ReadRecord(std::istream& is, std::vector<std::string>* fields,
           is.get();
         } else {
           in_quotes = false;
+          quote_closed = true;
         }
       } else {
         field.push_back(ch);
       }
     } else if (ch == '"') {
-      if (!field.empty()) {
-        *malformed = true;  // quote inside an unquoted field
+      if (!field.empty() || quote_closed) {
+        *malformed = true;  // quote inside or right after a field
         return true;
       }
       in_quotes = true;
     } else if (ch == ',') {
       fields->push_back(std::move(field));
       field.clear();
+      quote_closed = false;
     } else if (ch == '\n') {
       break;
     } else if (ch != '\r') {
+      if (quote_closed) {
+        *malformed = true;  // trailing characters after a closing quote
+        return true;
+      }
       field.push_back(ch);
     }
   }

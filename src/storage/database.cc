@@ -34,6 +34,14 @@ bool Database::HasTable(const std::string& name) const {
   return false;
 }
 
+size_t Database::TableIndex(const Table& t) const {
+  for (size_t i = 0; i < tables_.size(); ++i) {
+    if (tables_[i].get() == &t) return i;
+  }
+  ABIVM_CHECK_MSG(false, "table " << t.name() << " is not in this database");
+  return 0;
+}
+
 RowId Database::ApplyInsert(Table& t, Row row) {
   Result<RowId> id = TryApplyInsert(t, std::move(row));
   ABIVM_CHECK_MSG(id.ok(), id.status().ToString());
@@ -58,7 +66,11 @@ Result<RowId> Database::TryApplyInsert(Table& t, Row row) {
   }
   const Version v = ++version_;
   const RowId id = t.Insert(row, v);
-  t.delta_log().Append(Modification{v, ModKind::kInsert, {}, std::move(row)});
+  t.delta_log().Append(Modification{v, ModKind::kInsert, {}, row});
+  if (listener_) {
+    listener_(AppliedModification{TableIndex(t), v, ModKind::kInsert, 0,
+                                  id, {}, std::move(row)});
+  }
   return id;
 }
 
@@ -67,8 +79,11 @@ Status Database::TryApplyDelete(Table& t, RowId id) {
   const Version v = ++version_;
   Row old_row = t.RowAt(id).row;
   t.Delete(id, v);
-  t.delta_log().Append(
-      Modification{v, ModKind::kDelete, std::move(old_row), {}});
+  t.delta_log().Append(Modification{v, ModKind::kDelete, old_row, {}});
+  if (listener_) {
+    listener_(AppliedModification{TableIndex(t), v, ModKind::kDelete, id,
+                                  0, std::move(old_row), {}});
+  }
   return Status::Ok();
 }
 
@@ -80,8 +95,13 @@ Result<RowId> Database::TryApplyUpdate(Table& t, RowId id, Row new_row) {
   const Version v = ++version_;
   Row old_row = t.RowAt(id).row;
   const RowId new_id = t.Update(id, new_row, v);
-  t.delta_log().Append(Modification{v, ModKind::kUpdate, std::move(old_row),
-                                    std::move(new_row)});
+  t.delta_log().Append(
+      Modification{v, ModKind::kUpdate, old_row, new_row});
+  if (listener_) {
+    listener_(AppliedModification{TableIndex(t), v, ModKind::kUpdate, id,
+                                  new_id, std::move(old_row),
+                                  std::move(new_row)});
+  }
   return new_id;
 }
 

@@ -9,6 +9,7 @@
 #ifndef ABIVM_STORAGE_DATABASE_H_
 #define ABIVM_STORAGE_DATABASE_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -16,6 +17,22 @@
 #include "storage/table.h"
 
 namespace abivm {
+
+/// One logged modification as it was physically applied: the Modification
+/// record plus the RowIds it touched. The durability layer (src/ckpt/)
+/// logs these so recovery can re-apply them deterministically and verify
+/// the replayed ids match.
+struct AppliedModification {
+  size_t table_index = 0;
+  Version version = 0;
+  ModKind kind = ModKind::kInsert;
+  /// Row tombstoned by kDelete / kUpdate (undefined for kInsert).
+  RowId deleted_id = 0;
+  /// Row created by kInsert / kUpdate (undefined for kDelete).
+  RowId inserted_id = 0;
+  Row old_row;
+  Row new_row;
+};
 
 class Database {
  public:
@@ -57,9 +74,29 @@ class Database {
     return tables_;
   }
 
+  /// Index of `t` in creation order; CHECK-fails if `t` is foreign.
+  size_t TableIndex(const Table& t) const;
+
+  /// Observer invoked after every successful logged modification (the
+  /// Try* paths; bulk loads are not observed). At most one listener; the
+  /// durability layer installs one for the lifetime of an engine run.
+  /// Pass nullptr to detach. Disarmed cost is one branch per apply.
+  using ApplyListener = std::function<void(const AppliedModification&)>;
+  void SetApplyListener(ApplyListener listener) {
+    listener_ = std::move(listener);
+  }
+
+  /// Recovery-only: restores the global modification clock from a
+  /// checkpoint image (may only move forward).
+  void RestoreVersion(Version v) {
+    ABIVM_CHECK_GE(v, version_);
+    version_ = v;
+  }
+
  private:
   std::vector<std::unique_ptr<Table>> tables_;
   Version version_ = 0;
+  ApplyListener listener_;
 };
 
 }  // namespace abivm

@@ -1,5 +1,7 @@
 #include "storage/table.h"
 
+#include <algorithm>
+
 #include "fault/failpoint.h"
 #include "fault/sites.h"
 
@@ -94,6 +96,49 @@ void DeltaLog::TrimBefore(size_t position) {
   const size_t drop = position - base_offset_;
   mods_.erase(mods_.begin(), mods_.begin() + static_cast<int64_t>(drop));
   base_offset_ = position;
+}
+
+void Table::RestoreRowSlot(Row row, Version insert_version,
+                           Version delete_version) {
+  ABIVM_CHECK(indexes_.empty());
+  ABIVM_CHECK_MSG(row.empty() || schema_.RowMatches(row),
+                  "restored row does not match schema of " << name_);
+  ABIVM_CHECK_LE(insert_version, delete_version);
+  // A live slot must carry its payload; only vacuumed (dead) slots may be
+  // empty.
+  ABIVM_CHECK(!row.empty() || delete_version != kNeverDeleted);
+  rows_.push_back(VersionedRow{std::move(row), insert_version,
+                               delete_version});
+  live_pos_.push_back(kNotLive);
+}
+
+void Table::RestoreLiveOrder(std::vector<RowId> live_ids) {
+  size_t expected_live = 0;
+  for (const VersionedRow& r : rows_) {
+    if (r.delete_version == kNeverDeleted) ++expected_live;
+  }
+  ABIVM_CHECK_EQ(live_ids.size(), expected_live);
+  std::fill(live_pos_.begin(), live_pos_.end(), kNotLive);
+  for (size_t pos = 0; pos < live_ids.size(); ++pos) {
+    const RowId id = live_ids[pos];
+    ABIVM_CHECK_LT(id, rows_.size());
+    ABIVM_CHECK_MSG(rows_[id].delete_version == kNeverDeleted,
+                    "restored live id " << id << " of " << name_
+                                        << " is not live");
+    ABIVM_CHECK_MSG(live_pos_[id] == kNotLive,
+                    "restored live id " << id << " of " << name_
+                                        << " listed twice");
+    live_pos_[id] = pos;
+  }
+  live_ids_ = std::move(live_ids);
+}
+
+std::vector<size_t> Table::IndexedColumns() const {
+  std::vector<size_t> columns;
+  columns.reserve(indexes_.size());
+  for (const auto& [column, index] : indexes_) columns.push_back(column);
+  std::sort(columns.begin(), columns.end());
+  return columns;
 }
 
 size_t Table::VacuumBefore(Version safe_version) {

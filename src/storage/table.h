@@ -82,6 +82,15 @@ class DeltaLog {
   /// retained modifications are unchanged.
   void TrimBefore(size_t position);
 
+  /// Recovery-only: rebuilds a trimmed log from a checkpoint image. The
+  /// log must be empty; subsequent Appends restore the retained suffix at
+  /// positions [base_offset, ...).
+  void RestoreBaseOffset(size_t base_offset) {
+    ABIVM_CHECK_EQ(base_offset_, size_t{0});
+    ABIVM_CHECK(mods_.empty());
+    base_offset_ = base_offset;
+  }
+
  private:
   size_t base_offset_ = 0;
   std::vector<Modification> mods_;
@@ -122,6 +131,11 @@ class Table {
   }
 
   size_t live_row_count() const { return live_ids_.size(); }
+
+  /// Live RowIds in sampling order (position i is what SampleLiveRow
+  /// draws when the PRNG lands on i). Checkpoints serialize this order
+  /// verbatim -- see RestoreLiveOrder.
+  const std::vector<RowId>& live_ids() const { return live_ids_; }
 
   /// Uniformly random currently-live row (CHECKs the table is non-empty).
   RowId SampleLiveRow(Rng& rng) const;
@@ -235,6 +249,27 @@ class Table {
 
   DeltaLog& delta_log() { return delta_log_; }
   const DeltaLog& delta_log() const { return delta_log_; }
+
+  /// Recovery-only restore path (src/ckpt/): rebuilds the table's exact
+  /// physical state from a checkpoint image. RestoreRowSlot appends one
+  /// physical slot in RowId order (an empty `row` restores an
+  /// already-vacuumed slot); slots are NOT entered into the live set --
+  /// RestoreLiveOrder then installs the checkpointed live_ids sequence,
+  /// whose ORDER matters: SampleLiveRow draws by position, so a resumed
+  /// update stream only reproduces the pre-crash one if the swap-remove
+  /// history encoded in the ordering is restored bit-exactly. Call before
+  /// CreateHashIndex (rebuilding indexes re-inserts ids ascending, the
+  /// same per-key chain order organic inserts produced).
+  void RestoreRowSlot(Row row, Version insert_version,
+                      Version delete_version);
+  void RestoreLiveOrder(std::vector<RowId> live_ids);
+  void RestoreVacuumHorizon(Version v) {
+    ABIVM_CHECK_GE(v, vacuum_horizon_);
+    vacuum_horizon_ = v;
+  }
+
+  /// Columns with a hash index, ascending (checkpoint catalog).
+  std::vector<size_t> IndexedColumns() const;
 
  private:
   void IndexRow(RowId id);

@@ -1,5 +1,7 @@
 #include "tpc/update_stream.h"
 
+#include <cstring>
+
 #include "tpc/tpc_gen.h"
 
 namespace abivm {
@@ -99,6 +101,24 @@ void TpcUpdater::UpdateCustomerSegment() {
   const size_t seg = customer.schema().ColumnIndex("c_mktsegment");
   row[seg] = Value(std::string(kSegments[rng_.UniformInt(0, 4)]));
   db_->ApplyUpdate(customer, id, std::move(row));
+}
+
+std::string TpcUpdater::SaveState() const {
+  const std::array<uint64_t, 4> s = rng_.SaveState();
+  std::string blob(sizeof(s) + sizeof(next_order_key_), '\0');
+  std::memcpy(blob.data(), s.data(), sizeof(s));
+  std::memcpy(blob.data() + sizeof(s), &next_order_key_,
+              sizeof(next_order_key_));
+  return blob;
+}
+
+void TpcUpdater::RestoreState(const std::string& blob) {
+  std::array<uint64_t, 4> s;
+  ABIVM_CHECK_EQ(blob.size(), sizeof(s) + sizeof(next_order_key_));
+  std::memcpy(s.data(), blob.data(), sizeof(s));
+  std::memcpy(&next_order_key_, blob.data() + sizeof(s),
+              sizeof(next_order_key_));
+  rng_.RestoreState(s);
 }
 
 }  // namespace abivm

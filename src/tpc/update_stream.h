@@ -52,6 +52,12 @@ class TpcUpdater {
 
   Rng& rng() { return rng_; }
 
+  /// Opaque driver-state blob (RNG state + order-key counter) for the
+  /// durability layer: a restored updater replaying the same call
+  /// sequence reproduces the original modification stream bit-for-bit.
+  std::string SaveState() const;
+  void RestoreState(const std::string& blob);
+
  private:
   Database* db_;
   Rng rng_;

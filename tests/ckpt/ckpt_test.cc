@@ -1,0 +1,450 @@
+// Durability building blocks: WAL framing and torn-tail handling, the
+// checkpoint image round trip, the manifest publication protocol under
+// injected faults, and the fault-free durable-run -> recover cycle.
+// Runs under the `recovery` ctest label.
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ckpt/checkpoint.h"
+#include "ckpt/manager.h"
+#include "ckpt/recovery.h"
+#include "ckpt/serde.h"
+#include "ckpt/wal.h"
+#include "core/naive.h"
+#include "core/online.h"
+#include "fault/failpoint.h"
+#include "fault/sites.h"
+#include "sim/engine_runner.h"
+#include "tpc/tpc_gen.h"
+#include "tpc/update_stream.h"
+#include "tpc/views.h"
+
+namespace abivm {
+namespace {
+
+using fault::ScopedFailpoint;
+
+std::string TestDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "abivm_ckpt_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+struct Fixture {
+  Database db;
+  std::unique_ptr<ViewMaintainer> maintainer;
+  std::unique_ptr<TpcUpdater> updater;
+  ModificationDriver driver;
+
+  Fixture() {
+    TpcGenOptions options;
+    options.scale_factor = 0.001;
+    GenerateTpcDatabase(&db, options);
+    CreatePaperIndexes(&db);
+    maintainer = std::make_unique<ViewMaintainer>(&db, MakePaperMinView());
+    updater = std::make_unique<TpcUpdater>(&db, 99);
+    driver = [this](size_t table_index) {
+      if (table_index == 0) {
+        updater->UpdatePartSuppSupplycost();
+      } else if (table_index == 1) {
+        updater->UpdateSupplierNationkey();
+      } else {
+        ABIVM_CHECK_MSG(false, "no modifications for table " << table_index);
+      }
+    };
+  }
+};
+
+CostModel PaperLikeModel() {
+  std::vector<CostFunctionPtr> fns = {
+      std::make_shared<LinearCost>(0.3, 0.5),
+      std::make_shared<LinearCost>(0.2, 6.0),
+      std::make_shared<LinearCost>(0.1, 0.1),
+      std::make_shared<LinearCost>(0.1, 0.1)};
+  return CostModel(std::move(fns));
+}
+
+TEST(SerdeTest, ChecksumIsStableAndSensitive) {
+  EXPECT_EQ(ckpt::Checksum("abc"), ckpt::Checksum("abc"));
+  EXPECT_NE(ckpt::Checksum("abc"), ckpt::Checksum("abd"));
+  EXPECT_NE(ckpt::Checksum(""), ckpt::Checksum(std::string_view("\0", 1)));
+}
+
+TEST(WalTest, RoundTripsAllRecordTypes) {
+  const std::string dir = TestDir("wal_roundtrip");
+  ASSERT_TRUE(ckpt::EnsureDir(dir).ok());
+  const std::string path = dir + "/wal.log";
+
+  ckpt::WalStepPlan plan;
+  plan.t = 3;
+  plan.forced = false;
+  plan.arrivals = {2, 1, 0, 0};
+  plan.pre_state = {5, 1, 0, 0};
+  plan.action = {4, 0, 0, 0};
+  plan.driver_blob = std::string("blob\0with\377bytes", 15);
+  AppliedModification mod;
+  mod.table_index = 1;
+  mod.version = 42;
+  mod.kind = ModKind::kUpdate;
+  mod.deleted_id = 7;
+  mod.inserted_id = 19;
+  mod.old_row = {Value(int64_t{1}), Value("old")};
+  mod.new_row = {Value(int64_t{1}), Value(2.5)};
+  plan.mods.push_back(mod);
+
+  ckpt::WalBatchCommit batch;
+  batch.t = 3;
+  batch.table = 0;
+  batch.k = 4;
+  batch.processed = 4;
+  batch.delta_rows_in = 8;
+  batch.view_updates = 6;
+  batch.stats.rows_scanned = 100;
+  batch.stats.index_probes = 8;
+  batch.stats.output_rows = 6;
+
+  ckpt::WalStepEnd end;
+  end.t = 3;
+  end.model_cost = 1.7;
+  end.abandoned_model_cost = 0.25;
+  end.backoff_ms = 3.0;
+  end.stats = batch.stats;
+  end.failures = 2;
+  end.retries = 2;
+  end.degraded = false;
+  end.violation = true;
+
+  {
+    ckpt::WalWriter writer;
+    ASSERT_TRUE(writer.Open(path, 0).ok());
+    ASSERT_TRUE(writer.Append(ckpt::WalRecord(plan)).ok());
+    ASSERT_TRUE(writer.Append(ckpt::WalRecord(batch)).ok());
+    ASSERT_TRUE(writer.Append(ckpt::WalRecord(end)).ok());
+    EXPECT_EQ(writer.records_appended(), 3u);
+  }
+
+  Result<ckpt::WalContents> read = ckpt::ReadWal(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_FALSE((*read).torn_tail);
+  EXPECT_EQ((*read).valid_bytes, std::filesystem::file_size(path));
+  ASSERT_EQ((*read).records.size(), 3u);
+
+  const auto& p = std::get<ckpt::WalStepPlan>((*read).records[0]);
+  EXPECT_EQ(p.t, 3);
+  EXPECT_FALSE(p.forced);
+  EXPECT_EQ(p.arrivals, plan.arrivals);
+  EXPECT_EQ(p.pre_state, plan.pre_state);
+  EXPECT_EQ(p.action, plan.action);
+  EXPECT_EQ(p.driver_blob, plan.driver_blob);
+  ASSERT_EQ(p.mods.size(), 1u);
+  EXPECT_EQ(p.mods[0].table_index, 1u);
+  EXPECT_EQ(p.mods[0].version, 42u);
+  EXPECT_EQ(p.mods[0].kind, ModKind::kUpdate);
+  EXPECT_EQ(p.mods[0].deleted_id, 7u);
+  EXPECT_EQ(p.mods[0].inserted_id, 19u);
+  EXPECT_EQ(p.mods[0].old_row, mod.old_row);
+  EXPECT_EQ(p.mods[0].new_row, mod.new_row);
+
+  const auto& b = std::get<ckpt::WalBatchCommit>((*read).records[1]);
+  EXPECT_EQ(b.table, 0u);
+  EXPECT_EQ(b.k, 4u);
+  EXPECT_TRUE(b.stats == batch.stats);
+
+  const auto& e = std::get<ckpt::WalStepEnd>((*read).records[2]);
+  EXPECT_EQ(e.model_cost, 1.7);
+  EXPECT_EQ(e.abandoned_model_cost, 0.25);
+  EXPECT_EQ(e.failures, 2u);
+  EXPECT_TRUE(e.violation);
+}
+
+TEST(WalTest, TornTailIsReportedAndTruncatedOnReopen) {
+  const std::string dir = TestDir("wal_torn");
+  ASSERT_TRUE(ckpt::EnsureDir(dir).ok());
+  const std::string path = dir + "/wal.log";
+  {
+    ckpt::WalWriter writer;
+    ASSERT_TRUE(writer.Open(path, 0).ok());
+    ckpt::WalStepEnd end;
+    end.t = 0;
+    ASSERT_TRUE(writer.Append(ckpt::WalRecord(end)).ok());
+    end.t = 1;
+    ASSERT_TRUE(writer.Append(ckpt::WalRecord(end)).ok());
+  }
+  const size_t intact = std::filesystem::file_size(path);
+  {
+    // A crash mid-append leaves a short frame: only part of a length
+    // prefix plus garbage.
+    std::ofstream f(path, std::ios::binary | std::ios::app);
+    f.write("\x40\x00\x00\x00gar", 7);
+  }
+
+  Result<ckpt::WalContents> read = ckpt::ReadWal(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_TRUE((*read).torn_tail);
+  EXPECT_EQ((*read).valid_bytes, intact);
+  ASSERT_EQ((*read).records.size(), 2u);
+  EXPECT_EQ(std::get<ckpt::WalStepEnd>((*read).records[1]).t, 1);
+
+  // Reopening at the valid prefix (what DurabilityManager::Resume does)
+  // cuts the tail for good.
+  ckpt::WalWriter writer;
+  ASSERT_TRUE(writer.Open(path, intact).ok());
+  EXPECT_EQ(std::filesystem::file_size(path), intact);
+  Result<ckpt::WalContents> reread = ckpt::ReadWal(path);
+  ASSERT_TRUE(reread.ok());
+  EXPECT_FALSE((*reread).torn_tail);
+}
+
+TEST(WalTest, MissingFileIsAnEmptyLog) {
+  Result<ckpt::WalContents> read =
+      ckpt::ReadWal(TestDir("wal_missing") + "/wal.log");
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE((*read).records.empty());
+  EXPECT_EQ((*read).valid_bytes, 0u);
+  EXPECT_FALSE((*read).torn_tail);
+}
+
+// The checkpoint image reproduces the database EXACTLY: every physical
+// slot (including vacuumed ones), the live-sampling order, the retained
+// delta-log suffix, the version clock, and index behaviour.
+TEST(CheckpointTest, ImageRoundTripsTheDatabase) {
+  Fixture fx;
+  // Work up a non-trivial state: arrivals, asymmetric partial
+  // processing, and a vacuum pass so horizons and trimmed logs are all
+  // non-default.
+  for (int i = 0; i < 30; ++i) fx.updater->UpdatePartSuppSupplycost();
+  for (int i = 0; i < 8; ++i) fx.updater->UpdateSupplierNationkey();
+  fx.maintainer->ProcessBatch(0, 17);
+  fx.maintainer->ProcessBatch(1, 3);
+  fx.maintainer->VacuumConsumed();
+
+  const ckpt::CheckpointImage image = ckpt::CaptureCheckpoint(
+      fx.db, *fx.maintainer, /*seq=*/5, /*next_step=*/12, "driverstate");
+  const std::string payload = ckpt::SerializeCheckpoint(image);
+  Result<ckpt::CheckpointImage> parsed = ckpt::ParseCheckpoint(payload);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ((*parsed).seq, 5u);
+  EXPECT_EQ((*parsed).next_step, 12);
+  EXPECT_EQ((*parsed).driver_blob, "driverstate");
+  EXPECT_EQ((*parsed).db_version, fx.db.current_version());
+
+  Database restored;
+  ASSERT_TRUE(ckpt::InstallDatabaseImage(*parsed, &restored).ok());
+  EXPECT_EQ(restored.current_version(), fx.db.current_version());
+  ASSERT_EQ(restored.tables().size(), fx.db.tables().size());
+  for (size_t i = 0; i < fx.db.tables().size(); ++i) {
+    const Table& want = *fx.db.tables()[i];
+    const Table& got = *restored.tables()[i];
+    SCOPED_TRACE(want.name());
+    EXPECT_EQ(got.name(), want.name());
+    EXPECT_EQ(got.physical_row_count(), want.physical_row_count());
+    EXPECT_EQ(got.live_row_count(), want.live_row_count());
+    EXPECT_EQ(got.vacuum_horizon(), want.vacuum_horizon());
+    EXPECT_EQ(got.live_ids(), want.live_ids());
+    EXPECT_EQ(got.delta_log().size(), want.delta_log().size());
+    EXPECT_EQ(got.delta_log().first_retained(),
+              want.delta_log().first_retained());
+    for (size_t p = want.delta_log().first_retained();
+         p < want.delta_log().size(); ++p) {
+      const Modification& wm = want.delta_log().At(p);
+      const Modification& gm = got.delta_log().At(p);
+      EXPECT_EQ(gm.version, wm.version);
+      EXPECT_EQ(gm.kind, wm.kind);
+      EXPECT_EQ(gm.old_row, wm.old_row);
+      EXPECT_EQ(gm.new_row, wm.new_row);
+    }
+    // Every physical slot matches bit-for-bit, vacuumed or not.
+    for (RowId id = 0; id < want.physical_row_count(); ++id) {
+      const VersionedRow& wr = want.RowAt(id);
+      const VersionedRow& gr = got.RowAt(id);
+      ASSERT_EQ(gr.row, wr.row) << "row " << id;
+      ASSERT_EQ(gr.insert_version, wr.insert_version) << "row " << id;
+      ASSERT_EQ(gr.delete_version, wr.delete_version) << "row " << id;
+    }
+  }
+  // Index behaviour survives: probe the supplier suppkey index at the
+  // current snapshot on both databases and compare hit sets.
+  const Table& want_sup = fx.db.table(kSupplier);
+  const Table& got_sup = restored.table(kSupplier);
+  const Version v = fx.db.current_version();
+  const size_t col = want_sup.schema().ColumnIndex("s_suppkey");
+  size_t want_hits = 0;
+  size_t got_hits = 0;
+  want_sup.ScanAt(v, [&](RowId id, const Row& row) {
+    want_sup.IndexLookup(col, row[col], v, [&](RowId wid, const Row&) {
+      want_hits += wid == id ? 1 : 0;
+    });
+    got_sup.IndexLookup(col, row[col], v, [&](RowId gid, const Row&) {
+      got_hits += gid == id ? 1 : 0;
+    });
+  });
+  EXPECT_GT(want_hits, 0u);
+  EXPECT_EQ(got_hits, want_hits);
+}
+
+TEST(CheckpointTest, PublishCrashLeavesPreviousManifestIntact) {
+  Fixture fx;
+  const std::string dir = TestDir("manifest_crash");
+  ASSERT_TRUE(ckpt::EnsureDir(dir).ok());
+  const ckpt::CheckpointImage image0 =
+      ckpt::CaptureCheckpoint(fx.db, *fx.maintainer, 0, 0, "d0");
+  ASSERT_TRUE(ckpt::PublishCheckpoint(dir, image0).ok());
+
+  fx.updater->UpdatePartSuppSupplycost();
+  fx.maintainer->RefreshAll();
+  ckpt::CheckpointImage image1 =
+      ckpt::CaptureCheckpoint(fx.db, *fx.maintainer, 1, 4, "d1");
+
+  // Crash at every stage of the publication protocol: the previous
+  // manifest/image pair must stay live and readable.
+  for (const char* site :
+       {fault::kFpCkptWrite, fault::kFpCkptFsync, fault::kFpCkptRename,
+        fault::kFpCkptManifest}) {
+    SCOPED_TRACE(site);
+    ScopedFailpoint guard = ScopedFailpoint::Once(site);
+    EXPECT_FALSE(ckpt::PublishCheckpoint(dir, image1).ok());
+    Result<ckpt::Manifest> manifest = ckpt::ReadManifest(dir);
+    ASSERT_TRUE(manifest.ok());
+    EXPECT_EQ((*manifest).seq, 0u);
+    Result<std::string> payload =
+        ckpt::ReadFile(dir + "/" + (*manifest).checkpoint_file);
+    ASSERT_TRUE(payload.ok());
+    EXPECT_EQ(ckpt::Checksum(*payload), (*manifest).checkpoint_checksum);
+  }
+
+  // With the faults gone the publish goes through and supersedes seq 0.
+  ASSERT_TRUE(ckpt::PublishCheckpoint(dir, image1).ok());
+  Result<ckpt::Manifest> manifest = ckpt::ReadManifest(dir);
+  ASSERT_TRUE(manifest.ok());
+  EXPECT_EQ((*manifest).seq, 1u);
+  // The superseded image is gone (best-effort unlink after the swap).
+  EXPECT_FALSE(ckpt::FileExists(dir + "/" + ckpt::CheckpointFileName(0)));
+}
+
+// Fault-free durable run: every step logged, checkpoints on cadence, GC
+// riding the cycle -- and a recovery of the finished run reproduces the
+// live trace and the live view exactly.
+TEST(DurableRunTest, CleanRunRecoversToFinalState) {
+  const ArrivalSequence arrivals = ArrivalSequence::Uniform({2, 1, 0, 0}, 19);
+  const CostModel model = PaperLikeModel();
+  const double budget = 15.0;
+  const std::string dir = TestDir("clean_run");
+
+  Fixture fx;
+  obs::MetricRegistry metrics;
+  auto mgr = ckpt::DurabilityManager::Start(
+      dir, &fx.db, fx.maintainer.get(),
+      [&] { return fx.updater->SaveState(); }, {}, &metrics);
+  ASSERT_TRUE(mgr.ok()) << mgr.status().ToString();
+
+  EngineRunnerOptions options;
+  options.durability = (*mgr).get();
+  OnlinePolicy policy;
+  const EngineTrace live =
+      RunOnEngine(*fx.maintainer, arrivals, model, budget, policy,
+                  fx.driver, options);
+  ASSERT_FALSE(live.aborted) << live.abort_reason;
+  EXPECT_TRUE(live.ended_consistent);
+
+  // Cadence 8 over 20 steps: seq-0 plus checkpoints after steps 7 and 15.
+  EXPECT_EQ((*mgr)->checkpoints_published(), 3u);
+  EXPECT_GT((*mgr)->gc_passes(), 0u);
+  EXPECT_GT((*mgr)->gc_rows_reclaimed(), 0u);
+  const obs::MetricsSnapshot snap = metrics.Snapshot();
+  EXPECT_EQ(snap.counters.at("ckpt.checkpoints"), 3u);
+  EXPECT_GT(snap.counters.at("ckpt.bytes_written"), 0u);
+  EXPECT_GT(snap.counters.at("ckpt.wal_records"), 0u);
+  EXPECT_GT(snap.counters.at("gc.passes"), 0u);
+  EXPECT_GT(snap.counters.at("gc.rows_reclaimed"), 0u);
+
+  // GC actually moved the vacuum horizon, and the safe-version argument
+  // held: the horizon never passed the checkpointed version clock.
+  EXPECT_GT(fx.db.table(kPartSupp).vacuum_horizon(), 0u);
+  EXPECT_LE(fx.db.table(kPartSupp).vacuum_horizon(),
+            fx.db.current_version());
+
+  // Recover the COMPLETED run: nothing left to execute, and both the
+  // trace and the view reproduce the live run's.
+  obs::MetricRegistry rec_metrics;
+  ckpt::RecoveryOptions rec_options;
+  rec_options.metrics = &rec_metrics;
+  OnlinePolicy policy2;
+  auto rec = ckpt::RecoverFromDir(dir, MakePaperMinView(), model, budget,
+                                  &policy2, rec_options);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  ckpt::RecoveredRun& run = *rec;
+  EXPECT_FALSE(run.resume.mid_step);
+  EXPECT_EQ(run.resume.first_step, arrivals.horizon() + 1);
+  EXPECT_EQ(run.db->current_version(), fx.db.current_version());
+
+  // Bit-identical maintenance state: recovered == recompute oracle at
+  // the recovered watermarks, and == the live maintainer.
+  EXPECT_TRUE(run.maintainer->state().SameContents(
+      run.maintainer->RecomputeAtWatermarks()));
+  EXPECT_TRUE(run.maintainer->state().SameContents(fx.maintainer->state()));
+  for (size_t i = 0; i < run.maintainer->num_tables(); ++i) {
+    EXPECT_EQ(run.maintainer->watermark_position(i),
+              fx.maintainer->watermark_position(i));
+    EXPECT_EQ(run.maintainer->watermark_version(i),
+              fx.maintainer->watermark_version(i));
+  }
+
+  const EngineTrace stitched = ckpt::StitchTrace(run.trace_prefix, {});
+  std::string why;
+  EXPECT_TRUE(ckpt::DeterministicTraceEquals(stitched, live, &why)) << why;
+
+  EXPECT_GT(rec_metrics.Snapshot().counters.at("recovery.replayed_records"),
+            0u);
+  EXPECT_GT(rec_metrics.Snapshot().counters.at("recovery.replayed_batches"),
+            0u);
+}
+
+// Checkpoints are strictly off the hot path: a run with durability
+// disabled takes zero ckpt.* counters and installs no listener cost
+// beyond one branch per apply (guarded here by API shape, measured by
+// the micro benches).
+TEST(DurableRunTest, RecoveryRejectsCorruptCheckpoint) {
+  const std::string dir = TestDir("corrupt_ckpt");
+  Fixture fx;
+  auto mgr = ckpt::DurabilityManager::Start(
+      dir, &fx.db, fx.maintainer.get(),
+      [&] { return fx.updater->SaveState(); });
+  ASSERT_TRUE(mgr.ok());
+  Result<ckpt::Manifest> manifest = ckpt::ReadManifest(dir);
+  ASSERT_TRUE(manifest.ok());
+
+  // Flip a byte in the image: the manifest checksum must catch it.
+  const std::string path = dir + "/" + (*manifest).checkpoint_file;
+  Result<std::string> payload = ckpt::ReadFile(path);
+  ASSERT_TRUE(payload.ok());
+  std::string tampered = *payload;
+  tampered[tampered.size() / 2] ^= 0x01;
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f.write(tampered.data(), static_cast<std::streamsize>(tampered.size()));
+  }
+  OnlinePolicy policy;
+  auto rec = ckpt::RecoverFromDir(dir, MakePaperMinView(), PaperLikeModel(),
+                                  15.0, &policy);
+  ASSERT_FALSE(rec.ok());
+  EXPECT_NE(rec.status().ToString().find("checksum"), std::string::npos);
+}
+
+TEST(DurableRunTest, RecoveringAnEmptyDirFailsCleanly) {
+  OnlinePolicy policy;
+  auto rec = ckpt::RecoverFromDir(TestDir("no_such_run"), MakePaperMinView(),
+                                  PaperLikeModel(), 15.0, &policy);
+  ASSERT_FALSE(rec.ok());
+  EXPECT_EQ(rec.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace abivm

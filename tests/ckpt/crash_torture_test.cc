@@ -1,0 +1,346 @@
+// Kill-and-restart torture: crash the durable engine run at every
+// cataloged durability failpoint site (several trigger offsets each),
+// recover from disk alone, and prove the tentpole invariant:
+//
+//   1. the recovered view is bit-identical to Recompute at the recovered
+//      watermarks, and
+//   2. the resumed run's stitched trace equals the uninterrupted run's
+//      deterministic trace exactly, ending in the same final view.
+//
+// Runs under the `recovery` and `fault` ctest labels.
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ckpt/manager.h"
+#include "ckpt/recovery.h"
+#include "core/online.h"
+#include "fault/failpoint.h"
+#include "fault/sites.h"
+#include "sim/engine_runner.h"
+#include "tpc/tpc_gen.h"
+#include "tpc/update_stream.h"
+#include "tpc/views.h"
+
+namespace abivm {
+namespace {
+
+using fault::ScopedFailpoint;
+
+std::string TestDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "abivm_torture_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+struct Fixture {
+  Database db;
+  std::unique_ptr<ViewMaintainer> maintainer;
+  std::unique_ptr<TpcUpdater> updater;
+  ModificationDriver driver;
+
+  Fixture() {
+    TpcGenOptions options;
+    options.scale_factor = 0.001;
+    GenerateTpcDatabase(&db, options);
+    CreatePaperIndexes(&db);
+    maintainer = std::make_unique<ViewMaintainer>(&db, MakePaperMinView());
+    updater = std::make_unique<TpcUpdater>(&db, 99);
+    driver = [this](size_t table_index) {
+      if (table_index == 0) {
+        updater->UpdatePartSuppSupplycost();
+      } else if (table_index == 1) {
+        updater->UpdateSupplierNationkey();
+      } else {
+        ABIVM_CHECK_MSG(false, "no modifications for table " << table_index);
+      }
+    };
+  }
+};
+
+CostModel PaperLikeModel() {
+  std::vector<CostFunctionPtr> fns = {
+      std::make_shared<LinearCost>(0.3, 0.5),
+      std::make_shared<LinearCost>(0.2, 6.0),
+      std::make_shared<LinearCost>(0.1, 0.1),
+      std::make_shared<LinearCost>(0.1, 0.1)};
+  return CostModel(std::move(fns));
+}
+
+ArrivalSequence TortureArrivals() {
+  return ArrivalSequence::Uniform({2, 1, 0, 0}, 19);
+}
+
+constexpr double kBudget = 15.0;
+
+// The uninterrupted run every crashed-and-resumed run must reproduce.
+// Durability is OFF here on purpose: the comparison also proves the
+// durability hooks never perturb a decision.
+struct Reference {
+  Fixture fx;
+  EngineTrace trace;
+
+  Reference() {
+    OnlinePolicy policy;
+    trace = RunOnEngine(*fx.maintainer, TortureArrivals(), PaperLikeModel(),
+                        kBudget, policy, fx.driver);
+  }
+};
+
+// One crash/recover/resume cycle. Arms `site` to trigger once after
+// `skip` armed hits (arming happens AFTER DurabilityManager::Start, so
+// the seq-0 checkpoint is never the victim), asserts the run aborted,
+// then recovers from the on-disk state alone and resumes to the horizon.
+// Returns true when the recovery entered the crashed step mid-way.
+bool CrashRecoverResume(const Reference& ref, const char* site,
+                        uint64_t skip) {
+  SCOPED_TRACE(std::string(site) + " skip=" + std::to_string(skip));
+  const ArrivalSequence arrivals = TortureArrivals();
+  const CostModel model = PaperLikeModel();
+  const std::string dir =
+      TestDir(std::string(site) + "_" + std::to_string(skip));
+
+  // --- The doomed run. Everything in this scope dies with the "crash";
+  // only `dir` survives.
+  {
+    Fixture fx;
+    auto mgr = ckpt::DurabilityManager::Start(
+        dir, &fx.db, fx.maintainer.get(),
+        [&] { return fx.updater->SaveState(); });
+    EXPECT_TRUE(mgr.ok()) << mgr.status().ToString();
+    if (!mgr.ok()) return false;
+    ScopedFailpoint guard = ScopedFailpoint::Once(site, skip);
+    EngineRunnerOptions options;
+    options.durability = (*mgr).get();
+    OnlinePolicy policy;
+    const EngineTrace crashed = RunOnEngine(
+        *fx.maintainer, arrivals, model, kBudget, policy, fx.driver,
+        options);
+    EXPECT_TRUE(crashed.aborted)
+        << "site never fired -- lower the skip count";
+    if (!crashed.aborted) return false;
+  }
+  fault::FailpointRegistry::ThreadLocal().DisarmAll();
+
+  // --- Recover from disk. Invariant 1: the recovered view must be
+  // bit-identical to a from-scratch Recompute at the recovered
+  // watermarks.
+  OnlinePolicy policy;
+  auto rec = ckpt::RecoverFromDir(dir, MakePaperMinView(), model, kBudget,
+                                  &policy);
+  EXPECT_TRUE(rec.ok()) << rec.status().ToString();
+  if (!rec.ok()) return false;
+  ckpt::RecoveredRun& run = *rec;
+  EXPECT_TRUE(run.maintainer->state().SameContents(
+      run.maintainer->RecomputeAtWatermarks()));
+
+  // --- Resume: restore the driver, reattach durability, run to the
+  // horizon. Invariant 2: prefix + resumed == uninterrupted, and the
+  // final views agree.
+  TpcUpdater updater(run.db.get(), /*seed=*/0);  // state overwritten below
+  updater.RestoreState(run.driver_blob);
+  ModificationDriver driver = [&](size_t table_index) {
+    if (table_index == 0) {
+      updater.UpdatePartSuppSupplycost();
+    } else {
+      updater.UpdateSupplierNationkey();
+    }
+  };
+  auto mgr = ckpt::DurabilityManager::Resume(
+      dir, run.db.get(), run.maintainer.get(),
+      [&] { return updater.SaveState(); }, run.handle);
+  EXPECT_TRUE(mgr.ok()) << mgr.status().ToString();
+  if (!mgr.ok()) return false;
+  EngineRunnerOptions options;
+  options.durability = (*mgr).get();
+  options.resume = &run.resume;
+  const EngineTrace resumed = RunOnEngine(*run.maintainer, arrivals, model,
+                                          kBudget, policy, driver, options);
+  EXPECT_FALSE(resumed.aborted) << resumed.abort_reason;
+  EXPECT_TRUE(resumed.ended_consistent);
+
+  const EngineTrace stitched = ckpt::StitchTrace(run.trace_prefix, resumed);
+  std::string why;
+  EXPECT_TRUE(ckpt::DeterministicTraceEquals(stitched, ref.trace, &why))
+      << why;
+  EXPECT_TRUE(run.maintainer->state().SameContents(ref.fx.maintainer->state()));
+  return run.resume.mid_step;
+}
+
+TEST(CrashTortureTest, CheckpointWriteProtocolSites) {
+  const Reference ref;
+  // Each checkpoint publish issues two durable writes (image, manifest);
+  // skips 0..2 crash the step-7 publish at either write and the step-15
+  // publish at its first.
+  for (const char* site :
+       {fault::kFpCkptWrite, fault::kFpCkptFsync, fault::kFpCkptRename}) {
+    for (const uint64_t skip : {uint64_t{0}, uint64_t{1}, uint64_t{2}}) {
+      CrashRecoverResume(ref, site, skip);
+    }
+  }
+  // The manifest swap fires once per publish: skip 1 is the step-15
+  // publish, after the step-7 checkpoint (and its GC pass) succeeded.
+  CrashRecoverResume(ref, fault::kFpCkptManifest, 0);
+  CrashRecoverResume(ref, fault::kFpCkptManifest, 1);
+}
+
+TEST(CrashTortureTest, WalAppendCrashesAtEveryRecordPosition) {
+  const Reference ref;
+  // Appends interleave as plan / commits / end per step, so sweeping the
+  // skip offset crashes before a step (plan lost), mid-step (plan
+  // durable, some commits durable, end lost), and between steps.
+  bool saw_mid_step = false;
+  for (const uint64_t skip : std::vector<uint64_t>{0, 1, 2, 3, 4, 5, 6, 7,
+                                                   11, 17, 23}) {
+    saw_mid_step |= CrashRecoverResume(ref, fault::kFpLogAppend, skip);
+  }
+  // The sweep must have exercised the mid-step resume path (plan with no
+  // matching end at the WAL tail).
+  EXPECT_TRUE(saw_mid_step);
+}
+
+TEST(CrashTortureTest, GcVacuumCrashMidPass) {
+  const Reference ref;
+  // The vacuum pass fires the site once per maintained table (4 here):
+  // skips 0/1/3 crash the step-7 pass at different tables, skip 5 the
+  // step-15 pass after the first completed fully.
+  for (const uint64_t skip :
+       {uint64_t{0}, uint64_t{1}, uint64_t{3}, uint64_t{5}}) {
+    CrashRecoverResume(ref, fault::kFpGcVacuum, skip);
+  }
+}
+
+TEST(CrashTortureTest, RecoveryReplayFaultIsRetryable) {
+  // A clean durable run...
+  const std::string dir = TestDir("recovery_replay");
+  const ArrivalSequence arrivals = TortureArrivals();
+  const CostModel model = PaperLikeModel();
+  Fixture fx;
+  auto mgr = ckpt::DurabilityManager::Start(
+      dir, &fx.db, fx.maintainer.get(),
+      [&] { return fx.updater->SaveState(); });
+  ASSERT_TRUE(mgr.ok());
+  EngineRunnerOptions options;
+  options.durability = (*mgr).get();
+  OnlinePolicy policy;
+  const EngineTrace live = RunOnEngine(*fx.maintainer, arrivals, model,
+                                       kBudget, policy, fx.driver, options);
+  ASSERT_FALSE(live.aborted);
+
+  // ...whose recovery dies mid-replay. Recovery writes nothing, so the
+  // retry starts from the same on-disk state and succeeds.
+  {
+    ScopedFailpoint guard = ScopedFailpoint::Once(fault::kFpRecoveryReplay,
+                                                  /*skip_hits=*/5);
+    OnlinePolicy p;
+    auto failed = ckpt::RecoverFromDir(dir, MakePaperMinView(), model,
+                                       kBudget, &p);
+    ASSERT_FALSE(failed.ok());
+  }
+  OnlinePolicy p2;
+  auto rec = ckpt::RecoverFromDir(dir, MakePaperMinView(), model, kBudget,
+                                  &p2);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_EQ((*rec).resume.first_step, arrivals.horizon() + 1);
+  EXPECT_TRUE((*rec).maintainer->state().SameContents(fx.maintainer->state()));
+
+  const EngineTrace stitched = ckpt::StitchTrace((*rec).trace_prefix, {});
+  std::string why;
+  EXPECT_TRUE(ckpt::DeterministicTraceEquals(stitched, live, &why)) << why;
+}
+
+// Two crashes in one lifetime: the resumed run crashes again at a
+// different site, and the second recovery still converges on the
+// reference.
+TEST(CrashTortureTest, SurvivesADoubleCrash) {
+  const Reference ref;
+  const ArrivalSequence arrivals = TortureArrivals();
+  const CostModel model = PaperLikeModel();
+  const std::string dir = TestDir("double_crash");
+
+  {  // Crash #1: WAL append dies early in the run.
+    Fixture fx;
+    auto mgr = ckpt::DurabilityManager::Start(
+        dir, &fx.db, fx.maintainer.get(),
+        [&] { return fx.updater->SaveState(); });
+    ASSERT_TRUE(mgr.ok());
+    ScopedFailpoint guard = ScopedFailpoint::Once(fault::kFpLogAppend, 6);
+    EngineRunnerOptions options;
+    options.durability = (*mgr).get();
+    OnlinePolicy policy;
+    ASSERT_TRUE(RunOnEngine(*fx.maintainer, arrivals, model, kBudget,
+                            policy, fx.driver, options)
+                    .aborted);
+  }
+  fault::FailpointRegistry::ThreadLocal().DisarmAll();
+
+  std::vector<EngineStepRecord> first_prefix;
+  {  // Recover #1, resume, crash #2 at a checkpoint publish.
+    OnlinePolicy policy;
+    auto rec = ckpt::RecoverFromDir(dir, MakePaperMinView(), model, kBudget,
+                                    &policy);
+    ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+    first_prefix = (*rec).trace_prefix;
+    TpcUpdater updater((*rec).db.get(), 0);
+    updater.RestoreState((*rec).driver_blob);
+    ModificationDriver driver = [&](size_t i) {
+      i == 0 ? updater.UpdatePartSuppSupplycost()
+             : updater.UpdateSupplierNationkey();
+    };
+    auto mgr = ckpt::DurabilityManager::Resume(
+        dir, (*rec).db.get(), (*rec).maintainer.get(),
+        [&] { return updater.SaveState(); }, (*rec).handle);
+    ASSERT_TRUE(mgr.ok());
+    ScopedFailpoint guard = ScopedFailpoint::Once(fault::kFpCkptManifest, 1);
+    EngineRunnerOptions options;
+    options.durability = (*mgr).get();
+    options.resume = &(*rec).resume;
+    ASSERT_TRUE(RunOnEngine(*(*rec).maintainer, arrivals, model, kBudget,
+                            policy, driver, options)
+                    .aborted);
+  }
+  fault::FailpointRegistry::ThreadLocal().DisarmAll();
+
+  // Recover #2 and run out clean.
+  OnlinePolicy policy;
+  auto rec = ckpt::RecoverFromDir(dir, MakePaperMinView(), model, kBudget,
+                                  &policy);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  TpcUpdater updater((*rec).db.get(), 0);
+  updater.RestoreState((*rec).driver_blob);
+  ModificationDriver driver = [&](size_t i) {
+    i == 0 ? updater.UpdatePartSuppSupplycost()
+           : updater.UpdateSupplierNationkey();
+  };
+  auto mgr = ckpt::DurabilityManager::Resume(
+      dir, (*rec).db.get(), (*rec).maintainer.get(),
+      [&] { return updater.SaveState(); }, (*rec).handle);
+  ASSERT_TRUE(mgr.ok());
+  EngineRunnerOptions options;
+  options.durability = (*mgr).get();
+  options.resume = &(*rec).resume;
+  const EngineTrace resumed = RunOnEngine(*(*rec).maintainer, arrivals,
+                                          model, kBudget, policy, driver,
+                                          options);
+  ASSERT_FALSE(resumed.aborted) << resumed.abort_reason;
+
+  // The second recovery's prefix already contains the WHOLE history
+  // (WAL records are never trimmed), so it alone stitches against the
+  // resumed tail.
+  const EngineTrace stitched = ckpt::StitchTrace((*rec).trace_prefix,
+                                                 resumed);
+  std::string why;
+  EXPECT_TRUE(ckpt::DeterministicTraceEquals(stitched, ref.trace, &why))
+      << why;
+  EXPECT_TRUE(
+      (*rec).maintainer->state().SameContents(ref.fx.maintainer->state()));
+  // And the first prefix is a prefix of the second.
+  ASSERT_LE(first_prefix.size(), (*rec).trace_prefix.size());
+}
+
+}  // namespace
+}  // namespace abivm

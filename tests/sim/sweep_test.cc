@@ -12,6 +12,7 @@
 #include "fault/failpoint.h"
 #include "fault/sites.h"
 #include "sim/engine_runner.h"
+#include "sim/sweep_values.h"
 #include "tpc/tpc_gen.h"
 #include "tpc/update_stream.h"
 #include "tpc/views.h"
@@ -276,12 +277,13 @@ SweepJob MakeEngineFaultJob(std::string scenario, uint64_t seed) {
     result.total_cost = trace.total_model_cost;
     result.violations = trace.violations;
     result.action_count = trace.action_count;
-    result.values["failures"] = static_cast<double>(trace.failures);
-    result.values["retries"] = static_cast<double>(trace.retries);
-    result.values["degraded_steps"] =
-        static_cast<double>(trace.degraded_steps);
-    result.values["backoff_ms"] = trace.total_backoff_ms;
-    result.values["ended_consistent"] = trace.ended_consistent ? 1.0 : 0.0;
+    sweep_values::kFailures.Set(result, static_cast<double>(trace.failures));
+    sweep_values::kRetries.Set(result, static_cast<double>(trace.retries));
+    sweep_values::kDegradedSteps.Set(
+        result, static_cast<double>(trace.degraded_steps));
+    sweep_values::kBackoffMs.Set(result, trace.total_backoff_ms);
+    sweep_values::kEndedConsistent.Set(result,
+                                       trace.ended_consistent ? 1.0 : 0.0);
   };
   return job;
 }
@@ -310,7 +312,7 @@ TEST(SweepTest, FaultInjectedEngineSweepIsThreadCountInvariant) {
     EXPECT_EQ(sequential[i].values, parallel[i].values);
     EXPECT_EQ(sequential[i].metrics.counters, parallel[i].metrics.counters);
     total_failures +=
-        static_cast<uint64_t>(sequential[i].values.at("failures"));
+        static_cast<uint64_t>(sweep_values::kFailures.Get(sequential[i]));
   }
   // The schedule must actually inject failures, or the test is vacuous.
   EXPECT_GT(total_failures, 0u);

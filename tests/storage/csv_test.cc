@@ -117,6 +117,43 @@ TEST(CsvTest, MalformedQuoting) {
   EXPECT_FALSE(LoadTableCsv(&db, &t, in).ok());
 }
 
+TEST(CsvTest, TrailingCharactersAfterClosingQuoteAreMalformed) {
+  Database db;
+  Table& t = db.CreateTable("t", MixedSchema());
+  {
+    // "abc"def must be rejected, not silently concatenated to "abcdef".
+    std::istringstream in("id,name,price\n1,\"abc\"def,2.0\n");
+    const Result<size_t> r = LoadTableCsv(&db, &t, in);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.status().message().find("malformed"), std::string::npos);
+    EXPECT_NE(r.status().message().find("line 2"), std::string::npos);
+  }
+  {
+    // Same for an empty quoted field with a tail.
+    std::istringstream in("id,name,price\n1,\"\"x,2.0\n");
+    EXPECT_FALSE(LoadTableCsv(&db, &t, in).ok());
+  }
+  {
+    // And for a re-opened quote after a completed quoted field.
+    std::istringstream in("id,name,price\n1,\"a\"\"b\"extra,2.0\n");
+    EXPECT_FALSE(LoadTableCsv(&db, &t, in).ok());
+  }
+  EXPECT_EQ(t.live_row_count(), 0u);
+  {
+    // The legal shapes still parse: escaped quotes, a quoted field
+    // followed immediately by the separator, and a quoted final field.
+    std::istringstream in("id,name,price\n1,\"a\"\"b\",2.0\n2,\"c\",3.0\n");
+    const Result<size_t> r = LoadTableCsv(&db, &t, in);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(*r, 2u);
+    std::vector<Row> rows;
+    t.ScanAt(0, [&](RowId, const Row& row) { rows.push_back(row); });
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0][1].AsString(), "a\"b");
+    EXPECT_EQ(rows[1][1].AsString(), "c");
+  }
+}
+
 TEST(CsvTest, NumericCellsOutOfRangeAreErrorsNotCrashes) {
   Database db;
   Table& t = db.CreateTable("t", MixedSchema());

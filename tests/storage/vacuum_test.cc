@@ -1,8 +1,12 @@
 // Garbage collection of superseded row versions and consumed delta-log
 // prefixes.
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
+#include "fault/failpoint.h"
+#include "fault/sites.h"
 #include "ivm/maintainer.h"
 #include "storage/database.h"
 #include "tpc/tpc_gen.h"
@@ -123,6 +127,125 @@ TEST(VacuumTest, MaintainerVacuumKeepsViewCorrect) {
   // Delta logs trimmed to the heads.
   EXPECT_EQ(db.table(kPartSupp).delta_log().first_retained(),
             db.table(kPartSupp).delta_log().size());
+}
+
+// Shared fixture for the engine-driven GC tests: TPC database with the
+// paper view partially maintained, so watermarks sit strictly between
+// the initial materialization and the current version.
+struct GcFixture {
+  Database db;
+  std::unique_ptr<ViewMaintainer> maintainer;
+
+  GcFixture() {
+    TpcGenOptions options;
+    options.scale_factor = 0.001;
+    GenerateTpcDatabase(&db, options);
+    CreatePaperIndexes(&db);
+    maintainer = std::make_unique<ViewMaintainer>(&db, MakePaperMinView());
+    TpcUpdater updater(&db, 21);
+    for (int i = 0; i < 20; ++i) updater.UpdatePartSuppSupplycost();
+    for (int i = 0; i < 6; ++i) updater.UpdateSupplierNationkey();
+    maintainer->ProcessBatch(0, 14);
+    maintainer->ProcessBatch(1, 4);
+  }
+};
+
+TEST(VacuumTest, EngineCapVacuumsExactlyToTheFrontierBoundary) {
+  GcFixture fx;
+  ViewMaintainer& m = *fx.maintainer;
+
+  // A cap strictly below the partsupp watermark: its horizon must land
+  // on the cap, not the watermark; tables whose watermark is below the
+  // cap clamp to their watermark instead.
+  const Version cap = std::min(m.watermark_version(0),
+                               m.watermark_version(1)) - 1;
+  ASSERT_GT(cap, 0u);
+  size_t rows = 0;
+  size_t entries = 0;
+  ASSERT_TRUE(m.VacuumConsumedBelow(cap, &rows, &entries).ok());
+  EXPECT_GT(rows, 0u);
+  EXPECT_GT(entries, 0u);
+  for (size_t i = 0; i < m.num_tables(); ++i) {
+    const Table& t = m.binding().base_table(i);
+    EXPECT_EQ(t.vacuum_horizon(),
+              std::min(m.watermark_version(i), cap)) << "table " << i;
+    // The horizon snapshot itself stays readable...
+    t.ScanAt(t.vacuum_horizon(), [](RowId, const Row&) {});
+  }
+  // ... and anything below it is gone (partsupp's horizon == cap).
+  EXPECT_DEATH(m.binding().base_table(0).ScanAt(
+                   cap - 1, [](RowId, const Row&) {}),
+               "vacuumed");
+
+  // Raising the cap past every watermark clamps to the watermarks; the
+  // view is untouched either way.
+  ASSERT_TRUE(m.VacuumConsumedBelow(fx.db.current_version() + 100, &rows,
+                                    &entries).ok());
+  for (size_t i = 0; i < m.num_tables(); ++i) {
+    EXPECT_EQ(m.binding().base_table(i).vacuum_horizon(),
+              m.watermark_version(i)) << "table " << i;
+  }
+  EXPECT_TRUE(m.state().SameContents(m.RecomputeAtWatermarks()));
+}
+
+TEST(VacuumTest, FaultedVacuumLeavesEveryTableConsistent) {
+  GcFixture fx;
+  ViewMaintainer& m = *fx.maintainer;
+  const Version cap = fx.db.current_version();
+
+  // Crash the pass between table 0 and table 1: partsupp has already
+  // been vacuumed, supplier and the rest must be untouched.
+  {
+    fault::ScopedFailpoint fp =
+        fault::ScopedFailpoint::Once(fault::kFpGcVacuum, /*skip_hits=*/1);
+    size_t rows = 0;
+    size_t entries = 0;
+    EXPECT_FALSE(m.VacuumConsumedBelow(cap, &rows, &entries).ok());
+  }
+  EXPECT_EQ(m.binding().base_table(0).vacuum_horizon(),
+            std::min(m.watermark_version(0), cap));
+  EXPECT_EQ(m.binding().base_table(1).vacuum_horizon(), 0u);
+
+  // Every table -- vacuumed or not -- is still internally consistent:
+  // live positions resolve to live rows and the watermark snapshot scans.
+  for (size_t i = 0; i < m.num_tables(); ++i) {
+    const Table& t = m.binding().base_table(i);
+    EXPECT_LE(t.vacuum_horizon(), m.watermark_version(i)) << "table " << i;
+    for (RowId id : t.live_ids()) {
+      EXPECT_FALSE(t.RowAt(id).row.empty()) << "table " << i;
+    }
+    EXPECT_LE(t.live_row_count(), t.physical_row_count());
+    size_t scanned = 0;
+    t.ScanAt(m.watermark_version(i), [&](RowId, const Row&) { ++scanned; });
+    EXPECT_EQ(scanned, t.live_row_count()) << "table " << i;
+  }
+
+  // The partially-vacuumed supplier index still resolves every live row
+  // to itself (s_suppkey is unique).
+  const Table& supplier = fx.db.table(kSupplier);
+  const Version sw = m.watermark_version(m.binding().TableIndex(kSupplier));
+  size_t scanned = 0;
+  size_t probed = 0;
+  supplier.ScanAt(sw, [&](RowId, const Row& row) {
+    ++scanned;
+    supplier.IndexLookup(0, row[0], sw, [&](RowId, const Row& hit) {
+      if (hit[0] == row[0]) ++probed;
+    });
+  });
+  EXPECT_EQ(probed, scanned);
+  EXPECT_GT(scanned, 0u);
+
+  // The view never moves on a failed vacuum, and the retry completes
+  // the pass.
+  ASSERT_TRUE(m.state().SameContents(m.RecomputeAtWatermarks()));
+  size_t rows = 0;
+  size_t entries = 0;
+  ASSERT_TRUE(m.VacuumConsumedBelow(cap, &rows, &entries).ok());
+  for (size_t i = 0; i < m.num_tables(); ++i) {
+    EXPECT_EQ(m.binding().base_table(i).vacuum_horizon(),
+              std::min(m.watermark_version(i), cap)) << "table " << i;
+  }
+  EXPECT_TRUE(m.state().SameContents(m.RecomputeAtWatermarks()));
 }
 
 }  // namespace
