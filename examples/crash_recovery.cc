@@ -12,11 +12,22 @@
 //       Rebuilds the run from D alone, checks the recovered view
 //       against the recompute oracle, resumes to the horizon, prints
 //       the stitched-trace "digest <hex>"; exit 0.
+//   crash_recovery --dir D --bytes-guard [--min-ratio R]
+//       Runs the same workload twice -- incremental checkpoints vs
+//       full-image-only -- and requires steady-state checkpoint bytes
+//       (everything after the seq-0 image) to shrink by at least R
+//       (default 5); prints both totals and the ratio; exit 0/1.
+//
+// Runs carry the ONLINE policy's decision-state snapshot in every
+// image (DurabilityOptions::save_policy), so the WAL is trimmed below
+// each publish -- the trimmed-recovery path is what the smoke script
+// exercises, including at the `ckpt.delta` and `wal.trim` sites.
 //
 // The smoke script compares the clean run's digest with the
 // crash+recover digest: equal means the resumed run reproduced the
 // uninterrupted one bit-for-bit.
 
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -107,8 +118,12 @@ int RunDurable(const std::string& dir, const char* site, uint64_t skip) {
     }
   };
 
+  OnlinePolicy policy;
+  ckpt::DurabilityOptions durability;
+  durability.save_policy = [&policy] { return policy.SaveState(); };
   auto mgr = ckpt::DurabilityManager::Start(
-      dir, &db, &maintainer, [&] { return updater.SaveState(); });
+      dir, &db, &maintainer, [&] { return updater.SaveState(); },
+      durability);
   if (!mgr.ok()) {
     std::cerr << "start failed: " << mgr.status().ToString() << "\n";
     return 1;
@@ -122,7 +137,6 @@ int RunDurable(const std::string& dir, const char* site, uint64_t skip) {
 
   EngineRunnerOptions options;
   options.durability = (*mgr).get();
-  OnlinePolicy policy;
   const EngineTrace trace =
       RunOnEngine(maintainer, SmokeArrivals(), PaperLikeModel(), kBudget,
                   policy, driver, options);
@@ -169,9 +183,11 @@ int Recover(const std::string& dir) {
       updater.UpdateSupplierNationkey();
     }
   };
+  ckpt::DurabilityOptions durability;
+  durability.save_policy = [&policy] { return policy.SaveState(); };
   auto mgr = ckpt::DurabilityManager::Resume(
       dir, run.db.get(), run.maintainer.get(),
-      [&] { return updater.SaveState(); }, run.handle);
+      [&] { return updater.SaveState(); }, run.handle, durability);
   if (!mgr.ok()) {
     std::cerr << "resume failed: " << mgr.status().ToString() << "\n";
     return 1;
@@ -191,16 +207,96 @@ int Recover(const std::string& dir) {
   return 0;
 }
 
+/// One measured durable run; returns steady-state checkpoint bytes
+/// (everything after the seq-0 image) or UINT64_MAX on failure.
+uint64_t MeasureSteadyStateBytes(const std::string& dir, bool incremental,
+                                 uint64_t* deltas_out) {
+  Database db;
+  TpcGenOptions gen;
+  gen.scale_factor = 0.001;
+  GenerateTpcDatabase(&db, gen);
+  CreatePaperIndexes(&db);
+  ViewMaintainer maintainer(&db, MakePaperMinView());
+  TpcUpdater updater(&db, 99);
+  ModificationDriver driver = [&](size_t table_index) {
+    if (table_index == 0) {
+      updater.UpdatePartSuppSupplycost();
+    } else {
+      updater.UpdateSupplierNationkey();
+    }
+  };
+  obs::MetricRegistry metrics;
+  OnlinePolicy policy;
+  ckpt::DurabilityOptions durability;
+  durability.incremental = incremental;
+  durability.save_policy = [&policy] { return policy.SaveState(); };
+  auto mgr = ckpt::DurabilityManager::Start(
+      dir, &db, &maintainer, [&] { return updater.SaveState(); },
+      durability, &metrics);
+  if (!mgr.ok()) {
+    std::cerr << "start failed: " << mgr.status().ToString() << "\n";
+    return UINT64_MAX;
+  }
+  const uint64_t seq0_bytes =
+      metrics.Snapshot().counters.at("ckpt.bytes_written");
+  EngineRunnerOptions options;
+  options.durability = (*mgr).get();
+  const EngineTrace trace =
+      RunOnEngine(maintainer, SmokeArrivals(), PaperLikeModel(), kBudget,
+                  policy, driver, options);
+  if (trace.aborted) {
+    std::cerr << "measured run died: " << trace.abort_reason << "\n";
+    return UINT64_MAX;
+  }
+  *deltas_out = (*mgr)->deltas_published();
+  return metrics.Snapshot().counters.at("ckpt.bytes_written") - seq0_bytes;
+}
+
+/// Incremental vs full-image-only on the identical workload: the
+/// steady-state byte total must shrink by at least `min_ratio` (the
+/// whole point of delta checkpoints -- bytes proportional to churn, not
+/// to table size).
+int BytesGuard(const std::string& dir, double min_ratio) {
+  uint64_t inc_deltas = 0;
+  uint64_t full_deltas = 0;
+  const uint64_t inc_bytes =
+      MeasureSteadyStateBytes(dir + "/incremental", true, &inc_deltas);
+  const uint64_t full_bytes =
+      MeasureSteadyStateBytes(dir + "/full", false, &full_deltas);
+  if (inc_bytes == UINT64_MAX || full_bytes == UINT64_MAX) return 1;
+  if (inc_deltas == 0 || full_deltas != 0 || inc_bytes == 0) {
+    std::cerr << "bytes-guard: unexpected publish mix (incremental run "
+              << inc_deltas << " deltas, full run " << full_deltas
+              << ")\n";
+    return 1;
+  }
+  const double ratio =
+      static_cast<double>(full_bytes) / static_cast<double>(inc_bytes);
+  std::cout << "steady-state checkpoint bytes: full=" << full_bytes
+            << " incremental=" << inc_bytes << " ratio=" << ratio << "\n";
+  if (ratio < min_ratio) {
+    std::cerr << "bytes-guard: ratio " << ratio << " below required "
+              << min_ratio << "\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const char* dir = FlagValue(argc, argv, "--dir");
   if (dir == nullptr) {
     std::cerr << "usage: crash_recovery --dir D [--site S [--skip N]] "
-                 "[--recover]\n";
+                 "[--recover] [--bytes-guard [--min-ratio R]]\n";
     return 1;
   }
   if (HasFlag(argc, argv, "--recover")) return Recover(dir);
+  if (HasFlag(argc, argv, "--bytes-guard")) {
+    const char* ratio = FlagValue(argc, argv, "--min-ratio");
+    return BytesGuard(dir,
+                      ratio != nullptr ? std::strtod(ratio, nullptr) : 5.0);
+  }
   const char* site = FlagValue(argc, argv, "--site");
   const char* skip = FlagValue(argc, argv, "--skip");
   return RunDurable(dir, site,

@@ -96,6 +96,20 @@ cmake --preset default >/dev/null || exit 1
 cmake --build --preset default -j "$jobs" >/dev/null || exit 1
 bash scripts/crash_restart_smoke.sh build log.append 7 || fail=1
 bash scripts/crash_restart_smoke.sh build ckpt.fsync 2 || fail=1
+# Incremental-chain sites: death at a delta publish and death mid
+# WAL-segment trim (after the image that obsoleted the segments is
+# already live) must both recover bit-for-bit.
+bash scripts/crash_restart_smoke.sh build ckpt.delta 1 || fail=1
+bash scripts/crash_restart_smoke.sh build wal.trim 1 || fail=1
+
+echo "=== Incremental checkpoint bytes guard ==="
+# Steady-state checkpoint bytes must be proportional to churn, not table
+# size: the incremental run's post-seq-0 byte total must be at least 5x
+# smaller than the full-image-only run's on the identical workload.
+guard_dir="$(mktemp -d)"
+./build/examples/crash_recovery --dir "$guard_dir" --bytes-guard \
+  --min-ratio 5 || fail=1
+rm -rf "$guard_dir"
 
 echo "=== Release bench guard: planner vs baseline ==="
 # Failpoints are disarmed (one relaxed load per site) in the default

@@ -6,8 +6,15 @@
 # the directory alone, resumes to the horizon, and requires the stitched
 # digest to equal a clean uninterrupted run's digest bit-for-bit.
 #
+# The driven runs publish incremental checkpoint chains with policy-state
+# blobs and trim the WAL below each image, so useful sites include the
+# delta publish (`ckpt.delta`) and the segment trim (`wal.trim`) in
+# addition to the write/fsync/rename/manifest/log sites.
+#
 #   scripts/crash_restart_smoke.sh [build_dir] [site] [skip]
 #   scripts/crash_restart_smoke.sh build ckpt.fsync 2
+#   scripts/crash_restart_smoke.sh build ckpt.delta 1
+#   scripts/crash_restart_smoke.sh build wal.trim 1
 set -u
 cd "$(dirname "$0")/.."
 

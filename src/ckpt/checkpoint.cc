@@ -1,6 +1,10 @@
 #include "ckpt/checkpoint.h"
 
+#include <algorithm>
+#include <unordered_set>
+
 #include "ckpt/posix_io.h"
+#include "ckpt/record_serde.h"
 #include "ckpt/serde.h"
 #include "fault/failpoint.h"
 #include "fault/sites.h"
@@ -10,7 +14,11 @@ namespace abivm::ckpt {
 namespace {
 
 constexpr uint64_t kCheckpointMagic = 0x41424956434b5054ULL;  // "ABIVCKPT"
-constexpr uint32_t kCheckpointFormat = 1;
+// Format 2: adds the policy-state blob and the completed-trace prefix.
+constexpr uint32_t kCheckpointFormat = 2;
+constexpr uint64_t kCheckpointDeltaMagic =
+    0x4142495644454c54ULL;  // "ABIVDELT"
+constexpr uint32_t kCheckpointDeltaFormat = 1;
 constexpr uint64_t kManifestMagic = 0x414249564d414e46ULL;  // "ABIVMANF"
 
 void PutModification(std::string* out, const Modification& m) {
@@ -31,6 +39,44 @@ Status GetModification(ByteReader* in, Modification* m) {
   m->kind = static_cast<ModKind>(kind);
   ABIVM_RETURN_NOT_OK(in->GetRow(&m->old_row));
   ABIVM_RETURN_NOT_OK(in->GetRow(&m->new_row));
+  return Status::Ok();
+}
+
+void PutVersionedRow(std::string* out, const VersionedRow& slot) {
+  PutRow(out, slot.row);
+  PutU64(out, slot.insert_version);
+  PutU64(out, slot.delete_version);
+}
+
+Status GetVersionedRow(ByteReader* in, VersionedRow* slot) {
+  ABIVM_RETURN_NOT_OK(in->GetRow(&slot->row));
+  ABIVM_RETURN_NOT_OK(in->GetU64(&slot->insert_version));
+  ABIVM_RETURN_NOT_OK(in->GetU64(&slot->delete_version));
+  return Status::Ok();
+}
+
+void PutGroupState(std::string* out, const GroupState& group) {
+  PutI64(out, group.count);
+  PutDouble(out, group.sum);
+  PutU64(out, group.values.size());
+  for (const auto& [value, count] : group.values) {
+    PutValue(out, value);
+    PutI64(out, count);
+  }
+}
+
+Status GetGroupState(ByteReader* in, GroupState* group) {
+  ABIVM_RETURN_NOT_OK(in->GetI64(&group->count));
+  ABIVM_RETURN_NOT_OK(in->GetDouble(&group->sum));
+  uint64_t nvalues = 0;
+  ABIVM_RETURN_NOT_OK(in->GetU64(&nvalues));
+  for (uint64_t v = 0; v < nvalues; ++v) {
+    Value value;
+    int64_t count = 0;
+    ABIVM_RETURN_NOT_OK(in->GetValue(&value));
+    ABIVM_RETURN_NOT_OK(in->GetI64(&count));
+    group->values.emplace(std::move(value), count);
+  }
   return Status::Ok();
 }
 
@@ -125,6 +171,12 @@ std::string SerializeCheckpoint(const CheckpointImage& image) {
       PutValue(&out, value);
       PutI64(&out, count);
     }
+  }
+  PutU8(&out, image.has_policy_blob ? 1 : 0);
+  PutString(&out, image.policy_blob);
+  PutU64(&out, image.trace_steps.size());
+  for (const EngineStepRecord& r : image.trace_steps) {
+    PutTraceStep(&out, r);
   }
   return out;
 }
@@ -230,8 +282,466 @@ Result<CheckpointImage> ParseCheckpoint(std::string_view data) {
     }
     image.view_groups.emplace(std::move(key), std::move(group));
   }
+  uint8_t has_policy_blob = 0;
+  ABIVM_RETURN_NOT_OK(in.GetU8(&has_policy_blob));
+  image.has_policy_blob = has_policy_blob != 0;
+  ABIVM_RETURN_NOT_OK(in.GetString(&image.policy_blob));
+  uint64_t ntrace = 0;
+  ABIVM_RETURN_NOT_OK(in.GetU64(&ntrace));
+  image.trace_steps.resize(static_cast<size_t>(ntrace));
+  for (auto& r : image.trace_steps) {
+    ABIVM_RETURN_NOT_OK(GetTraceStep(&in, &r));
+  }
   ABIVM_RETURN_NOT_OK(in.ExpectEnd());
   return image;
+}
+
+CheckpointDelta CaptureCheckpointDelta(const Database& db,
+                                       const ViewMaintainer& maintainer,
+                                       uint64_t seq, uint64_t base_seq,
+                                       TimeStep next_step,
+                                       std::string driver_blob) {
+  CheckpointDelta delta;
+  delta.seq = seq;
+  delta.base_seq = base_seq;
+  delta.db_version = db.current_version();
+  delta.next_step = next_step;
+  delta.driver_blob = std::move(driver_blob);
+  for (const auto& table : db.tables()) {
+    const TableCheckpointMark& mark = table->checkpoint_mark();
+    TableImageDelta td;
+    td.name = table->name();
+    td.base_slot_count = mark.slot_count;
+    td.new_slots.reserve(table->physical_row_count() - mark.slot_count);
+    for (RowId id = mark.slot_count; id < table->physical_row_count();
+         ++id) {
+      td.new_slots.push_back(table->RowAt(id));
+    }
+    td.tombstoned.reserve(mark.tombstoned.size());
+    for (RowId id : mark.tombstoned) {
+      td.tombstoned.emplace_back(id, table->RowAt(id).delete_version);
+    }
+    td.vacuumed = mark.vacuumed;
+    td.vacuum_horizon = table->vacuum_horizon();
+    const DeltaLog& log = table->delta_log();
+    td.delta_base_offset = log.first_retained();
+    // Modifications appended since the mark, minus any the GC already
+    // trimmed (trim can overtake the mark on an aggressive vacuum).
+    td.first_new_mod_position =
+        std::max(mark.log_head, log.first_retained());
+    td.new_mods.reserve(log.size() - td.first_new_mod_position);
+    for (size_t p = td.first_new_mod_position; p < log.size(); ++p) {
+      td.new_mods.push_back(log.At(p));
+    }
+    std::vector<size_t> new_indexed = mark.new_indexed_columns;
+    std::sort(new_indexed.begin(), new_indexed.end());
+    for (size_t column : new_indexed) {
+      td.new_indexed_columns.push_back(
+          table->schema().column(column).name);
+    }
+    delta.tables.push_back(std::move(td));
+  }
+  for (size_t i = 0; i < maintainer.num_tables(); ++i) {
+    delta.positions.push_back(maintainer.watermark_position(i));
+    delta.versions.push_back(maintainer.watermark_version(i));
+  }
+  const ViewState& view = maintainer.state();
+  std::vector<Row> dirty(view.dirty_keys().begin(),
+                         view.dirty_keys().end());
+  std::sort(dirty.begin(), dirty.end());
+  for (Row& key : dirty) {
+    const GroupState* group = view.GroupOrNull(key);
+    if (group != nullptr) {
+      delta.changed_groups.emplace_back(std::move(key), *group);
+    } else {
+      delta.removed_groups.push_back(std::move(key));
+    }
+  }
+  return delta;
+}
+
+std::string SerializeCheckpointDelta(const CheckpointDelta& delta) {
+  std::string out;
+  PutU64(&out, kCheckpointDeltaMagic);
+  PutU32(&out, kCheckpointDeltaFormat);
+  PutU64(&out, delta.seq);
+  PutU64(&out, delta.base_seq);
+  PutU64(&out, delta.db_version);
+  PutI64(&out, delta.next_step);
+  PutString(&out, delta.driver_blob);
+  PutU8(&out, delta.has_policy_blob ? 1 : 0);
+  PutString(&out, delta.policy_blob);
+  PutU64(&out, delta.tables.size());
+  for (const TableImageDelta& td : delta.tables) {
+    PutString(&out, td.name);
+    PutU64(&out, td.base_slot_count);
+    PutU64(&out, td.new_slots.size());
+    for (const VersionedRow& slot : td.new_slots) {
+      PutVersionedRow(&out, slot);
+    }
+    PutU64(&out, td.tombstoned.size());
+    for (const auto& [id, version] : td.tombstoned) {
+      PutU64(&out, id);
+      PutU64(&out, version);
+    }
+    PutU64(&out, td.vacuumed.size());
+    for (RowId id : td.vacuumed) PutU64(&out, id);
+    PutU64(&out, td.vacuum_horizon);
+    PutU64(&out, td.delta_base_offset);
+    PutU64(&out, td.first_new_mod_position);
+    PutU64(&out, td.new_mods.size());
+    for (const Modification& m : td.new_mods) PutModification(&out, m);
+    PutU64(&out, td.new_indexed_columns.size());
+    for (const std::string& name : td.new_indexed_columns) {
+      PutString(&out, name);
+    }
+  }
+  PutU64(&out, delta.positions.size());
+  for (size_t p : delta.positions) PutU64(&out, p);
+  PutU64(&out, delta.versions.size());
+  for (Version v : delta.versions) PutU64(&out, v);
+  PutU64(&out, delta.changed_groups.size());
+  for (const auto& [key, group] : delta.changed_groups) {
+    PutRow(&out, key);
+    PutGroupState(&out, group);
+  }
+  PutU64(&out, delta.removed_groups.size());
+  for (const Row& key : delta.removed_groups) PutRow(&out, key);
+  PutU64(&out, delta.new_trace_steps.size());
+  for (const EngineStepRecord& r : delta.new_trace_steps) {
+    PutTraceStep(&out, r);
+  }
+  return out;
+}
+
+Result<CheckpointDelta> ParseCheckpointDelta(std::string_view data) {
+  ByteReader in(data);
+  uint64_t magic = 0;
+  uint32_t format = 0;
+  ABIVM_RETURN_NOT_OK(in.GetU64(&magic));
+  if (magic != kCheckpointDeltaMagic) {
+    return Status::InvalidArgument("not a checkpoint delta (bad magic)");
+  }
+  ABIVM_RETURN_NOT_OK(in.GetU32(&format));
+  if (format != kCheckpointDeltaFormat) {
+    return Status::InvalidArgument(
+        "unsupported checkpoint-delta format " + std::to_string(format));
+  }
+  CheckpointDelta delta;
+  ABIVM_RETURN_NOT_OK(in.GetU64(&delta.seq));
+  ABIVM_RETURN_NOT_OK(in.GetU64(&delta.base_seq));
+  ABIVM_RETURN_NOT_OK(in.GetU64(&delta.db_version));
+  ABIVM_RETURN_NOT_OK(in.GetI64(&delta.next_step));
+  ABIVM_RETURN_NOT_OK(in.GetString(&delta.driver_blob));
+  uint8_t has_policy_blob = 0;
+  ABIVM_RETURN_NOT_OK(in.GetU8(&has_policy_blob));
+  delta.has_policy_blob = has_policy_blob != 0;
+  ABIVM_RETURN_NOT_OK(in.GetString(&delta.policy_blob));
+  uint64_t num_tables = 0;
+  ABIVM_RETURN_NOT_OK(in.GetU64(&num_tables));
+  for (uint64_t t = 0; t < num_tables; ++t) {
+    TableImageDelta td;
+    ABIVM_RETURN_NOT_OK(in.GetString(&td.name));
+    uint64_t base_slots = 0;
+    ABIVM_RETURN_NOT_OK(in.GetU64(&base_slots));
+    td.base_slot_count = static_cast<size_t>(base_slots);
+    uint64_t nslots = 0;
+    ABIVM_RETURN_NOT_OK(in.GetU64(&nslots));
+    td.new_slots.resize(static_cast<size_t>(nslots));
+    for (auto& slot : td.new_slots) {
+      ABIVM_RETURN_NOT_OK(GetVersionedRow(&in, &slot));
+    }
+    uint64_t ntomb = 0;
+    ABIVM_RETURN_NOT_OK(in.GetU64(&ntomb));
+    td.tombstoned.resize(static_cast<size_t>(ntomb));
+    for (auto& [id, version] : td.tombstoned) {
+      ABIVM_RETURN_NOT_OK(in.GetU64(&id));
+      ABIVM_RETURN_NOT_OK(in.GetU64(&version));
+    }
+    uint64_t nvac = 0;
+    ABIVM_RETURN_NOT_OK(in.GetU64(&nvac));
+    td.vacuumed.resize(static_cast<size_t>(nvac));
+    for (auto& id : td.vacuumed) ABIVM_RETURN_NOT_OK(in.GetU64(&id));
+    ABIVM_RETURN_NOT_OK(in.GetU64(&td.vacuum_horizon));
+    uint64_t base = 0;
+    ABIVM_RETURN_NOT_OK(in.GetU64(&base));
+    td.delta_base_offset = static_cast<size_t>(base);
+    uint64_t first_new = 0;
+    ABIVM_RETURN_NOT_OK(in.GetU64(&first_new));
+    td.first_new_mod_position = static_cast<size_t>(first_new);
+    uint64_t nmods = 0;
+    ABIVM_RETURN_NOT_OK(in.GetU64(&nmods));
+    td.new_mods.resize(static_cast<size_t>(nmods));
+    for (auto& m : td.new_mods) {
+      ABIVM_RETURN_NOT_OK(GetModification(&in, &m));
+    }
+    uint64_t nindexed = 0;
+    ABIVM_RETURN_NOT_OK(in.GetU64(&nindexed));
+    td.new_indexed_columns.resize(static_cast<size_t>(nindexed));
+    for (auto& name : td.new_indexed_columns) {
+      ABIVM_RETURN_NOT_OK(in.GetString(&name));
+    }
+    delta.tables.push_back(std::move(td));
+  }
+  uint64_t npos = 0;
+  ABIVM_RETURN_NOT_OK(in.GetU64(&npos));
+  delta.positions.resize(static_cast<size_t>(npos));
+  for (auto& p : delta.positions) {
+    uint64_t v = 0;
+    ABIVM_RETURN_NOT_OK(in.GetU64(&v));
+    p = static_cast<size_t>(v);
+  }
+  uint64_t nver = 0;
+  ABIVM_RETURN_NOT_OK(in.GetU64(&nver));
+  delta.versions.resize(static_cast<size_t>(nver));
+  for (auto& v : delta.versions) ABIVM_RETURN_NOT_OK(in.GetU64(&v));
+  uint64_t nchanged = 0;
+  ABIVM_RETURN_NOT_OK(in.GetU64(&nchanged));
+  for (uint64_t g = 0; g < nchanged; ++g) {
+    Row key;
+    GroupState group;
+    ABIVM_RETURN_NOT_OK(in.GetRow(&key));
+    ABIVM_RETURN_NOT_OK(GetGroupState(&in, &group));
+    delta.changed_groups.emplace_back(std::move(key), std::move(group));
+  }
+  uint64_t nremoved = 0;
+  ABIVM_RETURN_NOT_OK(in.GetU64(&nremoved));
+  delta.removed_groups.resize(static_cast<size_t>(nremoved));
+  for (auto& key : delta.removed_groups) {
+    ABIVM_RETURN_NOT_OK(in.GetRow(&key));
+  }
+  uint64_t ntrace = 0;
+  ABIVM_RETURN_NOT_OK(in.GetU64(&ntrace));
+  delta.new_trace_steps.resize(static_cast<size_t>(ntrace));
+  for (auto& r : delta.new_trace_steps) {
+    ABIVM_RETURN_NOT_OK(GetTraceStep(&in, &r));
+  }
+  ABIVM_RETURN_NOT_OK(in.ExpectEnd());
+  return delta;
+}
+
+namespace {
+
+/// Replays the post-base insert/tombstone events onto the base image's
+/// live order. The live set is a swap-remove vector, so reproducing the
+/// exact ordering (which SampleLiveRow draws from by position) requires
+/// replaying the events in the order they happened: ascending version,
+/// and within a version -- only an Update pairs a delete with an insert
+/// at one version -- the delete first, exactly as Table::Update issues
+/// them.
+Status ReplayLiveOrder(const TableImageDelta& td, TableImage* ti) {
+  struct Event {
+    Version version = 0;
+    bool is_push = false;  // false = swap-remove; sorts before push
+    RowId id = 0;
+  };
+  std::vector<Event> events;
+  for (size_t j = 0; j < td.new_slots.size(); ++j) {
+    const RowId id = td.base_slot_count + j;
+    const VersionedRow& slot = td.new_slots[j];
+    events.push_back(Event{slot.insert_version, true, id});
+    if (slot.delete_version != kNeverDeleted) {
+      events.push_back(Event{slot.delete_version, false, id});
+    }
+  }
+  for (const auto& [id, version] : td.tombstoned) {
+    events.push_back(Event{version, false, id});
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) {
+              if (a.version != b.version) return a.version < b.version;
+              return a.is_push < b.is_push;
+            });
+  constexpr size_t kNotLive = static_cast<size_t>(-1);
+  std::vector<size_t> pos(ti->slots.size(), kNotLive);
+  for (size_t p = 0; p < ti->live_ids.size(); ++p) {
+    pos[ti->live_ids[p]] = p;
+  }
+  for (const Event& e : events) {
+    if (e.is_push) {
+      if (pos[e.id] != kNotLive) {
+        return Status::InvalidArgument("delta re-inserts live row " +
+                                       std::to_string(e.id) + " of " +
+                                       ti->name);
+      }
+      pos[e.id] = ti->live_ids.size();
+      ti->live_ids.push_back(e.id);
+    } else {
+      const size_t p = pos[e.id];
+      if (p == kNotLive) {
+        return Status::InvalidArgument("delta removes non-live row " +
+                                       std::to_string(e.id) + " of " +
+                                       ti->name);
+      }
+      const RowId last = ti->live_ids.back();
+      ti->live_ids[p] = last;
+      pos[last] = p;
+      ti->live_ids.pop_back();
+      pos[e.id] = kNotLive;
+    }
+  }
+  return Status::Ok();
+}
+
+Status FoldTableDelta(const TableImage& bt, const TableImageDelta& td,
+                      TableImage* ti) {
+  if (td.name != bt.name) {
+    return Status::InvalidArgument("delta table " + td.name +
+                                   " does not match base table " +
+                                   bt.name);
+  }
+  if (td.base_slot_count != bt.slots.size()) {
+    return Status::InvalidArgument(
+        "delta for " + td.name + " chains onto " +
+        std::to_string(td.base_slot_count) + " slots, base has " +
+        std::to_string(bt.slots.size()));
+  }
+  ti->name = bt.name;
+  ti->columns = bt.columns;
+  ti->slots = bt.slots;
+  ti->slots.insert(ti->slots.end(), td.new_slots.begin(),
+                   td.new_slots.end());
+  for (const auto& [id, version] : td.tombstoned) {
+    if (id >= td.base_slot_count) {
+      return Status::InvalidArgument(
+          "delta tombstone of post-base slot " + std::to_string(id));
+    }
+    VersionedRow& slot = ti->slots[id];
+    if (slot.delete_version != kNeverDeleted ||
+        version == kNeverDeleted || version < slot.insert_version) {
+      return Status::InvalidArgument(
+          "inconsistent delta tombstone of slot " + std::to_string(id) +
+          " of " + td.name);
+    }
+    slot.delete_version = version;
+  }
+  ti->live_ids = bt.live_ids;
+  ABIVM_RETURN_NOT_OK(ReplayLiveOrder(td, ti));
+  for (const RowId id : td.vacuumed) {
+    if (id >= td.base_slot_count ||
+        ti->slots[id].delete_version == kNeverDeleted ||
+        ti->slots[id].row.empty()) {
+      return Status::InvalidArgument("inconsistent delta vacuum of slot " +
+                                     std::to_string(id) + " of " +
+                                     td.name);
+    }
+    Row().swap(ti->slots[id].row);
+  }
+  if (td.vacuum_horizon < bt.vacuum_horizon) {
+    return Status::InvalidArgument("delta vacuum horizon moved backward");
+  }
+  ti->vacuum_horizon = td.vacuum_horizon;
+  // Delta log: the base's retained suffix minus anything trimmed since,
+  // plus the appended modifications.
+  const size_t base_end = bt.delta_base_offset + bt.delta_mods.size();
+  if (td.delta_base_offset < bt.delta_base_offset ||
+      td.first_new_mod_position < td.delta_base_offset) {
+    return Status::InvalidArgument("delta log window moved backward for " +
+                                   td.name);
+  }
+  ti->delta_base_offset = td.delta_base_offset;
+  for (size_t p = td.delta_base_offset; p < td.first_new_mod_position;
+       ++p) {
+    if (p < bt.delta_base_offset || p >= base_end) {
+      return Status::InvalidArgument(
+          "delta log window of " + td.name +
+          " keeps position " + std::to_string(p) +
+          " the base does not retain");
+    }
+    ti->delta_mods.push_back(bt.delta_mods[p - bt.delta_base_offset]);
+  }
+  ti->delta_mods.insert(ti->delta_mods.end(), td.new_mods.begin(),
+                        td.new_mods.end());
+  // Index catalog: merge and re-sort by column position so the fold is
+  // byte-equal to a full capture (IndexedColumns reports ascending).
+  std::vector<std::string> merged = bt.indexed_columns;
+  merged.insert(merged.end(), td.new_indexed_columns.begin(),
+                td.new_indexed_columns.end());
+  std::vector<std::pair<size_t, std::string>> by_column;
+  for (std::string& name : merged) {
+    size_t column = bt.columns.size();
+    for (size_t c = 0; c < bt.columns.size(); ++c) {
+      if (bt.columns[c].name == name) {
+        column = c;
+        break;
+      }
+    }
+    if (column == bt.columns.size()) {
+      return Status::InvalidArgument("delta indexes unknown column " +
+                                     name + " of " + td.name);
+    }
+    by_column.emplace_back(column, std::move(name));
+  }
+  std::sort(by_column.begin(), by_column.end());
+  for (size_t i = 1; i < by_column.size(); ++i) {
+    if (by_column[i].first == by_column[i - 1].first) {
+      return Status::InvalidArgument("delta re-indexes column " +
+                                     by_column[i].second + " of " +
+                                     td.name);
+    }
+  }
+  for (auto& [column, name] : by_column) {
+    ti->indexed_columns.push_back(std::move(name));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<CheckpointImage> FoldCheckpointDelta(const CheckpointImage& base,
+                                            const CheckpointDelta& delta) {
+  if (delta.base_seq != base.seq) {
+    return Status::InvalidArgument(
+        "delta seq " + std::to_string(delta.seq) + " chains onto " +
+        std::to_string(delta.base_seq) + ", base image is " +
+        std::to_string(base.seq));
+  }
+  if (delta.db_version < base.db_version ||
+      delta.next_step < base.next_step) {
+    return Status::InvalidArgument("delta moves the clock backward");
+  }
+  if (delta.tables.size() != base.tables.size()) {
+    return Status::InvalidArgument("delta has " +
+                                   std::to_string(delta.tables.size()) +
+                                   " tables, base has " +
+                                   std::to_string(base.tables.size()));
+  }
+  if (static_cast<TimeStep>(base.trace_steps.size()) != base.next_step ||
+      base.next_step +
+              static_cast<TimeStep>(delta.new_trace_steps.size()) !=
+          delta.next_step) {
+    return Status::InvalidArgument("delta trace does not cover steps [" +
+                                   std::to_string(base.next_step) + ", " +
+                                   std::to_string(delta.next_step) + ")");
+  }
+  CheckpointImage out;
+  out.seq = delta.seq;
+  out.db_version = delta.db_version;
+  out.next_step = delta.next_step;
+  out.driver_blob = delta.driver_blob;
+  out.has_policy_blob = delta.has_policy_blob;
+  out.policy_blob = delta.policy_blob;
+  for (size_t i = 0; i < base.tables.size(); ++i) {
+    TableImage ti;
+    ABIVM_RETURN_NOT_OK(
+        FoldTableDelta(base.tables[i], delta.tables[i], &ti));
+    out.tables.push_back(std::move(ti));
+  }
+  out.positions = delta.positions;
+  out.versions = delta.versions;
+  out.view_is_aggregate = base.view_is_aggregate;
+  out.view_groups = base.view_groups;
+  for (const Row& key : delta.removed_groups) {
+    out.view_groups.erase(key);
+  }
+  for (const auto& [key, group] : delta.changed_groups) {
+    out.view_groups.insert_or_assign(key, group);
+  }
+  out.trace_steps = base.trace_steps;
+  out.trace_steps.insert(out.trace_steps.end(),
+                         delta.new_trace_steps.begin(),
+                         delta.new_trace_steps.end());
+  return out;
 }
 
 Status InstallDatabaseImage(const CheckpointImage& image, Database* db) {
@@ -272,8 +782,12 @@ std::string SerializeManifest(const Manifest& manifest) {
   std::string body;
   PutU64(&body, kManifestMagic);
   PutU64(&body, manifest.seq);
-  PutString(&body, manifest.checkpoint_file);
-  PutU64(&body, manifest.checkpoint_checksum);
+  PutU64(&body, manifest.chain.size());
+  for (const ManifestEntry& entry : manifest.chain) {
+    PutString(&body, entry.file);
+    PutU64(&body, entry.checksum);
+    PutU8(&body, entry.is_delta ? 1 : 0);
+  }
   PutU64(&body, Checksum(body));
   return body;
 }
@@ -297,33 +811,87 @@ Result<Manifest> ParseManifest(std::string_view data) {
   }
   Manifest manifest;
   ABIVM_RETURN_NOT_OK(in.GetU64(&manifest.seq));
-  ABIVM_RETURN_NOT_OK(in.GetString(&manifest.checkpoint_file));
-  ABIVM_RETURN_NOT_OK(in.GetU64(&manifest.checkpoint_checksum));
+  uint64_t chain_len = 0;
+  ABIVM_RETURN_NOT_OK(in.GetU64(&chain_len));
+  for (uint64_t i = 0; i < chain_len; ++i) {
+    ManifestEntry entry;
+    ABIVM_RETURN_NOT_OK(in.GetString(&entry.file));
+    ABIVM_RETURN_NOT_OK(in.GetU64(&entry.checksum));
+    uint8_t is_delta = 0;
+    ABIVM_RETURN_NOT_OK(in.GetU8(&is_delta));
+    entry.is_delta = is_delta != 0;
+    manifest.chain.push_back(std::move(entry));
+  }
   ABIVM_RETURN_NOT_OK(in.ExpectEnd());
+  if (manifest.chain.empty()) {
+    return Status::InvalidArgument("manifest names an empty chain");
+  }
+  if (manifest.chain.front().is_delta) {
+    return Status::InvalidArgument(
+        "manifest chain does not start with a full image");
+  }
+  for (size_t i = 1; i < manifest.chain.size(); ++i) {
+    if (!manifest.chain[i].is_delta) {
+      return Status::InvalidArgument(
+          "manifest chain holds a full image after the base");
+    }
+  }
   return manifest;
+}
+
+/// Publishes `manifest` (fires `ckpt.manifest` first), then reclaims
+/// everything the new manifest no longer reaches -- the common tail of
+/// both publish paths.
+Status SwapManifestAndReclaim(const std::string& dir,
+                              const Manifest& manifest) {
+  ABIVM_FAULT_POINT(fault::kFpCkptManifest);
+  ABIVM_RETURN_NOT_OK(
+      WriteFileDurable(dir + "/MANIFEST", SerializeManifest(manifest)));
+  // Superseded files are unreachable once the swap is durable. Reclaim
+  // is best effort -- a crash right here leaks nothing permanently,
+  // because Start/Resume sweep again.
+  ReclaimUnreachable(dir, manifest);
+  return Status::Ok();
 }
 
 }  // namespace
 
 Status PublishCheckpoint(const std::string& dir,
                          const CheckpointImage& image,
-                         uint64_t* bytes_written) {
+                         uint64_t* bytes_written, Manifest* manifest_out) {
   const std::string payload = SerializeCheckpoint(image);
   const std::string file = CheckpointFileName(image.seq);
   ABIVM_RETURN_NOT_OK(WriteFileDurable(dir + "/" + file, payload));
   Manifest manifest;
   manifest.seq = image.seq;
-  manifest.checkpoint_file = file;
-  manifest.checkpoint_checksum = Checksum(payload);
-  ABIVM_FAULT_POINT(fault::kFpCkptManifest);
-  ABIVM_RETURN_NOT_OK(
-      WriteFileDurable(dir + "/MANIFEST", SerializeManifest(manifest)));
-  // The superseded image is unreachable once the manifest swap is
-  // durable; reclaim it (best effort -- a leftover file is harmless).
-  if (image.seq > 0) {
-    RemoveFileIfExists(dir + "/" + CheckpointFileName(image.seq - 1));
-  }
+  manifest.chain.push_back(ManifestEntry{file, Checksum(payload), false});
+  ABIVM_RETURN_NOT_OK(SwapManifestAndReclaim(dir, manifest));
   if (bytes_written != nullptr) *bytes_written = payload.size();
+  if (manifest_out != nullptr) *manifest_out = std::move(manifest);
+  return Status::Ok();
+}
+
+Status PublishCheckpointDelta(const std::string& dir,
+                              const CheckpointDelta& delta,
+                              const Manifest& current,
+                              uint64_t* bytes_written,
+                              Manifest* manifest_out) {
+  if (current.chain.empty() || current.seq != delta.base_seq) {
+    return Status::FailedPrecondition(
+        "delta seq " + std::to_string(delta.seq) + " chains onto " +
+        std::to_string(delta.base_seq) + ", published manifest is at " +
+        std::to_string(current.seq));
+  }
+  ABIVM_FAULT_POINT(fault::kFpCkptDelta);
+  const std::string payload = SerializeCheckpointDelta(delta);
+  const std::string file = CheckpointFileName(delta.seq);
+  ABIVM_RETURN_NOT_OK(WriteFileDurable(dir + "/" + file, payload));
+  Manifest manifest = current;
+  manifest.seq = delta.seq;
+  manifest.chain.push_back(ManifestEntry{file, Checksum(payload), true});
+  ABIVM_RETURN_NOT_OK(SwapManifestAndReclaim(dir, manifest));
+  if (bytes_written != nullptr) *bytes_written = payload.size();
+  if (manifest_out != nullptr) *manifest_out = std::move(manifest);
   return Status::Ok();
 }
 
@@ -331,6 +899,31 @@ Result<Manifest> ReadManifest(const std::string& dir) {
   Result<std::string> data = ReadFile(dir + "/MANIFEST");
   if (!data.ok()) return data.status();
   return ParseManifest(*data);
+}
+
+Result<uint64_t> ReclaimUnreachable(const std::string& dir,
+                                    const Manifest& manifest) {
+  Result<std::vector<std::string>> names = ListDir(dir);
+  if (!names.ok()) return names.status();
+  std::unordered_set<std::string> reachable;
+  for (const ManifestEntry& entry : manifest.chain) {
+    reachable.insert(entry.file);
+  }
+  const auto has_suffix = [](const std::string& s, std::string_view suf) {
+    return s.size() >= suf.size() &&
+           s.compare(s.size() - suf.size(), suf.size(), suf) == 0;
+  };
+  uint64_t reclaimed = 0;
+  for (const std::string& name : *names) {
+    const bool is_image =
+        name.rfind("ckpt-", 0) == 0 && has_suffix(name, ".bin");
+    const bool is_stale_tmp = has_suffix(name, ".tmp");
+    if (!is_image && !is_stale_tmp) continue;  // never WAL or MANIFEST
+    if (reachable.count(name) != 0) continue;
+    RemoveFileIfExists(dir + "/" + name);
+    ++reclaimed;
+  }
+  return reclaimed;
 }
 
 }  // namespace abivm::ckpt

@@ -5,22 +5,37 @@
 // clock, the maintainer's watermarks and view content (raw-bit doubles),
 // the next step to execute, and the opaque driver-state blob.
 //
-// Publication protocol: the image is written durably under a
-// sequence-numbered name (ckpt-<seq>.bin), then the MANIFEST -- which
-// names the current image and its checksum -- is atomically swapped.
-// Recovery trusts only what the MANIFEST points at; a crash anywhere in
-// the protocol leaves the previous manifest/image pair intact.
+// Incremental images: after a full image, subsequent checkpoints may be
+// DELTAS -- only the churn since the previous image (new row slots,
+// tombstones and vacuums of pre-existing slots, appended delta-log
+// modifications, changed view groups), captured from the storage layer's
+// per-table dirty tracking. A delta chains onto the image before it;
+// FoldCheckpointDelta reproduces, byte for byte, the full image a
+// non-incremental capture would have written at the same seq. Periodic
+// full images rebase the chain so recovery cost stays bounded.
+//
+// Publication protocol: the image (full or delta, both named
+// ckpt-<seq>.bin) is written durably, then the MANIFEST -- which names
+// the whole chain (full base first, deltas ascending) with per-file
+// checksums -- is atomically swapped. Recovery trusts only what the
+// MANIFEST points at; a crash anywhere in the protocol leaves the
+// previous manifest/chain intact. Files no longer reachable from the
+// manifest are reclaimed after every swap and swept again on
+// start/resume (a crash between swap and reclaim must not leak them
+// forever).
 
 #ifndef ABIVM_CKPT_CHECKPOINT_H_
 #define ABIVM_CKPT_CHECKPOINT_H_
 
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
 #include "core/types.h"
 #include "ivm/maintainer.h"
+#include "sim/engine_runner.h"
 #include "storage/database.h"
 
 namespace abivm::ckpt {
@@ -55,6 +70,17 @@ struct CheckpointImage {
   /// View content with its exact incremental-history doubles.
   bool view_is_aggregate = false;
   std::map<Row, GroupState> view_groups;
+  /// Policy decision-state blob (Policy::SaveState), when the run's
+  /// policy supports snapshots. Its presence is what entitles the
+  /// durability manager to trim the WAL below this image: without it,
+  /// recovery must replay every logged decision from step 0.
+  bool has_policy_blob = false;
+  std::string policy_blob;
+  /// Completed trace prefix: one record per step in [0, next_step),
+  /// WITHOUT wall-clock fields (excluded from every determinism
+  /// promise). Carried so trimming the WAL below the image does not
+  /// lose the stitched end-to-end trace.
+  std::vector<EngineStepRecord> trace_steps;
 };
 
 /// Snapshots the live objects into an image (pure read).
@@ -72,25 +98,128 @@ Result<CheckpointImage> ParseCheckpoint(std::string_view data);
 /// recovery (it owns the ViewDef needed to re-bind).
 Status InstallDatabaseImage(const CheckpointImage& image, Database* db);
 
-struct Manifest {
-  uint64_t seq = 0;
-  std::string checkpoint_file;
-  uint64_t checkpoint_checksum = 0;
+/// One table's churn since the base image. Slots with id >=
+/// base_slot_count are serialized whole (their final state, including
+/// tombstoned/vacuumed); pre-existing slots only record the events that
+/// touched them.
+struct TableImageDelta {
+  std::string name;
+  /// Physical slot count of the base image (new slots start here).
+  size_t base_slot_count = 0;
+  /// Slots allocated since the base, in RowId order.
+  std::vector<VersionedRow> new_slots;
+  /// Pre-existing slots tombstoned since the base: (id, delete_version)
+  /// in tombstone order.
+  std::vector<std::pair<RowId, Version>> tombstoned;
+  /// Pre-existing slots whose payloads were vacuumed since the base.
+  std::vector<RowId> vacuumed;
+  Version vacuum_horizon = 0;
+  /// Retained delta-log window after this delta: the new first_retained
+  /// position plus the modifications appended since the base (at
+  /// positions [first_new_mod_position, ...)).
+  size_t delta_base_offset = 0;
+  size_t first_new_mod_position = 0;
+  std::vector<Modification> new_mods;
+  /// Columns indexed since the base, by name.
+  std::vector<std::string> new_indexed_columns;
 };
 
-/// File name of the image with this sequence number.
+/// A chained checkpoint: everything that changed since the image at
+/// base_seq. Folding it onto that image reproduces the full image a
+/// non-incremental capture would have written at seq, byte for byte.
+struct CheckpointDelta {
+  uint64_t seq = 0;
+  uint64_t base_seq = 0;
+  Version db_version = 0;
+  TimeStep next_step = 0;
+  std::string driver_blob;
+  bool has_policy_blob = false;
+  std::string policy_blob;
+  std::vector<TableImageDelta> tables;
+  std::vector<size_t> positions;
+  std::vector<Version> versions;
+  /// View groups that changed since the base (their full new state) and
+  /// keys that vanished, both sorted by key for deterministic bytes. A
+  /// key created and erased between images appears in removed_groups
+  /// even though the base lacks it; folding tolerates that.
+  std::vector<std::pair<Row, GroupState>> changed_groups;
+  std::vector<Row> removed_groups;
+  /// Trace records for steps [base.next_step, next_step).
+  std::vector<EngineStepRecord> new_trace_steps;
+};
+
+/// Snapshots the churn since the last published image into a delta,
+/// reading each table's checkpoint_mark() and the view's dirty keys.
+/// Requires BeginCheckpointTracking / BeginViewDirtyTracking to have
+/// been called at the previous publish. The caller (durability manager)
+/// fills policy blob and new_trace_steps afterwards, as it does for
+/// full images.
+CheckpointDelta CaptureCheckpointDelta(const Database& db,
+                                       const ViewMaintainer& maintainer,
+                                       uint64_t seq, uint64_t base_seq,
+                                       TimeStep next_step,
+                                       std::string driver_blob);
+
+std::string SerializeCheckpointDelta(const CheckpointDelta& delta);
+Result<CheckpointDelta> ParseCheckpointDelta(std::string_view data);
+
+/// Applies `delta` to the full image it chains onto, producing the full
+/// image at delta.seq. InvalidArgument when the delta does not link to
+/// `base` (wrong base_seq, unknown table, inconsistent log window).
+Result<CheckpointImage> FoldCheckpointDelta(const CheckpointImage& base,
+                                            const CheckpointDelta& delta);
+
+/// One file of a checkpoint chain.
+struct ManifestEntry {
+  std::string file;
+  uint64_t checksum = 0;
+  bool is_delta = false;
+};
+
+/// The published chain: a full base image first, then deltas ascending.
+/// `seq` is the newest entry's sequence number.
+struct Manifest {
+  uint64_t seq = 0;
+  std::vector<ManifestEntry> chain;
+};
+
+/// File name of the image with this sequence number (full images and
+/// deltas share the pattern; the manifest records which is which).
 std::string CheckpointFileName(uint64_t seq);
 
-/// Serializes + durably publishes the image and swaps the manifest;
-/// carries the `ckpt.manifest` failpoint before the swap (the image
-/// write carries `ckpt.write`/`ckpt.fsync`/`ckpt.rename` itself). On
-/// success `*bytes_written` (optional) receives the image size.
+/// Serializes + durably publishes a FULL image and swaps the manifest
+/// to a single-entry chain; carries the `ckpt.manifest` failpoint
+/// before the swap (the image write carries `ckpt.write`/`ckpt.fsync`/
+/// `ckpt.rename` itself). Afterwards reclaims every checkpoint file the
+/// new manifest no longer reaches. On success `*bytes_written`
+/// (optional) receives the image size and `*manifest_out` (optional)
+/// the published manifest.
 Status PublishCheckpoint(const std::string& dir,
                          const CheckpointImage& image,
-                         uint64_t* bytes_written = nullptr);
+                         uint64_t* bytes_written = nullptr,
+                         Manifest* manifest_out = nullptr);
+
+/// Serializes + durably publishes a DELTA chained onto the manifest's
+/// current newest entry, swapping the manifest to current.chain + the
+/// new file. Carries `ckpt.delta` on entry and `ckpt.manifest` before
+/// the swap. Reclaims unreachable files afterwards, like
+/// PublishCheckpoint.
+Status PublishCheckpointDelta(const std::string& dir,
+                              const CheckpointDelta& delta,
+                              const Manifest& current,
+                              uint64_t* bytes_written = nullptr,
+                              Manifest* manifest_out = nullptr);
 
 /// Reads the manifest; NotFound when the directory was never published.
 Result<Manifest> ReadManifest(const std::string& dir);
+
+/// Removes checkpoint artifacts (ckpt-*.bin and stray *.tmp files) not
+/// named by `manifest`, returning how many were reclaimed. Never
+/// touches MANIFEST or WAL segments. Run after every manifest swap and
+/// again on start/resume: a crash between swap and reclaim would
+/// otherwise orphan superseded files forever.
+Result<uint64_t> ReclaimUnreachable(const std::string& dir,
+                                    const Manifest& manifest);
 
 }  // namespace abivm::ckpt
 

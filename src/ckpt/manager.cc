@@ -1,14 +1,10 @@
 #include "ckpt/manager.h"
 
 #include "ckpt/posix_io.h"
+#include "fault/failpoint.h"
+#include "fault/sites.h"
 
 namespace abivm::ckpt {
-
-namespace {
-
-std::string WalPath(const std::string& dir) { return dir + "/wal.log"; }
-
-}  // namespace
 
 DurabilityManager::DurabilityManager(std::string dir, Database* db,
                                      ViewMaintainer* maintainer,
@@ -40,6 +36,10 @@ void DurabilityManager::Count(const char* name, uint64_t delta) {
   if (metrics_ != nullptr) metrics_->counter(name).Add(delta);
 }
 
+std::string DurabilityManager::WalSegmentPath(uint64_t index) const {
+  return dir_ + "/" + WalSegmentFileName(index);
+}
+
 Result<std::unique_ptr<DurabilityManager>> DurabilityManager::Start(
     std::string dir, Database* db, ViewMaintainer* maintainer,
     SaveDriverState save_driver, DurabilityOptions options,
@@ -48,10 +48,37 @@ Result<std::unique_ptr<DurabilityManager>> DurabilityManager::Start(
   std::unique_ptr<DurabilityManager> manager(
       new DurabilityManager(std::move(dir), db, maintainer,
                             std::move(save_driver), options, metrics));
+  // Sweep checkpoint files a previous run's crash orphaned between its
+  // manifest swap and reclaim pass (best effort: a directory with no
+  // manifest has nothing reachable to preserve -- the seq-0 publish
+  // below reclaims everything anyway).
+  Result<Manifest> previous = ReadManifest(manager->dir_);
+  if (previous.ok()) {
+    Result<uint64_t> swept = ReclaimUnreachable(manager->dir_, *previous);
+    if (swept.ok()) {
+      manager->orphans_reclaimed_ += *swept;
+      manager->Count("ckpt.orphans_reclaimed", *swept);
+    }
+  }
+  // A fresh run starts its WAL from segment 1; stale segments of an
+  // earlier run in the same directory would otherwise be replayed as
+  // this run's history.
+  Result<std::vector<std::string>> names = ListDir(manager->dir_);
+  if (!names.ok()) return names.status();
+  bool removed_stale_wal = false;
+  for (const std::string& name : *names) {
+    if (ParseWalSegmentIndex(name) != 0) {
+      RemoveFileIfExists(manager->dir_ + "/" + name);
+      removed_stale_wal = true;
+    }
+  }
+  if (removed_stale_wal) {
+    ABIVM_RETURN_NOT_OK(FsyncDir(manager->dir_));
+  }
   // Seq-0 checkpoint of the initial state: recovery always has a
   // manifest to start from, whatever step the run dies on.
   ABIVM_RETURN_NOT_OK(manager->PublishAndVacuum(/*next_step=*/0));
-  ABIVM_RETURN_NOT_OK(manager->wal_.Open(WalPath(manager->dir_),
+  ABIVM_RETURN_NOT_OK(manager->wal_.Open(manager->WalSegmentPath(1),
                                          /*truncate_to=*/0));
   manager->InstallListener();
   return manager;
@@ -66,8 +93,29 @@ Result<std::unique_ptr<DurabilityManager>> DurabilityManager::Resume(
                             std::move(save_driver), options, metrics));
   manager->next_seq_ = handle.manifest_seq + 1;
   manager->last_checkpoint_version_ = handle.checkpoint_version;
+  manager->trace_steps_ = handle.trace_prefix;
+  manager->last_published_trace_size_ = manager->trace_steps_.size();
+  manager->wal_segment_ = handle.wal_last_segment;
+  manager->wal_oldest_segment_ = handle.wal_first_segment;
+  // The resumed state is AHEAD of the newest image (WAL redo applied on
+  // top of it), so no churn mark exists to delta against: the next
+  // publish re-baselines with a full image.
+  manager->next_publish_must_be_full_ = true;
+  Result<Manifest> manifest = ReadManifest(manager->dir_);
+  if (!manifest.ok()) return manifest.status();
+  manager->manifest_ = std::move(*manifest);
+  manager->have_manifest_ = true;
+  // Sweep files the pre-crash run orphaned between a manifest swap and
+  // its reclaim pass.
+  Result<uint64_t> swept =
+      ReclaimUnreachable(manager->dir_, manager->manifest_);
+  if (swept.ok()) {
+    manager->orphans_reclaimed_ += *swept;
+    manager->Count("ckpt.orphans_reclaimed", *swept);
+  }
   ABIVM_RETURN_NOT_OK(
-      manager->wal_.Open(WalPath(manager->dir_), handle.wal_valid_bytes));
+      manager->wal_.Open(manager->WalSegmentPath(manager->wal_segment_),
+                         handle.wal_valid_bytes));
   manager->InstallListener();
   return manager;
 }
@@ -119,6 +167,8 @@ Status DurabilityManager::OnStepEnd(const EngineStepRecord& record) {
   end.violation = record.violation;
   ABIVM_RETURN_NOT_OK(wal_.Append(WalRecord(end)));
   Count("ckpt.wal_records", 1);
+  ABIVM_CHECK_EQ(trace_steps_.size(), static_cast<size_t>(record.t));
+  trace_steps_.push_back(record);
   if (options_.checkpoint_every > 0 &&
       (record.t + 1) % options_.checkpoint_every == 0) {
     ABIVM_RETURN_NOT_OK(PublishAndVacuum(record.t + 1));
@@ -126,16 +176,100 @@ Status DurabilityManager::OnStepEnd(const EngineStepRecord& record) {
   return Status::Ok();
 }
 
+void DurabilityManager::BeginDeltaTracking() {
+  if (options_.incremental) {
+    for (const auto& table : db_->tables()) {
+      table->BeginCheckpointTracking();
+    }
+    maintainer_->BeginViewDirtyTracking();
+  }
+  last_published_trace_size_ = trace_steps_.size();
+}
+
+Status DurabilityManager::RotateAndTrimWal() {
+  // Rotate first and make the fresh segment's directory entry durable:
+  // every segment at or below old_last is then strictly below the image
+  // just published, and segment numbering stays monotonic however the
+  // trim below is interrupted.
+  const uint64_t old_last = wal_segment_;
+  ++wal_segment_;
+  ABIVM_RETURN_NOT_OK(wal_.Open(WalSegmentPath(wal_segment_),
+                                /*truncate_to=*/0));
+  ABIVM_RETURN_NOT_OK(FsyncDir(dir_));
+  // Delete oldest-first with a directory fsync per unlink, so a kill at
+  // any point leaves a contiguous segment suffix (ReadWalDir treats a
+  // gap as lost data, not a crash).
+  for (uint64_t s = wal_oldest_segment_; s <= old_last; ++s) {
+    ABIVM_FAULT_POINT(fault::kFpWalTrim);
+    const std::string path = WalSegmentPath(s);
+    Result<uint64_t> size = FileSizeBytes(path);
+    const uint64_t freed = size.ok() ? *size : 0;
+    RemoveFileIfExists(path);
+    ABIVM_RETURN_NOT_OK(FsyncDir(dir_));
+    wal_oldest_segment_ = s + 1;
+    wal_bytes_trimmed_ += freed;
+    Count("ckpt.wal_bytes_trimmed", freed);
+  }
+  return Status::Ok();
+}
+
 Status DurabilityManager::PublishAndVacuum(TimeStep next_step) {
-  CheckpointImage image = CaptureCheckpoint(*db_, *maintainer_, next_seq_,
-                                            next_step, save_driver_());
+  ABIVM_CHECK_EQ(trace_steps_.size(), static_cast<size_t>(next_step));
+  // An empty blob means the policy has no snapshot to offer yet (e.g.
+  // the seq-0 publish runs before its first Reset): the image goes out
+  // without one and the WAL stays untrimmed this cycle.
+  std::string policy_blob;
+  if (options_.save_policy != nullptr) policy_blob = options_.save_policy();
+  const bool policy_snapshot = !policy_blob.empty();
+  const bool publish_delta =
+      options_.incremental && !next_publish_must_be_full_ &&
+      have_manifest_ && manifest_.chain.size() < options_.rebase_every;
   uint64_t bytes = 0;
-  ABIVM_RETURN_NOT_OK(PublishCheckpoint(dir_, image, &bytes));
+  Version published_version = 0;
+  if (publish_delta) {
+    CheckpointDelta delta =
+        CaptureCheckpointDelta(*db_, *maintainer_, next_seq_,
+                               manifest_.seq, next_step, save_driver_());
+    if (policy_snapshot) {
+      delta.has_policy_blob = true;
+      delta.policy_blob = policy_blob;
+    }
+    delta.new_trace_steps.assign(
+        trace_steps_.begin() +
+            static_cast<std::ptrdiff_t>(last_published_trace_size_),
+        trace_steps_.end());
+    published_version = delta.db_version;
+    BeginDeltaTracking();
+    ABIVM_RETURN_NOT_OK(
+        PublishCheckpointDelta(dir_, delta, manifest_, &bytes, &manifest_));
+    ++deltas_published_;
+    Count("ckpt.deltas_published", 1);
+  } else {
+    CheckpointImage image = CaptureCheckpoint(
+        *db_, *maintainer_, next_seq_, next_step, save_driver_());
+    if (policy_snapshot) {
+      image.has_policy_blob = true;
+      image.policy_blob = policy_blob;
+    }
+    image.trace_steps = trace_steps_;
+    published_version = image.db_version;
+    BeginDeltaTracking();
+    ABIVM_RETURN_NOT_OK(PublishCheckpoint(dir_, image, &bytes, &manifest_));
+    have_manifest_ = true;
+  }
+  next_publish_must_be_full_ = false;
   ++next_seq_;
   ++checkpoints_published_;
-  last_checkpoint_version_ = image.db_version;
+  last_checkpoint_version_ = published_version;
   Count("ckpt.checkpoints", 1);
   Count("ckpt.bytes_written", bytes);
+  // Every WAL record below the image is obsolete once the image carries
+  // the policy's decision state (recovery restores the blob instead of
+  // replaying decisions from step 0); without the blob the whole WAL
+  // stays required.
+  if (policy_snapshot && options_.trim_wal && next_step > 0) {
+    ABIVM_RETURN_NOT_OK(RotateAndTrimWal());
+  }
   if (!options_.vacuum_after_checkpoint) return Status::Ok();
   // Watermark-frontier GC, riding the checkpoint cycle. Safe version per
   // table: min(its watermark, the just-published checkpoint's clock) --

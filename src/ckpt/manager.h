@@ -46,6 +46,25 @@ struct DurabilityOptions {
   /// checkpoint version is what keeps recovery's redo replayable -- it
   /// joins co-tables at the CHECKPOINTED watermark snapshots.
   bool vacuum_after_checkpoint = true;
+  /// Publish incremental (delta) checkpoints between full images, so
+  /// steady-state checkpoint bytes are proportional to churn, not to
+  /// table size. Full images still rebase the chain (see rebase_every),
+  /// and the first image of a run / after a resume is always full.
+  bool incremental = true;
+  /// Rebase with a full image once the chain holds this many files (one
+  /// full base + rebase_every-1 deltas). <= 1 makes every image full.
+  uint64_t rebase_every = 4;
+  /// Snapshots the policy's complete decision state
+  /// (Policy::SaveState) into each image. Set it only for policies with
+  /// SupportsStateSnapshot(): its presence is what entitles the manager
+  /// to trim WAL segments below the newest image (recovery restores the
+  /// blob instead of replaying every decision from step 0). Null = no
+  /// snapshot; the WAL is never trimmed.
+  std::function<std::string()> save_policy;
+  /// Delete WAL segments made obsolete by a policy-carrying image
+  /// (no-op without save_policy). Keeps WAL disk usage bounded by one
+  /// checkpoint cycle instead of the whole run.
+  bool trim_wal = true;
 };
 
 /// How a resumed manager reattaches to the on-disk state; produced by
@@ -56,8 +75,17 @@ struct ResumeHandle {
   uint64_t manifest_seq = 0;
   /// Version clock of the loaded checkpoint (GC cap until the next one).
   Version checkpoint_version = 0;
-  /// Valid WAL prefix in bytes; Resume truncates any torn tail.
+  /// Valid prefix of the NEWEST WAL segment in bytes; Resume truncates
+  /// any torn tail.
   size_t wal_valid_bytes = 0;
+  /// Oldest and newest WAL segment indices on disk (trim keeps the range
+  /// contiguous); Resume reopens the newest and trims from the oldest.
+  uint64_t wal_first_segment = 1;
+  uint64_t wal_last_segment = 1;
+  /// Every step the crashed run completed (image prefix + WAL-derived
+  /// tail); Resume seeds its accumulated trace from it so the next
+  /// published image carries the complete [0, next_step) prefix.
+  std::vector<EngineStepRecord> trace_prefix;
 };
 
 class DurabilityManager final : public EngineDurabilityHooks {
@@ -99,6 +127,13 @@ class DurabilityManager final : public EngineDurabilityHooks {
   }
   uint64_t gc_rows_reclaimed() const { return gc_rows_reclaimed_; }
   uint64_t gc_passes() const { return gc_passes_; }
+  /// Of checkpoints_published(), how many were incremental deltas.
+  uint64_t deltas_published() const { return deltas_published_; }
+  /// Bytes of WAL segments deleted below policy-carrying images.
+  uint64_t wal_bytes_trimmed() const { return wal_bytes_trimmed_; }
+  /// Superseded checkpoint files swept on start/resume (files a crash
+  /// orphaned between a manifest swap and its reclaim pass).
+  uint64_t orphans_reclaimed() const { return orphans_reclaimed_; }
 
  private:
   DurabilityManager(std::string dir, Database* db,
@@ -108,7 +143,16 @@ class DurabilityManager final : public EngineDurabilityHooks {
 
   void InstallListener();
   Status PublishAndVacuum(TimeStep next_step);
+  /// Restarts storage/view dirty tracking and records the published
+  /// trace watermark -- the baseline the next delta captures against.
+  void BeginDeltaTracking();
+  /// Rotates to a fresh WAL segment and deletes every older one,
+  /// counting the freed bytes. Only called below a policy-carrying
+  /// image (next_step > 0).
+  Status RotateAndTrimWal();
   void Count(const char* name, uint64_t delta);
+
+  std::string WalSegmentPath(uint64_t index) const;
 
   std::string dir_;
   Database* db_;
@@ -125,6 +169,23 @@ class DurabilityManager final : public EngineDurabilityHooks {
   uint64_t checkpoints_published_ = 0;
   uint64_t gc_rows_reclaimed_ = 0;
   uint64_t gc_passes_ = 0;
+  /// Completed-step records accumulated this run (seeded from the
+  /// resume handle), published as each image's trace prefix.
+  std::vector<EngineStepRecord> trace_steps_;
+  /// trace_steps_.size() at the last publish (delta trace baseline).
+  size_t last_published_trace_size_ = 0;
+  /// The published chain, mirrored in memory for delta chaining.
+  Manifest manifest_;
+  bool have_manifest_ = false;
+  /// Seq 0 and the first publish after Resume must be full: resumed
+  /// state is ahead of the last image (WAL redo), so no mark exists to
+  /// delta against.
+  bool next_publish_must_be_full_ = true;
+  uint64_t wal_segment_ = 1;
+  uint64_t wal_oldest_segment_ = 1;
+  uint64_t deltas_published_ = 0;
+  uint64_t wal_bytes_trimmed_ = 0;
+  uint64_t orphans_reclaimed_ = 0;
 };
 
 }  // namespace abivm::ckpt

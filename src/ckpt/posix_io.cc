@@ -1,10 +1,12 @@
 #include "ckpt/posix_io.h"
 
+#include <dirent.h>
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <sys/types.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -99,10 +101,23 @@ Status WriteFileDurable(const std::string& path, std::string_view data) {
     if (status.ok() && ::fsync(fd) != 0) status = Errno("fsync", tmp);
   }
   ::close(fd);
-  if (!status.ok()) return status;
-  ABIVM_FAULT_POINT(fault::kFpCkptRename);
-  if (::rename(tmp.c_str(), path.c_str()) != 0) {
-    return Errno("rename", tmp);
+  if (status.ok()) {
+    // Not ABIVM_FAULT_POINT: the tmp file must be reclaimed on a fault.
+    status = fault::FailpointRegistry::ThreadLocal()
+                 .Get(fault::kFpCkptRename)
+                 .Check();
+  }
+  if (status.ok()) {
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+      status = Errno("rename", tmp);
+    }
+  }
+  if (!status.ok()) {
+    // The publish failed before the rename took effect: reclaim the temp
+    // file so a failed (or fault-injected) write leaves no stale
+    // `path.tmp` behind.
+    ::unlink(tmp.c_str());
+    return status;
   }
   const size_t slash = path.find_last_of('/');
   return FsyncDir(slash == std::string::npos ? "."
@@ -120,6 +135,35 @@ Status FsyncDir(const std::string& dir) {
 
 void RemoveFileIfExists(const std::string& path) {
   ::unlink(path.c_str());
+}
+
+Result<std::vector<std::string>> ListDir(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return Errno("opendir", dir);
+  std::vector<std::string> names;
+  errno = 0;
+  while (struct dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    names.push_back(name);
+  }
+  const int saved_errno = errno;
+  ::closedir(d);
+  if (saved_errno != 0) {
+    errno = saved_errno;
+    return Errno("readdir", dir);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Result<uint64_t> FileSizeBytes(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    if (errno == ENOENT) return Status::NotFound("no file " + path);
+    return Errno("stat", path);
+  }
+  return static_cast<uint64_t>(st.st_size);
 }
 
 Status AppendFile::Open(const std::string& path, size_t truncate_to) {

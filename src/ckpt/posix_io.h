@@ -11,6 +11,7 @@
 
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/status.h"
 
@@ -27,8 +28,16 @@ Result<std::string> ReadFile(const std::string& path);
 /// Atomically publishes `data` at `path` via the temp + fsync + rename +
 /// dir-fsync protocol. Carries the `ckpt.write` / `ckpt.fsync` /
 /// `ckpt.rename` failpoints, each BEFORE its side effect, so an injected
-/// fault models a crash that lost that step and everything after it.
+/// fault models a crash that lost that step and everything after it. On
+/// any failure before the rename took effect the temp file is unlinked --
+/// a failed publish leaves no stale `path.tmp` behind.
 Status WriteFileDurable(const std::string& path, std::string_view data);
+
+/// Entry names in `dir` (excluding "." / ".."), sorted ascending.
+Result<std::vector<std::string>> ListDir(const std::string& dir);
+
+/// Size of `path` in bytes; NotFound when absent.
+Result<uint64_t> FileSizeBytes(const std::string& path);
 
 /// fsyncs a directory (making completed renames inside it durable).
 Status FsyncDir(const std::string& dir);

@@ -1,0 +1,81 @@
+// Shared serde for the engine-accounting records both durability
+// artifacts carry: ExecStats (WAL batch/step records) and completed
+// EngineStepRecords (checkpoint images store the finished-trace prefix
+// so the WAL below an image can be trimmed without losing the stitched
+// trace).
+//
+// Wall-clock fields (actual_ms / attempted_ms) are deliberately NOT
+// serialized: they are excluded from every determinism promise, and
+// keeping them out makes two images of identical runs byte-equal -- the
+// property the delta-chain equivalence oracle checks.
+
+#ifndef ABIVM_CKPT_RECORD_SERDE_H_
+#define ABIVM_CKPT_RECORD_SERDE_H_
+
+#include "ckpt/serde.h"
+#include "exec/operators.h"
+#include "sim/engine_runner.h"
+
+namespace abivm::ckpt {
+
+inline void PutExecStats(std::string* out, const ExecStats& s) {
+  PutU64(out, s.rows_scanned);
+  PutU64(out, s.index_probes);
+  PutU64(out, s.hash_build_rows);
+  PutU64(out, s.output_rows);
+  PutU64(out, s.rows_filtered);
+  PutU64(out, s.rows_projected);
+}
+
+inline Status GetExecStats(ByteReader* in, ExecStats* s) {
+  ABIVM_RETURN_NOT_OK(in->GetU64(&s->rows_scanned));
+  ABIVM_RETURN_NOT_OK(in->GetU64(&s->index_probes));
+  ABIVM_RETURN_NOT_OK(in->GetU64(&s->hash_build_rows));
+  ABIVM_RETURN_NOT_OK(in->GetU64(&s->output_rows));
+  ABIVM_RETURN_NOT_OK(in->GetU64(&s->rows_filtered));
+  ABIVM_RETURN_NOT_OK(in->GetU64(&s->rows_projected));
+  return Status::Ok();
+}
+
+inline void PutTraceStep(std::string* out, const EngineStepRecord& r) {
+  PutI64(out, r.t);
+  PutStateVec(out, r.arrivals);
+  PutStateVec(out, r.pre_state);
+  PutStateVec(out, r.action);
+  PutDouble(out, r.model_cost);
+  PutDouble(out, r.abandoned_model_cost);
+  PutDouble(out, r.backoff_ms);
+  PutExecStats(out, r.stats);
+  PutExecStats(out, r.attempted_stats);
+  PutU64(out, r.failures);
+  PutU64(out, r.retries);
+  PutU64(out, r.retry_budget_abandons);
+  PutU8(out, r.degraded ? 1 : 0);
+  PutU8(out, r.violation ? 1 : 0);
+}
+
+inline Status GetTraceStep(ByteReader* in, EngineStepRecord* r) {
+  ABIVM_RETURN_NOT_OK(in->GetI64(&r->t));
+  ABIVM_RETURN_NOT_OK(in->GetStateVec(&r->arrivals));
+  ABIVM_RETURN_NOT_OK(in->GetStateVec(&r->pre_state));
+  ABIVM_RETURN_NOT_OK(in->GetStateVec(&r->action));
+  ABIVM_RETURN_NOT_OK(in->GetDouble(&r->model_cost));
+  ABIVM_RETURN_NOT_OK(in->GetDouble(&r->abandoned_model_cost));
+  ABIVM_RETURN_NOT_OK(in->GetDouble(&r->backoff_ms));
+  ABIVM_RETURN_NOT_OK(GetExecStats(in, &r->stats));
+  ABIVM_RETURN_NOT_OK(GetExecStats(in, &r->attempted_stats));
+  ABIVM_RETURN_NOT_OK(in->GetU64(&r->failures));
+  ABIVM_RETURN_NOT_OK(in->GetU64(&r->retries));
+  ABIVM_RETURN_NOT_OK(in->GetU64(&r->retry_budget_abandons));
+  uint8_t degraded = 0;
+  uint8_t violation = 0;
+  ABIVM_RETURN_NOT_OK(in->GetU8(&degraded));
+  ABIVM_RETURN_NOT_OK(in->GetU8(&violation));
+  r->degraded = degraded != 0;
+  r->violation = violation != 0;
+  return Status::Ok();
+}
+
+}  // namespace abivm::ckpt
+
+#endif  // ABIVM_CKPT_RECORD_SERDE_H_

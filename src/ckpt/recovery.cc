@@ -2,6 +2,7 @@
 
 #include <optional>
 
+#include "ckpt/posix_io.h"
 #include "ckpt/serde.h"
 #include "fault/failpoint.h"
 #include "fault/sites.h"
@@ -81,21 +82,46 @@ Result<RecoveredRun> RecoverFromDir(const std::string& dir, ViewDef def,
                                     const CostModel& model, double budget,
                                     Policy* policy,
                                     RecoveryOptions options) {
-  // 1. Manifest -> checkpoint image (checksum-verified).
+  // 1. Manifest -> checkpoint chain (each file checksum-verified): a
+  // full base image folded under every chained delta, reproducing the
+  // exact full image a non-incremental capture would have written at
+  // the manifest's seq.
   Result<Manifest> manifest = ReadManifest(dir);
   if (!manifest.ok()) return manifest.status();
-  Result<std::string> payload =
-      ReadFile(dir + "/" + (*manifest).checkpoint_file);
-  if (!payload.ok()) return payload.status();
-  if (Checksum(*payload) != (*manifest).checkpoint_checksum) {
-    return Status::Internal("checkpoint " + (*manifest).checkpoint_file +
-                            " fails its manifest checksum");
+  CheckpointImage image;
+  uint64_t chain_deltas = 0;
+  for (size_t i = 0; i < (*manifest).chain.size(); ++i) {
+    const ManifestEntry& entry = (*manifest).chain[i];
+    Result<std::string> payload = ReadFile(dir + "/" + entry.file);
+    if (!payload.ok()) return payload.status();
+    if (Checksum(*payload) != entry.checksum) {
+      return Status::Internal("checkpoint " + entry.file +
+                              " fails its manifest checksum");
+    }
+    if (!entry.is_delta) {
+      Result<CheckpointImage> parsed = ParseCheckpoint(*payload);
+      if (!parsed.ok()) return parsed.status();
+      image = std::move(*parsed);
+    } else {
+      Result<CheckpointDelta> delta = ParseCheckpointDelta(*payload);
+      if (!delta.ok()) return delta.status();
+      Result<CheckpointImage> folded = FoldCheckpointDelta(image, *delta);
+      if (!folded.ok()) return folded.status();
+      image = std::move(*folded);
+      ++chain_deltas;
+    }
   }
-  Result<CheckpointImage> parsed = ParseCheckpoint(*payload);
-  if (!parsed.ok()) return parsed.status();
-  const CheckpointImage& image = *parsed;
   if (image.seq != (*manifest).seq) {
-    return Status::Internal("checkpoint seq does not match manifest");
+    return Status::Internal("checkpoint chain ends at seq " +
+                            std::to_string(image.seq) +
+                            ", manifest says " +
+                            std::to_string((*manifest).seq));
+  }
+  if (image.trace_steps.size() != static_cast<size_t>(image.next_step)) {
+    return Status::Internal(
+        "checkpoint trace prefix holds " +
+        std::to_string(image.trace_steps.size()) + " steps, image is at " +
+        std::to_string(image.next_step));
   }
 
   // 2. Rebuild the database and an unmaterialized maintainer, then
@@ -128,17 +154,31 @@ Result<RecoveredRun> RecoverFromDir(const std::string& dir, ViewDef def,
                                      std::move(state));
   run.driver_blob = image.driver_blob;
 
-  // 3. WAL scan: policy decision replay from step 0; modification and
-  // batch redo from next_step on.
-  Result<WalContents> wal = ReadWal(dir + "/wal.log");
+  // 3. WAL scan. The image's trace prefix already covers every step
+  // below next_step, so WAL-derived records only extend it. Policy
+  // state: with a policy blob in the image, restore it and only replay
+  // (and verify) decisions from next_step on -- the entitlement that
+  // lets the manager trim WAL segments below the image. Without a blob
+  // the whole decision sequence is replayed from step 0, which requires
+  // an untrimmed WAL. Modification and batch redo always start at
+  // next_step.
+  Result<WalDirContents> wal = ReadWalDir(dir);
   if (!wal.ok()) return wal.status();
-  if (policy != nullptr) policy->Reset(model, budget);
+  bool policy_restored = false;
+  if (policy != nullptr) {
+    policy->Reset(model, budget);
+    if (image.has_policy_blob) {
+      ABIVM_RETURN_NOT_OK(policy->RestoreState(image.policy_blob));
+      policy_restored = true;
+    }
+  }
+  run.trace_prefix = image.trace_steps;
   const size_t n = run.maintainer->num_tables();
   uint64_t replayed_mods = 0;
   uint64_t replayed_batches = 0;
   std::optional<WalStepPlan> open_plan;
   std::vector<WalBatchCommit> open_batches;
-  TimeStep last_completed = -1;
+  TimeStep last_completed = image.next_step - 1;
   for (const WalRecord& record : (*wal).records) {
     ABIVM_FAULT_POINT(fault::kFpRecoveryReplay);
     if (const auto* plan = std::get_if<WalStepPlan>(&record)) {
@@ -147,7 +187,10 @@ Result<RecoveredRun> RecoverFromDir(const std::string& dir, ViewDef def,
                        " was never closed before step " +
                        std::to_string(plan->t));
       }
-      if (!plan->forced && policy != nullptr) {
+      const bool replay_decision =
+          !plan->forced && policy != nullptr &&
+          (!policy_restored || plan->t >= image.next_step);
+      if (replay_decision) {
         const StateVec replayed =
             policy->Act(plan->t, plan->pre_state, plan->arrivals);
         if (replayed != plan->action) {
@@ -197,9 +240,13 @@ Result<RecoveredRun> RecoverFromDir(const std::string& dir, ViewDef def,
         return Corrupt("step end for step " + std::to_string(end.t) +
                        " outside its step");
       }
-      EngineStepRecord step = RecordFromPlan(*open_plan);
-      FillRecordFromEnd(end, &step);
-      run.trace_prefix.push_back(std::move(step));
+      if (end.t >= image.next_step) {
+        // Steps below next_step already sit in the image's trace prefix
+        // (their WAL records survive only until the next trim).
+        EngineStepRecord step = RecordFromPlan(*open_plan);
+        FillRecordFromEnd(end, &step);
+        run.trace_prefix.push_back(std::move(step));
+      }
       last_completed = end.t;
       open_plan.reset();
       open_batches.clear();
@@ -230,7 +277,13 @@ Result<RecoveredRun> RecoverFromDir(const std::string& dir, ViewDef def,
 
   run.handle.manifest_seq = image.seq;
   run.handle.checkpoint_version = image.db_version;
-  run.handle.wal_valid_bytes = (*wal).valid_bytes;
+  run.handle.wal_valid_bytes = (*wal).last_segment_valid_bytes;
+  run.handle.wal_last_segment = (*wal).last_segment;
+  run.handle.wal_first_segment =
+      (*wal).segments_read > 0
+          ? (*wal).last_segment - (*wal).segments_read + 1
+          : (*wal).last_segment;
+  run.handle.trace_prefix = run.trace_prefix;
 
   if (options.metrics != nullptr) {
     options.metrics->counter("recovery.replayed_records")
@@ -240,6 +293,7 @@ Result<RecoveredRun> RecoverFromDir(const std::string& dir, ViewDef def,
         .Add(replayed_batches);
     options.metrics->counter("recovery.trace_steps")
         .Add(run.trace_prefix.size());
+    options.metrics->counter("recovery.chain_deltas").Add(chain_deltas);
     if ((*wal).torn_tail) {
       options.metrics->counter("recovery.torn_tails").Add(1);
     }

@@ -1,19 +1,25 @@
 // RecoverFromDir: rebuilds a crashed engine run from its durability
-// directory -- the MANIFEST-designated checkpoint image plus the WAL --
+// directory -- the MANIFEST-designated checkpoint chain plus the WAL --
 // and computes exactly where the resumed run picks up.
 //
 // Replay rules (see DESIGN.md section 5i):
-//   * The checkpoint image restores the database and maintainer to the
-//     state as of `next_step` (every step < next_step fully applied).
-//   * The WAL is then scanned from record 0. kStepPlan records replay
-//     the policy's decision sequence (skipping forced steps) against a
-//     freshly Reset policy -- the replayed action must equal the logged
-//     one, which deterministically rebuilds stateful policies without
-//     serializing their internals. For steps >= next_step the plan's
-//     modifications are re-applied through the normal TryApply* path
-//     (RowIds and versions must reproduce exactly) and each logged
-//     kBatchCommit is re-executed with ProcessBatchChecked (its
-//     BatchResult integrity fields must match the log).
+//   * The checkpoint chain (full base image folded under each chained
+//     delta) restores the database and maintainer to the state as of
+//     `next_step` (every step < next_step fully applied). The image
+//     also carries the completed trace prefix for those steps.
+//   * The WAL segments are then scanned from the oldest record on.
+//     kStepPlan records replay the policy's decision sequence (skipping
+//     forced steps) against a freshly Reset policy -- the replayed
+//     action must equal the logged one, which deterministically
+//     rebuilds stateful policies without serializing their internals.
+//     When the image carries a policy blob, the policy is instead
+//     restored from it and only decisions >= next_step are replayed --
+//     which is what makes a WAL trimmed below the image sufficient.
+//     For steps >= next_step the plan's modifications are re-applied
+//     through the normal TryApply* path (RowIds and versions must
+//     reproduce exactly) and each logged kBatchCommit is re-executed
+//     with ProcessBatchChecked (its BatchResult integrity fields must
+//     match the log).
 //   * A kStepPlan with no matching kStepEnd at the tail means the crash
 //     hit mid-step: the resumed run re-enters that step, skipping the
 //     batches whose commits are on disk.

@@ -1,5 +1,9 @@
 #include "ckpt/wal.h"
 
+#include <algorithm>
+#include <cstdio>
+
+#include "ckpt/record_serde.h"
 #include "ckpt/serde.h"
 #include "fault/failpoint.h"
 #include "fault/sites.h"
@@ -13,25 +17,6 @@ enum : uint8_t {
   kTagBatchCommit = 2,
   kTagStepEnd = 3,
 };
-
-void PutExecStats(std::string* out, const ExecStats& s) {
-  PutU64(out, s.rows_scanned);
-  PutU64(out, s.index_probes);
-  PutU64(out, s.hash_build_rows);
-  PutU64(out, s.output_rows);
-  PutU64(out, s.rows_filtered);
-  PutU64(out, s.rows_projected);
-}
-
-Status GetExecStats(ByteReader* in, ExecStats* s) {
-  ABIVM_RETURN_NOT_OK(in->GetU64(&s->rows_scanned));
-  ABIVM_RETURN_NOT_OK(in->GetU64(&s->index_probes));
-  ABIVM_RETURN_NOT_OK(in->GetU64(&s->hash_build_rows));
-  ABIVM_RETURN_NOT_OK(in->GetU64(&s->output_rows));
-  ABIVM_RETURN_NOT_OK(in->GetU64(&s->rows_filtered));
-  ABIVM_RETURN_NOT_OK(in->GetU64(&s->rows_projected));
-  return Status::Ok();
-}
 
 void PutMod(std::string* out, const AppliedModification& m) {
   PutU64(out, m.table_index);
@@ -183,6 +168,41 @@ Status WalWriter::Append(const WalRecord& record) {
   return Status::Ok();
 }
 
+namespace {
+
+constexpr size_t kFrameHeader = 4 + 8;
+
+/// True when an intact frame (plausible length, matching checksum,
+/// parseable payload) starts at `offset`.
+bool IntactFrameAt(const std::string& bytes, size_t offset) {
+  if (offset + kFrameHeader > bytes.size()) return false;
+  ByteReader header(std::string_view(bytes.data() + offset, kFrameHeader));
+  uint32_t len = 0;
+  uint64_t checksum = 0;
+  if (!header.GetU32(&len).ok()) return false;
+  if (!header.GetU64(&checksum).ok()) return false;
+  if (offset + kFrameHeader + len > bytes.size()) return false;
+  const std::string_view payload(bytes.data() + offset + kFrameHeader,
+                                 len);
+  if (Checksum(payload) != checksum) return false;
+  WalRecord record;
+  return ParseRecord(payload, &record).ok();
+}
+
+/// Scans every byte offset past a broken frame for a later intact one.
+/// A 64-bit checksum plus a full record parse makes a false positive on
+/// random damage vanishingly unlikely; offsets whose length field
+/// overruns the file are rejected in O(1), so the scan is near-linear.
+bool IntactFrameFollows(const std::string& bytes, size_t broken_offset) {
+  for (size_t probe = broken_offset + 1;
+       probe + kFrameHeader <= bytes.size(); ++probe) {
+    if (IntactFrameAt(bytes, probe)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
 Result<WalContents> ReadWal(const std::string& path) {
   WalContents out;
   Result<std::string> data = ReadFile(path);
@@ -192,24 +212,110 @@ Result<WalContents> ReadWal(const std::string& path) {
   }
   const std::string& bytes = *data;
   size_t offset = 0;
-  constexpr size_t kHeader = 4 + 8;
-  while (offset + kHeader <= bytes.size()) {
+  while (offset + kFrameHeader <= bytes.size()) {
     ByteReader header(
-        std::string_view(bytes.data() + offset, kHeader));
+        std::string_view(bytes.data() + offset, kFrameHeader));
     uint32_t len = 0;
     uint64_t checksum = 0;
     ABIVM_RETURN_NOT_OK(header.GetU32(&len));
     ABIVM_RETURN_NOT_OK(header.GetU64(&checksum));
-    if (offset + kHeader + len > bytes.size()) break;  // torn payload
-    const std::string_view payload(bytes.data() + offset + kHeader, len);
-    if (Checksum(payload) != checksum) break;  // torn / corrupt record
-    WalRecord record;
-    ABIVM_RETURN_NOT_OK(ParseRecord(payload, &record));
-    out.records.push_back(std::move(record));
-    offset += kHeader + len;
+    const bool torn_payload = offset + kFrameHeader + len > bytes.size();
+    bool bad_checksum = false;
+    if (!torn_payload) {
+      const std::string_view payload(bytes.data() + offset + kFrameHeader,
+                                     len);
+      bad_checksum = Checksum(payload) != checksum;
+      if (!bad_checksum) {
+        WalRecord record;
+        ABIVM_RETURN_NOT_OK(ParseRecord(payload, &record));
+        out.records.push_back(std::move(record));
+        offset += kFrameHeader + len;
+        continue;
+      }
+    }
+    // Broken frame at `offset`: a torn tail only if NOTHING intact
+    // follows. An intact frame beyond the break means committed records
+    // sit past the damage -- truncating would silently lose them.
+    if (IntactFrameFollows(bytes, offset)) {
+      return Status::Internal(
+          "WAL " + path + ": corrupt record at offset " +
+          std::to_string(offset) + " with intact records after it (" +
+          (torn_payload ? "torn length field" : "checksum mismatch") +
+          "); refusing to truncate committed records");
+    }
+    break;
   }
   out.valid_bytes = offset;
   out.torn_tail = offset < bytes.size();
+  return out;
+}
+
+std::string WalSegmentFileName(uint64_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "wal-%06llu.log",
+                static_cast<unsigned long long>(index));
+  return buf;
+}
+
+uint64_t ParseWalSegmentIndex(const std::string& name) {
+  constexpr std::string_view kPrefix = "wal-";
+  constexpr std::string_view kSuffix = ".log";
+  if (name.size() <= kPrefix.size() + kSuffix.size()) return 0;
+  if (name.compare(0, kPrefix.size(), kPrefix) != 0) return 0;
+  if (name.compare(name.size() - kSuffix.size(), kSuffix.size(),
+                   kSuffix) != 0) {
+    return 0;
+  }
+  uint64_t index = 0;
+  for (size_t i = kPrefix.size(); i < name.size() - kSuffix.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return 0;
+    index = index * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  return index;
+}
+
+Result<WalDirContents> ReadWalDir(const std::string& dir) {
+  WalDirContents out;
+  Result<std::vector<std::string>> names = ListDir(dir);
+  if (!names.ok()) return names.status();
+  std::vector<uint64_t> segments;
+  for (const std::string& name : *names) {
+    const uint64_t index = ParseWalSegmentIndex(name);
+    if (index > 0) segments.push_back(index);
+  }
+  std::sort(segments.begin(), segments.end());
+  if (segments.empty()) return out;
+  for (size_t i = 0; i + 1 < segments.size(); ++i) {
+    if (segments[i + 1] != segments[i] + 1) {
+      return Status::Internal(
+          "WAL segment gap in " + dir + ": segment " +
+          std::to_string(segments[i] + 1) + " missing between " +
+          std::to_string(segments[i]) + " and " +
+          std::to_string(segments[i + 1]));
+    }
+  }
+  for (size_t i = 0; i < segments.size(); ++i) {
+    const std::string path = dir + "/" + WalSegmentFileName(segments[i]);
+    Result<WalContents> contents = ReadWal(path);
+    if (!contents.ok()) return contents.status();
+    const bool last = i + 1 == segments.size();
+    if (!last && (*contents).torn_tail) {
+      // Only the newest segment may end mid-frame: rotation closed the
+      // older ones at record boundaries, so damage here is corruption.
+      return Status::Internal("WAL segment " + path +
+                              " is damaged but is not the newest "
+                              "segment; refusing to truncate");
+    }
+    for (WalRecord& record : (*contents).records) {
+      out.records.push_back(std::move(record));
+    }
+    if (last) {
+      out.last_segment = segments[i];
+      out.last_segment_valid_bytes = (*contents).valid_bytes;
+      out.torn_tail = (*contents).torn_tail;
+    }
+    ++out.segments_read;
+  }
   return out;
 }
 

@@ -11,12 +11,21 @@
 //   * kStepEnd    -- the step completed; its full accounting record.
 //
 // Framing: [u32 payload_len][u64 fnv1a(payload)][payload], one fsync per
-// record. A torn tail (short frame or checksum mismatch) marks the end
-// of the valid prefix; recovery truncates it before resuming. Records
-// are NEVER trimmed during a run: recovery re-drives the policy's
-// decision sequence over every kStepPlan from step 0, which is what
-// rebuilds stateful policies (e.g. replanning cost estimators) without
-// serializing their internals.
+// record. A torn TAIL (short or checksum-failing frame with nothing
+// intact after it) marks the end of the valid prefix; recovery truncates
+// it before resuming. An invalid frame FOLLOWED by intact frames is not
+// a tail at all -- it means committed records sit beyond the damage
+// (bit rot, not a crash), and silently truncating them would lose
+// acknowledged work, so ReadWal fails loudly instead.
+//
+// Segmentation: a durable run writes rotated segments wal-<n>.log. The
+// manager rotates to a fresh segment at each checkpoint publish, which
+// makes every older segment's records strictly below the image's
+// next_step -- once the image also carries the policy-state blob, those
+// segments are dead weight and are trimmed (deleted oldest-first, so a
+// kill mid-trim always leaves a contiguous segment suffix). Runs without
+// a policy snapshot keep a single segment: decision replay still needs
+// every kStepPlan from step 0.
 
 #ifndef ABIVM_CKPT_WAL_H_
 #define ABIVM_CKPT_WAL_H_
@@ -102,10 +111,37 @@ struct WalContents {
   bool torn_tail = false;
 };
 
-/// Reads every intact record; a missing file yields an empty WAL. Only a
-/// structurally corrupt VALID-length frame is an error -- a torn tail is
-/// the expected shape of a crash and is reported, not failed.
+/// Reads every intact record; a missing file yields an empty WAL. A
+/// trailing partial/corrupt frame is the expected shape of a crash and
+/// is reported as `torn_tail`, not failed. An invalid frame with intact
+/// frames beyond it is MID-LOG CORRUPTION: committed records would be
+/// silently lost by truncation, so it is a hard error.
 Result<WalContents> ReadWal(const std::string& path);
+
+/// File name of WAL segment `index` (1-based): wal-%06u.log.
+std::string WalSegmentFileName(uint64_t index);
+
+/// Parses a WAL segment file name; returns 0 when `name` is not one.
+uint64_t ParseWalSegmentIndex(const std::string& name);
+
+struct WalDirContents {
+  /// Records across all segments, in append order.
+  std::vector<WalRecord> records;
+  /// Index of the newest (open) segment; 1 when no segment exists yet.
+  uint64_t last_segment = 1;
+  /// Valid prefix of the newest segment (what Resume truncates to).
+  size_t last_segment_valid_bytes = 0;
+  /// True when the newest segment ended in a torn tail.
+  bool torn_tail = false;
+  /// Number of segment files read.
+  uint64_t segments_read = 0;
+};
+
+/// Reads every WAL segment in `dir` in ascending index order. Segment
+/// indices must be contiguous (trim deletes oldest-first, so a gap means
+/// a lost file, not a crash); a torn tail is only legal in the NEWEST
+/// segment -- damage anywhere else is mid-log corruption and fails.
+Result<WalDirContents> ReadWalDir(const std::string& dir);
 
 }  // namespace abivm::ckpt
 

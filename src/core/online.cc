@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/actions.h"
+#include "core/state_codec.h"
 
 namespace abivm {
 
@@ -101,6 +102,49 @@ StateVec OnlinePolicy::Act(TimeStep t, const StateVec& pre_state,
   ++stats_.actions_taken;
   cost_so_far_ += model_->TotalCost(*best);
   return *best;
+}
+
+std::string OnlinePolicy::SaveState() const {
+  // Before Reset() there is no decision state to carry (the durability
+  // manager's seq-0 publish lands here): empty = "no snapshot yet".
+  if (!model_.has_value()) return std::string();
+  std::string blob;
+  statecodec::PutU8(&blob, 1);  // blob format version
+  statecodec::PutDoubleVec(&blob, rates_);
+  statecodec::PutU8(&blob, rates_initialized_ ? 1 : 0);
+  statecodec::PutDouble(&blob, cost_so_far_);
+  statecodec::PutU64(&blob, stats_.actions_taken);
+  statecodec::PutU64(&blob, stats_.candidates_evaluated);
+  statecodec::PutU64(&blob, stats_.time_to_full_calls);
+  return blob;
+}
+
+Status OnlinePolicy::RestoreState(std::string_view blob) {
+  ABIVM_CHECK_MSG(model_.has_value(), "policy not Reset()");
+  statecodec::Reader in(blob);
+  uint8_t version = 0;
+  std::vector<double> rates;
+  uint8_t initialized = 0;
+  double cost_so_far = 0.0;
+  Stats stats;
+  if (!in.GetU8(&version) || version != 1 || !in.GetDoubleVec(&rates) ||
+      !in.GetU8(&initialized) || !in.GetDouble(&cost_so_far) ||
+      !in.GetU64(&stats.actions_taken) ||
+      !in.GetU64(&stats.candidates_evaluated) ||
+      !in.GetU64(&stats.time_to_full_calls) || !in.AtEnd()) {
+    return Status::InvalidArgument("malformed ONLINE state blob");
+  }
+  if (rates.size() != rates_.size()) {
+    return Status::InvalidArgument(
+        "ONLINE state blob has " + std::to_string(rates.size()) +
+        " rates, problem has " + std::to_string(rates_.size()) +
+        " tables");
+  }
+  rates_ = std::move(rates);
+  rates_initialized_ = initialized != 0;
+  cost_so_far_ = cost_so_far;
+  stats_ = stats;
+  return Status::Ok();
 }
 
 void OnlinePolicy::ExportMetrics(obs::MetricRegistry& registry) const {

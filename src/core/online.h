@@ -43,6 +43,13 @@ class OnlinePolicy final : public Policy {
   std::string name() const override { return "ONLINE"; }
   void ExportMetrics(obs::MetricRegistry& registry) const override;
 
+  /// Complete decision state (EWMA rates, accumulated cost F_t, decision
+  /// counters): a restored policy reproduces the saved one's decision
+  /// sequence bit-exactly, so recovery can skip decision replay.
+  bool SupportsStateSnapshot() const override { return true; }
+  std::string SaveState() const override;
+  Status RestoreState(std::string_view blob) override;
+
   /// Predicted number of steps until arrivals at the estimated rates make
   /// `state` full again (>= 1; capped), using the rounded expected
   /// arrivals round(tau * rate) per table. Exposed for tests/ablations.

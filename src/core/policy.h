@@ -7,7 +7,9 @@
 #define ABIVM_CORE_POLICY_H_
 
 #include <string>
+#include <string_view>
 
+#include "common/status.h"
 #include "core/cost_model.h"
 #include "core/types.h"
 #include "obs/metrics.h"
@@ -38,6 +40,32 @@ class Policy {
   /// run; the default exports nothing.
   virtual void ExportMetrics(obs::MetricRegistry& registry) const {
     (void)registry;
+  }
+
+  /// Policy-state snapshots (durability layer). A policy that returns
+  /// true here serializes its COMPLETE decision state in SaveState:
+  /// restoring the blob into a freshly Reset policy must reproduce, bit
+  /// for bit, every decision the saved policy would have made. The
+  /// durability manager embeds the blob in each checkpoint image, which
+  /// is what entitles it to trim the WAL below the image -- a policy
+  /// without snapshot support instead needs decision replay over every
+  /// logged step from 0, so its WAL is never trimmed.
+  virtual bool SupportsStateSnapshot() const { return false; }
+
+  /// Serializes the decision state (only meaningful when
+  /// SupportsStateSnapshot()). An EMPTY return means "no snapshot
+  /// available" -- snapshot policies return it before their first
+  /// Reset, and consumers (the durability manager) must treat it as
+  /// absent rather than restorable. The default returns an empty blob.
+  virtual std::string SaveState() const { return {}; }
+
+  /// Restores a SaveState blob into this policy. Call Reset(model,
+  /// budget) first -- the blob carries decision state, not the problem
+  /// binding. The default (non-snapshot policies) is Unimplemented.
+  virtual Status RestoreState(std::string_view blob) {
+    (void)blob;
+    return Status::Unimplemented(name() +
+                                 " does not support state snapshots");
   }
 };
 

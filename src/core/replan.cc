@@ -5,6 +5,7 @@
 
 #include "core/actions.h"
 #include "core/astar.h"
+#include "core/state_codec.h"
 
 namespace abivm {
 
@@ -75,6 +76,94 @@ void ReplanningPolicy::ExportMetrics(obs::MetricRegistry& registry) const {
   registry.counter("astar.workspace_reuses").Add(workspace_.reuses());
   registry.counter("astar.arena_bytes_peak")
       .RaiseTo(workspace_.arena_bytes_peak());
+}
+
+std::string ReplanningPolicy::SaveState() const {
+  // Before Reset() there is no decision state to carry (the durability
+  // manager's seq-0 publish lands here): empty = "no snapshot yet".
+  if (model_ == nullptr) return std::string();
+  std::string blob;
+  statecodec::PutU8(&blob, 1);  // blob format version
+  statecodec::PutDoubleVec(&blob, rates_);
+  statecodec::PutU8(&blob, rates_initialized_ ? 1 : 0);
+  statecodec::PutU8(&blob, plan_.has_value() ? 1 : 0);
+  if (plan_.has_value()) {
+    statecodec::PutU64(&blob, plan_->n());
+    statecodec::PutI64(&blob, plan_->horizon());
+    statecodec::PutU64(&blob, plan_->actions().size());
+    for (const auto& [step, amounts] : plan_->actions()) {
+      statecodec::PutI64(&blob, step);
+      statecodec::PutStateVec(&blob, amounts);
+    }
+  }
+  statecodec::PutI64(&blob, plan_epoch_);
+  statecodec::PutU64(&blob, plans_computed_);
+  statecodec::PutU64(&blob, deviations_);
+  statecodec::PutU64(&blob, planner_nodes_expanded_);
+  statecodec::PutDouble(&blob, planner_wall_ms_);
+  return blob;
+}
+
+Status ReplanningPolicy::RestoreState(std::string_view blob) {
+  ABIVM_CHECK_MSG(model_ != nullptr, "policy not Reset()");
+  statecodec::Reader in(blob);
+  const auto malformed = [] {
+    return Status::InvalidArgument("malformed REPLAN state blob");
+  };
+  uint8_t version = 0;
+  std::vector<double> rates;
+  uint8_t initialized = 0;
+  uint8_t has_plan = 0;
+  if (!in.GetU8(&version) || version != 1 || !in.GetDoubleVec(&rates) ||
+      !in.GetU8(&initialized) || !in.GetU8(&has_plan)) {
+    return malformed();
+  }
+  if (rates.size() != rates_.size()) {
+    return Status::InvalidArgument(
+        "REPLAN state blob has " + std::to_string(rates.size()) +
+        " rates, problem has " + std::to_string(rates_.size()) +
+        " tables");
+  }
+  std::optional<MaintenancePlan> plan;
+  if (has_plan != 0) {
+    uint64_t n = 0;
+    int64_t horizon = 0;
+    uint64_t action_count = 0;
+    if (!in.GetU64(&n) || !in.GetI64(&horizon) ||
+        !in.GetU64(&action_count) || n != rates_.size() || horizon < 0 ||
+        action_count > static_cast<uint64_t>(horizon) + 1) {
+      return malformed();
+    }
+    plan.emplace(static_cast<size_t>(n), horizon);
+    for (uint64_t i = 0; i < action_count; ++i) {
+      int64_t step = 0;
+      StateVec amounts;
+      if (!in.GetI64(&step) || !in.GetStateVec(&amounts) || step < 0 ||
+          step > horizon || amounts.size() != n) {
+        return malformed();
+      }
+      plan->SetAction(step, std::move(amounts));
+    }
+  }
+  int64_t plan_epoch = 0;
+  uint64_t plans_computed = 0;
+  uint64_t deviations = 0;
+  uint64_t planner_nodes_expanded = 0;
+  double planner_wall_ms = 0.0;
+  if (!in.GetI64(&plan_epoch) || !in.GetU64(&plans_computed) ||
+      !in.GetU64(&deviations) || !in.GetU64(&planner_nodes_expanded) ||
+      !in.GetDouble(&planner_wall_ms) || !in.AtEnd()) {
+    return malformed();
+  }
+  rates_ = std::move(rates);
+  rates_initialized_ = initialized != 0;
+  plan_ = std::move(plan);
+  plan_epoch_ = plan_epoch;
+  plans_computed_ = plans_computed;
+  deviations_ = deviations;
+  planner_nodes_expanded_ = planner_nodes_expanded;
+  planner_wall_ms_ = planner_wall_ms;
+  return Status::Ok();
 }
 
 StateVec ReplanningPolicy::Act(TimeStep t, const StateVec& pre_state,

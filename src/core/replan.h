@@ -54,6 +54,15 @@ class ReplanningPolicy final : public Policy {
   std::string name() const override { return "REPLAN"; }
   void ExportMetrics(obs::MetricRegistry& registry) const override;
 
+  /// Complete decision state: EWMA rates, the open plan (actions +
+  /// epoch), and the effort counters. The pooled planner workspace is
+  /// NOT serialized -- it is a pure performance cache with no influence
+  /// on planning results, so a restored policy replans into cold arenas
+  /// but emits identical actions.
+  bool SupportsStateSnapshot() const override { return true; }
+  std::string SaveState() const override;
+  Status RestoreState(std::string_view blob) override;
+
   /// How many times the policy invoked the planner (for tests/benches).
   uint64_t plans_computed() const { return plans_computed_; }
   /// Steps where the projection diverged enough to need the fallback.

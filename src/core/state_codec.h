@@ -1,0 +1,125 @@
+// Minimal binary codec for policy-state snapshots (Policy::SaveState /
+// RestoreState): fixed-width little-endian integers and raw-bit doubles.
+// Self-contained so the core policy layer does not depend on the
+// durability layer's serde (ckpt links core, not the other way around).
+//
+// Doubles round-trip as raw 64-bit patterns: a restored estimator must
+// reproduce the exact decision sequence the saved one would have, and
+// EWMA state compared or fed through further arithmetic with even one
+// ulp of drift diverges.
+
+#ifndef ABIVM_CORE_STATE_CODEC_H_
+#define ABIVM_CORE_STATE_CODEC_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/types.h"
+
+namespace abivm::statecodec {
+
+inline void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+inline void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+inline void PutI64(std::string* out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+
+inline void PutDouble(std::string* out, double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+inline void PutStateVec(std::string* out, const StateVec& v) {
+  PutU64(out, v.size());
+  for (Count c : v) PutU64(out, c);
+}
+
+inline void PutDoubleVec(std::string* out, const std::vector<double>& v) {
+  PutU64(out, v.size());
+  for (double d : v) PutDouble(out, d);
+}
+
+/// Bounds-checked sequential reader; every getter returns false past the
+/// end, so a truncated or foreign blob surfaces as a failed restore,
+/// never as UB.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  bool GetU8(uint8_t* v) {
+    if (offset_ + 1 > data_.size()) return false;
+    *v = static_cast<uint8_t>(data_[offset_++]);
+    return true;
+  }
+
+  bool GetU64(uint64_t* v) {
+    if (offset_ + 8 > data_.size()) return false;
+    uint64_t out = 0;
+    for (int i = 0; i < 8; ++i) {
+      out |= static_cast<uint64_t>(
+                 static_cast<uint8_t>(data_[offset_ + i]))
+             << (8 * i);
+    }
+    offset_ += 8;
+    *v = out;
+    return true;
+  }
+
+  bool GetI64(int64_t* v) {
+    uint64_t u = 0;
+    if (!GetU64(&u)) return false;
+    *v = static_cast<int64_t>(u);
+    return true;
+  }
+
+  bool GetDouble(double* v) {
+    uint64_t bits = 0;
+    if (!GetU64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof(*v));
+    return true;
+  }
+
+  bool GetStateVec(StateVec* v) {
+    uint64_t n = 0;
+    if (!GetU64(&n)) return false;
+    if (n > data_.size()) return false;  // cheap sanity bound
+    v->resize(static_cast<size_t>(n));
+    for (auto& c : *v) {
+      if (!GetU64(&c)) return false;
+    }
+    return true;
+  }
+
+  bool GetDoubleVec(std::vector<double>* v) {
+    uint64_t n = 0;
+    if (!GetU64(&n)) return false;
+    if (n > data_.size()) return false;
+    v->resize(static_cast<size_t>(n));
+    for (auto& d : *v) {
+      if (!GetDouble(&d)) return false;
+    }
+    return true;
+  }
+
+  bool AtEnd() const { return offset_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t offset_ = 0;
+};
+
+}  // namespace abivm::statecodec
+
+#endif  // ABIVM_CORE_STATE_CODEC_H_

@@ -47,25 +47,35 @@ inline constexpr const char* kFpCkptWrite = "ckpt.write";
 inline constexpr const char* kFpCkptFsync = "ckpt.fsync";
 inline constexpr const char* kFpCkptRename = "ckpt.rename";
 inline constexpr const char* kFpCkptManifest = "ckpt.manifest";
+// Fired before a delta (incremental) image is written -- the chained
+// publish adds this site on top of the write/fsync/rename/manifest
+// protocol sites, which delta publishes carry too.
+inline constexpr const char* kFpCkptDelta = "ckpt.delta";
 inline constexpr const char* kFpLogAppend = "log.append";
+// Fired per WAL segment before its unlink during the post-checkpoint
+// trim pass, so a kill mid-trim leaves a partially-trimmed (but still
+// contiguous) segment suffix.
+inline constexpr const char* kFpWalTrim = "wal.trim";
 inline constexpr const char* kFpRecoveryReplay = "recovery.replay";
 inline constexpr const char* kFpGcVacuum = "gc.vacuum";
 
 /// Every wired site, for exhaustive fault-torture loops.
-inline constexpr std::array<const char*, 18> kAllFailpointSites = {
+inline constexpr std::array<const char*, 20> kAllFailpointSites = {
     kFpStorageApplyInsert,  kFpStorageApplyDelete, kFpStorageApplyUpdate,
     kFpStorageDeltaLogRead, kFpFlatIndexGrow,      kFpExecScan,
     kFpExecIndexJoin,       kFpExecHashJoin,       kFpPartitionedProbe,
     kFpIvmApplyState,       kFpIvmCommit,          kFpCkptWrite,
     kFpCkptFsync,           kFpCkptRename,         kFpCkptManifest,
-    kFpLogAppend,           kFpRecoveryReplay,     kFpGcVacuum,
+    kFpCkptDelta,           kFpLogAppend,          kFpWalTrim,
+    kFpRecoveryReplay,      kFpGcVacuum,
 };
 
-/// The durability-protocol subset (checkpoint write, WAL append,
+/// The durability-protocol subset (checkpoint write, WAL append + trim,
 /// recovery replay, GC), for the crash/recover/resume torture loop.
-inline constexpr std::array<const char*, 7> kDurabilityFailpointSites = {
-    kFpCkptWrite,    kFpCkptFsync,      kFpCkptRename, kFpCkptManifest,
-    kFpLogAppend,    kFpRecoveryReplay, kFpGcVacuum,
+inline constexpr std::array<const char*, 9> kDurabilityFailpointSites = {
+    kFpCkptWrite,  kFpCkptFsync,      kFpCkptRename,
+    kFpCkptManifest, kFpCkptDelta,    kFpLogAppend,
+    kFpWalTrim,    kFpRecoveryReplay, kFpGcVacuum,
 };
 
 }  // namespace abivm::fault

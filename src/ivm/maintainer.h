@@ -151,6 +151,12 @@ class ViewMaintainer {
 
   const ViewState& state() const { return state_; }
 
+  /// Starts (or restarts) dirty-key tracking on the maintained view
+  /// content, for incremental checkpoint capture (ProcessBatch commits
+  /// deltas to state_ in place, so ViewState::Apply sees every real
+  /// mutation; dry-run scratch copies are discarded and never tracked).
+  void BeginViewDirtyTracking() { state_.BeginDirtyTracking(); }
+
   /// Recomputes the view from scratch at the current watermark snapshot
   /// vector -- the correctness oracle for tests. CHECK-fails on injected
   /// faults (disarm failpoints before consulting the oracle).

@@ -23,6 +23,7 @@ double NumericValue(const Value& v) {
 
 void ViewState::Apply(const Row& key, const Value& value, int64_t mult) {
   ABIVM_CHECK_NE(mult, 0);
+  if (dirty_tracking_) dirty_keys_.insert(key);
   GroupState& group = groups_[key];
   group.count += mult;
   ABIVM_CHECK_MSG(allow_negative_ || group.count >= 0,
@@ -95,6 +96,11 @@ void ViewState::RestoreGroupForRecovery(Row key, GroupState group) {
     ABIVM_CHECK_NE(count, 0);
   }
   groups_.emplace(std::move(key), std::move(group));
+}
+
+void ViewState::BeginDirtyTracking() {
+  dirty_tracking_ = true;
+  dirty_keys_.clear();
 }
 
 std::map<Row, GroupState> ViewState::Snapshot() const {

@@ -17,6 +17,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "ivm/view_def.h"
 #include "storage/value.h"
@@ -85,12 +86,37 @@ class ViewState {
   /// state is rebuilt from empty) and the group non-degenerate.
   void RestoreGroupForRecovery(Row key, GroupState group);
 
+  /// Starts (or restarts) checkpoint dirty tracking: subsequent Apply
+  /// calls record the touched keys, so an incremental checkpoint
+  /// serializes only groups that changed (or vanished) since the last
+  /// image instead of the whole view. The durability layer calls this
+  /// right after each publish. O(1) amortized per Apply once enabled,
+  /// free otherwise.
+  void BeginDirtyTracking();
+
+  /// Keys touched by Apply since BeginDirtyTracking (a key whose group
+  /// was erased still appears here -- the capture layer distinguishes
+  /// changed from removed by probing GroupOrNull).
+  const std::unordered_set<Row, RowHash>& dirty_keys() const {
+    return dirty_keys_;
+  }
+
+  bool dirty_tracking() const { return dirty_tracking_; }
+
+  /// The group for `key`, or nullptr when absent (checkpoint capture).
+  const GroupState* GroupOrNull(const Row& key) const {
+    auto it = groups_.find(key);
+    return it == groups_.end() ? nullptr : &it->second;
+  }
+
   std::string ToString() const;
 
  private:
   std::optional<AggKind> aggregate_;
   bool allow_negative_ = false;
   std::unordered_map<Row, GroupState, RowHash> groups_;
+  bool dirty_tracking_ = false;
+  std::unordered_set<Row, RowHash> dirty_keys_;
 };
 
 }  // namespace abivm

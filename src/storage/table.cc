@@ -29,6 +29,9 @@ void Table::Delete(RowId id, Version version) {
                   "row " << id << " of " << name_ << " already deleted");
   ABIVM_CHECK_GE(version, r.insert_version);
   r.delete_version = version;
+  if (checkpoint_tracking_ && id < checkpoint_mark_.slot_count) {
+    checkpoint_mark_.tombstoned.push_back(id);
+  }
   // Swap-remove from the live set.
   const size_t pos = live_pos_[id];
   ABIVM_CHECK(pos != kNotLive);
@@ -59,6 +62,9 @@ RowId Table::SampleLiveRow(Rng& rng) const {
 void Table::CreateHashIndex(const std::string& column_name) {
   const size_t column = schema_.ColumnIndex(column_name);
   if (indexes_.find(column) != indexes_.end()) return;
+  if (checkpoint_tracking_) {
+    checkpoint_mark_.new_indexed_columns.push_back(column);
+  }
   FlatIndex& index = indexes_[column];
   index.ReserveKeys(rows_.size());
   for (RowId id = 0; id < rows_.size(); ++id) {
@@ -133,6 +139,15 @@ void Table::RestoreLiveOrder(std::vector<RowId> live_ids) {
   live_ids_ = std::move(live_ids);
 }
 
+void Table::BeginCheckpointTracking() {
+  checkpoint_tracking_ = true;
+  checkpoint_mark_.slot_count = rows_.size();
+  checkpoint_mark_.log_head = delta_log_.size();
+  checkpoint_mark_.tombstoned.clear();
+  checkpoint_mark_.vacuumed.clear();
+  checkpoint_mark_.new_indexed_columns.clear();
+}
+
 std::vector<size_t> Table::IndexedColumns() const {
   std::vector<size_t> columns;
   columns.reserve(indexes_.size());
@@ -153,6 +168,9 @@ size_t Table::VacuumBefore(Version safe_version) {
       ABIVM_CHECK(index.EraseOne(r.row[column], id));
     }
     Row().swap(r.row);  // release the payload
+    if (checkpoint_tracking_ && id < checkpoint_mark_.slot_count) {
+      checkpoint_mark_.vacuumed.push_back(id);
+    }
     ++reclaimed;
   }
   vacuum_horizon_ = safe_version;

@@ -96,6 +96,23 @@ class DeltaLog {
   std::vector<Modification> mods_;
 };
 
+/// Physical churn a table accumulated since the last checkpoint mark:
+/// everything an incremental image needs about PRE-EXISTING slots. Slots
+/// allocated after the mark (id >= slot_count) are not tracked -- the
+/// delta capture serializes them whole.
+struct TableCheckpointMark {
+  /// Physical slot count at the mark (new slots have id >= this).
+  size_t slot_count = 0;
+  /// delta_log().size() at the mark (new modifications start here).
+  size_t log_head = 0;
+  /// Pre-existing slots tombstoned since the mark, in tombstone order.
+  std::vector<RowId> tombstoned;
+  /// Pre-existing slots whose payloads were vacuumed since the mark.
+  std::vector<RowId> vacuumed;
+  /// Columns indexed since the mark (CreateHashIndex actually building).
+  std::vector<size_t> new_indexed_columns;
+};
+
 /// Multiversion table with optional hash indexes and O(1) live-row
 /// sampling (used by the update-stream generators).
 class Table {
@@ -271,6 +288,24 @@ class Table {
   /// Columns with a hash index, ascending (checkpoint catalog).
   std::vector<size_t> IndexedColumns() const;
 
+  /// Starts (or restarts) checkpoint dirty tracking: snapshots the
+  /// current slot count and delta-log head and begins recording which
+  /// PRE-EXISTING slots are tombstoned or vacuumed and which indexes are
+  /// created. The durability layer calls this right after publishing an
+  /// image; the next incremental capture reads checkpoint_mark() and
+  /// restarts tracking. Recording is O(1) per event and only active once
+  /// this has been called, so non-durable runs pay nothing.
+  void BeginCheckpointTracking();
+
+  /// The churn record accumulated since BeginCheckpointTracking.
+  const TableCheckpointMark& checkpoint_mark() const {
+    ABIVM_CHECK_MSG(checkpoint_tracking_,
+                    "checkpoint tracking not started on " << name_);
+    return checkpoint_mark_;
+  }
+
+  bool checkpoint_tracking() const { return checkpoint_tracking_; }
+
  private:
   void IndexRow(RowId id);
 
@@ -286,6 +321,8 @@ class Table {
   static constexpr size_t kNotLive = static_cast<size_t>(-1);
   DeltaLog delta_log_;
   Version vacuum_horizon_ = 0;
+  bool checkpoint_tracking_ = false;
+  TableCheckpointMark checkpoint_mark_;
 };
 
 }  // namespace abivm

@@ -15,6 +15,7 @@
 
 #include "ckpt/checkpoint.h"
 #include "ckpt/manager.h"
+#include "ckpt/posix_io.h"
 #include "ckpt/recovery.h"
 #include "ckpt/serde.h"
 #include "ckpt/wal.h"
@@ -314,10 +315,12 @@ TEST(CheckpointTest, PublishCrashLeavesPreviousManifestIntact) {
     Result<ckpt::Manifest> manifest = ckpt::ReadManifest(dir);
     ASSERT_TRUE(manifest.ok());
     EXPECT_EQ((*manifest).seq, 0u);
+    ASSERT_EQ((*manifest).chain.size(), 1u);
     Result<std::string> payload =
-        ckpt::ReadFile(dir + "/" + (*manifest).checkpoint_file);
+        ckpt::ReadFile(dir + "/" + (*manifest).chain.front().file);
     ASSERT_TRUE(payload.ok());
-    EXPECT_EQ(ckpt::Checksum(*payload), (*manifest).checkpoint_checksum);
+    EXPECT_EQ(ckpt::Checksum(*payload),
+              (*manifest).chain.front().checksum);
   }
 
   // With the faults gone the publish goes through and supersedes seq 0.
@@ -422,7 +425,7 @@ TEST(DurableRunTest, RecoveryRejectsCorruptCheckpoint) {
   ASSERT_TRUE(manifest.ok());
 
   // Flip a byte in the image: the manifest checksum must catch it.
-  const std::string path = dir + "/" + (*manifest).checkpoint_file;
+  const std::string path = dir + "/" + (*manifest).chain.front().file;
   Result<std::string> payload = ckpt::ReadFile(path);
   ASSERT_TRUE(payload.ok());
   std::string tampered = *payload;
@@ -444,6 +447,315 @@ TEST(DurableRunTest, RecoveringAnEmptyDirFailsCleanly) {
                                   PaperLikeModel(), 15.0, &policy);
   ASSERT_FALSE(rec.ok());
   EXPECT_EQ(rec.status().code(), StatusCode::kNotFound);
+}
+
+// Regression: a publish that fails at ANY protocol stage must leave no
+// artifact behind -- neither the target nor a stale `path.tmp` for later
+// sweeps to trip over (the write stage fails before the temp exists; the
+// fsync and rename stages must unlink it on the way out).
+TEST(PosixIoTest, FailedDurableWriteLeavesNoTmpBehind) {
+  const std::string dir = TestDir("posix_tmp");
+  ASSERT_TRUE(ckpt::EnsureDir(dir).ok());
+  const std::string path = dir + "/artifact.bin";
+  for (const char* site :
+       {fault::kFpCkptWrite, fault::kFpCkptFsync, fault::kFpCkptRename}) {
+    SCOPED_TRACE(site);
+    ScopedFailpoint guard = ScopedFailpoint::Once(site);
+    EXPECT_FALSE(ckpt::WriteFileDurable(path, "payload").ok());
+    EXPECT_FALSE(ckpt::FileExists(path + ".tmp"));
+    EXPECT_FALSE(ckpt::FileExists(path));
+  }
+  // With the faults gone the same publish succeeds and self-cleans.
+  ASSERT_TRUE(ckpt::WriteFileDurable(path, "payload").ok());
+  EXPECT_FALSE(ckpt::FileExists(path + ".tmp"));
+  Result<std::string> back = ckpt::ReadFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, "payload");
+}
+
+// Damage with committed records after it is CORRUPTION, not a torn
+// tail: truncating at the break would silently drop durable history, so
+// the read must fail loudly instead.
+TEST(WalTest, MidLogCorruptionIsRejectedNotTruncated) {
+  const std::string dir = TestDir("wal_midlog");
+  ASSERT_TRUE(ckpt::EnsureDir(dir).ok());
+  const std::string path = dir + "/wal.log";
+  {
+    ckpt::WalWriter writer;
+    ASSERT_TRUE(writer.Open(path, 0).ok());
+    for (TimeStep t = 0; t < 3; ++t) {
+      ckpt::WalStepEnd end;
+      end.t = t;
+      end.model_cost = 1.0 + static_cast<double>(t);
+      ASSERT_TRUE(writer.Append(ckpt::WalRecord(end)).ok());
+    }
+  }
+  Result<std::string> bytes = ckpt::ReadFile(path);
+  ASSERT_TRUE(bytes.ok());
+
+  const auto rewrite = [&](std::string damaged) {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f.write(damaged.data(), static_cast<std::streamsize>(damaged.size()));
+  };
+
+  // Flip a payload byte of the FIRST record (the 12-byte frame header
+  // ends at offset 12): two intact records follow the break.
+  std::string mid = *bytes;
+  mid[13] ^= 0x01;
+  rewrite(mid);
+  Result<ckpt::WalContents> read = ckpt::ReadWal(path);
+  ASSERT_FALSE(read.ok());
+  EXPECT_NE(read.status().ToString().find("refusing to truncate"),
+            std::string::npos);
+
+  // The SAME damage in the last record is an ordinary torn tail: the
+  // intact prefix survives and the break is truncatable.
+  std::string tail = *bytes;
+  tail[tail.size() - 2] ^= 0x01;
+  rewrite(tail);
+  Result<ckpt::WalContents> torn = ckpt::ReadWal(path);
+  ASSERT_TRUE(torn.ok()) << torn.status().ToString();
+  EXPECT_TRUE((*torn).torn_tail);
+  ASSERT_EQ((*torn).records.size(), 2u);
+  EXPECT_EQ(std::get<ckpt::WalStepEnd>((*torn).records[1]).t, 1);
+}
+
+// The incremental-image oracle: folding a captured delta onto its base
+// must reproduce, BYTE FOR BYTE, the full image a non-incremental
+// capture takes at the same moment -- across inserts, deletes, partial
+// batch processing, vacuum, index creation, and a second chained link.
+TEST(CheckpointTest, DeltaChainFoldsToFullImageByteExactly) {
+  Fixture fx;
+  // Non-trivial base: churn + partial processing before the full image.
+  for (int i = 0; i < 12; ++i) fx.updater->UpdatePartSuppSupplycost();
+  for (int i = 0; i < 4; ++i) fx.updater->UpdateSupplierNationkey();
+  fx.maintainer->ProcessBatch(0, 7);
+  const ckpt::CheckpointImage base =
+      ckpt::CaptureCheckpoint(fx.db, *fx.maintainer, /*seq=*/0,
+                              /*next_step=*/0, "d0");
+  for (const auto& table : fx.db.tables()) table->BeginCheckpointTracking();
+  fx.maintainer->BeginViewDirtyTracking();
+
+  // Window 1: more churn, asymmetric processing, a vacuum pass (slot
+  // payloads reclaimed), and a NEW index on a previously unindexed
+  // column.
+  for (int i = 0; i < 15; ++i) fx.updater->UpdatePartSuppSupplycost();
+  for (int i = 0; i < 6; ++i) fx.updater->UpdateSupplierNationkey();
+  fx.maintainer->ProcessBatch(0, 11);
+  fx.maintainer->ProcessBatch(1, 3);
+  fx.maintainer->VacuumConsumed();
+  fx.db.table(kPartSupp).CreateHashIndex("ps_partkey");
+
+  ckpt::CheckpointDelta d1 = ckpt::CaptureCheckpointDelta(
+      fx.db, *fx.maintainer, /*seq=*/1, /*base_seq=*/0, /*next_step=*/0,
+      "d1");
+  // The delta itself must survive its own serde round trip.
+  Result<ckpt::CheckpointDelta> reparsed =
+      ckpt::ParseCheckpointDelta(ckpt::SerializeCheckpointDelta(d1));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+
+  const ckpt::CheckpointImage full1 =
+      ckpt::CaptureCheckpoint(fx.db, *fx.maintainer, 1, 0, "d1");
+  Result<ckpt::CheckpointImage> folded1 =
+      ckpt::FoldCheckpointDelta(base, *reparsed);
+  ASSERT_TRUE(folded1.ok()) << folded1.status().ToString();
+  EXPECT_EQ(ckpt::SerializeCheckpoint(*folded1),
+            ckpt::SerializeCheckpoint(full1));
+
+  // Window 2 chains onto the FOLDED image, exactly as recovery does.
+  for (const auto& table : fx.db.tables()) table->BeginCheckpointTracking();
+  fx.maintainer->BeginViewDirtyTracking();
+  for (int i = 0; i < 9; ++i) fx.updater->UpdatePartSuppSupplycost();
+  fx.maintainer->RefreshAll();
+  fx.maintainer->VacuumConsumed();
+  const ckpt::CheckpointDelta d2 = ckpt::CaptureCheckpointDelta(
+      fx.db, *fx.maintainer, /*seq=*/2, /*base_seq=*/1, /*next_step=*/0,
+      "d2");
+  const ckpt::CheckpointImage full2 =
+      ckpt::CaptureCheckpoint(fx.db, *fx.maintainer, 2, 0, "d2");
+  Result<ckpt::CheckpointImage> folded2 =
+      ckpt::FoldCheckpointDelta(*folded1, d2);
+  ASSERT_TRUE(folded2.ok()) << folded2.status().ToString();
+  EXPECT_EQ(ckpt::SerializeCheckpoint(*folded2),
+            ckpt::SerializeCheckpoint(full2));
+
+  // Mis-linked folds are rejected, never silently applied: d2 chains
+  // onto seq 1, not onto the seq-0 base.
+  EXPECT_FALSE(ckpt::FoldCheckpointDelta(base, d2).ok());
+}
+
+// A crash between a manifest swap and its reclaim pass orphans the
+// superseded files; the next Start in that directory must sweep them
+// (counted via ckpt.orphans_reclaimed), not leak them forever.
+TEST(DurableRunTest, OrphanedArtifactsAreSweptOnStart) {
+  const std::string dir = TestDir("orphan_start");
+  {
+    Fixture fx;
+    auto mgr = ckpt::DurabilityManager::Start(
+        dir, &fx.db, fx.maintainer.get(),
+        [&] { return fx.updater->SaveState(); });
+    ASSERT_TRUE(mgr.ok()) << mgr.status().ToString();
+  }
+  // What a crash mid-publish could leave: a checkpoint file no manifest
+  // reaches and a stale temp from an interrupted durable write.
+  const std::string orphan_ckpt = dir + "/" + ckpt::CheckpointFileName(99);
+  const std::string stale_tmp = dir + "/stale.tmp";
+  for (const std::string& junk : {orphan_ckpt, stale_tmp}) {
+    std::ofstream f(junk, std::ios::binary);
+    f << "junk";
+  }
+
+  Fixture fx2;
+  obs::MetricRegistry metrics;
+  auto mgr = ckpt::DurabilityManager::Start(
+      dir, &fx2.db, fx2.maintainer.get(),
+      [&] { return fx2.updater->SaveState(); }, {}, &metrics);
+  ASSERT_TRUE(mgr.ok()) << mgr.status().ToString();
+  EXPECT_EQ((*mgr)->orphans_reclaimed(), 2u);
+  EXPECT_EQ(metrics.Snapshot().counters.at("ckpt.orphans_reclaimed"), 2u);
+  EXPECT_FALSE(ckpt::FileExists(orphan_ckpt));
+  EXPECT_FALSE(ckpt::FileExists(stale_tmp));
+}
+
+TEST(DurableRunTest, OrphanedArtifactsAreSweptOnResume) {
+  const ArrivalSequence arrivals = ArrivalSequence::Uniform({2, 1, 0, 0}, 19);
+  const CostModel model = PaperLikeModel();
+  const std::string dir = TestDir("orphan_resume");
+  Fixture fx;
+  auto mgr = ckpt::DurabilityManager::Start(
+      dir, &fx.db, fx.maintainer.get(),
+      [&] { return fx.updater->SaveState(); });
+  ASSERT_TRUE(mgr.ok());
+  EngineRunnerOptions options;
+  options.durability = (*mgr).get();
+  OnlinePolicy policy;
+  ASSERT_FALSE(RunOnEngine(*fx.maintainer, arrivals, model, 15.0, policy,
+                           fx.driver, options)
+                   .aborted);
+
+  const std::string orphan_ckpt = dir + "/" + ckpt::CheckpointFileName(99);
+  const std::string stale_tmp = dir + "/stale.tmp";
+  for (const std::string& junk : {orphan_ckpt, stale_tmp}) {
+    std::ofstream f(junk, std::ios::binary);
+    f << "junk";
+  }
+
+  OnlinePolicy policy2;
+  auto rec = ckpt::RecoverFromDir(dir, MakePaperMinView(), model, 15.0,
+                                  &policy2);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  TpcUpdater updater((*rec).db.get(), 0);
+  updater.RestoreState((*rec).driver_blob);
+  auto resumed = ckpt::DurabilityManager::Resume(
+      dir, (*rec).db.get(), (*rec).maintainer.get(),
+      [&] { return updater.SaveState(); }, (*rec).handle);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_EQ((*resumed)->orphans_reclaimed(), 2u);
+  EXPECT_FALSE(ckpt::FileExists(orphan_ckpt));
+  EXPECT_FALSE(ckpt::FileExists(stale_tmp));
+}
+
+// checkpoint_every = 1 with policy snapshots: the aggressive end of the
+// knob space. Every step publishes (mostly deltas, chain rebased every
+// 4 files) and trims the WAL below the image, so WAL disk usage stays
+// bounded by ONE step -- and recovery still reproduces the run from the
+// image chain + policy blob alone.
+TEST(DurableRunTest, PerStepCheckpointsKeepWalBoundedAndRecover) {
+  const ArrivalSequence arrivals = ArrivalSequence::Uniform({2, 1, 0, 0}, 19);
+  const CostModel model = PaperLikeModel();
+  const double budget = 15.0;
+  const std::string dir = TestDir("per_step_ckpt");
+
+  Fixture fx;
+  OnlinePolicy policy;
+  ckpt::DurabilityOptions durability;
+  durability.checkpoint_every = 1;
+  durability.save_policy = [&policy] { return policy.SaveState(); };
+  auto mgr = ckpt::DurabilityManager::Start(
+      dir, &fx.db, fx.maintainer.get(),
+      [&] { return fx.updater->SaveState(); }, durability);
+  ASSERT_TRUE(mgr.ok()) << mgr.status().ToString();
+  EngineRunnerOptions options;
+  options.durability = (*mgr).get();
+  const EngineTrace live = RunOnEngine(*fx.maintainer, arrivals, model,
+                                       budget, policy, fx.driver, options);
+  ASSERT_FALSE(live.aborted) << live.abort_reason;
+
+  // Seq-0 plus one image per step; full images at seq 0, 4, 8, ... when
+  // the 4-file chain rebases, deltas everywhere between.
+  EXPECT_EQ((*mgr)->checkpoints_published(), 21u);
+  EXPECT_EQ((*mgr)->deltas_published(), 15u);
+  EXPECT_GT((*mgr)->wal_bytes_trimmed(), 0u);
+
+  // The WAL on disk is bounded by one checkpoint cycle: after the final
+  // trim only the freshly rotated segment (plus at most the one being
+  // written) remains of the 20 segments the run went through.
+  Result<std::vector<std::string>> names = ckpt::ListDir(dir);
+  ASSERT_TRUE(names.ok());
+  size_t wal_files = 0;
+  for (const std::string& name : *names) {
+    wal_files += ckpt::ParseWalSegmentIndex(name) != 0 ? 1 : 0;
+  }
+  EXPECT_LE(wal_files, 2u);
+
+  // Recovery of the finished run: the image's trace prefix alone covers
+  // every step (the WAL below it is gone) and stitches to the live run.
+  OnlinePolicy policy2;
+  auto rec = ckpt::RecoverFromDir(dir, MakePaperMinView(), model, budget,
+                                  &policy2);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_FALSE((*rec).resume.mid_step);
+  EXPECT_EQ((*rec).resume.first_step, arrivals.horizon() + 1);
+  ASSERT_EQ((*rec).trace_prefix.size(),
+            static_cast<size_t>(arrivals.horizon() + 1));
+  EXPECT_TRUE((*rec).maintainer->state().SameContents(
+      fx.maintainer->state()));
+  const EngineTrace stitched = ckpt::StitchTrace((*rec).trace_prefix, {});
+  std::string why;
+  EXPECT_TRUE(ckpt::DeterministicTraceEquals(stitched, live, &why)) << why;
+}
+
+// checkpoint_every = 0: only the seq-0 image exists, nothing is ever
+// trimmed, and recovery replays the ENTIRE run from the WAL.
+TEST(DurableRunTest, DisabledCadenceRecoversViaFullWalReplay) {
+  const ArrivalSequence arrivals = ArrivalSequence::Uniform({2, 1, 0, 0}, 19);
+  const CostModel model = PaperLikeModel();
+  const std::string dir = TestDir("no_cadence");
+
+  Fixture fx;
+  OnlinePolicy policy;
+  ckpt::DurabilityOptions durability;
+  durability.checkpoint_every = 0;
+  durability.save_policy = [&policy] { return policy.SaveState(); };
+  auto mgr = ckpt::DurabilityManager::Start(
+      dir, &fx.db, fx.maintainer.get(),
+      [&] { return fx.updater->SaveState(); }, durability);
+  ASSERT_TRUE(mgr.ok()) << mgr.status().ToString();
+  EngineRunnerOptions options;
+  options.durability = (*mgr).get();
+  const EngineTrace live = RunOnEngine(*fx.maintainer, arrivals, model,
+                                       15.0, policy, fx.driver, options);
+  ASSERT_FALSE(live.aborted) << live.abort_reason;
+  EXPECT_EQ((*mgr)->checkpoints_published(), 1u);
+  EXPECT_EQ((*mgr)->deltas_published(), 0u);
+  EXPECT_EQ((*mgr)->wal_bytes_trimmed(), 0u);
+
+  obs::MetricRegistry rec_metrics;
+  ckpt::RecoveryOptions rec_options;
+  rec_options.metrics = &rec_metrics;
+  OnlinePolicy policy2;
+  auto rec = ckpt::RecoverFromDir(dir, MakePaperMinView(), model, 15.0,
+                                  &policy2, rec_options);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_EQ((*rec).resume.first_step, arrivals.horizon() + 1);
+  EXPECT_TRUE((*rec).maintainer->state().SameContents(
+      fx.maintainer->state()));
+  const EngineTrace stitched = ckpt::StitchTrace((*rec).trace_prefix, {});
+  std::string why;
+  EXPECT_TRUE(ckpt::DeterministicTraceEquals(stitched, live, &why)) << why;
+  // Every step came from WAL replay, none from an image prefix.
+  EXPECT_GT(rec_metrics.Snapshot().counters.at("recovery.replayed_records"),
+            0u);
 }
 
 }  // namespace

@@ -95,28 +95,38 @@ struct Reference {
 // `skip` armed hits (arming happens AFTER DurabilityManager::Start, so
 // the seq-0 checkpoint is never the victim), asserts the run aborted,
 // then recovers from the on-disk state alone and resumes to the horizon.
-// Returns true when the recovery entered the crashed step mid-way.
+// With `policy_snapshots` the doomed AND resumed runs save the policy's
+// decision state into every image, so the manager trims WAL segments
+// below each image and recovery crosses the trimmed-WAL boundary
+// (RestoreState instead of decision replay). Returns true when the
+// recovery entered the crashed step mid-way.
 bool CrashRecoverResume(const Reference& ref, const char* site,
-                        uint64_t skip) {
-  SCOPED_TRACE(std::string(site) + " skip=" + std::to_string(skip));
+                        uint64_t skip, bool policy_snapshots = false) {
+  SCOPED_TRACE(std::string(site) + " skip=" + std::to_string(skip) +
+               (policy_snapshots ? " snapshots" : ""));
   const ArrivalSequence arrivals = TortureArrivals();
   const CostModel model = PaperLikeModel();
   const std::string dir =
-      TestDir(std::string(site) + "_" + std::to_string(skip));
+      TestDir(std::string(site) + "_" + std::to_string(skip) +
+              (policy_snapshots ? "_snap" : ""));
 
   // --- The doomed run. Everything in this scope dies with the "crash";
   // only `dir` survives.
   {
     Fixture fx;
+    OnlinePolicy policy;
+    ckpt::DurabilityOptions durability;
+    if (policy_snapshots) {
+      durability.save_policy = [&policy] { return policy.SaveState(); };
+    }
     auto mgr = ckpt::DurabilityManager::Start(
         dir, &fx.db, fx.maintainer.get(),
-        [&] { return fx.updater->SaveState(); });
+        [&] { return fx.updater->SaveState(); }, durability);
     EXPECT_TRUE(mgr.ok()) << mgr.status().ToString();
     if (!mgr.ok()) return false;
     ScopedFailpoint guard = ScopedFailpoint::Once(site, skip);
     EngineRunnerOptions options;
     options.durability = (*mgr).get();
-    OnlinePolicy policy;
     const EngineTrace crashed = RunOnEngine(
         *fx.maintainer, arrivals, model, kBudget, policy, fx.driver,
         options);
@@ -150,9 +160,13 @@ bool CrashRecoverResume(const Reference& ref, const char* site,
       updater.UpdateSupplierNationkey();
     }
   };
+  ckpt::DurabilityOptions durability;
+  if (policy_snapshots) {
+    durability.save_policy = [&policy] { return policy.SaveState(); };
+  }
   auto mgr = ckpt::DurabilityManager::Resume(
       dir, run.db.get(), run.maintainer.get(),
-      [&] { return updater.SaveState(); }, run.handle);
+      [&] { return updater.SaveState(); }, run.handle, durability);
   EXPECT_TRUE(mgr.ok()) << mgr.status().ToString();
   if (!mgr.ok()) return false;
   EngineRunnerOptions options;
@@ -200,6 +214,47 @@ TEST(CrashTortureTest, WalAppendCrashesAtEveryRecordPosition) {
   }
   // The sweep must have exercised the mid-step resume path (plan with no
   // matching end at the WAL tail).
+  EXPECT_TRUE(saw_mid_step);
+}
+
+TEST(CrashTortureTest, DeltaPublishCrashLeavesChainIntact) {
+  const Reference ref;
+  // Cadence 8 over 20 steps: seq 0 is full, the step-7 and step-15
+  // publishes are deltas chained onto it, so `ckpt.delta` fires once per
+  // publish -- skip 0 crashes the first link, skip 1 the second (after
+  // the first delta, and with snapshots its WAL trim, succeeded).
+  for (const uint64_t skip : {uint64_t{0}, uint64_t{1}}) {
+    CrashRecoverResume(ref, fault::kFpCkptDelta, skip);
+    CrashRecoverResume(ref, fault::kFpCkptDelta, skip,
+                       /*policy_snapshots=*/true);
+  }
+}
+
+TEST(CrashTortureTest, WalTrimCrashMidTrim) {
+  const Reference ref;
+  // Trimming only happens below policy-carrying images: each trimming
+  // publish fires `wal.trim` once per segment it deletes (one here).
+  // Skip 0 dies before the step-7 trim unlinks anything (image live, WAL
+  // intact); skip 1 dies at the step-15 trim after the first completed,
+  // so recovery reads a WAL that STARTS at segment 2 -- the
+  // resume-after-trim boundary.
+  for (const uint64_t skip : {uint64_t{0}, uint64_t{1}}) {
+    CrashRecoverResume(ref, fault::kFpWalTrim, skip,
+                       /*policy_snapshots=*/true);
+  }
+}
+
+TEST(CrashTortureTest, WalAppendCrashesWithTrimmedWal) {
+  const Reference ref;
+  // The log-append sweep again, but with snapshots + trimming on: late
+  // offsets die AFTER the step-7 trim, so the recovery replays a WAL
+  // whose oldest segment is not segment 1 and must seed decisions from
+  // the image's policy blob rather than step-0 replay.
+  bool saw_mid_step = false;
+  for (const uint64_t skip : std::vector<uint64_t>{5, 11, 17, 23}) {
+    saw_mid_step |= CrashRecoverResume(ref, fault::kFpLogAppend, skip,
+                                       /*policy_snapshots=*/true);
+  }
   EXPECT_TRUE(saw_mid_step);
 }
 

@@ -276,5 +276,59 @@ TEST(AdaptPolicyTest, Theorem4BoundWhenTGreaterThanT0) {
   }
 }
 
+// The durability layer's entitlement to skip decision replay (and trim
+// the WAL) rests on this: a SaveState blob restored into a freshly
+// Reset policy reproduces every subsequent decision bit for bit.
+TEST(OnlinePolicyTest, StateSnapshotRoundTripsMidRun) {
+  Rng rng(777);
+  for (int trial = 0; trial < 25; ++trial) {
+    const ProblemInstance instance = RandomInstance(rng);
+    OnlinePolicy original;
+    ASSERT_TRUE(original.SupportsStateSnapshot());
+    original.Reset(instance.cost_model, instance.budget);
+    StateVec state = ZeroVec(instance.n());
+    const TimeStep split = instance.horizon() / 2;
+    for (TimeStep t = 0; t < split; ++t) {
+      state = AddVec(state, instance.arrivals.At(t));
+      state = SubVec(state, original.Act(t, state, instance.arrivals.At(t)));
+    }
+
+    OnlinePolicy restored;
+    restored.Reset(instance.cost_model, instance.budget);
+    ASSERT_TRUE(restored.RestoreState(original.SaveState()).ok())
+        << "trial " << trial;
+
+    for (TimeStep t = split; t <= instance.horizon(); ++t) {
+      state = AddVec(state, instance.arrivals.At(t));
+      const StateVec a = original.Act(t, state, instance.arrivals.At(t));
+      const StateVec b = restored.Act(t, state, instance.arrivals.At(t));
+      ASSERT_EQ(a, b) << "trial " << trial << " step " << t;
+      state = SubVec(state, a);
+    }
+  }
+}
+
+TEST(OnlinePolicyTest, SaveStateIsEmptyBeforeResetAndRestoreValidates) {
+  OnlinePolicy policy;
+  // Pre-Reset there is no decision state: consumers must treat the
+  // empty blob as "no snapshot", never embed-and-restore it.
+  EXPECT_TRUE(policy.SaveState().empty());
+
+  const ProblemInstance two = SimpleInstance();
+  policy.Reset(two.cost_model, two.budget);
+  EXPECT_FALSE(policy.RestoreState("").ok());
+  EXPECT_FALSE(policy.RestoreState("garbage blob").ok());
+
+  // A blob saved against a different table count must be rejected.
+  std::vector<CostFunctionPtr> fns = {std::make_shared<LinearCost>(1.0, 1.0)};
+  const CostModel one_table(std::move(fns));
+  OnlinePolicy other;
+  other.Reset(one_table, 5.0);
+  (void)other.Act(0, {1}, {1});
+  const Status mismatch = policy.RestoreState(other.SaveState());
+  ASSERT_FALSE(mismatch.ok());
+  EXPECT_EQ(mismatch.code(), StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace abivm

@@ -171,5 +171,59 @@ TEST(ReplanningPolicyTest, HoldsWorkspaceAcrossReplansAndResets) {
             2 * searches_after_first);
 }
 
+// The snapshot must carry the OPEN PLAN (and its epoch), not just the
+// EWMA rates: a restored policy keeps executing the saved plan's
+// remaining actions instead of replanning from scratch -- bit-identical
+// decisions even when the split lands mid-plan-window.
+TEST(ReplanningPolicyTest, StateSnapshotRoundTripsMidPlan) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 15; ++trial) {
+    const ProblemInstance instance = RandomInstance(rng);
+    ReplanningPolicy original;
+    ASSERT_TRUE(original.SupportsStateSnapshot());
+    original.Reset(instance.cost_model, instance.budget);
+    StateVec state = ZeroVec(instance.n());
+    // Split at an odd offset so some trials save mid-plan-window.
+    const TimeStep split = instance.horizon() / 2 + (trial % 3);
+    for (TimeStep t = 0; t < split && t <= instance.horizon(); ++t) {
+      state = AddVec(state, instance.arrivals.At(t));
+      state = SubVec(state, original.Act(t, state, instance.arrivals.At(t)));
+    }
+
+    ReplanningPolicy restored;
+    restored.Reset(instance.cost_model, instance.budget);
+    ASSERT_TRUE(restored.RestoreState(original.SaveState()).ok())
+        << "trial " << trial;
+
+    for (TimeStep t = split; t <= instance.horizon(); ++t) {
+      state = AddVec(state, instance.arrivals.At(t));
+      const StateVec a = original.Act(t, state, instance.arrivals.At(t));
+      const StateVec b = restored.Act(t, state, instance.arrivals.At(t));
+      ASSERT_EQ(a, b) << "trial " << trial << " step " << t;
+      state = SubVec(state, a);
+    }
+  }
+}
+
+TEST(ReplanningPolicyTest, SaveStateIsEmptyBeforeResetAndRestoreValidates) {
+  ReplanningPolicy policy;
+  EXPECT_TRUE(policy.SaveState().empty());
+  const ProblemInstance instance =
+      TwoTableInstance(ArrivalSequence::Uniform({1, 1}, 9));
+  policy.Reset(instance.cost_model, instance.budget);
+  EXPECT_FALSE(policy.RestoreState("").ok());
+  EXPECT_FALSE(policy.RestoreState("not a blob").ok());
+  // Truncated real blob: every prefix must be rejected, never crash.
+  (void)policy.Act(0, {1, 1}, {1, 1});
+  const std::string blob = policy.SaveState();
+  for (size_t len = 0; len < blob.size(); ++len) {
+    EXPECT_FALSE(
+        policy.RestoreState(std::string_view(blob.data(), len)).ok())
+        << "prefix length " << len;
+  }
+  // The untruncated blob restores cleanly.
+  EXPECT_TRUE(policy.RestoreState(blob).ok());
+}
+
 }  // namespace
 }  // namespace abivm
