@@ -1,0 +1,262 @@
+// Closed-loop multithreaded load generator for the serving subsystem:
+// concurrent stale readers, coalescing fresh readers, and ingest
+// producers against one ViewServer. Emits BENCH_serve.json; scripts/
+// compare_serve_baseline.py guards throughput (floor) and p99 latency
+// (ceiling) against the checked-in bench/baselines/BENCH_serve.json,
+// plus the structural coalescing invariant (flushes <= fresh reads).
+//
+//   ./micro_serve [--sf=0.002] [--out=BENCH_serve.json] [--smoke=1]
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "core/online.h"
+#include "cost/cost_function.h"
+#include "obs/histogram.h"
+#include "obs/json.h"
+#include "serve/view_server.h"
+#include "tpc/tpc_gen.h"
+#include "tpc/views.h"
+
+namespace abivm {
+namespace {
+
+struct Args {
+  double scale_factor = 0.002;
+  std::string out = "BENCH_serve.json";
+  bool smoke = false;
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--sf=", 5) == 0) {
+      args.scale_factor = std::atof(a + 5);
+    } else if (std::strncmp(a, "--out=", 6) == 0) {
+      args.out = a + 6;
+    } else if (std::strncmp(a, "--smoke=", 8) == 0) {
+      args.smoke = std::atoi(a + 8) != 0;
+    }
+  }
+  return args;
+}
+
+struct ScenarioResult {
+  std::string name;
+  size_t stale_readers = 0;
+  size_t fresh_readers = 0;
+  size_t producers = 0;
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  double wall_ms = 0.0;
+  double reads_per_sec = 0.0;
+  double stale_p50_ms = 0.0;
+  double stale_p99_ms = 0.0;
+  double stale_p999_ms = 0.0;
+  double fresh_p50_ms = 0.0;
+  double fresh_p99_ms = 0.0;
+  double fresh_p999_ms = 0.0;
+  uint64_t flushes = 0;
+  uint64_t fresh_served = 0;
+  uint64_t publishes = 0;
+};
+
+serve::WriteOp MakeSupplycostUpdate(uint64_t seed) {
+  return [seed](Database& db) -> Status {
+    Rng rng(seed);
+    Table& partsupp = db.table(kPartSupp);
+    const RowId id = partsupp.SampleLiveRow(rng);
+    Row row = partsupp.RowAt(id).row;
+    const size_t cost_col = partsupp.schema().ColumnIndex("ps_supplycost");
+    row[cost_col] = Value(rng.UniformDouble(1.0, 1000.0));
+    auto result = db.TryApplyUpdate(partsupp, id, std::move(row));
+    return result.ok() ? Status::Ok() : result.status();
+  };
+}
+
+std::unique_ptr<serve::ViewServer> MakeServer(double scale_factor) {
+  auto db = std::make_unique<Database>();
+  TpcGenOptions options;
+  options.scale_factor = scale_factor;
+  GenerateTpcDatabase(db.get(), options);
+  CreatePaperIndexes(db.get());
+  auto server = std::make_unique<serve::ViewServer>(std::move(db),
+                                                    serve::ServeOptions{});
+  std::vector<CostFunctionPtr> fns = {
+      std::make_shared<LinearCost>(0.002, 0.01),
+      std::make_shared<LinearCost>(0.01, 0.40),
+      std::make_shared<LinearCost>(1e-6, 0.0),
+      std::make_shared<LinearCost>(1e-6, 0.0)};
+  server->AddView(MakePaperMinView(), std::make_unique<OnlinePolicy>(),
+                  CostModel(std::move(fns)));
+  return server;
+}
+
+ScenarioResult RunScenario(const std::string& name, double scale_factor,
+                           size_t stale_readers, size_t stale_iters,
+                           size_t fresh_readers, size_t fresh_iters,
+                           size_t producers, size_t ops_per_producer) {
+  auto server = MakeServer(scale_factor);
+  server->Start();
+
+  obs::LatencyHistogram stale_lat;
+  obs::LatencyHistogram fresh_lat;
+  std::vector<std::thread> threads;
+
+  Stopwatch wall;
+  for (size_t p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      for (size_t i = 0; i < ops_per_producer; ++i) {
+        (void)server->Ingest(
+            MakeSupplycostUpdate(p * 1'000'000 + i));
+      }
+    });
+  }
+  for (size_t r = 0; r < stale_readers; ++r) {
+    threads.emplace_back([&] {
+      for (size_t i = 0; i < stale_iters; ++i) {
+        Stopwatch sw;
+        auto snap = server->ReadStale(0);
+        stale_lat.Record(sw.ElapsedMs());
+        if (snap == nullptr) std::abort();
+      }
+    });
+  }
+  for (size_t r = 0; r < fresh_readers; ++r) {
+    threads.emplace_back([&] {
+      for (size_t i = 0; i < fresh_iters; ++i) {
+        Stopwatch sw;
+        auto fresh = server->ReadFresh(0);
+        fresh_lat.Record(sw.ElapsedMs());
+        if (!fresh.ok()) std::abort();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall_ms = wall.ElapsedMs();
+  server->Stop();
+
+  ScenarioResult result;
+  result.name = name;
+  result.stale_readers = stale_readers;
+  result.fresh_readers = fresh_readers;
+  result.producers = producers;
+  result.reads = stale_lat.count() + fresh_lat.count();
+  result.writes = producers * ops_per_producer;
+  result.wall_ms = wall_ms;
+  result.reads_per_sec =
+      wall_ms > 0.0 ? static_cast<double>(result.reads) / (wall_ms / 1e3)
+                    : 0.0;
+  result.stale_p50_ms = stale_lat.Quantile(0.5);
+  result.stale_p99_ms = stale_lat.Quantile(0.99);
+  result.stale_p999_ms = stale_lat.Quantile(0.999);
+  result.fresh_p50_ms = fresh_lat.Quantile(0.5);
+  result.fresh_p99_ms = fresh_lat.Quantile(0.99);
+  result.fresh_p999_ms = fresh_lat.Quantile(0.999);
+  result.flushes = server->metrics().counter("serve.flushes").value();
+  result.fresh_served =
+      server->metrics().counter("serve.fresh_served").value();
+  result.publishes = server->metrics().counter("serve.publishes").value();
+  return result;
+}
+
+int Main(int argc, char** argv) {
+  const Args args = ParseArgs(argc, argv);
+  // Smoke mode (ctest / sanitizer runs): same shape, tiny counts.
+  const size_t scale = args.smoke ? 1 : 10;
+
+  std::vector<ScenarioResult> results;
+  results.push_back(RunScenario("stale_heavy", args.scale_factor,
+                                /*stale_readers=*/4,
+                                /*stale_iters=*/500 * scale,
+                                /*fresh_readers=*/0, /*fresh_iters=*/0,
+                                /*producers=*/1,
+                                /*ops_per_producer=*/50 * scale));
+  results.push_back(RunScenario("fresh_coalesce", args.scale_factor,
+                                /*stale_readers=*/0, /*stale_iters=*/0,
+                                /*fresh_readers=*/4,
+                                /*fresh_iters=*/30 * scale,
+                                /*producers=*/1,
+                                /*ops_per_producer=*/50 * scale));
+  results.push_back(RunScenario("mixed", args.scale_factor,
+                                /*stale_readers=*/2,
+                                /*stale_iters=*/300 * scale,
+                                /*fresh_readers=*/2,
+                                /*fresh_iters=*/20 * scale,
+                                /*producers=*/2,
+                                /*ops_per_producer=*/30 * scale));
+
+  std::ofstream os(args.out);
+  {
+    obs::JsonWriter writer(os);
+    writer.BeginObject();
+    writer.Key("context");
+    writer.BeginObject();
+    writer.Key("scale_factor");
+    writer.Number(args.scale_factor);
+    writer.Key("smoke");
+    writer.Bool(args.smoke);
+    writer.Key("hardware_threads");
+    writer.Number(static_cast<uint64_t>(
+        std::thread::hardware_concurrency()));
+    writer.EndObject();
+    writer.Key("scenarios");
+    writer.BeginArray();
+    for (const ScenarioResult& r : results) {
+      writer.BeginObject();
+      writer.Key("name");
+      writer.String(r.name);
+      writer.Key("stale_readers");
+      writer.Number(static_cast<uint64_t>(r.stale_readers));
+      writer.Key("fresh_readers");
+      writer.Number(static_cast<uint64_t>(r.fresh_readers));
+      writer.Key("producers");
+      writer.Number(static_cast<uint64_t>(r.producers));
+      writer.Key("reads");
+      writer.Number(r.reads);
+      writer.Key("writes");
+      writer.Number(r.writes);
+      writer.Key("wall_ms");
+      writer.Number(r.wall_ms);
+      writer.Key("reads_per_sec");
+      writer.Number(r.reads_per_sec);
+      writer.Key("stale_p50_ms");
+      writer.Number(r.stale_p50_ms);
+      writer.Key("stale_p99_ms");
+      writer.Number(r.stale_p99_ms);
+      writer.Key("stale_p999_ms");
+      writer.Number(r.stale_p999_ms);
+      writer.Key("fresh_p50_ms");
+      writer.Number(r.fresh_p50_ms);
+      writer.Key("fresh_p99_ms");
+      writer.Number(r.fresh_p99_ms);
+      writer.Key("fresh_p999_ms");
+      writer.Number(r.fresh_p999_ms);
+      writer.Key("flushes");
+      writer.Number(r.flushes);
+      writer.Key("fresh_served");
+      writer.Number(r.fresh_served);
+      writer.Key("publishes");
+      writer.Number(r.publishes);
+      writer.EndObject();
+    }
+    writer.EndArray();
+    writer.EndObject();
+  }
+  std::fprintf(stderr, "micro_serve: wrote %s (%zu scenarios)\n",
+               args.out.c_str(), results.size());
+  return 0;
+}
+
+}  // namespace
+}  // namespace abivm
+
+int main(int argc, char** argv) { return abivm::Main(argc, argv); }

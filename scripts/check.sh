@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Sanitizer gate: builds and runs the full test suite under ASan+UBSan
-# and again under TSan (with an explicit pass over the fault-injection
-# suite, `ctest -L fault`, under each), smoke-runs two parallel bench
-# drivers under TSan, and guards the release planner and substrate
-# benches against their checked-in baselines (the substrate guard pins
-# the unobserved null-registry ProcessBatch path). Use before merging
+# and again under TSan (with explicit passes over the fault-injection,
+# recovery, and serving suites under each), smoke-runs the parallel
+# bench drivers under TSan, and guards the release planner, substrate,
+# and serving benches against their checked-in baselines (the substrate
+# guard pins the unobserved null-registry ProcessBatch path; the serving
+# guard pins stale-read throughput, fresh-read p99, and coalescing). Use before merging
 # anything that touches threading, memory management, the failpoint
 # wiring, or the observability hooks.
 #
@@ -40,6 +41,11 @@ if [ "$fast" -eq 0 ]; then
   # through byte buffers and rebuild them -- exactly where an overrun or
   # use-after-free in the image/restore path would hide.
   ctest --preset asan -j "$jobs" -L recovery || fail=1
+  # Serving suite on its own: the concurrent torture (producers +
+  # stale/fresh readers vs. the maintenance writer) and the failpoint
+  # degradation tests allocate snapshots on one thread and release them
+  # on many -- where a double-free or use-after-publish would hide.
+  ctest --preset asan -j "$jobs" -L serve || fail=1
   # Substrate hot path under ASan: the flat open-addressing index and the
   # pooled join workspace do manual slot/chain arithmetic over flat
   # buffers; the warm tiers re-fill pooled rows in place, where a stale
@@ -74,6 +80,12 @@ ctest --preset tsan -j "$jobs" -L fault || fail=1
 # listener and run inside sweep worker threads elsewhere; the suite must
 # stay race-free when tests run concurrently.
 ctest --preset tsan -j "$jobs" -L recovery || fail=1
+# Serving suite under TSan: the subsystem's whole claim is that readers
+# never race the maintenance writer (epoch publication behind per-slot
+# locks, MPSC ingest queue, coalescing generation tickets);
+# the torture test's recompute-oracle publish hook makes any racy
+# publish visible as a digest mismatch, and TSan sees the rest.
+ctest --preset tsan -j "$jobs" -L serve || fail=1
 # Partitioned scan-side probe under TSan: the one substrate path that
 # fans out across the thread pool (per-partition slots, barrier, then
 # partition-order concatenation on the caller thread).
@@ -86,6 +98,11 @@ ctest --preset tsan -j "$jobs" -L recovery || fail=1
 # Replanning sweep under workspace reuse: per-job pooled workspaces must
 # stay thread-confined (one workspace per policy/closure, never shared).
 (cd build-tsan/bench && ./abl_replanning --threads=4 >/dev/null) || fail=1
+# Serving load generator under TSan: the closed-loop bench drives the
+# real producer/reader thread mix (including the 4-fresh-reader
+# coalescing scenario) rather than the tests' choreographed interleaving.
+(cd build-tsan/bench && ./micro_serve --smoke=1 \
+    --out=BENCH_serve_smoke.json >/dev/null) || fail=1
 
 echo "=== Crash/restart smoke: real process death + recovery ==="
 # A real process dies (std::_Exit at an armed durability failpoint, no
@@ -133,6 +150,17 @@ echo "=== Release bench guard: substrate unobserved path vs baseline ==="
     >/dev/null) || fail=1
 python3 scripts/compare_substrate_baseline.py \
   build/bench/BENCH_substrate.json bench/baselines/BENCH_substrate.json \
+  || fail=1
+
+echo "=== Release bench guard: serving throughput/latency vs baseline ==="
+# Closed-loop serving load: stale-read throughput may not fall below the
+# baseline floor, fresh-read p99 may not exceed the baseline ceiling, and
+# the coalescing contract (flushes <= fresh reads) is counter-exact. A
+# reader that starts taking the writer's lock, or a lost wakeup that
+# serializes coalesced flushes, fails here before any test notices.
+(cd build/bench && ./micro_serve >/dev/null) || fail=1
+python3 scripts/compare_serve_baseline.py \
+  build/bench/BENCH_serve.json bench/baselines/BENCH_serve.json \
   || fail=1
 
 if [ "$fail" -ne 0 ]; then

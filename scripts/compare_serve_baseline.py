@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Guards the serving bench against its checked-in baseline.
+
+Usage: compare_serve_baseline.py CURRENT.json BASELINE.json
+                                 [--throughput-tol X] [--latency-tol Y]
+
+The load shape (thread counts, read/write op counts) is deterministic
+and must match the baseline exactly, so the scenario grid itself is
+pinned. Perf fields are wall-clock and only fail beyond a tolerance
+factor: reads_per_sec is a FLOOR (current may not drop below baseline /
+tol) and the p99 latencies are CEILINGS (current may not exceed baseline
+* tol). Default tolerance is 3.0x for both -- the serving path is
+multithreaded and scheduler-sensitive, so the guard is meant to catch
+order-of-magnitude regressions (a lost wakeup turning coalesced flushes
+into serial ones, a reader taking the writer's lock), not percent-level
+drift.
+
+Structural invariants are checked on the CURRENT run alone and are
+tolerance-free: every fresh read must be covered by a flush that is no
+newer than it (fresh_served >= flushes whenever fresh reads ran -- the
+coalescing contract: k concurrent fresh readers share one flush, never
+the reverse), and publishes >= flushes (each flush republishes).
+
+Scenarios present in only one file fail the check.
+"""
+
+import json
+import sys
+
+SHAPE_FIELDS = ("stale_readers", "fresh_readers", "producers", "reads",
+                "writes")
+P99_FIELDS = ("stale_p99_ms", "fresh_p99_ms")
+
+
+def main(argv):
+    if len(argv) < 3:
+        sys.stderr.write(__doc__)
+        return 2
+    throughput_tol = 3.0
+    if "--throughput-tol" in argv:
+        throughput_tol = float(argv[argv.index("--throughput-tol") + 1])
+    latency_tol = 3.0
+    if "--latency-tol" in argv:
+        latency_tol = float(argv[argv.index("--latency-tol") + 1])
+
+    with open(argv[1]) as f:
+        current = {s["name"]: s for s in json.load(f)["scenarios"]}
+    with open(argv[2]) as f:
+        baseline = {s["name"]: s for s in json.load(f)["scenarios"]}
+
+    failures = []
+    for name in sorted(set(current) | set(baseline)):
+        if name not in current:
+            failures.append(f"{name}: missing from current run")
+            continue
+        if name not in baseline:
+            failures.append(f"{name}: not in baseline (grid changed?)")
+            continue
+        cur, base = current[name], baseline[name]
+        for field in SHAPE_FIELDS:
+            if cur[field] != base[field]:
+                failures.append(
+                    f"{name}.{field}: {cur[field]} != baseline "
+                    f"{base[field]}"
+                )
+        floor = base["reads_per_sec"] / throughput_tol
+        if cur["reads_per_sec"] < floor:
+            failures.append(
+                f"{name}.reads_per_sec: {cur['reads_per_sec']:.0f} < "
+                f"baseline {base['reads_per_sec']:.0f} / {throughput_tol}"
+            )
+        for field in P99_FIELDS:
+            if base[field] <= 0.0:
+                continue  # scenario ran no reads of this kind
+            if cur[field] > base[field] * latency_tol:
+                failures.append(
+                    f"{name}.{field}: {cur[field]:.4f} ms > "
+                    f"{latency_tol}x baseline {base[field]:.4f} ms"
+                )
+        # Coalescing contract, current run only (counter-exact).
+        if cur["fresh_served"] > 0 and cur["flushes"] > cur["fresh_served"]:
+            failures.append(
+                f"{name}: {cur['flushes']} flushes for "
+                f"{cur['fresh_served']} fresh reads -- coalescing broken"
+            )
+        if cur["publishes"] < cur["flushes"]:
+            failures.append(
+                f"{name}: {cur['publishes']} publishes < "
+                f"{cur['flushes']} flushes"
+            )
+
+    if failures:
+        for line in failures:
+            print(f"[serve-baseline] REGRESSION {line}")
+        return 1
+    print(f"[serve-baseline] {len(current)} scenarios within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

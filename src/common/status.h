@@ -20,6 +20,7 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kUnimplemented,
+  kUnavailable,
 };
 
 /// A success-or-error value. Cheap to copy on the success path.
@@ -48,6 +49,12 @@ class Status {
   static Status Unimplemented(std::string m) {
     return Status(StatusCode::kUnimplemented, std::move(m));
   }
+  /// Transient refusal: the caller may retry later (admission control,
+  /// a stopped server). Distinct from kFailedPrecondition, which says
+  /// the request itself is wrong for the current state.
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -75,6 +82,8 @@ class Status {
         return "Internal";
       case StatusCode::kUnimplemented:
         return "Unimplemented";
+      case StatusCode::kUnavailable:
+        return "Unavailable";
     }
     return "Unknown";
   }

@@ -31,6 +31,8 @@ void ThreadPool::Submit(std::function<void()> task) {
     ABIVM_CHECK_MSG(!shutting_down_, "Submit after ThreadPool destruction");
     queue_.push_back(std::move(task));
     ++in_flight_;
+    queue_depth_.store(queue_.size(), std::memory_order_relaxed);
+    tasks_submitted_.fetch_add(1, std::memory_order_relaxed);
   }
   work_available_.notify_one();
 }
@@ -54,10 +56,13 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // shutting down
       task = std::move(queue_.front());
       queue_.pop_front();
+      queue_depth_.store(queue_.size(), std::memory_order_relaxed);
+      active_workers_.fetch_add(1, std::memory_order_relaxed);
     }
     task();
     {
       std::lock_guard<std::mutex> lock(mu_);
+      active_workers_.fetch_sub(1, std::memory_order_relaxed);
       --in_flight_;
       if (in_flight_ == 0) all_idle_.notify_all();
     }

@@ -5,8 +5,10 @@
 #ifndef ABIVM_COMMON_THREAD_POOL_H_
 #define ABIVM_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -36,6 +38,24 @@ class ThreadPool {
 
   size_t thread_count() const { return workers_.size(); }
 
+  /// Saturation observables, updated with relaxed stores inside the
+  /// operations that already hold the queue mutex (so the cost is two
+  /// atomic writes per task transition) and readable lock-free from any
+  /// thread. obs/pool_gauges.h samples them into `pool.*` gauges so
+  /// serving saturation is observable without taking the pool's lock.
+  /// Tasks submitted but not yet picked up by a worker.
+  size_t queue_depth() const {
+    return queue_depth_.load(std::memory_order_relaxed);
+  }
+  /// Workers currently executing a task.
+  size_t active_workers() const {
+    return active_workers_.load(std::memory_order_relaxed);
+  }
+  /// Lifetime count of tasks submitted (monotone).
+  uint64_t tasks_submitted() const {
+    return tasks_submitted_.load(std::memory_order_relaxed);
+  }
+
   /// The pool size to use when the caller passes 0 ("auto"): the
   /// hardware concurrency, at least 1.
   static size_t DefaultThreads();
@@ -49,6 +69,9 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   size_t in_flight_ = 0;  // queued + currently executing
   bool shutting_down_ = false;
+  std::atomic<size_t> queue_depth_{0};
+  std::atomic<size_t> active_workers_{0};
+  std::atomic<uint64_t> tasks_submitted_{0};
   std::vector<std::thread> workers_;
 };
 

@@ -59,15 +59,37 @@ inline constexpr const char* kFpWalTrim = "wal.trim";
 inline constexpr const char* kFpRecoveryReplay = "recovery.replay";
 inline constexpr const char* kFpGcVacuum = "gc.vacuum";
 
+// Serving layer (src/serve/). `serve.enqueue` fires on the PRODUCER
+// thread inside ViewServer::Ingest, before the op reaches the queue (an
+// injected fault models admission failure; the queue is untouched).
+// `serve.flush` fires on the MAINTENANCE thread at the start of a
+// coalesced fresh-read flush: a trigger fails every fresh reader queued
+// behind that flush while stale reads keep serving the last published
+// epoch. `serve.publish` fires before a snapshot publication: a trigger
+// skips that publication (the epoch simply stays stale until the next
+// commit publishes). Registries are thread-local, so tests arm the two
+// maintenance-side sites via ViewServer::RunOnMaintenanceThread.
+inline constexpr const char* kFpServeEnqueue = "serve.enqueue";
+inline constexpr const char* kFpServeFlush = "serve.flush";
+inline constexpr const char* kFpServePublish = "serve.publish";
+
 /// Every wired site, for exhaustive fault-torture loops.
-inline constexpr std::array<const char*, 20> kAllFailpointSites = {
+inline constexpr std::array<const char*, 23> kAllFailpointSites = {
     kFpStorageApplyInsert,  kFpStorageApplyDelete, kFpStorageApplyUpdate,
     kFpStorageDeltaLogRead, kFpFlatIndexGrow,      kFpExecScan,
     kFpExecIndexJoin,       kFpExecHashJoin,       kFpPartitionedProbe,
     kFpIvmApplyState,       kFpIvmCommit,          kFpCkptWrite,
     kFpCkptFsync,           kFpCkptRename,         kFpCkptManifest,
     kFpCkptDelta,           kFpLogAppend,          kFpWalTrim,
-    kFpRecoveryReplay,      kFpGcVacuum,
+    kFpRecoveryReplay,      kFpGcVacuum,           kFpServeEnqueue,
+    kFpServeFlush,          kFpServePublish,
+};
+
+/// The serving-layer subset, for the serve torture loop.
+inline constexpr std::array<const char*, 3> kServeFailpointSites = {
+    kFpServeEnqueue,
+    kFpServeFlush,
+    kFpServePublish,
 };
 
 /// The durability-protocol subset (checkpoint write, WAL append + trim,

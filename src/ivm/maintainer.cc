@@ -88,6 +88,7 @@ ViewMaintainer::ViewMaintainer(Unmaterialized, Database* db, ViewDef def,
 void ViewMaintainer::RestoreForRecovery(std::vector<size_t> positions,
                                         std::vector<Version> versions,
                                         ViewState state) {
+  AssertWriter();
   ABIVM_CHECK_EQ(positions.size(), num_tables());
   ABIVM_CHECK_EQ(versions.size(), num_tables());
   ABIVM_CHECK_EQ(state.is_aggregate(), binding_.def().is_aggregate());
@@ -128,9 +129,11 @@ void ViewMaintainer::SetMetrics(obs::MetricRegistry* registry) {
   stage_timers_.clear();
   ws_reuses_counter_ = nullptr;
   ws_peak_counter_ = nullptr;
+  batch_latency_ = nullptr;
   if (registry == nullptr) return;
   ws_reuses_counter_ = &registry->counter("exec.workspace_reuses");
   ws_peak_counter_ = &registry->counter("exec.arena_bytes_peak");
+  batch_latency_ = &registry->latency("ivm.batch_ms");
   stage_timers_.resize(num_tables());
   for (size_t i = 0; i < num_tables(); ++i) {
     const BoundPipeline& pipeline = binding_.delta_pipeline(i);
@@ -142,7 +145,19 @@ void ViewMaintainer::SetMetrics(obs::MetricRegistry* registry) {
   }
 }
 
+void ViewMaintainer::AssertWriter() const {
+#ifndef ABIVM_DISABLE_THREAD_ASSERTS
+  ABIVM_CHECK_MSG(
+      writer_.load(std::memory_order_relaxed) == std::this_thread::get_id(),
+      "ViewMaintainer for view '" << binding_.def().name
+          << "' entered from a thread that is not its bound writer; "
+             "single-writer discipline requires BindWriterToCurrentThread "
+             "after a synchronized handoff");
+#endif
+}
+
 size_t ViewMaintainer::VacuumConsumed() {
+  AssertWriter();
   size_t reclaimed = 0;
   for (size_t i = 0; i < num_tables(); ++i) {
     Table& table = binding_.base_table(i);
@@ -155,6 +170,7 @@ size_t ViewMaintainer::VacuumConsumed() {
 Status ViewMaintainer::VacuumConsumedBelow(Version cap,
                                            size_t* rows_reclaimed,
                                            size_t* log_entries_trimmed) {
+  AssertWriter();
   size_t rows = 0;
   size_t entries = 0;
   for (size_t i = 0; i < num_tables(); ++i) {
@@ -180,6 +196,16 @@ BatchResult ViewMaintainer::ProcessBatch(size_t i, size_t k, bool dry_run) {
 Status ViewMaintainer::ProcessBatchChecked(size_t i, size_t k,
                                            BatchResult* result,
                                            bool dry_run) {
+  AssertWriter();
+  const Status status = ProcessBatchImpl(i, k, result, dry_run);
+  if (status.ok() && !dry_run && k > 0 && batch_latency_ != nullptr) {
+    batch_latency_->Record(result->wall_ms);
+  }
+  return status;
+}
+
+Status ViewMaintainer::ProcessBatchImpl(size_t i, size_t k,
+                                        BatchResult* result, bool dry_run) {
   ABIVM_CHECK(result != nullptr);
   *result = BatchResult{};
   if (i >= num_tables()) {
@@ -322,6 +348,9 @@ ViewState ViewMaintainer::RecomputeAtWatermarks() const {
 
 Result<ViewState> ViewMaintainer::RecomputeAtWatermarksChecked(
     PipelineProfile* profile) const {
+  // Logically const, but the pooled workspace below is shared mutable
+  // scratch -- only the bound writer may run a recompute.
+  AssertWriter();
   const BoundPipeline& pipeline = binding_.recompute_pipeline();
   ws_.BeginBatch();
   struct WorkspaceFinish {

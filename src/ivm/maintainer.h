@@ -13,7 +13,9 @@
 #ifndef ABIVM_IVM_MAINTAINER_H_
 #define ABIVM_IVM_MAINTAINER_H_
 
+#include <atomic>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -114,6 +116,28 @@ class ViewMaintainer {
   /// warm path.
   const PipelineWorkspace& workspace() const { return ws_; }
 
+  /// Single-writer discipline, made checkable. A maintainer is owned by
+  /// exactly one thread at a time: construction binds the constructing
+  /// thread as the writer, and every mutating entry point (ProcessBatch*,
+  /// RefreshAll*, VacuumConsumed*, RestoreForRecovery) CHECK-fails when
+  /// entered from any other thread. RecomputeAtWatermarks* is logically
+  /// const but reuses the pooled pipeline workspace, so it carries the
+  /// same assertion -- a mis-threaded "read-only" oracle call would race
+  /// the writer's workspace, and this makes it fail fast instead.
+  /// Handing the maintainer to a different thread (e.g. a serving loop's
+  /// maintenance thread) is legal exactly once the handoff is externally
+  /// synchronized (thread creation / join / mutex); the new owner calls
+  /// BindWriterToCurrentThread() before its first use. The check is one
+  /// relaxed thread-id load + compare; -DABIVM_DISABLE_THREAD_ASSERTS
+  /// compiles it out.
+  void BindWriterToCurrentThread() {
+    writer_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+  }
+  bool BoundToCurrentThread() const {
+    return writer_.load(std::memory_order_relaxed) ==
+           std::this_thread::get_id();
+  }
+
   /// Unprocessed modifications of base table i.
   size_t PendingCount(size_t i) const;
 
@@ -195,6 +219,16 @@ class ViewMaintainer {
                              size_t* log_entries_trimmed);
 
  private:
+  // The writer-thread assertion behind the single-writer discipline (see
+  // BindWriterToCurrentThread). Const because logically-const entry
+  // points that touch pooled scratch assert too.
+  void AssertWriter() const;
+
+  // ProcessBatchChecked's body; the public wrapper adds the writer
+  // assertion and the ivm.batch_ms latency recording on commit.
+  Status ProcessBatchImpl(size_t i, size_t k, BatchResult* result,
+                          bool dry_run);
+
   // Staged outcome of a delta pipeline: net signed multiplicity per
   // extracted (key columns ++ aggregate value) row. Applying it to the
   // view state is pure in-memory work with no failpoint sites, so the
@@ -244,6 +278,13 @@ class ViewMaintainer {
   /// batch): `exec.workspace_reuses` / `exec.arena_bytes_peak`.
   obs::Counter* ws_reuses_counter_ = nullptr;
   obs::Counter* ws_peak_counter_ = nullptr;
+  /// Per-batch ProcessBatch wall time (committed, non-dry-run batches
+  /// only), interned by SetMetrics as the `ivm.batch_ms` latency
+  /// histogram -- quantile-capable, unlike the per-stage timers.
+  obs::LatencyHistogram* batch_latency_ = nullptr;
+  /// Owning thread for the single-writer assertion; rebound by
+  /// BindWriterToCurrentThread on a synchronized handoff.
+  mutable std::atomic<std::thread::id> writer_{std::this_thread::get_id()};
   /// Pooled pipeline storage. Mutable: RecomputeAtWatermarks is logically
   /// const but reuses the same pooled buffers (capacity-only state).
   mutable PipelineWorkspace ws_;

@@ -12,6 +12,14 @@ void WriteSnapshotJson(JsonWriter& writer, const MetricsSnapshot& snapshot) {
     }
     writer.EndObject();
   }
+  if (!snapshot.gauges.empty()) {
+    writer.Key("gauges");
+    writer.BeginObject();
+    for (const auto& [name, value] : snapshot.gauges) {
+      writer.Field(name, value);
+    }
+    writer.EndObject();
+  }
   if (!snapshot.timers.empty()) {
     writer.Key("timers");
     writer.BeginObject();
@@ -44,6 +52,24 @@ void WriteSnapshotJson(JsonWriter& writer, const MetricsSnapshot& snapshot) {
         writer.EndObject();
       }
       writer.EndArray();
+      writer.EndObject();
+    }
+    writer.EndObject();
+  }
+  if (!snapshot.latencies.empty()) {
+    writer.Key("latencies");
+    writer.BeginObject();
+    for (const auto& [name, stat] : snapshot.latencies) {
+      writer.Key(name);
+      writer.BeginObject();
+      writer.Field("count", stat.count);
+      writer.Field("sum", stat.sum);
+      writer.Field("min", stat.min);
+      writer.Field("max", stat.max);
+      writer.Field("p50", stat.p50);
+      writer.Field("p90", stat.p90);
+      writer.Field("p99", stat.p99);
+      writer.Field("p999", stat.p999);
       writer.EndObject();
     }
     writer.EndObject();

@@ -1,0 +1,109 @@
+#include "obs/histogram.h"
+
+#include <cmath>
+
+namespace abivm::obs {
+
+namespace {
+
+template <typename T>
+void AtomicRaise(std::atomic<T>& slot, T candidate) {
+  T current = slot.load(std::memory_order_relaxed);
+  while (current < candidate &&
+         !slot.compare_exchange_weak(current, candidate,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicLower(std::atomic<double>& slot, double candidate) {
+  double current = slot.load(std::memory_order_relaxed);
+  while (candidate < current &&
+         !slot.compare_exchange_weak(current, candidate,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+size_t LatencyHistogram::BucketIndex(double ms) {
+  // Work in units of the minimum resolvable value (nanoseconds).
+  const double scaled = ms / kMinValueMs;
+  if (!(scaled >= 1.0)) return 0;  // also catches NaN and negatives
+  const int exponent = std::ilogb(scaled);
+  if (exponent < 0) return 0;
+  if (static_cast<size_t>(exponent) >= kExponents) return kBuckets - 1;
+  // Linear position inside [2^e, 2^(e+1)): mantissa - 1 in [0, 1).
+  const double mantissa = std::ldexp(scaled, -exponent);  // [1, 2)
+  size_t sub = static_cast<size_t>((mantissa - 1.0) *
+                                   static_cast<double>(kSubBuckets));
+  if (sub >= kSubBuckets) sub = kSubBuckets - 1;  // fp round-up guard
+  return static_cast<size_t>(exponent) * kSubBuckets + sub;
+}
+
+double LatencyHistogram::BucketUpperBound(size_t b) {
+  const size_t exponent = b / kSubBuckets;
+  const size_t sub = b % kSubBuckets;
+  const double base = std::ldexp(kMinValueMs, static_cast<int>(exponent));
+  return base * (1.0 + static_cast<double>(sub + 1) /
+                           static_cast<double>(kSubBuckets));
+}
+
+void LatencyHistogram::Record(double ms) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(ms, std::memory_order_relaxed);
+  AtomicRaise(max_, ms);
+  if (!has_min_.load(std::memory_order_relaxed)) {
+    // Benign race with another first-sample; the lowering CAS below
+    // keeps the smaller of the two.
+    min_.store(ms, std::memory_order_relaxed);
+    has_min_.store(true, std::memory_order_relaxed);
+  }
+  AtomicLower(min_, ms);
+  buckets_[BucketIndex(ms)].fetch_add(1, std::memory_order_relaxed);
+}
+
+double LatencyHistogram::min() const {
+  return has_min_.load(std::memory_order_relaxed)
+             ? min_.load(std::memory_order_relaxed)
+             : 0.0;
+}
+
+double LatencyHistogram::Quantile(double q) const {
+  const uint64_t total = count();
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target sample, 1-based; q = 0 maps to the first sample.
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(total)));
+  if (rank == 0) rank = 1;
+  if (rank > total) rank = total;
+
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    const uint64_t in_bucket = buckets_[b].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (cumulative + in_bucket < rank) {
+      cumulative += in_bucket;
+      continue;
+    }
+    const double upper = BucketUpperBound(b);
+    const double lower =
+        b == 0 ? 0.0 : BucketUpperBound(b - 1);
+    const double within =
+        static_cast<double>(rank - cumulative) /
+        static_cast<double>(in_bucket);
+    double estimate = lower + (upper - lower) * within;
+    // Clamp to the observed extremes so single-bucket distributions
+    // report exact values at q=0/q=1.
+    const double lo = min();
+    const double hi = max();
+    if (estimate < lo) estimate = lo;
+    if (estimate > hi) estimate = hi;
+    return estimate;
+  }
+  // Counts raced ahead of the bucket array (recorders bump count_ before
+  // the bucket slot); fall back to the observed maximum.
+  return max();
+}
+
+}  // namespace abivm::obs

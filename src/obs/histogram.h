@@ -1,0 +1,69 @@
+// Latency histogram with quantile estimation: fixed log-linear buckets
+// (HdrHistogram-style -- one power-of-two major bucket split into a fixed
+// number of linear sub-buckets), so the relative quantile error is bounded
+// by 1/kSubBuckets across the whole range while the record path stays a
+// handful of relaxed atomic increments (no lock, no allocation). Built for
+// the serving layer's read/flush latencies, where p99/p999 under
+// concurrent recording is the product; the coarser obs::Histogram keeps
+// its pow-2 buckets for work-size distributions.
+//
+// Values are non-negative milliseconds. Resolution spans kMinValueMs
+// (1 ns) through ~18 minutes; samples outside the range clamp into the
+// first/last bucket (count/sum/min/max stay exact regardless).
+
+#ifndef ABIVM_OBS_HISTOGRAM_H_
+#define ABIVM_OBS_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstddef>
+
+namespace abivm::obs {
+
+class LatencyHistogram {
+ public:
+  /// Linear sub-buckets per power-of-two major bucket: the interpolated
+  /// quantile's relative error is at most 1/kSubBuckets ~ 6%.
+  static constexpr size_t kSubBuckets = 16;
+  /// Major (power-of-two) buckets covering [kMinValueMs, 2^kExponents ns).
+  static constexpr size_t kExponents = 40;
+  static constexpr size_t kBuckets = kExponents * kSubBuckets;
+  /// The smallest resolvable value: 1 nanosecond, in milliseconds.
+  static constexpr double kMinValueMs = 1e-6;
+
+  /// Thread-safe, lock-free: relaxed atomic increments only.
+  void Record(double ms);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double min() const;
+  double max() const { return max_.load(std::memory_order_relaxed); }
+
+  /// Estimated q-quantile (q in [0, 1]) by linear interpolation inside
+  /// the covering bucket, clamped to the observed [min, max]. Returns 0
+  /// when empty. Safe to call while other threads record; the estimate
+  /// reflects a racy-but-monotone view of the counts, which is the right
+  /// trade for reporting.
+  double Quantile(double q) const;
+
+  uint64_t bucket(size_t b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+
+  /// Inclusive upper bound of bucket b (lower bound of b+1).
+  static double BucketUpperBound(size_t b);
+
+ private:
+  static size_t BucketIndex(double ms);
+
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<bool> has_min_{false};
+  std::atomic<double> max_{0.0};
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+};
+
+}  // namespace abivm::obs
+
+#endif  // ABIVM_OBS_HISTOGRAM_H_

@@ -64,6 +64,15 @@ Counter& MetricRegistry::counter(std::string_view name) {
   return *it->second;
 }
 
+Gauge& MetricRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
 Timer& MetricRegistry::timer(std::string_view name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = timers_.find(name);
@@ -83,11 +92,26 @@ Histogram& MetricRegistry::histogram(std::string_view name) {
   return *it->second;
 }
 
+LatencyHistogram& MetricRegistry::latency(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = latencies_.find(name);
+  if (it == latencies_.end()) {
+    it = latencies_
+             .emplace(std::string(name),
+                      std::make_unique<LatencyHistogram>())
+             .first;
+  }
+  return *it->second;
+}
+
 MetricsSnapshot MetricRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot snapshot;
   for (const auto& [name, counter] : counters_) {
     snapshot.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges[name] = gauge->value();
   }
   for (const auto& [name, timer] : timers_) {
     snapshot.timers[name] = MetricsSnapshot::TimerStat{
@@ -106,6 +130,18 @@ MetricsSnapshot MetricRegistry::Snapshot() const {
       }
     }
     snapshot.histograms[name] = std::move(stat);
+  }
+  for (const auto& [name, latency] : latencies_) {
+    MetricsSnapshot::LatencyStat stat;
+    stat.count = latency->count();
+    stat.sum = latency->sum();
+    stat.min = latency->min();
+    stat.max = latency->max();
+    stat.p50 = latency->Quantile(0.50);
+    stat.p90 = latency->Quantile(0.90);
+    stat.p99 = latency->Quantile(0.99);
+    stat.p999 = latency->Quantile(0.999);
+    snapshot.latencies[name] = stat;
   }
   return snapshot;
 }

@@ -22,6 +22,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/histogram.h"
+
 namespace abivm::obs {
 
 /// Monotone event counter.
@@ -43,6 +45,25 @@ class Counter {
 
  private:
   std::atomic<uint64_t> value_{0};
+};
+
+/// Last-value instrument for levels that go up AND down (queue depths,
+/// active workers, in-flight requests). Counter is the wrong shape for
+/// these: its value only grows. Sampled by whoever owns the level
+/// (producer on change or a periodic sampler); readers see the latest
+/// Set/Add result.
+class Gauge {
+ public:
+  void Set(int64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
 };
 
 /// Accumulated wall-clock time: total/max milliseconds and a call count.
@@ -110,13 +131,27 @@ struct MetricsSnapshot {
     /// (bucket_upper_bound, count) for non-empty buckets only.
     std::vector<std::pair<double, uint64_t>> buckets;
   };
+  /// Quantile summary of a LatencyHistogram, computed at snapshot time.
+  struct LatencyStat {
+    uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+    double p999 = 0.0;
+  };
 
   std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
   std::map<std::string, TimerStat> timers;
   std::map<std::string, HistogramStat> histograms;
+  std::map<std::string, LatencyStat> latencies;
 
   bool empty() const {
-    return counters.empty() && timers.empty() && histograms.empty();
+    return counters.empty() && gauges.empty() && timers.empty() &&
+           histograms.empty() && latencies.empty();
   }
 };
 
@@ -129,8 +164,10 @@ class MetricRegistry {
   MetricRegistry& operator=(const MetricRegistry&) = delete;
 
   Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
   Timer& timer(std::string_view name);
   Histogram& histogram(std::string_view name);
+  LatencyHistogram& latency(std::string_view name);
 
   /// Copies every metric's current value. Safe to call while other
   /// threads record (each value is read atomically; cross-metric skew is
@@ -140,8 +177,11 @@ class MetricRegistry {
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Timer>, std::less<>> timers_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>>
+      latencies_;
 };
 
 }  // namespace abivm::obs

@@ -1,0 +1,55 @@
+// Bridges ThreadPool saturation observables into the metric registry.
+// Lives in obs/ (not common/) because common is the bottom of the library
+// stack and must not depend on the registry; obs already links common.
+//
+// Gauges are sampled, not pushed: the pool updates lock-free atomics on
+// every task transition, and whoever owns the registry (the serving
+// loop's cycle, a bench's report pass) calls Sample() at its own cadence.
+
+#ifndef ABIVM_OBS_POOL_GAUGES_H_
+#define ABIVM_OBS_POOL_GAUGES_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+
+namespace abivm::obs {
+
+/// Interns `<prefix>.queue_depth` / `<prefix>.active_workers` /
+/// `<prefix>.threads` gauges plus a `<prefix>.tasks_submitted` counter
+/// once, then copies the pool's current values on every Sample() with no
+/// name lookups and no locks beyond the pool's relaxed atomics.
+class ThreadPoolGauges {
+ public:
+  ThreadPoolGauges(const ThreadPool* pool, MetricRegistry* registry,
+                   std::string_view prefix = "pool")
+      : pool_(pool),
+        queue_depth_(&registry->gauge(std::string(prefix) + ".queue_depth")),
+        active_workers_(
+            &registry->gauge(std::string(prefix) + ".active_workers")),
+        threads_(&registry->gauge(std::string(prefix) + ".threads")),
+        tasks_submitted_(
+            &registry->counter(std::string(prefix) + ".tasks_submitted")) {
+    threads_->Set(static_cast<int64_t>(pool->thread_count()));
+  }
+
+  void Sample() {
+    queue_depth_->Set(static_cast<int64_t>(pool_->queue_depth()));
+    active_workers_->Set(static_cast<int64_t>(pool_->active_workers()));
+    const uint64_t submitted = pool_->tasks_submitted();
+    tasks_submitted_->RaiseTo(submitted);
+  }
+
+ private:
+  const ThreadPool* pool_;
+  Gauge* queue_depth_;
+  Gauge* active_workers_;
+  Gauge* threads_;
+  Counter* tasks_submitted_;
+};
+
+}  // namespace abivm::obs
+
+#endif  // ABIVM_OBS_POOL_GAUGES_H_

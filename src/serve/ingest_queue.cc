@@ -1,0 +1,73 @@
+#include "serve/ingest_queue.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace abivm::serve {
+
+IngestQueue::IngestQueue(size_t high_watermark, BackpressureMode mode,
+                         std::function<void()> on_push)
+    : high_watermark_(high_watermark),
+      mode_(mode),
+      on_push_(std::move(on_push)) {
+  ABIVM_CHECK_GT(high_watermark_, 0u);
+}
+
+Status IngestQueue::Push(WriteOp op) {
+  ABIVM_CHECK(op != nullptr);
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (closed_) return Status::Unavailable("ingest queue closed");
+    if (ops_.size() >= high_watermark_) {
+      if (mode_ == BackpressureMode::kReject) {
+        return Status::Unavailable("ingest queue at high watermark");
+      }
+      can_push_.wait(lk, [this] {
+        return closed_ || ops_.size() < high_watermark_;
+      });
+      if (closed_) return Status::Unavailable("ingest queue closed");
+    }
+    ops_.push_back(std::move(op));
+  }
+  if (on_push_) on_push_();
+  return Status::Ok();
+}
+
+size_t IngestQueue::DrainInto(std::vector<WriteOp>* out, size_t max_ops) {
+  ABIVM_CHECK(out != nullptr);
+  size_t moved = 0;
+  bool opened_room = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const bool was_full = ops_.size() >= high_watermark_;
+    while (moved < max_ops && !ops_.empty()) {
+      out->push_back(std::move(ops_.front()));
+      ops_.pop_front();
+      ++moved;
+    }
+    opened_room = was_full && ops_.size() < high_watermark_;
+  }
+  if (opened_room) can_push_.notify_all();
+  return moved;
+}
+
+size_t IngestQueue::depth() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return ops_.size();
+}
+
+bool IngestQueue::closed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return closed_;
+}
+
+void IngestQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    closed_ = true;
+  }
+  can_push_.notify_all();
+}
+
+}  // namespace abivm::serve

@@ -1,0 +1,89 @@
+// MPSC ingest queue: the write side of the serving subsystem.
+//
+// Producers enqueue WriteOps (closures over the base-table apply paths);
+// the single maintenance thread drains and applies them. Ops are
+// closures rather than pre-resolved (table, row) targets because updates
+// change RowIds -- only the thread that applies an op, in order, can
+// resolve what it touches.
+//
+// Backpressure is a high-watermark on queue depth. In kBlock mode a full
+// queue makes Push wait until the drain side catches up (bounded memory,
+// producers absorb the stall); in kReject mode Push returns
+// Status::Unavailable immediately (bounded memory AND bounded producer
+// latency -- the client retries or sheds the write).
+
+#ifndef ABIVM_SERVE_INGEST_QUEUE_H_
+#define ABIVM_SERVE_INGEST_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/database.h"
+
+namespace abivm::serve {
+
+/// One ingested modification: applied by the maintenance thread against
+/// the server's database, in arrival order. Returns the apply status
+/// (a failed op is counted and dropped; it does not poison the stream).
+using WriteOp = std::function<Status(Database&)>;
+
+/// What Push does when the queue is at its high watermark.
+enum class BackpressureMode {
+  /// Block the producer until the drain side makes room (or Close).
+  kBlock,
+  /// Refuse immediately with Status::Unavailable -- caller may retry.
+  kReject,
+};
+
+class IngestQueue {
+ public:
+  /// `high_watermark` is the maximum depth Push will grow the queue to;
+  /// `on_push` (optional) is invoked after every successful enqueue,
+  /// outside the queue lock -- the server uses it to wake its
+  /// maintenance loop.
+  IngestQueue(size_t high_watermark, BackpressureMode mode,
+              std::function<void()> on_push = nullptr);
+
+  IngestQueue(const IngestQueue&) = delete;
+  IngestQueue& operator=(const IngestQueue&) = delete;
+
+  /// Enqueues `op`, honouring the backpressure mode. Returns
+  /// Unavailable when rejected (kReject at the watermark) or when the
+  /// queue is closed -- including a kBlock producer woken by Close.
+  Status Push(WriteOp op);
+
+  /// Moves up to `max_ops` ops into `*out` (appended), in FIFO order,
+  /// waking blocked producers if room opened up. Returns the number
+  /// moved. Single consumer: the maintenance thread.
+  size_t DrainInto(std::vector<WriteOp>* out, size_t max_ops);
+
+  /// Current depth (racy by nature; for gauges and tests).
+  size_t depth() const;
+
+  /// True once Close() ran.
+  bool closed() const;
+
+  /// Shuts the queue: every current and future Push fails with
+  /// Unavailable, and blocked producers wake immediately. Ops already
+  /// queued stay drainable (the server drains-or-drops them on Stop).
+  void Close();
+
+ private:
+  const size_t high_watermark_;
+  const BackpressureMode mode_;
+  const std::function<void()> on_push_;
+
+  mutable std::mutex mu_;
+  std::condition_variable can_push_;
+  std::deque<WriteOp> ops_;
+  bool closed_ = false;
+};
+
+}  // namespace abivm::serve
+
+#endif  // ABIVM_SERVE_INGEST_QUEUE_H_

@@ -1,0 +1,99 @@
+#include "serve/snapshot.h"
+
+#include <cstring>
+
+#include "common/check.h"
+
+namespace abivm::serve {
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+void MixBytes(uint64_t* h, const void* data, size_t len) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    *h ^= bytes[i];
+    *h *= kFnvPrime;
+  }
+}
+
+void MixU64(uint64_t* h, uint64_t v) { MixBytes(h, &v, sizeof(v)); }
+
+void MixI64(uint64_t* h, int64_t v) { MixBytes(h, &v, sizeof(v)); }
+
+// The raw bit pattern, NOT a rounded rendering: an incrementally
+// maintained sum differs from a recomputed one only in rounding order,
+// and the digest must pin down the exact doubles the snapshot holds.
+void MixDouble(uint64_t* h, double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  MixU64(h, bits);
+}
+
+void MixValue(uint64_t* h, const Value& v) {
+  MixU64(h, static_cast<uint64_t>(v.type()));
+  switch (v.type()) {
+    case ValueType::kInt64:
+      MixI64(h, v.AsInt64());
+      break;
+    case ValueType::kDouble:
+      MixDouble(h, v.AsDouble());
+      break;
+    case ValueType::kString: {
+      const std::string& s = v.AsString();
+      MixU64(h, s.size());
+      MixBytes(h, s.data(), s.size());
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+uint64_t DigestViewState(const ViewState& state) {
+  uint64_t h = kFnvOffset;
+  const auto ordered = state.Snapshot();
+  MixU64(&h, ordered.size());
+  for (const auto& [key, group] : ordered) {
+    MixU64(&h, key.size());
+    for (const Value& v : key) MixValue(&h, v);
+    MixI64(&h, group.count);
+    MixDouble(&h, group.sum);
+    MixU64(&h, group.values.size());
+    for (const auto& [value, mult] : group.values) {
+      MixValue(&h, value);
+      MixI64(&h, mult);
+    }
+  }
+  return h;
+}
+
+size_t SnapshotRegistry::AddSlot() {
+  slots_.push_back(std::make_unique<Slot>());
+  return slots_.size() - 1;
+}
+
+void SnapshotRegistry::Publish(size_t slot, SnapshotPtr snapshot) {
+  ABIVM_CHECK_LT(slot, slots_.size());
+  ABIVM_CHECK(snapshot != nullptr);
+  Slot& s = *slots_[slot];
+  // Swap under the lock, destroy (possibly the last ref to a superseded
+  // epoch, possibly a whole ViewState) outside it.
+  SnapshotPtr retired;
+  {
+    std::lock_guard<std::mutex> lk(s.mu);
+    retired = std::move(s.current);
+    s.current = std::move(snapshot);
+  }
+}
+
+SnapshotPtr SnapshotRegistry::Load(size_t slot) const {
+  ABIVM_CHECK_LT(slot, slots_.size());
+  const Slot& s = *slots_[slot];
+  std::lock_guard<std::mutex> lk(s.mu);
+  return s.current;
+}
+
+}  // namespace abivm::serve

@@ -1,0 +1,106 @@
+// Epoch-published immutable view snapshots -- the read side of the
+// serving subsystem.
+//
+// The maintenance thread is the only writer: after every atomic batch
+// commit (and after every coalesced fresh-read flush) it builds a
+// ViewSnapshot -- the view content plus the exact watermark frontier the
+// content reflects -- and swaps it into the view's slot. A read copies
+// the slot's shared_ptr under a per-slot mutex held only for that
+// pointer copy (never while the writer computes, maintains, or builds a
+// snapshot -- publication itself is just a pointer swap under the same
+// mutex), so readers never wait on maintenance work, never see a torn
+// view (the object behind the pointer is immutable from the moment it
+// is published), and hold their snapshot alive for as long as they keep
+// the pointer, no matter how many epochs the writer publishes
+// meanwhile.
+//
+// Why a mutex and not std::atomic<shared_ptr>: libstdc++'s _Sp_atomic
+// is itself a lock-bit spinlock (not lock-free), and its load path
+// releases that lock with a relaxed RMW -- a by-the-letter data race on
+// the pointer member that TSan rightly reports (the serve suite must be
+// TSan-clean). An uncontended mutex is the same one-CAS cost with none
+// of the undefined behaviour.
+
+#ifndef ABIVM_SERVE_SNAPSHOT_H_
+#define ABIVM_SERVE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "ivm/view_state.h"
+#include "storage/table.h"
+
+namespace abivm::serve {
+
+/// One immutable published view image. `positions` / `versions` are the
+/// per-base-table watermark frontier at publication: the snapshot's
+/// content equals the view evaluated over exactly that snapshot vector
+/// (the maintainer invariant), which is what lets a bounded-staleness
+/// reader report HOW stale its answer is, per table, instead of a single
+/// opaque timestamp.
+struct ViewSnapshot {
+  /// Per-view publication sequence number, strictly increasing from 1.
+  uint64_t epoch = 0;
+  /// Delta-log position of the next unprocessed modification, per table.
+  std::vector<size_t> positions;
+  /// Snapshot version the view reflects, per table.
+  std::vector<Version> versions;
+  /// The view content at that frontier.
+  ViewState state;
+  /// DigestViewState(state) at publication. Readers recompute it over
+  /// the state they hold; a mismatch would prove a torn or mutated read
+  /// (the TSan torture test checks exactly this).
+  uint64_t digest = 0;
+};
+
+using SnapshotPtr = std::shared_ptr<const ViewSnapshot>;
+
+/// Order-independent-free content digest: FNV-1a over a canonical
+/// (ordered) rendering of the state -- group keys in sorted order, each
+/// with its count, the raw bit pattern of its sum, and its MIN/MAX value
+/// multiset. Two states with identical contents (including identical
+/// accumulated-sum doubles) digest identically; any concurrent mutation
+/// of the hashed representation changes the digest with overwhelming
+/// probability.
+uint64_t DigestViewState(const ViewState& state);
+
+/// The per-view publication slots. Readers and the writer share nothing
+/// but one mutex-guarded shared_ptr per view, locked only for the
+/// pointer copy/swap; reclamation of superseded epochs is the
+/// shared_ptr control block's problem, which is what keeps readers
+/// independent of the writer's maintenance work.
+class SnapshotRegistry {
+ public:
+  SnapshotRegistry() = default;
+  SnapshotRegistry(const SnapshotRegistry&) = delete;
+  SnapshotRegistry& operator=(const SnapshotRegistry&) = delete;
+
+  /// Registers a view; returns its slot index. Not thread-safe -- call
+  /// during setup, before any concurrent Load/Publish.
+  size_t AddSlot();
+
+  size_t size() const { return slots_.size(); }
+
+  /// Publishes a new epoch for `slot` (writer side; single writer).
+  void Publish(size_t slot, SnapshotPtr snapshot);
+
+  /// The latest published snapshot of `slot`, or nullptr before the
+  /// first publication (reader side; any thread; locks the slot only
+  /// for the pointer copy).
+  SnapshotPtr Load(size_t slot) const;
+
+ private:
+  struct Slot {
+    mutable std::mutex mu;
+    SnapshotPtr current;
+  };
+  // A mutex is neither copyable nor movable, so slots live behind
+  // unique_ptr to keep AddSlot simple.
+  std::vector<std::unique_ptr<Slot>> slots_;
+};
+
+}  // namespace abivm::serve
+
+#endif  // ABIVM_SERVE_SNAPSHOT_H_

@@ -1,0 +1,354 @@
+#include "serve/view_server.h"
+
+#include <limits>
+#include <utility>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "fault/failpoint.h"
+#include "fault/sites.h"
+
+namespace abivm::serve {
+
+ViewServer::ViewServer(std::unique_ptr<Database> db, ServeOptions options,
+                       obs::MetricRegistry* metrics)
+    : db_(std::move(db)),
+      options_(options),
+      group_(db_.get()),
+      queue_(options_.ingest_high_watermark, options_.backpressure,
+             [this] {
+               // Empty critical section: serializes with the loop's
+               // predicate check so the notify cannot slip between the
+               // check and the sleep (the classic lost-wakeup window).
+               { std::lock_guard<std::mutex> lk(mu_); }
+               loop_cv_.notify_one();
+             }) {
+  ABIVM_CHECK(db_ != nullptr);
+  ABIVM_CHECK_GT(options_.budget_c, 0.0);
+  ABIVM_CHECK_GT(options_.max_drain_per_cycle, 0u);
+  if (metrics != nullptr) {
+    metrics_ = metrics;
+  } else {
+    own_metrics_ = std::make_unique<obs::MetricRegistry>();
+    metrics_ = own_metrics_.get();
+  }
+  // Intern every serve.* instrument up front: hot paths (readers,
+  // producers, the loop) touch only these atomics, never the registry.
+  reads_stale_ = &metrics_->counter("serve.reads_stale");
+  reads_fresh_ = &metrics_->counter("serve.reads_fresh");
+  fresh_served_ = &metrics_->counter("serve.fresh_served");
+  flushes_ = &metrics_->counter("serve.flushes");
+  flush_failures_ = &metrics_->counter("serve.flush_failures");
+  publishes_ = &metrics_->counter("serve.publishes");
+  publish_failures_ = &metrics_->counter("serve.publish_failures");
+  ingest_ops_ = &metrics_->counter("serve.ingest_ops");
+  ingest_errors_ = &metrics_->counter("serve.ingest_errors");
+  ingest_rejected_ = &metrics_->counter("serve.ingest_rejected");
+  dropped_ops_ = &metrics_->counter("serve.dropped_ops");
+  cycles_ = &metrics_->counter("serve.cycles");
+  batches_ = &metrics_->counter("serve.batches");
+  batch_failures_ = &metrics_->counter("serve.batch_failures");
+  budget_violations_ = &metrics_->counter("serve.budget_violations");
+  queue_depth_gauge_ = &metrics_->gauge("serve.queue_depth");
+  fresh_waiting_gauge_ = &metrics_->gauge("serve.fresh_waiting");
+  read_fresh_ms_ = &metrics_->latency("serve.read_fresh_ms");
+  flush_ms_ = &metrics_->latency("serve.flush_ms");
+}
+
+ViewServer::~ViewServer() { Stop(); }
+
+size_t ViewServer::AddView(ViewDef def, std::unique_ptr<Policy> policy,
+                           CostModel model, BindingOptions options) {
+  ABIVM_CHECK_MSG(!started_, "AddView after Start");
+  ABIVM_CHECK(policy != nullptr);
+  ViewMaintainer& m = group_.AddView(std::move(def), options);
+  ABIVM_CHECK_MSG(model.n() == m.num_tables(),
+                  "cost model arity != view's base-table count");
+  const size_t slot = epochs_.AddSlot();
+  ABIVM_CHECK_EQ(slot, views_.size());
+  m.SetMetrics(metrics_);
+  views_.push_back(ServedView{&m, std::move(policy), std::move(model), slot,
+                              /*epoch=*/0, /*prev_pending=*/{}});
+  return slot;
+}
+
+void ViewServer::SetPublishHook(PublishHook hook) {
+  ABIVM_CHECK_MSG(!started_, "SetPublishHook after Start");
+  publish_hook_ = std::move(hook);
+}
+
+void ViewServer::Start() {
+  ABIVM_CHECK_MSG(!started_, "Start is one-shot");
+  ABIVM_CHECK_MSG(!views_.empty(), "Start with no views");
+  // Initial epochs on the caller's thread (the maintainers are still
+  // bound to it): ReadStale never returns null once Start returns. No
+  // failpoint and no hook here -- this is setup, not maintenance.
+  for (ServedView& v : views_) {
+    epochs_.Publish(v.slot, BuildSnapshot(v));
+    publishes_->Add();
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    started_ = true;
+  }
+  maintenance_ = std::thread([this] { MaintenanceLoop(); });
+}
+
+void ViewServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!started_ || stop_) {
+      if (!started_) return;
+      // Already stopping/stopped; fall through to join idempotently.
+    }
+    stop_ = true;
+  }
+  queue_.Close();
+  loop_cv_.notify_all();
+  fresh_cv_.notify_all();
+  control_cv_.notify_all();
+  if (maintenance_.joinable()) maintenance_.join();
+  // The join is a synchronized handoff back to the stopping thread:
+  // rebind the maintainers so post-stop introspection (oracle
+  // recomputes in tests, final reports) doesn't trip the writer guard.
+  for (ServedView& v : views_) v.maintainer->BindWriterToCurrentThread();
+}
+
+Status ViewServer::Ingest(WriteOp op) {
+  ABIVM_FAULT_POINT(fault::kFpServeEnqueue);
+  Status status = queue_.Push(std::move(op));
+  if (!status.ok()) {
+    ingest_rejected_->Add();
+    return status;
+  }
+  queue_depth_gauge_->Set(static_cast<int64_t>(queue_.depth()));
+  return status;
+}
+
+SnapshotPtr ViewServer::ReadStale(size_t view) const {
+  reads_stale_->Add();
+  return epochs_.Load(view);
+}
+
+Result<SnapshotPtr> ViewServer::ReadFresh(size_t view) {
+  ABIVM_CHECK_LT(view, views_.size());
+  reads_fresh_->Add();
+  Stopwatch sw;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (!started_ || stop_) {
+      return Status::Unavailable("server not running");
+    }
+    const uint64_t my = ++fresh_seq_;
+    fresh_waiting_gauge_->Add(1);
+    loop_cv_.notify_one();
+    fresh_cv_.wait(lk, [&] { return fresh_done_ >= my; });
+    fresh_waiting_gauge_->Add(-1);
+    if (last_ok_flush_seq_ < my) {
+      // The flush that covered this ticket failed -- or the server
+      // stopped before any flush covered it.
+      if (stop_) return Status::Unavailable("server stopped");
+      Status failed = last_flush_status_;
+      ABIVM_CHECK(!failed.ok());
+      return failed;
+    }
+  }
+  read_fresh_ms_->Record(sw.ElapsedMs());
+  fresh_served_->Add();
+  return epochs_.Load(view);
+}
+
+Status ViewServer::RunOnMaintenanceThread(std::function<void()> fn) {
+  ABIVM_CHECK(fn != nullptr);
+  auto done = std::make_shared<bool>(false);
+  std::unique_lock<std::mutex> lk(mu_);
+  if (!started_ || stop_) return Status::Unavailable("server not running");
+  control_ops_.push_back(ControlOp{std::move(fn), done});
+  loop_cv_.notify_one();
+  control_cv_.wait(lk, [&] { return *done || stop_; });
+  if (!*done) return Status::Unavailable("server stopped");
+  return Status::Ok();
+}
+
+uint64_t ViewServer::fresh_pending() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return fresh_seq_ - fresh_done_;
+}
+
+void ViewServer::MaintenanceLoop() {
+  // Synchronized handoff: thread creation orders everything the setup
+  // thread did before Start; from here on this thread is the writer.
+  for (ServedView& v : views_) {
+    v.maintainer->BindWriterToCurrentThread();
+    v.policy->Reset(v.model, options_.budget_c);
+    v.prev_pending = v.maintainer->PendingVec();
+  }
+  for (;;) {
+    uint64_t fresh_target = 0;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      loop_cv_.wait(lk, [this] {
+        return stop_ || !control_ops_.empty() ||
+               fresh_seq_ > fresh_done_ || queue_.depth() > 0;
+      });
+      RunControlOps(lk);
+      if (stop_) break;
+      fresh_target = fresh_seq_;
+    }
+    cycles_->Add();
+
+    // Drain. A pending fresh reader forces a full drain so the flush
+    // below covers every op enqueued before that reader's ticket.
+    const bool has_fresh = fresh_target > fresh_done_;
+    const size_t max_ops = has_fresh
+                               ? std::numeric_limits<size_t>::max()
+                               : options_.max_drain_per_cycle;
+    drain_scratch_.clear();
+    queue_.DrainInto(&drain_scratch_, max_ops);
+    ApplyOps(&drain_scratch_);
+    queue_depth_gauge_->Set(static_cast<int64_t>(queue_.depth()));
+
+    // One policy time step per cycle.
+    ++t_;
+    for (ServedView& v : views_) {
+      if (MaintainView(v)) {
+        if (TryPublish(v).ok()) {
+          publishes_->Add();
+        } else {
+          publish_failures_->Add();
+        }
+      }
+      if (v.model.IsFull(v.maintainer->PendingVec(), options_.budget_c)) {
+        budget_violations_->Add();
+      }
+    }
+
+    if (has_fresh) {
+      flushes_->Add();
+      Stopwatch sw;
+      const Status flush = DoFlush();
+      flush_ms_->Record(sw.ElapsedMs());
+      if (!flush.ok()) flush_failures_->Add();
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        fresh_done_ = fresh_target;
+        if (flush.ok()) {
+          last_ok_flush_seq_ = fresh_target;
+        } else {
+          last_flush_status_ = flush;
+        }
+      }
+      fresh_cv_.notify_all();
+    }
+  }
+
+  // Shutdown (stop_ observed, mu_ released): drop what's still queued,
+  // then release every waiter -- fresh readers not covered by a
+  // successful flush report Unavailable, control callers likewise.
+  drain_scratch_.clear();
+  const size_t dropped =
+      queue_.DrainInto(&drain_scratch_, std::numeric_limits<size_t>::max());
+  drain_scratch_.clear();
+  if (dropped > 0) dropped_ops_->Add(dropped);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    fresh_done_ = fresh_seq_;
+    control_ops_.clear();
+  }
+  fresh_cv_.notify_all();
+  control_cv_.notify_all();
+}
+
+void ViewServer::RunControlOps(std::unique_lock<std::mutex>& lk) {
+  while (!control_ops_.empty()) {
+    ControlOp op = std::move(control_ops_.front());
+    control_ops_.pop_front();
+    lk.unlock();
+    op.fn();
+    lk.lock();
+    *op.done = true;
+    control_cv_.notify_all();
+  }
+}
+
+size_t ViewServer::ApplyOps(std::vector<WriteOp>* ops) {
+  size_t applied = 0;
+  for (WriteOp& op : *ops) {
+    const Status status = op(*db_);
+    ingest_ops_->Add();
+    if (status.ok()) {
+      ++applied;
+    } else {
+      ingest_errors_->Add();
+    }
+  }
+  ops->clear();
+  return applied;
+}
+
+bool ViewServer::MaintainView(ServedView& v) {
+  ViewMaintainer& m = *v.maintainer;
+  const StateVec pre = m.PendingVec();
+  const StateVec arrivals = SubVec(pre, v.prev_pending);
+  const StateVec action = v.policy->Act(t_, pre, arrivals);
+  ABIVM_CHECK_MSG(FitsWithin(action, pre),
+                  "policy action exceeds pending state");
+  bool committed = false;
+  for (size_t i = 0; i < action.size(); ++i) {
+    if (action[i] == 0) continue;
+    BatchResult result;
+    const Status status = m.ProcessBatchChecked(i, action[i], &result);
+    batches_->Add();
+    if (status.ok()) {
+      committed = true;
+    } else {
+      batch_failures_->Add();
+    }
+  }
+  v.prev_pending = m.PendingVec();
+  return committed;
+}
+
+Status ViewServer::TryPublish(ServedView& v) {
+  ABIVM_FAULT_POINT(fault::kFpServePublish);
+  SnapshotPtr snapshot = BuildSnapshot(v);
+  epochs_.Publish(v.slot, snapshot);
+  if (publish_hook_) publish_hook_(v.slot, *snapshot, *v.maintainer);
+  return Status::Ok();
+}
+
+Status ViewServer::DoFlush() {
+  ABIVM_FAULT_POINT(fault::kFpServeFlush);
+  for (ServedView& v : views_) {
+    const Status refreshed = v.maintainer->RefreshAllChecked();
+    // A failed refresh still committed a prefix of batches, so the
+    // arrival baseline must resync either way.
+    v.prev_pending = v.maintainer->PendingVec();
+    if (!refreshed.ok()) return refreshed;
+    const Status published = TryPublish(v);
+    if (!published.ok()) {
+      publish_failures_->Add();
+      return published;
+    }
+    publishes_->Add();
+  }
+  return Status::Ok();
+}
+
+SnapshotPtr ViewServer::BuildSnapshot(ServedView& v) {
+  auto snapshot = std::make_shared<ViewSnapshot>();
+  snapshot->epoch = ++v.epoch;
+  const ViewMaintainer& m = *v.maintainer;
+  const size_t n = m.num_tables();
+  snapshot->positions.reserve(n);
+  snapshot->versions.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    snapshot->positions.push_back(m.watermark_position(i));
+    snapshot->versions.push_back(m.watermark_version(i));
+  }
+  snapshot->state = m.state();
+  snapshot->digest = DigestViewState(snapshot->state);
+  return snapshot;
+}
+
+}  // namespace abivm::serve

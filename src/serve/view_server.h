@@ -1,0 +1,264 @@
+// ViewServer: the serving subsystem. Owns the database, a ViewGroup of
+// maintainers, and one maintenance policy per view; serves concurrent
+// clients against the single-writer maintenance loop.
+//
+// Architecture (one writer, many readers):
+//
+//   * ONE maintenance thread owns every mutation: it drains the MPSC
+//     ingest queue, applies WriteOps to the base tables, runs each
+//     view's policy (the paper's batching decision under budget C),
+//     processes the chosen batches, and publishes an immutable snapshot
+//     per committed view into the SnapshotRegistry. The ViewMaintainer
+//     single-writer assertions make any violation of this discipline
+//     fail fast instead of racing.
+//
+//   * Readers never touch maintenance state. ReadStale copies one
+//     shared_ptr under a per-view slot lock held only for the pointer
+//     copy -- a bounded-staleness answer at the last
+//     published epoch, carrying the exact per-table watermark frontier
+//     so the client knows HOW stale. ReadFresh asks for the on-demand
+//     refresh contract: the residue at any instant is <= C by the
+//     maintenance invariant, so one flush of everything pending yields
+//     a fully refreshed view within the response-time budget.
+//
+//   * Concurrent ReadFresh calls COALESCE (the group-commit analogy):
+//     each waiter takes a generation ticket; the loop flushes once for
+//     the highest ticket outstanding and that single flush satisfies
+//     every queued waiter. k concurrent fresh readers cost one flush,
+//     not k.
+//
+//   * Ingest backpressure: the queue has a high watermark; kBlock makes
+//     producers wait, kReject bounces them with Status::Unavailable.
+//
+// Failure semantics: a failed WriteOp is counted and dropped (the
+// stream continues); a failed batch leaves the view exactly as before
+// (ProcessBatchChecked is atomic) and is retried by a later cycle; a
+// failed flush fails the fresh readers it covered while STALE reads
+// keep serving the last published epoch -- serving degrades, it does
+// not stop. Failpoint sites: serve.enqueue (producer thread),
+// serve.flush / serve.publish (maintenance thread; arm them via
+// RunOnMaintenanceThread because failpoint registries are thread-local).
+
+#ifndef ABIVM_SERVE_VIEW_SERVER_H_
+#define ABIVM_SERVE_VIEW_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "common/status.h"
+#include "core/cost_model.h"
+#include "core/policy.h"
+#include "ivm/view_group.h"
+#include "obs/metrics.h"
+#include "serve/ingest_queue.h"
+#include "serve/snapshot.h"
+
+namespace abivm::serve {
+
+struct ServeOptions {
+  /// Response-time budget C: each view's policy is Reset with it, and
+  /// the loop counts serve.budget_violations whenever a view's pending
+  /// cost exceeds it after the policy acted.
+  double budget_c = 1.0;
+  /// Ingest queue high watermark (maximum queued WriteOps).
+  size_t ingest_high_watermark = 1024;
+  /// What Ingest does at the watermark.
+  BackpressureMode backpressure = BackpressureMode::kBlock;
+  /// Ops applied per maintenance cycle when no fresh reader is waiting
+  /// (a pending fresh reader makes the cycle drain everything, so the
+  /// flush covers every op enqueued before the reader arrived).
+  size_t max_drain_per_cycle = 256;
+};
+
+class ViewServer {
+ public:
+  /// Takes ownership of `db` (already loaded with base data). Metrics
+  /// are interned into `metrics` when given, else into a private
+  /// registry reachable via this->metrics().
+  ViewServer(std::unique_ptr<Database> db, ServeOptions options,
+             obs::MetricRegistry* metrics = nullptr);
+  ~ViewServer();
+
+  ViewServer(const ViewServer&) = delete;
+  ViewServer& operator=(const ViewServer&) = delete;
+
+  /// Setup-only access to the owned database (bulk loads, index
+  /// creation). After Start, all writes MUST go through Ingest.
+  Database& db() { return *db_; }
+
+  /// Registers a view with its own policy and cost model; returns the
+  /// view handle used by ReadStale/ReadFresh. Setup-only (pre-Start).
+  /// The policy is Reset(model, budget_c) when the loop starts.
+  size_t AddView(ViewDef def, std::unique_ptr<Policy> policy,
+                 CostModel model, BindingOptions options = {});
+
+  size_t num_views() const { return views_.size(); }
+
+  /// Spawns the maintenance thread. Every registered view gets an
+  /// initial epoch published first, so ReadStale never returns null
+  /// after Start returns.
+  void Start();
+
+  /// Stops the maintenance loop: closes the queue (blocked producers
+  /// wake with Unavailable), fails outstanding fresh readers with
+  /// Unavailable, joins the thread. Idempotent. Ops still queued at
+  /// stop are dropped and counted (serve.dropped_ops).
+  void Stop();
+
+  bool started() const { return started_; }
+
+  /// Enqueues one write (producer side, any thread). Applies
+  /// backpressure per ServeOptions; carries the serve.enqueue
+  /// failpoint. The op itself runs later, on the maintenance thread.
+  Status Ingest(WriteOp op);
+
+  /// Bounded-staleness read: the latest published epoch of `view`, one
+  /// pointer copy under the slot lock, never waiting on maintenance
+  /// work. The snapshot reports its
+  /// watermark frontier (positions/versions) -- the bound on staleness.
+  SnapshotPtr ReadStale(size_t view) const;
+
+  /// Fresh read: waits until a flush covering this call completes, then
+  /// returns the snapshot published by it (every watermark at its log
+  /// head as of the flush). Concurrent callers coalesce into one flush.
+  /// Fails with the flush's error when fault injection (serve.flush) or
+  /// a batch failure broke that flush, and with Unavailable when the
+  /// server is stopped while waiting.
+  Result<SnapshotPtr> ReadFresh(size_t view);
+
+  /// Runs `fn` on the maintenance thread and waits for it to finish.
+  /// This is how tests arm the maintenance-side failpoints
+  /// (serve.flush, serve.publish): registries are thread-local, so the
+  /// arming must execute on the thread that hits the site. Unavailable
+  /// when the server is not running.
+  Status RunOnMaintenanceThread(std::function<void()> fn);
+
+  /// Test hook, setup-only: invoked on the maintenance thread after
+  /// every post-batch / post-flush publication (not the initial Start
+  /// publication), with the published snapshot and the maintainer it
+  /// came from -- at that instant the maintainer's watermarks equal the
+  /// snapshot's, so the hook may run the recompute oracle.
+  using PublishHook = std::function<void(size_t view, const ViewSnapshot&,
+                                         const ViewMaintainer&)>;
+  void SetPublishHook(PublishHook hook);
+
+  /// Fresh requests not yet covered by a finished flush (tests use this
+  /// to wait for k readers to be queued before releasing the loop).
+  uint64_t fresh_pending() const;
+
+  /// The registry serve.* metrics intern into.
+  obs::MetricRegistry& metrics() { return *metrics_; }
+
+  /// The maintainer behind `view` -- setup/stopped introspection only.
+  /// While the server runs the maintenance thread owns it; a concurrent
+  /// mutating (or workspace-touching) call trips the writer assertion.
+  const ViewMaintainer& view_maintainer(size_t view) const {
+    ABIVM_CHECK_LT(view, views_.size());
+    return *views_[view].maintainer;
+  }
+
+ private:
+  struct ServedView {
+    ViewMaintainer* maintainer = nullptr;
+    std::unique_ptr<Policy> policy;
+    CostModel model;
+    size_t slot = 0;
+    uint64_t epoch = 0;
+    /// Pending counts after this view's last maintenance step; the next
+    /// step's arrivals d_t are current pending minus this (pending only
+    /// grows by arrivals and shrinks by this thread's own actions).
+    StateVec prev_pending;
+  };
+
+  void MaintenanceLoop();
+  void RunControlOps(std::unique_lock<std::mutex>& lk);
+  // Applies drained ops; returns how many applied cleanly.
+  size_t ApplyOps(std::vector<WriteOp>* ops);
+  // Policy step + batch processing for one view; true if any batch
+  // committed (so the view needs a publication).
+  bool MaintainView(ServedView& v);
+  // serve.publish failpoint + snapshot build + slot store + hook.
+  Status TryPublish(ServedView& v);
+  // serve.flush failpoint + RefreshAllChecked + publish, all views.
+  Status DoFlush();
+  SnapshotPtr BuildSnapshot(ServedView& v);
+
+  std::unique_ptr<Database> db_;
+  const ServeOptions options_;
+  std::unique_ptr<obs::MetricRegistry> own_metrics_;
+  obs::MetricRegistry* metrics_ = nullptr;
+
+  ViewGroup group_;
+  std::vector<ServedView> views_;
+  SnapshotRegistry epochs_;
+  IngestQueue queue_;
+  PublishHook publish_hook_;
+
+  std::thread maintenance_;
+  bool started_ = false;
+
+  // Loop/reader coordination. mu_ guards everything below it; the
+  // ingest queue has its own lock (its on_push wake takes mu_ briefly
+  // so the loop's predicate re-check cannot miss the notification).
+  mutable std::mutex mu_;
+  std::condition_variable loop_cv_;   // maintenance thread waits
+  std::condition_variable fresh_cv_;  // ReadFresh waiters
+  bool stop_ = false;
+  // Fresh-read coalescing generations: a ReadFresh takes ticket
+  // ++fresh_seq_; the loop flushes for the highest ticket outstanding
+  // and advances fresh_done_ to it -- one flush covers every ticket in
+  // (previous done, target]. last_ok_flush_seq_ is the highest ticket
+  // covered by a SUCCESSFUL flush; a woken waiter above it reports
+  // last_flush_status_ instead of serving.
+  uint64_t fresh_seq_ = 0;
+  uint64_t fresh_done_ = 0;
+  uint64_t last_ok_flush_seq_ = 0;
+  Status last_flush_status_ = Status::Ok();
+  // Control ops for RunOnMaintenanceThread. The completion flag is
+  // shared: on a stopped server the caller may return (Unavailable)
+  // while the op is still queued, so the queue entry must not dangle.
+  struct ControlOp {
+    std::function<void()> fn;
+    std::shared_ptr<bool> done;
+  };
+  std::deque<ControlOp> control_ops_;
+  std::condition_variable control_cv_;
+
+  // Maintenance clock (policy time steps) -- loop thread only.
+  TimeStep t_ = 0;
+  // Scratch reused across cycles -- loop thread only.
+  std::vector<WriteOp> drain_scratch_;
+
+  // Interned serve.* instruments (constructor; hot paths touch only
+  // these atomics, never the registry map).
+  obs::Counter* reads_stale_ = nullptr;
+  obs::Counter* reads_fresh_ = nullptr;
+  obs::Counter* fresh_served_ = nullptr;
+  obs::Counter* flushes_ = nullptr;
+  obs::Counter* flush_failures_ = nullptr;
+  obs::Counter* publishes_ = nullptr;
+  obs::Counter* publish_failures_ = nullptr;
+  obs::Counter* ingest_ops_ = nullptr;
+  obs::Counter* ingest_errors_ = nullptr;
+  obs::Counter* ingest_rejected_ = nullptr;
+  obs::Counter* dropped_ops_ = nullptr;
+  obs::Counter* cycles_ = nullptr;
+  obs::Counter* batches_ = nullptr;
+  obs::Counter* batch_failures_ = nullptr;
+  obs::Counter* budget_violations_ = nullptr;
+  obs::Gauge* queue_depth_gauge_ = nullptr;
+  obs::Gauge* fresh_waiting_gauge_ = nullptr;
+  obs::LatencyHistogram* read_fresh_ms_ = nullptr;
+  obs::LatencyHistogram* flush_ms_ = nullptr;
+};
+
+}  // namespace abivm::serve
+
+#endif  // ABIVM_SERVE_VIEW_SERVER_H_

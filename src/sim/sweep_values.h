@@ -101,5 +101,21 @@ inline const ValueKey kReplayedBatches{"replayed_batches"};
 /// Dead row versions reclaimed by watermark-driven vacuum, count.
 inline const ValueKey kGcVersionsReclaimed{"gc_versions_reclaimed"};
 
+// --- Serving extras (ViewServer load drivers) ---------------------------
+
+/// Bounded-staleness snapshot reads served, count.
+inline const ValueKey kServeStaleReads{"serve_stale_reads"};
+/// On-demand fresh reads served, count.
+inline const ValueKey kServeFreshReads{"serve_fresh_reads"};
+/// Coalesced group flushes run for fresh reads, count (the gap to
+/// `serve_fresh_reads` is the coalescing win).
+inline const ValueKey kServeFlushes{"serve_flushes"};
+/// Snapshot epochs published, count.
+inline const ValueKey kServePublishes{"serve_publishes"};
+/// Ingest ops rejected by backpressure, count.
+inline const ValueKey kServeIngestRejected{"serve_ingest_rejected"};
+/// Fresh-read latency p99, ms.
+inline const ValueKey kServeFreshP99Ms{"serve_fresh_p99_ms"};
+
 }  // namespace sweep_values
 }  // namespace abivm

@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
+#include "obs/pool_gauges.h"
+
 namespace abivm {
 namespace {
 
@@ -68,6 +71,56 @@ TEST(ThreadPoolTest, TasksMaySubmitMoreTasks) {
 
 TEST(ThreadPoolTest, DefaultThreadsIsPositive) {
   EXPECT_GE(ThreadPool::DefaultThreads(), 1u);
+}
+
+TEST(ThreadPoolTest, SaturationObservablesTrackTaskLifecycle) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.queue_depth(), 0u);
+  EXPECT_EQ(pool.active_workers(), 0u);
+  EXPECT_EQ(pool.tasks_submitted(), 0u);
+
+  // Park both workers so further submissions visibly queue.
+  std::atomic<int> parked{0};
+  std::atomic<bool> release{false};
+  for (int i = 0; i < 2; ++i) {
+    pool.Submit([&parked, &release] {
+      parked.fetch_add(1);
+      while (!release.load()) {
+      }
+    });
+  }
+  while (parked.load() < 2) {
+  }
+  EXPECT_EQ(pool.active_workers(), 2u);
+  EXPECT_EQ(pool.queue_depth(), 0u);
+
+  for (int i = 0; i < 5; ++i) {
+    pool.Submit([] {});
+  }
+  EXPECT_EQ(pool.queue_depth(), 5u);
+  EXPECT_EQ(pool.tasks_submitted(), 7u);
+
+  release.store(true);
+  pool.Wait();
+  EXPECT_EQ(pool.queue_depth(), 0u);
+  EXPECT_EQ(pool.active_workers(), 0u);
+  EXPECT_EQ(pool.tasks_submitted(), 7u);
+}
+
+TEST(ThreadPoolTest, GaugeBridgeExportsSaturationMetrics) {
+  ThreadPool pool(3);
+  obs::MetricRegistry registry;
+  obs::ThreadPoolGauges gauges(&pool, &registry, "pool");
+  for (int i = 0; i < 4; ++i) {
+    pool.Submit([] {});
+  }
+  pool.Wait();
+  gauges.Sample();
+  const obs::MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.gauges.at("pool.threads"), 3);
+  EXPECT_EQ(snap.gauges.at("pool.queue_depth"), 0);
+  EXPECT_EQ(snap.gauges.at("pool.active_workers"), 0);
+  EXPECT_EQ(snap.counters.at("pool.tasks_submitted"), 4u);
 }
 
 }  // namespace

@@ -1,0 +1,91 @@
+// The single-writer discipline, made checkable: a ViewMaintainer is
+// owned by the thread that constructed it (or the last thread a
+// synchronized BindWriterToCurrentThread handed it to); mutating entry
+// points from any other thread must CHECK-fail fast instead of racing
+// the pooled workspace.
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "ivm/maintainer.h"
+#include "tpc/tpc_gen.h"
+#include "tpc/update_stream.h"
+#include "tpc/views.h"
+
+namespace abivm {
+namespace {
+
+struct Fixture {
+  Database db;
+  TpcUpdater updater{&db, 11};
+
+  Fixture() {
+    TpcGenOptions options;
+    options.scale_factor = 0.001;
+    GenerateTpcDatabase(&db, options);
+    CreatePaperIndexes(&db);
+  }
+};
+
+TEST(WriterGuardTest, ConstructingThreadIsTheWriter) {
+  Fixture fx;
+  ViewMaintainer m(&fx.db, MakePaperMinView());
+  EXPECT_TRUE(m.BoundToCurrentThread());
+  fx.updater.UpdatePartSuppSupplycost();
+  BatchResult result;
+  EXPECT_TRUE(m.ProcessBatchChecked(0, 1, &result).ok());
+}
+
+TEST(WriterGuardTest, SynchronizedHandoffRebindsTheWriter) {
+  Fixture fx;
+  ViewMaintainer m(&fx.db, MakePaperMinView());
+  for (int i = 0; i < 5; ++i) fx.updater.UpdatePartSuppSupplycost();
+  // Thread creation is the synchronization; the new owner binds first.
+  std::thread worker([&m] {
+    m.BindWriterToCurrentThread();
+    EXPECT_TRUE(m.BoundToCurrentThread());
+    m.RefreshAll();
+    EXPECT_TRUE(
+        m.state().SameContents(m.RecomputeAtWatermarks()));
+  });
+  worker.join();
+  // Joining synchronizes the handoff back.
+  EXPECT_FALSE(m.BoundToCurrentThread());
+  m.BindWriterToCurrentThread();
+  EXPECT_TRUE(m.IsConsistent());
+}
+
+#ifndef ABIVM_DISABLE_THREAD_ASSERTS
+
+TEST(WriterGuardDeathTest, ForeignThreadMutationDies) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  Fixture fx;
+  ViewMaintainer m(&fx.db, MakePaperMinView());
+  fx.updater.UpdatePartSuppSupplycost();
+  EXPECT_DEATH(
+      {
+        std::thread intruder([&m] { m.RefreshAll(); });
+        intruder.join();
+      },
+      "not its bound writer");
+}
+
+TEST(WriterGuardDeathTest, ForeignThreadOracleDies) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  Fixture fx;
+  ViewMaintainer m(&fx.db, MakePaperMinView());
+  // RecomputeAtWatermarks is logically const but reuses the pooled
+  // pipeline workspace, so it carries the writer assertion too.
+  EXPECT_DEATH(
+      {
+        std::thread intruder([&m] { m.RecomputeAtWatermarks(); });
+        intruder.join();
+      },
+      "not its bound writer");
+}
+
+#endif  // ABIVM_DISABLE_THREAD_ASSERTS
+
+}  // namespace
+}  // namespace abivm

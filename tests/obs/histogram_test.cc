@@ -1,0 +1,148 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+namespace abivm::obs {
+namespace {
+
+TEST(LatencyHistogramTest, EmptyHistogramReportsZeros) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_EQ(h.Quantile(0.99), 0.0);
+}
+
+TEST(LatencyHistogramTest, CountSumMinMaxAreExact) {
+  LatencyHistogram h;
+  h.Record(0.5);
+  h.Record(2.0);
+  h.Record(8.25);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 10.75);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 8.25);
+}
+
+TEST(LatencyHistogramTest, QuantilesWithinRelativeErrorBound) {
+  // Uniform samples over [1, 1000] ms: every quantile estimate must sit
+  // within the log-linear bucketing's relative error (1/kSubBuckets)
+  // of the exact order statistic.
+  LatencyHistogram h;
+  std::vector<double> samples;
+  Rng rng(7);
+  for (int i = 0; i < 20'000; ++i) {
+    const double v = rng.UniformDouble(1.0, 1000.0);
+    samples.push_back(v);
+    h.Record(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  const double rel = 1.0 / LatencyHistogram::kSubBuckets;
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    const size_t rank = static_cast<size_t>(
+        std::ceil(q * static_cast<double>(samples.size())));
+    const double exact = samples[rank - 1];
+    const double estimate = h.Quantile(q);
+    EXPECT_NEAR(estimate, exact, exact * rel)
+        << "q=" << q << " exact=" << exact << " est=" << estimate;
+  }
+  // Extremes clamp to the observed range.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), h.min());
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), h.max());
+}
+
+TEST(LatencyHistogramTest, TinyAndHugeSamplesClampIntoRange) {
+  LatencyHistogram h;
+  h.Record(0.0);           // below 1 ns resolution
+  h.Record(1e-9);          // below 1 ns resolution
+  h.Record(1e12);          // way past the top bucket
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1e12);
+  // Quantiles stay finite and within [min, max].
+  const double p50 = h.Quantile(0.5);
+  EXPECT_GE(p50, 0.0);
+  EXPECT_LE(p50, 1e12);
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordLosesNothing) {
+  LatencyHistogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Record(1.0 + static_cast<double>((t * kPerThread + i) % 100));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<uint64_t>(kThreads * kPerThread));
+  const double p50 = h.Quantile(0.5);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, h.max());
+}
+
+TEST(LatencyHistogramTest, BucketBoundsAreMonotone) {
+  double prev = 0.0;
+  for (size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
+    const double bound = LatencyHistogram::BucketUpperBound(b);
+    EXPECT_GT(bound, prev) << "bucket " << b;
+    prev = bound;
+  }
+}
+
+TEST(GaugeTest, SetAndAddTrackLevels) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0);
+  g.Set(42);
+  EXPECT_EQ(g.value(), 42);
+  g.Add(-10);
+  EXPECT_EQ(g.value(), 32);
+  g.Set(-5);  // gauges may go negative (they are levels, not counts)
+  EXPECT_EQ(g.value(), -5);
+}
+
+TEST(RegistryLatencyTest, SnapshotComputesQuantiles) {
+  MetricRegistry registry;
+  LatencyHistogram& lat = registry.latency("serve.read_fresh_ms");
+  registry.gauge("serve.queue_depth").Set(7);
+  for (int i = 1; i <= 100; ++i) lat.Record(static_cast<double>(i));
+
+  const MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.latencies.count("serve.read_fresh_ms"), 1u);
+  const auto& stat = snap.latencies.at("serve.read_fresh_ms");
+  EXPECT_EQ(stat.count, 100u);
+  EXPECT_DOUBLE_EQ(stat.min, 1.0);
+  EXPECT_DOUBLE_EQ(stat.max, 100.0);
+  EXPECT_NEAR(stat.p50, 50.0, 50.0 / LatencyHistogram::kSubBuckets);
+  EXPECT_NEAR(stat.p99, 99.0, 99.0 / LatencyHistogram::kSubBuckets);
+  EXPECT_GE(stat.p999, stat.p99);
+  ASSERT_EQ(snap.gauges.count("serve.queue_depth"), 1u);
+  EXPECT_EQ(snap.gauges.at("serve.queue_depth"), 7);
+
+  // JSON export carries both new sections.
+  std::ostringstream os;
+  {
+    JsonWriter writer(os);
+    WriteSnapshotJson(writer, snap);
+  }
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"latencies\""), std::string::npos);
+  EXPECT_NE(json.find("serve.read_fresh_ms"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace abivm::obs
